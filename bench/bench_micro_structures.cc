@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the MMT hardware structures'
+ * software models: RST lookups/updates, the Filter/Chooser splitter, the
+ * FHB CAM, LVIP probes, and the branch predictor. These quantify the
+ * *simulator's* per-event costs (useful when sizing experiments), and
+ * double as stress tests of the hot paths.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "branch/branch_predictor.hh"
+#include "core/mmt/fhb.hh"
+#include "core/mmt/lvip.hh"
+#include "core/mmt/rst.hh"
+#include "core/mmt/splitter.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+Instruction
+addInst()
+{
+    Instruction i;
+    i.op = Opcode::ADD;
+    i.rd = 1;
+    i.rs1 = 2;
+    i.rs2 = 3;
+    return i;
+}
+
+} // namespace
+
+static void
+BM_RstSharedGroup(benchmark::State &state)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(2, 3);
+    ThreadMask all = ThreadMask::firstN(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rst.sharedGroup(2, all));
+}
+BENCHMARK(BM_RstSharedGroup);
+
+static void
+BM_RstUpdateDest(benchmark::State &state)
+{
+    RegisterSharingTable rst;
+    ThreadMask itid = ThreadMask::firstN(4);
+    for (auto _ : state) {
+        rst.updateDest(5, itid,
+                       [](ThreadId a, ThreadId b) { return a == b; });
+    }
+}
+BENCHMARK(BM_RstUpdateDest);
+
+static void
+BM_SplitterMerged(benchmark::State &state)
+{
+    RegisterSharingTable rst;
+    InstructionSplitter sp(&rst);
+    Instruction inst = addInst();
+    ThreadMask itid = ThreadMask::firstN(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.split(inst, itid));
+}
+BENCHMARK(BM_SplitterMerged);
+
+static void
+BM_SplitterFullSplit(benchmark::State &state)
+{
+    RegisterSharingTable rst;
+    for (ThreadId t = 0; t < maxThreads; ++t)
+        rst.clearThread(2, t);
+    InstructionSplitter sp(&rst);
+    Instruction inst = addInst();
+    ThreadMask itid = ThreadMask::firstN(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sp.split(inst, itid));
+}
+BENCHMARK(BM_SplitterFullSplit);
+
+static void
+BM_FhbSearch(benchmark::State &state)
+{
+    FetchHistoryBuffer fhb(static_cast<int>(state.range(0)));
+    for (int i = 0; i < state.range(0); ++i)
+        fhb.record(0x1000 + static_cast<Addr>(i) * 4);
+    Addr probe = 0x1000; // worst case: oldest entry
+    for (auto _ : state)
+        benchmark::DoNotOptimize(fhb.contains(probe));
+}
+BENCHMARK(BM_FhbSearch)->Arg(8)->Arg(32)->Arg(128);
+
+static void
+BM_LvipProbe(benchmark::State &state)
+{
+    LoadValuesIdenticalPredictor lvip(4096);
+    lvip.recordMispredict(0x2000);
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lvip.predictIdentical(pc));
+        pc += 4;
+    }
+}
+BENCHMARK(BM_LvipProbe);
+
+static void
+BM_BranchPredict(benchmark::State &state)
+{
+    BranchPredictorParams params;
+    BranchPredictor bp(params, 2);
+    Instruction br;
+    br.op = Opcode::BNE;
+    br.rs1 = 1;
+    br.rs2 = 2;
+    br.imm = 0x2000;
+    Addr pc = 0x1000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bp.predict(0, pc, br));
+        bp.update(0, pc, br, taken, 0x2000);
+        bp.noteOutcome(0, taken);
+        taken = !taken;
+        pc = 0x1000 + (pc + 4) % 0x100;
+    }
+}
+BENCHMARK(BM_BranchPredict);
+
+BENCHMARK_MAIN();

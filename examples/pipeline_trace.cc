@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Pipetrace: per-instruction pipeline timelines in the sim-outorder
+ * tradition. Runs a tiny two-thread MMT program with a commit hook and
+ * prints, for each retired instance, its ITID and the cycles it spent
+ * in each stage — including merged instances occupying one slot for
+ * both threads.
+ *
+ *   F fetch   D waiting to dispatch   Q in issue queue
+ *   E executing                       C waiting to commit
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+const char *demo = R"(
+.data
+nthreads: .word 1
+vals:     .word 3, 4
+.text
+main:
+    la   r1, vals
+    slli r2, tid, 3
+    add  r1, r1, r2
+    ld   r3, 0(r1)        # per-thread value: splits
+    li   r4, 100          # shared constant: merges
+    mul  r5, r3, r4
+    fcvt f1, r5
+    fsqrt f2, f1
+    fcvti r6, f2
+    out  r6
+    barrier
+    halt
+)";
+
+struct Row
+{
+    std::uint64_t seq;
+    std::string itid;
+    std::string text;
+    Cycles fetched, dispatched, issued, completed, committed;
+};
+
+} // namespace
+
+int
+main()
+{
+    Program prog = assemble(demo);
+    MemoryImage img;
+    img.loadData(prog);
+    img.write64(prog.symbol("nthreads"), 2);
+
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.regMerge = true;
+
+    SmtCore core(p, &prog, {&img, &img});
+    std::vector<Row> rows;
+    core.setCommitHook([&](const DynInst &di, Cycles commit) {
+        rows.push_back({di.seq, di.itid.toString(2),
+                        di.inst.toString(), di.fetchedAt, di.dispatchedAt,
+                        di.issuedAt, di.completeAt, commit});
+    });
+    core.run();
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.seq < b.seq; });
+
+    Cycles t0 = rows.empty() ? 0 : rows.front().fetched;
+    std::printf("%-4s %-5s %-22s %6s %6s %6s %6s %6s  timeline "
+                "(cycle-%llu relative)\n",
+                "seq", "itid", "instruction", "F", "D", "Q", "E", "C",
+                static_cast<unsigned long long>(t0));
+    for (const Row &r : rows) {
+        std::printf("%-4llu %-5s %-22s %6llu %6llu %6llu %6llu %6llu  ",
+                    static_cast<unsigned long long>(r.seq),
+                    r.itid.c_str(), r.text.c_str(),
+                    static_cast<unsigned long long>(r.fetched - t0),
+                    static_cast<unsigned long long>(r.dispatched - t0),
+                    static_cast<unsigned long long>(r.issued - t0),
+                    static_cast<unsigned long long>(r.completed - t0),
+                    static_cast<unsigned long long>(r.committed - t0));
+        // Compact ASCII timeline (capped width).
+        Cycles span = r.committed - t0;
+        if (span <= 72) {
+            std::string line(static_cast<std::size_t>(span) + 1, ' ');
+            for (Cycles c = r.fetched; c <= r.committed; ++c) {
+                char ch = 'C';
+                if (c < r.dispatched)
+                    ch = 'F';
+                else if (c < r.issued)
+                    ch = 'Q';
+                else if (c < r.completed)
+                    ch = 'E';
+                line[static_cast<std::size_t>(c - t0)] = ch;
+            }
+            std::printf("%s", line.c_str());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nMerged instances (itid 11) occupy one slot for both "
+                "threads; the per-thread\nload and everything downstream "
+                "of it split (itid 10/01).\n");
+    return 0;
+}

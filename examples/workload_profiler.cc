@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Workload profiler: the paper's §3 methodology as a standalone tool.
+ * Pick any workload (argv[1], default "equake"), trace two contexts with
+ * the functional interpreter, align the traces, and print the sharing
+ * breakdown (Figure 1), the divergence-length histogram (Figure 2), and
+ * the hottest divergent PCs — the view an MMT adopter would use to judge
+ * whether their own SPMD code will benefit.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+
+#include "iasm/assembler.hh"
+#include "profile/align.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "equake";
+    const Workload &w = findWorkload(name);
+    Program prog = assemble(w.source);
+
+    std::printf("Profiling '%s' (%s, %s), 2 contexts\n", w.name.c_str(),
+                w.suite.c_str(),
+                w.multiExecution ? "multi-execution" : "multi-threaded");
+    std::printf("%s\n\n", std::string(64, '=').c_str());
+
+    // Build contexts and trace them.
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    std::vector<MemoryImage *> ptrs;
+    int spaces = w.multiExecution ? 2 : 1;
+    for (int i = 0; i < spaces; ++i) {
+        images.push_back(std::make_unique<MemoryImage>());
+        images.back()->loadData(prog);
+        w.initData(*images.back(), prog, i, 2, false);
+    }
+    for (int t = 0; t < 2; ++t)
+        ptrs.push_back(images[spaces == 1 ? 0 : t].get());
+
+    FunctionalCpu cpu(&prog, ptrs, w.multiExecution);
+    std::vector<TraceRecord> traces[2];
+    cpu.setTrace(
+        [&](ThreadId t, const TraceRecord &r) { traces[t].push_back(r); });
+    cpu.run();
+
+    std::printf("dynamic instructions: %zu + %zu\n\n", traces[0].size(),
+                traces[1].size());
+
+    // Figure 1 style breakdown.
+    DivergenceStats div;
+    SharingProfile p = alignTraces(traces[0], traces[1], &div);
+    std::printf("sharing breakdown (paper Fig. 1):\n");
+    std::printf("  execute-identical  %6.1f%%\n", 100.0 * p.fracExec());
+    std::printf("  fetch-identical    %6.1f%%\n", 100.0 * p.fracFetch());
+    std::printf("  not identical      %6.1f%%\n\n", 100.0 * p.fracNot());
+
+    // Figure 2 style histogram.
+    std::printf("divergences: %zu (paper Fig. 2 buckets, taken-branch "
+                "length difference)\n",
+                div.lengthDiffs.size());
+    for (std::uint64_t lim : {16ull, 32ull, 64ull, 128ull, 256ull}) {
+        std::printf("  <= %3llu branches   %6.1f%%\n",
+                    static_cast<unsigned long long>(lim),
+                    100.0 * div.fractionWithin(lim));
+    }
+
+    // Hottest divergence sites: PCs where the traces stop matching.
+    std::map<Addr, int> sites;
+    {
+        std::size_t i = 0, j = 0;
+        while (i < traces[0].size() && j < traces[1].size()) {
+            if (traces[0][i].pc == traces[1][j].pc) {
+                ++i;
+                ++j;
+                continue;
+            }
+            // Attribute the divergence to the preceding shared PC.
+            if (i > 0)
+                ++sites[traces[0][i - 1].pc];
+            // Resynchronize crudely: skip to the next common PC pair.
+            std::size_t i2 = i, j2 = j;
+            bool found = false;
+            for (int d = 1; d < 512 && !found; ++d) {
+                for (int k = 0; k <= d; ++k) {
+                    std::size_t ii = i + static_cast<std::size_t>(k);
+                    std::size_t jj = j + static_cast<std::size_t>(d - k);
+                    if (ii < traces[0].size() && jj < traces[1].size() &&
+                        traces[0][ii].pc == traces[1][jj].pc) {
+                        i2 = ii;
+                        j2 = jj;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if (!found)
+                break;
+            i = i2;
+            j = j2;
+        }
+    }
+    std::vector<std::pair<int, Addr>> ranked;
+    for (const auto &[pc, count] : sites)
+        ranked.emplace_back(count, pc);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("\nhottest divergence sites:\n");
+    for (std::size_t k = 0; k < ranked.size() && k < 5; ++k) {
+        Addr pc = ranked[k].second;
+        std::printf("  %4d x at %#llx  %s\n", ranked[k].first,
+                    static_cast<unsigned long long>(pc),
+                    prog.validPc(pc) ? prog.fetch(pc).toString().c_str()
+                                     : "?");
+    }
+    if (ranked.empty())
+        std::printf("  (none — the contexts never diverge)\n");
+    return 0;
+}

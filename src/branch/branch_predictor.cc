@@ -1,0 +1,123 @@
+#include "branch/branch_predictor.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+BranchPredictor::BranchPredictor(const BranchPredictorParams &params,
+                                 int num_threads)
+    : params_(params),
+      history_(static_cast<std::size_t>(num_threads), 0),
+      pht_(static_cast<std::size_t>(params.phtEntries), 1),
+      btb_(static_cast<std::size_t>(params.btbEntries)),
+      ras_(static_cast<std::size_t>(num_threads))
+{
+}
+
+int
+BranchPredictor::phtIndex(ThreadId tid, Addr pc) const
+{
+    std::uint32_t hist =
+        history_[tid] & ((1u << params_.historyBits) - 1u);
+    std::uint64_t idx = (pc / instBytes) ^ hist;
+    return static_cast<int>(idx %
+                            static_cast<std::uint64_t>(params_.phtEntries));
+}
+
+int
+BranchPredictor::btbIndex(Addr pc) const
+{
+    return static_cast<int>((pc / instBytes) %
+                            static_cast<Addr>(params_.btbEntries));
+}
+
+BranchPrediction
+BranchPredictor::predict(ThreadId tid, Addr pc, const Instruction &inst)
+{
+    ++lookups;
+    BranchPrediction pred;
+
+    if (inst.isUncondJump()) {
+        pred.taken = true;
+        if (!inst.isIndirectJump()) {
+            pred.target = static_cast<Addr>(inst.imm);
+            pred.targetValid = true;
+        } else if (inst.op == Opcode::JR && inst.rs1 == regRa &&
+                   !ras_[tid].empty()) {
+            pred.target = ras_[tid].back();
+            ras_[tid].pop_back();
+            pred.targetValid = true;
+        } else {
+            const BtbEntry &e = btb_[btbIndex(pc)];
+            if (e.valid && e.pc == pc) {
+                pred.target = e.target;
+                pred.targetValid = true;
+            }
+        }
+        return pred;
+    }
+
+    mmt_assert(inst.isCondBranch(), "predict on non-control inst");
+    pred.taken = pht_[phtIndex(tid, pc)] >= 2;
+    if (pred.taken) {
+        pred.target = static_cast<Addr>(inst.imm);
+        pred.targetValid = true;
+    } else {
+        pred.target = pc + instBytes;
+        pred.targetValid = true;
+    }
+    // History is updated by the caller via noteOutcome() once the actual
+    // direction is known, so predict() and update() see the same index.
+    return pred;
+}
+
+void
+BranchPredictor::pushReturn(ThreadId tid, Addr return_pc)
+{
+    auto &stack = ras_[tid];
+    if (static_cast<int>(stack.size()) >=
+        params_.rasEntries) {
+        stack.erase(stack.begin());
+    }
+    stack.push_back(return_pc);
+}
+
+void
+BranchPredictor::popReturn(ThreadId tid)
+{
+    if (!ras_[tid].empty())
+        ras_[tid].pop_back();
+}
+
+void
+BranchPredictor::noteOutcome(ThreadId tid, bool taken)
+{
+    history_[tid] = (history_[tid] << 1) | (taken ? 1u : 0u);
+}
+
+void
+BranchPredictor::update(ThreadId tid, Addr pc, const Instruction &inst,
+                        bool taken, Addr target)
+{
+    if (inst.isIndirectJump()) {
+        // Train the BTB with the resolved indirect target.
+        BtbEntry &e = btb_[btbIndex(pc)];
+        e.valid = true;
+        e.pc = pc;
+        e.target = target;
+        return;
+    }
+    if (!inst.isCondBranch())
+        return;
+    std::uint8_t &ctr = pht_[phtIndex(tid, pc)];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+}
+
+} // namespace mmt

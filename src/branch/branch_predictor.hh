@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Branch prediction per Table 4: a two-level adaptive predictor (1024-entry
+ * second-level PHT of 2-bit counters, 10-bit global history), a 2048-entry
+ * BTB and a 16-entry return address stack. Each hardware thread gets its
+ * own history register and RAS; PHT and BTB are shared (standard SMT
+ * practice).
+ */
+
+#ifndef MMT_BRANCH_BRANCH_PREDICTOR_HH
+#define MMT_BRANCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Predictor configuration. */
+struct BranchPredictorParams
+{
+    int phtEntries = 1024; // second-level table (2-bit counters)
+    int historyBits = 10;
+    int btbEntries = 2048;
+    int rasEntries = 16;
+};
+
+/** Prediction for one control-transfer instruction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;    // valid when taken and BTB/RAS hit
+    bool targetValid = false;
+};
+
+/** Two-level predictor + BTB + RAS. */
+class BranchPredictor
+{
+  public:
+    BranchPredictor(const BranchPredictorParams &params, int num_threads);
+
+    /**
+     * Predict a control instruction at fetch.
+     * Unconditional jumps predict taken; JR consults the RAS when the
+     * instruction is a return idiom, else the BTB.
+     */
+    BranchPrediction predict(ThreadId tid, Addr pc, const Instruction &inst);
+
+    /** Push a return address when a call is fetched. */
+    void pushReturn(ThreadId tid, Addr return_pc);
+
+    /** Pop a return address (merged-group members mirroring the leader). */
+    void popReturn(ThreadId tid);
+
+    /** Shift @p taken into @p tid's history without a PHT lookup (keeps
+     *  merged-group members' histories aligned with the leader's). */
+    void noteOutcome(ThreadId tid, bool taken);
+
+    /**
+     * Train with the resolved outcome and correct any speculative history.
+     */
+    void update(ThreadId tid, Addr pc, const Instruction &inst,
+                bool taken, Addr target);
+
+    Counter lookups;
+    Counter condMispredicts;
+    Counter targetMispredicts;
+
+  private:
+    int phtIndex(ThreadId tid, Addr pc) const;
+    int btbIndex(Addr pc) const;
+
+    BranchPredictorParams params_;
+    std::vector<std::uint32_t> history_;     // per thread
+    std::vector<std::uint8_t> pht_;          // 2-bit counters
+    struct BtbEntry
+    {
+        bool valid = false;
+        Addr pc = 0;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+    std::vector<std::vector<Addr>> ras_;     // per thread stacks
+};
+
+} // namespace mmt
+
+#endif // MMT_BRANCH_BRANCH_PREDICTOR_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Error reporting helpers in the gem5 tradition.
+ *
+ * panic()  — a simulator bug: a condition that must never occur regardless
+ *            of user input. Aborts so a debugger or core dump can inspect.
+ * fatal()  — a user error (bad configuration, malformed assembly). Exits
+ *            with status 1.
+ * warn()   — suspicious but survivable condition.
+ * inform() — plain status output.
+ */
+
+#ifndef MMT_COMMON_LOGGING_HH
+#define MMT_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace mmt
+{
+
+/** Print a formatted message and abort. Use for internal invariants. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a formatted message and exit(1). Use for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setInformEnabled(bool enabled);
+
+/** Backend for mmt_assert(); prints location then the message. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * panic() unless the condition holds; a printf-style message is required.
+ * Used for cheap always-on invariants in the pipeline model.
+ */
+#define mmt_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::mmt::panicAssert(#cond, __FILE__, __LINE__, __VA_ARGS__);     \
+    } while (0)
+
+} // namespace mmt
+
+#endif // MMT_COMMON_LOGGING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic xorshift64* PRNG. All randomness in the simulator and
+ * workload generators flows through explicitly seeded instances so every
+ * experiment is exactly reproducible.
+ */
+
+#ifndef MMT_COMMON_RANDOM_HH
+#define MMT_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace mmt
+{
+
+/** xorshift64* generator (Vigna 2016); small, fast, seedable. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mmt
+
+#endif // MMT_COMMON_RANDOM_HH

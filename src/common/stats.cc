@@ -1,0 +1,82 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+Distribution::Distribution(std::vector<std::uint64_t> bucket_limits)
+    : limits_(std::move(bucket_limits)), counts_(limits_.size() + 1, 0)
+{
+    for (std::size_t i = 1; i < limits_.size(); ++i)
+        mmt_assert(limits_[i] > limits_[i - 1],
+                   "bucket limits must be increasing");
+}
+
+void
+Distribution::sample(std::uint64_t value)
+{
+    ++total_;
+    for (std::size_t i = 0; i < limits_.size(); ++i) {
+        if (value <= limits_[i]) {
+            ++counts_[i];
+            return;
+        }
+    }
+    ++counts_.back();
+}
+
+double
+Distribution::cumulativeFraction(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::uint64_t below = 0;
+    for (std::size_t j = 0; j <= i && j < counts_.size(); ++j)
+        below += counts_[j];
+    return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void
+Distribution::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, const Counter *counter)
+{
+    auto [it, inserted] = counters_.emplace(name, counter);
+    (void)it;
+    mmt_assert(inserted, "duplicate stat name '%s'", name.c_str());
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        panic("unknown stat '%s'", name.c_str());
+    return it->second->value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.count(name) != 0;
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &[name, counter] : counters_)
+        os << name << " " << counter->value() << "\n";
+    return os.str();
+}
+
+} // namespace mmt

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A small statistics package in the spirit of the gem5/SimpleScalar stats
+ * facilities: named scalar counters, distributions, and a registry that can
+ * render everything as text.
+ *
+ * Pipeline components own Counter/Distribution members and register them
+ * with their core's StatGroup; benches read them by name or directly.
+ */
+
+#ifndef MMT_COMMON_STATS_HH
+#define MMT_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mmt
+{
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A bucketed distribution with geometric or linear buckets, used for the
+ * paper's divergence-length and remerge-distance histograms.
+ */
+class Distribution
+{
+  public:
+    /**
+     * @param bucket_limits upper bounds (inclusive) of each bucket; samples
+     *        above the last limit land in the overflow bucket.
+     */
+    explicit Distribution(std::vector<std::uint64_t> bucket_limits = {});
+
+    void sample(std::uint64_t value);
+
+    std::uint64_t total() const { return total_; }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t overflow() const { return counts_.back(); }
+    const std::vector<std::uint64_t> &limits() const { return limits_; }
+
+    /** Fraction of samples <= limits()[i] (cumulative). */
+    double cumulativeFraction(std::size_t i) const;
+
+    void reset();
+
+  private:
+    std::vector<std::uint64_t> limits_;
+    std::vector<std::uint64_t> counts_; // limits_.size() + 1 (overflow)
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Registry mapping dotted stat names to counters for text dumps.
+ * Non-owning: components keep the counters; the group keeps pointers.
+ */
+class StatGroup
+{
+  public:
+    void addCounter(const std::string &name, const Counter *counter);
+
+    /** Value of a registered counter, or panic if unknown. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True if @p name is registered. */
+    bool has(const std::string &name) const;
+
+    /** Render "name value" lines, sorted by name. */
+    std::string dump() const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+};
+
+} // namespace mmt
+
+#endif // MMT_COMMON_STATS_HH

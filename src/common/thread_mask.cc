@@ -1,0 +1,45 @@
+#include "common/thread_mask.hh"
+
+namespace mmt
+{
+
+std::string
+ThreadMask::toString(int num_threads) const
+{
+    std::string s;
+    s.reserve(num_threads);
+    for (ThreadId t = 0; t < num_threads; ++t)
+        s.push_back(contains(t) ? '1' : '0');
+    return s;
+}
+
+int
+ThreadMask::pairIndex(ThreadId a, ThreadId b)
+{
+    if (a > b)
+        std::swap(a, b);
+    mmt_assert(a != b && a >= 0 && b < maxThreads,
+               "bad thread pair (%d, %d)", a, b);
+    // Dense row-major enumeration of pairs (a, b), a < b:
+    // (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5
+    static const int table[maxThreads][maxThreads] = {
+        {-1, 0, 1, 2},
+        {0, -1, 3, 4},
+        {1, 3, -1, 5},
+        {2, 4, 5, -1},
+    };
+    return table[a][b];
+}
+
+std::pair<ThreadId, ThreadId>
+ThreadMask::pairThreads(int index)
+{
+    static const std::pair<ThreadId, ThreadId> table[maxThreadPairs] = {
+        {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+    };
+    mmt_assert(index >= 0 && index < maxThreadPairs,
+               "bad pair index %d", index);
+    return table[index];
+}
+
+} // namespace mmt

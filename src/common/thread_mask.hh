@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ThreadMask — the Instruction Thread ID (ITID) bit vector of the paper.
+ *
+ * An ITID names the set of hardware threads an in-flight instruction was
+ * fetched for (paper §4.1: "The instruction window is enlarged by 4 bits,
+ * and a bit is set for each thread with the corresponding PC").
+ *
+ * The class also provides the pair-index encoding used by the Register
+ * Sharing Table (§4.2.1): for a 4-thread MMT there are 6 unordered thread
+ * pairs, indexed 0..5.
+ */
+
+#ifndef MMT_COMMON_THREAD_MASK_HH
+#define MMT_COMMON_THREAD_MASK_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Compact set of hardware thread ids (max 4), a.k.a. an ITID. */
+class ThreadMask
+{
+  public:
+    /** Empty mask. */
+    constexpr ThreadMask() : bits_(0) {}
+
+    /** Mask from a raw bit pattern (bit t set => thread t is a member). */
+    explicit constexpr ThreadMask(std::uint8_t bits) : bits_(bits) {}
+
+    /** Mask containing the single thread @p tid. */
+    static constexpr ThreadMask
+    single(ThreadId tid)
+    {
+        return ThreadMask(static_cast<std::uint8_t>(1u << tid));
+    }
+
+    /** Mask containing threads [0, n). */
+    static constexpr ThreadMask
+    firstN(int n)
+    {
+        return ThreadMask(static_cast<std::uint8_t>((1u << n) - 1u));
+    }
+
+    constexpr std::uint8_t raw() const { return bits_; }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr int count() const { return std::popcount(bits_); }
+
+    constexpr bool
+    contains(ThreadId tid) const
+    {
+        return (bits_ >> tid) & 1u;
+    }
+
+    /** Lowest-numbered member thread; mask must be non-empty. */
+    ThreadId
+    leader() const
+    {
+        mmt_assert(bits_ != 0, "leader() on empty ThreadMask");
+        return std::countr_zero(bits_);
+    }
+
+    constexpr void set(ThreadId tid) { bits_ |= (1u << tid); }
+    constexpr void clear(ThreadId tid) { bits_ &= ~(1u << tid); }
+
+    constexpr ThreadMask
+    operator&(ThreadMask o) const
+    {
+        return ThreadMask(static_cast<std::uint8_t>(bits_ & o.bits_));
+    }
+
+    constexpr ThreadMask
+    operator|(ThreadMask o) const
+    {
+        return ThreadMask(static_cast<std::uint8_t>(bits_ | o.bits_));
+    }
+
+    /** Members of this mask that are not members of @p o. */
+    constexpr ThreadMask
+    minus(ThreadMask o) const
+    {
+        return ThreadMask(static_cast<std::uint8_t>(bits_ & ~o.bits_));
+    }
+
+    constexpr bool operator==(const ThreadMask &o) const = default;
+
+    /** True if @p o contains every member of this mask. */
+    constexpr bool
+    subsetOf(ThreadMask o) const
+    {
+        return (bits_ & o.bits_) == bits_;
+    }
+
+    /**
+     * Visit each member thread id in ascending order.
+     * @param fn callable taking a ThreadId.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        std::uint8_t b = bits_;
+        while (b) {
+            ThreadId tid = std::countr_zero(b);
+            fn(tid);
+            b &= static_cast<std::uint8_t>(b - 1);
+        }
+    }
+
+    /** Render as a fixed-width bit string, thread 0 leftmost (e.g. 1010). */
+    std::string toString(int num_threads = maxThreads) const;
+
+    /**
+     * Unordered-pair index for RST bit addressing: threads (a, b) with
+     * a < b map to a dense index in [0, 6) for 4 threads.
+     */
+    static int pairIndex(ThreadId a, ThreadId b);
+
+    /** Inverse of pairIndex: return the two member threads of @p index. */
+    static std::pair<ThreadId, ThreadId> pairThreads(int index);
+
+  private:
+    std::uint8_t bits_;
+};
+
+} // namespace mmt
+
+#endif // MMT_COMMON_THREAD_MASK_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the MMT simulator.
+ */
+
+#ifndef MMT_COMMON_TYPES_HH
+#define MMT_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace mmt
+{
+
+/** Byte address in a simulated address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycles = std::uint64_t;
+
+/** Hardware thread (context) index, 0-based. */
+using ThreadId = int;
+
+/** Architected or physical register index. */
+using RegIndex = int;
+
+/** 64-bit register value. Floating point values are stored bit-cast. */
+using RegVal = std::uint64_t;
+
+/** Identifier of a physical register (renaming tag). */
+using PhysReg = int;
+
+/** Sentinel for "no physical register". */
+constexpr PhysReg invalidPhysReg = -1;
+
+/** Maximum number of hardware threads supported by the MMT structures. */
+constexpr int maxThreads = 4;
+
+/** Number of distinct unordered thread pairs with maxThreads threads. */
+constexpr int maxThreadPairs = maxThreads * (maxThreads - 1) / 2;
+
+} // namespace mmt
+
+#endif // MMT_COMMON_TYPES_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DynInst — one in-flight instruction *instance* in the pipeline.
+ *
+ * A fetched instruction carries a fetch ITID naming all threads it was
+ * fetched for. The splitting stage turns it into one or more instances,
+ * each with its own (sub-)ITID; an instance with more than one member is
+ * execute-identical and flows through rename/issue/execute/commit once
+ * for all its threads (the paper's central optimization).
+ */
+
+#ifndef MMT_CORE_DYN_INST_HH
+#define MMT_CORE_DYN_INST_HH
+
+#include <array>
+
+#include "common/thread_mask.hh"
+#include "common/types.hh"
+#include "core/mmt/fetch_sync.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Pipeline residency state of an instance. */
+enum class InstState
+{
+    InFetchQueue,
+    Dispatched, // in ROB; waiting in IQ (or LSQ)
+    Issued,     // executing on a functional unit
+    Completed,  // result ready; waiting to commit
+    Committed,
+};
+
+/** One pipeline instance. */
+struct DynInst
+{
+    std::uint64_t seq = 0; // global fetch-order sequence number
+    Addr pc = 0;
+    Instruction inst;
+
+    ThreadMask fetchItid; // threads the original fetch covered
+    ThreadMask itid;      // threads THIS instance covers (subset)
+    bool viaRegMerge = false; // merged thanks to register merging
+    FetchMode fetchMode = FetchMode::Merge; // group mode at fetch
+
+    // Renaming.
+    PhysReg src1 = invalidPhysReg;
+    PhysReg src2 = invalidPhysReg;
+    PhysReg dest = invalidPhysReg;
+    RegIndex destArch = -1; // architected dest (-1: none / r0)
+
+    // Functional results, recorded at fetch (identical across members for
+    // non-memory values by the RST invariant).
+    RegVal destVal = 0;
+    bool branchTaken = false;
+    Addr branchTarget = 0;
+
+    // Memory bookkeeping (per member thread; indexed by ThreadId).
+    std::array<Addr, maxThreads> effAddr{};
+    /** Number of distinct cache accesses this instance performs. */
+    int memAccesses = 0;
+
+    // LVIP (ME merged loads).
+    bool lvipChecked = false;
+    bool lvipMispredict = false;
+
+    /** Branch-resolution token stalling fetch until completion (-1: none). */
+    int resolveToken = -1;
+
+    // Timing.
+    InstState state = InstState::InFetchQueue;
+    Cycles fetchedAt = 0;
+    Cycles dispatchedAt = 0;
+    Cycles issuedAt = 0;
+    Cycles completeAt = 0;
+    bool branchMispredicted = false;
+
+    bool
+    writesDest() const
+    {
+        return destArch >= 0;
+    }
+
+    /** Execute-identical: one execution applied to several threads. */
+    bool
+    isMergedExec() const
+    {
+        return itid.count() > 1;
+    }
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_DYN_INST_HH

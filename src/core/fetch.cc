@@ -1,0 +1,489 @@
+/**
+ * @file
+ * The fetch stage of SmtCore: fetch-group selection (ICOUNT with the
+ * paper's CATCHUP priority override), trace-cache/I-cache timing, shared
+ * fetch of merged groups, per-thread functional execution, divergence
+ * handling, the split stage (Filter/Chooser + LVIP), and renaming.
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "core/smt_core.hh"
+
+namespace mmt
+{
+
+bool
+SmtCore::groupCanFetch(int gid) const
+{
+    const FetchGroup &g = sync_.group(gid);
+    if (!g.alive)
+        return false;
+    bool ok = true;
+    g.members.forEach([&](ThreadId t) {
+        const ThreadState &ts = threads_[t];
+        if (ts.halted || ts.atBarrier || ts.resolveToken != -1 ||
+            ts.fetchStallUntil > now_ || ts.hintWaitUntil > now_) {
+            ok = false;
+        }
+    });
+    return ok;
+}
+
+void
+SmtCore::fetchStage()
+{
+    sync_.tryMerge();
+
+    // Release MERGEHINT waits: a successful merge (the group regained
+    // members) or the timeout ends the pause.
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        ThreadState &ts = threads_[t];
+        if (ts.hintWaitUntil == 0)
+            continue;
+        int gid = sync_.threadGroup(t);
+        if (gid != -1 && sync_.group(gid).members.count() > 1) {
+            ts.hintWaitUntil = 0;
+            ++stats.hintMerges;
+        } else if (now_ >= ts.hintWaitUntil) {
+            ts.hintWaitUntil = 0;
+        }
+    }
+
+    std::vector<int> icount(static_cast<std::size_t>(sync_.numGroups()), 0);
+    for (int gid = 0; gid < sync_.numGroups(); ++gid) {
+        if (!sync_.group(gid).alive)
+            continue;
+        sync_.group(gid).members.forEach(
+            [&](ThreadId t) { icount[gid] += rob_.threadCount(t); });
+    }
+
+    int budget = params_.fetchWidth;
+    int streams = 0;
+    for (int gid : sync_.fetchOrder(icount)) {
+        if (budget <= 0 || streams >= params_.maxFetchStreams)
+            break;
+        if (!groupCanFetch(gid))
+            continue;
+        int fetched = fetchFromGroup(gid, budget);
+        if (fetched > 0) {
+            // A group that yields nothing this cycle (I-cache fill in
+            // flight, blocked receive) does not occupy the stream slot.
+            ++streams;
+            ++stats.fetchStreamCycles;
+            budget -= fetched;
+        }
+    }
+}
+
+int
+SmtCore::fetchFromGroup(int gid, int budget)
+{
+    // One trace-cache probe per stream-cycle; a hit lets the fetch group
+    // cross taken branches (perfect trace prediction, paper §5).
+    bool tc_hit = false;
+    if (params_.traceCache.enabled)
+        tc_hit = traceCache_.access(0, sync_.group(gid).pc);
+
+    int fetched = 0;
+    int branches_crossed = 0;
+    while (fetched < budget) {
+        if (static_cast<int>(fetchQueue_.size()) >=
+            params_.fetchQueueSize) {
+            break;
+        }
+        int r = fetchRecord(gid, tc_hit, branches_crossed);
+        if (r >= 0)
+            ++fetched;
+        if (r <= 0)
+            break;
+    }
+    return fetched;
+}
+
+int
+SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
+{
+    Addr pc = sync_.group(gid).pc;
+    ThreadMask itid = sync_.group(gid).members;
+    ThreadId leader = itid.leader();
+
+    if (!program_->validPc(pc)) {
+        panic("thread group fetched invalid PC %#lx (runaway control "
+              "flow?)", static_cast<unsigned long>(pc));
+    }
+
+    // I-cache timing: one access per line transition; code pages are
+    // physically shared across ME instances (same binary), so address
+    // space 0 is used for instruction fetch.
+    Addr line = pc / static_cast<Addr>(params_.mem.l1i.lineBytes);
+    if (line != threads_[leader].lastFetchLine) {
+        Cycles avail = memSys_.instAccess(0, pc, now_);
+        itid.forEach(
+            [&](ThreadId t) { threads_[t].lastFetchLine = line; });
+        if (avail > now_ + params_.mem.l1Latency) {
+            itid.forEach([&](ThreadId t) {
+                threads_[t].fetchStallUntil = avail;
+            });
+            return -1;
+        }
+    }
+
+    const Instruction &inst = program_->fetch(pc);
+    const InstInfo &info = inst.info();
+    FetchMode mode = sync_.classify(gid);
+
+    // A RECV can only be fetched once every member thread's message has
+    // arrived (the receive queue stalls the thread, not the pipeline).
+    if (inst.op == Opcode::RECV) {
+        mmt_assert(msgNet_ != nullptr, "RECV without a message network");
+        bool all_ready = true;
+        itid.forEach([&](ThreadId t) {
+            ThreadId from = static_cast<ThreadId>(
+                threads_[t].regs[inst.rs1] & 3);
+            if (!msgNet_->canRecv(from, t))
+                all_ready = false;
+        });
+        if (!all_ready) {
+            itid.forEach([&](ThreadId t) {
+                threads_[t].fetchStallUntil = now_ + 1;
+            });
+            return -1;
+        }
+    }
+
+    ++stats.fetchRecords;
+    stats.fetchedThreadInsts += static_cast<std::uint64_t>(itid.count());
+    stats.fetchedInMode[static_cast<std::size_t>(mode)] +=
+        static_cast<std::uint64_t>(itid.count());
+
+    // ---- Functional execution, per member thread, in order. ----
+    std::array<RegVal, maxThreads> dest_vals{};
+    std::array<RegVal, maxThreads> src_a{};
+    std::array<RegVal, maxThreads> src_b{};
+    std::array<Addr, maxThreads> eff_addrs{};
+    std::array<BranchOut, maxThreads> bouts{};
+
+    itid.forEach([&](ThreadId t) {
+        ThreadState &ts = threads_[t];
+        ++ts.fetchedInsts;
+        RegVal a = info.readsSrc1 ? ts.regs[inst.rs1] : 0;
+        RegVal b = info.readsSrc2 ? ts.regs[inst.rs2] : 0;
+        src_a[t] = a;
+        src_b[t] = b;
+        if (inst.isLoad()) {
+            Addr addr = exec::effectiveAddr(inst, a);
+            eff_addrs[t] = addr;
+            dest_vals[t] = ts.image->read64(addr);
+        } else if (inst.isStore()) {
+            Addr addr = exec::effectiveAddr(inst, a);
+            eff_addrs[t] = addr;
+            ts.image->write64(addr, b);
+        } else if (inst.isControl()) {
+            bouts[t] = exec::evalBranch(inst, a, b, pc);
+            if (info.writesDest)
+                dest_vals[t] = exec::evalAlu(inst, a, b, pc);
+        } else if (inst.isSyscall()) {
+            if (inst.op == Opcode::OUT) {
+                ts.output.push_back(a);
+            } else if (inst.op == Opcode::SEND) {
+                msgNet_->send(t, static_cast<ThreadId>(a & 3), b);
+            } else if (inst.op == Opcode::RECV) {
+                dest_vals[t] =
+                    msgNet_->recv(static_cast<ThreadId>(a & 3), t);
+            }
+        } else if (info.writesDest) {
+            dest_vals[t] = exec::evalAlu(inst, a, b, pc);
+        }
+        if (info.writesDest && inst.rd != regZero)
+            ts.regs[inst.rd] = dest_vals[t];
+    });
+
+    // ---- Control flow, divergence, and fetch-mode transitions. ----
+    bool stop_stream = false;
+    int resolve_token = -1;
+
+    auto alloc_token = [&](ThreadMask stalled) {
+        resolve_token = static_cast<int>(resolveRemaining_.size());
+        resolveRemaining_.push_back(0); // set after instances are made
+        stalled.forEach([&](ThreadId t) {
+            threads_[t].resolveToken = resolve_token;
+        });
+        stop_stream = true;
+    };
+
+    if (inst.isControl()) {
+        if (inst.op == Opcode::JAL || inst.op == Opcode::JALR) {
+            itid.forEach([&](ThreadId t) {
+                bpred_.pushReturn(t, pc + instBytes);
+            });
+        }
+        BranchPrediction pred = bpred_.predict(leader, pc, inst);
+        if (inst.op == Opcode::JR && inst.rs1 == regRa) {
+            itid.forEach([&](ThreadId t) {
+                if (t != leader)
+                    bpred_.popReturn(t);
+            });
+        }
+        // Partition members by actual (taken, target) outcome.
+        std::map<Addr, ThreadMask> outcomes; // next-pc -> members
+        itid.forEach([&](ThreadId t) {
+            Addr next = bouts[t].taken ? bouts[t].target : pc + instBytes;
+            outcomes[next].set(t);
+        });
+
+        bpred_.update(leader, pc, inst, bouts[leader].taken,
+                      bouts[leader].target);
+        if (inst.isCondBranch()) {
+            itid.forEach([&](ThreadId t) {
+                bpred_.noteOutcome(t, bouts[t].taken);
+            });
+        }
+
+        if (outcomes.size() == 1) {
+            bool taken = bouts[leader].taken;
+            Addr target = bouts[leader].target;
+            if (taken) {
+                itid.forEach([&](ThreadId t) { sync_.countBranch(t); });
+                sync_.onTakenBranch(gid, target);
+                sync_.group(gid).pc = target;
+            } else {
+                sync_.group(gid).pc = pc + instBytes;
+            }
+            bool mispred =
+                pred.taken != taken ||
+                (taken && (!pred.targetValid || pred.target != target));
+            if (mispred) {
+                ++stats.branchMispredicts;
+                alloc_token(itid);
+            } else if (taken) {
+                ++branches_crossed;
+                if (!tc_hit || branches_crossed >
+                                   params_.traceCache.maxBranchesPerTrace) {
+                    stop_stream = true;
+                }
+            }
+        } else {
+            // Divergence: the group's member threads took different
+            // paths. Split the group. The subgroup whose path matches
+            // the prediction keeps fetching; the other subgroups have
+            // mispredicted and wait for the branch to resolve.
+            std::vector<std::pair<ThreadMask, Addr>> splits;
+            for (const auto &[next, mask] : outcomes)
+                splits.emplace_back(mask, next);
+            Addr predicted_next =
+                pred.taken && pred.targetValid ? pred.target
+                                               : pc + instBytes;
+            ThreadMask mispredicted;
+            for (const auto &[mask, next] : splits) {
+                if (next != predicted_next)
+                    mispredicted = mispredicted | mask;
+            }
+            std::vector<int> new_gids = sync_.onDivergence(gid, splits);
+            for (std::size_t i = 0; i < splits.size(); ++i) {
+                ThreadMask mask = splits[i].first;
+                ThreadId st = mask.leader();
+                if (bouts[st].taken) {
+                    mask.forEach(
+                        [&](ThreadId t) { sync_.countBranch(t); });
+                    sync_.onTakenBranch(new_gids[i], bouts[st].target);
+                }
+            }
+            ++stats.branchMispredicts;
+            alloc_token(mispredicted);
+        }
+    } else if (inst.op == Opcode::HALT) {
+        itid.forEach([&](ThreadId t) { haltThread(t); });
+        stop_stream = true;
+    } else if (inst.op == Opcode::BARRIER) {
+        sync_.group(gid).pc = pc + instBytes;
+        itid.forEach([&](ThreadId t) { threads_[t].atBarrier = true; });
+        stop_stream = true;
+    } else if (inst.op == Opcode::MERGEHINT) {
+        sync_.group(gid).pc = pc + instBytes;
+        // A diverged group pauses briefly so the others can reach the
+        // same point and the PC-coincidence merge can fire; a fully
+        // merged group treats the hint as a no-op.
+        if (params_.mergeHintWait > 0 &&
+            itid.count() < sync_.liveThreads()) {
+            itid.forEach([&](ThreadId t) {
+                threads_[t].hintWaitUntil = now_ + params_.mergeHintWait;
+                threads_[t].hintPc = pc + instBytes;
+            });
+            ++stats.hintWaits;
+            stop_stream = true;
+        }
+    } else {
+        sync_.group(gid).pc = pc + instBytes;
+    }
+
+    // ---- Split stage + renaming. ----
+    int made = makeInstances(inst, pc, itid, mode, dest_vals, src_a, src_b,
+                             eff_addrs, bouts, resolve_token);
+    if (resolve_token >= 0)
+        resolveRemaining_[resolve_token] = made;
+
+    return stop_stream ? 0 : 1;
+}
+
+int
+SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
+                       FetchMode mode,
+                       const std::array<RegVal, maxThreads> &dest_vals,
+                       const std::array<RegVal, maxThreads> &src_a,
+                       const std::array<RegVal, maxThreads> &src_b,
+                       const std::array<Addr, maxThreads> &eff_addrs,
+                       const std::array<BranchOut, maxThreads> &bouts,
+                       int resolve_token)
+{
+    const InstInfo &info = inst.info();
+
+    // Split stage (paper Table 2): MMT-FX+ uses the RST-driven splitter;
+    // MMT-F "always splits into different instructions in the decode
+    // stage"; singleton fetches pass through.
+    std::vector<SplitInstance> parts;
+    if (params_.sharedExec && inst.op != Opcode::RECV) {
+        parts = splitter_.split(inst, itid);
+    } else if (params_.sharedExec) {
+        // RECV values come from independent channels and may differ even
+        // with identical inputs: always split (cf. Table 2's ME loads,
+        // without a predictor).
+        itid.forEach([&](ThreadId t) {
+            parts.push_back({ThreadMask::single(t), false});
+        });
+    } else {
+        itid.forEach([&](ThreadId t) {
+            parts.push_back({ThreadMask::single(t), false});
+        });
+    }
+
+    // LVIP (paper §4.2.5): merged ME loads with identical addresses may
+    // still load different values — predict, verify, roll back. The
+    // lvip_penalty flags mark instances that carry a rollback penalty.
+    std::vector<bool> lvip_penalty(parts.size(), false);
+    if (params_.multiExecution && inst.isLoad()) {
+        std::vector<SplitInstance> adjusted;
+        std::vector<bool> flags;
+        for (const SplitInstance &part : parts) {
+            if (part.itid.count() <= 1) {
+                adjusted.push_back(part);
+                flags.push_back(false);
+                continue;
+            }
+            bool predicted_identical = lvip_.predictIdentical(pc);
+            RegVal first = dest_vals[part.itid.leader()];
+            bool actually_identical = true;
+            part.itid.forEach([&](ThreadId t) {
+                if (dest_vals[t] != first)
+                    actually_identical = false;
+            });
+            if (predicted_identical && actually_identical) {
+                adjusted.push_back(part);
+                flags.push_back(false);
+                continue;
+            }
+            // Split the load per instance. A wrong "identical" prediction
+            // is discovered when the loads return: the first instance
+            // carries the flush-and-refill penalty.
+            if (predicted_identical)
+                lvip_.recordMispredict(pc);
+            bool first_inst = true;
+            part.itid.forEach([&](ThreadId t) {
+                adjusted.push_back({ThreadMask::single(t), false});
+                flags.push_back(first_inst && predicted_identical);
+                first_inst = false;
+            });
+        }
+        parts = std::move(adjusted);
+        lvip_penalty = std::move(flags);
+    }
+
+    // RST destination update (paper §4.2.3) — the RST only exists with
+    // shared execution.
+    bool writes = info.writesDest && inst.rd != regZero;
+    if (params_.sharedExec && writes) {
+        auto same_part = [&](ThreadId a, ThreadId b) {
+            for (const SplitInstance &p : parts) {
+                if (p.itid.contains(a))
+                    return p.itid.contains(b);
+            }
+            return false;
+        };
+        rst_.updateDest(inst.rd, itid, same_part);
+    }
+
+    int made = 0;
+    for (std::size_t part_idx = 0; part_idx < parts.size(); ++part_idx) {
+        const SplitInstance &part = parts[part_idx];
+        auto owned = std::make_unique<DynInst>();
+        DynInst *di = owned.get();
+        window_.push_back(std::move(owned));
+
+        di->seq = nextSeq_++;
+        di->pc = pc;
+        di->inst = inst;
+        di->fetchItid = itid;
+        di->itid = part.itid;
+        di->viaRegMerge = part.viaRegMerge;
+        di->fetchMode = mode;
+        di->fetchedAt = now_;
+        di->state = InstState::InFetchQueue;
+        di->resolveToken = resolve_token;
+        di->lvipChecked = params_.multiExecution && inst.isLoad() &&
+                          part.itid.count() > 1;
+        di->lvipMispredict = lvip_penalty[part_idx];
+
+        ThreadId pl = part.itid.leader();
+        di->destVal = dest_vals[pl];
+        di->branchTaken = bouts[pl].taken;
+        di->branchTarget = bouts[pl].target;
+        di->effAddr = eff_addrs;
+        if (inst.isMem()) {
+            di->memAccesses =
+                params_.multiExecution ? part.itid.count() : 1;
+        }
+
+        // Renaming: operands read once regardless of sharing (§4.2.4).
+        if (info.readsSrc1) {
+            di->src1 = rename_.lookup(pl, inst.rs1);
+            ++rename_.prf().reads;
+        }
+        if (info.readsSrc2) {
+            di->src2 = rename_.lookup(pl, inst.rs2);
+            ++rename_.prf().reads;
+        }
+        if (writes) {
+            di->destArch = inst.rd;
+            di->dest = rename_.prf().alloc(di->destVal, false);
+            part.itid.forEach([&](ThreadId t) {
+                rename_.setMapping(t, inst.rd, di->dest);
+            });
+            regMerge_.onDispatchWrite(part.itid, inst.rd);
+        }
+        ++rename_.renameOps;
+
+        if (params_.checkInvariants) {
+            checkMergedValues(*di, dest_vals);
+            // RAT/functional consistency: the leader's mapped physical
+            // source values must match the architected values read.
+            if (info.readsSrc1) {
+                mmt_assert(rename_.prf().value(di->src1) == src_a[pl],
+                           "RAT out of sync with architected state "
+                           "(pc=%#lx rs1)", static_cast<unsigned long>(pc));
+            }
+            if (info.readsSrc2) {
+                mmt_assert(rename_.prf().value(di->src2) == src_b[pl],
+                           "RAT out of sync with architected state "
+                           "(pc=%#lx rs2)", static_cast<unsigned long>(pc));
+            }
+        }
+
+        fetchQueue_.push_back(di);
+        ++made;
+    }
+    return made;
+}
+
+} // namespace mmt

@@ -1,0 +1,73 @@
+#include "core/func_units.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+FuncUnitPool::FuncUnitPool(int num_alu, int num_fpu)
+    : numAlu_(num_alu), numFpu_(num_fpu)
+{
+}
+
+void
+FuncUnitPool::beginCycle()
+{
+    aluUsed_ = 0;
+    fpuUsed_ = 0;
+}
+
+bool
+FuncUnitPool::isFpClass(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::FpAlu:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+      case OpClass::FpLong:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+FuncUnitPool::available(OpClass cls) const
+{
+    return isFpClass(cls) ? fpuUsed_ < numFpu_ : aluUsed_ < numAlu_;
+}
+
+void
+FuncUnitPool::claim(OpClass cls)
+{
+    if (isFpClass(cls)) {
+        mmt_assert(fpuUsed_ < numFpu_, "FPU overclaimed");
+        ++fpuUsed_;
+        ++fpOps;
+    } else {
+        mmt_assert(aluUsed_ < numAlu_, "ALU overclaimed");
+        ++aluUsed_;
+        ++intOps;
+    }
+}
+
+Cycles
+FuncUnitPool::latency(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 2;
+      case OpClass::IntDiv: return 8;
+      case OpClass::FpAlu: return 2;
+      case OpClass::FpMult: return 3;
+      case OpClass::FpDiv: return 10;
+      case OpClass::FpLong: return 12;
+      case OpClass::Branch: return 1;
+      case OpClass::Jump: return 1;
+      case OpClass::Syscall: return 1;
+      default:
+        panic("latency() on memory class");
+    }
+}
+
+} // namespace mmt

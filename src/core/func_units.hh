@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Functional-unit pool: 6 ALUs and 3 FPUs (Table 4), fully pipelined,
+ * with per-class result latencies. Load/store port accounting lives in
+ * the LSQ.
+ */
+
+#ifndef MMT_CORE_FUNC_UNITS_HH
+#define MMT_CORE_FUNC_UNITS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Cycle-by-cycle FU availability tracker. */
+class FuncUnitPool
+{
+  public:
+    FuncUnitPool(int num_alu, int num_fpu);
+
+    /** Start a new cycle: all units become available. */
+    void beginCycle();
+
+    /** True if a unit for @p cls can start this cycle. */
+    bool available(OpClass cls) const;
+
+    /** Claim a unit for @p cls; call only after available(). */
+    void claim(OpClass cls);
+
+    /** Result latency of @p cls in cycles (memory classes excluded). */
+    static Cycles latency(OpClass cls);
+
+    /** True if @p cls executes on the FPU pool. */
+    static bool isFpClass(OpClass cls);
+
+    Counter intOps;
+    Counter fpOps;
+
+  private:
+    int numAlu_;
+    int numFpu_;
+    int aluUsed_ = 0;
+    int fpuUsed_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_FUNC_UNITS_HH

@@ -1,0 +1,30 @@
+#include "core/issue_queue.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+IssueQueue::IssueQueue(int capacity, const PhysRegFile *prf)
+    : cap_(capacity), prf_(prf)
+{
+}
+
+void
+IssueQueue::insert(DynInst *inst)
+{
+    mmt_assert(!full(), "issue queue overflow");
+    entries_.push_back(inst);
+}
+
+bool
+IssueQueue::sourcesReady(const DynInst *inst) const
+{
+    if (inst->src1 != invalidPhysReg && !prf_->ready(inst->src1))
+        return false;
+    if (inst->src2 != invalidPhysReg && !prf_->ready(inst->src2))
+        return false;
+    return true;
+}
+
+} // namespace mmt

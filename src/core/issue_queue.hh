@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Issue queue with oldest-first wakeup/select over the shared physical
+ * register file's ready bits.
+ */
+
+#ifndef MMT_CORE_ISSUE_QUEUE_HH
+#define MMT_CORE_ISSUE_QUEUE_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/rename.hh"
+
+namespace mmt
+{
+
+/** Out-of-order scheduling window. */
+class IssueQueue
+{
+  public:
+    IssueQueue(int capacity, const PhysRegFile *prf);
+
+    bool full() const { return static_cast<int>(entries_.size()) >= cap_; }
+    int size() const { return static_cast<int>(entries_.size()); }
+
+    /** Insert a dispatched instance. */
+    void insert(DynInst *inst);
+
+    /**
+     * Collect up to @p max ready instances, oldest first, removing them
+     * from the queue. FU/port constraints are applied by the caller
+     * (which re-inserts what it cannot start? No — the caller passes a
+     * predicate so rejected instances simply stay queued).
+     *
+     * @param max issue width remaining
+     * @param can_start predicate deciding FU/port availability; called
+     *        in seq order on ready instances only
+     */
+    std::vector<DynInst *> selectReady(int max, auto &&can_start)
+    {
+        std::vector<DynInst *> picked;
+        for (std::size_t i = 0;
+             i < entries_.size() && static_cast<int>(picked.size()) < max;
+             ++i) {
+            DynInst *di = entries_[i];
+            if (!sourcesReady(di))
+                continue;
+            ++wakeups;
+            if (!can_start(di))
+                continue;
+            picked.push_back(di);
+            entries_[i] = nullptr;
+        }
+        if (!picked.empty()) {
+            std::erase(entries_, nullptr);
+        }
+        return picked;
+    }
+
+    Counter wakeups; // ready checks that fired (energy)
+
+  private:
+    bool sourcesReady(const DynInst *inst) const;
+
+    int cap_;
+    const PhysRegFile *prf_;
+    std::vector<DynInst *> entries_; // kept in seq order
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_ISSUE_QUEUE_HH

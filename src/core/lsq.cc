@@ -1,0 +1,42 @@
+#include "core/lsq.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+LoadStoreQueue::LoadStoreQueue(int capacity, int ports)
+    : cap_(capacity), ports_(ports)
+{
+    mmt_assert(ports > 0, "LSQ needs at least one port");
+}
+
+void
+LoadStoreQueue::allocate()
+{
+    mmt_assert(!full(), "LSQ overflow");
+    ++occupied_;
+}
+
+void
+LoadStoreQueue::release()
+{
+    mmt_assert(occupied_ > 0, "LSQ underflow");
+    --occupied_;
+}
+
+void
+LoadStoreQueue::beginCycle()
+{
+    portsLeft_ = ports_;
+}
+
+void
+LoadStoreQueue::claimPorts(int n)
+{
+    mmt_assert(portsLeft_ >= n, "LSQ ports overclaimed");
+    portsLeft_ -= n;
+    accesses += static_cast<std::uint64_t>(n);
+}
+
+} // namespace mmt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Load/store queue model (paper §4.2.5): shared 64-entry capacity
+ * (Table 4) and a per-cycle load/store port budget (Figure 7(b) sweeps
+ * 2..12 ports).
+ *
+ * MMT behaviour implemented by the core around this tracker:
+ *  - MT workloads share memory, so an execute-identical load or store is
+ *    a single access ("No Change" in Table 2);
+ *  - ME workloads split every merged load and store into per-instance
+ *    serial accesses; merged loads additionally verify the LVIP
+ *    prediction against the loaded values.
+ */
+
+#ifndef MMT_CORE_LSQ_HH
+#define MMT_CORE_LSQ_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Capacity and port accounting for the LSQ. */
+class LoadStoreQueue
+{
+  public:
+    LoadStoreQueue(int capacity, int ports);
+
+    bool full() const { return occupied_ >= cap_; }
+    int occupancy() const { return occupied_; }
+
+    /** Dispatch-time allocation of one entry per instance. */
+    void allocate();
+    /** Commit-time (or post-writeback) release. */
+    void release();
+
+    /** Start a new cycle: replenish ports. */
+    void beginCycle();
+
+    /** True if @p n cache-access ports remain this cycle. */
+    bool portsAvailable(int n) const { return portsLeft_ >= n; }
+
+    /** Consume @p n ports. */
+    void claimPorts(int n);
+
+    Counter accesses; // cache accesses performed (energy)
+
+  private:
+    int cap_;
+    int ports_;
+    int occupied_ = 0;
+    int portsLeft_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_LSQ_HH

@@ -1,0 +1,286 @@
+#include "core/mmt/fetch_sync.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+const char *
+fetchModeName(FetchMode mode)
+{
+    switch (mode) {
+      case FetchMode::Merge: return "MERGE";
+      case FetchMode::Detect: return "DETECT";
+      case FetchMode::Catchup: return "CATCHUP";
+    }
+    return "?";
+}
+
+FetchSync::FetchSync(int num_threads, int fhb_entries, bool shared_fetch,
+                     bool catchup_priority)
+    : numThreads_(num_threads), sharedFetch_(shared_fetch),
+      catchupPriority_(catchup_priority),
+      branchesFetched_(static_cast<std::size_t>(num_threads), 0),
+      divergeStamp_(static_cast<std::size_t>(num_threads), 0),
+      divergePending_(static_cast<std::size_t>(num_threads), false)
+{
+    mmt_assert(num_threads >= 1 && num_threads <= maxThreads,
+               "unsupported thread count %d", num_threads);
+    for (ThreadId t = 0; t < num_threads; ++t)
+        fhbs_.push_back(std::make_unique<FetchHistoryBuffer>(fhb_entries));
+}
+
+void
+FetchSync::reset(Addr entry_pc)
+{
+    groups_.clear();
+    if (sharedFetch_) {
+        allocGroup(ThreadMask::firstN(numThreads_), entry_pc);
+    } else {
+        for (ThreadId t = 0; t < numThreads_; ++t)
+            allocGroup(ThreadMask::single(t), entry_pc);
+    }
+    for (ThreadId t = 0; t < numThreads_; ++t) {
+        fhbs_[t]->clear();
+        branchesFetched_[t] = 0;
+        divergePending_[t] = false;
+    }
+}
+
+int
+FetchSync::allocGroup(ThreadMask members, Addr pc)
+{
+    for (int id = 0; id < numGroups(); ++id) {
+        if (!groups_[id].alive) {
+            groups_[id] = FetchGroup{members, pc, true, -1, 0};
+            return id;
+        }
+    }
+    groups_.push_back(FetchGroup{members, pc, true, -1, 0});
+    return numGroups() - 1;
+}
+
+std::vector<int>
+FetchSync::fetchOrder(const std::vector<int> &icount) const
+{
+    std::vector<int> ids;
+    for (int id = 0; id < numGroups(); ++id) {
+        if (groups_[id].alive)
+            ids.push_back(id);
+    }
+    auto rank = [&](int id) {
+        if (!catchupPriority_)
+            return 1; // ablation: plain ICOUNT ordering
+        const FetchGroup &g = groups_[id];
+        if (g.catchupAhead != -1)
+            return 0; // behind thread: top priority (paper §4.1)
+        if (g.chasedBy > 0)
+            return 2; // ahead thread: lowest priority
+        return 1;
+    };
+    std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+        int ra = rank(a), rb = rank(b);
+        if (ra != rb)
+            return ra < rb;
+        // ICOUNT within a rank: fewest in-flight instructions first.
+        return icount[a] < icount[b];
+    });
+    return ids;
+}
+
+int
+FetchSync::threadGroup(ThreadId tid) const
+{
+    for (int id = 0; id < numGroups(); ++id) {
+        if (groups_[id].alive && groups_[id].members.contains(tid))
+            return id;
+    }
+    return -1;
+}
+
+FetchMode
+FetchSync::classify(int gid) const
+{
+    const FetchGroup &g = groups_[gid];
+    if (g.members.count() > 1)
+        return FetchMode::Merge;
+    if (g.catchupAhead != -1 || g.chasedBy > 0)
+        return FetchMode::Catchup;
+    return FetchMode::Detect;
+}
+
+bool
+FetchSync::fullyMerged(int gid) const
+{
+    return groups_[gid].members.count() == liveThreads();
+}
+
+int
+FetchSync::liveThreads() const
+{
+    int n = 0;
+    for (const FetchGroup &g : groups_) {
+        if (g.alive)
+            n += g.members.count();
+    }
+    return n;
+}
+
+void
+FetchSync::leaveCatchup(int gid, bool aborted)
+{
+    FetchGroup &g = groups_[gid];
+    if (g.catchupAhead == -1)
+        return;
+    FetchGroup &ahead = groups_[g.catchupAhead];
+    mmt_assert(ahead.chasedBy > 0, "catchup bookkeeping broken");
+    --ahead.chasedBy;
+    g.catchupAhead = -1;
+    if (aborted)
+        ++catchupAborted;
+}
+
+std::vector<int>
+FetchSync::onDivergence(int gid,
+    const std::vector<std::pair<ThreadMask, Addr>> &splits)
+{
+    mmt_assert(splits.size() >= 2, "divergence needs >= 2 outcomes");
+    FetchGroup &g = groups_[gid];
+    ++divergences;
+
+    // Stamp divergence start for the remerge-distance statistic.
+    g.members.forEach([&](ThreadId t) {
+        if (!divergePending_[t]) {
+            divergePending_[t] = true;
+            divergeStamp_[t] = branchesFetched_[t];
+        }
+    });
+
+    leaveCatchup(gid, false);
+    std::vector<int> out;
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+        mmt_assert(!splits[i].first.empty(), "empty divergence split");
+        if (i == 0) {
+            g.members = splits[i].first;
+            g.pc = splits[i].second;
+            out.push_back(gid);
+        } else {
+            out.push_back(allocGroup(splits[i].first, splits[i].second));
+        }
+    }
+    return out;
+}
+
+void
+FetchSync::onTakenBranch(int gid, Addr target)
+{
+    if (!sharedFetch_)
+        return;
+    FetchGroup &g = groups_[gid];
+    if (fullyMerged(gid))
+        return; // MERGE mode: the FHB is not accessed (paper §6.2)
+
+    // Record the target into every member thread's history.
+    g.members.forEach([&](ThreadId t) { fhbs_[t]->record(target); });
+
+    if (g.catchupAhead != -1) {
+        // CATCHUP: verify we are still on the ahead group's path.
+        bool on_path = false;
+        groups_[g.catchupAhead].members.forEach([&](ThreadId t) {
+            if (fhbs_[t]->contains(target))
+                on_path = true;
+        });
+        if (!on_path)
+            leaveCatchup(gid, true);
+        return;
+    }
+
+    // DETECT: search all other live groups' histories.
+    for (int other = 0; other < numGroups(); ++other) {
+        if (other == gid || !groups_[other].alive)
+            continue;
+        bool hit = false;
+        groups_[other].members.forEach([&](ThreadId t) {
+            if (fhbs_[t]->contains(target))
+                hit = true;
+        });
+        if (hit) {
+            g.catchupAhead = other;
+            ++groups_[other].chasedBy;
+            ++catchupEntered;
+            return;
+        }
+    }
+}
+
+bool
+FetchSync::tryMerge()
+{
+    if (!sharedFetch_)
+        return false;
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int a = 0; a < numGroups() && !changed; ++a) {
+            if (!groups_[a].alive)
+                continue;
+            for (int b = a + 1; b < numGroups() && !changed; ++b) {
+                if (!groups_[b].alive || groups_[a].pc != groups_[b].pc)
+                    continue;
+                // Merge b into a.
+                leaveCatchup(a, false);
+                leaveCatchup(b, false);
+                // Redirect anyone chasing b to chase a.
+                for (int c = 0; c < numGroups(); ++c) {
+                    if (groups_[c].alive && groups_[c].catchupAhead == b) {
+                        groups_[c].catchupAhead = a;
+                        --groups_[b].chasedBy;
+                        ++groups_[a].chasedBy;
+                    }
+                }
+                ThreadMask joined = groups_[a].members | groups_[b].members;
+                groups_[a].members = joined;
+                groups_[b].alive = false;
+                mmt_assert(groups_[b].chasedBy == 0,
+                           "dead group still chased");
+                ++remerges;
+                joined.forEach([&](ThreadId t) {
+                    fhbs_[t]->clear();
+                    if (divergePending_[t]) {
+                        remergeDistance.sample(branchesFetched_[t] -
+                                               divergeStamp_[t]);
+                        divergePending_[t] = false;
+                    }
+                });
+                changed = true;
+                any = true;
+            }
+        }
+    }
+    return any;
+}
+
+void
+FetchSync::removeThread(ThreadId tid)
+{
+    int gid = threadGroup(tid);
+    if (gid == -1)
+        return;
+    FetchGroup &g = groups_[gid];
+    g.members.clear(tid);
+    if (g.members.empty()) {
+        leaveCatchup(gid, false);
+        // Anyone chasing this group falls back to DETECT.
+        for (int c = 0; c < numGroups(); ++c) {
+            if (groups_[c].alive && groups_[c].catchupAhead == gid)
+                leaveCatchup(c, true);
+        }
+        g.alive = false;
+        mmt_assert(g.chasedBy == 0, "dead group still chased");
+    }
+}
+
+} // namespace mmt

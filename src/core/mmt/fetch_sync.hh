@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Fetch synchronization (paper §4.1, Figure 3(a)): the MERGE / DETECT /
+ * CATCHUP state machine that re-joins divergent execution paths.
+ *
+ * Threads are partitioned into *fetch groups*; a group fetches a single
+ * instruction stream with one PC and stamps fetched instructions with an
+ * ITID covering its members (a group of one is an ordinary SMT thread).
+ * The paper presents the two-thread mechanism and notes it "can be easily
+ * translated to four threads"; our translation:
+ *
+ *  - A group whose member threads resolve a conditional branch
+ *    differently *diverges* into subgroups (per outcome).
+ *  - Every group that is not fully merged records the target PC of each
+ *    taken branch in its members' Fetch History Buffers and searches the
+ *    other groups' FHBs. A hit puts the searching group into CATCHUP mode
+ *    behind the owning group: the behind group gets maximum fetch
+ *    priority, the ahead group minimum.
+ *  - In CATCHUP mode, a taken-branch target that is *not* in the ahead
+ *    group's history is a false positive: revert to DETECT.
+ *  - When two groups' next PCs coincide, they merge (-> MERGE mode);
+ *    their FHBs are cleared.
+ */
+
+#ifndef MMT_CORE_MMT_FETCH_SYNC_HH
+#define MMT_CORE_MMT_FETCH_SYNC_HH
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/thread_mask.hh"
+#include "common/types.hh"
+#include "core/mmt/fhb.hh"
+
+namespace mmt
+{
+
+/** Instruction fetch mode (paper Figure 3(a)). */
+enum class FetchMode
+{
+    Merge,
+    Detect,
+    Catchup,
+};
+
+/** Printable name of @p mode. */
+const char *fetchModeName(FetchMode mode);
+
+/** One fetch group: a set of threads fetching a single stream. */
+struct FetchGroup
+{
+    ThreadMask members;
+    Addr pc = 0;
+    bool alive = false;
+    /** Group id this group is catching up to, or -1. */
+    int catchupAhead = -1;
+    /** Number of behind-groups currently chasing this group. */
+    int chasedBy = 0;
+};
+
+/** The fetch-group partition and its mode transitions. */
+class FetchSync
+{
+  public:
+    /**
+     * @param num_threads live hardware threads
+     * @param fhb_entries FHB CAM size (Table 3: 32; §6.4 sweeps 8..128)
+     * @param shared_fetch false disables all merging (traditional SMT):
+     *        threads start and stay in singleton groups
+     */
+    FetchSync(int num_threads, int fhb_entries, bool shared_fetch,
+              bool catchup_priority = true);
+
+    /** Begin execution: all threads at @p entry_pc in one merged group. */
+    void reset(Addr entry_pc);
+
+    /** Number of group slots (some may be dead); iterate with group(). */
+    int numGroups() const { return static_cast<int>(groups_.size()); }
+    FetchGroup &group(int id) { return groups_[id]; }
+    const FetchGroup &group(int id) const { return groups_[id]; }
+
+    /** Ids of live groups, highest fetch priority first.
+     *  @param icount per-group in-flight counts for the ICOUNT policy */
+    std::vector<int> fetchOrder(const std::vector<int> &icount) const;
+
+    /** Group currently containing @p tid (-1 if halted). */
+    int threadGroup(ThreadId tid) const;
+
+    /** Fetch-mode classification of @p gid for statistics. */
+    FetchMode classify(int gid) const;
+
+    /**
+     * The group resolved a conditional branch with differing outcomes.
+     * @param splits one (members, next_pc) per outcome, all non-empty,
+     *        partitioning the group's members
+     * @return ids of the resulting groups (first reuses @p gid)
+     */
+    std::vector<int> onDivergence(int gid,
+        const std::vector<std::pair<ThreadMask, Addr>> &splits);
+
+    /**
+     * The group fetched a taken branch to @p target. Records history and
+     * performs the DETECT/CATCHUP transitions. Fully merged groups skip
+     * the FHB entirely (they are in MERGE mode).
+     */
+    void onTakenBranch(int gid, Addr target);
+
+    /**
+     * Merge any live groups whose PCs coincide. Call once per cycle
+     * before fetching.
+     * @return true if any merge happened
+     */
+    bool tryMerge();
+
+    /** Remove a halted thread from its group (dissolving empty groups). */
+    void removeThread(ThreadId tid);
+
+    /** Count of live (non-halted) threads. */
+    int liveThreads() const;
+
+    FetchHistoryBuffer &fhb(ThreadId tid) { return *fhbs_[tid]; }
+
+    Counter divergences;
+    Counter remerges;
+    Counter catchupEntered;
+    Counter catchupAborted; // false positives (CATCHUP -> DETECT)
+    /** Branches fetched between divergence and remerge (§6.3). */
+    Distribution remergeDistance{{16, 32, 64, 128, 256, 512}};
+
+    /** Advance the per-thread fetched-branch counters (for the remerge
+     *  distance statistic). Called by the fetch stage per taken branch. */
+    void countBranch(ThreadId tid) { ++branchesFetched_[tid]; }
+
+  private:
+    int allocGroup(ThreadMask members, Addr pc);
+    void leaveCatchup(int gid, bool aborted);
+    bool fullyMerged(int gid) const;
+
+    int numThreads_;
+    bool sharedFetch_;
+    bool catchupPriority_;
+    std::vector<FetchGroup> groups_;
+    std::vector<std::unique_ptr<FetchHistoryBuffer>> fhbs_;
+    std::vector<std::uint64_t> branchesFetched_;
+    std::vector<std::uint64_t> divergeStamp_;
+    std::vector<bool> divergePending_;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_FETCH_SYNC_HH

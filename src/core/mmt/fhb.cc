@@ -1,0 +1,45 @@
+#include "core/mmt/fhb.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+FetchHistoryBuffer::FetchHistoryBuffer(int entries)
+    : capacity_(entries), ring_(static_cast<std::size_t>(entries), 0)
+{
+    mmt_assert(entries > 0, "FHB needs at least one entry");
+}
+
+void
+FetchHistoryBuffer::record(Addr target_pc)
+{
+    ++records;
+    ring_[next_] = target_pc;
+    next_ = (next_ + 1) % ring_.size();
+    if (valid_ < ring_.size())
+        ++valid_;
+}
+
+bool
+FetchHistoryBuffer::contains(Addr pc)
+{
+    // A real CAM compares all entries in parallel in one cycle.
+    ++searches;
+    for (std::size_t i = 0; i < valid_; ++i) {
+        if (ring_[i] == pc) {
+            ++hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FetchHistoryBuffer::clear()
+{
+    valid_ = 0;
+    next_ = 0;
+}
+
+} // namespace mmt

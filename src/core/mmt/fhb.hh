@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fetch History Buffer (paper §4.1, Figure 3(b)).
+ *
+ * One FHB per hardware thread: a small circular CAM recording the target
+ * PCs of recently fetched taken branches. While a thread is in DETECT or
+ * CATCHUP mode, every taken branch records its target here and searches
+ * the other threads' FHBs; a hit means the threads' paths may have
+ * remerged and triggers CATCHUP mode. Table 3 sizes it at 32 entries
+ * (Section 6.4 sweeps 8..128).
+ */
+
+#ifndef MMT_CORE_MMT_FHB_HH
+#define MMT_CORE_MMT_FHB_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Circular CAM of taken-branch target PCs. */
+class FetchHistoryBuffer
+{
+  public:
+    explicit FetchHistoryBuffer(int entries);
+
+    /** Record a taken-branch target (evicting the oldest when full). */
+    void record(Addr target_pc);
+
+    /** CAM search: is @p pc among the recorded targets? Counts stats. */
+    bool contains(Addr pc);
+
+    /** Discard all history (on remerge). */
+    void clear();
+
+    int capacity() const { return capacity_; }
+    int size() const { return static_cast<int>(valid_); }
+
+    Counter searches;
+    Counter hits;
+    Counter records;
+
+  private:
+    int capacity_;
+    std::vector<Addr> ring_;
+    std::size_t next_ = 0;
+    std::size_t valid_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_FHB_HH

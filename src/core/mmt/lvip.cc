@@ -1,0 +1,39 @@
+#include "core/mmt/lvip.hh"
+
+#include "common/logging.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+LoadValuesIdenticalPredictor::LoadValuesIdenticalPredictor(int entries)
+    : table_(static_cast<std::size_t>(entries))
+{
+    mmt_assert(entries > 0, "LVIP needs at least one entry");
+}
+
+std::size_t
+LoadValuesIdenticalPredictor::index(Addr pc) const
+{
+    return static_cast<std::size_t>(pc / instBytes) % table_.size();
+}
+
+bool
+LoadValuesIdenticalPredictor::predictIdentical(Addr pc)
+{
+    ++accesses;
+    const Entry &e = table_[index(pc)];
+    // Predict identical unless this PC is a known mispredictor.
+    return !(e.valid && e.pc == pc);
+}
+
+void
+LoadValuesIdenticalPredictor::recordMispredict(Addr pc)
+{
+    ++mispredicts;
+    Entry &e = table_[index(pc)];
+    e.valid = true;
+    e.pc = pc;
+}
+
+} // namespace mmt

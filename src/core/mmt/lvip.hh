@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Load Values Identical Predictor (paper §4.2.5).
+ *
+ * For multi-execution workloads, a merged load with identical inputs has
+ * an identical *address* in every instance, but no shared memory — so the
+ * loaded values may differ. The LVIP predicts whether they will be
+ * identical. The paper's scheme: "We maintain a table of PC's whose loads
+ * have been previously mispredicted. We begin by predicting the value
+ * will be identical." — i.e. predict identical unless the PC is found in
+ * the mispredict table. Table 4 sizes it at 4K entries.
+ */
+
+#ifndef MMT_CORE_MMT_LVIP_HH
+#define MMT_CORE_MMT_LVIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Table of load PCs that previously returned divergent values. */
+class LoadValuesIdenticalPredictor
+{
+  public:
+    explicit LoadValuesIdenticalPredictor(int entries);
+
+    /** Predict whether the merged load at @p pc returns identical values
+     *  in all instances. Counts an access for the energy model. */
+    bool predictIdentical(Addr pc);
+
+    /** Record a misprediction: the load at @p pc loaded divergent values. */
+    void recordMispredict(Addr pc);
+
+    /** Verification outcome bookkeeping. */
+    Counter accesses;
+    Counter mispredicts;
+
+  private:
+    std::size_t index(Addr pc) const;
+
+    struct Entry
+    {
+        bool valid = false;
+        Addr pc = 0;
+    };
+    std::vector<Entry> table_;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_LVIP_HH

@@ -1,0 +1,97 @@
+#include "core/mmt/reg_merge.hh"
+
+#include "common/logging.hh"
+#include "core/dyn_inst.hh"
+
+namespace mmt
+{
+
+RegMergeUnit::RegMergeUnit(RenameUnit *rename, RegisterSharingTable *rst,
+                           int read_ports, int num_threads)
+    : rename_(rename), rst_(rst), readPorts_(read_ports),
+      numThreads_(num_threads)
+{
+}
+
+void
+RegMergeUnit::onDispatchWrite(ThreadMask itid, RegIndex reg)
+{
+    if (reg < 0)
+        return;
+    itid.forEach([&](ThreadId t) { ++writers_[t][reg]; });
+}
+
+void
+RegMergeUnit::onCommitWrite(ThreadMask itid, RegIndex reg)
+{
+    if (reg < 0)
+        return;
+    itid.forEach([&](ThreadId t) {
+        mmt_assert(writers_[t][reg] > 0, "writer count underflow");
+        --writers_[t][reg];
+    });
+}
+
+bool
+RegMergeUnit::noActiveWriter(ThreadId tid, RegIndex reg) const
+{
+    return writers_[tid][reg] == 0;
+}
+
+void
+RegMergeUnit::beginCycle()
+{
+    portsLeft_ = readPorts_;
+}
+
+int
+RegMergeUnit::tryMerge(const DynInst &inst, ThreadMask live_threads)
+{
+    // Only instructions fetched while diverged can re-discover sharing
+    // (paper: "we only check the destination registers of instructions
+    // fetched in DETECT or CATCHUP mode").
+    if (inst.fetchMode == FetchMode::Merge || !inst.writesDest())
+        return 0;
+
+    RegIndex reg = inst.destArch;
+
+    // Mapping-valid check: the committing instruction's destination must
+    // still be what every member thread's RAT maps for this register;
+    // otherwise a younger writer is in flight and it is too late.
+    bool valid = true;
+    inst.itid.forEach([&](ThreadId t) {
+        if (rename_->lookup(t, reg) != inst.dest)
+            valid = false;
+    });
+    if (!valid)
+        return 0;
+
+    int set = 0;
+    ThreadId self = inst.itid.leader();
+    for (ThreadId other = 0; other < numThreads_; ++other) {
+        if (inst.itid.contains(other) || !live_threads.contains(other))
+            continue;
+        if (!noActiveWriter(other, reg))
+            continue;
+        if (portsLeft_ <= 0) {
+            ++portStarved;
+            break;
+        }
+        --portsLeft_;
+        ++compares;
+        ++rename_->prf().reads;
+        PhysReg theirs = rename_->lookup(other, reg);
+        if (theirs == inst.dest ||
+            rename_->prf().value(theirs) == inst.destVal) {
+            inst.itid.forEach([&](ThreadId mine) {
+                rst_->mergeSet(reg, mine, other);
+            });
+            (void)self;
+            ++merges;
+            ++set;
+        }
+    }
+    return set;
+}
+
+} // namespace mmt

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Commit-time register merging (paper §4.2.7).
+ *
+ * Two instructions on divergent paths may write the *same value* to the
+ * *same architected register* in *different physical registers*; the RST
+ * would then (correctly, structurally) say "not shared" forever, starving
+ * the execute-merging logic. The fix: when an instruction fetched in
+ * DETECT or CATCHUP mode commits and its architected mapping is still
+ * valid, compare its result — spare register-file read ports permitting —
+ * against the value the *other* threads' RATs map for the same
+ * architected register (but only threads with no in-flight writer of that
+ * register). On a match, set the RST bit back to shared.
+ */
+
+#ifndef MMT_CORE_MMT_REG_MERGE_HH
+#define MMT_CORE_MMT_REG_MERGE_HH
+
+#include <array>
+
+#include "common/stats.hh"
+#include "common/thread_mask.hh"
+#include "core/mmt/rst.hh"
+#include "core/rename.hh"
+
+namespace mmt
+{
+
+struct DynInst;
+
+/** The register-merging hardware. */
+class RegMergeUnit
+{
+  public:
+    /**
+     * @param rename the core's rename unit (read-only RAT/PRF access;
+     *        models the paper's shadow copy of the mapping table)
+     * @param rst the Register Sharing Table to update
+     * @param read_ports spare register-file read ports per cycle
+     */
+    RegMergeUnit(RenameUnit *rename, RegisterSharingTable *rst,
+                 int read_ports, int num_threads);
+
+    /** An instance writing @p reg for threads @p itid entered the
+     *  pipeline: bump the in-flight writer counts. */
+    void onDispatchWrite(ThreadMask itid, RegIndex reg);
+
+    /** Matching decrement at commit (or squash). */
+    void onCommitWrite(ThreadMask itid, RegIndex reg);
+
+    /** True if thread @p tid has no in-flight writer of @p reg (the
+     *  paper's per-register "register state" bit vector). */
+    bool noActiveWriter(ThreadId tid, RegIndex reg) const;
+
+    /** Start a new cycle: replenish the read-port budget. */
+    void beginCycle();
+
+    /**
+     * Attempt the merge comparison for a committing instance.
+     * Preconditions checked inside: instance was fetched in DETECT or
+     * CATCHUP mode, writes a register, and its mapping is still valid.
+     *
+     * @param inst the committing instance
+     * @param live_threads threads still running
+     * @return number of RST bits set
+     */
+    int tryMerge(const DynInst &inst, ThreadMask live_threads);
+
+    Counter compares;     // register-file reads spent on merging
+    Counter merges;       // successful RST bit sets
+    Counter portStarved;  // comparisons skipped for lack of ports
+
+  private:
+    RenameUnit *rename_;
+    RegisterSharingTable *rst_;
+    int readPorts_;
+    int numThreads_;
+    int portsLeft_ = 0;
+    /** In-flight writer counts per (thread, architected register). */
+    std::array<std::array<int, numArchRegs>, maxThreads> writers_{};
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_REG_MERGE_HH

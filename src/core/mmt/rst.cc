@@ -1,0 +1,103 @@
+#include "core/mmt/rst.hh"
+
+namespace mmt
+{
+
+RegisterSharingTable::RegisterSharingTable()
+{
+    setAllShared();
+}
+
+void
+RegisterSharingTable::setAllShared()
+{
+    for (auto &e : entries_) {
+        e.bits = (1u << maxThreadPairs) - 1u;
+        e.mergeProv = 0;
+    }
+}
+
+bool
+RegisterSharingTable::shared(RegIndex reg, ThreadId a, ThreadId b) const
+{
+    if (reg < 0 || a == b)
+        return true;
+    int p = ThreadMask::pairIndex(a, b);
+    return (entries_[reg].bits >> p) & 1u;
+}
+
+bool
+RegisterSharingTable::setByMerge(RegIndex reg, ThreadId a, ThreadId b) const
+{
+    if (reg < 0 || a == b)
+        return false;
+    int p = ThreadMask::pairIndex(a, b);
+    return ((entries_[reg].bits >> p) & 1u) &&
+           ((entries_[reg].mergeProv >> p) & 1u);
+}
+
+ThreadMask
+RegisterSharingTable::sharedGroup(RegIndex reg, ThreadMask candidates) const
+{
+    if (reg < 0 || candidates.count() <= 1)
+        return candidates;
+    ThreadId lead = candidates.leader();
+    ThreadMask out = ThreadMask::single(lead);
+    candidates.forEach([&](ThreadId t) {
+        if (t != lead && shared(reg, lead, t))
+            out.set(t);
+    });
+    return out;
+}
+
+bool
+RegisterSharingTable::groupShares(RegIndex reg, ThreadMask group) const
+{
+    if (reg < 0 || group.count() <= 1)
+        return true;
+    bool ok = true;
+    group.forEach([&](ThreadId a) {
+        group.forEach([&](ThreadId b) {
+            if (a < b && !shared(reg, a, b))
+                ok = false;
+        });
+    });
+    return ok;
+}
+
+void
+RegisterSharingTable::clearThread(RegIndex reg, ThreadId tid)
+{
+    if (reg < 0)
+        return;
+    for (ThreadId other = 0; other < maxThreads; ++other) {
+        if (other == tid)
+            continue;
+        setBit(reg, ThreadMask::pairIndex(tid, other), false, false);
+    }
+}
+
+void
+RegisterSharingTable::mergeSet(RegIndex reg, ThreadId a, ThreadId b)
+{
+    ++mergeSets;
+    setBit(reg, ThreadMask::pairIndex(a, b), true, /*by_merge=*/true);
+}
+
+void
+RegisterSharingTable::setBit(RegIndex reg, int pair, bool value,
+                             bool by_merge)
+{
+    Entry &e = entries_[reg];
+    std::uint8_t mask = static_cast<std::uint8_t>(1u << pair);
+    if (value)
+        e.bits |= mask;
+    else
+        e.bits &= static_cast<std::uint8_t>(~mask);
+    if (value && by_merge)
+        e.mergeProv |= mask;
+    else
+        e.mergeProv &= static_cast<std::uint8_t>(~mask);
+}
+
+} // namespace mmt

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Register Sharing Table (paper §4.2.1).
+ *
+ * One entry per architected register; each entry holds one bit per
+ * unordered thread pair (6 bits for 4 threads). Bit (a,b) of entry R is 1
+ * when threads a and b have identical architecture-to-physical mappings
+ * for R — which, by construction of the renaming scheme, implies the
+ * register values are identical.
+ *
+ * We additionally record *provenance*: whether a bit was last set by the
+ * commit-time register-merging hardware (§4.2.7) rather than by renaming.
+ * This distinguishes the paper's "Exe-Identical+RegMerge" instruction
+ * category in Figure 5(b).
+ */
+
+#ifndef MMT_CORE_MMT_RST_HH
+#define MMT_CORE_MMT_RST_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "common/thread_mask.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** The Register Sharing Table. */
+class RegisterSharingTable
+{
+  public:
+    RegisterSharingTable();
+
+    /** Mark all registers shared among all threads (ME program start). */
+    void setAllShared();
+
+    /** Is register @p reg shared between threads @p a and @p b? */
+    bool shared(RegIndex reg, ThreadId a, ThreadId b) const;
+
+    /** Was the sharing bit for (@p a, @p b) last set by register merging? */
+    bool setByMerge(RegIndex reg, ThreadId a, ThreadId b) const;
+
+    /**
+     * The maximal subset of @p candidates all of whose members share
+     * register @p reg pairwise (sharing is an equivalence; the subset
+     * containing @p candidates.leader() is returned).
+     */
+    ThreadMask sharedGroup(RegIndex reg, ThreadMask candidates) const;
+
+    /**
+     * True if every pair of threads within @p group shares @p reg.
+     * Registers index -1 (unused operand) vacuously share.
+     */
+    bool groupShares(RegIndex reg, ThreadMask group) const;
+
+    /**
+     * Destination-register update (paper §4.2.3): for every thread pair
+     * with at least one member in @p fetch_itid, set the bit to 1 when
+     * both members ended up in the same split instance, else 0.
+     *
+     * @param reg the destination architected register
+     * @param fetch_itid ITID of the original fetched instruction
+     * @param same_instance callable (ThreadId, ThreadId) -> bool telling
+     *        whether both threads landed in one resulting instance
+     */
+    template <typename SameInstanceFn>
+    void
+    updateDest(RegIndex reg, ThreadMask fetch_itid,
+               SameInstanceFn &&same_instance)
+    {
+        ++updates;
+        for (int p = 0; p < maxThreadPairs; ++p) {
+            auto [a, b] = ThreadMask::pairThreads(p);
+            if (!fetch_itid.contains(a) && !fetch_itid.contains(b))
+                continue;
+            bool sh = fetch_itid.contains(a) && fetch_itid.contains(b) &&
+                      same_instance(a, b);
+            setBit(reg, p, sh, /*by_merge=*/false);
+        }
+    }
+
+    /** Clear all sharing bits involving thread @p tid for register @p reg
+     *  (divergent-path write, §4.2.6 case 1). */
+    void clearThread(RegIndex reg, ThreadId tid);
+
+    /** Register-merging hardware found equal values: set bit (a,b). */
+    void mergeSet(RegIndex reg, ThreadId a, ThreadId b);
+
+    /** Lookup counting for the energy model (one per decoded source). */
+    Counter lookups;
+    Counter updates;
+    Counter mergeSets;
+
+  private:
+    void setBit(RegIndex reg, int pair, bool value, bool by_merge);
+
+    struct Entry
+    {
+        std::uint8_t bits = 0;      // 6 pair bits
+        std::uint8_t mergeProv = 0; // provenance: set-by-merge flags
+    };
+    std::array<Entry, numArchRegs> entries_;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_RST_HH

@@ -1,0 +1,59 @@
+#include "core/mmt/splitter.hh"
+
+namespace mmt
+{
+
+std::vector<SplitInstance>
+InstructionSplitter::split(const Instruction &inst, ThreadMask fetch_itid)
+{
+    ++invocations;
+    ++rst_->lookups;
+    std::vector<SplitInstance> out;
+    if (fetch_itid.count() <= 1) {
+        out.push_back({fetch_itid, false});
+        return out;
+    }
+
+    const InstInfo &info = inst.info();
+    RegIndex srcs[2] = {info.readsSrc1 ? inst.rs1 : -1,
+                        info.readsSrc2 ? inst.rs2 : -1};
+
+    ThreadMask remaining = fetch_itid;
+    while (!remaining.empty()) {
+        // Chooser: the largest subset of `remaining` containing its leader
+        // whose members pairwise share every source register. Sharing is
+        // an equivalence, so intersecting the per-source shared groups of
+        // the leader yields exactly that subset.
+        ThreadMask group = remaining;
+        for (RegIndex s : srcs) {
+            if (s >= 0)
+                group = group & rst_->sharedGroup(s, remaining);
+        }
+        if (group.empty())
+            group = ThreadMask::single(remaining.leader());
+
+        // Stats provenance: merged only because register-merging hardware
+        // restored at least one governing pair bit?
+        bool via_merge = false;
+        if (group.count() > 1) {
+            for (RegIndex s : srcs) {
+                if (s < 0)
+                    continue;
+                group.forEach([&](ThreadId a) {
+                    group.forEach([&](ThreadId b) {
+                        if (a < b && rst_->setByMerge(s, a, b))
+                            via_merge = true;
+                    });
+                });
+            }
+        }
+
+        out.push_back({group, via_merge});
+        remaining = remaining.minus(group);
+    }
+
+    splitsProduced += out.size() - 1;
+    return out;
+}
+
+} // namespace mmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Instruction splitter (paper §4.2.2): the pipeline stage between decode
+ * and register renaming that turns one fetch-identical instruction into
+ * the minimal set of 1-4 instances.
+ *
+ * Hardware algorithm reproduced here:
+ *  - read the RST pair bits of every source register;
+ *  - AND them to get the sharing relation for this instruction;
+ *  - the Filter masks out combinations impossible under the fetched ITID;
+ *  - the Chooser repeatedly outputs the valid combination with the most
+ *    threads, removing chosen threads, until all ITID threads are covered.
+ *
+ * Because RST sharing is an equivalence (it mirrors mapping equality),
+ * the greedy choice yields the minimal partition.
+ */
+
+#ifndef MMT_CORE_MMT_SPLITTER_HH
+#define MMT_CORE_MMT_SPLITTER_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/thread_mask.hh"
+#include "core/mmt/rst.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** One split output: the instance's ITID plus bookkeeping for stats. */
+struct SplitInstance
+{
+    ThreadMask itid;
+    /** True when this instance is merged only thanks to a sharing bit that
+     *  the register-merging hardware restored (Figure 5(b) category). */
+    bool viaRegMerge = false;
+};
+
+/** The decode-to-rename splitting stage. */
+class InstructionSplitter
+{
+  public:
+    explicit InstructionSplitter(RegisterSharingTable *rst)
+        : rst_(rst)
+    {}
+
+    /**
+     * Compute the minimal instance set for @p inst fetched with
+     * @p fetch_itid. Source registers with index -1 are ignored.
+     * Instructions with no register sources never split.
+     */
+    std::vector<SplitInstance> split(const Instruction &inst,
+                                     ThreadMask fetch_itid);
+
+    Counter invocations;
+    Counter splitsProduced; // instances beyond the first
+
+  private:
+    RegisterSharingTable *rst_;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MMT_SPLITTER_HH

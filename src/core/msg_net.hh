@@ -1,0 +1,86 @@
+/**
+ * @file
+ * MessageNetwork — per-pair FIFO channels backing the SEND/RECV
+ * extension (message-passing SPMD workloads, the application class the
+ * paper names as future work in §7).
+ *
+ * Channels are unbounded; sends never block, receives block until a
+ * message is available. Values are deterministic regardless of timing:
+ * each (sender, receiver) channel preserves the sender's program order,
+ * and each receiver drains its channels in its own program order.
+ */
+
+#ifndef MMT_CORE_MSG_NET_HH
+#define MMT_CORE_MSG_NET_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** FIFO channels between every ordered pair of contexts. */
+class MessageNetwork
+{
+  public:
+    /** Enqueue @p value on the (from, to) channel. */
+    void
+    send(ThreadId from, ThreadId to, RegVal value)
+    {
+        channel(from, to).push_back(value);
+        ++sends;
+    }
+
+    /** True if a RECV from @p from by @p to would not block. */
+    bool
+    canRecv(ThreadId from, ThreadId to) const
+    {
+        return !channels_[index(from, to)].empty();
+    }
+
+    /** Dequeue the next message on the (from, to) channel. */
+    RegVal
+    recv(ThreadId from, ThreadId to)
+    {
+        auto &q = channel(from, to);
+        RegVal v = q.front();
+        q.pop_front();
+        ++recvs;
+        return v;
+    }
+
+    /** Messages currently in flight (for drained-at-exit checks). */
+    std::size_t
+    pending() const
+    {
+        std::size_t n = 0;
+        for (const auto &q : channels_)
+            n += q.size();
+        return n;
+    }
+
+    Counter sends;
+    Counter recvs;
+
+  private:
+    static std::size_t
+    index(ThreadId from, ThreadId to)
+    {
+        return static_cast<std::size_t>(from) * maxThreads +
+               static_cast<std::size_t>(to);
+    }
+
+    std::deque<RegVal> &
+    channel(ThreadId from, ThreadId to)
+    {
+        return channels_[index(from, to)];
+    }
+
+    std::deque<RegVal> channels_[maxThreads * maxThreads];
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_MSG_NET_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CoreParams — every knob of the simulated SMT/MMT core. Defaults follow
+ * Table 4 of the paper; the MMT feature switches correspond to the
+ * configurations of Table 5 (see sim/configs.hh for the presets).
+ */
+
+#ifndef MMT_CORE_PARAMS_HH
+#define MMT_CORE_PARAMS_HH
+
+#include "branch/branch_predictor.hh"
+#include "common/types.hh"
+#include "mem/memory_system.hh"
+#include "mem/trace_cache.hh"
+
+namespace mmt
+{
+
+/** Full configuration of one simulated core. */
+struct CoreParams
+{
+    int numThreads = 4;
+
+    // Machine widths (Table 4: issue/commit 8/8; fetch matches).
+    int fetchWidth = 8;
+    int dispatchWidth = 8;
+    int issueWidth = 8;
+    int commitWidth = 8;
+    /** Max distinct fetch streams per cycle. The front-end is a trace
+     *  cache (Table 4), which delivers one trace -- one thread's stream
+     *  -- per cycle; shared fetch lets that one stream feed a whole
+     *  merged group. */
+    int maxFetchStreams = 1;
+
+    // Structure sizes (Table 4).
+    int robSize = 256;
+    int iqSize = 64;
+    int lsqSize = 64;
+    int fetchQueueSize = 64;
+
+    // Execution resources (Table 4: ALU/FPU 6/3).
+    int numAlu = 6;
+    int numFpu = 3;
+    /** Load/store ports per cycle (Figure 7(b) sweeps 2..12). */
+    int lsPorts = 4;
+
+    // MMT structures (Tables 3 and 4).
+    int fhbEntries = 32;
+    int lvipEntries = 4096;
+    /** Spare register-file read ports usable by register merging/cycle. */
+    int mergeReadPorts = 2;
+    /** Boost the behind thread / starve the ahead thread in CATCHUP
+     *  (paper §4.1). Off = plain ICOUNT ordering; an ablation knob. */
+    bool catchupPriority = true;
+    /** Max cycles a diverged group waits at a MERGEHINT for the other
+     *  groups to arrive (0 disables hint waiting entirely). */
+    Cycles mergeHintWait = 24;
+
+    // Penalties.
+    Cycles mispredictRedirect = 2;  // cycles after branch resolution
+    Cycles lvipRollbackPenalty = 8; // flush + refill after LVIP mispredict
+
+    // MMT feature switches (Table 5 configurations).
+    bool sharedFetch = false; // MMT-F
+    bool sharedExec = false;  // MMT-FX
+    bool regMerge = false;    // MMT-FXR
+
+    /** Multi-execution semantics: separate address spaces, LVIP active. */
+    bool multiExecution = false;
+
+    /** Limit configuration: every thread runs with tid = 0, making MT
+     *  threads exactly identical (paper Table 5: "running two instances
+     *  with identical inputs"). */
+    bool forceTidZero = false;
+
+    BranchPredictorParams bpred;
+    MemoryParams mem;
+    TraceCacheParams traceCache;
+
+    /** Simulation safety net. */
+    Cycles maxCycles = 200'000'000;
+    /** Enable expensive soundness assertions (merged values identical). */
+    bool checkInvariants = true;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_PARAMS_HH

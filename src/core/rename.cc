@@ -1,0 +1,52 @@
+#include "core/rename.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+PhysReg
+PhysRegFile::alloc(RegVal value, bool ready)
+{
+    regs_.push_back({value, ready});
+    return static_cast<PhysReg>(regs_.size() - 1);
+}
+
+void
+RenameUnit::init(int num_threads,
+                 const std::array<RegVal, numArchRegs> &init_regs,
+                 bool private_sp, bool private_tid,
+                 const std::vector<std::pair<RegVal, RegVal>> &sp_tid_values)
+{
+    mmt_assert(static_cast<int>(sp_tid_values.size()) >= num_threads,
+               "missing per-thread sp/tid values");
+    // Shared initial mappings: one physical register per architected
+    // register, recorded in every thread's RAT.
+    std::array<PhysReg, numArchRegs> shared;
+    for (RegIndex r = 0; r < numArchRegs; ++r)
+        shared[r] = prf_.alloc(init_regs[r], true);
+    for (ThreadId t = 0; t < num_threads; ++t) {
+        for (RegIndex r = 0; r < numArchRegs; ++r)
+            rat_[t][r] = shared[r];
+        if (private_sp)
+            rat_[t][regSp] = prf_.alloc(sp_tid_values[t].first, true);
+        if (private_tid)
+            rat_[t][regTid] = prf_.alloc(sp_tid_values[t].second, true);
+    }
+}
+
+bool
+RenameUnit::mappingsEqual(RegIndex reg, ThreadMask group) const
+{
+    if (reg < 0 || group.count() <= 1)
+        return true;
+    PhysReg first = rat_[group.leader()][reg];
+    bool equal = true;
+    group.forEach([&](ThreadId t) {
+        if (rat_[t][reg] != first)
+            equal = false;
+    });
+    return equal;
+}
+
+} // namespace mmt

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Register renaming: per-thread Register Alias Tables over a shared
+ * physical register file (paper §4.2.4).
+ *
+ * The MMT twist: an execute-identical instance allocates a *single*
+ * physical register whose id is recorded in the RAT of every member
+ * thread — so the RST's "identical mapping" bits literally mirror RAT
+ * equality.
+ *
+ * The physical register pool is modeled as an append-only value store
+ * (see DESIGN.md §3): the paper does not size the PRF, and timing
+ * backpressure comes from the ROB/IQ/LSQ. Values persist, which lets the
+ * commit-time register-merging hardware read any mapped register safely.
+ */
+
+#ifndef MMT_CORE_RENAME_HH
+#define MMT_CORE_RENAME_HH
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/thread_mask.hh"
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Append-only physical register file. */
+class PhysRegFile
+{
+  public:
+    /** Allocate a new physical register holding @p value.
+     *  @param ready true if the value is available immediately. */
+    PhysReg alloc(RegVal value, bool ready);
+
+    RegVal
+    value(PhysReg p) const
+    {
+        return regs_[static_cast<std::size_t>(p)].value;
+    }
+
+    bool
+    ready(PhysReg p) const
+    {
+        return regs_[static_cast<std::size_t>(p)].ready;
+    }
+
+    /** Producer wrote back: wake consumers. */
+    void
+    setReady(PhysReg p)
+    {
+        regs_[static_cast<std::size_t>(p)].ready = true;
+    }
+
+    std::size_t size() const { return regs_.size(); }
+
+    Counter reads;  // register-file read accesses (energy)
+    Counter writes; // register-file write accesses (energy)
+
+  private:
+    struct PReg
+    {
+        RegVal value;
+        bool ready;
+    };
+    std::vector<PReg> regs_;
+};
+
+/** Per-thread RATs plus the shared physical file. */
+class RenameUnit
+{
+  public:
+    /**
+     * Initialize program-start mappings (paper §4.2.6): all architected
+     * registers map to the same physical registers across threads, except
+     * the stack pointer and thread-id registers of multi-threaded
+     * workloads, which get private mappings.
+     *
+     * @param num_threads live threads
+     * @param init_regs architected register values of thread 0
+     * @param private_sp private stack-pointer mappings (MT workloads)
+     * @param private_tid private thread-id mappings (MT, unless the
+     *        Limit configuration forces every tid to 0)
+     * @param sp_tid_values per-thread (sp, tid) register values
+     */
+    void init(int num_threads,
+              const std::array<RegVal, numArchRegs> &init_regs,
+              bool private_sp, bool private_tid,
+              const std::vector<std::pair<RegVal, RegVal>> &sp_tid_values);
+
+    /** Current mapping of (@p tid, @p reg). */
+    PhysReg
+    lookup(ThreadId tid, RegIndex reg) const
+    {
+        return rat_[tid][reg];
+    }
+
+    /** Point (@p tid, @p reg) at @p preg. */
+    void
+    setMapping(ThreadId tid, RegIndex reg, PhysReg preg)
+    {
+        rat_[tid][reg] = preg;
+    }
+
+    /** True if every member of @p group maps @p reg identically. */
+    bool mappingsEqual(RegIndex reg, ThreadMask group) const;
+
+    PhysRegFile &prf() { return prf_; }
+    const PhysRegFile &prf() const { return prf_; }
+
+    Counter renameOps; // instances renamed (energy)
+
+  private:
+    std::array<std::array<PhysReg, numArchRegs>, maxThreads> rat_{};
+    PhysRegFile prf_;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_RENAME_HH

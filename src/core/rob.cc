@@ -1,0 +1,50 @@
+#include "core/rob.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+ReorderBuffer::ReorderBuffer(int capacity, int num_threads)
+    : cap_(capacity), numThreads_(num_threads)
+{
+}
+
+void
+ReorderBuffer::insert(DynInst *inst)
+{
+    mmt_assert(!full(), "ROB overflow");
+    ++occupied_;
+    ++writes;
+    inst->itid.forEach([&](ThreadId t) {
+        mmt_assert(t < numThreads_, "bad thread in ITID");
+        queues_[t].push_back(inst);
+    });
+}
+
+DynInst *
+ReorderBuffer::head(ThreadId tid) const
+{
+    return queues_[tid].empty() ? nullptr : queues_[tid].front();
+}
+
+bool
+ReorderBuffer::committable(const DynInst *inst) const
+{
+    bool ok = true;
+    inst->itid.forEach([&](ThreadId t) {
+        if (queues_[t].empty() || queues_[t].front() != inst)
+            ok = false;
+    });
+    return ok;
+}
+
+void
+ReorderBuffer::commit(DynInst *inst)
+{
+    mmt_assert(committable(inst), "commit of non-head instance");
+    inst->itid.forEach([&](ThreadId t) { queues_[t].pop_front(); });
+    --occupied_;
+}
+
+} // namespace mmt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reorder buffer bookkeeping: a shared capacity of 256 entries (Table 4)
+ * where an execute-identical instance occupies a *single* entry for all
+ * its threads, plus per-thread in-order commit queues. A multi-thread
+ * instance commits once, when it is the oldest uncommitted instruction of
+ * every member thread.
+ */
+
+#ifndef MMT_CORE_ROB_HH
+#define MMT_CORE_ROB_HH
+
+#include <deque>
+
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+
+namespace mmt
+{
+
+/** Shared-capacity ROB with per-thread commit order. */
+class ReorderBuffer
+{
+  public:
+    ReorderBuffer(int capacity, int num_threads);
+
+    bool full() const { return occupied_ >= cap_; }
+    bool empty() const { return occupied_ == 0; }
+    int occupancy() const { return occupied_; }
+
+    /** Dispatch an instance: one shared entry, queued per member. */
+    void insert(DynInst *inst);
+
+    /**
+     * Oldest uncommitted instance of @p tid, or nullptr.
+     * The instance is committable when committable() also holds.
+     */
+    DynInst *head(ThreadId tid) const;
+
+    /** True if @p inst is at the head of all its member threads. */
+    bool committable(const DynInst *inst) const;
+
+    /** Retire @p inst (must be committable and Completed). */
+    void commit(DynInst *inst);
+
+    /** In-flight instances of @p tid (for ICOUNT fetch policy). */
+    int
+    threadCount(ThreadId tid) const
+    {
+        return static_cast<int>(queues_[tid].size());
+    }
+
+    Counter writes; // entries allocated (energy)
+
+  private:
+    int cap_;
+    int numThreads_;
+    int occupied_ = 0;
+    std::deque<DynInst *> queues_[maxThreads];
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_ROB_HH

@@ -1,0 +1,439 @@
+#include "core/smt_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+SmtCore::SmtCore(const CoreParams &params, const Program *program,
+                 std::vector<MemoryImage *> images)
+    : params_(params), program_(program),
+      memSys_(params.mem), traceCache_(params.traceCache),
+      bpred_(params.bpred, params.numThreads),
+      sync_(params.numThreads, params.fhbEntries, params.sharedFetch,
+            params.catchupPriority),
+      splitter_(&rst_),
+      lvip_(params.lvipEntries),
+      regMerge_(&rename_, &rst_, params.mergeReadPorts, params.numThreads),
+      rob_(params.robSize, params.numThreads),
+      iq_(params.iqSize, &rename_.prf()),
+      lsqUnit_(params.lsqSize, params.lsPorts),
+      fus_(params.numAlu, params.numFpu)
+{
+    mmt_assert(params.numThreads >= 1 && params.numThreads <= maxThreads,
+               "bad thread count");
+    mmt_assert(static_cast<int>(images.size()) == params.numThreads,
+               "need one memory image per thread");
+
+    const bool mt = !params_.multiExecution;
+    std::array<RegVal, numArchRegs> init_regs{};
+    init_regs[regSp] = defaultStackTop;
+
+    std::vector<std::pair<RegVal, RegVal>> sp_tid;
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        ThreadState &ts = threads_[t];
+        ts.image = images[t];
+        ts.asid = params_.multiExecution ? t : 0;
+        ts.regs = init_regs;
+        if (mt) {
+            ts.regs[regSp] = defaultStackTop -
+                             static_cast<Addr>(t) * defaultStackBytes;
+            ts.regs[regTid] =
+                params_.forceTidZero ? 0 : static_cast<RegVal>(t);
+        }
+        sp_tid.emplace_back(ts.regs[regSp], ts.regs[regTid]);
+    }
+
+    // Program-start mappings and RST state (paper §4.2.6): everything
+    // shared, except sp/tid of MT workloads.
+    bool private_regs = mt && params_.numThreads > 1;
+    bool private_tid = private_regs && !params_.forceTidZero;
+    rename_.init(params_.numThreads, init_regs, private_regs, private_tid,
+                 sp_tid);
+    rst_.setAllShared();
+    for (ThreadId t = 0; private_regs && t < params_.numThreads; ++t) {
+        rst_.clearThread(regSp, t);
+        if (private_tid)
+            rst_.clearThread(regTid, t);
+    }
+
+    sync_.reset(program_->entry);
+    lastCommitCycle_ = 0;
+}
+
+bool
+SmtCore::done() const
+{
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        if (!threads_[t].halted)
+            return false;
+    }
+    return window_.empty();
+}
+
+ThreadMask
+SmtCore::liveMask() const
+{
+    ThreadMask m;
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        if (!threads_[t].halted)
+            m.set(t);
+    }
+    return m;
+}
+
+void
+SmtCore::run()
+{
+    while (!done()) {
+        tick();
+        if (now_ > params_.maxCycles)
+            fatal("simulation exceeded %llu cycles",
+                  static_cast<unsigned long long>(params_.maxCycles));
+        if (now_ - lastCommitCycle_ > 500000) {
+            panic("pipeline deadlock at cycle %llu (rob=%d iq=%d lsq=%d "
+                  "fq=%zu)",
+                  static_cast<unsigned long long>(now_), rob_.occupancy(),
+                  iq_.size(), lsqUnit_.occupancy(), fetchQueue_.size());
+        }
+    }
+}
+
+void
+SmtCore::tick()
+{
+    ++now_;
+    fus_.beginCycle();
+    lsqUnit_.beginCycle();
+    regMerge_.beginCycle();
+
+    commitStage();
+    completeStage();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+    releaseBarrierIfReady();
+
+    // Reclaim committed instances from the front of the window.
+    while (!window_.empty() &&
+           window_.front()->state == InstState::Committed) {
+        window_.pop_front();
+    }
+}
+
+void
+SmtCore::commitStage()
+{
+    int slots = params_.commitWidth;
+    bool progress = true;
+    while (slots > 0 && progress) {
+        progress = false;
+        for (ThreadId t = 0; t < params_.numThreads && slots > 0; ++t) {
+            DynInst *h = rob_.head(t);
+            if (!h || h->state != InstState::Completed)
+                continue;
+            if (!rob_.committable(h))
+                continue;
+            commitOne(h);
+            --slots;
+            progress = true;
+        }
+    }
+}
+
+void
+SmtCore::commitOne(DynInst *inst)
+{
+    rob_.commit(inst);
+    inst->state = InstState::Committed;
+    lastCommitCycle_ = now_;
+
+    stats.waitDispatch += inst->dispatchedAt - inst->fetchedAt;
+    stats.waitIssue += inst->issuedAt - inst->dispatchedAt;
+    stats.waitExec += inst->completeAt - inst->issuedAt;
+    stats.waitCommit += now_ - inst->completeAt;
+
+    int members = inst->itid.count();
+    ++stats.committedInstances;
+    stats.committedThreadInsts += static_cast<std::uint64_t>(members);
+    inst->itid.forEach(
+        [&](ThreadId t) { ++threads_[t].committedInsts; });
+
+    IdentClass cls = IdentClass::NotIdentical;
+    if (inst->isMergedExec()) {
+        cls = inst->viaRegMerge ? IdentClass::ExecIdenticalRegMerge
+                                : IdentClass::ExecIdentical;
+    } else if (inst->fetchItid.count() > 1) {
+        cls = IdentClass::FetchIdentical;
+    }
+    stats.identClass[static_cast<std::size_t>(cls)] +=
+        static_cast<std::uint64_t>(members);
+
+    if (inst->inst.isMem())
+        lsqUnit_.release();
+
+    if (inst->writesDest())
+        regMerge_.onCommitWrite(inst->itid, inst->destArch);
+
+    // Commit-time register merging (MMT-FXR only).
+    if (params_.regMerge)
+        regMerge_.tryMerge(*inst, liveMask());
+
+    if (commitHook_)
+        commitHook_(*inst, now_);
+}
+
+void
+SmtCore::completeStage()
+{
+    for (auto it = inExec_.begin(); it != inExec_.end();) {
+        DynInst *di = *it;
+        if (di->completeAt <= now_) {
+            onInstanceComplete(di);
+            it = inExec_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SmtCore::onInstanceComplete(DynInst *inst)
+{
+    inst->state = InstState::Completed;
+    if (inst->dest != invalidPhysReg) {
+        rename_.prf().setReady(inst->dest);
+        ++rename_.prf().writes;
+    }
+
+    if (inst->resolveToken >= 0) {
+        int token = inst->resolveToken;
+        mmt_assert(resolveRemaining_[token] > 0, "resolve token underflow");
+        if (--resolveRemaining_[token] == 0) {
+            for (ThreadId t = 0; t < params_.numThreads; ++t) {
+                ThreadState &ts = threads_[t];
+                if (ts.resolveToken == token) {
+                    ts.resolveToken = -1;
+                    ts.fetchStallUntil =
+                        std::max(ts.fetchStallUntil,
+                                 now_ + params_.mispredictRedirect);
+                }
+            }
+        }
+    }
+
+    if (inst->lvipMispredict) {
+        ++stats.lvipRollbacks;
+        inst->fetchItid.forEach([&](ThreadId t) {
+            threads_[t].fetchStallUntil =
+                std::max(threads_[t].fetchStallUntil,
+                         now_ + params_.lvipRollbackPenalty);
+        });
+    }
+}
+
+void
+SmtCore::issueStage()
+{
+    // The predicate claims the resource so later candidates see the
+    // updated availability within this cycle.
+    auto picked = iq_.selectReady(params_.issueWidth, [&](DynInst *di) {
+        if (di->inst.isMem()) {
+            if (!lsqUnit_.portsAvailable(1))
+                return false;
+            lsqUnit_.claimPorts(1);
+            return true;
+        }
+        OpClass cls = di->inst.info().opClass;
+        if (!fus_.available(cls))
+            return false;
+        fus_.claim(cls);
+        return true;
+    });
+
+    for (DynInst *di : picked) {
+        di->state = InstState::Issued;
+        di->issuedAt = now_;
+        if (di->inst.isMem()) {
+            // Perform the (possibly multiple, serialized) cache accesses;
+            // one port was claimed at select, the rest (ME split
+            // accesses) claim what remains.
+            int accesses = di->memAccesses;
+            int extra = std::min(accesses - 1, params_.lsPorts);
+            if (extra > 0 && lsqUnit_.portsAvailable(extra))
+                lsqUnit_.claimPorts(extra);
+            bool is_store = di->inst.isStore();
+            Cycles worst = now_ + 1;
+            int i = 0;
+            auto do_access = [&](ThreadId t) {
+                Cycles avail = memSys_.dataAccess(
+                    threads_[t].asid, di->effAddr[t], is_store,
+                    now_ + static_cast<Cycles>(i));
+                worst = std::max(worst, avail);
+                ++i;
+            };
+            if (params_.multiExecution) {
+                di->itid.forEach(do_access);
+            } else {
+                do_access(di->itid.leader());
+            }
+            if (is_store) {
+                // Stores complete for dependence purposes immediately;
+                // the write drains via the (unmodeled) store buffer.
+                di->completeAt = now_ + 1;
+                ++stats.stores;
+            } else {
+                di->completeAt = worst;
+                ++stats.loads;
+            }
+        } else {
+            OpClass cls = di->inst.info().opClass;
+            di->completeAt = now_ + FuncUnitPool::latency(cls);
+        }
+        inExec_.push_back(di);
+    }
+}
+
+void
+SmtCore::dispatchStage()
+{
+    // Front-end depth: decode + split stages between fetch and dispatch.
+    constexpr Cycles frontendDelay = 2;
+    int slots = params_.dispatchWidth;
+    while (slots > 0 && !fetchQueue_.empty()) {
+        DynInst *di = fetchQueue_.front();
+        if (di->fetchedAt + frontendDelay > now_)
+            break;
+        if (rob_.full() || iq_.full())
+            break;
+        if (di->inst.isMem() && lsqUnit_.full())
+            break;
+        fetchQueue_.pop_front();
+        rob_.insert(di);
+        iq_.insert(di);
+        if (di->inst.isMem())
+            lsqUnit_.allocate();
+        di->state = InstState::Dispatched;
+        di->dispatchedAt = now_;
+        --slots;
+    }
+}
+
+void
+SmtCore::registerStats(StatGroup &group)
+{
+    group.addCounter("fetch.records", &stats.fetchRecords);
+    group.addCounter("fetch.threadInsts", &stats.fetchedThreadInsts);
+    group.addCounter("fetch.streamCycles", &stats.fetchStreamCycles);
+    group.addCounter("fetch.mode.merge", &stats.fetchedInMode[0]);
+    group.addCounter("fetch.mode.detect", &stats.fetchedInMode[1]);
+    group.addCounter("fetch.mode.catchup", &stats.fetchedInMode[2]);
+    group.addCounter("commit.instances", &stats.committedInstances);
+    group.addCounter("commit.threadInsts", &stats.committedThreadInsts);
+    group.addCounter("commit.notIdentical", &stats.identClass[0]);
+    group.addCounter("commit.fetchIdentical", &stats.identClass[1]);
+    group.addCounter("commit.execIdentical", &stats.identClass[2]);
+    group.addCounter("commit.execIdenticalRegMerge", &stats.identClass[3]);
+    group.addCounter("branch.mispredicts", &stats.branchMispredicts);
+    group.addCounter("branch.lookups", &bpred_.lookups);
+    group.addCounter("mem.loads", &stats.loads);
+    group.addCounter("mem.stores", &stats.stores);
+    group.addCounter("mem.l1i.accesses", &memSys_.l1i().accesses);
+    group.addCounter("mem.l1i.misses", &memSys_.l1i().misses);
+    group.addCounter("mem.l1d.accesses", &memSys_.l1d().accesses);
+    group.addCounter("mem.l1d.misses", &memSys_.l1d().misses);
+    group.addCounter("mem.l2.accesses", &memSys_.l2().accesses);
+    group.addCounter("mem.l2.misses", &memSys_.l2().misses);
+    group.addCounter("mem.mshrStalls", &memSys_.mshrStalls);
+    group.addCounter("mem.traceCache.accesses", &traceCache_.accesses);
+    group.addCounter("mem.traceCache.misses", &traceCache_.misses);
+    group.addCounter("rename.ops", &rename_.renameOps);
+    group.addCounter("rename.prfReads", &rename_.prf().reads);
+    group.addCounter("rename.prfWrites", &rename_.prf().writes);
+    group.addCounter("iq.wakeups", &iq_.wakeups);
+    group.addCounter("rob.writes", &rob_.writes);
+    group.addCounter("lsq.accesses", &lsqUnit_.accesses);
+    group.addCounter("fu.intOps", &fus_.intOps);
+    group.addCounter("fu.fpOps", &fus_.fpOps);
+    group.addCounter("mmt.rst.lookups", &rst_.lookups);
+    group.addCounter("mmt.rst.updates", &rst_.updates);
+    group.addCounter("mmt.rst.mergeSets", &rst_.mergeSets);
+    group.addCounter("mmt.splitter.invocations", &splitter_.invocations);
+    group.addCounter("mmt.splitter.splits", &splitter_.splitsProduced);
+    group.addCounter("mmt.lvip.accesses", &lvip_.accesses);
+    group.addCounter("mmt.lvip.mispredicts", &lvip_.mispredicts);
+    group.addCounter("mmt.lvip.rollbacks", &stats.lvipRollbacks);
+    group.addCounter("mmt.regMerge.compares", &regMerge_.compares);
+    group.addCounter("mmt.regMerge.merges", &regMerge_.merges);
+    group.addCounter("mmt.regMerge.portStarved", &regMerge_.portStarved);
+    group.addCounter("mmt.sync.divergences", &sync_.divergences);
+    group.addCounter("mmt.sync.remerges", &sync_.remerges);
+    group.addCounter("mmt.sync.catchupEntered", &sync_.catchupEntered);
+    group.addCounter("mmt.sync.catchupAborted", &sync_.catchupAborted);
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        std::string prefix = "mmt.fhb" + std::to_string(t);
+        group.addCounter(prefix + ".searches", &sync_.fhb(t).searches);
+        group.addCounter(prefix + ".hits", &sync_.fhb(t).hits);
+        group.addCounter(prefix + ".records", &sync_.fhb(t).records);
+    }
+    if (msgNet_ != nullptr) {
+        group.addCounter("msg.sends", &msgNet_->sends);
+        group.addCounter("msg.recvs", &msgNet_->recvs);
+    }
+}
+
+std::string
+SmtCore::dumpStats()
+{
+    StatGroup group;
+    registerStats(group);
+    std::string out = "cycles " + std::to_string(now_) + "\n";
+    return out + group.dump();
+}
+
+void
+SmtCore::haltThread(ThreadId tid)
+{
+    threads_[tid].halted = true;
+    sync_.removeThread(tid);
+}
+
+void
+SmtCore::releaseBarrierIfReady()
+{
+    bool any = false;
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        ThreadState &ts = threads_[t];
+        if (ts.halted)
+            continue;
+        if (!ts.atBarrier)
+            return; // someone is still on the way
+        any = true;
+    }
+    if (!any)
+        return;
+    for (ThreadId t = 0; t < params_.numThreads; ++t)
+        threads_[t].atBarrier = false;
+}
+
+void
+SmtCore::checkMergedValues(
+    const DynInst &inst,
+    const std::array<RegVal, maxThreads> &dest_vals) const
+{
+    if (!params_.checkInvariants || inst.itid.count() <= 1)
+        return;
+    if (!inst.writesDest())
+        return;
+    RegVal first = dest_vals[inst.itid.leader()];
+    inst.itid.forEach([&](ThreadId t) {
+        mmt_assert(dest_vals[t] == first,
+                   "merged instance with divergent values at pc=%#lx (%s)",
+                   static_cast<unsigned long>(inst.pc),
+                   inst.inst.toString().c_str());
+    });
+}
+
+} // namespace mmt

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * SmtCore — the cycle-stepped out-of-order SMT pipeline with the MMT
+ * extensions (shared fetch, instruction splitting/merging, LVIP, register
+ * merging).
+ *
+ * Methodology (DESIGN.md §3): instructions execute *functionally* at
+ * fetch, in per-thread program order — the sim-outorder style used by
+ * the toolset the paper built on. The timing model tracks structure
+ * occupancy, dependences through physical-register ready bits, FU and
+ * cache-port contention and cache latencies. Mispredicted branches and
+ * divergences stall the affected threads' fetch until the branch
+ * resolves; LVIP mispredictions charge a rollback penalty. No wrong-path
+ * instructions are simulated.
+ *
+ * Per-cycle stage order (reverse pipeline order so results propagate with
+ * one-cycle latency): commit, complete, issue, dispatch, fetch.
+ */
+
+#ifndef MMT_CORE_SMT_CORE_HH
+#define MMT_CORE_SMT_CORE_HH
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "branch/branch_predictor.hh"
+#include "common/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/func_units.hh"
+#include "core/issue_queue.hh"
+#include "core/lsq.hh"
+#include "core/mmt/fetch_sync.hh"
+#include "core/msg_net.hh"
+#include "core/mmt/lvip.hh"
+#include "core/mmt/reg_merge.hh"
+#include "core/mmt/rst.hh"
+#include "core/mmt/splitter.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "iasm/program.hh"
+#include "isa/exec.hh"
+#include "mem/memory_image.hh"
+#include "mem/memory_system.hh"
+#include "mem/trace_cache.hh"
+
+namespace mmt
+{
+
+/** Per-thread architectural state, advanced functionally at fetch. */
+struct ThreadState
+{
+    std::array<RegVal, numArchRegs> regs{};
+    MemoryImage *image = nullptr;
+    AddressSpaceId asid = 0;
+
+    bool halted = false;
+    bool atBarrier = false;
+
+    /** Values emitted by the OUT instruction (test observable). */
+    std::vector<RegVal> output;
+
+    /** Fetch-stall machinery (branch resolution / LVIP rollback). */
+    Cycles fetchStallUntil = 0;
+    int resolveToken = -1;
+    /** Waiting at a software re-merge hint until this cycle (0: none). */
+    Cycles hintWaitUntil = 0;
+    Addr hintPc = 0;
+    Addr lastFetchLine = ~Addr(0);
+
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t committedInsts = 0;
+};
+
+/** Instruction classification for the paper's Figure 5(b). */
+enum class IdentClass
+{
+    NotIdentical,
+    FetchIdentical,
+    ExecIdentical,
+    ExecIdenticalRegMerge,
+    NumClasses,
+};
+
+/** The simulated core. */
+class SmtCore
+{
+  public:
+    /**
+     * @param params configuration (Table 4/5)
+     * @param program the shared binary all threads execute
+     * @param images per-thread functional memory; MT workloads pass the
+     *        same pointer for every thread, ME workloads distinct ones
+     */
+    SmtCore(const CoreParams &params, const Program *program,
+            std::vector<MemoryImage *> images);
+
+    /** Run to completion (all threads halted, pipeline drained). */
+    void run();
+
+    /** Advance one cycle. */
+    void tick();
+
+    bool done() const;
+    Cycles now() const { return now_; }
+
+    const CoreParams &params() const { return params_; }
+    const ThreadState &thread(ThreadId tid) const { return threads_[tid]; }
+
+    /** Attach a message network (required to execute SEND/RECV). */
+    void setMessageNetwork(MessageNetwork *net) { msgNet_ = net; }
+    MessageNetwork *messageNetwork() { return msgNet_; }
+
+    /** Per-retirement observer: called with every committed instance and
+     *  the commit cycle (pipetrace-style debugging; see
+     *  examples/pipeline_trace.cc). */
+    using CommitHook = std::function<void(const DynInst &, Cycles)>;
+    void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
+
+    // Component access for the energy model and tests.
+    MemorySystem &memSys() { return memSys_; }
+    TraceCache &traceCache() { return traceCache_; }
+    BranchPredictor &bpred() { return bpred_; }
+    FetchSync &fetchSync() { return sync_; }
+    RegisterSharingTable &rst() { return rst_; }
+    InstructionSplitter &splitter() { return splitter_; }
+    LoadValuesIdenticalPredictor &lvip() { return lvip_; }
+    RegMergeUnit &regMergeUnit() { return regMerge_; }
+    RenameUnit &renameUnit() { return rename_; }
+    IssueQueue &issueQueue() { return iq_; }
+    ReorderBuffer &rob() { return rob_; }
+    LoadStoreQueue &lsq() { return lsqUnit_; }
+    FuncUnitPool &funcUnits() { return fus_; }
+
+    /**
+     * Register every counter of the core and its components with
+     * @p group under dotted names ("fetch.records", "mmt.rst.lookups",
+     * ...). The group holds pointers; it must not outlive the core.
+     */
+    void registerStats(StatGroup &group);
+
+    /** Render all registered statistics as text (gem5-style dump). */
+    std::string dumpStats();
+
+    /** Aggregate statistics. */
+    struct Stats
+    {
+        Counter fetchRecords;      // fetch-slot consuming fetches
+        Counter fetchedThreadInsts;
+        /** Thread-instructions fetched per mode, indexed by FetchMode. */
+        std::array<Counter, 3> fetchedInMode;
+        Counter fetchStreamCycles; // stream-cycles (L1I access count)
+        Counter committedInstances;
+        Counter committedThreadInsts;
+        /** Committed thread-instructions by Figure 5(b) category. */
+        std::array<Counter, static_cast<std::size_t>(
+                                IdentClass::NumClasses)> identClass;
+        Counter branchMispredicts;
+        Counter lvipRollbacks;
+        Counter hintWaits;      // groups that paused at a MERGEHINT
+        Counter hintMerges;     // hint waits that ended in a merge
+        Counter loads;
+        Counter stores;
+        /** Aggregate per-stage residency of committed instances
+         *  (cycles; divide by committedInstances for averages). */
+        Counter waitDispatch;
+        Counter waitIssue;
+        Counter waitExec;
+        Counter waitCommit;
+    } stats;
+
+  private:
+    // Stage functions (fetch-related ones live in fetch.cc).
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    int fetchFromGroup(int gid, int budget);
+
+    /**
+     * Fetch, functionally execute, split and rename one instruction for
+     * group @p gid.
+     * @param tc_hit trace-cache hit: may cross taken branches
+     * @param branches_crossed in/out taken branches crossed this cycle
+     * @return -1 stream stops without a fetch, 0 fetched and stream
+     *         stops, 1 fetched and stream may continue
+     */
+    int fetchRecord(int gid, bool tc_hit, int &branches_crossed);
+
+    /** Create, rename and enqueue the split instances of one record.
+     *  @return the number of instances created */
+    int makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
+                      FetchMode mode,
+                      const std::array<RegVal, maxThreads> &dest_vals,
+                      const std::array<RegVal, maxThreads> &src_a,
+                      const std::array<RegVal, maxThreads> &src_b,
+                      const std::array<Addr, maxThreads> &eff_addrs,
+                      const std::array<BranchOut, maxThreads> &bouts,
+                      int resolve_token);
+
+    void onInstanceComplete(DynInst *inst);
+    void commitOne(DynInst *inst);
+
+    bool groupCanFetch(int gid) const;
+    void haltThread(ThreadId tid);
+    void releaseBarrierIfReady();
+    ThreadMask liveMask() const;
+
+    /** Soundness checks (params.checkInvariants). */
+    void checkMergedValues(const DynInst &inst,
+        const std::array<RegVal, maxThreads> &dest_vals) const;
+
+    CoreParams params_;
+    const Program *program_;
+    MessageNetwork *msgNet_ = nullptr;
+
+    Cycles now_ = 0;
+    std::uint64_t nextSeq_ = 1;
+
+    std::array<ThreadState, maxThreads> threads_;
+
+    MemorySystem memSys_;
+    TraceCache traceCache_;
+    BranchPredictor bpred_;
+
+    FetchSync sync_;
+    RegisterSharingTable rst_;
+    InstructionSplitter splitter_;
+    LoadValuesIdenticalPredictor lvip_;
+    RenameUnit rename_;
+    RegMergeUnit regMerge_;
+
+    ReorderBuffer rob_;
+    IssueQueue iq_;
+    LoadStoreQueue lsqUnit_;
+    FuncUnitPool fus_;
+
+    /** Fetched-but-not-dispatched instances, in fetch order. */
+    std::deque<DynInst *> fetchQueue_;
+    /** Issued instances awaiting completion. */
+    std::vector<DynInst *> inExec_;
+    /** Ownership of all in-flight instances, in seq order. */
+    std::deque<std::unique_ptr<DynInst>> window_;
+
+    /** Branch-resolution tokens: remaining instance count per token. */
+    std::vector<int> resolveRemaining_;
+
+    CommitHook commitHook_;
+
+    Cycles lastCommitCycle_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_CORE_SMT_CORE_HH

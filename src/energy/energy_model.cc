@@ -1,0 +1,73 @@
+#include "energy/energy_model.hh"
+
+#include <sstream>
+
+#include "core/smt_core.hh"
+
+namespace mmt
+{
+
+double
+EnergyBreakdown::overheadFraction() const
+{
+    double t = total();
+    return t > 0.0 ? overhead / t : 0.0;
+}
+
+std::string
+EnergyBreakdown::toString() const
+{
+    std::ostringstream os;
+    os << "cache=" << cache << "pJ overhead=" << overhead
+       << "pJ other=" << other << "pJ total=" << total() << "pJ";
+    return os.str();
+}
+
+EnergyBreakdown
+computeEnergy(SmtCore &core, const EnergyParams &p)
+{
+    EnergyBreakdown e;
+    auto n = [](const Counter &c) { return static_cast<double>(c.value()); };
+
+    MemorySystem &mem = core.memSys();
+    e.cache += n(mem.l1i().accesses) * p.l1iAccess;
+    e.cache += n(mem.l1d().accesses) * p.l1dAccess;
+    e.cache += n(mem.l2().accesses) * p.l2Access;
+    e.cache += n(mem.l2().misses) * p.dramAccess;
+    e.cache += n(core.traceCache().accesses) * p.traceCacheAccess;
+
+    e.other += n(core.bpred().lookups) * p.bpredLookup;
+    e.other += n(core.renameUnit().prf().reads) * p.regfileRead;
+    e.other += n(core.renameUnit().prf().writes) * p.regfileWrite;
+    e.other += n(core.renameUnit().renameOps) * p.renameOp;
+    e.other += n(core.issueQueue().wakeups) * p.iqWakeup;
+    e.other += n(core.rob().writes) * p.robWrite;
+    e.other += n(core.lsq().accesses) * p.lsqAccess;
+    e.other += n(core.funcUnits().intOps) * p.intOp;
+    e.other += n(core.funcUnits().fpOps) * p.fpOp;
+    e.other += n(core.stats.committedInstances) * p.commitOp;
+    e.other += static_cast<double>(core.now()) * p.staticPerCycle;
+
+    // MMT overhead structures. The FHB and register-merge hardware are
+    // only touched outside MERGE mode, the LVIP only for merged ME loads,
+    // the RST every decoded instruction + update — exactly the access
+    // counters maintained by those components.
+    FetchSync &sync = core.fetchSync();
+    double fhb_searches = 0.0;
+    double fhb_records = 0.0;
+    for (ThreadId t = 0; t < core.params().numThreads; ++t) {
+        fhb_searches += n(sync.fhb(t).searches);
+        fhb_records += n(sync.fhb(t).records);
+    }
+    e.overhead += fhb_searches * p.fhbSearch;
+    e.overhead += fhb_records * p.fhbRecord;
+    e.overhead += n(core.rst().lookups) * p.rstLookup;
+    e.overhead += n(core.rst().updates) * p.rstUpdate;
+    e.overhead += n(core.splitter().invocations) * p.splitterOp;
+    e.overhead += n(core.lvip().accesses) * p.lvipAccess;
+    e.overhead += n(core.regMergeUnit().compares) * p.mergeCompare;
+
+    return e;
+}
+
+} // namespace mmt

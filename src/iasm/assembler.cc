@@ -1,0 +1,494 @@
+#include "iasm/assembler.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "isa/exec.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+/** Operand shape of a mnemonic. */
+enum class Format
+{
+    R3,     // op rd, rs1, rs2
+    R2,     // op rd, rs1
+    I2,     // op rd, rs1, imm
+    LI,     // op rd, imm-or-label
+    MEM,    // op reg, imm(rs1)
+    BR,     // op rs1, rs2, label
+    BRZ,    // pseudo: op rs1, label  (compares against r0)
+    JLBL,   // op label
+    JREG,   // op rs1
+    S0,     // op            (no operands)
+    S1,     // op rs1        (out)
+    S2,     // op rs1, rs2   (send)
+};
+
+/** Register class an operand must belong to. */
+enum class RegClass { Int, Fp };
+
+struct MnemonicInfo
+{
+    Opcode op;
+    Format fmt;
+    // Register classes; meaning depends on fmt.
+    RegClass dst = RegClass::Int;
+    RegClass src = RegClass::Int;
+    // For BRZ pseudo: the real branch opcode.
+};
+
+const std::map<std::string, MnemonicInfo> &
+mnemonics()
+{
+    static const std::map<std::string, MnemonicInfo> table = {
+        {"nop",   {Opcode::NOP, Format::S0}},
+        {"add",   {Opcode::ADD, Format::R3}},
+        {"sub",   {Opcode::SUB, Format::R3}},
+        {"mul",   {Opcode::MUL, Format::R3}},
+        {"div",   {Opcode::DIV, Format::R3}},
+        {"rem",   {Opcode::REM, Format::R3}},
+        {"and",   {Opcode::AND, Format::R3}},
+        {"or",    {Opcode::OR,  Format::R3}},
+        {"xor",   {Opcode::XOR, Format::R3}},
+        {"sll",   {Opcode::SLL, Format::R3}},
+        {"srl",   {Opcode::SRL, Format::R3}},
+        {"sra",   {Opcode::SRA, Format::R3}},
+        {"slt",   {Opcode::SLT, Format::R3}},
+        {"sltu",  {Opcode::SLTU, Format::R3}},
+        {"addi",  {Opcode::ADDI, Format::I2}},
+        {"andi",  {Opcode::ANDI, Format::I2}},
+        {"ori",   {Opcode::ORI,  Format::I2}},
+        {"xori",  {Opcode::XORI, Format::I2}},
+        {"slli",  {Opcode::SLLI, Format::I2}},
+        {"srli",  {Opcode::SRLI, Format::I2}},
+        {"srai",  {Opcode::SRAI, Format::I2}},
+        {"slti",  {Opcode::SLTI, Format::I2}},
+        {"lui",   {Opcode::LUI, Format::LI}},
+        {"li",    {Opcode::LUI, Format::LI}},
+        {"la",    {Opcode::LUI, Format::LI}},
+        {"mv",    {Opcode::ADD, Format::R2}},
+        {"fadd",  {Opcode::FADD, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fsub",  {Opcode::FSUB, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fmul",  {Opcode::FMUL, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fdiv",  {Opcode::FDIV, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fmin",  {Opcode::FMIN, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fmax",  {Opcode::FMAX, Format::R3, RegClass::Fp, RegClass::Fp}},
+        {"fsqrt", {Opcode::FSQRT, Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"fneg",  {Opcode::FNEG, Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"fabs",  {Opcode::FABS, Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"fexp",  {Opcode::FEXP, Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"flog",  {Opcode::FLOG, Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"fmv",   {Opcode::FMV,  Format::R2, RegClass::Fp, RegClass::Fp}},
+        {"fli",   {Opcode::FLI,  Format::LI, RegClass::Fp}},
+        {"fcvt",  {Opcode::FCVT, Format::R2, RegClass::Fp, RegClass::Int}},
+        {"fcvti", {Opcode::FCVTI, Format::R2, RegClass::Int, RegClass::Fp}},
+        {"fclt",  {Opcode::FCLT, Format::R3, RegClass::Int, RegClass::Fp}},
+        {"fcle",  {Opcode::FCLE, Format::R3, RegClass::Int, RegClass::Fp}},
+        {"fceq",  {Opcode::FCEQ, Format::R3, RegClass::Int, RegClass::Fp}},
+        {"ld",    {Opcode::LD,  Format::MEM, RegClass::Int}},
+        {"st",    {Opcode::ST,  Format::MEM, RegClass::Int}},
+        {"fld",   {Opcode::FLD, Format::MEM, RegClass::Fp}},
+        {"fst",   {Opcode::FST, Format::MEM, RegClass::Fp}},
+        {"beq",   {Opcode::BEQ, Format::BR}},
+        {"bne",   {Opcode::BNE, Format::BR}},
+        {"blt",   {Opcode::BLT, Format::BR}},
+        {"bge",   {Opcode::BGE, Format::BR}},
+        {"bltu",  {Opcode::BLTU, Format::BR}},
+        {"bgeu",  {Opcode::BGEU, Format::BR}},
+        {"bgt",   {Opcode::BLT, Format::BR}},  // swapped in encoder
+        {"ble",   {Opcode::BGE, Format::BR}},  // swapped in encoder
+        {"beqz",  {Opcode::BEQ, Format::BRZ}},
+        {"bnez",  {Opcode::BNE, Format::BRZ}},
+        {"bltz",  {Opcode::BLT, Format::BRZ}},
+        {"bgez",  {Opcode::BGE, Format::BRZ}},
+        {"j",     {Opcode::J,    Format::JLBL}},
+        {"jal",   {Opcode::JAL,  Format::JLBL}},
+        {"call",  {Opcode::JAL,  Format::JLBL}},
+        {"jr",    {Opcode::JR,   Format::JREG}},
+        {"jalr",  {Opcode::JALR, Format::JREG}},
+        {"ret",   {Opcode::JR,   Format::S0}},
+        {"halt",  {Opcode::HALT, Format::S0}},
+        {"barrier", {Opcode::BARRIER, Format::S0}},
+        {"out",   {Opcode::OUT, Format::S1}},
+        {"send",  {Opcode::SEND, Format::S2}},
+        {"recv",  {Opcode::RECV, Format::R2}},
+        {"mergehint", {Opcode::MERGEHINT, Format::S0}},
+    };
+    return table;
+}
+
+/** One tokenized source statement. */
+struct Stmt
+{
+    int line;
+    std::string mnemonic;           // empty for pure-label/directive lines
+    std::vector<std::string> operands;
+};
+
+class Assembler
+{
+  public:
+    Assembler(const std::string &source, Addr code_base, Addr data_base)
+        : src_(source)
+    {
+        prog_.codeBase = code_base;
+        prog_.entry = code_base;
+        dataCursor_ = data_base;
+    }
+
+    Program
+    run()
+    {
+        parseLines();
+        encodeAll();
+        auto it = prog_.symbols.find("main");
+        if (it != prog_.symbols.end())
+            prog_.entry = it->second;
+        return std::move(prog_);
+    }
+
+  private:
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("asm line %d: %s", line, msg.c_str());
+    }
+
+    static std::string
+    trim(const std::string &s)
+    {
+        std::size_t b = s.find_first_not_of(" \t\r");
+        if (b == std::string::npos)
+            return "";
+        std::size_t e = s.find_last_not_of(" \t\r");
+        return s.substr(b, e - b + 1);
+    }
+
+    /** Split a comma-separated operand list, honoring "imm(reg)" forms. */
+    static std::vector<std::string>
+    splitOperands(const std::string &s)
+    {
+        std::vector<std::string> out;
+        std::string cur;
+        for (char c : s) {
+            if (c == ',') {
+                out.push_back(trim(cur));
+                cur.clear();
+            } else {
+                cur.push_back(c);
+            }
+        }
+        cur = trim(cur);
+        if (!cur.empty())
+            out.push_back(cur);
+        return out;
+    }
+
+    /**
+     * First pass: strip comments, record labels and directives, assign
+     * addresses, and stash instruction statements for the second pass.
+     */
+    void
+    parseLines()
+    {
+        std::istringstream is(src_);
+        std::string raw;
+        int line = 0;
+        bool in_text = true;
+        Addr code_pc = prog_.codeBase;
+
+        while (std::getline(is, raw)) {
+            ++line;
+            std::size_t hash = raw.find_first_of("#;");
+            if (hash != std::string::npos)
+                raw = raw.substr(0, hash);
+            std::string s = trim(raw);
+            // Peel any leading labels.
+            for (;;) {
+                std::size_t colon = s.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = trim(s.substr(0, colon));
+                if (head.empty() || head.find_first_of(" \t(") !=
+                                        std::string::npos) {
+                    break; // ':' belongs to something else (not a label)
+                }
+                Addr here = in_text ? code_pc : dataCursor_;
+                if (!prog_.symbols.emplace(head, here).second)
+                    err(line, "duplicate label '" + head + "'");
+                s = trim(s.substr(colon + 1));
+            }
+            if (s.empty())
+                continue;
+
+            if (s[0] == '.') {
+                std::istringstream ls(s);
+                std::string dir;
+                ls >> dir;
+                std::string rest = trim(s.substr(dir.size()));
+                if (dir == ".text") {
+                    in_text = true;
+                } else if (dir == ".data") {
+                    in_text = false;
+                } else if (dir == ".word") {
+                    if (in_text)
+                        err(line, ".word in .text segment");
+                    for (const std::string &tok : splitOperands(rest)) {
+                        prog_.dataWords[dataCursor_] = parseIntImm(tok, line);
+                        dataCursor_ += 8;
+                    }
+                } else if (dir == ".double") {
+                    if (in_text)
+                        err(line, ".double in .text segment");
+                    for (const std::string &tok : splitOperands(rest)) {
+                        prog_.dataWords[dataCursor_] =
+                            exec::fromF(std::strtod(tok.c_str(), nullptr));
+                        dataCursor_ += 8;
+                    }
+                } else if (dir == ".space") {
+                    if (in_text)
+                        err(line, ".space in .text segment");
+                    std::int64_t n = parseIntImm(rest, line);
+                    if (n < 0)
+                        err(line, "negative .space");
+                    dataCursor_ += static_cast<Addr>((n + 7) / 8) * 8;
+                } else {
+                    err(line, "unknown directive '" + dir + "'");
+                }
+                continue;
+            }
+
+            if (!in_text)
+                err(line, "instruction in .data segment");
+
+            std::istringstream ls(s);
+            Stmt st;
+            st.line = line;
+            ls >> st.mnemonic;
+            std::string rest = trim(s.substr(st.mnemonic.size()));
+            st.operands = splitOperands(rest);
+            stmts_.push_back(std::move(st));
+            code_pc += instBytes;
+        }
+    }
+
+    /** Parse a register token; returns unified index. */
+    RegIndex
+    parseReg(const std::string &tok, RegClass rc, int line) const
+    {
+        std::string t = tok;
+        RegIndex idx = -1;
+        if (t == "zero") {
+            idx = regZero;
+        } else if (t == "ra") {
+            idx = regRa;
+        } else if (t == "sp") {
+            idx = regSp;
+        } else if (t == "tid") {
+            idx = regTid;
+        } else if (t.size() >= 2 && (t[0] == 'r' || t[0] == 'f') &&
+                   std::isdigit(static_cast<unsigned char>(t[1]))) {
+            int n = std::atoi(t.c_str() + 1);
+            if (t[0] == 'r') {
+                if (n < 0 || n >= numIntRegs)
+                    err(line, "bad integer register '" + tok + "'");
+                idx = n;
+            } else {
+                if (n < 0 || n >= numFpRegs)
+                    err(line, "bad fp register '" + tok + "'");
+                idx = fpReg(n);
+            }
+        } else {
+            err(line, "expected register, got '" + tok + "'");
+        }
+        bool is_fp = idx >= numIntRegs;
+        if (rc == RegClass::Fp && !is_fp)
+            err(line, "expected fp register, got '" + tok + "'");
+        if (rc == RegClass::Int && is_fp)
+            err(line, "expected integer register, got '" + tok + "'");
+        return idx;
+    }
+
+    /** Parse a pure integer immediate (dec or 0x hex, optional sign). */
+    std::int64_t
+    parseIntImm(const std::string &tok, int line) const
+    {
+        if (tok.empty())
+            err(line, "missing immediate");
+        char *end = nullptr;
+        long long v = std::strtoll(tok.c_str(), &end, 0);
+        if (end == tok.c_str() || *end != '\0')
+            err(line, "bad immediate '" + tok + "'");
+        return v;
+    }
+
+    /** Parse an immediate that may be a label (resolved to its address). */
+    std::int64_t
+    parseImmOrLabel(const std::string &tok, int line) const
+    {
+        if (!tok.empty() &&
+            (std::isdigit(static_cast<unsigned char>(tok[0])) ||
+             tok[0] == '-' || tok[0] == '+')) {
+            return parseIntImm(tok, line);
+        }
+        auto it = prog_.symbols.find(tok);
+        if (it == prog_.symbols.end())
+            err(line, "undefined label '" + tok + "'");
+        return static_cast<std::int64_t>(it->second);
+    }
+
+    /** Parse "imm(reg)" or "label(reg)" memory operands. */
+    void
+    parseMemOperand(const std::string &tok, int line, std::int64_t &imm,
+                    RegIndex &base) const
+    {
+        std::size_t lp = tok.find('(');
+        std::size_t rp = tok.rfind(')');
+        if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+            err(line, "bad memory operand '" + tok + "'");
+        std::string off = trim(tok.substr(0, lp));
+        std::string reg = trim(tok.substr(lp + 1, rp - lp - 1));
+        imm = off.empty() ? 0 : parseImmOrLabel(off, line);
+        base = parseReg(reg, RegClass::Int, line);
+    }
+
+    void
+    need(const Stmt &st, std::size_t n) const
+    {
+        if (st.operands.size() != n)
+            err(st.line, "expected " + std::to_string(n) + " operands for '"
+                + st.mnemonic + "', got "
+                + std::to_string(st.operands.size()));
+    }
+
+    void
+    encodeAll()
+    {
+        prog_.code.reserve(stmts_.size());
+        for (const Stmt &st : stmts_)
+            prog_.code.push_back(encode(st));
+    }
+
+    Instruction
+    encode(const Stmt &st)
+    {
+        auto it = mnemonics().find(st.mnemonic);
+        if (it == mnemonics().end())
+            err(st.line, "unknown mnemonic '" + st.mnemonic + "'");
+        const MnemonicInfo &mi = it->second;
+        Instruction in;
+        in.op = mi.op;
+
+        switch (mi.fmt) {
+          case Format::R3:
+            need(st, 3);
+            in.rd = parseReg(st.operands[0], mi.dst, st.line);
+            in.rs1 = parseReg(st.operands[1], mi.src, st.line);
+            in.rs2 = parseReg(st.operands[2], mi.src, st.line);
+            break;
+          case Format::R2:
+            need(st, 2);
+            in.rd = parseReg(st.operands[0], mi.dst, st.line);
+            in.rs1 = parseReg(st.operands[1], mi.src, st.line);
+            if (st.mnemonic == "mv")
+                in.rs2 = regZero;
+            break;
+          case Format::I2:
+            need(st, 3);
+            in.rd = parseReg(st.operands[0], RegClass::Int, st.line);
+            in.rs1 = parseReg(st.operands[1], RegClass::Int, st.line);
+            in.imm = parseImmOrLabel(st.operands[2], st.line);
+            break;
+          case Format::LI:
+            need(st, 2);
+            in.rd = parseReg(st.operands[0], mi.dst, st.line);
+            if (in.op == Opcode::FLI) {
+                in.imm = static_cast<std::int64_t>(
+                    exec::fromF(std::strtod(st.operands[1].c_str(),
+                                            nullptr)));
+            } else {
+                in.imm = parseImmOrLabel(st.operands[1], st.line);
+            }
+            break;
+          case Format::MEM: {
+            need(st, 2);
+            bool is_store = in.op == Opcode::ST || in.op == Opcode::FST;
+            RegIndex data_reg = parseReg(st.operands[0], mi.dst, st.line);
+            parseMemOperand(st.operands[1], st.line, in.imm, in.rs1);
+            if (is_store)
+                in.rs2 = data_reg;
+            else
+                in.rd = data_reg;
+            break;
+          }
+          case Format::BR: {
+            need(st, 3);
+            RegIndex a = parseReg(st.operands[0], RegClass::Int, st.line);
+            RegIndex b = parseReg(st.operands[1], RegClass::Int, st.line);
+            // bgt/ble are encoded by swapping the comparison operands.
+            bool swapped = st.mnemonic == "bgt" || st.mnemonic == "ble";
+            in.rs1 = swapped ? b : a;
+            in.rs2 = swapped ? a : b;
+            in.imm = parseImmOrLabel(st.operands[2], st.line);
+            break;
+          }
+          case Format::BRZ:
+            need(st, 2);
+            in.rs1 = parseReg(st.operands[0], RegClass::Int, st.line);
+            in.rs2 = regZero;
+            in.imm = parseImmOrLabel(st.operands[1], st.line);
+            break;
+          case Format::JLBL:
+            need(st, 1);
+            in.imm = parseImmOrLabel(st.operands[0], st.line);
+            if (in.op == Opcode::JAL)
+                in.rd = regRa;
+            break;
+          case Format::JREG:
+            need(st, 1);
+            in.rs1 = parseReg(st.operands[0], RegClass::Int, st.line);
+            if (in.op == Opcode::JALR)
+                in.rd = regRa;
+            break;
+          case Format::S0:
+            need(st, 0);
+            if (st.mnemonic == "ret")
+                in.rs1 = regRa;
+            break;
+          case Format::S1:
+            need(st, 1);
+            in.rs1 = parseReg(st.operands[0], RegClass::Int, st.line);
+            break;
+          case Format::S2:
+            need(st, 2);
+            in.rs1 = parseReg(st.operands[0], RegClass::Int, st.line);
+            in.rs2 = parseReg(st.operands[1], RegClass::Int, st.line);
+            break;
+        }
+        return in;
+    }
+
+    const std::string &src_;
+    Program prog_;
+    Addr dataCursor_;
+    std::vector<Stmt> stmts_;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source, Addr code_base, Addr data_base)
+{
+    return Assembler(source, code_base, data_base).run();
+}
+
+} // namespace mmt

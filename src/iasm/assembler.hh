@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Two-pass textual assembler for MMT-RISC.
+ *
+ * Syntax overview:
+ * @code
+ *   # comment            ; also a comment
+ *   .text                # switch to code segment (default)
+ *   main:
+ *       li   r1, 100     # full 64-bit immediate
+ *       la   r2, table   # load a label's address
+ *       ld   r3, 8(r2)
+ *       fadd f1, f2, f3
+ *       fli  f4, 3.25    # floating-point immediate
+ *       beqz r1, done
+ *       call helper      # jal ra, helper
+ *   done:
+ *       halt
+ *   .data
+ *   table: .word 1, 2, 3
+ *   buf:   .space 64
+ *   pi:    .double 3.14159
+ * @endcode
+ *
+ * All data directives operate on 8-byte words. Undefined labels, malformed
+ * operands and wrong register classes are reported with fatal() including
+ * the source line number.
+ */
+
+#ifndef MMT_IASM_ASSEMBLER_HH
+#define MMT_IASM_ASSEMBLER_HH
+
+#include <string>
+
+#include "iasm/program.hh"
+
+namespace mmt
+{
+
+/**
+ * Assemble @p source into a Program.
+ *
+ * @param source full assembly text
+ * @param code_base base address of the code segment
+ * @param data_base base address of the data segment
+ * @return the assembled program; entry is the "main" label if defined,
+ *         otherwise the first instruction.
+ */
+Program assemble(const std::string &source,
+                 Addr code_base = defaultCodeBase,
+                 Addr data_base = defaultDataBase);
+
+} // namespace mmt
+
+#endif // MMT_IASM_ASSEMBLER_HH

@@ -1,0 +1,47 @@
+#include "iasm/program.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+const Instruction &
+Program::fetch(Addr pc) const
+{
+    mmt_assert(validPc(pc), "fetch of invalid PC %#lx",
+               static_cast<unsigned long>(pc));
+    return code[(pc - codeBase) / instBytes];
+}
+
+Addr
+Program::symbol(const std::string &label) const
+{
+    auto it = symbols.find(label);
+    if (it == symbols.end())
+        fatal("undefined symbol '%s'", label.c_str());
+    return it->second;
+}
+
+std::string
+Program::disassemble() const
+{
+    // Build a reverse map from address to label for annotation.
+    std::map<Addr, std::string> by_addr;
+    for (const auto &[name, addr] : symbols)
+        by_addr[addr] = name;
+
+    std::ostringstream os;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        Addr pc = codeBase + i * instBytes;
+        auto it = by_addr.find(pc);
+        if (it != by_addr.end())
+            os << it->second << ":\n";
+        os << "  " << std::hex << pc << std::dec << ":  "
+           << code[i].toString() << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mmt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Program — an assembled MMT-RISC binary image: code, initial data words,
+ * and the symbol table.
+ */
+
+#ifndef MMT_IASM_PROGRAM_HH
+#define MMT_IASM_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Default base address of the code segment. */
+constexpr Addr defaultCodeBase = 0x1000;
+/** Default base address of the data segment. */
+constexpr Addr defaultDataBase = 0x100000;
+/** Top-of-stack for thread 0; thread t gets stackTop - t*stackBytes. */
+constexpr Addr defaultStackTop = 0x7ff0000;
+/** Stack bytes reserved per thread. */
+constexpr Addr defaultStackBytes = 0x10000;
+
+/** An assembled program. */
+class Program
+{
+  public:
+    /** Instruction stream; instruction i lives at codeBase + 4*i. */
+    std::vector<Instruction> code;
+    /** Initial 8-byte data words keyed by absolute address. */
+    std::map<Addr, RegVal> dataWords;
+    /** Label name -> absolute address (code or data). */
+    std::map<std::string, Addr> symbols;
+
+    Addr codeBase = defaultCodeBase;
+    /** Entry PC (address of label "main" if present, else codeBase). */
+    Addr entry = defaultCodeBase;
+
+    /** Address just past the last instruction. */
+    Addr
+    codeLimit() const
+    {
+        return codeBase + code.size() * instBytes;
+    }
+
+    /** True if @p pc addresses an instruction of this program. */
+    bool
+    validPc(Addr pc) const
+    {
+        return pc >= codeBase && pc < codeLimit() &&
+               (pc - codeBase) % instBytes == 0;
+    }
+
+    /** The instruction at @p pc; panics if out of range. */
+    const Instruction &fetch(Addr pc) const;
+
+    /** Address of @p label; fatal if undefined. */
+    Addr symbol(const std::string &label) const;
+
+    /** Full disassembly listing (for debugging and tests). */
+    std::string disassemble() const;
+};
+
+} // namespace mmt
+
+#endif // MMT_IASM_PROGRAM_HH

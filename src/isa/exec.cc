@@ -1,0 +1,120 @@
+#include "isa/exec.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace exec
+{
+
+double
+toF(RegVal v)
+{
+    return std::bit_cast<double>(v);
+}
+
+RegVal
+fromF(double d)
+{
+    return std::bit_cast<RegVal>(d);
+}
+
+namespace
+{
+std::int64_t
+sx(RegVal v)
+{
+    return static_cast<std::int64_t>(v);
+}
+} // namespace
+
+RegVal
+evalAlu(const Instruction &inst, RegVal a, RegVal b, Addr pc)
+{
+    switch (inst.op) {
+      case Opcode::ADD: return a + b;
+      case Opcode::SUB: return a - b;
+      case Opcode::MUL: return a * b;
+      case Opcode::DIV:
+        return b == 0 ? ~RegVal(0)
+                      : static_cast<RegVal>(sx(a) / sx(b));
+      case Opcode::REM:
+        return b == 0 ? a : static_cast<RegVal>(sx(a) % sx(b));
+      case Opcode::AND: return a & b;
+      case Opcode::OR:  return a | b;
+      case Opcode::XOR: return a ^ b;
+      case Opcode::SLL: return a << (b & 63);
+      case Opcode::SRL: return a >> (b & 63);
+      case Opcode::SRA: return static_cast<RegVal>(sx(a) >> (b & 63));
+      case Opcode::SLT: return sx(a) < sx(b) ? 1 : 0;
+      case Opcode::SLTU: return a < b ? 1 : 0;
+      case Opcode::ADDI: return a + static_cast<RegVal>(inst.imm);
+      case Opcode::ANDI: return a & static_cast<RegVal>(inst.imm);
+      case Opcode::ORI:  return a | static_cast<RegVal>(inst.imm);
+      case Opcode::XORI: return a ^ static_cast<RegVal>(inst.imm);
+      case Opcode::SLLI: return a << (inst.imm & 63);
+      case Opcode::SRLI: return a >> (inst.imm & 63);
+      case Opcode::SRAI: return static_cast<RegVal>(sx(a) >> (inst.imm & 63));
+      case Opcode::SLTI: return sx(a) < inst.imm ? 1 : 0;
+      case Opcode::LUI:  return static_cast<RegVal>(inst.imm);
+      case Opcode::FADD: return fromF(toF(a) + toF(b));
+      case Opcode::FSUB: return fromF(toF(a) - toF(b));
+      case Opcode::FMUL: return fromF(toF(a) * toF(b));
+      case Opcode::FDIV: return fromF(toF(a) / toF(b));
+      case Opcode::FSQRT: return fromF(std::sqrt(toF(a)));
+      case Opcode::FNEG: return fromF(-toF(a));
+      case Opcode::FABS: return fromF(std::fabs(toF(a)));
+      case Opcode::FMIN: return fromF(std::fmin(toF(a), toF(b)));
+      case Opcode::FMAX: return fromF(std::fmax(toF(a), toF(b)));
+      case Opcode::FEXP: return fromF(std::exp(toF(a)));
+      case Opcode::FLOG:
+        return fromF(toF(a) > 0.0 ? std::log(toF(a)) : 0.0);
+      case Opcode::FLI:  return static_cast<RegVal>(inst.imm);
+      case Opcode::FMV:  return a;
+      case Opcode::FCVT: return fromF(static_cast<double>(sx(a)));
+      case Opcode::FCVTI:
+        return static_cast<RegVal>(static_cast<std::int64_t>(toF(a)));
+      case Opcode::FCLT: return toF(a) < toF(b) ? 1 : 0;
+      case Opcode::FCLE: return toF(a) <= toF(b) ? 1 : 0;
+      case Opcode::FCEQ: return toF(a) == toF(b) ? 1 : 0;
+      case Opcode::JAL:
+      case Opcode::JALR:
+        return pc + instBytes;
+      default:
+        panic("evalAlu on non-ALU opcode %s", inst.info().mnemonic);
+    }
+}
+
+BranchOut
+evalBranch(const Instruction &inst, RegVal a, RegVal b, Addr pc)
+{
+    BranchOut out;
+    switch (inst.op) {
+      case Opcode::BEQ:  out.taken = a == b; break;
+      case Opcode::BNE:  out.taken = a != b; break;
+      case Opcode::BLT:  out.taken = sx(a) < sx(b); break;
+      case Opcode::BGE:  out.taken = sx(a) >= sx(b); break;
+      case Opcode::BLTU: out.taken = a < b; break;
+      case Opcode::BGEU: out.taken = a >= b; break;
+      case Opcode::J:
+      case Opcode::JAL:
+        out.taken = true;
+        break;
+      case Opcode::JR:
+      case Opcode::JALR:
+        out.taken = true;
+        out.target = static_cast<Addr>(a);
+        return out;
+      default:
+        panic("evalBranch on non-control opcode %s", inst.info().mnemonic);
+    }
+    out.target = out.taken ? static_cast<Addr>(inst.imm)
+                           : pc + instBytes;
+    return out;
+}
+
+} // namespace exec
+} // namespace mmt

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Functional semantics of MMT-RISC instructions.
+ *
+ * These helpers are shared by the golden-model interpreter, the profiling
+ * tracer, and the timing pipeline (which executes functionally at dispatch
+ * per the SimpleScalar sim-outorder methodology; see DESIGN.md §3).
+ */
+
+#ifndef MMT_ISA_EXEC_HH
+#define MMT_ISA_EXEC_HH
+
+#include "common/types.hh"
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+/** Outcome of a control-transfer instruction. */
+struct BranchOut
+{
+    bool taken = false;
+    Addr target = 0;
+};
+
+namespace exec
+{
+
+/**
+ * Evaluate a destination-writing, non-load instruction.
+ *
+ * @param inst the instruction (any ALU/FPU/jump-with-link op)
+ * @param a value of rs1 (ignored if unused)
+ * @param b value of rs2 (ignored if unused)
+ * @param pc the instruction's own PC (for link values)
+ * @return the destination register value
+ */
+RegVal evalAlu(const Instruction &inst, RegVal a, RegVal b, Addr pc);
+
+/**
+ * Evaluate a control-transfer instruction's direction and target.
+ *
+ * @param a value of rs1 (for compares and indirect jumps)
+ * @param b value of rs2 (for compares)
+ * @param pc the branch's own PC
+ */
+BranchOut evalBranch(const Instruction &inst, RegVal a, RegVal b, Addr pc);
+
+/** Effective address of a load or store. @p base is the rs1 value. */
+inline Addr
+effectiveAddr(const Instruction &inst, RegVal base)
+{
+    return static_cast<Addr>(base + static_cast<RegVal>(inst.imm));
+}
+
+/** Bit-cast helpers between RegVal and double. */
+double toF(RegVal v);
+RegVal fromF(double d);
+
+} // namespace exec
+
+} // namespace mmt
+
+#endif // MMT_ISA_EXEC_HH

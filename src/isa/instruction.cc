@@ -1,0 +1,142 @@
+#include "isa/isa.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+// Shorthand flags for the table below.
+constexpr bool Y = true;
+constexpr bool N = false;
+
+// mnemonic, class, wrDest, rdS1, rdS2, load, store, condBr, uncond, syscall
+const InstInfo infoTable[] = {
+    {"nop",     OpClass::IntAlu,  N, N, N, N, N, N, N, N},
+    {"add",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"sub",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"mul",     OpClass::IntMult, Y, Y, Y, N, N, N, N, N},
+    {"div",     OpClass::IntDiv,  Y, Y, Y, N, N, N, N, N},
+    {"rem",     OpClass::IntDiv,  Y, Y, Y, N, N, N, N, N},
+    {"and",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"or",      OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"xor",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"sll",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"srl",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"sra",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"slt",     OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"sltu",    OpClass::IntAlu,  Y, Y, Y, N, N, N, N, N},
+    {"addi",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"andi",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"ori",     OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"xori",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"slli",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"srli",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"srai",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"slti",    OpClass::IntAlu,  Y, Y, N, N, N, N, N, N},
+    {"lui",     OpClass::IntAlu,  Y, N, N, N, N, N, N, N},
+    {"fadd",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fsub",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fmul",    OpClass::FpMult,  Y, Y, Y, N, N, N, N, N},
+    {"fdiv",    OpClass::FpDiv,   Y, Y, Y, N, N, N, N, N},
+    {"fsqrt",   OpClass::FpLong,  Y, Y, N, N, N, N, N, N},
+    {"fneg",    OpClass::FpAlu,   Y, Y, N, N, N, N, N, N},
+    {"fabs",    OpClass::FpAlu,   Y, Y, N, N, N, N, N, N},
+    {"fmin",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fmax",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fexp",    OpClass::FpLong,  Y, Y, N, N, N, N, N, N},
+    {"flog",    OpClass::FpLong,  Y, Y, N, N, N, N, N, N},
+    {"fli",     OpClass::FpAlu,   Y, N, N, N, N, N, N, N},
+    {"fmv",     OpClass::FpAlu,   Y, Y, N, N, N, N, N, N},
+    {"fcvt",    OpClass::FpAlu,   Y, Y, N, N, N, N, N, N},
+    {"fcvti",   OpClass::FpAlu,   Y, Y, N, N, N, N, N, N},
+    {"fclt",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fcle",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"fceq",    OpClass::FpAlu,   Y, Y, Y, N, N, N, N, N},
+    {"ld",      OpClass::MemRead, Y, Y, N, Y, N, N, N, N},
+    {"st",      OpClass::MemWrite,N, Y, Y, N, Y, N, N, N},
+    {"fld",     OpClass::MemRead, Y, Y, N, Y, N, N, N, N},
+    {"fst",     OpClass::MemWrite,N, Y, Y, N, Y, N, N, N},
+    {"beq",     OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"bne",     OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"blt",     OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"bge",     OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"bltu",    OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"bgeu",    OpClass::Branch,  N, Y, Y, N, N, Y, N, N},
+    {"j",       OpClass::Jump,    N, N, N, N, N, N, Y, N},
+    {"jal",     OpClass::Jump,    Y, N, N, N, N, N, Y, N},
+    {"jr",      OpClass::Jump,    N, Y, N, N, N, N, Y, N},
+    {"jalr",    OpClass::Jump,    Y, Y, N, N, N, N, Y, N},
+    {"halt",    OpClass::Syscall, N, N, N, N, N, N, N, Y},
+    {"barrier", OpClass::Syscall, N, N, N, N, N, N, N, Y},
+    {"out",     OpClass::Syscall, N, Y, N, N, N, N, N, Y},
+    {"send",    OpClass::Syscall, N, Y, Y, N, N, N, N, Y},
+    {"recv",    OpClass::Syscall, Y, Y, N, N, N, N, N, Y},
+    {"mergehint", OpClass::Syscall, N, N, N, N, N, N, N, Y},
+};
+
+static_assert(sizeof(infoTable) / sizeof(infoTable[0]) ==
+                  static_cast<std::size_t>(Opcode::NumOpcodes),
+              "infoTable out of sync with Opcode enum");
+
+} // namespace
+
+const InstInfo &
+instInfo(Opcode op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    mmt_assert(idx < static_cast<std::size_t>(Opcode::NumOpcodes),
+               "bad opcode %zu", idx);
+    return infoTable[idx];
+}
+
+std::string
+regName(RegIndex unified)
+{
+    if (unified < 0)
+        return "-";
+    if (unified < numIntRegs)
+        return "r" + std::to_string(unified);
+    return "f" + std::to_string(unified - numIntRegs);
+}
+
+std::string
+Instruction::toString() const
+{
+    const InstInfo &inf = info();
+    std::ostringstream os;
+    os << inf.mnemonic;
+    bool first = true;
+    auto sep = [&]() -> std::ostream & {
+        os << (first ? " " : ", ");
+        first = false;
+        return os;
+    };
+    // JAL/JALR link through ra implicitly in assembly syntax.
+    bool implicit_link = op == Opcode::JAL || op == Opcode::JALR;
+    if (inf.writesDest && !implicit_link)
+        sep() << regName(rd);
+    if (isMem()) {
+        if (isStore())
+            sep() << regName(rs2);
+        sep() << imm << "(" << regName(rs1) << ")";
+        return os.str();
+    }
+    if (inf.readsSrc1)
+        sep() << regName(rs1);
+    if (inf.readsSrc2)
+        sep() << regName(rs2);
+    if (op == Opcode::LUI || op == Opcode::FLI || isCondBranch() ||
+        op == Opcode::J || op == Opcode::JAL ||
+        (inf.readsSrc1 && !inf.readsSrc2 && !isUncondJump() &&
+         inf.opClass == OpClass::IntAlu && op != Opcode::NOP)) {
+        sep() << imm;
+    }
+    return os.str();
+}
+
+} // namespace mmt

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * MMT-RISC: the 64-bit load/store ISA executed by the simulator.
+ *
+ * The paper's mechanisms are ISA-neutral — they need only architected
+ * register ids and PCs — so we define a compact RISC with 32 integer and
+ * 32 floating-point registers. Register indices are *unified*: integer
+ * registers occupy [0, 32) and FP registers [32, 64), so the RAT, RST and
+ * renaming logic treat all architected registers uniformly.
+ *
+ * Software conventions (set up by the simulator at thread start):
+ *   r0  — hardwired zero
+ *   r28 — thread id (tid)
+ *   r29 — stack pointer (sp); differs per thread in MT workloads (§3.1)
+ *   r31 — return address (ra)
+ *
+ * Instructions are conceptually 4 bytes; instruction i of a program lives
+ * at codeBase + 4*i. Branch/jump targets in Instruction::imm are absolute
+ * byte addresses (the assembler resolves labels).
+ */
+
+#ifndef MMT_ISA_ISA_HH
+#define MMT_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Number of architected integer registers. */
+constexpr int numIntRegs = 32;
+/** Number of architected floating-point registers. */
+constexpr int numFpRegs = 32;
+/** Total architected registers in the unified index space. */
+constexpr int numArchRegs = numIntRegs + numFpRegs;
+
+/** Unified index of FP register f<i>. */
+constexpr RegIndex
+fpReg(int i)
+{
+    return numIntRegs + i;
+}
+
+/** Well-known registers. */
+constexpr RegIndex regZero = 0;
+constexpr RegIndex regTid = 28;
+constexpr RegIndex regSp = 29;
+constexpr RegIndex regRa = 31;
+
+/** Bytes per instruction slot. */
+constexpr Addr instBytes = 4;
+
+/** Operation repertoire. */
+enum class Opcode : std::uint8_t
+{
+    NOP,
+    // Integer ALU, register-register.
+    ADD, SUB, MUL, DIV, REM,
+    AND, OR, XOR, SLL, SRL, SRA,
+    SLT, SLTU,
+    // Integer ALU, register-immediate.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    LUI,        // rd = imm (full 64-bit immediate materialization)
+    // Floating point (operands are f-registers; values bit-cast doubles).
+    FADD, FSUB, FMUL, FDIV, FSQRT, FNEG, FABS, FMIN, FMAX,
+    FEXP, FLOG,     // long-latency transcendental units
+    FLI,            // fd = bit-cast double immediate
+    FMV,            // fd = fs
+    FCVT,           // fd = (double) signed rs1 (int -> fp)
+    FCVTI,          // rd = (int64) trunc fs1  (fp -> int)
+    FCLT, FCLE, FCEQ, // rd (int) = fs1 <op> fs2
+    // Memory (64-bit only). Address = rs1 + imm.
+    LD,  // rd (int) = mem[rs1 + imm]
+    ST,  // mem[rs1 + imm] = rs2 (int)
+    FLD, // fd = mem[rs1 + imm]
+    FST, // mem[rs1 + imm] = fs2
+    // Control transfer. Conditional targets and J/JAL targets are in imm.
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    J,    // unconditional jump to imm
+    JAL,  // rd = return address; jump to imm
+    JR,   // jump to rs1
+    JALR, // rd = return address; jump to rs1
+    // System.
+    HALT,    // terminate this thread
+    BARRIER, // block until all live threads reach a barrier
+    OUT,     // append rs1's value to the thread's output log (for tests)
+    // Message passing (extension; paper §7 names this class as future
+    // work). Contexts communicate through per-pair FIFO channels of a
+    // MessageNetwork instead of shared memory.
+    SEND,    // send rs2's value to context rs1
+    RECV,    // rd = next message from context rs1 (blocks until one)
+    /**
+     * Software re-merge hint (Thread Fusion-style, cf. paper §2): a
+     * timing-only no-op marking a point where the compiler/programmer
+     * expects divergent threads to re-join. A diverged group reaching a
+     * hint waits a bounded number of cycles for the others to arrive so
+     * the PC-coincidence merge can fire. No architectural effect.
+     */
+    MERGEHINT,
+    NumOpcodes,
+};
+
+/** Functional-unit class; selects latency and FU pool in the timing model. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FpAlu,
+    FpMult,
+    FpDiv,
+    FpLong,   // sqrt/exp/log
+    MemRead,
+    MemWrite,
+    Branch,   // conditional branches
+    Jump,     // unconditional jumps/calls/returns
+    Syscall,
+    NumOpClasses,
+};
+
+/** Static per-opcode properties, looked up via instInfo(). */
+struct InstInfo
+{
+    const char *mnemonic;
+    OpClass opClass;
+    bool writesDest;   // has a destination register
+    bool readsSrc1;
+    bool readsSrc2;
+    bool isLoad;
+    bool isStore;
+    bool isCondBranch;
+    bool isUncondJump; // J/JAL/JR/JALR
+    bool isSyscall;
+};
+
+/** Static properties of @p op. */
+const InstInfo &instInfo(Opcode op);
+
+/** A decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    RegIndex rd = -1;  // unified destination index or -1
+    RegIndex rs1 = -1; // unified source 1 index or -1
+    RegIndex rs2 = -1; // unified source 2 index or -1
+    std::int64_t imm = 0;
+
+    const InstInfo &info() const { return instInfo(op); }
+
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const { return info().isCondBranch; }
+    bool isUncondJump() const { return info().isUncondJump; }
+    bool isControl() const { return isCondBranch() || isUncondJump(); }
+    /** True for JR/JALR whose target comes from a register. */
+    bool isIndirectJump() const
+    {
+        return op == Opcode::JR || op == Opcode::JALR;
+    }
+    bool isSyscall() const { return info().isSyscall; }
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+};
+
+/** Register name in assembly syntax ("r7", "f3"). */
+std::string regName(RegIndex unified);
+
+} // namespace mmt
+
+#endif // MMT_ISA_ISA_HH

@@ -1,0 +1,96 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    std::uint64_t lines = params_.sizeBytes /
+                          static_cast<std::uint64_t>(params_.lineBytes);
+    mmt_assert(lines % params_.assoc == 0, "cache geometry mismatch");
+    numSets_ = lines / params_.assoc;
+    mmt_assert(std::has_single_bit(numSets_),
+               "number of sets must be a power of two (%s)",
+               params_.name.c_str());
+    lines_.resize(lines);
+}
+
+std::uint64_t
+Cache::setIndex(std::uint64_t line_addr) const
+{
+    return line_addr & (numSets_ - 1);
+}
+
+Cache::AccessResult
+Cache::access(AddressSpaceId asid, Addr addr, Cycles now,
+              Cycles fill_latency)
+{
+    ++accesses;
+    std::uint64_t la = lineAddr(asid, addr, params_.lineBytes);
+    std::uint64_t set = setIndex(la);
+    Line *base = &lines_[set * params_.assoc];
+    Line *victim = base;
+    for (int w = 0; w < params_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == la) {
+            l.lastUse = ++useClock_;
+            // Hit-under-fill: the data may still be in flight.
+            return {true, std::max(now, l.fillReadyAt)};
+        }
+        if (!l.valid) {
+            victim = &l;
+        } else if (victim->valid && l.lastUse < victim->lastUse) {
+            victim = &l;
+        }
+    }
+    ++misses;
+    victim->valid = true;
+    victim->tag = la;
+    victim->lastUse = ++useClock_;
+    victim->fillReadyAt = now + fill_latency;
+    return {false, victim->fillReadyAt};
+}
+
+bool
+Cache::probe(AddressSpaceId asid, Addr addr) const
+{
+    std::uint64_t la = lineAddr(asid, addr, params_.lineBytes);
+    std::uint64_t set = setIndex(la);
+    const Line *base = &lines_[set * params_.assoc];
+    for (int w = 0; w < params_.assoc; ++w) {
+        if (base[w].valid && base[w].tag == la)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::setFillTime(AddressSpaceId asid, Addr addr, Cycles ready_at)
+{
+    std::uint64_t la = lineAddr(asid, addr, params_.lineBytes);
+    std::uint64_t set = setIndex(la);
+    Line *base = &lines_[set * params_.assoc];
+    for (int w = 0; w < params_.assoc; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == la) {
+            l.fillReadyAt = ready_at;
+            return;
+        }
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l.valid = false;
+    useClock_ = 0;
+    accesses.reset();
+    misses.reset();
+}
+
+} // namespace mmt

@@ -1,0 +1,71 @@
+#include "mem/memory_image.hh"
+
+#include "common/logging.hh"
+#include "iasm/program.hh"
+
+namespace mmt
+{
+
+MemoryImage::Page &
+MemoryImage::page(Addr addr)
+{
+    Addr key = addr / pageBytes;
+    auto it = pages_.find(key);
+    if (it == pages_.end())
+        it = pages_.emplace(key, Page(pageBytes / 8, 0)).first;
+    return it->second;
+}
+
+const MemoryImage::Page *
+MemoryImage::pageIfPresent(Addr addr) const
+{
+    auto it = pages_.find(addr / pageBytes);
+    return it == pages_.end() ? nullptr : &it->second;
+}
+
+RegVal
+MemoryImage::read64(Addr addr) const
+{
+    mmt_assert((addr & 7) == 0, "unaligned read at %#lx",
+               static_cast<unsigned long>(addr));
+    const Page *p = pageIfPresent(addr);
+    if (!p)
+        return 0;
+    return (*p)[(addr % pageBytes) / 8];
+}
+
+void
+MemoryImage::write64(Addr addr, RegVal value)
+{
+    mmt_assert((addr & 7) == 0, "unaligned write at %#lx",
+               static_cast<unsigned long>(addr));
+    page(addr)[(addr % pageBytes) / 8] = value;
+}
+
+void
+MemoryImage::loadData(const Program &prog)
+{
+    for (const auto &[addr, value] : prog.dataWords)
+        write64(addr, value);
+}
+
+bool
+MemoryImage::contentEquals(const MemoryImage &other) const
+{
+    // Every nonzero word in either image must match the other's view.
+    auto covered_by = [](const MemoryImage &a, const MemoryImage &b) {
+        for (const auto &[key, pg] : a.pages_) {
+            for (std::size_t i = 0; i < pg.size(); ++i) {
+                if (pg[i] == 0)
+                    continue;
+                Addr addr = key * pageBytes + i * 8;
+                if (b.read64(addr) != pg[i])
+                    return false;
+            }
+        }
+        return true;
+    };
+    return covered_by(*this, other) && covered_by(other, *this);
+}
+
+} // namespace mmt

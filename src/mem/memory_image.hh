@@ -1,0 +1,62 @@
+/**
+ * @file
+ * MemoryImage — sparse functional memory for one address space.
+ *
+ * MT workloads share a single image among all threads; ME workloads give
+ * each program instance its own image (paper §3.1: "No memory is shared,
+ * so a load from the same virtual address in different threads may or may
+ * not return the same data").
+ *
+ * Only 8-byte aligned 64-bit accesses are supported; the ISA is
+ * word-oriented (see isa.hh).
+ */
+
+#ifndef MMT_MEM_MEMORY_IMAGE_HH
+#define MMT_MEM_MEMORY_IMAGE_HH
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mmt
+{
+
+class Program;
+
+/** Sparse, page-granular functional memory. */
+class MemoryImage
+{
+  public:
+    /** Read the 64-bit word at @p addr (must be 8-byte aligned). */
+    RegVal read64(Addr addr) const;
+
+    /** Write the 64-bit word at @p addr (must be 8-byte aligned). */
+    void write64(Addr addr, RegVal value);
+
+    /** Copy a program's initial data words into this image. */
+    void loadData(const Program &prog);
+
+    /** Number of resident pages (for tests). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+    /**
+     * Compare the resident, nonzero content of two images.
+     * Untouched (implicitly zero) locations compare equal.
+     */
+    bool contentEquals(const MemoryImage &other) const;
+
+  private:
+    static constexpr Addr pageBytes = 4096;
+    using Page = std::vector<RegVal>; // pageBytes / 8 words
+
+    Page &page(Addr addr);
+    const Page *pageIfPresent(Addr addr) const;
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace mmt
+
+#endif // MMT_MEM_MEMORY_IMAGE_HH

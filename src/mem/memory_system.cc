@@ -1,0 +1,74 @@
+#include "mem/memory_system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+MemorySystem::MemorySystem(const MemoryParams &params)
+    : params_(params), l1i_(params.l1i), l1d_(params.l1d), l2_(params.l2),
+      mshrFreeAt_(static_cast<std::size_t>(params.numMshrs), 0)
+{
+    mmt_assert(params_.numMshrs > 0, "need at least one MSHR");
+}
+
+Cycles
+MemorySystem::allocMshr(Cycles now, Cycles service_latency)
+{
+    auto it = std::min_element(mshrFreeAt_.begin(), mshrFreeAt_.end());
+    Cycles start = now;
+    if (*it > now) {
+        ++mshrStalls;
+        start = *it;
+    }
+    *it = start + service_latency;
+    return start;
+}
+
+Cycles
+MemorySystem::dataAccess(AddressSpaceId asid, Addr addr, bool is_write,
+                         Cycles now)
+{
+    (void)is_write; // allocate-on-write policy: timing is symmetric
+
+    // Probe L1D. On an L1 miss, an MSHR carries the request to L2 (and
+    // possibly DRAM); a hit on an in-flight line waits for its fill.
+    auto l1 = l1d_.access(asid, addr, now, 0);
+    if (l1.hit)
+        return std::max(l1.readyAt, now) + params_.l1Latency;
+
+    auto l2 = l2_.access(asid, addr, now, params_.dramLatency);
+    Cycles service = params_.l2Latency;
+    if (!l2.hit || l2.readyAt > now)
+        service += std::max(l2.readyAt, now) - now;
+
+    Cycles start = allocMshr(now, service);
+    Cycles ready = start + params_.l1Latency + service;
+
+    // Record the fill time in L1D so later hits under this fill wait.
+    // (The line was installed by the probe above; re-access updates it.)
+    l1d_.setFillTime(asid, addr, ready);
+    return ready;
+}
+
+Cycles
+MemorySystem::instAccess(AddressSpaceId asid, Addr addr, Cycles now)
+{
+    auto l1 = l1i_.access(asid, addr, now, 0);
+    if (l1.hit)
+        return std::max(l1.readyAt, now) + params_.l1Latency;
+
+    auto l2 = l2_.access(asid, addr, now, params_.dramLatency);
+    Cycles service = params_.l2Latency;
+    if (!l2.hit || l2.readyAt > now)
+        service += std::max(l2.readyAt, now) - now;
+
+    // Instruction misses bypass the data MSHR pool (separate fill path).
+    Cycles ready = now + params_.l1Latency + service;
+    l1i_.setFillTime(asid, addr, ready);
+    return ready;
+}
+
+} // namespace mmt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * MemorySystem — the timing model of the cache hierarchy in Table 4:
+ * split 64 KB L1I / L1D (1-cycle), shared 4 MB L2 (6-cycle), 200-cycle
+ * DRAM, with a finite pool of MSHRs limiting outstanding L1D misses
+ * (scaled with load/store ports for Figure 7(b)).
+ */
+
+#ifndef MMT_MEM_MEMORY_SYSTEM_HH
+#define MMT_MEM_MEMORY_SYSTEM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+namespace mmt
+{
+
+/** Hierarchy configuration (Table 4 defaults). */
+struct MemoryParams
+{
+    CacheParams l1i{"l1i", 64 * 1024, 4, 64};
+    CacheParams l1d{"l1d", 64 * 1024, 4, 64};
+    CacheParams l2{"l2", 4 * 1024 * 1024, 8, 64};
+    Cycles l1Latency = 1;
+    Cycles l2Latency = 6;
+    Cycles dramLatency = 200;
+    int numMshrs = 16;
+};
+
+/** Timing model of the shared cache hierarchy. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryParams &params);
+
+    /**
+     * Perform a data access at @p now.
+     * @return the cycle at which the value is available.
+     */
+    Cycles dataAccess(AddressSpaceId asid, Addr addr, bool is_write,
+                      Cycles now);
+
+    /**
+     * Perform an instruction fetch access at @p now.
+     * @return the cycle at which the line is available.
+     */
+    Cycles instAccess(AddressSpaceId asid, Addr addr, Cycles now);
+
+    const MemoryParams &params() const { return params_; }
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &l2() { return l2_; }
+
+    Counter mshrStalls; // accesses delayed because all MSHRs were busy
+
+  private:
+    /**
+     * Reserve an MSHR for a miss issued at @p now.
+     * @return the cycle at which the miss may begin.
+     */
+    Cycles allocMshr(Cycles now, Cycles service_latency);
+
+    MemoryParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    std::vector<Cycles> mshrFreeAt_;
+};
+
+} // namespace mmt
+
+#endif // MMT_MEM_MEMORY_SYSTEM_HH

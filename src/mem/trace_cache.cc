@@ -1,0 +1,38 @@
+#include "mem/trace_cache.hh"
+
+#include "isa/isa.hh"
+
+namespace mmt
+{
+
+namespace
+{
+CacheParams
+storageGeometry(const TraceCacheParams &p)
+{
+    CacheParams cp;
+    cp.name = "tracecache";
+    cp.sizeBytes = p.sizeBytes;
+    cp.assoc = p.assoc;
+    // One "line" holds one trace of traceInsts instructions.
+    cp.lineBytes = p.traceInsts * static_cast<int>(instBytes);
+    return cp;
+}
+} // namespace
+
+TraceCache::TraceCache(const TraceCacheParams &params)
+    : params_(params), storage_(storageGeometry(params))
+{
+}
+
+bool
+TraceCache::access(AddressSpaceId asid, Addr pc)
+{
+    ++accesses;
+    bool hit = storage_.access(asid, pc, 0, 0).hit;
+    if (!hit)
+        ++misses;
+    return hit;
+}
+
+} // namespace mmt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TraceCache — the aggressive fetch front-end assumed by the paper (§5):
+ * a 1 MB trace cache with perfect trace prediction. On a hit, a fetch
+ * group may continue past taken branches; on a miss, fetch stops at the
+ * first taken branch that cycle and the trace is installed.
+ *
+ * The paper reports the trace cache "had a negligible effect on the
+ * results"; we model it so the baseline is as strong as theirs.
+ */
+
+#ifndef MMT_MEM_TRACE_CACHE_HH
+#define MMT_MEM_TRACE_CACHE_HH
+
+#include "common/stats.hh"
+#include "mem/cache.hh"
+
+namespace mmt
+{
+
+/** Trace cache configuration. */
+struct TraceCacheParams
+{
+    bool enabled = true;
+    std::uint64_t sizeBytes = 1024 * 1024;
+    int assoc = 4;
+    /** Max instructions per trace line (determines the indexed geometry). */
+    int traceInsts = 16;
+    /** Max embedded taken branches a hit allows a fetch group to cross. */
+    int maxBranchesPerTrace = 3;
+};
+
+/** Set-associative trace storage indexed by trace start PC. */
+class TraceCache
+{
+  public:
+    explicit TraceCache(const TraceCacheParams &params);
+
+    /**
+     * Look up a trace starting at @p pc.
+     * @return true on hit (fetch may cross taken branches this cycle);
+     *         a miss installs the trace for next time.
+     */
+    bool access(AddressSpaceId asid, Addr pc);
+
+    const TraceCacheParams &params() const { return params_; }
+
+    Counter accesses;
+    Counter misses;
+
+  private:
+    TraceCacheParams params_;
+    Cache storage_;
+};
+
+} // namespace mmt
+
+#endif // MMT_MEM_TRACE_CACHE_HH

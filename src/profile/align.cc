@@ -1,0 +1,135 @@
+#include "profile/align.hh"
+
+#include <algorithm>
+
+namespace mmt
+{
+
+double
+DivergenceStats::fractionWithin(std::uint64_t limit) const
+{
+    if (lengthDiffs.empty())
+        return 0.0;
+    std::uint64_t within = 0;
+    for (std::uint64_t d : lengthDiffs) {
+        if (d <= limit)
+            ++within;
+    }
+    return static_cast<double>(within) /
+           static_cast<double>(lengthDiffs.size());
+}
+
+bool
+executeIdentical(const TraceRecord &x, const TraceRecord &y)
+{
+    if (x.pc != y.pc || x.op != y.op)
+        return false;
+    if (x.readsA && x.srcA != y.srcA)
+        return false;
+    if (x.readsB && x.srcB != y.srcB)
+        return false;
+    if (x.isLoad && x.destVal != y.destVal)
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** Count taken branches in records [from, to) of @p tr. */
+std::uint64_t
+takenBranches(const std::vector<TraceRecord> &tr, std::size_t from,
+              std::size_t to)
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = from; i < to && i < tr.size(); ++i) {
+        if (tr[i].isTakenBranch)
+            ++n;
+    }
+    return n;
+}
+
+/** Do traces re-align at (i, j) for at least `confirm` records? */
+bool
+confirmed(const std::vector<TraceRecord> &a,
+          const std::vector<TraceRecord> &b, std::size_t i, std::size_t j,
+          int confirm)
+{
+    for (int k = 0; k < confirm; ++k) {
+        std::size_t ia = i + static_cast<std::size_t>(k);
+        std::size_t jb = j + static_cast<std::size_t>(k);
+        if (ia >= a.size() || jb >= b.size())
+            return i < a.size() && j < b.size(); // tail: accept short match
+        if (a[ia].pc != b[jb].pc)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+SharingProfile
+alignTraces(const std::vector<TraceRecord> &a,
+            const std::vector<TraceRecord> &b,
+            DivergenceStats *divergences, const AlignParams &params)
+{
+    SharingProfile prof;
+    prof.total = a.size() + b.size();
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i].pc == b[j].pc) {
+            if (executeIdentical(a[i], b[j]))
+                prof.execIdentical += 2;
+            else
+                prof.fetchIdentical += 2;
+            ++i;
+            ++j;
+            continue;
+        }
+
+        // Divergence: find the minimal combined skip that re-syncs.
+        std::size_t best_i = 0;
+        std::size_t best_j = 0;
+        bool found = false;
+        int limit = 2 * params.window;
+        for (int d = 1; d <= limit && !found; ++d) {
+            for (int k = std::max(0, d - params.window);
+                 k <= std::min(d, params.window); ++k) {
+                std::size_t ii = i + static_cast<std::size_t>(k);
+                std::size_t jj = j + static_cast<std::size_t>(d - k);
+                if (ii >= a.size() || jj >= b.size())
+                    continue;
+                if (a[ii].pc == b[jj].pc &&
+                    confirmed(a, b, ii, jj, params.confirm)) {
+                    best_i = ii;
+                    best_j = jj;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (!found) {
+            // No resync within the window: consume the rest divergent.
+            best_i = a.size();
+            best_j = b.size();
+        }
+
+        prof.notIdentical += (best_i - i) + (best_j - j);
+        if (divergences) {
+            std::uint64_t ta = takenBranches(a, i, best_i);
+            std::uint64_t tb = takenBranches(b, j, best_j);
+            divergences->lengthDiffs.push_back(ta > tb ? ta - tb
+                                                       : tb - ta);
+        }
+        i = best_i;
+        j = best_j;
+    }
+
+    // Unmatched tails are divergent instructions.
+    prof.notIdentical += (a.size() - i) + (b.size() - j);
+    return prof;
+}
+
+} // namespace mmt

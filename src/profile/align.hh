@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Trace alignment for the paper's profiling experiments (§3.2, §3.3).
+ *
+ * Figure 1 asks: of all executed instructions, how many are
+ * *fetch-identical* (the same instruction executed by both threads at the
+ * same point of the common subtraces) and how many of those are
+ * *execute-identical* (identical operand values too)? Figure 2 asks: when
+ * execution paths diverge, how different are the divergent path lengths,
+ * measured in taken branches?
+ *
+ * We find common subtraces with a greedy windowed alignment: advance both
+ * traces while PCs match; on a mismatch, search the smallest combined
+ * skip (i+j) such that the traces re-align for at least `confirm`
+ * consecutive records.
+ */
+
+#ifndef MMT_PROFILE_ALIGN_HH
+#define MMT_PROFILE_ALIGN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "profile/tracer.hh"
+
+namespace mmt
+{
+
+/** Result of aligning two traces (counts in thread-instructions). */
+struct SharingProfile
+{
+    std::uint64_t total = 0;
+    std::uint64_t fetchIdentical = 0; // NOT including execute-identical
+    std::uint64_t execIdentical = 0;
+    std::uint64_t notIdentical = 0;
+
+    double fracFetch() const
+    {
+        return total ? double(fetchIdentical) / double(total) : 0.0;
+    }
+    double fracExec() const
+    {
+        return total ? double(execIdentical) / double(total) : 0.0;
+    }
+    double fracNot() const
+    {
+        return total ? double(notIdentical) / double(total) : 0.0;
+    }
+};
+
+/** Alignment tuning knobs. */
+struct AlignParams
+{
+    int window = 256;  // max records skipped per trace per divergence
+    int confirm = 4;   // consecutive PC matches to accept a resync
+};
+
+/** Divergence-length differences in taken branches (Figure 2 samples). */
+struct DivergenceStats
+{
+    /** One |len(pathA) - len(pathB)| sample per divergence. */
+    std::vector<std::uint64_t> lengthDiffs;
+
+    /** Fraction of divergences with difference <= @p limit. */
+    double fractionWithin(std::uint64_t limit) const;
+};
+
+/**
+ * Align two traces and classify every instruction.
+ *
+ * @param a thread 0's trace
+ * @param b thread 1's trace
+ * @param divergences optional out-param collecting Figure 2 samples
+ */
+SharingProfile alignTraces(const std::vector<TraceRecord> &a,
+                           const std::vector<TraceRecord> &b,
+                           DivergenceStats *divergences = nullptr,
+                           const AlignParams &params = AlignParams());
+
+/** True if the two records are execute-identical (same PC and operand
+ *  values; loads additionally require the same loaded value). */
+bool executeIdentical(const TraceRecord &x, const TraceRecord &y);
+
+} // namespace mmt
+
+#endif // MMT_PROFILE_ALIGN_HH

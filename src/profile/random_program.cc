@@ -1,0 +1,345 @@
+#include "profile/random_program.hh"
+
+#include <sstream>
+
+#include "common/random.hh"
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+/**
+ * Emitter state. Register conventions inside generated programs:
+ *   r1..r15   integer working pool (freely clobbered)
+ *   f1..f15   fp working pool
+ *   r16..r19  loop counters (one per nesting level)
+ *   r20       private scratch base (priv + tid*privateWords*8)
+ *   r21       shared base
+ *   r22       scratch for addressing
+ *   r24       checksum accumulator
+ */
+class Generator
+{
+  public:
+    explicit Generator(const RandomProgramParams &params)
+        : p_(params), rng_(params.seed * 0x9e3779b97f4a7c15ull + 1)
+    {
+    }
+
+    std::string
+    run()
+    {
+        prologue();
+        for (int i = 0; i < p_.fragments; ++i)
+            fragment(/*depth=*/0);
+        epilogue();
+        return os_.str();
+    }
+
+  private:
+    int
+    pick(int bound)
+    {
+        return static_cast<int>(rng_.below(static_cast<std::uint64_t>(
+            bound)));
+    }
+
+    std::string
+    ir(int lo = 1, int hi = 15)
+    {
+        return "r" + std::to_string(lo + pick(hi - lo + 1));
+    }
+
+    std::string
+    fr()
+    {
+        return "f" + std::to_string(1 + pick(15));
+    }
+
+    std::string
+    label(const char *stem)
+    {
+        return std::string(stem) + "_" + std::to_string(labelId_++);
+    }
+
+    void
+    emit(const std::string &line)
+    {
+        os_ << "    " << line << "\n";
+    }
+
+    void
+    prologue()
+    {
+        os_ << ".data\n";
+        os_ << "nthreads: .word 1\n";
+        os_ << "shared:   .space " << p_.sharedWords * 8 << "\n";
+        os_ << "priv:     .space " << p_.privateWords * 8 * maxThreads
+            << "\n";
+        os_ << ".text\n";
+        os_ << "main:\n";
+        emit("la   r21, shared");
+        emit("la   r20, priv");
+        // Private base: priv + tid * privateWords * 8.
+        emit("li   r22, " + std::to_string(p_.privateWords * 8));
+        emit("mul  r22, r22, tid");
+        emit("add  r20, r20, r22");
+        // Seed the integer pool with a mix of tid-dependent and shared
+        // values so both split and merged instances appear immediately.
+        for (int r = 1; r <= 15; ++r) {
+            switch (pick(3)) {
+              case 0:
+                emit("li   r" + std::to_string(r) + ", " +
+                     std::to_string(pick(1 << 20)));
+                break;
+              case 1:
+                emit("addi r" + std::to_string(r) + ", tid, " +
+                     std::to_string(pick(64)));
+                break;
+              default:
+                sharedLoadInto("r" + std::to_string(r));
+                break;
+            }
+        }
+        for (int f = 1; f <= 15; ++f) {
+            emit("fcvt f" + std::to_string(f) + ", r" +
+                 std::to_string(1 + pick(15)));
+        }
+        emit("li   r24, 0");
+    }
+
+    void
+    sharedLoadInto(const std::string &rd)
+    {
+        // rd = shared[(rs & mask)]
+        std::string rs = ir();
+        emit("andi r22, " + rs + ", " +
+             std::to_string((p_.sharedWords - 1) & ~0));
+        emit("slli r22, r22, 3");
+        emit("add  r22, r21, r22");
+        emit("ld   " + rd + ", 0(r22)");
+    }
+
+    void
+    intAlu()
+    {
+        static const char *ops2[] = {"add", "sub", "mul", "and", "or",
+                                     "xor", "slt", "sltu"};
+        static const char *opsi[] = {"addi", "andi", "ori", "xori",
+                                     "slti"};
+        if (pick(2) == 0) {
+            emit(std::string(ops2[pick(8)]) + " " + ir() + ", " + ir() +
+                 ", " + ir());
+        } else {
+            emit(std::string(opsi[pick(5)]) + " " + ir() + ", " + ir() +
+                 ", " + std::to_string(pick(4096) - 2048));
+        }
+        // Shifts with literal amounts stay well-defined.
+        if (pick(3) == 0) {
+            emit(std::string(pick(2) ? "slli" : "srli") + " " + ir() +
+                 ", " + ir() + ", " + std::to_string(pick(24)));
+        }
+    }
+
+    void
+    fpAlu()
+    {
+        static const char *ops2[] = {"fadd", "fsub", "fmul", "fmin",
+                                     "fmax"};
+        static const char *ops1[] = {"fabs", "fneg", "fmv"};
+        switch (pick(4)) {
+          case 0:
+          case 1:
+            emit(std::string(ops2[pick(5)]) + " " + fr() + ", " + fr() +
+                 ", " + fr());
+            break;
+          case 2:
+            emit(std::string(ops1[pick(3)]) + " " + fr() + ", " + fr());
+            break;
+          default:
+            // Keep values finite-ish occasionally via conversion.
+            emit("fcvt " + fr() + ", " + ir());
+            break;
+        }
+        if (pick(4) == 0)
+            emit("fclt " + ir() + ", " + fr() + ", " + fr());
+    }
+
+    void
+    privateMem()
+    {
+        // Address: priv_base + (rs & (P-1)) * 8 — always within the
+        // thread's own scratch region, so MT programs stay race-free.
+        std::string rs = ir();
+        emit("andi r22, " + rs + ", " +
+             std::to_string(p_.privateWords - 1));
+        emit("slli r22, r22, 3");
+        emit("add  r22, r20, r22");
+        if (pick(2)) {
+            emit("st   " + ir() + ", 0(r22)");
+        } else {
+            emit("ld   " + ir() + ", 0(r22)");
+        }
+    }
+
+    void
+    hammock(int depth)
+    {
+        std::string skip = label("skip");
+        std::string rs = ir();
+        switch (pick(3)) {
+          case 0:
+            emit("beqz " + rs + ", " + skip);
+            break;
+          case 1:
+            emit("bltz " + rs + ", " + skip);
+            break;
+          default:
+            emit("andi r22, " + rs + ", 1");
+            emit("bnez r22, " + skip);
+            break;
+        }
+        int body = 1 + pick(3);
+        for (int i = 0; i < body; ++i)
+            simpleFragment(depth);
+        os_ << skip << ":\n";
+    }
+
+    void
+    loop(int depth)
+    {
+        std::string counter = "r" + std::to_string(16 + depth);
+        std::string head = label("loop");
+        int trips = 2 + pick(5);
+        emit("li   " + counter + ", " + std::to_string(trips));
+        os_ << head << ":\n";
+        int body = 2 + pick(4);
+        for (int i = 0; i < body; ++i)
+            fragment(depth + 1);
+        emit("addi " + counter + ", " + counter + ", -1");
+        emit("bnez " + counter + ", " + head);
+    }
+
+    /** Fragment kinds legal anywhere (no control). */
+    void
+    simpleFragment(int depth)
+    {
+        (void)depth;
+        int total = p_.weightIntAlu + p_.weightFpAlu +
+                    p_.weightSharedLoad + p_.weightPrivateMem;
+        int roll = pick(total);
+        if ((roll -= p_.weightIntAlu) < 0) {
+            intAlu();
+        } else if ((roll -= p_.weightFpAlu) < 0) {
+            fpAlu();
+        } else if ((roll -= p_.weightSharedLoad) < 0) {
+            sharedLoadInto(ir());
+        } else {
+            privateMem();
+        }
+    }
+
+    void
+    fragment(int depth)
+    {
+        int total = p_.weightIntAlu + p_.weightFpAlu +
+                    p_.weightSharedLoad + p_.weightPrivateMem +
+                    p_.weightHammock;
+        bool allow_loop = depth < 2;
+        bool allow_barrier = depth == 0 && !p_.multiExecution;
+        if (allow_loop)
+            total += p_.weightLoop;
+        if (allow_barrier)
+            total += p_.weightBarrier;
+        total += p_.weightHint;
+
+        int roll = pick(total);
+        if ((roll -= p_.weightIntAlu) < 0) {
+            intAlu();
+        } else if ((roll -= p_.weightFpAlu) < 0) {
+            fpAlu();
+        } else if ((roll -= p_.weightSharedLoad) < 0) {
+            sharedLoadInto(ir());
+        } else if ((roll -= p_.weightPrivateMem) < 0) {
+            privateMem();
+        } else if ((roll -= p_.weightHammock) < 0) {
+            hammock(depth);
+        } else if (allow_loop && (roll -= p_.weightLoop) < 0) {
+            loop(depth);
+        } else if (allow_barrier && (roll -= p_.weightBarrier) < 0) {
+            emit("barrier");
+        } else {
+            emit("mergehint");
+        }
+    }
+
+    void
+    epilogue()
+    {
+        // Fold the register pool into the checksum.
+        for (int r = 1; r <= 15; ++r) {
+            emit("xor  r24, r24, r" + std::to_string(r));
+            emit("li   r22, 1442695040888963407");
+            emit("mul  r24, r24, r22");
+        }
+        for (int f = 1; f <= 15; ++f) {
+            emit("fcvti r22, f" + std::to_string(f));
+            emit("add  r24, r24, r22");
+        }
+        // Fold the private scratch region.
+        std::string head = label("cksum");
+        emit("li   r16, " + std::to_string(p_.privateWords));
+        emit("mv   r22, r20");
+        os_ << head << ":\n";
+        emit("ld   r23, 0(r22)");
+        emit("xor  r24, r24, r23");
+        emit("addi r22, r22, 8");
+        emit("addi r16, r16, -1");
+        emit("bnez r16, " + head);
+        emit("out  r24");
+        if (!p_.multiExecution)
+            emit("barrier");
+        emit("halt");
+    }
+
+    RandomProgramParams p_;
+    Rng rng_;
+    std::ostringstream os_;
+    int labelId_ = 0;
+};
+
+} // namespace
+
+Workload
+generateRandomWorkload(const RandomProgramParams &params)
+{
+    Workload w;
+    w.name = std::string(params.multiExecution ? "rand-me-" : "rand-mt-") +
+             std::to_string(params.seed);
+    w.suite = "random";
+    w.multiExecution = params.multiExecution;
+    w.source = Generator(params).run();
+
+    RandomProgramParams p = params;
+    w.initData = [p](MemoryImage &img, const Program &prog, int instance,
+                     int num_contexts, bool identical) {
+        wl::setWord(img, prog, "nthreads",
+                    static_cast<std::uint64_t>(num_contexts));
+        Rng rng(p.seed ^ 0xabcdef12345ull);
+        for (int i = 0; i < p.sharedWords; ++i)
+            wl::setWord(img, prog, "shared", rng.below(1u << 24), i);
+        for (int i = 0; i < p.privateWords * maxThreads; ++i)
+            wl::setWord(img, prog, "priv", 0, i);
+        if (p.multiExecution && !identical && instance > 0) {
+            Rng prng(p.seed * 77 + static_cast<std::uint64_t>(instance));
+            wl::perturbWords(img, prog, "shared", p.sharedWords, prng,
+                             p.mePerturbFraction, 1u << 24);
+        }
+    };
+    return w;
+}
+
+} // namespace mmt

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Directed-random SPMD program generator for differential testing, in
+ * the spirit of gem5's random testers.
+ *
+ * Programs are generated deterministically from a seed and are
+ * guaranteed to terminate (all loops have bounded literal trip counts)
+ * and to be race-free (threads write only their own scratch region;
+ * shared data is read-only). The generated kernels mix integer and FP
+ * arithmetic, shared and private loads/stores, data-dependent forward
+ * hammocks, nested bounded loops, and (for MT programs) top-level
+ * barriers — i.e. every control/data shape the MMT mechanisms must
+ * handle: divergence, re-merge, splitting, LVIP verification and
+ * register merging.
+ *
+ * tests/test_random_programs.cc sweeps seeds and requires the timing
+ * pipeline's architected results to match the functional interpreter
+ * under every configuration.
+ */
+
+#ifndef MMT_PROFILE_RANDOM_PROGRAM_HH
+#define MMT_PROFILE_RANDOM_PROGRAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.hh"
+
+namespace mmt
+{
+
+/** Generation knobs. */
+struct RandomProgramParams
+{
+    std::uint64_t seed = 1;
+    bool multiExecution = false;
+    /** Top-level fragments to emit. */
+    int fragments = 40;
+    /** Shared read-only words. */
+    int sharedWords = 64;
+    /** Private scratch words per thread. */
+    int privateWords = 64;
+    /** Probability weights (relative). */
+    int weightIntAlu = 30;
+    int weightFpAlu = 20;
+    int weightSharedLoad = 12;
+    int weightPrivateMem = 12;
+    int weightHammock = 12;
+    int weightLoop = 8;
+    int weightBarrier = 4; // MT only
+    int weightHint = 4;    // timing-only mergehint
+    /** Fraction of shared words perturbed per ME instance. */
+    double mePerturbFraction = 0.1;
+};
+
+/**
+ * Generate a self-contained Workload (source + initData) from @p params.
+ * The workload ends by emitting a checksum of the register pool and the
+ * private scratch region via OUT, so any architected-state corruption is
+ * observable.
+ */
+Workload generateRandomWorkload(const RandomProgramParams &params);
+
+} // namespace mmt
+
+#endif // MMT_PROFILE_RANDOM_PROGRAM_HH

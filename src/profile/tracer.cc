@@ -1,0 +1,164 @@
+#include "profile/tracer.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+FunctionalCpu::FunctionalCpu(const Program *program,
+                             std::vector<MemoryImage *> images,
+                             bool multi_execution, bool force_tid_zero)
+    : program_(program)
+{
+    int n = static_cast<int>(images.size());
+    threads_.resize(static_cast<std::size_t>(n));
+    for (ThreadId t = 0; t < n; ++t) {
+        FuncThread &ft = threads_[t];
+        ft.image = images[t];
+        ft.pc = program->entry;
+        ft.regs[regSp] = defaultStackTop;
+        if (!multi_execution) {
+            ft.regs[regSp] = defaultStackTop -
+                             static_cast<Addr>(t) * defaultStackBytes;
+            ft.regs[regTid] =
+                force_tid_zero ? 0 : static_cast<RegVal>(t);
+        }
+    }
+}
+
+bool
+FunctionalCpu::step(ThreadId tid)
+{
+    FuncThread &ft = threads_[tid];
+    if (ft.halted || ft.atBarrier)
+        return false;
+
+    mmt_assert(program_->validPc(ft.pc), "functional cpu at bad pc %#lx",
+               static_cast<unsigned long>(ft.pc));
+    const Instruction &inst = program_->fetch(ft.pc);
+    const InstInfo &info = inst.info();
+    Addr pc = ft.pc;
+
+    TraceRecord rec;
+    rec.pc = pc;
+    rec.op = inst.op;
+    rec.readsA = info.readsSrc1;
+    rec.readsB = info.readsSrc2;
+    rec.writesDest = info.writesDest && inst.rd != regZero;
+    rec.isLoad = inst.isLoad();
+
+    RegVal a = info.readsSrc1 ? ft.regs[inst.rs1] : 0;
+    RegVal b = info.readsSrc2 ? ft.regs[inst.rs2] : 0;
+    rec.srcA = a;
+    rec.srcB = b;
+
+    Addr next = pc + instBytes;
+    RegVal dest = 0;
+    (void)b;
+
+    if (inst.isLoad()) {
+        rec.effAddr = exec::effectiveAddr(inst, a);
+        dest = ft.image->read64(rec.effAddr);
+    } else if (inst.isStore()) {
+        rec.effAddr = exec::effectiveAddr(inst, a);
+        ft.image->write64(rec.effAddr, b);
+    } else if (inst.isControl()) {
+        BranchOut out = exec::evalBranch(inst, a, b, pc);
+        rec.isTakenBranch = out.taken;
+        if (out.taken)
+            next = out.target;
+        if (info.writesDest)
+            dest = exec::evalAlu(inst, a, b, pc);
+    } else if (inst.isSyscall()) {
+        switch (inst.op) {
+          case Opcode::HALT:
+            ft.halted = true;
+            // A halting thread may release a barrier the others wait at.
+            releaseBarrierIfReady();
+            break;
+          case Opcode::BARRIER:
+            ft.atBarrier = true;
+            break;
+          case Opcode::OUT:
+            ft.output.push_back(a);
+            break;
+          case Opcode::SEND:
+            mmt_assert(net_ != nullptr, "SEND without a message network");
+            net_->send(tid, static_cast<ThreadId>(a & 3), b);
+            break;
+          case Opcode::MERGEHINT:
+            break; // timing-only hint
+          case Opcode::RECV: {
+            mmt_assert(net_ != nullptr, "RECV without a message network");
+            ThreadId from = static_cast<ThreadId>(a & 3);
+            if (!net_->canRecv(from, tid))
+                return false; // blocked; retried by run()
+            dest = net_->recv(from, tid);
+            break;
+          }
+          default:
+            panic("unhandled syscall");
+        }
+    } else if (info.writesDest) {
+        dest = exec::evalAlu(inst, a, b, pc);
+    }
+
+    if (rec.writesDest) {
+        ft.regs[inst.rd] = dest;
+        rec.destVal = dest;
+    }
+
+    ft.pc = next;
+    ++ft.executed;
+    if (trace_)
+        trace_(tid, rec);
+    if (ft.atBarrier)
+        releaseBarrierIfReady();
+    return true;
+}
+
+void
+FunctionalCpu::releaseBarrierIfReady()
+{
+    bool any = false;
+    for (const FuncThread &ft : threads_) {
+        if (ft.halted)
+            continue;
+        if (!ft.atBarrier)
+            return;
+        any = true;
+    }
+    if (!any)
+        return;
+    for (FuncThread &ft : threads_)
+        ft.atBarrier = false;
+}
+
+void
+FunctionalCpu::run(std::uint64_t max_insts_per_thread)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (ThreadId t = 0; t < numThreads(); ++t) {
+            // Interleave at a coarse quantum; workloads are race-free.
+            for (int k = 0; k < 1000; ++k) {
+                if (!step(t))
+                    break;
+                progress = true;
+            }
+            if (threads_[t].executed > max_insts_per_thread)
+                fatal("functional thread %d exceeded %llu instructions",
+                      t,
+                      static_cast<unsigned long long>(
+                          max_insts_per_thread));
+        }
+    }
+    for (ThreadId t = 0; t < numThreads(); ++t) {
+        if (!threads_[t].halted)
+            fatal("functional cpu finished with thread %d not halted "
+                  "(barrier or receive deadlock?)", t);
+    }
+}
+
+} // namespace mmt

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * FunctionalCpu — a plain in-order interpreter for MMT-RISC programs.
+ *
+ * Two uses:
+ *  1. Golden model: tests run every workload through both the pipeline
+ *     and this interpreter and require identical final architected state,
+ *     memory, and OUT logs (DESIGN.md §7).
+ *  2. Tracer: the profiling experiments (paper §3.2/§3.3, Figures 1-2)
+ *     capture per-thread instruction traces via a callback.
+ *
+ * This is deliberately an independent re-implementation of the execution
+ * semantics used by the pipeline's fetch stage, sharing only the
+ * low-level exec:: helpers.
+ */
+
+#ifndef MMT_PROFILE_TRACER_HH
+#define MMT_PROFILE_TRACER_HH
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "iasm/program.hh"
+#include "isa/exec.hh"
+#include "core/msg_net.hh"
+#include "mem/memory_image.hh"
+
+namespace mmt
+{
+
+/** One executed instruction, as seen by the tracer. */
+struct TraceRecord
+{
+    Addr pc = 0;
+    Opcode op = Opcode::NOP;
+    RegVal srcA = 0;
+    RegVal srcB = 0;
+    bool readsA = false;
+    bool readsB = false;
+    RegVal destVal = 0;
+    bool writesDest = false;
+    bool isTakenBranch = false;
+    Addr effAddr = 0;
+    bool isLoad = false;
+};
+
+/** Architectural state of one interpreted thread. */
+struct FuncThread
+{
+    std::array<RegVal, numArchRegs> regs{};
+    Addr pc = 0;
+    MemoryImage *image = nullptr;
+    bool halted = false;
+    bool atBarrier = false;
+    std::vector<RegVal> output;
+    std::uint64_t executed = 0;
+};
+
+/** Round-robin multi-threaded interpreter with barrier support. */
+class FunctionalCpu
+{
+  public:
+    using TraceFn = std::function<void(ThreadId, const TraceRecord &)>;
+
+    /**
+     * @param program shared binary
+     * @param images one per thread (same pointer for shared-memory MT)
+     * @param multi_execution ME register conventions (no sp/tid skew)
+     * @param force_tid_zero Limit configuration: every thread gets tid 0
+     */
+    FunctionalCpu(const Program *program,
+                  std::vector<MemoryImage *> images, bool multi_execution,
+                  bool force_tid_zero = false);
+
+    /** Attach a message network (required to execute SEND/RECV). */
+    void setMessageNetwork(MessageNetwork *net) { net_ = net; }
+
+    /** Install a per-instruction trace callback (may be null). */
+    void setTrace(TraceFn fn) { trace_ = std::move(fn); }
+
+    /**
+     * Run until every thread halts.
+     * @param max_insts_per_thread safety net; fatal when exceeded
+     */
+    void run(std::uint64_t max_insts_per_thread = 50'000'000);
+
+    /** Execute one instruction of @p tid.
+     *  @return false if the thread is halted or blocked at a barrier */
+    bool step(ThreadId tid);
+
+    int numThreads() const { return static_cast<int>(threads_.size()); }
+    const FuncThread &thread(ThreadId tid) const { return threads_[tid]; }
+    FuncThread &thread(ThreadId tid) { return threads_[tid]; }
+
+  private:
+    void releaseBarrierIfReady();
+
+    const Program *program_;
+    std::vector<FuncThread> threads_;
+    TraceFn trace_;
+    MessageNetwork *net_ = nullptr;
+};
+
+} // namespace mmt
+
+#endif // MMT_PROFILE_TRACER_HH

@@ -1,0 +1,107 @@
+#include "sim/configs.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "workloads/workload.hh"
+
+namespace mmt
+{
+
+const char *
+configName(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::Base: return "Base";
+      case ConfigKind::MMT_F: return "MMT-F";
+      case ConfigKind::MMT_FX: return "MMT-FX";
+      case ConfigKind::MMT_FXR: return "MMT-FXR";
+      case ConfigKind::Limit: return "Limit";
+    }
+    return "?";
+}
+
+CoreParams
+makeCoreParams(ConfigKind kind, const Workload &workload, int num_threads,
+               const SimOverrides &ov)
+{
+    CoreParams p;
+    p.numThreads = num_threads;
+
+    switch (kind) {
+      case ConfigKind::Base:
+        break;
+      case ConfigKind::MMT_F:
+        p.sharedFetch = true;
+        break;
+      case ConfigKind::MMT_FX:
+        p.sharedFetch = true;
+        p.sharedExec = true;
+        break;
+      case ConfigKind::MMT_FXR:
+      case ConfigKind::Limit:
+        p.sharedFetch = true;
+        p.sharedExec = true;
+        p.regMerge = true;
+        break;
+    }
+
+    // The Limit configuration runs exactly identical contexts: ME
+    // instances get identical inputs, MT threads all run as thread 0
+    // (paper §5: "we execute two identical threads").
+    p.multiExecution = workload.multiExecution;
+    p.forceTidZero = kind == ConfigKind::Limit;
+
+    if (ov.fhbEntries > 0)
+        p.fhbEntries = ov.fhbEntries;
+    if (ov.lsPorts > 0)
+        p.lsPorts = ov.lsPorts;
+    if (ov.mshrs > 0)
+        p.mem.numMshrs = ov.mshrs;
+    else if (ov.lsPorts > 0)
+        p.mem.numMshrs = 4 * ov.lsPorts; // paper scales MSHRs with ports
+    if (ov.fetchWidth > 0)
+        p.fetchWidth = ov.fetchWidth;
+    if (ov.disableTraceCache)
+        p.traceCache.enabled = false;
+    if (ov.mergeReadPorts >= 0)
+        p.mergeReadPorts = ov.mergeReadPorts;
+    if (ov.catchupPriority >= 0)
+        p.catchupPriority = ov.catchupPriority != 0;
+    p.checkInvariants = ov.checkInvariants;
+    return p;
+}
+
+std::string
+describeTable4()
+{
+    CoreParams p;
+    std::ostringstream os;
+    os << "Simulator configuration (paper Table 4):\n"
+       << "  Threads              up to 4\n"
+       << "  Issue/Commit width   " << p.issueWidth << "/" << p.commitWidth
+       << "\n"
+       << "  LVIP/FHB             " << p.lvipEntries << " entries / "
+       << p.fhbEntries << " entries\n"
+       << "  LSQ/ROB              " << p.lsqSize << "/" << p.robSize << "\n"
+       << "  ALU/FPU              " << p.numAlu << "/" << p.numFpu << "\n"
+       << "  Branch predictor     2-level, "
+       << p.bpred.phtEntries << " entries, history "
+       << p.bpred.historyBits << "\n"
+       << "  BTB/RAS              " << p.bpred.btbEntries << "/"
+       << p.bpred.rasEntries << "\n"
+       << "  Trace cache          "
+       << p.traceCache.sizeBytes / (1024 * 1024) << "MB, perfect trace "
+       << "prediction\n"
+       << "  L1I/L1D              " << p.mem.l1i.sizeBytes / 1024 << "KB+"
+       << p.mem.l1d.sizeBytes / 1024 << "KB, " << p.mem.l1d.assoc
+       << "-way, " << p.mem.l1d.lineBytes << "B lines, "
+       << p.mem.l1Latency << "-cycle\n"
+       << "  L2                   " << p.mem.l2.sizeBytes / (1024 * 1024)
+       << "MB, " << p.mem.l2.assoc << "-way, " << p.mem.l2Latency
+       << "-cycle\n"
+       << "  DRAM latency         " << p.mem.dramLatency << " cycles\n";
+    return os.str();
+}
+
+} // namespace mmt

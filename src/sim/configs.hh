@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The paper's evaluated configurations (Table 5) and the Table 4 core
+ * configuration they share.
+ *
+ *   Base    — traditional SMT (trace cache, no MMT hardware)
+ *   MMT-F   — shared fetch only (always split at decode)
+ *   MMT-FX  — shared fetch and execution
+ *   MMT-FXR — MMT-FX plus commit-time register merging
+ *   Limit   — MMT-FXR running identical instances (upper bound)
+ */
+
+#ifndef MMT_SIM_CONFIGS_HH
+#define MMT_SIM_CONFIGS_HH
+
+#include <string>
+
+#include "core/params.hh"
+
+namespace mmt
+{
+
+struct Workload;
+
+/** Table 5 configuration names. */
+enum class ConfigKind
+{
+    Base,
+    MMT_F,
+    MMT_FX,
+    MMT_FXR,
+    Limit,
+};
+
+/** Printable name ("Base", "MMT-F", ...). */
+const char *configName(ConfigKind kind);
+
+/** Optional per-experiment parameter overrides (sensitivity sweeps). */
+struct SimOverrides
+{
+    int fhbEntries = -1;   // Figure 7(a)/(c)
+    int lsPorts = -1;      // Figure 7(b)
+    int mshrs = -1;        // scaled with lsPorts in the paper
+    int fetchWidth = -1;   // Figure 7(d)
+    bool disableTraceCache = false;
+    bool checkInvariants = true;
+    int mergeReadPorts = -1;     // register-merging ablation
+    int catchupPriority = -1;    // 0/1 override; CATCHUP ablation
+};
+
+/**
+ * Build the CoreParams for running @p workload under @p kind with
+ * @p num_threads hardware threads (Table 4 defaults plus overrides).
+ */
+CoreParams makeCoreParams(ConfigKind kind, const Workload &workload,
+                          int num_threads,
+                          const SimOverrides &ov = SimOverrides());
+
+/** Render the Table 4 configuration as text (bench headers). */
+std::string describeTable4();
+
+} // namespace mmt
+
+#endif // MMT_SIM_CONFIGS_HH

@@ -1,0 +1,98 @@
+#include "sim/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        mmt_assert(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatTable(const std::vector<std::string> &headers,
+            const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<std::size_t> width(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        width[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            if (c == 0) {
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            } else {
+                os << "  " << std::string(width[c] - cell.size(), ' ')
+                   << cell;
+            }
+        }
+        os << "\n";
+    };
+    emit(headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return os.str();
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+SpeedupRow
+speedupRow(const std::string &app, int num_threads, const SimOverrides &ov)
+{
+    const Workload &w = findWorkload(app);
+    SpeedupRow row;
+    row.app = app;
+    RunResult base = runWorkload(w, ConfigKind::Base, num_threads, ov);
+    row.baseCycles = base.cycles;
+    auto speedup = [&](ConfigKind kind) {
+        RunResult r = runWorkload(w, kind, num_threads, ov);
+        return static_cast<double>(base.cycles) /
+               static_cast<double>(r.cycles);
+    };
+    row.mmtF = speedup(ConfigKind::MMT_F);
+    row.mmtFX = speedup(ConfigKind::MMT_FX);
+    row.mmtFXR = speedup(ConfigKind::MMT_FXR);
+    // Limit runs identical inputs: its absolute cycle count is compared
+    // to the same Base as the paper does.
+    row.limit = speedup(ConfigKind::Limit);
+    return row;
+}
+
+} // namespace mmt

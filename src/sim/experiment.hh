@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Experiment helpers shared by the benches: geometric means, fixed-width
+ * table rendering, and the standard app x config sweeps behind the
+ * paper's figures.
+ */
+
+#ifndef MMT_SIM_EXPERIMENT_HH
+#define MMT_SIM_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace mmt
+{
+
+/** Geometric mean of positive values (1.0 for an empty set). */
+double geomean(const std::vector<double> &values);
+
+/** Render a fixed-width text table: first column left-aligned labels. */
+std::string formatTable(const std::vector<std::string> &headers,
+                        const std::vector<std::vector<std::string>> &rows);
+
+/** Format a double with @p decimals places. */
+std::string fmt(double value, int decimals = 3);
+
+/** Names of all 16 workloads in Table 1 order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Speedups of every MMT configuration over Base for one app.
+ * Returned in order {MMT-F, MMT-FX, MMT-FXR, Limit}, as cycle ratios
+ * (Base cycles / config cycles).
+ */
+struct SpeedupRow
+{
+    std::string app;
+    Cycles baseCycles = 0;
+    double mmtF = 0.0;
+    double mmtFX = 0.0;
+    double mmtFXR = 0.0;
+    double limit = 0.0;
+};
+
+/** Run the Figure 5(a)/(c) sweep for one app. */
+SpeedupRow speedupRow(const std::string &app, int num_threads,
+                      const SimOverrides &ov = SimOverrides());
+
+} // namespace mmt
+
+#endif // MMT_SIM_EXPERIMENT_HH

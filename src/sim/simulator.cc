@@ -1,0 +1,149 @@
+#include "sim/simulator.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/msg_net.hh"
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+#include "profile/tracer.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+/** Build the per-thread address spaces of a run. */
+std::vector<std::unique_ptr<MemoryImage>>
+buildImages(const Workload &workload, const Program &prog, int num_threads,
+            bool multi_execution, bool identical)
+{
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    if (multi_execution) {
+        for (int i = 0; i < num_threads; ++i) {
+            auto img = std::make_unique<MemoryImage>();
+            img->loadData(prog);
+            // The instance index is always passed through: identity
+            // data (e.g. message-passing ranks) must survive the Limit
+            // configuration; workloads suppress only input perturbation.
+            workload.initData(*img, prog, i, num_threads, identical);
+            images.push_back(std::move(img));
+        }
+    } else {
+        auto img = std::make_unique<MemoryImage>();
+        img->loadData(prog);
+        workload.initData(*img, prog, 0, num_threads, identical);
+        images.push_back(std::move(img));
+    }
+    return images;
+}
+
+std::vector<MemoryImage *>
+imagePointers(std::vector<std::unique_ptr<MemoryImage>> &images,
+              int num_threads)
+{
+    std::vector<MemoryImage *> ptrs;
+    for (int t = 0; t < num_threads; ++t) {
+        ptrs.push_back(images.size() == 1
+                           ? images[0].get()
+                           : images[static_cast<std::size_t>(t)].get());
+    }
+    return ptrs;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
+            const SimOverrides &ov, bool check_golden)
+{
+    Program prog = assemble(workload.source);
+    CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
+    bool identical = kind == ConfigKind::Limit;
+
+    auto images = buildImages(workload, prog, num_threads,
+                              params.multiExecution, identical);
+    auto ptrs = imagePointers(images, num_threads);
+
+    MessageNetwork net;
+    SmtCore core(params, &prog, ptrs);
+    if (workload.messagePassing)
+        core.setMessageNetwork(&net);
+    core.run();
+
+    RunResult r;
+    r.workload = workload.name;
+    r.kind = kind;
+    r.numThreads = num_threads;
+    r.cycles = core.now();
+    r.committedThreadInsts = core.stats.committedThreadInsts.value();
+    r.fetchRecords = core.stats.fetchRecords.value();
+    r.fetchedThreadInsts = core.stats.fetchedThreadInsts.value();
+
+    double fetched = static_cast<double>(r.fetchedThreadInsts);
+    for (int m = 0; m < 3; ++m) {
+        r.fetchModeFrac[static_cast<std::size_t>(m)] =
+            fetched > 0
+                ? static_cast<double>(
+                      core.stats.fetchedInMode[static_cast<std::size_t>(m)]
+                          .value()) / fetched
+                : 0.0;
+    }
+    double committed = static_cast<double>(r.committedThreadInsts);
+    for (int c = 0; c < 4; ++c) {
+        r.identFrac[static_cast<std::size_t>(c)] =
+            committed > 0
+                ? static_cast<double>(
+                      core.stats.identClass[static_cast<std::size_t>(c)]
+                          .value()) / committed
+                : 0.0;
+    }
+
+    r.energy = computeEnergy(core);
+    r.lvipRollbacks = core.stats.lvipRollbacks.value();
+    r.branchMispredicts = core.stats.branchMispredicts.value();
+    r.divergences = core.fetchSync().divergences.value();
+    r.remerges = core.fetchSync().remerges.value();
+    const Distribution &rd = core.fetchSync().remergeDistance;
+    r.remergeWithin512 =
+        rd.total() > 0 ? rd.cumulativeFraction(rd.limits().size() - 1)
+                       : 1.0;
+
+    r.goldenOk = true;
+    // The Limit configuration on shared-memory workloads makes every
+    // thread execute identical work over the *same* memory; the result
+    // then depends on instruction interleaving (benign for timing, but
+    // not comparable against an interpreter with a different schedule).
+    if (kind == ConfigKind::Limit && !workload.multiExecution)
+        check_golden = false;
+    if (check_golden) {
+        auto golden_images = buildImages(workload, prog, num_threads,
+                                         params.multiExecution, identical);
+        auto golden_ptrs = imagePointers(golden_images, num_threads);
+        MessageNetwork golden_net;
+        FunctionalCpu golden(&prog, golden_ptrs, params.multiExecution,
+                             params.forceTidZero);
+        if (workload.messagePassing)
+            golden.setMessageNetwork(&golden_net);
+        golden.run();
+        for (ThreadId t = 0; t < num_threads; ++t) {
+            const ThreadState &ts = core.thread(t);
+            const FuncThread &ft = golden.thread(t);
+            if (ts.regs != ft.regs || ts.output != ft.output)
+                r.goldenOk = false;
+        }
+        for (std::size_t i = 0; i < images.size(); ++i) {
+            if (!images[i]->contentEquals(*golden_images[i]))
+                r.goldenOk = false;
+        }
+        if (!r.goldenOk) {
+            warn("golden-model mismatch: %s %s %dT", workload.name.c_str(),
+                 configName(kind), num_threads);
+        }
+    }
+    return r;
+}
+
+} // namespace mmt

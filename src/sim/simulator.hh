@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Simulator facade: assemble a workload, build its address spaces, run
+ * the SMT/MMT core to completion, verify against the golden functional
+ * model, and return the measurements the benches need.
+ */
+
+#ifndef MMT_SIM_SIMULATOR_HH
+#define MMT_SIM_SIMULATOR_HH
+
+#include <array>
+#include <string>
+
+#include "energy/energy_model.hh"
+#include "sim/configs.hh"
+#include "workloads/workload.hh"
+
+namespace mmt
+{
+
+/** Measurements from one simulation run. */
+struct RunResult
+{
+    std::string workload;
+    ConfigKind kind = ConfigKind::Base;
+    int numThreads = 0;
+
+    Cycles cycles = 0;
+    std::uint64_t committedThreadInsts = 0;
+    std::uint64_t fetchRecords = 0;
+    std::uint64_t fetchedThreadInsts = 0;
+
+    /** Fraction of fetched thread-instructions per mode
+     *  (index = FetchMode: Merge, Detect, Catchup). */
+    std::array<double, 3> fetchModeFrac{};
+    /** Fraction of committed thread-instructions per identification class
+     *  (index = IdentClass). */
+    std::array<double, 4> identFrac{};
+
+    EnergyBreakdown energy;
+    std::uint64_t lvipRollbacks = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t divergences = 0;
+    std::uint64_t remerges = 0;
+    /** Fraction of remerges found within 512 fetched branches (§6.3). */
+    double remergeWithin512 = 0.0;
+
+    bool goldenOk = false;
+
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(committedThreadInsts) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+};
+
+/**
+ * Run @p workload under configuration @p kind with @p num_threads
+ * hardware threads.
+ *
+ * @param check_golden also run the functional interpreter and compare
+ *        final architected state, memory, and OUT logs
+ */
+RunResult runWorkload(const Workload &workload, ConfigKind kind,
+                      int num_threads,
+                      const SimOverrides &ov = SimOverrides(),
+                      bool check_golden = true);
+
+} // namespace mmt
+
+#endif // MMT_SIM_SIMULATOR_HH

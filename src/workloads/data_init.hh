@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Helpers for filling workload data segments deterministically and for
+ * applying the per-instance input perturbations that characterize
+ * multi-execution workloads (paper §3.1: "applications that require many
+ * instances of the program with slightly different input values").
+ */
+
+#ifndef MMT_WORKLOADS_DATA_INIT_HH
+#define MMT_WORKLOADS_DATA_INIT_HH
+
+#include "common/random.hh"
+#include "iasm/program.hh"
+#include "isa/exec.hh"
+#include "mem/memory_image.hh"
+
+namespace mmt
+{
+namespace wl
+{
+
+/** Address of @p sym plus @p word_index * 8. */
+inline Addr
+wordAddr(const Program &prog, const char *sym, int word_index = 0)
+{
+    return prog.symbol(sym) + static_cast<Addr>(word_index) * 8;
+}
+
+/** Store one integer word at @p sym[index]. */
+inline void
+setWord(MemoryImage &img, const Program &prog, const char *sym,
+        std::uint64_t value, int index = 0)
+{
+    img.write64(wordAddr(prog, sym, index), value);
+}
+
+/** Store one double at @p sym[index]. */
+inline void
+setDouble(MemoryImage &img, const Program &prog, const char *sym,
+          double value, int index = 0)
+{
+    img.write64(wordAddr(prog, sym, index), exec::fromF(value));
+}
+
+/** Fill @p n doubles at @p sym with uniform values in [lo, hi). */
+inline void
+fillDoubles(MemoryImage &img, const Program &prog, const char *sym, int n,
+            Rng &rng, double lo, double hi)
+{
+    for (int i = 0; i < n; ++i)
+        setDouble(img, prog, sym, lo + rng.uniform() * (hi - lo), i);
+}
+
+/** Fill @p n integer words at @p sym with uniform values in [0, bound). */
+inline void
+fillWords(MemoryImage &img, const Program &prog, const char *sym, int n,
+          Rng &rng, std::uint64_t bound)
+{
+    for (int i = 0; i < n; ++i)
+        setWord(img, prog, sym, rng.below(bound), i);
+}
+
+/**
+ * Perturb a fraction of the doubles at @p sym: each element is replaced
+ * by a fresh uniform draw in [lo, hi) with probability @p frac. The rng
+ * should be seeded per instance so instances differ from each other.
+ */
+inline void
+perturbDoubles(MemoryImage &img, const Program &prog, const char *sym,
+               int n, Rng &rng, double frac, double lo, double hi)
+{
+    for (int i = 0; i < n; ++i) {
+        if (rng.uniform() < frac)
+            setDouble(img, prog, sym, lo + rng.uniform() * (hi - lo), i);
+    }
+}
+
+/** Integer-word version of perturbDoubles(). */
+inline void
+perturbWords(MemoryImage &img, const Program &prog, const char *sym, int n,
+             Rng &rng, double frac, std::uint64_t bound)
+{
+    for (int i = 0; i < n; ++i) {
+        if (rng.uniform() < frac)
+            setWord(img, prog, sym, rng.below(bound), i);
+    }
+}
+
+} // namespace wl
+} // namespace mmt
+
+#endif // MMT_WORKLOADS_DATA_INIT_HH

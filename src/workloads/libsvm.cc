@@ -1,0 +1,128 @@
+/**
+ * @file
+ * libsvm stand-in (multi-execution): SMO-style passes over a sample set.
+ * The kernel dot products are identical across instances; perturbed
+ * labels make the alpha-update branch diverge on a subset of samples.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+const char *libsvmSrc = R"(
+.data
+lsamples: .word 96
+lfeat:    .word 16
+lepochs:  .word 3
+lx:       .space 12288
+ly:       .space 768
+lalpha:   .space 768
+lthr:     .double 0.15
+.text
+main:
+    la   r1, lsamples
+    ld   r1, 0(r1)
+    la   r2, lfeat
+    ld   r2, 0(r2)
+    la   r3, lepochs
+    ld   r3, 0(r3)
+    la   r4, lx
+    la   r5, ly
+    la   r6, lalpha
+    la   r7, lthr
+    fld  f9, 0(r7)
+    fli  f7, 0.1
+    li   r8, 0
+svm_epoch:
+    li   r9, 0
+svm_sample:
+    addi r10, r9, 1
+    rem  r10, r10, r1
+    mul  r11, r9, r2
+    slli r11, r11, 3
+    add  r11, r4, r11
+    mul  r12, r10, r2
+    slli r12, r12, 3
+    add  r12, r4, r12
+    fli  f1, 0.0
+    li   r13, 0
+svm_dot:
+    fld  f2, 0(r11)
+    fld  f3, 0(r12)
+    fmul f2, f2, f3
+    fadd f1, f1, f2
+    addi r11, r11, 8
+    addi r12, r12, 8
+    addi r13, r13, 1
+    blt  r13, r2, svm_dot
+    slli r14, r9, 3
+    add  r15, r5, r14
+    fld  f4, 0(r15)
+    fmul f5, f4, f1
+    fclt r16, f5, f9
+    beqz r16, svm_next
+    add  r17, r6, r14
+    fld  f6, 0(r17)
+    fmul f8, f4, f7
+    fadd f6, f6, f8
+    fst  f6, 0(r17)
+svm_next:
+    addi r9, r9, 1
+    blt  r9, r1, svm_sample
+    addi r8, r8, 1
+    blt  r8, r3, svm_epoch
+    fli  f20, 0.0
+    li   r9, 0
+svm_sum:
+    slli r14, r9, 3
+    add  r17, r6, r14
+    fld  f21, 0(r17)
+    fadd f20, f20, f21
+    addi r9, r9, 1
+    blt  r9, r1, svm_sum
+    fli  f22, 1000.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+    halt
+)";
+
+void
+libsvmInit(MemoryImage &img, const Program &prog, int instance, int,
+           bool identical)
+{
+    Rng rng(1007);
+    wl::fillDoubles(img, prog, "lx", 96 * 16, rng, -0.25, 0.25);
+    for (int i = 0; i < 96; ++i) {
+        wl::setDouble(img, prog, "ly", rng.uniform() < 0.5 ? -1.0 : 1.0,
+                      i);
+        wl::setDouble(img, prog, "lalpha", 0.0, i);
+    }
+    if (!identical && instance > 0) {
+        Rng prng(8000 + static_cast<std::uint64_t>(instance));
+        for (int i = 0; i < 96; ++i) {
+            if (prng.uniform() < 0.08) {
+                // Flip the label.
+                Addr a = wl::wordAddr(prog, "ly", i);
+                double v = exec::toF(img.read64(a));
+                wl::setDouble(img, prog, "ly", -v, i);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Workload>
+libsvmWorkloads()
+{
+    return {{"libsvm", "SVM", true, libsvmSrc, libsvmInit}};
+}
+
+} // namespace mmt

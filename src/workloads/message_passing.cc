@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Message-passing ring all-reduce — the third SPMD class of paper §3.1
+ * ("message-passing, in which threads communicate through explicit
+ * messages") and the application class §7 names as future work.
+ *
+ * Every instance runs in its own address space (like ME) and learns its
+ * rank from memory (like an MPI process); a classic ring all-reduce then
+ * circulates partial sums with SEND/RECV. All instances execute the same
+ * instruction stream; only rank-derived registers and the (slightly
+ * perturbed) local data differ — prime MMT territory.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+const char *mpRingSrc = R"(
+.data
+mpn:    .word 192
+mpep:   .word 12
+mpctx:  .word 1
+mpid:   .word 0
+mpdata: .space 1536
+.text
+main:
+    la   r1, mpn
+    ld   r1, 0(r1)
+    la   r2, mpctx
+    ld   r2, 0(r2)
+    la   r3, mpdata
+    la   r14, mpep
+    ld   r14, 0(r14)
+    li   r15, 0            # grand total across epochs
+mp_epoch:
+    # Local reduction over this rank's data.
+    li   r4, 0
+    li   r5, 0
+mp_sum:
+    slli r6, r5, 3
+    add  r6, r3, r6
+    ld   r7, 0(r6)
+    # weight the element by a small data-dependent term
+    andi r13, r7, 7
+    mul  r7, r7, r13
+    add  r4, r4, r7
+    addi r5, r5, 1
+    blt  r5, r1, mp_sum
+    # Rank and ring neighbours.
+    la   r8, mpid
+    ld   r8, 0(r8)
+    addi r9, r8, 1
+    rem  r9, r9, r2
+    add  r10, r8, r2
+    addi r10, r10, -1
+    rem  r10, r10, r2
+    # Ring all-reduce: ctx-1 rounds of pass-left, accumulate.
+    addi r11, r2, -1
+    mv   r12, r4
+mp_round:
+    beqz r11, mp_done
+    send r9, r12
+    recv r12, r10
+    add  r4, r4, r12
+    addi r11, r11, -1
+    j    mp_round
+mp_done:
+    add  r15, r15, r4
+    # fold the epoch index into the data so epochs differ
+    la   r6, mpdata
+    ld   r7, 0(r6)
+    add  r7, r7, r14
+    st   r7, 0(r6)
+    addi r14, r14, -1
+    bnez r14, mp_epoch
+    out  r15
+    halt
+)";
+
+void
+mpRingInit(MemoryImage &img, const Program &prog, int instance,
+           int num_contexts, bool identical)
+{
+    // Rank and context count are identity, not input: they survive the
+    // Limit configuration (otherwise every rank would be 0 and the ring
+    // would deadlock).
+    wl::setWord(img, prog, "mpctx",
+                static_cast<std::uint64_t>(num_contexts));
+    wl::setWord(img, prog, "mpid", static_cast<std::uint64_t>(instance));
+    Rng rng(1301);
+    wl::fillWords(img, prog, "mpdata", 192, rng, 1 << 16);
+    if (!identical && instance > 0) {
+        Rng prng(9000 + static_cast<std::uint64_t>(instance));
+        wl::perturbWords(img, prog, "mpdata", 192, prng, 0.05, 1 << 16);
+    }
+}
+
+} // namespace
+
+const Workload &
+messagePassingWorkload()
+{
+    static const Workload w = [] {
+        Workload v;
+        v.name = "mp-ring";
+        v.suite = "MP";
+        v.multiExecution = true;
+        v.messagePassing = true;
+        v.source = mpRingSrc;
+        v.initData = mpRingInit;
+        return v;
+    }();
+    return w;
+}
+
+} // namespace mmt

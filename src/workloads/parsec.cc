@@ -1,0 +1,461 @@
+/**
+ * @file
+ * Parsec stand-ins (multi-threaded): swaptions, fluidanimate,
+ * blackscholes, canneal.
+ */
+
+#include "workloads/workload.hh"
+
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+// -------------------------------------------------------- blackscholes --
+// Closed-form option pricing: straight-line FP per option, options
+// strided across threads. No data-dependent branches, so threads stay
+// merged; per-option inputs differ, so most work is fetch-identical only
+// (blackscholes sits in the paper's low-gain group).
+const char *blackscholesSrc = R"(
+.data
+bsopts:   .word 384
+bspasses: .word 2
+nthreads: .word 1
+bsrate:   .double 0.05
+bss:      .space 6144
+bsk:      .space 6144
+bst:      .space 6144
+bsv:      .space 6144
+bsout:    .space 6144
+.text
+main:
+    la   r1, bsopts
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, bss
+    la   r4, bsk
+    la   r5, bst
+    la   r6, bsv
+    la   r7, bsout
+    fli  f13, 0.5
+    fli  f14, -1.7
+    fli  f15, 1.0
+    la   r21, bspasses
+    ld   r21, 0(r21)
+    li   r22, 0
+bs_pass:
+    mv   r8, tid
+bs_loop:
+    bge  r8, r1, bs_done
+    slli r9, r8, 3
+    la   r20, bsrate
+    fld  f0, 0(r20)
+    add  r10, r3, r9
+    fld  f1, 0(r10)
+    add  r10, r4, r9
+    fld  f2, 0(r10)
+    add  r10, r5, r9
+    fld  f3, 0(r10)
+    add  r10, r6, r9
+    fld  f4, 0(r10)
+    fdiv f5, f1, f2
+    flog f5, f5
+    fmul f6, f4, f4
+    fmul f6, f6, f13
+    fadd f6, f6, f0
+    fmul f6, f6, f3
+    fadd f5, f5, f6
+    fsqrt f7, f3
+    fmul f8, f4, f7
+    fdiv f5, f5, f8
+    fsub f6, f5, f8
+    fmul f9, f5, f14
+    fexp f9, f9
+    fadd f9, f9, f15
+    fdiv f9, f15, f9
+    fmul f10, f6, f14
+    fexp f10, f10
+    fadd f10, f10, f15
+    fdiv f10, f15, f10
+    fneg f11, f0
+    fmul f11, f11, f3
+    fexp f11, f11
+    fmul f12, f2, f11
+    fmul f12, f12, f10
+    fmul f1, f1, f9
+    fsub f1, f1, f12
+    add  r10, r7, r9
+    fst  f1, 0(r10)
+    add  r8, r8, r2
+    j    bs_loop
+bs_done:
+    addi r22, r22, 1
+    blt  r22, r21, bs_pass
+    barrier
+    bnez tid, bs_end
+    fli  f20, 0.0
+    li   r8, 0
+bs_sum:
+    slli r9, r8, 3
+    add  r10, r7, r9
+    fld  f21, 0(r10)
+    fadd f20, f20, f21
+    addi r8, r8, 1
+    blt  r8, r1, bs_sum
+    fcvti r25, f20
+    out  r25
+bs_end:
+    halt
+)";
+
+void
+blackscholesInit(MemoryImage &img, const Program &prog, int,
+                 int num_contexts, bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1201);
+    const int n = 384;
+    wl::fillDoubles(img, prog, "bss", n, rng, 20.0, 120.0);
+    wl::fillDoubles(img, prog, "bsk", n, rng, 20.0, 120.0);
+    wl::fillDoubles(img, prog, "bst", n, rng, 0.1, 2.0);
+    wl::fillDoubles(img, prog, "bsv", n, rng, 0.1, 0.6);
+}
+
+// ----------------------------------------------------------- swaptions --
+// HJM Monte-Carlo with a *shared* random path stream (variance
+// reduction): every thread walks the same shocked forward curve and only
+// the strike comparison differs, so almost all work is execute-identical
+// — swaptions is in the paper's high-gain group.
+const char *swaptionsSrc = R"(
+.data
+swcount:  .word 4
+swpaths:  .word 128
+swten:    .word 16
+nthreads: .word 1
+swseed:   .word 99
+swfwd:    .space 128
+swstrike: .space 32
+swout:    .space 32
+.text
+main:
+    la   r1, swcount
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, swpaths
+    ld   r3, 0(r3)
+    la   r4, swten
+    ld   r4, 0(r4)
+    la   r5, swfwd
+    la   r6, swstrike
+    la   r7, swout
+    fli  f15, 0.0000000001
+    mv   r8, tid
+sw_sloop:
+    bge  r8, r1, sw_sdone
+    slli r9, r8, 3
+    add  r10, r6, r9
+    fld  f8, 0(r10)
+    fli  f10, 0.0
+    la   r11, swseed
+    ld   r12, 0(r11)
+    li   r13, 0
+sw_ploop:
+    bge  r13, r3, sw_pdone
+    li   r14, 6364136223846793005
+    mul  r12, r12, r14
+    li   r14, 1442695040888963407
+    add  r12, r12, r14
+    srli r15, r12, 33
+    fcvt f1, r15
+    fmul f1, f1, f15
+    fli  f2, 0.0
+    li   r16, 0
+sw_tloop:
+    slli r17, r16, 3
+    add  r18, r5, r17
+    fld  f3, 0(r18)
+    fadd f3, f3, f1
+    fadd f2, f2, f3
+    addi r16, r16, 1
+    blt  r16, r4, sw_tloop
+    fcvt f4, r4
+    fdiv f2, f2, f4
+    fsub f5, f2, f8
+    fli  f6, 0.0
+    fmax f5, f5, f6
+    fadd f10, f10, f5
+    addi r13, r13, 1
+    j    sw_ploop
+sw_pdone:
+    add  r19, r7, r9
+    fst  f10, 0(r19)
+    add  r8, r8, r2
+    j    sw_sloop
+sw_sdone:
+    barrier
+    bnez tid, sw_end
+    fli  f20, 0.0
+    li   r8, 0
+sw_sum:
+    slli r9, r8, 3
+    add  r19, r7, r9
+    fld  f21, 0(r19)
+    fadd f20, f20, f21
+    addi r8, r8, 1
+    blt  r8, r1, sw_sum
+    fli  f22, 100.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+sw_end:
+    halt
+)";
+
+void
+swaptionsInit(MemoryImage &img, const Program &prog, int, int num_contexts,
+              bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1202);
+    wl::fillDoubles(img, prog, "swfwd", 16, rng, 0.02, 0.08);
+    for (int s = 0; s < 4; ++s)
+        wl::setDouble(img, prog, "swstrike",
+                      0.03 + 0.01 * static_cast<double>(s), s);
+    for (int s = 0; s < 4; ++s)
+        wl::setDouble(img, prog, "swout", 0.0, s);
+}
+
+// -------------------------------------------------------- fluidanimate --
+// Grid-binned particle density with a cubic smoothing kernel: per-cell
+// occupancy varies and the cutoff branch depends on per-thread data ->
+// medium divergence.
+const char *fluidanimateSrc = R"(
+.data
+flparts:  .word 256
+flcells:  .word 8
+nthreads: .word 1
+flx:      .space 2048
+fly:      .space 2048
+fldens:   .space 2048
+flcount:  .space 128
+flstart:  .space 128
+flh2:     .double 0.05
+.text
+main:
+    la   r1, flparts
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r21, flcells
+    ld   r21, 0(r21)
+    la   r3, flx
+    la   r4, fly
+    la   r5, fldens
+    la   r6, flcount
+    la   r7, flstart
+    la   r8, flh2
+    fld  f9, 0(r8)
+    fli  f11, 0.0
+    fli  f12, 0.002
+    mv   r9, tid
+fl_cloop:
+    bge  r9, r21, fl_cdone
+    slli r10, r9, 3
+    add  r11, r7, r10
+    ld   r12, 0(r11)
+    add  r11, r6, r10
+    ld   r13, 0(r11)
+    add  r13, r12, r13
+    addi r14, r9, 1
+    rem  r14, r14, r21
+    slli r15, r14, 3
+    add  r16, r7, r15
+    ld   r17, 0(r16)
+    add  r16, r6, r15
+    ld   r18, 0(r16)
+    add  r18, r17, r18
+    mv   r19, r12
+fl_mloop:
+    bge  r19, r13, fl_mdone
+    slli r20, r19, 3
+    add  r22, r3, r20
+    fld  f1, 0(r22)
+    add  r22, r4, r20
+    fld  f2, 0(r22)
+    fli  f10, 0.0
+    mv   r23, r17
+fl_kloop:
+    bge  r23, r18, fl_kdone
+    slli r24, r23, 3
+    add  r25, r3, r24
+    fld  f4, 0(r25)
+    add  r25, r4, r24
+    fld  f5, 0(r25)
+    fsub f4, f1, f4
+    fmul f4, f4, f4
+    fsub f5, f2, f5
+    fmul f5, f5, f5
+    fadd f4, f4, f5
+    fsub f6, f9, f4
+    fmin f6, f6, f9
+    fmax f6, f6, f11
+    fmul f7, f6, f6
+    fmul f7, f7, f6
+    fadd f10, f10, f7
+    fclt r26, f4, f12
+    beqz r26, fl_knext
+    fsqrt f8, f4
+    fadd f10, f10, f8
+fl_knext:
+    addi r23, r23, 1
+    j    fl_kloop
+fl_kdone:
+    add  r27, r5, r20
+    fst  f10, 0(r27)
+    addi r19, r19, 1
+    j    fl_mloop
+fl_mdone:
+    add  r9, r9, r2
+    j    fl_cloop
+fl_cdone:
+    barrier
+    bnez tid, fl_end
+    fli  f20, 0.0
+    li   r9, 0
+fl_sum:
+    slli r10, r9, 3
+    add  r11, r5, r10
+    fld  f21, 0(r11)
+    fadd f20, f20, f21
+    addi r9, r9, 1
+    blt  r9, r1, fl_sum
+    fli  f22, 100000.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+fl_end:
+    halt
+)";
+
+void
+fluidanimateInit(MemoryImage &img, const Program &prog, int,
+                 int num_contexts, bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1203);
+    const int n = 256;
+    const int cells = 8;
+    wl::fillDoubles(img, prog, "flx", n, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "fly", n, rng, 0.0, 1.0);
+    // Equal occupancy: threads walk their cells in loop-lockstep, so
+    // divergence comes only from the (rare) refinement branch.
+    const int per_cell = n / cells;
+    for (int c = 0; c < cells; ++c) {
+        wl::setWord(img, prog, "flcount",
+                    static_cast<std::uint64_t>(per_cell), c);
+        wl::setWord(img, prog, "flstart",
+                    static_cast<std::uint64_t>(c * per_cell), c);
+    }
+}
+
+// ------------------------------------------------------------- canneal --
+// Annealing swaps over a shared netlist with *per-thread* RNG streams:
+// register state diverges immediately and accept branches diverge often,
+// so canneal has little execute-identical work and low MERGE residency.
+const char *cannealSrc = R"(
+.data
+cnelems:  .word 1024
+cniters:  .word 2400
+nthreads: .word 1
+cnpos:    .space 8192
+cnshadow: .space 8192
+.text
+main:
+    la   r1, cnelems
+    ld   r1, 0(r1)
+    la   r2, cniters
+    ld   r2, 0(r2)
+    la   r3, nthreads
+    ld   r3, 0(r3)
+    div  r2, r2, r3
+    la   r4, cnpos
+    la   r5, cnshadow
+    li   r6, 77
+    mul  r6, r6, tid
+    addi r6, r6, 1000
+    li   r7, 0
+    li   r20, 0
+cn_iter:
+    li   r8, 6364136223846793005
+    mul  r6, r6, r8
+    li   r8, 1442695040888963407
+    add  r6, r6, r8
+    srli r9, r6, 33
+    rem  r10, r9, r1
+    srli r9, r6, 13
+    rem  r11, r9, r1
+    slli r12, r10, 3
+    add  r13, r4, r12
+    ld   r14, 0(r13)
+    slli r15, r11, 3
+    add  r16, r4, r15
+    ld   r17, 0(r16)
+    sub  r18, r14, r17
+    srai r19, r18, 63
+    xor  r18, r18, r19
+    sub  r18, r18, r19
+    slti r19, r18, 64
+    beqz r19, cn_next
+    addi r20, r20, 1
+    andi r21, r7, 63
+    li   r23, 64
+    mul  r23, r23, tid
+    add  r23, r23, r21
+    slli r23, r23, 3
+    add  r23, r5, r23
+    st   r14, 0(r23)
+cn_next:
+    addi r7, r7, 1
+    blt  r7, r2, cn_iter
+    out  r20
+    barrier
+    halt
+)";
+
+void
+cannealInit(MemoryImage &img, const Program &prog, int, int num_contexts,
+            bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1204);
+    wl::fillWords(img, prog, "cnpos", 1024, rng, 4096);
+    for (int i = 0; i < 1024; ++i)
+        wl::setWord(img, prog, "cnshadow", 0, i);
+}
+
+} // namespace
+
+std::vector<Workload>
+parsecWorkloads()
+{
+    std::vector<Workload> v;
+    v.push_back({"swaptions", "Parsec", false, swaptionsSrc,
+                 swaptionsInit});
+    v.push_back({"fluidanimate", "Parsec", false, fluidanimateSrc,
+                 fluidanimateInit});
+    v.push_back({"blackscholes", "Parsec", false, blackscholesSrc,
+                 blackscholesInit});
+    v.push_back({"canneal", "Parsec", false, cannealSrc, cannealInit});
+    return v;
+}
+
+} // namespace mmt

@@ -1,0 +1,37 @@
+#include "workloads/workload.hh"
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        auto add = [&](std::vector<Workload> ws) {
+            for (auto &w : ws)
+                v.push_back(std::move(w));
+        };
+        // Table 1 order: ME first (SPEC2000 + SVM), then MT suites.
+        add(specMeWorkloads());
+        add(libsvmWorkloads());
+        add(splash2Workloads());
+        add(parsecWorkloads());
+        return v;
+    }();
+    return all;
+}
+
+const Workload &
+findWorkload(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace mmt

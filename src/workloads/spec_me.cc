@@ -1,0 +1,587 @@
+/**
+ * @file
+ * Multi-execution kernels standing in for the paper's SPEC2000 picks:
+ * ammp, equake, mcf, twolf, vpr, vortex. Each instance runs the same
+ * binary; initData perturbs a small fraction of the input data per
+ * instance (suppressed for the Limit configuration).
+ */
+
+#include "workloads/workload.hh"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------- ammp --
+// Molecular mechanics: pairwise nonbonded forces over a neighbor window.
+// Almost all inputs identical across instances -> very high
+// execute-identical fraction (paper Figure 1).
+const char *ammpSrc = R"(
+.data
+natoms:  .word 128
+window:  .word 8
+cutoff:  .double 1.9
+posx:    .space 1024
+posy:    .space 1024
+chg:     .space 1024
+forcex:  .space 1024
+.text
+main:
+    la   r1, natoms
+    ld   r1, 0(r1)
+    la   r2, posx
+    la   r3, posy
+    la   r4, chg
+    la   r5, forcex
+    la   r20, cutoff
+    fld  f9, 0(r20)
+    la   r21, window
+    ld   r21, 0(r21)
+    li   r6, 0
+ammp_iloop:
+    slli r7, r6, 3
+    add  r8, r2, r7
+    fld  f1, 0(r8)
+    add  r8, r3, r7
+    fld  f2, 0(r8)
+    add  r8, r4, r7
+    fld  f3, 0(r8)
+    fli  f10, 0.0
+    li   r9, 1
+ammp_kloop:
+    add  r10, r6, r9
+    rem  r10, r10, r1
+    slli r11, r10, 3
+    add  r12, r2, r11
+    fld  f4, 0(r12)
+    add  r12, r3, r11
+    fld  f5, 0(r12)
+    add  r12, r4, r11
+    fld  f6, 0(r12)
+    fsub f7, f1, f4
+    fmul f7, f7, f7
+    fsub f8, f2, f5
+    fmul f8, f8, f8
+    fadd f7, f7, f8
+    fclt r14, f7, f9
+    beqz r14, ammp_skip
+    fli  f12, 1.0e-6
+    fadd f7, f7, f12
+    fsqrt f11, f7
+    fmul f12, f3, f6
+    fdiv f12, f12, f11
+    fneg f13, f7
+    fexp f13, f13
+    fadd f12, f12, f13
+    fadd f10, f10, f12
+ammp_skip:
+    addi r9, r9, 1
+    ble  r9, r21, ammp_kloop
+    add  r16, r5, r7
+    fst  f10, 0(r16)
+    addi r6, r6, 1
+    blt  r6, r1, ammp_iloop
+    fli  f20, 0.0
+    li   r6, 0
+ammp_sum:
+    slli r7, r6, 3
+    add  r8, r5, r7
+    fld  f21, 0(r8)
+    fadd f20, f20, f21
+    addi r6, r6, 1
+    blt  r6, r1, ammp_sum
+    fli  f22, 1000.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+    halt
+)";
+
+void
+ammpInit(MemoryImage &img, const Program &prog, int instance, int,
+         bool identical)
+{
+    Rng rng(1001);
+    wl::fillDoubles(img, prog, "posx", 128, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "posy", 128, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "chg", 128, rng, 0.5, 1.5);
+    if (!identical && instance > 0) {
+        Rng prng(2000 + static_cast<std::uint64_t>(instance));
+        wl::perturbDoubles(img, prog, "posx", 128, prng, 0.03, 0.0, 1.0);
+    }
+}
+
+// -------------------------------------------------------------- equake --
+// Sparse mat-vec with a data-dependent relaxation loop: instances
+// perturb a contiguous block of the source vector, producing *long*
+// divergent paths (Figure 2 shows equake's divergences are long).
+const char *equakeSrc = R"(
+.data
+erows:   .word 96
+ennz:    .word 8
+esteps:  .word 4
+ethr:    .double 3.0
+ecolidx: .space 6144
+eaval:   .space 6144
+evec:    .space 768
+eout:    .space 768
+.text
+main:
+    la   r1, erows
+    ld   r1, 0(r1)
+    la   r2, ennz
+    ld   r2, 0(r2)
+    la   r3, esteps
+    ld   r3, 0(r3)
+    la   r4, ecolidx
+    la   r5, eaval
+    la   r6, evec
+    la   r7, eout
+    la   r8, ethr
+    fld  f9, 0(r8)
+    fli  f5, 0.9
+    fli  f15, 0.5
+    li   r9, 0
+equake_step:
+    li   r10, 0
+equake_row:
+    fli  f1, 0.0
+    mul  r11, r10, r2
+    slli r11, r11, 3
+    add  r12, r4, r11
+    add  r13, r5, r11
+    li   r14, 0
+equake_nnz:
+    ld   r15, 0(r12)
+    fld  f2, 0(r13)
+    slli r16, r15, 3
+    add  r16, r6, r16
+    fld  f3, 0(r16)
+    fmul f2, f2, f3
+    fadd f1, f1, f2
+    addi r12, r12, 8
+    addi r13, r13, 8
+    addi r14, r14, 1
+    blt  r14, r2, equake_nnz
+    fabs f4, f1
+    fcle r17, f4, f9
+    bnez r17, equake_store
+    li   r18, 20
+equake_relax:
+    beqz r18, equake_store
+    fmul f1, f1, f5
+    addi r18, r18, -1
+    j    equake_relax
+equake_store:
+    slli r20, r10, 3
+    add  r21, r7, r20
+    fst  f1, 0(r21)
+    add  r22, r6, r20
+    fld  f6, 0(r22)
+    fadd f6, f6, f1
+    fmul f6, f6, f15
+    fst  f6, 0(r22)
+    addi r10, r10, 1
+    blt  r10, r1, equake_row
+    addi r9, r9, 1
+    blt  r9, r3, equake_step
+    fli  f20, 0.0
+    li   r10, 0
+equake_sum:
+    slli r20, r10, 3
+    add  r21, r7, r20
+    fld  f21, 0(r21)
+    fadd f20, f20, f21
+    addi r10, r10, 1
+    blt  r10, r1, equake_sum
+    fli  f22, 100.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+    halt
+)";
+
+void
+equakeInit(MemoryImage &img, const Program &prog, int instance, int,
+           bool identical)
+{
+    Rng rng(1002);
+    wl::fillWords(img, prog, "ecolidx", 96 * 8, rng, 96);
+    wl::fillDoubles(img, prog, "eaval", 96 * 8, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "evec", 96, rng, 0.0, 2.0);
+    if (!identical && instance > 0) {
+        // Contiguous block of the source term differs per instance.
+        Rng prng(3000 + static_cast<std::uint64_t>(instance));
+        int base = static_cast<int>(prng.below(94));
+        for (int i = 0; i < 2; ++i) {
+            wl::setDouble(img, prog, "evec",
+                          prng.uniform() * 4.0, base + i);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- mcf --
+// Network-simplex style pointer chasing over a big arc array with
+// reduced-cost tests; memory-bound with moderate divergence.
+const char *mcfSrc = R"(
+.data
+mnodes:  .word 4096
+mwalks:  .word 32
+mlen:    .word 96
+mnext:   .space 32768
+mcost:   .space 32768
+mpot:    .space 32768
+.text
+main:
+    la   r1, mnodes
+    ld   r1, 0(r1)
+    la   r2, mwalks
+    ld   r2, 0(r2)
+    la   r3, mlen
+    ld   r3, 0(r3)
+    la   r4, mnext
+    la   r5, mcost
+    la   r6, mpot
+    li   r7, 0
+    li   r8, 0
+    li   r20, 0
+mcf_walk:
+    li   r9, 0
+mcf_step:
+    slli r10, r8, 3
+    add  r11, r4, r10
+    ld   r8, 0(r11)
+    add  r12, r5, r10
+    ld   r13, 0(r12)
+    add  r14, r6, r10
+    ld   r15, 0(r14)
+    sub  r16, r13, r15
+    bltz r16, mcf_improve
+    addi r9, r9, 1
+    blt  r9, r3, mcf_step
+    j    mcf_walkdone
+mcf_improve:
+    add  r20, r20, r16
+    srai r17, r16, 1
+    sub  r15, r15, r17
+    st   r15, 0(r14)
+    addi r9, r9, 1
+    blt  r9, r3, mcf_step
+mcf_walkdone:
+    addi r7, r7, 1
+    li   r21, 37
+    mul  r8, r7, r21
+    andi r8, r8, 4095
+    blt  r7, r2, mcf_walk
+    out  r20
+    halt
+)";
+
+void
+mcfInit(MemoryImage &img, const Program &prog, int instance, int,
+        bool identical)
+{
+    Rng rng(1003);
+    // next[] is a random permutation cycle so chases stay in range and
+    // visit most of the (L1-exceeding) working set.
+    const int n = 4096;
+    std::vector<std::uint64_t> perm(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        perm[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(i);
+    for (int i = n - 1; i > 0; --i) {
+        int j = static_cast<int>(rng.below(static_cast<std::uint64_t>(i)));
+        std::swap(perm[static_cast<std::size_t>(i)],
+                  perm[static_cast<std::size_t>(j)]);
+    }
+    for (int i = 0; i < n; ++i)
+        wl::setWord(img, prog, "mnext", perm[static_cast<std::size_t>(i)],
+                    i);
+    wl::fillWords(img, prog, "mcost", n, rng, 1000);
+    for (int i = 0; i < n; ++i)
+        wl::setWord(img, prog, "mpot", rng.below(80), i);
+    if (!identical && instance > 0) {
+        Rng prng(4000 + static_cast<std::uint64_t>(instance));
+        wl::perturbWords(img, prog, "mcost", n, prng, 0.02, 1000);
+    }
+}
+
+// --------------------------------------------------------------- twolf --
+// Simulated-annealing placement: a shared RNG stream picks the cells,
+// perturbed wire weights decide accept/reject — frequent divergence and
+// low MERGE-mode residency (paper §6.3 singles out twolf/vpr/vortex).
+const char *twolfSrc = R"(
+.data
+tcells:  .word 512
+titers:  .word 1500
+tseed:   .word 12345
+tposx:   .space 4096
+twire:   .space 4096
+.text
+main:
+    la   r1, tcells
+    ld   r1, 0(r1)
+    la   r2, titers
+    ld   r2, 0(r2)
+    la   r3, tseed
+    ld   r3, 0(r3)
+    la   r4, tposx
+    la   r6, twire
+    li   r7, 0
+    li   r20, 0
+twolf_iter:
+    li   r8, 6364136223846793005
+    mul  r3, r3, r8
+    li   r8, 1442695040888963407
+    add  r3, r3, r8
+    srli r9, r3, 33
+    rem  r10, r9, r1
+    srli r9, r3, 13
+    rem  r11, r9, r1
+    slli r12, r10, 3
+    slli r13, r11, 3
+    add  r14, r4, r12
+    ld   r15, 0(r14)
+    add  r16, r4, r13
+    ld   r17, 0(r16)
+    add  r18, r6, r12
+    ld   r19, 0(r18)
+    add  r21, r6, r13
+    ld   r22, 0(r21)
+    sub  r23, r15, r17
+    srai r24, r23, 63
+    xor  r23, r23, r24
+    sub  r23, r23, r24
+    mul  r24, r23, r19
+    mul  r25, r23, r22
+    sub  r26, r24, r25
+    slli r27, r23, 7
+    add  r26, r26, r27
+    bltz r26, twolf_accept
+    j    twolf_next
+twolf_accept:
+    st   r15, 0(r16)
+    st   r17, 0(r14)
+    addi r20, r20, 1
+twolf_next:
+    addi r7, r7, 1
+    blt  r7, r2, twolf_iter
+    out  r20
+    halt
+)";
+
+void
+twolfInit(MemoryImage &img, const Program &prog, int instance, int,
+          bool identical)
+{
+    Rng rng(1004);
+    wl::fillWords(img, prog, "tposx", 512, rng, 4096);
+    wl::fillWords(img, prog, "twire", 512, rng, 256);
+    if (!identical && instance > 0) {
+        Rng prng(5000 + static_cast<std::uint64_t>(instance));
+        wl::perturbWords(img, prog, "twire", 512, prng, 0.15, 256);
+    }
+}
+
+// ----------------------------------------------------------------- vpr --
+// Routing-cost relaxation with congestion-dependent inner trip counts:
+// many short divergences.
+const char *vprSrc = R"(
+.data
+vnets:   .word 384
+vpasses: .word 4
+vcong:   .space 3072
+vcost:   .space 3072
+.text
+main:
+    la   r1, vnets
+    ld   r1, 0(r1)
+    la   r2, vpasses
+    ld   r2, 0(r2)
+    la   r4, vcong
+    la   r5, vcost
+    li   r6, 0
+    li   r20, 0
+vpr_pass:
+    li   r7, 0
+vpr_net:
+    slli r8, r7, 3
+    add  r9, r4, r8
+    ld   r10, 0(r9)
+    andi r11, r10, 3
+    addi r11, r11, 2
+    li   r12, 0
+    mv   r13, r10
+vpr_relax:
+    beq  r12, r11, vpr_done
+    srai r13, r13, 1
+    addi r13, r13, 3
+    addi r12, r12, 1
+    j    vpr_relax
+vpr_done:
+    add  r14, r5, r8
+    ld   r15, 0(r14)
+    add  r15, r15, r13
+    st   r15, 0(r14)
+    add  r20, r20, r13
+    addi r7, r7, 1
+    blt  r7, r1, vpr_net
+    addi r6, r6, 1
+    blt  r6, r2, vpr_pass
+    out  r20
+    halt
+)";
+
+void
+vprInit(MemoryImage &img, const Program &prog, int instance, int,
+        bool identical)
+{
+    Rng rng(1005);
+    // Unperturbed congestion values have zero low bits, so every
+    // instance relaxes each net the same number of times; perturbation
+    // randomizes the trip count of a few nets.
+    for (int i = 0; i < 384; ++i)
+        wl::setWord(img, prog, "vcong", rng.below(4096) & ~0x3ull, i);
+    for (int i = 0; i < 384; ++i)
+        wl::setWord(img, prog, "vcost", 0, i);
+    if (!identical && instance > 0) {
+        Rng prng(6000 + static_cast<std::uint64_t>(instance));
+        wl::perturbWords(img, prog, "vcong", 384, prng, 0.25, 4096);
+    }
+}
+
+// -------------------------------------------------------------- vortex --
+// Object-database stand-in: branchy binary-search-tree probes whose
+// paths diverge mid-tree on perturbed keys; long divergence tails
+// (Figure 2 shows vortex as the other long-divergence app).
+const char *vortexSrc = R"(
+.data
+xnodes:   .word 1023
+xqueries: .word 600
+xseed:    .word 42
+xkeys:    .space 8184
+xcount:   .space 8184
+.text
+main:
+    la   r1, xnodes
+    ld   r1, 0(r1)
+    la   r2, xqueries
+    ld   r2, 0(r2)
+    la   r3, xseed
+    ld   r3, 0(r3)
+    la   r4, xkeys
+    la   r5, xcount
+    li   r6, 0
+    li   r20, 0
+    li   r24, 0
+vortex_q:
+    li   r8, 2862933555777941757
+    mul  r3, r3, r8
+    li   r8, 3037000493
+    add  r3, r3, r8
+    srli r9, r3, 40
+    li   r10, 0
+vortex_walk:
+    slli r11, r10, 3
+    add  r12, r4, r11
+    ld   r13, 0(r12)
+    xor  r21, r13, r9
+    slli r22, r21, 13
+    xor  r21, r21, r22
+    srli r22, r21, 7
+    xor  r21, r21, r22
+    add  r24, r24, r21
+    beq  r13, r9, vortex_found
+    blt  r13, r9, vortex_right
+    slli r10, r10, 1
+    addi r10, r10, 1
+    j    vortex_chk
+vortex_right:
+    slli r10, r10, 1
+    addi r10, r10, 2
+vortex_chk:
+    blt  r10, r1, vortex_walk
+    j    vortex_next
+vortex_found:
+    addi r20, r20, 1
+    add  r14, r5, r11
+    ld   r15, 0(r14)
+    addi r15, r15, 1
+    st   r15, 0(r14)
+vortex_next:
+    addi r6, r6, 1
+    blt  r6, r2, vortex_q
+    out  r20
+    out  r24
+    halt
+)";
+
+void
+vortexInit(MemoryImage &img, const Program &prog, int instance, int,
+           bool identical)
+{
+    // Build a valid BST over 24-bit keys: the in-order rank of heap
+    // index i determines its key.
+    const int n = 1023;
+    // In-order traversal of the perfect heap assigns ranks.
+    std::vector<int> rank(static_cast<std::size_t>(n), 0);
+    int next_rank = 0;
+    // Iterative in-order over implicit tree.
+    std::vector<int> stack;
+    int cur = 0;
+    while (cur < n || !stack.empty()) {
+        while (cur < n) {
+            stack.push_back(cur);
+            cur = 2 * cur + 1;
+        }
+        cur = stack.back();
+        stack.pop_back();
+        rank[static_cast<std::size_t>(cur)] = next_rank++;
+        cur = 2 * cur + 2;
+    }
+    const std::uint64_t span = (1ull << 24) / static_cast<std::uint64_t>(n);
+    for (int i = 0; i < n; ++i) {
+        wl::setWord(img, prog, "xkeys",
+                    static_cast<std::uint64_t>(
+                        rank[static_cast<std::size_t>(i)]) * span + 7,
+                    i);
+        wl::setWord(img, prog, "xcount", 0, i);
+    }
+    if (!identical && instance > 0) {
+        Rng prng(7000 + static_cast<std::uint64_t>(instance));
+        // Jitter a fraction of the keys slightly: searches still work but
+        // take different paths near the perturbed nodes.
+        for (int i = 0; i < n; ++i) {
+            if (prng.uniform() < 0.04) {
+                std::uint64_t k =
+                    img.read64(wl::wordAddr(prog, "xkeys", i));
+                wl::setWord(img, prog, "xkeys", k + prng.below(span / 2),
+                            i);
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Workload>
+specMeWorkloads()
+{
+    std::vector<Workload> v;
+    v.push_back({"ammp", "SPEC2000", true, ammpSrc, ammpInit});
+    v.push_back({"twolf", "SPEC2000", true, twolfSrc, twolfInit});
+    v.push_back({"vpr", "SPEC2000", true, vprSrc, vprInit});
+    v.push_back({"equake", "SPEC2000", true, equakeSrc, equakeInit});
+    v.push_back({"mcf", "SPEC2000", true, mcfSrc, mcfInit});
+    v.push_back({"vortex", "SPEC2000", true, vortexSrc, vortexInit});
+    return v;
+}
+
+} // namespace mmt

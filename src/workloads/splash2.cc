@@ -1,0 +1,577 @@
+/**
+ * @file
+ * SPLASH-2 stand-ins (multi-threaded, shared memory): lu, fft, water-sp,
+ * ocean, water-ns. Work is partitioned by the tid register with stride-T
+ * loops (so merged groups keep a single PC stream and diverge only at
+ * data-dependent branches and final loop iterations); phases synchronize
+ * with BARRIER, whose release naturally re-merges all threads.
+ */
+
+#include "workloads/workload.hh"
+
+#include <cmath>
+
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+// ------------------------------------------------------------------ lu --
+// Blocked-free LU factorization, rows strided across threads. The pivot
+// row a[k][*] is read by every thread at the same inner-loop step: those
+// loads are execute-identical (shared memory); each thread's own row data
+// differs -> mostly fetch-identical (paper Figure 1: lu has limited
+// execute-identical work).
+const char *luSrc = R"(
+.data
+lun:      .word 32
+nthreads: .word 1
+lua:      .space 8192
+.text
+main:
+    la   r1, lun
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, lua
+    li   r4, 0
+lu_kloop:
+    barrier
+    addi r5, r4, 1
+    add  r5, r5, tid
+lu_iloop:
+    bge  r5, r1, lu_kdone
+    mul  r7, r5, r1
+    add  r7, r7, r4
+    slli r7, r7, 3
+    add  r7, r3, r7
+    fld  f1, 0(r7)
+    mul  r8, r4, r1
+    add  r8, r8, r4
+    slli r8, r8, 3
+    add  r8, r3, r8
+    fld  f2, 0(r8)
+    fdiv f3, f1, f2
+    fst  f3, 0(r7)
+    addi r9, r4, 1
+    mul  r10, r5, r1
+    add  r10, r10, r9
+    slli r10, r10, 3
+    add  r10, r3, r10
+    mul  r11, r4, r1
+    add  r11, r11, r9
+    slli r11, r11, 3
+    add  r11, r3, r11
+lu_jloop:
+    bge  r9, r1, lu_inext
+    fld  f4, 0(r10)
+    fld  f5, 0(r11)
+    fmul f6, f3, f5
+    fsub f4, f4, f6
+    fst  f4, 0(r10)
+    addi r10, r10, 8
+    addi r11, r11, 8
+    addi r9, r9, 1
+    j    lu_jloop
+lu_inext:
+    add  r5, r5, r2
+    j    lu_iloop
+lu_kdone:
+    addi r4, r4, 1
+    addi r12, r1, -1
+    blt  r4, r12, lu_kloop
+    barrier
+    bnez tid, lu_end
+    fli  f20, 0.0
+    li   r5, 0
+lu_sum:
+    mul  r7, r5, r1
+    add  r7, r7, r5
+    slli r7, r7, 3
+    add  r7, r3, r7
+    fld  f21, 0(r7)
+    fabs f21, f21
+    fadd f20, f20, f21
+    addi r5, r5, 1
+    blt  r5, r1, lu_sum
+    fli  f22, 100.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+lu_end:
+    halt
+)";
+
+void
+luInit(MemoryImage &img, const Program &prog, int, int num_contexts, bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1101);
+    const int n = 32;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            double v = 1.0 + rng.uniform();
+            if (i == j)
+                v += static_cast<double>(n); // diagonal dominance
+            wl::setDouble(img, prog, "lua", v, i * n + j);
+        }
+    }
+}
+
+// ----------------------------------------------------------------- fft --
+// Radix-2 butterfly stages, butterflies strided across threads; per-stage
+// barriers. Per-thread twiddle/data indices differ -> high fetch-identical
+// with little execute-identical work.
+const char *fftSrc = R"(
+.data
+fftn:     .word 512
+nthreads: .word 1
+fre:      .space 4096
+fim:      .space 4096
+ftwr:     .space 2048
+ftwi:     .space 2048
+.text
+main:
+    la   r1, fftn
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, fre
+    la   r4, fim
+    la   r5, ftwr
+    la   r6, ftwi
+    srli r8, r1, 1
+    li   r7, 1
+    li   r24, 0
+fft_stage:
+    addi r25, r7, -1
+    srl  r26, r8, r24
+    mv   r9, tid
+fft_bloop:
+    bge  r9, r8, fft_bdone
+    srl  r10, r9, r24
+    and  r11, r9, r25
+    slli r12, r10, 1
+    mul  r12, r12, r7
+    add  r12, r12, r11
+    add  r13, r12, r7
+    mul  r14, r11, r26
+    slli r15, r14, 3
+    add  r16, r5, r15
+    fld  f1, 0(r16)
+    add  r16, r6, r15
+    fld  f2, 0(r16)
+    slli r17, r12, 3
+    slli r18, r13, 3
+    add  r19, r3, r17
+    fld  f3, 0(r19)
+    add  r20, r4, r17
+    fld  f4, 0(r20)
+    add  r21, r3, r18
+    fld  f5, 0(r21)
+    add  r22, r4, r18
+    fld  f6, 0(r22)
+    fmul f7, f1, f5
+    fmul f8, f2, f6
+    fsub f7, f7, f8
+    fmul f9, f1, f6
+    fmul f10, f2, f5
+    fadd f9, f9, f10
+    fsub f11, f3, f7
+    fsub f12, f4, f9
+    fadd f3, f3, f7
+    fadd f4, f4, f9
+    fst  f3, 0(r19)
+    fst  f4, 0(r20)
+    fst  f11, 0(r21)
+    fst  f12, 0(r22)
+    add  r9, r9, r2
+    j    fft_bloop
+fft_bdone:
+    barrier
+    slli r7, r7, 1
+    addi r24, r24, 1
+    blt  r7, r1, fft_stage
+    bnez tid, fft_end
+    fli  f20, 0.0
+    li   r9, 0
+fft_sum:
+    slli r17, r9, 3
+    add  r19, r3, r17
+    fld  f21, 0(r19)
+    fabs f21, f21
+    fadd f20, f20, f21
+    addi r9, r9, 1
+    blt  r9, r1, fft_sum
+    fli  f22, 10.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+fft_end:
+    halt
+)";
+
+void
+fftInit(MemoryImage &img, const Program &prog, int, int num_contexts, bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1102);
+    const int n = 512;
+    wl::fillDoubles(img, prog, "fre", n, rng, -1.0, 1.0);
+    wl::fillDoubles(img, prog, "fim", n, rng, -1.0, 1.0);
+    for (int k = 0; k < n / 2; ++k) {
+        double ang = -2.0 * M_PI * static_cast<double>(k) /
+                     static_cast<double>(n);
+        wl::setDouble(img, prog, "ftwr", std::cos(ang), k);
+        wl::setDouble(img, prog, "ftwi", std::sin(ang), k);
+    }
+}
+
+// ------------------------------------------------------------- water-ns --
+// O(n^2) pairwise interactions: the inner j-loop loads every molecule's
+// position at the same time in all threads (execute-identical shared
+// loads); a distance-cutoff branch on per-thread data diverges briefly
+// and register merging re-establishes sharing after each re-merge —
+// water is one of the apps the paper credits to register merging.
+const char *waterNsSrc = R"(
+.data
+wn:       .word 64
+nthreads: .word 1
+wx:       .space 512
+wy:       .space 512
+wz:       .space 512
+wfx:      .space 512
+wcut:     .double 0.02
+.text
+main:
+    la   r1, wn
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, wx
+    la   r4, wy
+    la   r5, wz
+    la   r6, wfx
+    la   r7, wcut
+    fld  f9, 0(r7)
+    fli  f14, 1.0e-3
+    fli  f15, 1.0
+    mv   r8, tid
+wns_iloop:
+    bge  r8, r1, wns_idone
+    slli r9, r8, 3
+    add  r10, r3, r9
+    fld  f1, 0(r10)
+    add  r10, r4, r9
+    fld  f2, 0(r10)
+    add  r10, r5, r9
+    fld  f3, 0(r10)
+    fli  f10, 0.0
+    li   r11, 0
+wns_jloop:
+    slli r12, r11, 3
+    add  r13, r3, r12
+    fld  f4, 0(r13)
+    add  r13, r4, r12
+    fld  f5, 0(r13)
+    add  r13, r5, r12
+    fld  f6, 0(r13)
+    fsub f4, f1, f4
+    fmul f4, f4, f4
+    fsub f5, f2, f5
+    fmul f5, f5, f5
+    fsub f6, f3, f6
+    fmul f6, f6, f6
+    fadd f4, f4, f5
+    fadd f4, f4, f6
+    fadd f4, f4, f14
+    fdiv f12, f15, f4
+    fadd f10, f10, f12
+    fclt r14, f4, f9
+    beqz r14, wns_jnext
+    fsqrt f11, f4
+    fdiv f13, f15, f11
+    fadd f10, f10, f13
+wns_jnext:
+    addi r11, r11, 1
+    blt  r11, r1, wns_jloop
+    add  r16, r6, r9
+    fst  f10, 0(r16)
+    add  r8, r8, r2
+    j    wns_iloop
+wns_idone:
+    barrier
+    bnez tid, wns_end
+    fli  f20, 0.0
+    li   r8, 0
+wns_sum:
+    slli r9, r8, 3
+    add  r16, r6, r9
+    fld  f21, 0(r16)
+    fadd f20, f20, f21
+    addi r8, r8, 1
+    blt  r8, r1, wns_sum
+    fli  f22, 10.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+wns_end:
+    halt
+)";
+
+void
+waterNsInit(MemoryImage &img, const Program &prog, int, int num_contexts,
+            bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1103);
+    wl::fillDoubles(img, prog, "wx", 64, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "wy", 64, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "wz", 64, rng, 0.0, 1.0);
+}
+
+// ------------------------------------------------------------- water-sp --
+// Cell-list variant: per-cell molecule counts vary, so threads' loop trip
+// counts differ -> longer divergences than water-ns.
+const char *waterSpSrc = R"(
+.data
+wspn:     .word 256
+wspcells: .word 8
+nthreads: .word 1
+wsx:      .space 2048
+wsy:      .space 2048
+wsfx:     .space 2048
+wscount:  .space 128
+wsstart:  .space 128
+wscut:    .double 0.03
+.text
+main:
+    la   r1, wspn
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r21, wspcells
+    ld   r21, 0(r21)
+    la   r3, wsx
+    la   r4, wsy
+    la   r5, wsfx
+    la   r6, wscount
+    la   r7, wsstart
+    la   r8, wscut
+    fld  f9, 0(r8)
+    fli  f14, 1.0e-3
+    fli  f15, 1.0
+    mv   r9, tid
+wsp_cloop:
+    bge  r9, r21, wsp_cdone
+    slli r10, r9, 3
+    add  r11, r7, r10
+    ld   r12, 0(r11)
+    add  r11, r6, r10
+    ld   r13, 0(r11)
+    add  r13, r12, r13
+    addi r14, r9, 1
+    rem  r14, r14, r21
+    slli r15, r14, 3
+    add  r16, r7, r15
+    ld   r17, 0(r16)
+    add  r16, r6, r15
+    ld   r18, 0(r16)
+    add  r18, r17, r18
+    mv   r19, r12
+wsp_mloop:
+    bge  r19, r13, wsp_mdone
+    slli r20, r19, 3
+    add  r22, r3, r20
+    fld  f1, 0(r22)
+    add  r22, r4, r20
+    fld  f2, 0(r22)
+    fli  f10, 0.0
+    mv   r23, r17
+wsp_kloop:
+    bge  r23, r18, wsp_kdone
+    slli r24, r23, 3
+    add  r25, r3, r24
+    fld  f4, 0(r25)
+    add  r25, r4, r24
+    fld  f5, 0(r25)
+    fsub f4, f1, f4
+    fmul f4, f4, f4
+    fsub f5, f2, f5
+    fmul f5, f5, f5
+    fadd f4, f4, f5
+    fadd f4, f4, f14
+    fdiv f12, f15, f4
+    fadd f10, f10, f12
+    fclt r26, f4, f9
+    beqz r26, wsp_knext
+    fsqrt f11, f4
+    fdiv f13, f15, f11
+    fadd f10, f10, f13
+wsp_knext:
+    addi r23, r23, 1
+    j    wsp_kloop
+wsp_kdone:
+    add  r27, r5, r20
+    fst  f10, 0(r27)
+    addi r19, r19, 1
+    j    wsp_mloop
+wsp_mdone:
+    add  r9, r9, r2
+    j    wsp_cloop
+wsp_cdone:
+    barrier
+    bnez tid, wsp_end
+    fli  f20, 0.0
+    li   r9, 0
+wsp_sum:
+    slli r10, r9, 3
+    add  r11, r5, r10
+    fld  f21, 0(r11)
+    fadd f20, f20, f21
+    addi r9, r9, 1
+    blt  r9, r1, wsp_sum
+    fli  f22, 10.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+wsp_end:
+    halt
+)";
+
+void
+waterSpInit(MemoryImage &img, const Program &prog, int, int num_contexts,
+            bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1104);
+    const int n = 256;
+    const int cells = 8;
+    wl::fillDoubles(img, prog, "wsx", n, rng, 0.0, 1.0);
+    wl::fillDoubles(img, prog, "wsy", n, rng, 0.0, 1.0);
+    // Equal occupancy keeps the threads' pair loops in lockstep (the
+    // cell-list structure still differs from water-ns).
+    const int per_cell = n / cells;
+    for (int c = 0; c < cells; ++c) {
+        wl::setWord(img, prog, "wscount",
+                    static_cast<std::uint64_t>(per_cell), c);
+        wl::setWord(img, prog, "wsstart",
+                    static_cast<std::uint64_t>(c * per_cell), c);
+    }
+}
+
+// --------------------------------------------------------------- ocean --
+// Red-black-free Jacobi relaxation over a bordered grid, rows strided
+// across threads, ping-pong buffers, per-iteration barriers.
+const char *oceanSrc = R"(
+.data
+ocn:      .word 34
+ociters:  .word 6
+nthreads: .word 1
+ogrid:    .space 9248
+ogrid2:   .space 9248
+.text
+main:
+    la   r1, ocn
+    ld   r1, 0(r1)
+    la   r2, nthreads
+    ld   r2, 0(r2)
+    la   r3, ociters
+    ld   r3, 0(r3)
+    la   r10, ogrid
+    la   r11, ogrid2
+    fli  f9, 0.25
+    addi r12, r1, -1
+    slli r14, r1, 3
+    li   r4, 0
+ocean_iter:
+    barrier
+    li   r5, 1
+    add  r5, r5, tid
+ocean_row:
+    bge  r5, r12, ocean_rdone
+    mul  r6, r5, r1
+    li   r7, 1
+ocean_col:
+    bge  r7, r12, ocean_cdone
+    add  r8, r6, r7
+    slli r9, r8, 3
+    add  r13, r10, r9
+    fld  f1, -8(r13)
+    fld  f2, 8(r13)
+    sub  r15, r13, r14
+    fld  f3, 0(r15)
+    add  r15, r13, r14
+    fld  f4, 0(r15)
+    fadd f1, f1, f2
+    fadd f3, f3, f4
+    fadd f1, f1, f3
+    fmul f1, f1, f9
+    add  r16, r11, r9
+    fst  f1, 0(r16)
+    addi r7, r7, 1
+    j    ocean_col
+ocean_cdone:
+    add  r5, r5, r2
+    j    ocean_row
+ocean_rdone:
+    barrier
+    xor  r10, r10, r11
+    xor  r11, r10, r11
+    xor  r10, r10, r11
+    addi r4, r4, 1
+    blt  r4, r3, ocean_iter
+    bnez tid, ocean_end
+    fli  f20, 0.0
+    mul  r6, r1, r1
+    li   r5, 0
+ocean_sum:
+    slli r9, r5, 3
+    add  r13, r10, r9
+    fld  f21, 0(r13)
+    fadd f20, f20, f21
+    addi r5, r5, 1
+    blt  r5, r6, ocean_sum
+    fli  f22, 10.0
+    fmul f20, f20, f22
+    fcvti r25, f20
+    out  r25
+ocean_end:
+    halt
+)";
+
+void
+oceanInit(MemoryImage &img, const Program &prog, int, int num_contexts,
+          bool)
+{
+    wl::setWord(img, prog, "nthreads",
+                static_cast<std::uint64_t>(num_contexts));
+    Rng rng(1105);
+    const int n = 34;
+    wl::fillDoubles(img, prog, "ogrid", n * n, rng, 0.0, 4.0);
+    for (int i = 0; i < n * n; ++i)
+        wl::setDouble(img, prog, "ogrid2", 0.0, i);
+}
+
+} // namespace
+
+std::vector<Workload>
+splash2Workloads()
+{
+    std::vector<Workload> v;
+    v.push_back({"lu", "SPLASH-2", false, luSrc, luInit});
+    v.push_back({"fft", "SPLASH-2", false, fftSrc, fftInit});
+    v.push_back({"water-sp", "SPLASH-2", false, waterSpSrc, waterSpInit});
+    v.push_back({"ocean", "SPLASH-2", false, oceanSrc, oceanInit});
+    v.push_back({"water-ns", "SPLASH-2", false, waterNsSrc, waterNsInit});
+    return v;
+}
+
+} // namespace mmt

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Workload registry: the 16 SPMD kernels standing in for the paper's
+ * benchmark suites (Table 1). Each kernel is written in MMT-RISC assembly
+ * and calibrated to reproduce its application's published sharing
+ * character (DESIGN.md §4): compute mix, data-sharing pattern, and
+ * divergence behaviour.
+ *
+ * Multi-threaded (MT) kernels share one address space, read `nthreads`
+ * from the data segment, partition work by the tid register and
+ * synchronize with BARRIER. Multi-execution (ME) kernels ignore tid and
+ * run one instance per address space whose *data* differs slightly
+ * (initData perturbs the inputs per instance, paper §3.1).
+ */
+
+#ifndef MMT_WORKLOADS_WORKLOAD_HH
+#define MMT_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "iasm/program.hh"
+#include "mem/memory_image.hh"
+
+namespace mmt
+{
+
+/** One benchmark kernel. */
+struct Workload
+{
+    std::string name;
+    std::string suite; // SPEC2000 / SPLASH-2 / Parsec / SVM / MP
+    bool multiExecution = false;
+    /** Assembly text of the kernel. */
+    std::string source;
+    /**
+     * Populate the data segment of one address space.
+     *
+     * @param image destination memory
+     * @param prog the assembled program (for symbol lookups)
+     * @param instance ME instance index (0 for the MT shared image)
+     * @param num_contexts thread/instance count (MT kernels read their
+     *        partitioning from it)
+     * @param identical Limit configuration: suppress per-instance input
+     *        perturbation so every context is exactly identical
+     */
+    std::function<void(MemoryImage &image, const Program &prog,
+                       int instance, int num_contexts, bool identical)>
+        initData;
+
+    /** Uses SEND/RECV channels (implies separate address spaces). */
+    bool messagePassing = false;
+};
+
+/** All 16 workloads in the paper's Table 1 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Find a workload by name; fatal if unknown. */
+const Workload &findWorkload(const std::string &name);
+
+// Suite constructors (one translation unit per suite).
+std::vector<Workload> specMeWorkloads();  // ammp twolf vpr equake mcf vortex
+std::vector<Workload> libsvmWorkloads();  // libsvm
+std::vector<Workload> splash2Workloads(); // lu fft water-sp ocean water-ns
+std::vector<Workload> parsecWorkloads();  // swaptions fluidanimate
+                                          // blackscholes canneal
+
+/**
+ * Message-passing ring all-reduce (extension: the application class the
+ * paper names as future work in §7). Not part of allWorkloads(): the
+ * paper's Table 1 suite stays at 16 apps.
+ */
+const Workload &messagePassingWorkload();
+
+} // namespace mmt
+
+#endif // MMT_WORKLOADS_WORKLOAD_HH

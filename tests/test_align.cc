@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace-alignment tests (paper §3.2/§3.3): fetch-/execute-identical
+ * classification, divergence handling and the taken-branch length-
+ * difference samples behind Figures 1 and 2.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profile/align.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+TraceRecord
+rec(Addr pc, RegVal a = 0, bool taken = false)
+{
+    TraceRecord r;
+    r.pc = pc;
+    r.op = Opcode::ADDI;
+    r.readsA = true;
+    r.srcA = a;
+    r.isTakenBranch = taken;
+    return r;
+}
+
+std::vector<TraceRecord>
+straight(Addr base, int n, RegVal val)
+{
+    std::vector<TraceRecord> t;
+    for (int i = 0; i < n; ++i)
+        t.push_back(rec(base + static_cast<Addr>(i) * 4, val));
+    return t;
+}
+
+} // namespace
+
+TEST(Align, IdenticalTracesAreExecuteIdentical)
+{
+    auto a = straight(0x1000, 10, 5);
+    auto b = straight(0x1000, 10, 5);
+    SharingProfile p = alignTraces(a, b);
+    EXPECT_EQ(p.total, 20u);
+    EXPECT_EQ(p.execIdentical, 20u);
+    EXPECT_EQ(p.fetchIdentical, 0u);
+    EXPECT_EQ(p.notIdentical, 0u);
+    EXPECT_DOUBLE_EQ(p.fracExec(), 1.0);
+}
+
+TEST(Align, SamePcDifferentValuesIsFetchIdentical)
+{
+    auto a = straight(0x1000, 10, 5);
+    auto b = straight(0x1000, 10, 6);
+    SharingProfile p = alignTraces(a, b);
+    EXPECT_EQ(p.fetchIdentical, 20u);
+    EXPECT_EQ(p.execIdentical, 0u);
+}
+
+TEST(Align, LoadsCompareLoadedValues)
+{
+    TraceRecord x = rec(0x1000, 5);
+    x.isLoad = true;
+    x.destVal = 42;
+    TraceRecord y = x;
+    EXPECT_TRUE(executeIdentical(x, y));
+    y.destVal = 43; // same address, different loaded value (ME case)
+    EXPECT_FALSE(executeIdentical(x, y));
+}
+
+TEST(Align, DivergenceCountedNotIdentical)
+{
+    // Common prefix, thread-specific middles of different lengths,
+    // common suffix.
+    auto a = straight(0x1000, 5, 1);
+    auto b = straight(0x1000, 5, 1);
+    auto mid_a = straight(0x2000, 3, 1);
+    auto mid_b = straight(0x3000, 7, 1);
+    auto tail = straight(0x4000, 8, 1);
+    for (auto &r : mid_a) a.push_back(r);
+    for (auto &r : mid_b) b.push_back(r);
+    for (auto &r : tail) { a.push_back(r); b.push_back(r); }
+
+    DivergenceStats div;
+    SharingProfile p = alignTraces(a, b, &div);
+    EXPECT_EQ(p.notIdentical, 10u); // 3 + 7
+    EXPECT_EQ(p.execIdentical, 26u); // (5 + 8) * 2
+    ASSERT_EQ(div.lengthDiffs.size(), 1u);
+}
+
+TEST(Align, DivergenceLengthMeasuredInTakenBranches)
+{
+    auto a = straight(0x1000, 4, 1);
+    auto b = a;
+    // Thread a's divergent path has 3 taken branches, b's has 1.
+    std::vector<TraceRecord> mid_a = {rec(0x2000, 1, true),
+                                      rec(0x2004, 1, true),
+                                      rec(0x2008, 1, true)};
+    std::vector<TraceRecord> mid_b = {rec(0x3000, 1, true),
+                                      rec(0x3004, 1, false)};
+    auto tail = straight(0x4000, 8, 1);
+    for (auto &r : mid_a) a.push_back(r);
+    for (auto &r : mid_b) b.push_back(r);
+    for (auto &r : tail) { a.push_back(r); b.push_back(r); }
+
+    DivergenceStats div;
+    alignTraces(a, b, &div);
+    ASSERT_EQ(div.lengthDiffs.size(), 1u);
+    EXPECT_EQ(div.lengthDiffs[0], 2u); // |3 - 1|
+    EXPECT_DOUBLE_EQ(div.fractionWithin(16), 1.0);
+    EXPECT_DOUBLE_EQ(div.fractionWithin(1), 0.0);
+}
+
+TEST(Align, NoResyncConsumesRest)
+{
+    auto a = straight(0x1000, 3, 1);
+    auto b = straight(0x1000, 3, 1);
+    auto tail_a = straight(0x2000, 20, 1);
+    auto tail_b = straight(0x3000, 25, 1);
+    for (auto &r : tail_a) a.push_back(r);
+    for (auto &r : tail_b) b.push_back(r);
+    SharingProfile p = alignTraces(a, b);
+    EXPECT_EQ(p.execIdentical, 6u);
+    EXPECT_EQ(p.notIdentical, 45u);
+    EXPECT_EQ(p.total, 51u);
+}
+
+TEST(Align, ConfirmationAvoidsSpuriousResync)
+{
+    // Thread b revisits PC 0x1008 inside its divergent path, but only for
+    // one record; the aligner must not resync there.
+    auto a = straight(0x1000, 6, 1);
+    std::vector<TraceRecord> b = {
+        rec(0x1000, 1), rec(0x1004, 1),
+        rec(0x5000, 1), rec(0x1008, 1), rec(0x5008, 1), rec(0x500c, 1),
+        rec(0x1008, 1), rec(0x100c, 1), rec(0x1010, 1), rec(0x1014, 1),
+    };
+    AlignParams params;
+    params.confirm = 3;
+    SharingProfile p = alignTraces(a, b, nullptr, params);
+    // Proper resync at b[6] (0x1008..): 2 + 4 matched pairs.
+    EXPECT_EQ(p.execIdentical + p.fetchIdentical, 12u);
+}
+
+TEST(Align, EmptyTraces)
+{
+    std::vector<TraceRecord> a, b;
+    SharingProfile p = alignTraces(a, b);
+    EXPECT_EQ(p.total, 0u);
+    EXPECT_DOUBLE_EQ(p.fracExec(), 0.0);
+    DivergenceStats d;
+    EXPECT_DOUBLE_EQ(d.fractionWithin(16), 0.0);
+}
+
+TEST(Align, AsymmetricLengthTails)
+{
+    auto a = straight(0x1000, 5, 1);
+    auto b = straight(0x1000, 3, 1);
+    SharingProfile p = alignTraces(a, b);
+    EXPECT_EQ(p.execIdentical, 6u);
+    EXPECT_EQ(p.notIdentical, 2u); // a's unmatched tail
+}

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the two-pass assembler: directives, label resolution (incl.
+ * forward references), pseudo-instructions, operand forms, and program
+ * image layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iasm/assembler.hh"
+#include "isa/exec.hh"
+
+using namespace mmt;
+
+TEST(Assembler, MinimalProgram)
+{
+    Program p = assemble("main:\n  li r1, 42\n  halt\n");
+    ASSERT_EQ(p.code.size(), 2u);
+    EXPECT_EQ(p.entry, p.codeBase);
+    EXPECT_EQ(p.code[0].op, Opcode::LUI);
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].imm, 42);
+    EXPECT_EQ(p.code[1].op, Opcode::HALT);
+}
+
+TEST(Assembler, EntryDefaultsToFirstInstructionWithoutMain)
+{
+    Program p = assemble("  nop\n  halt\n");
+    EXPECT_EQ(p.entry, p.codeBase);
+}
+
+TEST(Assembler, ForwardLabelReference)
+{
+    Program p = assemble(R"(
+main:
+    j skip
+    nop
+skip:
+    halt
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::J);
+    EXPECT_EQ(static_cast<Addr>(p.code[0].imm), p.codeBase + 2 * instBytes);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(R"(
+.data
+a:  .word 1, 2, 3
+b:  .double 1.5
+c:  .space 24
+d:  .word 9
+.text
+main:
+    halt
+)");
+    Addr a = p.symbol("a");
+    EXPECT_EQ(p.dataWords.at(a), 1u);
+    EXPECT_EQ(p.dataWords.at(a + 8), 2u);
+    EXPECT_EQ(p.dataWords.at(a + 16), 3u);
+    EXPECT_EQ(p.symbol("b"), a + 24);
+    EXPECT_EQ(exec::toF(p.dataWords.at(p.symbol("b"))), 1.5);
+    EXPECT_EQ(p.symbol("c"), a + 32);
+    EXPECT_EQ(p.symbol("d"), a + 32 + 24);
+}
+
+TEST(Assembler, SpaceRoundsUpToWords)
+{
+    Program p = assemble(R"(
+.data
+a: .space 3
+b: .word 5
+.text
+main: halt
+)");
+    EXPECT_EQ(p.symbol("b"), p.symbol("a") + 8);
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble(R"(
+.data
+buf: .space 8
+.text
+main:
+    ld  r1, 16(r2)
+    st  r3, -8(r4)
+    fld f1, buf(r0)
+    fst f2, 0(r5)
+    halt
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::LD);
+    EXPECT_EQ(p.code[0].rd, 1);
+    EXPECT_EQ(p.code[0].rs1, 2);
+    EXPECT_EQ(p.code[0].imm, 16);
+    EXPECT_EQ(p.code[1].op, Opcode::ST);
+    EXPECT_EQ(p.code[1].rs2, 3);
+    EXPECT_EQ(p.code[1].rs1, 4);
+    EXPECT_EQ(p.code[1].imm, -8);
+    EXPECT_EQ(static_cast<Addr>(p.code[2].imm), p.symbol("buf"));
+    EXPECT_EQ(p.code[2].rd, fpReg(1));
+    EXPECT_EQ(p.code[3].rs2, fpReg(2));
+}
+
+TEST(Assembler, PseudoInstructions)
+{
+    Program p = assemble(R"(
+main:
+    mv   r1, r2
+    la   r3, main
+    beqz r4, main
+    bnez r5, main
+    bgt  r6, r7, main
+    ble  r6, r7, main
+    call main
+    ret
+    halt
+)");
+    EXPECT_EQ(p.code[0].op, Opcode::ADD);
+    EXPECT_EQ(p.code[0].rs2, regZero);
+    EXPECT_EQ(p.code[1].op, Opcode::LUI);
+    EXPECT_EQ(static_cast<Addr>(p.code[1].imm), p.codeBase);
+    EXPECT_EQ(p.code[2].op, Opcode::BEQ);
+    EXPECT_EQ(p.code[2].rs2, regZero);
+    EXPECT_EQ(p.code[3].op, Opcode::BNE);
+    // bgt a,b -> blt b,a
+    EXPECT_EQ(p.code[4].op, Opcode::BLT);
+    EXPECT_EQ(p.code[4].rs1, 7);
+    EXPECT_EQ(p.code[4].rs2, 6);
+    EXPECT_EQ(p.code[5].op, Opcode::BGE);
+    EXPECT_EQ(p.code[5].rs1, 7);
+    EXPECT_EQ(p.code[6].op, Opcode::JAL);
+    EXPECT_EQ(p.code[6].rd, regRa);
+    EXPECT_EQ(p.code[7].op, Opcode::JR);
+    EXPECT_EQ(p.code[7].rs1, regRa);
+}
+
+TEST(Assembler, RegisterAliases)
+{
+    Program p = assemble(R"(
+main:
+    mv r1, tid
+    mv r2, sp
+    mv r3, zero
+    mv r4, ra
+    halt
+)");
+    EXPECT_EQ(p.code[0].rs1, regTid);
+    EXPECT_EQ(p.code[1].rs1, regSp);
+    EXPECT_EQ(p.code[2].rs1, regZero);
+    EXPECT_EQ(p.code[3].rs1, regRa);
+}
+
+TEST(Assembler, FloatImmediates)
+{
+    Program p = assemble("main:\n  fli f1, 3.25\n  fli f2, -0.5\n  halt\n");
+    EXPECT_EQ(exec::toF(static_cast<RegVal>(p.code[0].imm)), 3.25);
+    EXPECT_EQ(exec::toF(static_cast<RegVal>(p.code[1].imm)), -0.5);
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    Program p = assemble("main:\n  li r1, 0x1f\n  addi r2, r1, -5\n  halt\n");
+    EXPECT_EQ(p.code[0].imm, 0x1f);
+    EXPECT_EQ(p.code[1].imm, -5);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    Program p = assemble(R"(
+# full-line comment
+main:            ; trailing comment style 2
+    nop          # trailing comment
+
+    halt
+)");
+    EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress)
+{
+    Program p = assemble("a: b: main:\n  halt\n");
+    EXPECT_EQ(p.symbol("a"), p.symbol("b"));
+    EXPECT_EQ(p.symbol("a"), p.symbol("main"));
+}
+
+TEST(Assembler, ProgramFetchAndValidity)
+{
+    Program p = assemble("main:\n  nop\n  halt\n");
+    EXPECT_TRUE(p.validPc(p.codeBase));
+    EXPECT_TRUE(p.validPc(p.codeBase + 4));
+    EXPECT_FALSE(p.validPc(p.codeBase + 8));   // past the end
+    EXPECT_FALSE(p.validPc(p.codeBase + 2));   // misaligned
+    EXPECT_EQ(p.fetch(p.codeBase + 4).op, Opcode::HALT);
+}
+
+TEST(Assembler, DisassemblyContainsLabels)
+{
+    Program p = assemble("main:\n  li r1, 1\nend:\n  halt\n");
+    std::string d = p.disassemble();
+    EXPECT_NE(d.find("main:"), std::string::npos);
+    EXPECT_NE(d.find("end:"), std::string::npos);
+    EXPECT_NE(d.find("halt"), std::string::npos);
+}
+
+using AssemblerDeath = ::testing::Test;
+
+TEST(AssemblerDeath, RejectsUnknownMnemonic)
+{
+    EXPECT_EXIT(assemble("main:\n  frobnicate r1\n"),
+                ::testing::ExitedWithCode(1), "unknown mnemonic");
+}
+
+TEST(AssemblerDeath, RejectsUndefinedLabel)
+{
+    EXPECT_EXIT(assemble("main:\n  j nowhere\n"),
+                ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerDeath, RejectsWrongRegisterClass)
+{
+    EXPECT_EXIT(assemble("main:\n  fadd f1, r2, f3\n"),
+                ::testing::ExitedWithCode(1), "expected fp register");
+    EXPECT_EXIT(assemble("main:\n  add r1, f2, r3\n"),
+                ::testing::ExitedWithCode(1), "expected integer register");
+}
+
+TEST(AssemblerDeath, RejectsDuplicateLabel)
+{
+    EXPECT_EXIT(assemble("a:\n nop\na:\n halt\n"),
+                ::testing::ExitedWithCode(1), "duplicate label");
+}
+
+TEST(AssemblerDeath, RejectsWrongOperandCount)
+{
+    EXPECT_EXIT(assemble("main:\n  add r1, r2\n"),
+                ::testing::ExitedWithCode(1), "expected 3 operands");
+}
+
+TEST(AssemblerDeath, RejectsDataInText)
+{
+    EXPECT_EXIT(assemble(".text\n.word 5\n"),
+                ::testing::ExitedWithCode(1), ".word in .text");
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Configuration preset tests (Table 4/5): feature flags per ConfigKind,
+ * override plumbing (FHB size, load/store ports + MSHR scaling, fetch
+ * width, trace cache), and the experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+TEST(Configs, Table5FeatureMatrix)
+{
+    const Workload &mt = findWorkload("lu");
+    const Workload &me = findWorkload("ammp");
+
+    CoreParams base = makeCoreParams(ConfigKind::Base, mt, 2);
+    EXPECT_FALSE(base.sharedFetch);
+    EXPECT_FALSE(base.sharedExec);
+    EXPECT_FALSE(base.regMerge);
+
+    CoreParams f = makeCoreParams(ConfigKind::MMT_F, mt, 2);
+    EXPECT_TRUE(f.sharedFetch);
+    EXPECT_FALSE(f.sharedExec);
+
+    CoreParams fx = makeCoreParams(ConfigKind::MMT_FX, mt, 2);
+    EXPECT_TRUE(fx.sharedFetch);
+    EXPECT_TRUE(fx.sharedExec);
+    EXPECT_FALSE(fx.regMerge);
+
+    CoreParams fxr = makeCoreParams(ConfigKind::MMT_FXR, mt, 2);
+    EXPECT_TRUE(fxr.regMerge);
+    EXPECT_FALSE(fxr.forceTidZero);
+
+    CoreParams lim = makeCoreParams(ConfigKind::Limit, mt, 2);
+    EXPECT_TRUE(lim.regMerge);
+    EXPECT_TRUE(lim.forceTidZero);
+    EXPECT_FALSE(lim.multiExecution); // MT workloads stay shared-memory
+
+    EXPECT_TRUE(makeCoreParams(ConfigKind::Base, me, 2).multiExecution);
+}
+
+TEST(Configs, Table4Defaults)
+{
+    CoreParams p = makeCoreParams(ConfigKind::Base, findWorkload("lu"), 4);
+    EXPECT_EQ(p.numThreads, 4);
+    EXPECT_EQ(p.issueWidth, 8);
+    EXPECT_EQ(p.commitWidth, 8);
+    EXPECT_EQ(p.robSize, 256);
+    EXPECT_EQ(p.lsqSize, 64);
+    EXPECT_EQ(p.numAlu, 6);
+    EXPECT_EQ(p.numFpu, 3);
+    EXPECT_EQ(p.fhbEntries, 32);
+    EXPECT_EQ(p.lvipEntries, 4096);
+    EXPECT_EQ(p.bpred.phtEntries, 1024);
+    EXPECT_EQ(p.bpred.historyBits, 10);
+    EXPECT_EQ(p.bpred.btbEntries, 2048);
+    EXPECT_EQ(p.bpred.rasEntries, 16);
+    EXPECT_EQ(p.mem.l1Latency, 1u);
+    EXPECT_EQ(p.mem.l2Latency, 6u);
+    EXPECT_EQ(p.mem.dramLatency, 200u);
+    EXPECT_EQ(p.traceCache.sizeBytes, 1024u * 1024u);
+    EXPECT_TRUE(p.traceCache.enabled);
+}
+
+TEST(Configs, OverridesApply)
+{
+    SimOverrides ov;
+    ov.fhbEntries = 128;
+    ov.lsPorts = 12;
+    ov.fetchWidth = 32;
+    ov.disableTraceCache = true;
+    CoreParams p =
+        makeCoreParams(ConfigKind::MMT_FXR, findWorkload("lu"), 2, ov);
+    EXPECT_EQ(p.fhbEntries, 128);
+    EXPECT_EQ(p.lsPorts, 12);
+    EXPECT_EQ(p.fetchWidth, 32);
+    EXPECT_FALSE(p.traceCache.enabled);
+    // MSHRs scale with the port count (paper Figure 7(b)).
+    EXPECT_EQ(p.mem.numMshrs, 48);
+}
+
+TEST(Configs, ExplicitMshrOverrideWins)
+{
+    SimOverrides ov;
+    ov.lsPorts = 4;
+    ov.mshrs = 7;
+    CoreParams p =
+        makeCoreParams(ConfigKind::Base, findWorkload("lu"), 2, ov);
+    EXPECT_EQ(p.mem.numMshrs, 7);
+}
+
+TEST(Configs, NamesAndDescription)
+{
+    EXPECT_STREQ(configName(ConfigKind::Base), "Base");
+    EXPECT_STREQ(configName(ConfigKind::MMT_FXR), "MMT-FXR");
+    std::string t4 = describeTable4();
+    EXPECT_NE(t4.find("ROB"), std::string::npos);
+    EXPECT_NE(t4.find("Trace cache"), std::string::npos);
+}
+
+TEST(Experiment, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0}), 2.0);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Experiment, FormatTable)
+{
+    std::string s = formatTable({"app", "x"}, {{"ammp", "1.25"},
+                                               {"longer-name", "0.98"}});
+    EXPECT_NE(s.find("ammp"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Experiment, FmtDecimals)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 3), "2.000");
+}
+
+TEST(Experiment, WorkloadNamesOrder)
+{
+    auto names = workloadNames();
+    ASSERT_EQ(names.size(), 16u);
+    EXPECT_EQ(names.front(), "ammp");
+    EXPECT_EQ(names.back(), "canneal");
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Fetch synchronization FSM tests (paper §4.1 Figure 3(a)): MERGE /
+ * DETECT / CATCHUP transitions, divergence splitting, FHB-driven catchup,
+ * false-positive aborts, PC-coincidence remerging, priority ordering, and
+ * thread removal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmt/fetch_sync.hh"
+
+using namespace mmt;
+
+namespace
+{
+std::vector<int>
+flatIcount(const FetchSync &fs)
+{
+    return std::vector<int>(static_cast<std::size_t>(fs.numGroups()), 0);
+}
+} // namespace
+
+TEST(FetchSync, StartsFullyMerged)
+{
+    FetchSync fs(2, 32, /*shared_fetch=*/true);
+    fs.reset(0x1000);
+    ASSERT_EQ(fs.numGroups(), 1);
+    EXPECT_EQ(fs.group(0).members.count(), 2);
+    EXPECT_EQ(fs.group(0).pc, 0x1000u);
+    EXPECT_EQ(fs.classify(0), FetchMode::Merge);
+    EXPECT_EQ(fs.threadGroup(0), 0);
+    EXPECT_EQ(fs.threadGroup(1), 0);
+}
+
+TEST(FetchSync, BaselineKeepsSingletons)
+{
+    FetchSync fs(2, 32, /*shared_fetch=*/false);
+    fs.reset(0x1000);
+    ASSERT_EQ(fs.numGroups(), 2);
+    EXPECT_EQ(fs.group(0).members.count(), 1);
+    // Equal PCs never merge without shared fetch.
+    EXPECT_FALSE(fs.tryMerge());
+    EXPECT_EQ(fs.numGroups(), 2);
+}
+
+TEST(FetchSync, DivergenceSplitsGroup)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    ASSERT_EQ(gids.size(), 2u);
+    EXPECT_EQ(fs.group(gids[0]).pc, 0x2000u);
+    EXPECT_EQ(fs.group(gids[1]).pc, 0x1004u);
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Detect);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Detect);
+    EXPECT_EQ(fs.divergences.value(), 1u);
+}
+
+TEST(FetchSync, FhbHitEntersCatchup)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    // Thread 0 (ahead) takes a branch to 0x3000; recorded in its FHB.
+    fs.onTakenBranch(gids[0], 0x3000);
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Detect);
+    // Thread 1 later takes a branch to the same 0x3000 -> its target is
+    // in thread 0's history -> thread 1 becomes the behind thread.
+    fs.onTakenBranch(gids[1], 0x3000);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Catchup);
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Catchup); // ahead side
+    EXPECT_EQ(fs.catchupEntered.value(), 1u);
+}
+
+TEST(FetchSync, CatchupFalsePositiveAborts)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.onTakenBranch(gids[1], 0x3000); // catchup starts
+    ASSERT_EQ(fs.classify(gids[1]), FetchMode::Catchup);
+    // The behind thread wanders off the ahead thread's recorded path.
+    fs.onTakenBranch(gids[1], 0x9999);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Detect);
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Detect);
+    EXPECT_EQ(fs.catchupAborted.value(), 1u);
+}
+
+TEST(FetchSync, PcCoincidenceMerges)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.group(gids[0]).pc = 0x5000;
+    fs.group(gids[1]).pc = 0x5000;
+    EXPECT_TRUE(fs.tryMerge());
+    int gid = fs.threadGroup(0);
+    EXPECT_EQ(gid, fs.threadGroup(1));
+    EXPECT_EQ(fs.group(gid).members.count(), 2);
+    EXPECT_EQ(fs.classify(gid), FetchMode::Merge);
+    EXPECT_EQ(fs.remerges.value(), 1u);
+}
+
+TEST(FetchSync, MergeClearsHistoriesAndSamplesDistance)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.countBranch(0);
+    fs.countBranch(0);
+    fs.countBranch(1);
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.group(gids[0]).pc = 0x5000;
+    fs.group(gids[1]).pc = 0x5000;
+    fs.tryMerge();
+    EXPECT_EQ(fs.fhb(0).size(), 0);
+    EXPECT_EQ(fs.fhb(1).size(), 0);
+    EXPECT_EQ(fs.remergeDistance.total(), 2u); // one sample per thread
+}
+
+TEST(FetchSync, FetchOrderPrioritizesBehindThread)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.onTakenBranch(gids[1], 0x3000); // group[1] chases group[0]
+    auto order = fs.fetchOrder(flatIcount(fs));
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], gids[1]); // behind first
+    EXPECT_EQ(order[1], gids[0]); // ahead (starved) last
+}
+
+TEST(FetchSync, FetchOrderUsesIcountWithinRank)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    std::vector<int> icount(static_cast<std::size_t>(fs.numGroups()), 0);
+    icount[static_cast<std::size_t>(gids[0])] = 10;
+    icount[static_cast<std::size_t>(gids[1])] = 3;
+    auto order = fs.fetchOrder(icount);
+    EXPECT_EQ(order[0], gids[1]); // fewest in-flight instructions first
+}
+
+TEST(FetchSync, FourThreadPartialMerge)
+{
+    FetchSync fs(4, 32, true);
+    fs.reset(0x1000);
+    // 4 threads diverge into {0,2} and {1,3}.
+    ThreadMask a;
+    a.set(0);
+    a.set(2);
+    ThreadMask b;
+    b.set(1);
+    b.set(3);
+    auto gids = fs.onDivergence(0, {{a, 0x2000}, {b, 0x1004}});
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Merge); // pair still merged
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Merge);
+    EXPECT_EQ(fs.liveThreads(), 4);
+    // Pairs re-join at a common PC.
+    fs.group(gids[0]).pc = 0x7000;
+    fs.group(gids[1]).pc = 0x7000;
+    EXPECT_TRUE(fs.tryMerge());
+    EXPECT_EQ(fs.group(fs.threadGroup(0)).members.count(), 4);
+}
+
+TEST(FetchSync, RemoveThreadDissolvesEmptyGroups)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.onTakenBranch(gids[1], 0x3000); // catchup pair
+    fs.removeThread(0);                // ahead thread halts
+    EXPECT_EQ(fs.threadGroup(0), -1);
+    EXPECT_EQ(fs.liveThreads(), 1);
+    // The behind thread fell back to DETECT (its target group died).
+    EXPECT_EQ(fs.classify(fs.threadGroup(1)), FetchMode::Detect);
+}
+
+TEST(FetchSync, MergedGroupsSkipFhb)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    // Fully merged: taken branches must not touch the FHB (paper §6.2:
+    // "the FHBs are used less than 30% of the time").
+    fs.onTakenBranch(0, 0x2000);
+    EXPECT_EQ(fs.fhb(0).size(), 0);
+    EXPECT_EQ(fs.fhb(1).size(), 0);
+}

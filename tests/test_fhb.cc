@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fetch History Buffer tests: CAM semantics, circular replacement, and
+ * capacity sweeps (paper §4.1, §6.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmt/fhb.hh"
+
+using namespace mmt;
+
+TEST(Fhb, RecordsAndFinds)
+{
+    FetchHistoryBuffer fhb(32);
+    EXPECT_FALSE(fhb.contains(0x1000));
+    fhb.record(0x1000);
+    fhb.record(0x2000);
+    EXPECT_TRUE(fhb.contains(0x1000));
+    EXPECT_TRUE(fhb.contains(0x2000));
+    EXPECT_FALSE(fhb.contains(0x3000));
+    EXPECT_EQ(fhb.size(), 2);
+}
+
+TEST(Fhb, CircularEviction)
+{
+    FetchHistoryBuffer fhb(4);
+    for (Addr pc = 0; pc < 6; ++pc)
+        fhb.record(0x1000 + pc * 4);
+    EXPECT_EQ(fhb.size(), 4);
+    // The two oldest entries were overwritten.
+    EXPECT_FALSE(fhb.contains(0x1000));
+    EXPECT_FALSE(fhb.contains(0x1004));
+    EXPECT_TRUE(fhb.contains(0x1008));
+    EXPECT_TRUE(fhb.contains(0x1014));
+}
+
+TEST(Fhb, ClearEmptiesHistory)
+{
+    FetchHistoryBuffer fhb(8);
+    fhb.record(0x1000);
+    fhb.clear();
+    EXPECT_EQ(fhb.size(), 0);
+    EXPECT_FALSE(fhb.contains(0x1000));
+    fhb.record(0x2000);
+    EXPECT_TRUE(fhb.contains(0x2000));
+}
+
+TEST(Fhb, DuplicateTargetsAllowed)
+{
+    FetchHistoryBuffer fhb(4);
+    fhb.record(0x1000);
+    fhb.record(0x1000);
+    fhb.record(0x2000);
+    fhb.record(0x3000);
+    fhb.record(0x4000); // evicts first 0x1000
+    EXPECT_TRUE(fhb.contains(0x1000)); // second copy survives
+}
+
+TEST(Fhb, StatsCounting)
+{
+    FetchHistoryBuffer fhb(8);
+    fhb.record(0x1000);
+    EXPECT_EQ(fhb.records.value(), 1u);
+    fhb.contains(0x1000);
+    fhb.contains(0x9999);
+    EXPECT_EQ(fhb.searches.value(), 2u);
+    EXPECT_EQ(fhb.hits.value(), 1u);
+}
+
+/** Parameterized capacity sweep mirroring the paper's 8..128 sizes. */
+class FhbSizeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FhbSizeTest, RetainsExactlyCapacityEntries)
+{
+    int n = GetParam();
+    FetchHistoryBuffer fhb(n);
+    const int extra = 5;
+    for (int i = 0; i < n + extra; ++i)
+        fhb.record(0x1000 + static_cast<Addr>(i) * 4);
+    EXPECT_EQ(fhb.size(), n);
+    for (int i = 0; i < extra; ++i)
+        EXPECT_FALSE(fhb.contains(0x1000 + static_cast<Addr>(i) * 4));
+    for (int i = extra; i < n + extra; ++i)
+        EXPECT_TRUE(fhb.contains(0x1000 + static_cast<Addr>(i) * 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSizes, FhbSizeTest,
+                         ::testing::Values(8, 16, 32, 64, 128));

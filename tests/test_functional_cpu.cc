@@ -1,0 +1,241 @@
+/**
+ * @file
+ * FunctionalCpu (golden model) tests: arithmetic programs, control flow,
+ * memory, OUT logging, multi-threaded barriers and tid conventions, and
+ * trace capture.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iasm/assembler.hh"
+#include "profile/tracer.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+/** Run a single-threaded program and return the CPU. */
+FunctionalCpu
+run1(const std::string &src, MemoryImage &img)
+{
+    static Program prog; // kept alive for the cpu's lifetime
+    prog = assemble(src);
+    img.loadData(prog);
+    FunctionalCpu cpu(&prog, {&img}, /*multi_execution=*/true);
+    cpu.run();
+    return cpu;
+}
+
+} // namespace
+
+TEST(FunctionalCpu, ArithmeticAndOut)
+{
+    MemoryImage img;
+    FunctionalCpu cpu = run1(R"(
+main:
+    li  r1, 6
+    li  r2, 7
+    mul r3, r1, r2
+    out r3
+    halt
+)", img);
+    ASSERT_EQ(cpu.thread(0).output.size(), 1u);
+    EXPECT_EQ(cpu.thread(0).output[0], 42u);
+    EXPECT_TRUE(cpu.thread(0).halted);
+    EXPECT_EQ(cpu.thread(0).executed, 5u);
+}
+
+TEST(FunctionalCpu, LoopAndBranches)
+{
+    MemoryImage img;
+    FunctionalCpu cpu = run1(R"(
+main:
+    li r1, 0
+    li r2, 10
+loop:
+    add r1, r1, r2
+    addi r2, r2, -1
+    bnez r2, loop
+    out r1
+    halt
+)", img);
+    EXPECT_EQ(cpu.thread(0).output[0], 55u);
+}
+
+TEST(FunctionalCpu, MemoryRoundTrip)
+{
+    MemoryImage img;
+    FunctionalCpu cpu = run1(R"(
+.data
+buf: .space 16
+val: .word 123
+.text
+main:
+    la  r1, val
+    ld  r2, 0(r1)
+    la  r3, buf
+    st  r2, 8(r3)
+    ld  r4, 8(r3)
+    out r4
+    halt
+)", img);
+    EXPECT_EQ(cpu.thread(0).output[0], 123u);
+}
+
+TEST(FunctionalCpu, FunctionCallConvention)
+{
+    MemoryImage img;
+    FunctionalCpu cpu = run1(R"(
+main:
+    li   r4, 5
+    call square
+    out  r5
+    halt
+square:
+    mul  r5, r4, r4
+    ret
+)", img);
+    EXPECT_EQ(cpu.thread(0).output[0], 25u);
+}
+
+TEST(FunctionalCpu, FloatingPointProgram)
+{
+    MemoryImage img;
+    FunctionalCpu cpu = run1(R"(
+main:
+    fli  f1, 2.0
+    fli  f2, 0.25
+    fdiv f3, f1, f2
+    fcvti r1, f3
+    out  r1
+    halt
+)", img);
+    EXPECT_EQ(cpu.thread(0).output[0], 8u);
+}
+
+TEST(FunctionalCpu, MtThreadsPartitionByTid)
+{
+    Program prog = assemble(R"(
+.data
+nthreads: .word 1
+acc:      .space 32
+.text
+main:
+    la   r1, nthreads
+    ld   r1, 0(r1)
+    slli r2, tid, 3
+    la   r3, acc
+    add  r3, r3, r2
+    addi r4, tid, 100
+    st   r4, 0(r3)
+    barrier
+    bnez tid, done
+    la   r3, acc
+    ld   r5, 0(r3)
+    ld   r6, 8(r3)
+    add  r5, r5, r6
+    out  r5
+done:
+    halt
+)");
+    MemoryImage img;
+    img.loadData(prog);
+    img.write64(prog.symbol("nthreads"), 2);
+    FunctionalCpu cpu(&prog, {&img, &img}, /*multi_execution=*/false);
+    cpu.run();
+    ASSERT_EQ(cpu.thread(0).output.size(), 1u);
+    EXPECT_EQ(cpu.thread(0).output[0], 201u); // 100 + 101
+    EXPECT_TRUE(cpu.thread(1).output.empty());
+}
+
+TEST(FunctionalCpu, MtStackPointersDiffer)
+{
+    Program prog = assemble("main:\n  out sp\n  out tid\n  halt\n");
+    MemoryImage img;
+    FunctionalCpu cpu(&prog, {&img, &img}, false);
+    cpu.run();
+    EXPECT_NE(cpu.thread(0).output[0], cpu.thread(1).output[0]);
+    EXPECT_EQ(cpu.thread(0).output[1], 0u);
+    EXPECT_EQ(cpu.thread(1).output[1], 1u);
+}
+
+TEST(FunctionalCpu, ForceTidZeroMakesThreadsIdentical)
+{
+    Program prog = assemble("main:\n  out tid\n  halt\n");
+    MemoryImage img;
+    FunctionalCpu cpu(&prog, {&img, &img}, false, /*force_tid_zero=*/true);
+    cpu.run();
+    EXPECT_EQ(cpu.thread(0).output[0], 0u);
+    EXPECT_EQ(cpu.thread(1).output[0], 0u);
+}
+
+TEST(FunctionalCpu, MeInstancesSeeOwnMemory)
+{
+    Program prog = assemble(R"(
+.data
+x: .word 0
+.text
+main:
+    la r1, x
+    ld r2, 0(r1)
+    out r2
+    halt
+)");
+    MemoryImage a, b;
+    a.loadData(prog);
+    b.loadData(prog);
+    a.write64(prog.symbol("x"), 7);
+    b.write64(prog.symbol("x"), 9);
+    FunctionalCpu cpu(&prog, {&a, &b}, true);
+    cpu.run();
+    EXPECT_EQ(cpu.thread(0).output[0], 7u);
+    EXPECT_EQ(cpu.thread(1).output[0], 9u);
+}
+
+TEST(FunctionalCpu, TraceCallbackRecords)
+{
+    Program prog = assemble(R"(
+main:
+    li  r1, 3
+    bnez r1, skip
+    nop
+skip:
+    halt
+)");
+    MemoryImage img;
+    FunctionalCpu cpu(&prog, {&img}, true);
+    std::vector<TraceRecord> trace;
+    cpu.setTrace([&](ThreadId, const TraceRecord &r) {
+        trace.push_back(r);
+    });
+    cpu.run();
+    ASSERT_EQ(trace.size(), 3u); // li, bnez (taken), halt
+    EXPECT_EQ(trace[0].op, Opcode::LUI);
+    EXPECT_TRUE(trace[0].writesDest);
+    EXPECT_EQ(trace[0].destVal, 3u);
+    EXPECT_TRUE(trace[1].isTakenBranch);
+    EXPECT_EQ(trace[2].op, Opcode::HALT);
+}
+
+TEST(FunctionalCpu, BarrierReleasesWhenOtherThreadsHalt)
+{
+    // A barrier only waits for *live* threads: if the rest have halted,
+    // the waiting thread proceeds (matching the pipeline's semantics).
+    Program prog = assemble(R"(
+main:
+    bnez tid, t1
+    halt
+t1:
+    barrier
+    li  r1, 5
+    out r1
+    halt
+)");
+    MemoryImage img;
+    FunctionalCpu cpu(&prog, {&img, &img}, false);
+    cpu.run();
+    EXPECT_TRUE(cpu.thread(1).halted);
+    ASSERT_EQ(cpu.thread(1).output.size(), 1u);
+    EXPECT_EQ(cpu.thread(1).output[0], 5u);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The repository's central correctness property (DESIGN.md §7): for
+ * every workload and MMT configuration, the timing simulator's final
+ * architected state, memory and OUT logs must equal the independent
+ * functional interpreter's. A wrong RST bit, bad split, missed LVIP
+ * rollback or bogus register merge corrupts architected state and fails
+ * this test.
+ *
+ * runWorkload() performs the comparison internally and reports it in
+ * RunResult::goldenOk.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace mmt;
+
+namespace
+{
+struct Case
+{
+    const char *app;
+    ConfigKind kind;
+    int threads;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<Case> &info)
+{
+    std::string s = info.param.app;
+    s += "_";
+    s += configName(info.param.kind);
+    s += "_";
+    s += std::to_string(info.param.threads) + "t";
+    for (char &c : s) {
+        if (c == '-')
+            c = '_';
+    }
+    return s;
+}
+} // namespace
+
+class GoldenModelTest : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(GoldenModelTest, TimingMatchesFunctionalModel)
+{
+    const Case &c = GetParam();
+    RunResult r = runWorkload(findWorkload(c.app), c.kind, c.threads);
+    EXPECT_TRUE(r.goldenOk);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.committedThreadInsts, 10'000u);
+}
+
+// Every workload under the full MMT-FXR configuration with 2 threads —
+// the configuration exercising every mechanism at once.
+INSTANTIATE_TEST_SUITE_P(
+    AllAppsFxr2t, GoldenModelTest,
+    ::testing::Values(
+        Case{"ammp", ConfigKind::MMT_FXR, 2},
+        Case{"twolf", ConfigKind::MMT_FXR, 2},
+        Case{"vpr", ConfigKind::MMT_FXR, 2},
+        Case{"equake", ConfigKind::MMT_FXR, 2},
+        Case{"mcf", ConfigKind::MMT_FXR, 2},
+        Case{"vortex", ConfigKind::MMT_FXR, 2},
+        Case{"libsvm", ConfigKind::MMT_FXR, 2},
+        Case{"lu", ConfigKind::MMT_FXR, 2},
+        Case{"fft", ConfigKind::MMT_FXR, 2},
+        Case{"water-sp", ConfigKind::MMT_FXR, 2},
+        Case{"ocean", ConfigKind::MMT_FXR, 2},
+        Case{"water-ns", ConfigKind::MMT_FXR, 2},
+        Case{"swaptions", ConfigKind::MMT_FXR, 2},
+        Case{"fluidanimate", ConfigKind::MMT_FXR, 2},
+        Case{"blackscholes", ConfigKind::MMT_FXR, 2},
+        Case{"canneal", ConfigKind::MMT_FXR, 2}),
+    caseName);
+
+// Spot checks across the other configurations and 4 threads: one ME and
+// one MT app per configuration.
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSpotChecks, GoldenModelTest,
+    ::testing::Values(
+        Case{"ammp", ConfigKind::Base, 2},
+        Case{"water-ns", ConfigKind::Base, 4},
+        Case{"equake", ConfigKind::MMT_F, 2},
+        Case{"lu", ConfigKind::MMT_F, 4},
+        Case{"libsvm", ConfigKind::MMT_FX, 2},
+        Case{"fft", ConfigKind::MMT_FX, 4},
+        Case{"mcf", ConfigKind::MMT_FXR, 4},
+        Case{"swaptions", ConfigKind::MMT_FXR, 4},
+        Case{"ammp", ConfigKind::Limit, 2},
+        Case{"vortex", ConfigKind::Limit, 4},
+        Case{"canneal", ConfigKind::MMT_FXR, 3}),
+    caseName);

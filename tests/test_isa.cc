@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the MMT-RISC ISA: static instruction properties and the
+ * functional semantics in exec::.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/exec.hh"
+#include "isa/isa.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+Instruction
+mk(Opcode op, RegIndex rd = -1, RegIndex rs1 = -1, RegIndex rs2 = -1,
+   std::int64_t imm = 0)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = imm;
+    return i;
+}
+
+RegVal
+alu(Opcode op, RegVal a, RegVal b, std::int64_t imm = 0)
+{
+    return exec::evalAlu(mk(op, 1, 2, 3, imm), a, b, 0x1000);
+}
+
+} // namespace
+
+TEST(IsaInfo, PropertyFlags)
+{
+    EXPECT_TRUE(instInfo(Opcode::LD).isLoad);
+    EXPECT_FALSE(instInfo(Opcode::LD).isStore);
+    EXPECT_TRUE(instInfo(Opcode::FST).isStore);
+    EXPECT_TRUE(instInfo(Opcode::BEQ).isCondBranch);
+    EXPECT_TRUE(instInfo(Opcode::J).isUncondJump);
+    EXPECT_TRUE(instInfo(Opcode::HALT).isSyscall);
+    EXPECT_TRUE(instInfo(Opcode::JAL).writesDest);
+    EXPECT_FALSE(instInfo(Opcode::J).writesDest);
+    EXPECT_TRUE(instInfo(Opcode::ST).readsSrc2); // store data register
+}
+
+TEST(IsaInfo, OpClassAssignments)
+{
+    EXPECT_EQ(instInfo(Opcode::ADD).opClass, OpClass::IntAlu);
+    EXPECT_EQ(instInfo(Opcode::MUL).opClass, OpClass::IntMult);
+    EXPECT_EQ(instInfo(Opcode::FDIV).opClass, OpClass::FpDiv);
+    EXPECT_EQ(instInfo(Opcode::FEXP).opClass, OpClass::FpLong);
+    EXPECT_EQ(instInfo(Opcode::LD).opClass, OpClass::MemRead);
+    EXPECT_EQ(instInfo(Opcode::BNE).opClass, OpClass::Branch);
+}
+
+TEST(Exec, IntegerArithmetic)
+{
+    EXPECT_EQ(alu(Opcode::ADD, 2, 3), 5u);
+    EXPECT_EQ(alu(Opcode::SUB, 2, 3), static_cast<RegVal>(-1));
+    EXPECT_EQ(alu(Opcode::MUL, 7, 6), 42u);
+    EXPECT_EQ(alu(Opcode::DIV, 42, 5), 8u);
+    EXPECT_EQ(alu(Opcode::DIV, static_cast<RegVal>(-42), 5),
+              static_cast<RegVal>(-8));
+    EXPECT_EQ(alu(Opcode::REM, 42, 5), 2u);
+    // Division by zero is defined (no trap in this ISA).
+    EXPECT_EQ(alu(Opcode::DIV, 1, 0), ~RegVal(0));
+    EXPECT_EQ(alu(Opcode::REM, 7, 0), 7u);
+}
+
+TEST(Exec, LogicAndShifts)
+{
+    EXPECT_EQ(alu(Opcode::AND, 0b1100, 0b1010), 0b1000u);
+    EXPECT_EQ(alu(Opcode::OR, 0b1100, 0b1010), 0b1110u);
+    EXPECT_EQ(alu(Opcode::XOR, 0b1100, 0b1010), 0b0110u);
+    EXPECT_EQ(alu(Opcode::SLL, 1, 8), 256u);
+    EXPECT_EQ(alu(Opcode::SRL, ~RegVal(0), 63), 1u);
+    EXPECT_EQ(alu(Opcode::SRA, static_cast<RegVal>(-8), 2),
+              static_cast<RegVal>(-2));
+    // Shift amounts use only the low 6 bits.
+    EXPECT_EQ(alu(Opcode::SLL, 1, 64), 1u);
+}
+
+TEST(Exec, Comparisons)
+{
+    EXPECT_EQ(alu(Opcode::SLT, static_cast<RegVal>(-1), 1), 1u);
+    EXPECT_EQ(alu(Opcode::SLTU, static_cast<RegVal>(-1), 1), 0u);
+    EXPECT_EQ(alu(Opcode::SLTI, 3, 0, 5), 1u);
+    EXPECT_EQ(alu(Opcode::SLTI, 7, 0, 5), 0u);
+}
+
+TEST(Exec, Immediates)
+{
+    EXPECT_EQ(alu(Opcode::ADDI, 10, 0, -3), 7u);
+    EXPECT_EQ(alu(Opcode::ANDI, 0b111, 0, 0b101), 0b101u);
+    EXPECT_EQ(alu(Opcode::LUI, 0, 0, 123456789), 123456789u);
+    EXPECT_EQ(alu(Opcode::SRAI, static_cast<RegVal>(-16), 0, 2),
+              static_cast<RegVal>(-4));
+}
+
+TEST(Exec, FloatingPoint)
+{
+    auto f = [](double d) { return exec::fromF(d); };
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FADD, f(1.5), f(2.25))), 3.75);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FMUL, f(3.0), f(-2.0))), -6.0);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FDIV, f(1.0), f(4.0))), 0.25);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FSQRT, f(9.0), 0)), 3.0);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FABS, f(-2.5), 0)), 2.5);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FMIN, f(1.0), f(2.0))), 1.0);
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FMAX, f(1.0), f(2.0))), 2.0);
+    EXPECT_EQ(alu(Opcode::FCLT, f(1.0), f(2.0)), 1u);
+    EXPECT_EQ(alu(Opcode::FCLE, f(2.0), f(2.0)), 1u);
+    EXPECT_EQ(alu(Opcode::FCEQ, f(2.0), f(2.5)), 0u);
+    // flog of a non-positive value is defined as 0 (no trap).
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FLOG, f(-1.0), 0)), 0.0);
+}
+
+TEST(Exec, Conversions)
+{
+    EXPECT_DOUBLE_EQ(exec::toF(alu(Opcode::FCVT, static_cast<RegVal>(-7),
+                                   0)), -7.0);
+    EXPECT_EQ(alu(Opcode::FCVTI, exec::fromF(3.99), 0), 3u);
+    EXPECT_EQ(alu(Opcode::FCVTI, exec::fromF(-3.99), 0),
+              static_cast<RegVal>(-3));
+}
+
+TEST(Exec, JumpLinkValues)
+{
+    EXPECT_EQ(exec::evalAlu(mk(Opcode::JAL, regRa), 0, 0, 0x1000),
+              0x1004u);
+    EXPECT_EQ(exec::evalAlu(mk(Opcode::JALR, regRa, 5), 0x2000, 0, 0x1010),
+              0x1014u);
+}
+
+TEST(Exec, ConditionalBranches)
+{
+    auto br = [](Opcode op, RegVal a, RegVal b) {
+        return exec::evalBranch(mk(op, -1, 1, 2, 0x3000), a, b, 0x1000);
+    };
+    EXPECT_TRUE(br(Opcode::BEQ, 5, 5).taken);
+    EXPECT_FALSE(br(Opcode::BEQ, 5, 6).taken);
+    EXPECT_EQ(br(Opcode::BEQ, 5, 5).target, 0x3000u);
+    EXPECT_EQ(br(Opcode::BEQ, 5, 6).target, 0x1004u);
+    EXPECT_TRUE(br(Opcode::BLT, static_cast<RegVal>(-2), 1).taken);
+    EXPECT_FALSE(br(Opcode::BLTU, static_cast<RegVal>(-2), 1).taken);
+    EXPECT_TRUE(br(Opcode::BGEU, static_cast<RegVal>(-2), 1).taken);
+}
+
+TEST(Exec, IndirectJumps)
+{
+    BranchOut out = exec::evalBranch(mk(Opcode::JR, -1, 5), 0x4000, 0,
+                                     0x1000);
+    EXPECT_TRUE(out.taken);
+    EXPECT_EQ(out.target, 0x4000u);
+}
+
+TEST(Exec, EffectiveAddress)
+{
+    EXPECT_EQ(exec::effectiveAddr(mk(Opcode::LD, 1, 2, -1, 16), 0x100),
+              0x110u);
+    EXPECT_EQ(exec::effectiveAddr(mk(Opcode::ST, -1, 2, 3, -8), 0x100),
+              0xF8u);
+}
+
+TEST(IsaDisassembly, RoundTripMnemonics)
+{
+    EXPECT_EQ(mk(Opcode::ADD, 1, 2, 3).toString(), "add r1, r2, r3");
+    EXPECT_EQ(mk(Opcode::LD, 4, 5, -1, 8).toString(), "ld r4, 8(r5)");
+    EXPECT_EQ(mk(Opcode::ST, -1, 5, 6, 8).toString(), "st r6, 8(r5)");
+    EXPECT_EQ(mk(Opcode::FADD, fpReg(1), fpReg(2), fpReg(3)).toString(),
+              "fadd f1, f2, f3");
+    EXPECT_EQ(mk(Opcode::HALT).toString(), "halt");
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Load Values Identical Predictor tests (paper §4.2.5): default-identical
+ * prediction, mispredict table insertion, aliasing behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmt/lvip.hh"
+#include "isa/isa.hh"
+
+using namespace mmt;
+
+TEST(Lvip, PredictsIdenticalByDefault)
+{
+    LoadValuesIdenticalPredictor lvip(4096);
+    EXPECT_TRUE(lvip.predictIdentical(0x1000));
+    EXPECT_TRUE(lvip.predictIdentical(0x2000));
+}
+
+TEST(Lvip, RemembersMispredictingPcs)
+{
+    LoadValuesIdenticalPredictor lvip(4096);
+    lvip.recordMispredict(0x1000);
+    EXPECT_FALSE(lvip.predictIdentical(0x1000));
+    EXPECT_TRUE(lvip.predictIdentical(0x1004));
+    EXPECT_EQ(lvip.mispredicts.value(), 1u);
+}
+
+TEST(Lvip, EntriesAreSticky)
+{
+    // The paper's table of mispredicted PCs has no aging: once a PC is
+    // marked, the load is always split.
+    LoadValuesIdenticalPredictor lvip(4096);
+    lvip.recordMispredict(0x1000);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(lvip.predictIdentical(0x1000));
+}
+
+TEST(Lvip, IndexAliasingEvicts)
+{
+    // Two PCs mapping to the same entry: the later mispredict replaces
+    // the earlier tag, so the earlier PC predicts identical again.
+    LoadValuesIdenticalPredictor lvip(16);
+    Addr a = 0x1000;
+    Addr b = a + 16 * instBytes; // same index, different tag
+    lvip.recordMispredict(a);
+    EXPECT_FALSE(lvip.predictIdentical(a));
+    lvip.recordMispredict(b);
+    EXPECT_FALSE(lvip.predictIdentical(b));
+    EXPECT_TRUE(lvip.predictIdentical(a)); // evicted
+}
+
+TEST(Lvip, AccessCounting)
+{
+    LoadValuesIdenticalPredictor lvip(64);
+    lvip.predictIdentical(0x1000);
+    lvip.predictIdentical(0x1000);
+    EXPECT_EQ(lvip.accesses.value(), 2u);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the memory substrate: functional images, the tag-only cache
+ * (hits, LRU, address-space isolation, fill-aware timing), the MSHR-
+ * limited memory system, and the trace cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "iasm/assembler.hh"
+#include "mem/cache.hh"
+#include "mem/memory_image.hh"
+#include "mem/memory_system.hh"
+#include "mem/trace_cache.hh"
+
+using namespace mmt;
+
+TEST(MemoryImage, ReadWriteAndDefaultZero)
+{
+    MemoryImage img;
+    EXPECT_EQ(img.read64(0x1000), 0u);
+    img.write64(0x1000, 0xdeadbeef);
+    EXPECT_EQ(img.read64(0x1000), 0xdeadbeefu);
+    img.write64(0x1000, 7);
+    EXPECT_EQ(img.read64(0x1000), 7u);
+    // A neighbouring word is unaffected.
+    EXPECT_EQ(img.read64(0x1008), 0u);
+}
+
+TEST(MemoryImage, SparsePages)
+{
+    MemoryImage img;
+    img.write64(0x0, 1);
+    img.write64(0x100000, 2);
+    img.write64(0x7ff0000, 3);
+    EXPECT_EQ(img.pageCount(), 3u);
+    EXPECT_EQ(img.read64(0x100000), 2u);
+}
+
+TEST(MemoryImage, ContentEquality)
+{
+    MemoryImage a, b;
+    a.write64(0x1000, 5);
+    EXPECT_FALSE(a.contentEquals(b));
+    b.write64(0x1000, 5);
+    EXPECT_TRUE(a.contentEquals(b));
+    // Zero writes match untouched memory.
+    a.write64(0x2000, 0);
+    EXPECT_TRUE(a.contentEquals(b));
+    b.write64(0x1000, 6);
+    EXPECT_FALSE(a.contentEquals(b));
+}
+
+TEST(MemoryImage, LoadProgramData)
+{
+    Program p = assemble(".data\nv: .word 11, 22\n.text\nmain: halt\n");
+    MemoryImage img;
+    img.loadData(p);
+    EXPECT_EQ(img.read64(p.symbol("v")), 11u);
+    EXPECT_EQ(img.read64(p.symbol("v") + 8), 22u);
+}
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c({"t", 1024, 2, 64});
+    EXPECT_FALSE(c.access(0, 0x100, 0, 10).hit);
+    EXPECT_TRUE(c.access(0, 0x100, 20, 10).hit);
+    EXPECT_TRUE(c.access(0, 0x13f, 30, 10).hit); // same 64B line
+    EXPECT_FALSE(c.access(0, 0x140, 40, 10).hit); // next line
+    EXPECT_EQ(c.accesses.value(), 4u);
+    EXPECT_EQ(c.misses.value(), 2u);
+}
+
+TEST(Cache, LruReplacement)
+{
+    // 2-way, 8 sets of 64B lines: addresses 64*8 apart share a set.
+    Cache c({"t", 1024, 2, 64});
+    Addr stride = 64 * 8;
+    c.access(0, 0, 0, 1);
+    c.access(0, stride, 1, 1);
+    EXPECT_TRUE(c.access(0, 0, 2, 1).hit);          // touch A
+    EXPECT_FALSE(c.access(0, 2 * stride, 3, 1).hit); // evicts B (LRU)
+    EXPECT_TRUE(c.access(0, 0, 4, 1).hit);
+    EXPECT_FALSE(c.access(0, stride, 5, 1).hit);     // B was evicted
+}
+
+TEST(Cache, AddressSpacesDoNotAlias)
+{
+    Cache c({"t", 1024, 2, 64});
+    c.access(0, 0x100, 0, 1);
+    EXPECT_FALSE(c.access(1, 0x100, 1, 1).hit);
+    EXPECT_TRUE(c.access(0, 0x100, 2, 1).hit);
+    EXPECT_TRUE(c.access(1, 0x100, 3, 1).hit);
+}
+
+TEST(Cache, FillAwareHitUnderMiss)
+{
+    Cache c({"t", 1024, 2, 64});
+    auto miss = c.access(0, 0x200, 100, 50);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.readyAt, 150u);
+    // A hit while the fill is in flight waits for it.
+    auto hit = c.access(0, 0x200, 110, 50);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.readyAt, 150u);
+    // After the fill lands, hits are immediate.
+    auto late = c.access(0, 0x200, 200, 50);
+    EXPECT_TRUE(late.hit);
+    EXPECT_EQ(late.readyAt, 200u);
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c({"t", 1024, 2, 64});
+    EXPECT_FALSE(c.probe(0, 0x300));
+    EXPECT_FALSE(c.access(0, 0x300, 0, 1).hit);
+    EXPECT_TRUE(c.probe(0, 0x300));
+}
+
+TEST(MemorySystem, LatencyLevels)
+{
+    MemoryParams mp;
+    MemorySystem ms(mp);
+    // Cold: L1 miss + L2 miss -> DRAM.
+    Cycles t1 = ms.dataAccess(0, 0x1000, false, 0);
+    EXPECT_GE(t1, mp.l1Latency + mp.l2Latency + mp.dramLatency);
+    // Warm: L1 hit.
+    Cycles t2 = ms.dataAccess(0, 0x1000, false, t1);
+    EXPECT_EQ(t2, t1 + mp.l1Latency);
+    // L1-evicted but L2-resident data returns at L2 latency (not tested
+    // here directly; covered by the latency ordering below).
+    EXPECT_GT(t1 - 0, t2 - t1);
+}
+
+TEST(MemorySystem, MshrLimitSerializesMisses)
+{
+    MemoryParams mp;
+    mp.numMshrs = 1;
+    MemorySystem ms(mp);
+    Cycles a = ms.dataAccess(0, 0x10000, false, 0);
+    Cycles b = ms.dataAccess(0, 0x20000, false, 0);
+    // With one MSHR the second miss starts after the first completes.
+    EXPECT_GT(b, a);
+    EXPECT_GE(ms.mshrStalls.value(), 1u);
+
+    MemoryParams mp2;
+    mp2.numMshrs = 16;
+    MemorySystem ms2(mp2);
+    Cycles a2 = ms2.dataAccess(0, 0x10000, false, 0);
+    Cycles b2 = ms2.dataAccess(0, 0x20000, false, 0);
+    EXPECT_EQ(a2, b2); // parallel misses
+}
+
+TEST(MemorySystem, InstFetchSharedAcrossSpaces)
+{
+    MemoryParams mp;
+    MemorySystem ms(mp);
+    Cycles cold = ms.instAccess(0, 0x1000, 0);
+    EXPECT_GT(cold, mp.l1Latency);
+    // Second thread fetching the same code hits (shared binary pages).
+    Cycles warm = ms.instAccess(0, 0x1000, cold);
+    EXPECT_EQ(warm, cold + mp.l1Latency);
+}
+
+TEST(TraceCache, MissThenHit)
+{
+    TraceCacheParams p;
+    TraceCache tc(p);
+    EXPECT_FALSE(tc.access(0, 0x1000));
+    EXPECT_TRUE(tc.access(0, 0x1000));
+    EXPECT_EQ(tc.accesses.value(), 2u);
+    EXPECT_EQ(tc.misses.value(), 1u);
+}

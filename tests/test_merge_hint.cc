@@ -1,0 +1,181 @@
+/**
+ * @file
+ * MERGEHINT tests (Thread Fusion-style software re-merge hints, cf.
+ * paper §2): timing-only semantics, merge-at-hint behaviour, timeout
+ * safety, and golden-model neutrality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+#include "profile/tracer.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+// Threads take different-length paths each iteration; a hint marks the
+// join point. Without hints, remerge relies on FHB/PC coincidence while
+// both sides keep running; with hints the first arriver pauses briefly.
+std::string
+kernel(bool with_hint)
+{
+    std::string join = with_hint ? "    mergehint\n" : "";
+    return R"(
+.data
+nthreads: .word 1
+.text
+main:
+    li   r1, 0
+    li   r2, 30
+loop:
+    andi r3, r1, 1
+    bnez tid, odd
+    addi r4, r4, 1
+    j    join
+odd:
+    addi r4, r4, 2
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    j    join
+join:
+)" + join + R"(
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    out  r4
+    barrier
+    halt
+)";
+}
+
+struct Result
+{
+    Cycles cycles;
+    std::uint64_t hintWaits;
+    std::uint64_t hintMerges;
+    double mergeFrac;
+    std::vector<RegVal> out0;
+    std::vector<RegVal> out1;
+};
+
+Result
+run(const std::string &src, Cycles hint_wait)
+{
+    Program prog = assemble(src);
+    MemoryImage img;
+    img.loadData(prog);
+    img.write64(prog.symbol("nthreads"), 2);
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.regMerge = true;
+    p.mergeHintWait = hint_wait;
+    SmtCore core(p, &prog, {&img, &img});
+    core.run();
+    Result r;
+    r.cycles = core.now();
+    r.hintWaits = core.stats.hintWaits.value();
+    r.hintMerges = core.stats.hintMerges.value();
+    r.mergeFrac = static_cast<double>(core.stats.fetchedInMode[0].value()) /
+                  static_cast<double>(core.stats.fetchedThreadInsts.value());
+    r.out0 = core.thread(0).output;
+    r.out1 = core.thread(1).output;
+    return r;
+}
+
+} // namespace
+
+TEST(MergeHint, ArchitecturallyNeutral)
+{
+    // Same program results with and without hint waiting enabled.
+    Result with = run(kernel(true), 24);
+    Result without = run(kernel(true), 0);
+    EXPECT_EQ(with.out0, without.out0);
+    EXPECT_EQ(with.out1, without.out1);
+    EXPECT_EQ(with.out0[0], 30u);
+    EXPECT_EQ(with.out1[0], 60u);
+}
+
+TEST(MergeHint, PausesAndMergesDivergedGroups)
+{
+    Result r = run(kernel(true), 24);
+    EXPECT_GT(r.hintWaits, 0u);
+    EXPECT_GT(r.hintMerges, 0u);
+}
+
+TEST(MergeHint, ImprovesMergeResidency)
+{
+    Result with = run(kernel(true), 24);
+    Result without = run(kernel(false), 24);
+    // Hints can only help a kernel whose paths have asymmetric lengths.
+    EXPECT_GE(with.mergeFrac + 1e-9, without.mergeFrac);
+}
+
+TEST(MergeHint, NoOpWhenFullyMerged)
+{
+    // A hint in never-diverging code must not pause anyone.
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    li  r1, 10
+spin:
+    mergehint
+    addi r1, r1, -1
+    bnez r1, spin
+    barrier
+    halt
+)";
+    Result r = run(src, 24);
+    EXPECT_EQ(r.hintWaits, 0u);
+}
+
+TEST(MergeHint, TimeoutPreventsDeadlock)
+{
+    // Thread 1 never reaches the hint again (it halts); thread 0's wait
+    // must time out rather than hang.
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    bnez tid, quit
+    mergehint
+    li  r1, 1
+    out r1
+    halt
+quit:
+    halt
+)";
+    Program prog = assemble(src);
+    MemoryImage img;
+    img.loadData(prog);
+    img.write64(prog.symbol("nthreads"), 2);
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.mergeHintWait = 16;
+    SmtCore core(p, &prog, {&img, &img});
+    core.run();
+    EXPECT_TRUE(core.done());
+    EXPECT_EQ(core.thread(0).output[0], 1u);
+}
+
+TEST(MergeHint, GoldenModelTreatsHintAsNop)
+{
+    Program prog = assemble(kernel(true));
+    MemoryImage img;
+    img.loadData(prog);
+    img.write64(prog.symbol("nthreads"), 2);
+    FunctionalCpu cpu(&prog, {&img, &img}, false);
+    cpu.run();
+    EXPECT_EQ(cpu.thread(0).output[0], 30u);
+    EXPECT_EQ(cpu.thread(1).output[0], 60u);
+}

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * End-to-end tests of the MMT mechanisms in the pipeline: shared fetch
+ * (MERGE-mode records, ITID stamping), execute merging and its stats,
+ * divergence + FHB remerge, the LVIP path for ME loads (rollbacks), and
+ * commit-time register merging re-enabling execute-identical work.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+struct Rig
+{
+    Program prog;
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    std::unique_ptr<SmtCore> core;
+
+    Rig(const std::string &src, const CoreParams &params,
+        bool separate_spaces,
+        const std::function<void(MemoryImage &, const Program &, int)>
+            &init = nullptr)
+    {
+        prog = assemble(src);
+        int spaces = separate_spaces ? params.numThreads : 1;
+        std::vector<MemoryImage *> ptrs;
+        for (int i = 0; i < spaces; ++i) {
+            images.push_back(std::make_unique<MemoryImage>());
+            images.back()->loadData(prog);
+            if (init)
+                init(*images.back(), prog, i);
+        }
+        for (int t = 0; t < params.numThreads; ++t)
+            ptrs.push_back(
+                images[spaces == 1 ? 0 : static_cast<std::size_t>(t)]
+                    .get());
+        core = std::make_unique<SmtCore>(params, &prog, ptrs);
+    }
+};
+
+CoreParams
+mmtParams(int threads, bool me)
+{
+    CoreParams p;
+    p.numThreads = threads;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.regMerge = true;
+    p.multiExecution = me;
+    return p;
+}
+
+// A straight-line ME kernel with no divergence at all.
+const char *straightMe = R"(
+.data
+x: .word 5
+.text
+main:
+    la  r1, x
+    ld  r2, 0(r1)
+    li  r3, 10
+    mul r4, r2, r3
+    add r5, r4, r2
+    out r5
+    halt
+)";
+
+} // namespace
+
+TEST(MmtPipeline, IdenticalMeInstancesFullyMerge)
+{
+    Rig rig(straightMe, mmtParams(2, true), true);
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 55u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 55u);
+    // Every record fetched once for both threads...
+    EXPECT_EQ(rig.core->stats.fetchedThreadInsts.value(),
+              2 * rig.core->stats.fetchRecords.value());
+    // ...entirely in MERGE mode...
+    EXPECT_EQ(rig.core->stats.fetchedInMode[0].value(),
+              rig.core->stats.fetchedThreadInsts.value());
+    // ...and executed once: instances == records.
+    EXPECT_EQ(rig.core->stats.committedInstances.value(),
+              rig.core->stats.fetchRecords.value());
+    // Classified execute-identical.
+    EXPECT_EQ(rig.core->stats
+                  .identClass[static_cast<int>(IdentClass::ExecIdentical)]
+                  .value(),
+              rig.core->stats.committedThreadInsts.value());
+    EXPECT_EQ(rig.core->stats.lvipRollbacks.value(), 0u);
+}
+
+TEST(MmtPipeline, SharedFetchOnlyStillSplitsExecution)
+{
+    CoreParams p = mmtParams(2, true);
+    p.sharedExec = false;
+    p.regMerge = false;
+    Rig rig(straightMe, p, true);
+    rig.core->run();
+    // Fetch merged but every instruction executed per thread.
+    EXPECT_EQ(rig.core->stats.fetchedThreadInsts.value(),
+              2 * rig.core->stats.fetchRecords.value());
+    EXPECT_EQ(rig.core->stats.committedInstances.value(),
+              rig.core->stats.committedThreadInsts.value());
+    EXPECT_EQ(rig.core->stats
+                  .identClass[static_cast<int>(IdentClass::ExecIdentical)]
+                  .value(),
+              0u);
+    EXPECT_EQ(rig.core->stats
+                  .identClass[static_cast<int>(
+                      IdentClass::FetchIdentical)]
+                  .value(),
+              rig.core->stats.committedThreadInsts.value());
+}
+
+TEST(MmtPipeline, BaseNeverMerges)
+{
+    CoreParams p;
+    p.numThreads = 2;
+    p.multiExecution = true;
+    Rig rig(straightMe, p, true);
+    rig.core->run();
+    EXPECT_EQ(rig.core->stats.fetchedThreadInsts.value(),
+              rig.core->stats.fetchRecords.value());
+    EXPECT_EQ(rig.core->stats.fetchedInMode[0].value(), 0u);
+}
+
+TEST(MmtPipeline, MeLoadsWithDifferentValuesSplitAndRollBack)
+{
+    // Instances load different values from the same address: the LVIP
+    // first predicts identical -> rollback + table entry; on the second
+    // execution of the same PC it predicts different -> clean split.
+    const char *src = R"(
+.data
+x: .word 0
+.text
+main:
+    la  r1, x
+    li  r4, 0
+    li  r5, 2
+again:
+    ld  r2, 0(r1)
+    add r6, r6, r2
+    addi r4, r4, 1
+    blt r4, r5, again
+    out r6
+    halt
+)";
+    Rig rig(src, mmtParams(2, true), true,
+            [](MemoryImage &img, const Program &prog, int instance) {
+                img.write64(prog.symbol("x"),
+                            static_cast<RegVal>(100 + instance));
+            });
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 200u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 202u);
+    EXPECT_EQ(rig.core->stats.lvipRollbacks.value(), 1u);
+    EXPECT_EQ(rig.core->lvip().mispredicts.value(), 1u);
+}
+
+TEST(MmtPipeline, MtSharedLoadsStayMerged)
+{
+    // MT threads loading the same shared address: one access, merged.
+    const char *src = R"(
+.data
+nthreads: .word 1
+x:        .word 33
+.text
+main:
+    la  r1, x
+    ld  r2, 0(r1)
+    out r2
+    barrier
+    halt
+)";
+    CoreParams p = mmtParams(2, false);
+    Rig rig(src, p, false,
+            [&](MemoryImage &img, const Program &prog, int) {
+                img.write64(prog.symbol("nthreads"), 2);
+            });
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 33u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 33u);
+    EXPECT_EQ(rig.core->stats.lvipRollbacks.value(), 0u);
+    // The shared load is one instance, one cache access.
+    EXPECT_EQ(rig.core->stats.loads.value(), 1u);
+}
+
+TEST(MmtPipeline, DivergenceAndFhbRemerge)
+{
+    // tid-dependent paths of different lengths through taken branches,
+    // rejoining at a common loop head afterwards.
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    li   r5, 0
+    li   r6, 8
+loop:
+    bnez tid, odd
+    addi r5, r5, 1
+    j    join
+odd:
+    addi r5, r5, 2
+    j    join
+join:
+    addi r6, r6, -1
+    bnez r6, loop
+    out  r5
+    barrier
+    halt
+)";
+    CoreParams p = mmtParams(2, false);
+    Rig rig(src, p, false,
+            [&](MemoryImage &img, const Program &prog, int) {
+                img.write64(prog.symbol("nthreads"), 2);
+            });
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 8u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 16u);
+    EXPECT_GE(rig.core->fetchSync().divergences.value(), 6u);
+    EXPECT_GE(rig.core->fetchSync().remerges.value(), 6u);
+    // Both DETECT/CATCHUP and MERGE instructions were fetched.
+    EXPECT_GT(rig.core->stats.fetchedInMode[0].value(), 0u);
+    EXPECT_GT(rig.core->stats.fetchedInMode[1].value() +
+                  rig.core->stats.fetchedInMode[2].value(),
+              0u);
+}
+
+TEST(MmtPipeline, RegisterMergingRestoresSharing)
+{
+    // Threads write the SAME value to r5 on divergent paths; with
+    // register merging the subsequent long stretch of r5-consumers can
+    // execute merged again (paper §4.2.7).
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    bnez tid, other
+    li   r5, 7
+    j    join
+other:
+    li   r5, 7
+join:
+    li   r7, 0
+    li   r8, 40
+consume:
+    add  r7, r7, r5
+    addi r8, r8, -1
+    bnez r8, consume
+    out  r7
+    barrier
+    halt
+)";
+    CoreParams with = mmtParams(2, false);
+    CoreParams without = with;
+    without.regMerge = false;
+
+    auto run = [&](const CoreParams &p) {
+        Rig rig(src, p, false,
+                [&](MemoryImage &img, const Program &prog, int) {
+                    img.write64(prog.symbol("nthreads"), 2);
+                });
+        rig.core->run();
+        EXPECT_EQ(rig.core->thread(0).output[0], 280u);
+        EXPECT_EQ(rig.core->thread(1).output[0], 280u);
+        return rig.core->stats
+            .identClass[static_cast<int>(
+                IdentClass::ExecIdenticalRegMerge)]
+            .value();
+    };
+    EXPECT_GT(run(with), 0u);
+    EXPECT_EQ(run(without), 0u);
+}
+
+TEST(MmtPipeline, FourThreadPartialSplit)
+{
+    // tid 0/1 share one path, 2/3 the other: pairwise merge groups.
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    slti r1, tid, 2
+    beqz r1, high
+    li   r5, 1
+    j    join
+high:
+    li   r5, 2
+join:
+    out  r5
+    barrier
+    halt
+)";
+    CoreParams p = mmtParams(4, false);
+    Rig rig(src, p, false,
+            [&](MemoryImage &img, const Program &prog, int) {
+                img.write64(prog.symbol("nthreads"), 4);
+            });
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 1u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 1u);
+    EXPECT_EQ(rig.core->thread(2).output[0], 2u);
+    EXPECT_EQ(rig.core->thread(3).output[0], 2u);
+    EXPECT_GE(rig.core->fetchSync().divergences.value(), 1u);
+}
+
+TEST(MmtPipeline, InvariantCheckingRunsClean)
+{
+    // checkInvariants is on by default in these params; a full run of a
+    // mixed program exercising splits, merges and memory must not trip
+    // any soundness assertion (it would abort the test).
+    const char *src = R"(
+.data
+x: .word 3
+v: .space 256
+.text
+main:
+    la   r1, x
+    ld   r2, 0(r1)
+    la   r3, v
+    li   r4, 0
+fill:
+    slli r5, r4, 3
+    add  r5, r3, r5
+    mul  r6, r4, r2
+    st   r6, 0(r5)
+    addi r4, r4, 1
+    slti r7, r4, 32
+    bnez r7, fill
+    li   r4, 0
+    li   r8, 0
+sum:
+    slli r5, r4, 3
+    add  r5, r3, r5
+    ld   r6, 0(r5)
+    add  r8, r8, r6
+    addi r4, r4, 1
+    slti r7, r4, 32
+    bnez r7, sum
+    out  r8
+    halt
+)";
+    Rig rig(src, mmtParams(2, true), true,
+            [](MemoryImage &img, const Program &prog, int instance) {
+                img.write64(prog.symbol("x"),
+                            static_cast<RegVal>(3 + instance));
+            });
+    rig.core->run();
+    EXPECT_EQ(rig.core->thread(0).output[0], 496u * 3 / 3 * 3);
+    EXPECT_EQ(rig.core->thread(1).output[0], 496u * 4 / 4 * 4);
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Register-merging unit tests (paper §4.2.7): writer tracking, the
+ * mapping-valid check, equal-value detection, read-port limiting, and
+ * the DETECT/CATCHUP-only gating.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dyn_inst.hh"
+#include "core/mmt/reg_merge.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+std::vector<std::pair<RegVal, RegVal>>
+spTid(int n)
+{
+    std::vector<std::pair<RegVal, RegVal>> v;
+    for (int t = 0; t < n; ++t)
+        v.emplace_back(0, static_cast<RegVal>(t));
+    return v;
+}
+
+} // namespace
+
+class RegMergeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        std::array<RegVal, numArchRegs> init{};
+        rename.init(2, init, false, false, spTid(2));
+        unit = std::make_unique<RegMergeUnit>(&rename, &rst, 2, 2);
+        unit->beginCycle();
+    }
+
+    /** Build a committing singleton instance of @p tid writing @p reg. */
+    DynInst
+    committing(ThreadId tid, RegIndex reg, RegVal value, FetchMode mode)
+    {
+        DynInst di;
+        di.itid = ThreadMask::single(tid);
+        di.fetchItid = di.itid;
+        di.fetchMode = mode;
+        di.destArch = reg;
+        di.destVal = value;
+        di.dest = rename.prf().alloc(value, true);
+        rename.setMapping(tid, reg, di.dest);
+        return di;
+    }
+
+    RenameUnit rename;
+    RegisterSharingTable rst;
+    std::unique_ptr<RegMergeUnit> unit;
+};
+
+TEST_F(RegMergeTest, WriterCountTracking)
+{
+    EXPECT_TRUE(unit->noActiveWriter(0, 5));
+    unit->onDispatchWrite(ThreadMask(0b0011), 5);
+    EXPECT_FALSE(unit->noActiveWriter(0, 5));
+    EXPECT_FALSE(unit->noActiveWriter(1, 5));
+    unit->onCommitWrite(ThreadMask(0b0011), 5);
+    EXPECT_TRUE(unit->noActiveWriter(0, 5));
+}
+
+TEST_F(RegMergeTest, MergesEqualValues)
+{
+    rst.clearThread(5, 0); // diverged earlier
+    // Thread 1 architecturally holds 77 in reg 5.
+    rename.setMapping(1, 5, rename.prf().alloc(77, true));
+    DynInst di = committing(0, 5, 77, FetchMode::Detect);
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask(0b0011)), 1);
+    EXPECT_TRUE(rst.shared(5, 0, 1));
+    EXPECT_TRUE(rst.setByMerge(5, 0, 1));
+}
+
+TEST_F(RegMergeTest, RejectsUnequalValues)
+{
+    rst.clearThread(5, 0);
+    rename.setMapping(1, 5, rename.prf().alloc(78, true));
+    DynInst di = committing(0, 5, 77, FetchMode::Detect);
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask(0b0011)), 0);
+    EXPECT_FALSE(rst.shared(5, 0, 1));
+}
+
+TEST_F(RegMergeTest, SkipsMergeModeInstructions)
+{
+    rst.clearThread(5, 0);
+    rename.setMapping(1, 5, rename.prf().alloc(77, true));
+    DynInst di = committing(0, 5, 77, FetchMode::Merge);
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask(0b0011)), 0);
+}
+
+TEST_F(RegMergeTest, SkipsWhenMappingInvalidated)
+{
+    rst.clearThread(5, 0);
+    rename.setMapping(1, 5, rename.prf().alloc(77, true));
+    DynInst di = committing(0, 5, 77, FetchMode::Detect);
+    // A younger writer remapped thread 0's reg 5 before the commit.
+    rename.setMapping(0, 5, rename.prf().alloc(99, false));
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask(0b0011)), 0);
+}
+
+TEST_F(RegMergeTest, SkipsWhenOtherThreadHasActiveWriter)
+{
+    rst.clearThread(5, 0);
+    rename.setMapping(1, 5, rename.prf().alloc(77, true));
+    unit->onDispatchWrite(ThreadMask::single(1), 5);
+    DynInst di = committing(0, 5, 77, FetchMode::Detect);
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask(0b0011)), 0);
+    EXPECT_EQ(unit->compares.value(), 0u);
+}
+
+TEST_F(RegMergeTest, SkipsHaltedThreads)
+{
+    rst.clearThread(5, 0);
+    rename.setMapping(1, 5, rename.prf().alloc(77, true));
+    DynInst di = committing(0, 5, 77, FetchMode::Detect);
+    // Thread 1 not in the live mask.
+    EXPECT_EQ(unit->tryMerge(di, ThreadMask::single(0)), 0);
+}
+
+TEST_F(RegMergeTest, ReadPortBudgetLimitsCompares)
+{
+    // 4-thread unit with a single read port.
+    std::array<RegVal, numArchRegs> init{};
+    RenameUnit rn4;
+    rn4.init(4, init, false, false, spTid(4));
+    RegisterSharingTable rst4;
+    RegMergeUnit u4(&rn4, &rst4, /*read_ports=*/1, 4);
+    u4.beginCycle();
+    for (ThreadId t = 0; t < 4; ++t)
+        rst4.clearThread(5, t);
+    for (ThreadId t = 1; t < 4; ++t)
+        rn4.setMapping(t, 5, rn4.prf().alloc(7, true));
+
+    DynInst di;
+    di.itid = ThreadMask::single(0);
+    di.fetchItid = di.itid;
+    di.fetchMode = FetchMode::Catchup;
+    di.destArch = 5;
+    di.destVal = 7;
+    di.dest = rn4.prf().alloc(7, true);
+    rn4.setMapping(0, 5, di.dest);
+
+    // Only one comparison fits in the port budget this cycle.
+    EXPECT_EQ(u4.tryMerge(di, ThreadMask(0b1111)), 1);
+    EXPECT_EQ(u4.compares.value(), 1u);
+    EXPECT_GE(u4.portStarved.value(), 1u);
+    // Next cycle the budget is replenished.
+    u4.beginCycle();
+    EXPECT_EQ(u4.tryMerge(di, ThreadMask(0b1111)), 1);
+}

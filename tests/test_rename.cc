@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Renaming tests (paper §4.2.4): shared initial mappings, private sp/tid
+ * for MT workloads, merged-destination recording in multiple RATs, and
+ * the append-only physical register file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rename.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+std::vector<std::pair<RegVal, RegVal>>
+spTid(int n)
+{
+    std::vector<std::pair<RegVal, RegVal>> v;
+    for (int t = 0; t < n; ++t)
+        v.emplace_back(0x8000 - static_cast<RegVal>(t) * 0x100,
+                       static_cast<RegVal>(t));
+    return v;
+}
+
+} // namespace
+
+TEST(PhysRegFile, AllocReadWriteReady)
+{
+    PhysRegFile prf;
+    PhysReg a = prf.alloc(42, true);
+    PhysReg b = prf.alloc(7, false);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(prf.value(a), 42u);
+    EXPECT_TRUE(prf.ready(a));
+    EXPECT_FALSE(prf.ready(b));
+    prf.setReady(b);
+    EXPECT_TRUE(prf.ready(b));
+    EXPECT_EQ(prf.size(), 2u);
+}
+
+TEST(Rename, MeInitAllMappingsShared)
+{
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    init[5] = 99;
+    ru.init(4, init, /*private_sp=*/false, /*private_tid=*/false, spTid(4));
+    for (RegIndex r = 0; r < numArchRegs; ++r) {
+        EXPECT_TRUE(ru.mappingsEqual(r, ThreadMask(0b1111)))
+            << "reg " << r;
+    }
+    EXPECT_EQ(ru.prf().value(ru.lookup(2, 5)), 99u);
+}
+
+TEST(Rename, MtInitPrivateSpAndTid)
+{
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    ru.init(2, init, true, true, spTid(2));
+    EXPECT_FALSE(ru.mappingsEqual(regSp, ThreadMask(0b0011)));
+    EXPECT_FALSE(ru.mappingsEqual(regTid, ThreadMask(0b0011)));
+    EXPECT_TRUE(ru.mappingsEqual(0, ThreadMask(0b0011)));
+    EXPECT_EQ(ru.prf().value(ru.lookup(1, regTid)), 1u);
+    EXPECT_EQ(ru.prf().value(ru.lookup(0, regSp)), 0x8000u);
+}
+
+TEST(Rename, LimitInitSharedTidPrivateSp)
+{
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    ru.init(2, init, true, false, spTid(2));
+    EXPECT_FALSE(ru.mappingsEqual(regSp, ThreadMask(0b0011)));
+    EXPECT_TRUE(ru.mappingsEqual(regTid, ThreadMask(0b0011)));
+}
+
+TEST(Rename, MergedDestinationRecordedInAllRats)
+{
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    ru.init(4, init, false, false, spTid(4));
+    PhysReg p = ru.prf().alloc(123, false);
+    ThreadMask itid(0b0101);
+    itid.forEach([&](ThreadId t) { ru.setMapping(t, 7, p); });
+    EXPECT_TRUE(ru.mappingsEqual(7, itid));
+    EXPECT_EQ(ru.lookup(0, 7), p);
+    EXPECT_EQ(ru.lookup(2, 7), p);
+    // Threads outside the ITID keep the old shared mapping.
+    EXPECT_NE(ru.lookup(1, 7), p);
+    EXPECT_FALSE(ru.mappingsEqual(7, ThreadMask(0b0011)));
+}
+
+TEST(Rename, SplitDestinationsDiverge)
+{
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    ru.init(2, init, false, false, spTid(2));
+    ru.setMapping(0, 3, ru.prf().alloc(1, false));
+    ru.setMapping(1, 3, ru.prf().alloc(2, false));
+    EXPECT_FALSE(ru.mappingsEqual(3, ThreadMask(0b0011)));
+    EXPECT_EQ(ru.prf().value(ru.lookup(0, 3)), 1u);
+    EXPECT_EQ(ru.prf().value(ru.lookup(1, 3)), 2u);
+}
+
+TEST(Rename, ValuesPersistAcrossRemapping)
+{
+    // Append-only PRF: an old physical register stays readable after the
+    // architected register is remapped (needed by register merging).
+    RenameUnit ru;
+    std::array<RegVal, numArchRegs> init{};
+    ru.init(1, init, false, false, spTid(1));
+    PhysReg old = ru.lookup(0, 4);
+    ru.setMapping(0, 4, ru.prf().alloc(55, true));
+    EXPECT_EQ(ru.prf().value(old), 0u);
+    EXPECT_EQ(ru.prf().value(ru.lookup(0, 4)), 55u);
+}

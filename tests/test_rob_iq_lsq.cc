@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Backend structure tests: the shared-capacity ROB with per-thread
+ * commit order and single-entry merged instances, the issue queue's
+ * wakeup/select, the LSQ port accounting, and the FU pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/func_units.hh"
+#include "core/issue_queue.hh"
+#include "core/lsq.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+DynInst
+inst(std::uint64_t seq, std::uint8_t itid_bits)
+{
+    DynInst d;
+    d.seq = seq;
+    d.itid = ThreadMask(itid_bits);
+    d.fetchItid = d.itid;
+    d.state = InstState::Completed;
+    return d;
+}
+
+} // namespace
+
+TEST(Rob, MergedInstanceOccupiesOneEntry)
+{
+    ReorderBuffer rob(4, 2);
+    DynInst a = inst(1, 0b11);
+    rob.insert(&a);
+    EXPECT_EQ(rob.occupancy(), 1);
+    EXPECT_EQ(rob.head(0), &a);
+    EXPECT_EQ(rob.head(1), &a);
+    EXPECT_TRUE(rob.committable(&a));
+    rob.commit(&a);
+    EXPECT_TRUE(rob.empty());
+}
+
+TEST(Rob, PerThreadOrderIndependent)
+{
+    ReorderBuffer rob(8, 2);
+    DynInst a = inst(1, 0b01);
+    DynInst b = inst(2, 0b10);
+    DynInst c = inst(3, 0b01);
+    rob.insert(&a);
+    rob.insert(&b);
+    rob.insert(&c);
+    // Thread 1 can commit b even though thread 0's a is older globally.
+    EXPECT_TRUE(rob.committable(&b));
+    rob.commit(&b);
+    EXPECT_TRUE(rob.committable(&a));
+    EXPECT_FALSE(rob.committable(&c)); // behind a in thread 0's order
+    rob.commit(&a);
+    EXPECT_TRUE(rob.committable(&c));
+}
+
+TEST(Rob, MergedInstanceWaitsForAllMembers)
+{
+    ReorderBuffer rob(8, 2);
+    DynInst a = inst(1, 0b01);       // thread 0 only
+    DynInst m = inst(2, 0b11);       // merged
+    rob.insert(&a);
+    rob.insert(&m);
+    // m is head of thread 1, but not of thread 0 (a is older there).
+    EXPECT_FALSE(rob.committable(&m));
+    rob.commit(&a);
+    EXPECT_TRUE(rob.committable(&m));
+}
+
+TEST(Rob, CapacityAndThreadCounts)
+{
+    ReorderBuffer rob(2, 2);
+    DynInst a = inst(1, 0b11);
+    DynInst b = inst(2, 0b01);
+    rob.insert(&a);
+    rob.insert(&b);
+    EXPECT_TRUE(rob.full());
+    EXPECT_EQ(rob.threadCount(0), 2);
+    EXPECT_EQ(rob.threadCount(1), 1);
+}
+
+TEST(IssueQueue, WakeupRequiresReadySources)
+{
+    PhysRegFile prf;
+    PhysReg ready = prf.alloc(1, true);
+    PhysReg pending = prf.alloc(2, false);
+    IssueQueue iq(8, &prf);
+
+    DynInst a = inst(1, 0b01);
+    a.src1 = ready;
+    a.src2 = pending;
+    a.state = InstState::Dispatched;
+    iq.insert(&a);
+
+    auto none = iq.selectReady(8, [](DynInst *) { return true; });
+    EXPECT_TRUE(none.empty());
+    prf.setReady(pending);
+    auto got = iq.selectReady(8, [](DynInst *) { return true; });
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], &a);
+    EXPECT_EQ(iq.size(), 0);
+}
+
+TEST(IssueQueue, OldestFirstSelection)
+{
+    PhysRegFile prf;
+    IssueQueue iq(8, &prf);
+    DynInst a = inst(1, 0b01);
+    DynInst b = inst(2, 0b10);
+    DynInst c = inst(3, 0b01);
+    iq.insert(&a);
+    iq.insert(&b);
+    iq.insert(&c);
+    auto got = iq.selectReady(2, [](DynInst *) { return true; });
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], &a);
+    EXPECT_EQ(got[1], &b);
+    EXPECT_EQ(iq.size(), 1);
+}
+
+TEST(IssueQueue, RejectedInstancesStayQueued)
+{
+    PhysRegFile prf;
+    IssueQueue iq(8, &prf);
+    DynInst a = inst(1, 0b01);
+    iq.insert(&a);
+    auto got = iq.selectReady(8, [](DynInst *) { return false; });
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(iq.size(), 1);
+}
+
+TEST(Lsq, CapacityAndPorts)
+{
+    LoadStoreQueue lsq(2, 3);
+    lsq.allocate();
+    lsq.allocate();
+    EXPECT_TRUE(lsq.full());
+    lsq.release();
+    EXPECT_FALSE(lsq.full());
+
+    lsq.beginCycle();
+    EXPECT_TRUE(lsq.portsAvailable(3));
+    lsq.claimPorts(2);
+    EXPECT_TRUE(lsq.portsAvailable(1));
+    EXPECT_FALSE(lsq.portsAvailable(2));
+    lsq.beginCycle();
+    EXPECT_TRUE(lsq.portsAvailable(3));
+    EXPECT_EQ(lsq.accesses.value(), 2u);
+}
+
+TEST(FuncUnits, PoolLimitsPerCycle)
+{
+    FuncUnitPool fu(2, 1);
+    fu.beginCycle();
+    EXPECT_TRUE(fu.available(OpClass::IntAlu));
+    fu.claim(OpClass::IntAlu);
+    fu.claim(OpClass::Branch); // branches use the ALU pool
+    EXPECT_FALSE(fu.available(OpClass::IntMult));
+    EXPECT_TRUE(fu.available(OpClass::FpAlu));
+    fu.claim(OpClass::FpMult);
+    EXPECT_FALSE(fu.available(OpClass::FpDiv));
+    fu.beginCycle();
+    EXPECT_TRUE(fu.available(OpClass::IntAlu));
+    EXPECT_EQ(fu.intOps.value(), 2u);
+    EXPECT_EQ(fu.fpOps.value(), 1u);
+}
+
+TEST(FuncUnits, LatencyOrdering)
+{
+    EXPECT_EQ(FuncUnitPool::latency(OpClass::IntAlu), 1u);
+    EXPECT_LT(FuncUnitPool::latency(OpClass::FpAlu),
+              FuncUnitPool::latency(OpClass::FpMult));
+    EXPECT_LT(FuncUnitPool::latency(OpClass::FpMult),
+              FuncUnitPool::latency(OpClass::FpDiv));
+    EXPECT_TRUE(FuncUnitPool::isFpClass(OpClass::FpLong));
+    EXPECT_FALSE(FuncUnitPool::isFpClass(OpClass::Branch));
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Register Sharing Table tests (paper §4.2.1, §4.2.3): pair-bit
+ * semantics, destination updates under splitting, divergent-path
+ * clearing, and register-merge provenance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmt/rst.hh"
+
+using namespace mmt;
+
+TEST(Rst, StartsAllShared)
+{
+    RegisterSharingTable rst;
+    for (RegIndex r = 0; r < numArchRegs; ++r) {
+        for (ThreadId a = 0; a < maxThreads; ++a) {
+            for (ThreadId b = 0; b < maxThreads; ++b)
+                EXPECT_TRUE(rst.shared(r, a, b));
+        }
+    }
+}
+
+TEST(Rst, SelfAndUnusedRegistersAlwaysShared)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(5, 0);
+    EXPECT_TRUE(rst.shared(5, 0, 0));  // a thread shares with itself
+    EXPECT_TRUE(rst.shared(-1, 0, 1)); // unused operand
+}
+
+TEST(Rst, ClearThreadDropsAllPairsOfThatThread)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(7, 1);
+    EXPECT_FALSE(rst.shared(7, 0, 1));
+    EXPECT_FALSE(rst.shared(7, 1, 2));
+    EXPECT_FALSE(rst.shared(7, 1, 3));
+    EXPECT_TRUE(rst.shared(7, 0, 2)); // pairs not involving thread 1
+    EXPECT_TRUE(rst.shared(7, 2, 3));
+    EXPECT_TRUE(rst.shared(8, 0, 1)); // other registers untouched
+}
+
+TEST(Rst, UpdateDestMergedKeepsSharing)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(3, 0);
+    // A fetch-identical instruction covering {0,1} stays one instance:
+    // the destination becomes shared again for (0,1).
+    rst.updateDest(3, ThreadMask(0b0011),
+                   [](ThreadId, ThreadId) { return true; });
+    EXPECT_TRUE(rst.shared(3, 0, 1));
+    // Pairs straddling the ITID are cleared (0 or 1 vs 2/3).
+    EXPECT_FALSE(rst.shared(3, 0, 2));
+    EXPECT_FALSE(rst.shared(3, 1, 3));
+    // Pairs entirely outside the ITID keep their old value.
+    EXPECT_TRUE(rst.shared(3, 2, 3));
+}
+
+TEST(Rst, UpdateDestSplitClearsSharing)
+{
+    RegisterSharingTable rst;
+    rst.updateDest(4, ThreadMask(0b0011),
+                   [](ThreadId, ThreadId) { return false; });
+    EXPECT_FALSE(rst.shared(4, 0, 1));
+    EXPECT_TRUE(rst.shared(4, 2, 3));
+}
+
+TEST(Rst, UpdateDestSingletonClearsItsPairs)
+{
+    // Paper §4.2.6 case 1: a divergent-path (singleton) write makes the
+    // destination unshared with everyone.
+    RegisterSharingTable rst;
+    rst.updateDest(9, ThreadMask::single(2),
+                   [](ThreadId, ThreadId) { return false; });
+    EXPECT_FALSE(rst.shared(9, 0, 2));
+    EXPECT_FALSE(rst.shared(9, 2, 3));
+    EXPECT_TRUE(rst.shared(9, 0, 1));
+}
+
+TEST(Rst, PartialSplitPartition)
+{
+    // ITID 1110 splits into {0,1} and {2}: (0,1) stays shared, (0,2) and
+    // (1,2) are cleared.
+    RegisterSharingTable rst;
+    auto same = [](ThreadId a, ThreadId b) {
+        return (a < 2) == (b < 2);
+    };
+    rst.updateDest(11, ThreadMask(0b0111), same);
+    EXPECT_TRUE(rst.shared(11, 0, 1));
+    EXPECT_FALSE(rst.shared(11, 0, 2));
+    EXPECT_FALSE(rst.shared(11, 1, 2));
+}
+
+TEST(Rst, SharedGroupComputesLeaderClass)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(6, 3);
+    ThreadMask all = ThreadMask::firstN(4);
+    ThreadMask g = rst.sharedGroup(6, all);
+    EXPECT_TRUE(g.contains(0));
+    EXPECT_TRUE(g.contains(1));
+    EXPECT_TRUE(g.contains(2));
+    EXPECT_FALSE(g.contains(3));
+}
+
+TEST(Rst, GroupSharesChecksAllPairs)
+{
+    RegisterSharingTable rst;
+    EXPECT_TRUE(rst.groupShares(2, ThreadMask(0b0111)));
+    rst.clearThread(2, 1);
+    EXPECT_FALSE(rst.groupShares(2, ThreadMask(0b0111)));
+    EXPECT_TRUE(rst.groupShares(2, ThreadMask(0b0101)));
+}
+
+TEST(Rst, MergeProvenance)
+{
+    RegisterSharingTable rst;
+    rst.clearThread(12, 1);
+    EXPECT_FALSE(rst.setByMerge(12, 0, 1));
+    rst.mergeSet(12, 0, 1);
+    EXPECT_TRUE(rst.shared(12, 0, 1));
+    EXPECT_TRUE(rst.setByMerge(12, 0, 1));
+    // A regular rename update clears the provenance flag.
+    rst.updateDest(12, ThreadMask(0b0011),
+                   [](ThreadId, ThreadId) { return true; });
+    EXPECT_TRUE(rst.shared(12, 0, 1));
+    EXPECT_FALSE(rst.setByMerge(12, 0, 1));
+}
+
+TEST(Rst, StatsCounting)
+{
+    RegisterSharingTable rst;
+    rst.updateDest(1, ThreadMask(0b0011),
+                   [](ThreadId, ThreadId) { return true; });
+    rst.mergeSet(2, 0, 1);
+    EXPECT_EQ(rst.updates.value(), 1u);
+    EXPECT_EQ(rst.mergeSets.value(), 1u);
+}

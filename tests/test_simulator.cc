@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Simulator facade tests: RunResult invariants (fractions partition,
+ * counters consistent), override plumbing end-to-end, determinism of
+ * repeated runs, and MMT monotonicity properties on friendly inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+RunResult
+quiet(const std::string &app, ConfigKind kind, int threads,
+      SimOverrides ov = SimOverrides())
+{
+    return runWorkload(findWorkload(app), kind, threads, ov,
+                       /*check_golden=*/false);
+}
+
+} // namespace
+
+TEST(Simulator, FractionsPartition)
+{
+    for (ConfigKind k : {ConfigKind::Base, ConfigKind::MMT_FXR}) {
+        RunResult r = quiet("ammp", k, 2);
+        double mode_sum = r.fetchModeFrac[0] + r.fetchModeFrac[1] +
+                          r.fetchModeFrac[2];
+        EXPECT_NEAR(mode_sum, 1.0, 1e-9);
+        double ident_sum = r.identFrac[0] + r.identFrac[1] +
+                           r.identFrac[2] + r.identFrac[3];
+        EXPECT_NEAR(ident_sum, 1.0, 1e-9);
+        EXPECT_GT(r.ipc(), 0.0);
+    }
+}
+
+TEST(Simulator, DeterministicRepeatRuns)
+{
+    RunResult a = quiet("twolf", ConfigKind::MMT_FXR, 2);
+    RunResult b = quiet("twolf", ConfigKind::MMT_FXR, 2);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committedThreadInsts, b.committedThreadInsts);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+TEST(Simulator, SameWorkPerConfig)
+{
+    // Every configuration commits the same architected work.
+    RunResult base = quiet("equake", ConfigKind::Base, 2);
+    RunResult f = quiet("equake", ConfigKind::MMT_F, 2);
+    RunResult fxr = quiet("equake", ConfigKind::MMT_FXR, 2);
+    EXPECT_EQ(base.committedThreadInsts, f.committedThreadInsts);
+    EXPECT_EQ(base.committedThreadInsts, fxr.committedThreadInsts);
+}
+
+TEST(Simulator, SharedFetchHalvesFetchRecordsWhenMerged)
+{
+    // swaptions stays merged nearly all the time: the number of fetch
+    // records approaches half the fetched thread-instructions.
+    RunResult r = quiet("swaptions", ConfigKind::MMT_FXR, 2);
+    EXPECT_GT(r.fetchModeFrac[0], 0.9);
+    EXPECT_LT(static_cast<double>(r.fetchRecords),
+              0.6 * static_cast<double>(r.fetchedThreadInsts));
+}
+
+TEST(Simulator, BaseHasNoMergedFetch)
+{
+    RunResult r = quiet("swaptions", ConfigKind::Base, 2);
+    EXPECT_EQ(r.fetchRecords, r.fetchedThreadInsts);
+    EXPECT_DOUBLE_EQ(r.fetchModeFrac[0], 0.0);
+    EXPECT_DOUBLE_EQ(r.identFrac[1] + r.identFrac[2] + r.identFrac[3],
+                     0.0);
+}
+
+TEST(Simulator, LimitAtLeastAsIdenticalAsFxr)
+{
+    // Identical inputs can only increase the execute-identical fraction.
+    RunResult fxr = quiet("libsvm", ConfigKind::MMT_FXR, 2);
+    RunResult lim = quiet("libsvm", ConfigKind::Limit, 2);
+    double fxr_exec = fxr.identFrac[2] + fxr.identFrac[3];
+    double lim_exec = lim.identFrac[2] + lim.identFrac[3];
+    EXPECT_GE(lim_exec + 1e-9, fxr_exec);
+}
+
+TEST(Simulator, FhbOverrideChangesBehaviour)
+{
+    SimOverrides small;
+    small.fhbEntries = 8;
+    SimOverrides large;
+    large.fhbEntries = 128;
+    RunResult s = quiet("water-sp", ConfigKind::MMT_FXR, 2, small);
+    RunResult l = quiet("water-sp", ConfigKind::MMT_FXR, 2, large);
+    // Behaviour must differ measurably (remerge detection capacity).
+    EXPECT_TRUE(s.cycles != l.cycles ||
+                s.fetchModeFrac[0] != l.fetchModeFrac[0]);
+}
+
+TEST(Simulator, MorePortsNeverSlowsMemoryBoundApp)
+{
+    SimOverrides p2;
+    p2.lsPorts = 2;
+    SimOverrides p12;
+    p12.lsPorts = 12;
+    RunResult slow = quiet("mcf", ConfigKind::Base, 2, p2);
+    RunResult fast = quiet("mcf", ConfigKind::Base, 2, p12);
+    // Allow 1% slack: scaling the MSHR pool with the ports perturbs
+    // miss overlap second-order effects.
+    EXPECT_LE(static_cast<double>(fast.cycles),
+              1.01 * static_cast<double>(slow.cycles));
+}
+
+TEST(Simulator, ThreeThreadConfigurationsRun)
+{
+    // Odd thread counts exercise the partial-pair RST/ITID paths.
+    RunResult r = runWorkload(findWorkload("fft"), ConfigKind::MMT_FXR, 3);
+    EXPECT_TRUE(r.goldenOk);
+    EXPECT_EQ(r.numThreads, 3);
+}
+
+TEST(Simulator, SingleThreadDegeneratesGracefully)
+{
+    RunResult base = quiet("blackscholes", ConfigKind::Base, 1);
+    RunResult mmt = quiet("blackscholes", ConfigKind::MMT_FXR, 1);
+    // With one thread there is nothing to merge: identical cycle counts.
+    EXPECT_EQ(base.cycles, mmt.cycles);
+    EXPECT_DOUBLE_EQ(mmt.identFrac[0], 1.0);
+}

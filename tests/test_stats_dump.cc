@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for the core's statistics registry (registerStats / dumpStats)
+ * and the assembler/disassembler round-trip property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+std::unique_ptr<SmtCore>
+runSmall(Program &prog, MemoryImage &img, const CoreParams &p)
+{
+    prog = assemble(R"(
+main:
+    li  r1, 5
+    li  r2, 6
+    mul r3, r1, r2
+    out r3
+    halt
+)");
+    img.loadData(prog);
+    std::vector<MemoryImage *> ptrs(static_cast<std::size_t>(p.numThreads),
+                                    &img);
+    auto core = std::make_unique<SmtCore>(p, &prog, ptrs);
+    core->run();
+    return core;
+}
+
+} // namespace
+
+TEST(StatsDump, RegistersCoreCounters)
+{
+    Program prog;
+    MemoryImage img;
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.regMerge = true;
+    auto core = runSmall(prog, img, p);
+
+    StatGroup g;
+    core->registerStats(g);
+    EXPECT_TRUE(g.has("fetch.records"));
+    EXPECT_TRUE(g.has("commit.threadInsts"));
+    EXPECT_TRUE(g.has("mmt.rst.lookups"));
+    EXPECT_TRUE(g.has("mmt.fhb0.searches"));
+    EXPECT_TRUE(g.has("mmt.fhb1.searches"));
+    EXPECT_FALSE(g.has("mmt.fhb2.searches")); // only 2 threads
+    EXPECT_FALSE(g.has("msg.sends"));         // no network attached
+    EXPECT_EQ(g.get("commit.threadInsts"), 10u);
+    EXPECT_EQ(g.get("fetch.records"), 5u);
+}
+
+TEST(StatsDump, DumpContainsCyclesAndNames)
+{
+    Program prog;
+    MemoryImage img;
+    CoreParams p;
+    p.numThreads = 1;
+    auto core = runSmall(prog, img, p);
+    std::string dump = core->dumpStats();
+    EXPECT_NE(dump.find("cycles "), std::string::npos);
+    EXPECT_NE(dump.find("commit.threadInsts 5"), std::string::npos);
+    EXPECT_NE(dump.find("mem.l1i.accesses"), std::string::npos);
+}
+
+TEST(StatsDump, ModeCountsPartitionFetched)
+{
+    Program prog;
+    MemoryImage img;
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    auto core = runSmall(prog, img, p);
+    StatGroup g;
+    core->registerStats(g);
+    EXPECT_EQ(g.get("fetch.mode.merge") + g.get("fetch.mode.detect") +
+                  g.get("fetch.mode.catchup"),
+              g.get("fetch.threadInsts"));
+}
+
+// ---- disassemble -> assemble round trip -------------------------------
+
+class DisasmRoundTrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DisasmRoundTrip, ReassemblesIdentically)
+{
+    // Build one representative instruction per opcode, print it, wrap it
+    // in a program, and reassemble; the decoded instruction must match.
+    auto op = static_cast<Opcode>(GetParam());
+    const InstInfo &info = instInfo(op);
+    Instruction in;
+    in.op = op;
+    bool fp_dest = op == Opcode::FADD || op == Opcode::FSUB ||
+                   op == Opcode::FMUL || op == Opcode::FDIV ||
+                   op == Opcode::FSQRT || op == Opcode::FNEG ||
+                   op == Opcode::FABS || op == Opcode::FMIN ||
+                   op == Opcode::FMAX || op == Opcode::FEXP ||
+                   op == Opcode::FLOG || op == Opcode::FLI ||
+                   op == Opcode::FMV || op == Opcode::FCVT ||
+                   op == Opcode::FLD;
+    bool fp_src = fp_dest || op == Opcode::FCVTI || op == Opcode::FCLT ||
+                  op == Opcode::FCLE || op == Opcode::FCEQ ||
+                  op == Opcode::FST;
+    if (info.writesDest) {
+        // JAL/JALR link implicitly through ra in assembly syntax.
+        if (op == Opcode::JAL || op == Opcode::JALR)
+            in.rd = regRa;
+        else
+            in.rd = fp_dest ? fpReg(3) : 3;
+    }
+    if (info.readsSrc1) {
+        bool s1_fp = fp_src && op != Opcode::FCVT && op != Opcode::FLD &&
+                     op != Opcode::FST && !info.isLoad &&
+                     op != Opcode::JR && op != Opcode::JALR;
+        if (op == Opcode::FCVTI || op == Opcode::FCLT ||
+            op == Opcode::FCLE || op == Opcode::FCEQ)
+            s1_fp = true;
+        in.rs1 = s1_fp ? fpReg(4) : 4;
+    }
+    if (info.readsSrc2) {
+        bool s2_fp = fp_src && op != Opcode::ST && op != Opcode::SEND;
+        if (op == Opcode::FST)
+            s2_fp = true;
+        in.rs2 = s2_fp ? fpReg(5) : 5;
+    }
+    if (info.isLoad || info.isStore) {
+        in.imm = 16;
+    } else if (info.isCondBranch || op == Opcode::J || op == Opcode::JAL) {
+        in.imm = static_cast<std::int64_t>(defaultCodeBase); // "main"
+    } else if (op == Opcode::LUI) {
+        in.imm = 1234;
+    } else if (op == Opcode::FLI) {
+        in.imm = static_cast<std::int64_t>(exec::fromF(2.5));
+    } else if (info.readsSrc1 && !info.readsSrc2 &&
+               info.opClass == OpClass::IntAlu && op != Opcode::NOP) {
+        in.imm = 42; // addi-family immediate
+    }
+
+    std::string text = "main:\n    " + in.toString() + "\n    halt\n";
+    Program p = assemble(text);
+    const Instruction &out = p.code[0];
+    EXPECT_EQ(out.op, in.op) << text;
+    EXPECT_EQ(out.rd, in.rd) << text;
+    EXPECT_EQ(out.rs1, in.rs1) << text;
+    EXPECT_EQ(out.rs2, in.rs2) << text;
+    EXPECT_EQ(out.imm, in.imm) << text;
+}
+
+namespace
+{
+std::vector<int>
+roundTrippableOpcodes()
+{
+    // FLI prints its immediate as a raw integer, and mv/li/la pseudo
+    // forms alias others; exclude the few opcodes whose disassembly is
+    // not canonical assembler input.
+    std::vector<int> ops;
+    for (int o = 0; o < static_cast<int>(Opcode::NumOpcodes); ++o) {
+        auto op = static_cast<Opcode>(o);
+        if (op == Opcode::FLI || op == Opcode::NOP)
+            continue;
+        ops.push_back(o);
+    }
+    return ops;
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, DisasmRoundTrip,
+    ::testing::ValuesIn(roundTrippableOpcodes()),
+    [](const ::testing::TestParamInfo<int> &info) {
+        return std::string(
+            instInfo(static_cast<Opcode>(info.param)).mnemonic);
+    });

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Calibration regression tests: each workload's sharing profile (the
+ * Figure 1 measurement) must stay in the class the paper assigns it —
+ * otherwise a kernel edit silently breaks the reproduction's shape.
+ * Bounds are deliberately loose; they encode *class membership*, not
+ * exact percentages.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iasm/assembler.hh"
+#include "profile/align.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+struct Expectation
+{
+    const char *app;
+    double minExec;  // lower bound on execute-identical fraction
+    double maxExec;  // upper bound
+    double minTotal; // lower bound on fetch-identical-or-better
+};
+
+SharingProfile
+profileOf(const std::string &name, DivergenceStats *div = nullptr)
+{
+    const Workload &w = findWorkload(name);
+    Program prog = assemble(w.source);
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    std::vector<MemoryImage *> ptrs;
+    int spaces = w.multiExecution ? 2 : 1;
+    for (int i = 0; i < spaces; ++i) {
+        images.push_back(std::make_unique<MemoryImage>());
+        images.back()->loadData(prog);
+        w.initData(*images.back(), prog, i, 2, false);
+    }
+    for (int t = 0; t < 2; ++t)
+        ptrs.push_back(images[spaces == 1 ? 0 : t].get());
+    FunctionalCpu cpu(&prog, ptrs, w.multiExecution);
+    std::vector<TraceRecord> traces[2];
+    cpu.setTrace(
+        [&](ThreadId t, const TraceRecord &r) { traces[t].push_back(r); });
+    cpu.run();
+    return alignTraces(traces[0], traces[1], div);
+}
+
+} // namespace
+
+class WorkloadProfileTest : public ::testing::TestWithParam<Expectation>
+{
+};
+
+TEST_P(WorkloadProfileTest, SharingClassMatchesPaper)
+{
+    const Expectation &e = GetParam();
+    SharingProfile p = profileOf(e.app);
+    EXPECT_GE(p.fracExec(), e.minExec) << e.app;
+    EXPECT_LE(p.fracExec(), e.maxExec) << e.app;
+    EXPECT_GE(p.fracExec() + p.fracFetch(), e.minTotal) << e.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, WorkloadProfileTest,
+    ::testing::Values(
+        // High execute-identical (paper: ammp, equake "have lots").
+        Expectation{"ammp", 0.85, 1.01, 0.95},
+        Expectation{"equake", 0.50, 0.95, 0.90},
+        Expectation{"mcf", 0.80, 1.01, 0.95},
+        Expectation{"libsvm", 0.80, 1.01, 0.95},
+        Expectation{"swaptions", 0.85, 1.01, 0.95},
+        // Limited execute-identical (paper: "vpr, lu, fft, ocean ...
+        // with limited execute-identical").
+        Expectation{"lu", 0.10, 0.60, 0.85},
+        Expectation{"fft", 0.00, 0.30, 0.85},
+        Expectation{"ocean", 0.00, 0.40, 0.85},
+        Expectation{"water-sp", 0.00, 0.40, 0.85},
+        Expectation{"fluidanimate", 0.00, 0.45, 0.90},
+        Expectation{"blackscholes", 0.00, 0.35, 0.85},
+        Expectation{"canneal", 0.00, 0.50, 0.90},
+        // Middle of the road.
+        Expectation{"twolf", 0.40, 0.98, 0.90},
+        Expectation{"vpr", 0.40, 0.98, 0.85},
+        Expectation{"vortex", 0.40, 1.01, 0.90},
+        Expectation{"water-ns", 0.10, 0.80, 0.90}),
+    [](const ::testing::TestParamInfo<Expectation> &info) {
+        std::string n = info.param.app;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });
+
+TEST(WorkloadProfiles, EquakeHasLongDivergences)
+{
+    // Figure 2's signature: equake's divergent paths differ by more
+    // than 16 taken branches.
+    DivergenceStats div;
+    profileOf("equake", &div);
+    ASSERT_GT(div.lengthDiffs.size(), 5u);
+    EXPECT_LT(div.fractionWithin(16), 0.5);
+    EXPECT_GT(div.fractionWithin(32), 0.9);
+}
+
+TEST(WorkloadProfiles, ShortDivergenceApps)
+{
+    // "For all programs except equake and vortex, more than 85% of all
+    // diverged paths have a difference in length of no more than 16."
+    for (const char *app : {"twolf", "vpr", "water-ns", "canneal"}) {
+        DivergenceStats div;
+        profileOf(app, &div);
+        if (div.lengthDiffs.size() < 5)
+            continue; // too few samples to be meaningful
+        EXPECT_GT(div.fractionWithin(16), 0.85) << app;
+    }
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Workload suite tests: registry integrity, assembly validity, and
+ * per-kernel functional characteristics (ME instances actually differ,
+ * MT kernels partition by tid, perturbation is suppressed for Limit).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "iasm/assembler.hh"
+#include "profile/tracer.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+TEST(Workloads, RegistryHasAllSixteenApps)
+{
+    const auto &all = allWorkloads();
+    EXPECT_EQ(all.size(), 16u);
+    std::set<std::string> names;
+    for (const Workload &w : all)
+        names.insert(w.name);
+    EXPECT_EQ(names.size(), 16u);
+    for (const char *n :
+         {"ammp", "twolf", "vpr", "equake", "mcf", "vortex", "libsvm",
+          "lu", "fft", "water-sp", "ocean", "water-ns", "swaptions",
+          "fluidanimate", "blackscholes", "canneal"}) {
+        EXPECT_TRUE(names.count(n)) << "missing workload " << n;
+    }
+}
+
+TEST(Workloads, SuiteTypesMatchTable1)
+{
+    // SPEC2000 + SVM are multi-execution; SPLASH-2 + Parsec are MT.
+    for (const Workload &w : allWorkloads()) {
+        bool me = w.suite == "SPEC2000" || w.suite == "SVM";
+        EXPECT_EQ(w.multiExecution, me) << w.name;
+    }
+}
+
+TEST(Workloads, FindWorkloadByName)
+{
+    EXPECT_EQ(findWorkload("ammp").suite, "SPEC2000");
+    EXPECT_EQ(findWorkload("water-ns").suite, "SPLASH-2");
+}
+
+/** Parameterized over every workload. */
+class WorkloadTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const Workload &wl() const { return findWorkload(GetParam()); }
+};
+
+TEST_P(WorkloadTest, AssemblesWithMainEntry)
+{
+    Program p = assemble(wl().source);
+    EXPECT_GT(p.code.size(), 10u);
+    EXPECT_TRUE(p.symbols.count("main"));
+    EXPECT_EQ(p.entry, p.symbol("main"));
+}
+
+TEST_P(WorkloadTest, FunctionalRunTerminatesWithOutput)
+{
+    const Workload &w = wl();
+    Program prog = assemble(w.source);
+    const int n = 2;
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    std::vector<MemoryImage *> ptrs;
+    int spaces = w.multiExecution ? n : 1;
+    for (int i = 0; i < spaces; ++i) {
+        images.push_back(std::make_unique<MemoryImage>());
+        images.back()->loadData(prog);
+        w.initData(*images.back(), prog, i, n, false);
+    }
+    for (int t = 0; t < n; ++t)
+        ptrs.push_back(
+            images[spaces == 1 ? 0 : static_cast<std::size_t>(t)].get());
+    FunctionalCpu cpu(&prog, ptrs, w.multiExecution);
+    cpu.run(5'000'000);
+    // Someone emits a checksum.
+    std::size_t outputs = 0;
+    std::uint64_t executed = 0;
+    for (int t = 0; t < n; ++t) {
+        outputs += cpu.thread(t).output.size();
+        executed += cpu.thread(t).executed;
+        EXPECT_TRUE(cpu.thread(t).halted);
+    }
+    EXPECT_GE(outputs, 1u);
+    // Kernels are sized for meaningful simulation (~10k+ dynamic
+    // instructions per thread at 2 contexts).
+    EXPECT_GT(executed, 20'000u) << w.name;
+    EXPECT_LT(executed, 2'000'000u) << w.name;
+}
+
+TEST_P(WorkloadTest, MeInstancesDifferUnlessIdentical)
+{
+    const Workload &w = wl();
+    if (!w.multiExecution)
+        GTEST_SKIP() << "MT workload";
+    Program prog = assemble(w.source);
+
+    auto run_instance = [&](int instance, bool identical) {
+        MemoryImage img;
+        img.loadData(prog);
+        w.initData(img, prog, instance, 2, identical);
+        FunctionalCpu cpu(&prog, {&img}, true);
+        cpu.run(5'000'000);
+        return cpu.thread(0).output;
+    };
+
+    auto out0 = run_instance(0, false);
+    auto out1 = run_instance(1, false);
+    // Perturbed inputs must change the result (otherwise the workload
+    // would be trivially 100% execute-identical).
+    EXPECT_NE(out0, out1) << w.name;
+    // The Limit configuration suppresses the perturbation.
+    EXPECT_EQ(run_instance(0, true), run_instance(1, true)) << w.name;
+}
+
+TEST_P(WorkloadTest, MtWorkDependsOnThreadCount)
+{
+    const Workload &w = wl();
+    if (w.multiExecution)
+        GTEST_SKIP() << "ME workload";
+    Program prog = assemble(w.source);
+
+    auto perthread = [&](int n) {
+        MemoryImage img;
+        img.loadData(prog);
+        w.initData(img, prog, 0, n, false);
+        std::vector<MemoryImage *> ptrs(static_cast<std::size_t>(n),
+                                        &img);
+        FunctionalCpu cpu(&prog, ptrs, false);
+        cpu.run(5'000'000);
+        std::uint64_t max_exec = 0;
+        for (int t = 0; t < n; ++t)
+            max_exec = std::max(max_exec, cpu.thread(t).executed);
+        return max_exec;
+    };
+    // Doubling the threads roughly halves the per-thread work (the
+    // paper: "each thread performs less work than before"). swaptions
+    // partitions 4 swaptions, so it also halves 2->4.
+    std::uint64_t w2 = perthread(2);
+    std::uint64_t w4 = perthread(4);
+    EXPECT_LT(static_cast<double>(w4), 0.75 * static_cast<double>(w2))
+        << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, WorkloadTest,
+    ::testing::Values("ammp", "twolf", "vpr", "equake", "mcf", "vortex",
+                      "libsvm", "lu", "fft", "water-sp", "ocean",
+                      "water-ns", "swaptions", "fluidanimate",
+                      "blackscholes", "canneal"),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (char &c : n) {
+            if (c == '-')
+                c = '_';
+        }
+        return n;
+    });

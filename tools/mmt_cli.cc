@@ -1,0 +1,228 @@
+/**
+ * @file
+ * mmt_cli — command-line driver for the simulator.
+ *
+ * Usage:
+ *   mmt_cli [options] <workload>
+ *   mmt_cli --list
+ *
+ * Options:
+ *   --config <Base|MMT-F|MMT-FX|MMT-FXR|Limit>   (default MMT-FXR)
+ *   --threads <1..4>                             (default 2)
+ *   --fhb <entries>        FHB size override
+ *   --ls-ports <n>         load/store ports override
+ *   --fetch-width <n>      fetch width override
+ *   --no-trace-cache       disable the trace cache
+ *   --no-golden            skip the golden-model comparison
+ *   --stats                dump every counter (gem5-style)
+ *   --asm <file>           run an assembly file instead of a named
+ *                          workload (single address space, MT semantics)
+ *
+ * Examples:
+ *   mmt_cli --config Base --threads 4 equake
+ *   mmt_cli --stats --fhb 128 water-ns
+ *   mmt_cli mp-ring
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/smt_core.hh"
+#include "iasm/assembler.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mmt_cli [--config KIND] [--threads N] [--fhb N]\n"
+                 "               [--ls-ports N] [--fetch-width N]\n"
+                 "               [--no-trace-cache] [--no-golden]\n"
+                 "               [--stats] [--asm FILE] <workload>\n"
+                 "       mmt_cli --list\n");
+    std::exit(2);
+}
+
+ConfigKind
+parseConfig(const std::string &name)
+{
+    for (ConfigKind k : {ConfigKind::Base, ConfigKind::MMT_F,
+                         ConfigKind::MMT_FX, ConfigKind::MMT_FXR,
+                         ConfigKind::Limit}) {
+        if (name == configName(k))
+            return k;
+    }
+    fatal("unknown config '%s'", name.c_str());
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-14s %-9s %s\n", "name", "suite", "type");
+    for (const Workload &w : allWorkloads()) {
+        std::printf("%-14s %-9s %s\n", w.name.c_str(), w.suite.c_str(),
+                    w.multiExecution ? "multi-execution"
+                                     : "multi-threaded");
+    }
+    const Workload &mp = messagePassingWorkload();
+    std::printf("%-14s %-9s %s\n", mp.name.c_str(), mp.suite.c_str(),
+                "message-passing");
+}
+
+/** Run a raw assembly file as a single MT workload. */
+Workload
+workloadFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    Workload w;
+    w.name = path;
+    w.suite = "file";
+    w.multiExecution = false;
+    w.source = ss.str();
+    w.initData = [](MemoryImage &img, const Program &prog, int,
+                    int num_contexts, bool) {
+        if (prog.symbols.count("nthreads")) {
+            img.write64(prog.symbol("nthreads"),
+                        static_cast<std::uint64_t>(num_contexts));
+        }
+    };
+    return w;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ConfigKind kind = ConfigKind::MMT_FXR;
+    int threads = 2;
+    SimOverrides ov;
+    bool golden = true;
+    bool dump_stats = false;
+    std::string asm_file;
+    std::string workload_name;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            listWorkloads();
+            return 0;
+        } else if (arg == "--config") {
+            kind = parseConfig(next());
+        } else if (arg == "--threads") {
+            threads = std::atoi(next().c_str());
+        } else if (arg == "--fhb") {
+            ov.fhbEntries = std::atoi(next().c_str());
+        } else if (arg == "--ls-ports") {
+            ov.lsPorts = std::atoi(next().c_str());
+        } else if (arg == "--fetch-width") {
+            ov.fetchWidth = std::atoi(next().c_str());
+        } else if (arg == "--no-trace-cache") {
+            ov.disableTraceCache = true;
+        } else if (arg == "--no-golden") {
+            golden = false;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--asm") {
+            asm_file = next();
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+        } else {
+            workload_name = arg;
+        }
+    }
+    if (threads < 1 || threads > maxThreads)
+        fatal("threads must be 1..%d", maxThreads);
+    if (asm_file.empty() && workload_name.empty())
+        usage();
+
+    Workload w;
+    if (!asm_file.empty()) {
+        w = workloadFromFile(asm_file);
+    } else if (workload_name == "mp-ring") {
+        w = messagePassingWorkload();
+    } else {
+        w = findWorkload(workload_name);
+    }
+
+    RunResult r = runWorkload(w, kind, threads, ov, golden);
+
+    std::printf("workload        %s (%s)\n", w.name.c_str(),
+                w.suite.c_str());
+    std::printf("config          %s, %d threads\n", configName(kind),
+                threads);
+    std::printf("cycles          %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("thread insts    %llu (IPC %.2f)\n",
+                static_cast<unsigned long long>(r.committedThreadInsts),
+                r.ipc());
+    std::printf("fetch records   %llu (%.2f thread-insts each)\n",
+                static_cast<unsigned long long>(r.fetchRecords),
+                r.fetchRecords
+                    ? static_cast<double>(r.fetchedThreadInsts) /
+                          static_cast<double>(r.fetchRecords)
+                    : 0.0);
+    std::printf("fetch modes     MERGE %.1f%%  DETECT %.1f%%  "
+                "CATCHUP %.1f%%\n",
+                100.0 * r.fetchModeFrac[0], 100.0 * r.fetchModeFrac[1],
+                100.0 * r.fetchModeFrac[2]);
+    std::printf("identity        exec %.1f%% (+regmerge %.1f%%)  "
+                "fetch %.1f%%  none %.1f%%\n",
+                100.0 * r.identFrac[2], 100.0 * r.identFrac[3],
+                100.0 * r.identFrac[1], 100.0 * r.identFrac[0]);
+    std::printf("divergences     %llu (remerges %llu)\n",
+                static_cast<unsigned long long>(r.divergences),
+                static_cast<unsigned long long>(r.remerges));
+    std::printf("lvip rollbacks  %llu\n",
+                static_cast<unsigned long long>(r.lvipRollbacks));
+    std::printf("energy          %.2f uJ (%s)\n", r.energy.total() / 1e6,
+                r.energy.toString().c_str());
+    if (golden)
+        std::printf("golden model    %s\n", r.goldenOk ? "ok" : "FAIL");
+
+    if (dump_stats) {
+        // Re-run with direct core access for the full counter dump.
+        Program prog = assemble(w.source);
+        CoreParams params = makeCoreParams(kind, w, threads, ov);
+        std::vector<std::unique_ptr<MemoryImage>> images;
+        std::vector<MemoryImage *> ptrs;
+        int spaces = params.multiExecution ? threads : 1;
+        for (int i = 0; i < spaces; ++i) {
+            images.push_back(std::make_unique<MemoryImage>());
+            images.back()->loadData(prog);
+            w.initData(*images.back(), prog, i, threads,
+                       kind == ConfigKind::Limit);
+        }
+        for (int t = 0; t < threads; ++t)
+            ptrs.push_back(images[spaces == 1 ? 0 : t].get());
+        MessageNetwork net;
+        SmtCore core(params, &prog, ptrs);
+        if (w.messagePassing)
+            core.setMessageNetwork(&net);
+        core.run();
+        std::printf("\n--- statistics ---\n%s", core.dumpStats().c_str());
+    }
+    return golden && !r.goldenOk ? 1 : 0;
+}
