@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracecache.dir/bench_ablation_tracecache.cc.o"
+  "CMakeFiles/bench_ablation_tracecache.dir/bench_ablation_tracecache.cc.o.d"
+  "bench_ablation_tracecache"
+  "bench_ablation_tracecache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracecache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5a_speedup_2t.dir/bench_fig5a_speedup_2t.cc.o"
+  "CMakeFiles/bench_fig5a_speedup_2t.dir/bench_fig5a_speedup_2t.cc.o.d"
+  "bench_fig5a_speedup_2t"
+  "bench_fig5a_speedup_2t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_speedup_2t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_identified.dir/bench_fig5b_identified.cc.o"
+  "CMakeFiles/bench_fig5b_identified.dir/bench_fig5b_identified.cc.o.d"
+  "bench_fig5b_identified"
+  "bench_fig5b_identified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_identified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_speedup_4t.dir/bench_fig5c_speedup_4t.cc.o"
+  "CMakeFiles/bench_fig5c_speedup_4t.dir/bench_fig5c_speedup_4t.cc.o.d"
+  "bench_fig5c_speedup_4t"
+  "bench_fig5c_speedup_4t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_speedup_4t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

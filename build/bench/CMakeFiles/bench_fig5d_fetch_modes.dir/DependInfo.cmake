@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5d_fetch_modes.cc" "bench/CMakeFiles/bench_fig5d_fetch_modes.dir/bench_fig5d_fetch_modes.cc.o" "gcc" "bench/CMakeFiles/bench_fig5d_fetch_modes.dir/bench_fig5d_fetch_modes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_iasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

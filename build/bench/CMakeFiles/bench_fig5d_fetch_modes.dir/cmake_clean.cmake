@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_fetch_modes.dir/bench_fig5d_fetch_modes.cc.o"
+  "CMakeFiles/bench_fig5d_fetch_modes.dir/bench_fig5d_fetch_modes.cc.o.d"
+  "bench_fig5d_fetch_modes"
+  "bench_fig5d_fetch_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_fetch_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_lsports.dir/bench_fig7b_lsports.cc.o"
+  "CMakeFiles/bench_fig7b_lsports.dir/bench_fig7b_lsports.cc.o.d"
+  "bench_fig7b_lsports"
+  "bench_fig7b_lsports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_lsports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_sync_visualizer.dir/fetch_sync_visualizer.cc.o"
+  "CMakeFiles/fetch_sync_visualizer.dir/fetch_sync_visualizer.cc.o.d"
+  "fetch_sync_visualizer"
+  "fetch_sync_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_sync_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

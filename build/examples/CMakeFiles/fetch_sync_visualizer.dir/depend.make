@@ -1,0 +1,2 @@
+# Empty dependencies file for fetch_sync_visualizer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_execution_study.dir/multi_execution_study.cc.o"
+  "CMakeFiles/multi_execution_study.dir/multi_execution_study.cc.o.d"
+  "multi_execution_study"
+  "multi_execution_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_execution_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_profiler.dir/workload_profiler.cc.o"
+  "CMakeFiles/workload_profiler.dir/workload_profiler.cc.o.d"
+  "workload_profiler"
+  "workload_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_branch.dir/branch/branch_predictor.cc.o"
+  "CMakeFiles/mmt_branch.dir/branch/branch_predictor.cc.o.d"
+  "libmmt_branch.a"
+  "libmmt_branch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_branch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_common.dir/common/logging.cc.o"
+  "CMakeFiles/mmt_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mmt_common.dir/common/stats.cc.o"
+  "CMakeFiles/mmt_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/mmt_common.dir/common/thread_mask.cc.o"
+  "CMakeFiles/mmt_common.dir/common/thread_mask.cc.o.d"
+  "libmmt_common.a"
+  "libmmt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

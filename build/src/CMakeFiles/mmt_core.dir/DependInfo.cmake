@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fetch.cc" "src/CMakeFiles/mmt_core.dir/core/fetch.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/fetch.cc.o.d"
+  "/root/repo/src/core/func_units.cc" "src/CMakeFiles/mmt_core.dir/core/func_units.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/func_units.cc.o.d"
+  "/root/repo/src/core/issue_queue.cc" "src/CMakeFiles/mmt_core.dir/core/issue_queue.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/issue_queue.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/mmt_core.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/mmt/fetch_sync.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/fetch_sync.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/fetch_sync.cc.o.d"
+  "/root/repo/src/core/mmt/fhb.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/fhb.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/fhb.cc.o.d"
+  "/root/repo/src/core/mmt/lvip.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/lvip.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/lvip.cc.o.d"
+  "/root/repo/src/core/mmt/reg_merge.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/reg_merge.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/reg_merge.cc.o.d"
+  "/root/repo/src/core/mmt/rst.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/rst.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/rst.cc.o.d"
+  "/root/repo/src/core/mmt/splitter.cc" "src/CMakeFiles/mmt_core.dir/core/mmt/splitter.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/mmt/splitter.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/mmt_core.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/mmt_core.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/smt_core.cc" "src/CMakeFiles/mmt_core.dir/core/smt_core.cc.o" "gcc" "src/CMakeFiles/mmt_core.dir/core/smt_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

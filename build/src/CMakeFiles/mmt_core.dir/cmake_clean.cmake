@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_core.dir/core/fetch.cc.o"
+  "CMakeFiles/mmt_core.dir/core/fetch.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/func_units.cc.o"
+  "CMakeFiles/mmt_core.dir/core/func_units.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/issue_queue.cc.o"
+  "CMakeFiles/mmt_core.dir/core/issue_queue.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/lsq.cc.o"
+  "CMakeFiles/mmt_core.dir/core/lsq.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/fetch_sync.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/fetch_sync.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/fhb.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/fhb.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/lvip.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/lvip.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/reg_merge.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/reg_merge.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/rst.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/rst.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/mmt/splitter.cc.o"
+  "CMakeFiles/mmt_core.dir/core/mmt/splitter.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/rename.cc.o"
+  "CMakeFiles/mmt_core.dir/core/rename.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/rob.cc.o"
+  "CMakeFiles/mmt_core.dir/core/rob.cc.o.d"
+  "CMakeFiles/mmt_core.dir/core/smt_core.cc.o"
+  "CMakeFiles/mmt_core.dir/core/smt_core.cc.o.d"
+  "libmmt_core.a"
+  "libmmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_energy.dir/energy/energy_model.cc.o"
+  "CMakeFiles/mmt_energy.dir/energy/energy_model.cc.o.d"
+  "libmmt_energy.a"
+  "libmmt_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_iasm.dir/iasm/assembler.cc.o"
+  "CMakeFiles/mmt_iasm.dir/iasm/assembler.cc.o.d"
+  "CMakeFiles/mmt_iasm.dir/iasm/program.cc.o"
+  "CMakeFiles/mmt_iasm.dir/iasm/program.cc.o.d"
+  "libmmt_iasm.a"
+  "libmmt_iasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_iasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_isa.dir/isa/exec.cc.o"
+  "CMakeFiles/mmt_isa.dir/isa/exec.cc.o.d"
+  "CMakeFiles/mmt_isa.dir/isa/instruction.cc.o"
+  "CMakeFiles/mmt_isa.dir/isa/instruction.cc.o.d"
+  "libmmt_isa.a"
+  "libmmt_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

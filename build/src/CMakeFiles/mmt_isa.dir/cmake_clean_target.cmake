@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmt_isa.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/mmt_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/mmt_mem.dir/mem/memory_image.cc.o"
+  "CMakeFiles/mmt_mem.dir/mem/memory_image.cc.o.d"
+  "CMakeFiles/mmt_mem.dir/mem/memory_system.cc.o"
+  "CMakeFiles/mmt_mem.dir/mem/memory_system.cc.o.d"
+  "CMakeFiles/mmt_mem.dir/mem/trace_cache.cc.o"
+  "CMakeFiles/mmt_mem.dir/mem/trace_cache.cc.o.d"
+  "libmmt_mem.a"
+  "libmmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/align.cc" "src/CMakeFiles/mmt_profile.dir/profile/align.cc.o" "gcc" "src/CMakeFiles/mmt_profile.dir/profile/align.cc.o.d"
+  "/root/repo/src/profile/random_program.cc" "src/CMakeFiles/mmt_profile.dir/profile/random_program.cc.o" "gcc" "src/CMakeFiles/mmt_profile.dir/profile/random_program.cc.o.d"
+  "/root/repo/src/profile/tracer.cc" "src/CMakeFiles/mmt_profile.dir/profile/tracer.cc.o" "gcc" "src/CMakeFiles/mmt_profile.dir/profile/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmt_iasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

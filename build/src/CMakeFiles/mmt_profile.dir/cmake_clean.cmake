@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_profile.dir/profile/align.cc.o"
+  "CMakeFiles/mmt_profile.dir/profile/align.cc.o.d"
+  "CMakeFiles/mmt_profile.dir/profile/random_program.cc.o"
+  "CMakeFiles/mmt_profile.dir/profile/random_program.cc.o.d"
+  "CMakeFiles/mmt_profile.dir/profile/tracer.cc.o"
+  "CMakeFiles/mmt_profile.dir/profile/tracer.cc.o.d"
+  "libmmt_profile.a"
+  "libmmt_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_sim.dir/sim/configs.cc.o"
+  "CMakeFiles/mmt_sim.dir/sim/configs.cc.o.d"
+  "CMakeFiles/mmt_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/mmt_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/mmt_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/mmt_sim.dir/sim/simulator.cc.o.d"
+  "libmmt_sim.a"
+  "libmmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/libsvm.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/libsvm.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/libsvm.cc.o.d"
+  "/root/repo/src/workloads/message_passing.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/message_passing.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/message_passing.cc.o.d"
+  "/root/repo/src/workloads/parsec.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/parsec.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/parsec.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/spec_me.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/spec_me.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/spec_me.cc.o.d"
+  "/root/repo/src/workloads/splash2.cc" "src/CMakeFiles/mmt_workloads.dir/workloads/splash2.cc.o" "gcc" "src/CMakeFiles/mmt_workloads.dir/workloads/splash2.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmt_iasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

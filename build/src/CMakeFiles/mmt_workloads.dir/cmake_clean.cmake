@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_workloads.dir/workloads/libsvm.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/libsvm.cc.o.d"
+  "CMakeFiles/mmt_workloads.dir/workloads/message_passing.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/message_passing.cc.o.d"
+  "CMakeFiles/mmt_workloads.dir/workloads/parsec.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/parsec.cc.o.d"
+  "CMakeFiles/mmt_workloads.dir/workloads/registry.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/registry.cc.o.d"
+  "CMakeFiles/mmt_workloads.dir/workloads/spec_me.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/spec_me.cc.o.d"
+  "CMakeFiles/mmt_workloads.dir/workloads/splash2.cc.o"
+  "CMakeFiles/mmt_workloads.dir/workloads/splash2.cc.o.d"
+  "libmmt_workloads.a"
+  "libmmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

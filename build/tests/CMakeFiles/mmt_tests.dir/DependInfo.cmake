@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_align.cc" "tests/CMakeFiles/mmt_tests.dir/test_align.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_align.cc.o.d"
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/mmt_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_branch.cc" "tests/CMakeFiles/mmt_tests.dir/test_branch.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_branch.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/mmt_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_configs.cc" "tests/CMakeFiles/mmt_tests.dir/test_configs.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_configs.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/mmt_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_fetch_stage.cc" "tests/CMakeFiles/mmt_tests.dir/test_fetch_stage.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_fetch_stage.cc.o.d"
+  "/root/repo/tests/test_fetch_sync.cc" "tests/CMakeFiles/mmt_tests.dir/test_fetch_sync.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_fetch_sync.cc.o.d"
+  "/root/repo/tests/test_fhb.cc" "tests/CMakeFiles/mmt_tests.dir/test_fhb.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_fhb.cc.o.d"
+  "/root/repo/tests/test_functional_cpu.cc" "tests/CMakeFiles/mmt_tests.dir/test_functional_cpu.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_functional_cpu.cc.o.d"
+  "/root/repo/tests/test_golden_model.cc" "tests/CMakeFiles/mmt_tests.dir/test_golden_model.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_golden_model.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/mmt_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_lvip.cc" "tests/CMakeFiles/mmt_tests.dir/test_lvip.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_lvip.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/mmt_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_merge_hint.cc" "tests/CMakeFiles/mmt_tests.dir/test_merge_hint.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_merge_hint.cc.o.d"
+  "/root/repo/tests/test_message_passing.cc" "tests/CMakeFiles/mmt_tests.dir/test_message_passing.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_message_passing.cc.o.d"
+  "/root/repo/tests/test_mmt_pipeline.cc" "tests/CMakeFiles/mmt_tests.dir/test_mmt_pipeline.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_mmt_pipeline.cc.o.d"
+  "/root/repo/tests/test_pipeline.cc" "tests/CMakeFiles/mmt_tests.dir/test_pipeline.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_pipeline.cc.o.d"
+  "/root/repo/tests/test_random_programs.cc" "tests/CMakeFiles/mmt_tests.dir/test_random_programs.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_random_programs.cc.o.d"
+  "/root/repo/tests/test_reg_merge.cc" "tests/CMakeFiles/mmt_tests.dir/test_reg_merge.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_reg_merge.cc.o.d"
+  "/root/repo/tests/test_rename.cc" "tests/CMakeFiles/mmt_tests.dir/test_rename.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_rename.cc.o.d"
+  "/root/repo/tests/test_rob_iq_lsq.cc" "tests/CMakeFiles/mmt_tests.dir/test_rob_iq_lsq.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_rob_iq_lsq.cc.o.d"
+  "/root/repo/tests/test_rst.cc" "tests/CMakeFiles/mmt_tests.dir/test_rst.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_rst.cc.o.d"
+  "/root/repo/tests/test_simulator.cc" "tests/CMakeFiles/mmt_tests.dir/test_simulator.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_simulator.cc.o.d"
+  "/root/repo/tests/test_splitter.cc" "tests/CMakeFiles/mmt_tests.dir/test_splitter.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_splitter.cc.o.d"
+  "/root/repo/tests/test_stats_dump.cc" "tests/CMakeFiles/mmt_tests.dir/test_stats_dump.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_stats_dump.cc.o.d"
+  "/root/repo/tests/test_workload_profiles.cc" "tests/CMakeFiles/mmt_tests.dir/test_workload_profiles.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_workload_profiles.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/mmt_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/mmt_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_branch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_iasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mmt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

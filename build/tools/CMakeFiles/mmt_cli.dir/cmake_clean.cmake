@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmt_cli.dir/mmt_cli.cc.o"
+  "CMakeFiles/mmt_cli.dir/mmt_cli.cc.o.d"
+  "mmt_cli"
+  "mmt_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
