@@ -4,45 +4,16 @@
  * cache) for MMT-F, MMT-FX, MMT-FXR and the Limit configuration, per
  * application (Table 5 configurations). The paper reports a geometric-
  * mean MMT-FXR speedup of 1.15 with two threads.
+ *
+ * The sweep itself (16 apps x 5 configs) runs through the parallel
+ * sweep runner; see bench/figure_bench.hh for the MMT_JOBS /
+ * MMT_CACHE_DIR knobs.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("Figure 5(a): speedup over Base SMT, 2 threads\n");
-    std::printf("%s\n", describeTable4().c_str());
-
-    std::vector<std::vector<std::string>> rows;
-    std::vector<double> gf, gfx, gfxr, glim;
-    for (const std::string &app : workloadNames()) {
-        SpeedupRow r = speedupRow(app, 2);
-        rows.push_back({r.app, std::to_string(r.baseCycles),
-                        fmt(r.mmtF), fmt(r.mmtFX), fmt(r.mmtFXR),
-                        fmt(r.limit)});
-        gf.push_back(r.mmtF);
-        gfx.push_back(r.mmtFX);
-        gfxr.push_back(r.mmtFXR);
-        glim.push_back(r.limit);
-        std::fflush(stdout);
-    }
-    rows.push_back({"geomean", "", fmt(geomean(gf)), fmt(geomean(gfx)),
-                    fmt(geomean(gfxr)), fmt(geomean(glim))});
-    std::printf("%s", formatTable({"app", "base-cycles", "MMT-F",
-                                   "MMT-FX", "MMT-FXR", "Limit"},
-                                  rows)
-                          .c_str());
-    std::printf("\nPaper reference: MMT-FXR geomean ~1.15 at 2 threads; "
-                "high-gain group\n(ammp equake mcf water-ns water-sp "
-                "swaptions fluidanimate) 1.20-1.42;\nlow-gain group "
-                "0-10%%; libsvm/twolf/vortex/vpr show a large gap to "
-                "Limit.\n");
-    return 0;
+    return mmt::figureBenchMain("5a");
 }

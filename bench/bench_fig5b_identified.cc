@@ -8,51 +8,10 @@
  * Exe-Identical+RegMerge slice is visible for equake/mcf/fft/water-ns.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "core/smt_core.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("Figure 5(b): identified identical instructions "
-                "(MMT-FXR, 2 threads, %% of committed)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    double se = 0, sr = 0, sf = 0;
-    int n = 0;
-    for (const std::string &app : workloadNames()) {
-        RunResult r = runWorkload(findWorkload(app), ConfigKind::MMT_FXR,
-                                  2, SimOverrides(), false);
-        double exec = 100.0 * r.identFrac[static_cast<int>(
-                                  IdentClass::ExecIdentical)];
-        double merge = 100.0 * r.identFrac[static_cast<int>(
-                                   IdentClass::ExecIdenticalRegMerge)];
-        double fetch = 100.0 * r.identFrac[static_cast<int>(
-                                   IdentClass::FetchIdentical)];
-        rows.push_back({app, fmt(exec, 1), fmt(merge, 1), fmt(fetch, 1),
-                        fmt(exec + merge + fetch, 1)});
-        se += exec;
-        sr += merge;
-        sf += fetch;
-        ++n;
-        std::fflush(stdout);
-    }
-    rows.push_back({"average", fmt(se / n, 1), fmt(sr / n, 1),
-                    fmt(sf / n, 1), fmt((se + sr + sf) / n, 1)});
-    std::printf("%s",
-                formatTable({"app", "exec-id%", "exec-id+regmerge%",
-                             "fetch-id%", "identified%"},
-                            rows)
-                    .c_str());
-    std::printf("\nPaper reference: ~60%% of fetch-identical work "
-                "identified on average, almost\nhalf execute-identical; "
-                "register merging matters for equake, mcf, fft,\n"
-                "water-ns; libsvm/twolf/vortex/vpr leave a large gap.\n");
-    return 0;
+    return mmt::figureBenchMain("5b");
 }

@@ -6,40 +6,10 @@
  * 10% (fetch), 9% (execute) and 6% (register merging).
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("Figure 5(c): speedup over Base SMT, 4 threads\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    std::vector<double> gf, gfx, gfxr, glim;
-    for (const std::string &app : workloadNames()) {
-        SpeedupRow r = speedupRow(app, 4);
-        rows.push_back({r.app, std::to_string(r.baseCycles),
-                        fmt(r.mmtF), fmt(r.mmtFX), fmt(r.mmtFXR),
-                        fmt(r.limit)});
-        gf.push_back(r.mmtF);
-        gfx.push_back(r.mmtFX);
-        gfxr.push_back(r.mmtFXR);
-        glim.push_back(r.limit);
-        std::fflush(stdout);
-    }
-    rows.push_back({"geomean", "", fmt(geomean(gf)), fmt(geomean(gfx)),
-                    fmt(geomean(gfxr)), fmt(geomean(glim))});
-    std::printf("%s", formatTable({"app", "base-cycles", "MMT-F",
-                                   "MMT-FX", "MMT-FXR", "Limit"},
-                                  rows)
-                          .c_str());
-    std::printf("\nPaper reference: MMT-FXR geomean ~1.25 at 4 threads; "
-                "gains grow with\nthread count (more identical work per "
-                "fetch).\n");
-    return 0;
+    return mmt::figureBenchMain("5c");
 }

@@ -6,40 +6,10 @@
  * within 512 fetched branches).
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    std::printf("Figure 5(d): fetch mode breakdown (MMT-FXR, 2 threads)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    for (const std::string &app : workloadNames()) {
-        RunResult r = runWorkload(findWorkload(app), ConfigKind::MMT_FXR,
-                                  2, SimOverrides(), false);
-        rows.push_back({app, fmt(100.0 * r.fetchModeFrac[0], 1),
-                        fmt(100.0 * r.fetchModeFrac[1], 1),
-                        fmt(100.0 * r.fetchModeFrac[2], 1),
-                        std::to_string(r.divergences),
-                        std::to_string(r.remerges),
-                        fmt(100.0 * r.remergeWithin512, 1)});
-        std::fflush(stdout);
-    }
-    std::printf("%s",
-                formatTable({"app", "MERGE%", "DETECT%", "CATCHUP%",
-                             "divergences", "remerges",
-                             "remerge<=512br%"},
-                            rows)
-                    .c_str());
-    std::printf("\nPaper reference (§6.3): CATCHUP is rare; twolf, vpr "
-                "and vortex spend the\nleast time in MERGE mode; 90%% of "
-                "remerge points are found within 512\nfetched "
-                "branches.\n");
-    return 0;
+    return mmt::figureBenchMain("5d");
 }

@@ -7,50 +7,10 @@
  * design point.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    const int sizes[] = {8, 16, 32, 64, 128};
-    std::printf("Figure 7(a): MMT-FXR speedup vs FHB size (2 threads)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    std::vector<std::vector<double>> per_size(5);
-    for (const std::string &app : workloadNames()) {
-        const Workload &w = findWorkload(app);
-        RunResult base = runWorkload(w, ConfigKind::Base, 2,
-                                     SimOverrides(), false);
-        std::vector<std::string> row{app};
-        for (std::size_t i = 0; i < 5; ++i) {
-            SimOverrides ov;
-            ov.fhbEntries = sizes[i];
-            RunResult r = runWorkload(w, ConfigKind::MMT_FXR, 2, ov,
-                                      false);
-            double s = static_cast<double>(base.cycles) /
-                       static_cast<double>(r.cycles);
-            row.push_back(fmt(s));
-            per_size[i].push_back(s);
-        }
-        rows.push_back(row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> gm{"geomean"};
-    for (std::size_t i = 0; i < 5; ++i)
-        gm.push_back(fmt(geomean(per_size[i])));
-    rows.push_back(gm);
-    std::printf("%s", formatTable({"app", "fhb=8", "fhb=16", "fhb=32",
-                                   "fhb=64", "fhb=128"},
-                                  rows)
-                          .c_str());
-    std::printf("\nPaper reference: gains rise through 32 entries; "
-                "averages keep inching up\ntoward 128, but 32 is the "
-                "single-cycle-CAM design point.\n");
-    return 0;
+    return mmt::figureBenchMain("7a");
 }

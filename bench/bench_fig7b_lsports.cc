@@ -6,51 +6,10 @@
  * advantage of instruction merging grows.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    const int ports[] = {2, 4, 8, 12};
-    std::printf("Figure 7(b): speedup vs load/store ports "
-                "(MMT-FXR vs Base, 2 threads, MSHRs scaled)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    std::vector<std::vector<double>> per_port(4);
-    for (const std::string &app : workloadNames()) {
-        const Workload &w = findWorkload(app);
-        std::vector<std::string> row{app};
-        for (std::size_t i = 0; i < 4; ++i) {
-            SimOverrides ov;
-            ov.lsPorts = ports[i];
-            RunResult base = runWorkload(w, ConfigKind::Base, 2, ov,
-                                         false);
-            RunResult r = runWorkload(w, ConfigKind::MMT_FXR, 2, ov,
-                                      false);
-            double s = static_cast<double>(base.cycles) /
-                       static_cast<double>(r.cycles);
-            row.push_back(fmt(s));
-            per_port[i].push_back(s);
-        }
-        rows.push_back(row);
-        std::fflush(stdout);
-    }
-    std::vector<std::string> gm{"geomean"};
-    for (std::size_t i = 0; i < 4; ++i)
-        gm.push_back(fmt(geomean(per_port[i])));
-    rows.push_back(gm);
-    std::printf("%s", formatTable({"app", "ports=2", "ports=4", "ports=8",
-                                   "ports=12"},
-                                  rows)
-                          .c_str());
-    std::printf("\nPaper reference: more load/store ports (and MSHRs) -> "
-                "larger MMT gains,\nbecause the memory system stops "
-                "masking the fetch bottleneck.\n");
-    return 0;
+    return mmt::figureBenchMain("7b");
 }

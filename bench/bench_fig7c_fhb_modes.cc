@@ -5,42 +5,10 @@
  * time), but can also lengthen CATCHUP phases.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    const int sizes[] = {8, 32, 128};
-    std::printf("Figure 7(c): fetch modes vs FHB size "
-                "(MMT-FXR, 2 threads; MERGE/DETECT/CATCHUP %%)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    for (const std::string &app : workloadNames()) {
-        const Workload &w = findWorkload(app);
-        std::vector<std::string> row{app};
-        for (int size : sizes) {
-            SimOverrides ov;
-            ov.fhbEntries = size;
-            RunResult r = runWorkload(w, ConfigKind::MMT_FXR, 2, ov,
-                                      false);
-            row.push_back(fmt(100.0 * r.fetchModeFrac[0], 0) + "/" +
-                          fmt(100.0 * r.fetchModeFrac[1], 0) + "/" +
-                          fmt(100.0 * r.fetchModeFrac[2], 0));
-        }
-        rows.push_back(row);
-        std::fflush(stdout);
-    }
-    std::printf("%s", formatTable({"app", "fhb=8", "fhb=32", "fhb=128"},
-                                  rows)
-                          .c_str());
-    std::printf("\nPaper reference: equake/ocean/lu/fft/water-ns gain "
-                "MERGE time with a larger\nFHB; twolf/vortex/vpr/water-sp "
-                "accumulate CATCHUP time instead.\n");
-    return 0;
+    return mmt::figureBenchMain("7c");
 }

@@ -6,44 +6,10 @@
  * trace cache the average speedup is still ~11%.
  */
 
-#include <cstdio>
-
-#include "common/logging.hh"
-#include "sim/experiment.hh"
-
-using namespace mmt;
+#include "figure_bench.hh"
 
 int
 main()
 {
-    setInformEnabled(false);
-    const int widths[] = {4, 8, 16, 32};
-    std::printf("Figure 7(d): geomean speedup vs fetch width "
-                "(MMT-FXR vs Base, 2 threads)\n\n");
-
-    std::vector<std::vector<std::string>> rows;
-    for (int width : widths) {
-        SimOverrides ov;
-        ov.fetchWidth = width;
-        std::vector<double> speedups;
-        for (const std::string &app : workloadNames()) {
-            const Workload &w = findWorkload(app);
-            RunResult base = runWorkload(w, ConfigKind::Base, 2, ov,
-                                         false);
-            RunResult r = runWorkload(w, ConfigKind::MMT_FXR, 2, ov,
-                                      false);
-            speedups.push_back(static_cast<double>(base.cycles) /
-                               static_cast<double>(r.cycles));
-        }
-        rows.push_back({"width=" + std::to_string(width),
-                        fmt(geomean(speedups))});
-        std::printf("  fetch width %2d done\n", width);
-        std::fflush(stdout);
-    }
-    std::printf("\n%s", formatTable({"fetch width", "geomean speedup"},
-                                    rows)
-                            .c_str());
-    std::printf("\nPaper reference: gains shrink with wider fetch; "
-                "~11%% remains at 32-wide.\n");
-    return 0;
+    return mmt::figureBenchMain("7d");
 }

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Shared main() body for the figure benches: build the figure's sweep
+ * from the runner registry, execute it in parallel (MMT_JOBS worker
+ * threads, hardware concurrency by default; MMT_CACHE_DIR enables the
+ * persistent result cache), and print the same table the serial benches
+ * produced. Progress and an ETA go to stderr, tables to stdout.
+ */
+
+#ifndef MMT_BENCH_FIGURE_BENCH_HH
+#define MMT_BENCH_FIGURE_BENCH_HH
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "runner/figures.hh"
+
+namespace mmt
+{
+
+inline int
+figureBenchMain(const char *figure_id)
+{
+    setInformEnabled(false);
+    Figure fig = makeFigure(figure_id);
+    SweepOutcome outcome = runSweep(fig.sweep, sweepOptionsFromEnv());
+    std::printf("%s", fig.title.c_str());
+    std::printf("%s", fig.render(fig.sweep, outcome.results).c_str());
+    std::printf("%s", fig.paperNote.c_str());
+    std::fprintf(stderr, "%s: %s\n", fig.sweep.name.c_str(),
+                 outcome.summary().c_str());
+    return 0;
+}
+
+} // namespace mmt
+
+#endif // MMT_BENCH_FIGURE_BENCH_HH

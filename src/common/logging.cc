@@ -1,18 +1,25 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace mmt
 {
 
 namespace
 {
-bool informEnabled = true;
+// The sweep runner executes simulations on several threads; the flag is
+// atomic and every report takes logMutex so concurrent messages cannot
+// interleave mid-line on stderr.
+std::atomic<bool> informEnabled{true};
+std::mutex logMutex;
 
 void
 vreport(const char *prefix, const char *fmt, va_list ap)
 {
+    std::lock_guard<std::mutex> lock(logMutex);
     std::fprintf(stderr, "%s: ", prefix);
     std::vfprintf(stderr, fmt, ap);
     std::fprintf(stderr, "\n");
@@ -51,7 +58,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (!informEnabled)
+    if (!informEnabled.load(std::memory_order_relaxed))
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -63,20 +70,23 @@ void
 panicAssert(const char *cond, const char *file, int line, const char *fmt,
             ...)
 {
-    std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ", cond,
-                 file, line);
-    va_list ap;
-    va_start(ap, fmt);
-    std::vfprintf(stderr, fmt, ap);
-    va_end(ap);
-    std::fprintf(stderr, "\n");
+    {
+        std::lock_guard<std::mutex> lock(logMutex);
+        std::fprintf(stderr, "panic: assertion '%s' failed at %s:%d: ",
+                     cond, file, line);
+        va_list ap;
+        va_start(ap, fmt);
+        std::vfprintf(stderr, fmt, ap);
+        va_end(ap);
+        std::fprintf(stderr, "\n");
+    }
     std::abort();
 }
 
 void
 setInformEnabled(bool enabled)
 {
-    informEnabled = enabled;
+    informEnabled.store(enabled, std::memory_order_relaxed);
 }
 
 } // namespace mmt

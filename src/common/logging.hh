@@ -8,6 +8,10 @@
  *            with status 1.
  * warn()   — suspicious but survivable condition.
  * inform() — plain status output.
+ *
+ * All entry points are safe to call from concurrent simulations (the
+ * sweep runner): the sink serializes whole lines under a mutex and the
+ * inform() enable flag is atomic.
  */
 
 #ifndef MMT_COMMON_LOGGING_HH

@@ -3,6 +3,11 @@
  * Deterministic xorshift64* PRNG. All randomness in the simulator and
  * workload generators flows through explicitly seeded instances so every
  * experiment is exactly reproducible.
+ *
+ * There is deliberately no global generator: each simulation (and each
+ * workload initData) seeds its own Rng, so concurrent runWorkload calls
+ * under the sweep runner stay bit-identical to serial execution. Keep it
+ * that way — a shared Rng would make results depend on thread schedule.
  */
 
 #ifndef MMT_COMMON_RANDOM_HH

@@ -6,6 +6,11 @@
  *
  * Pipeline components own Counter/Distribution members and register them
  * with their core's StatGroup; benches read them by name or directly.
+ *
+ * Nothing here is global: counters live inside a core instance, so
+ * concurrent simulations (one core per sweep-runner job) never share a
+ * statistic. Individual counters are not internally synchronized and
+ * must not be shared across cores.
  */
 
 #ifndef MMT_COMMON_STATS_HH

@@ -1,0 +1,147 @@
+#include "runner/artifacts.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "runner/cache_key.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out + "\"";
+}
+
+/** Non-default override fields as "fhb=32;lsports=4", or "". */
+std::string
+overridesLabel(const SimOverrides &ov)
+{
+    std::ostringstream os;
+    const char *sep = "";
+    auto field = [&](const char *name, int value, int dflt) {
+        if (value != dflt) {
+            os << sep << name << "=" << value;
+            sep = ";";
+        }
+    };
+    field("fhb", ov.fhbEntries, -1);
+    field("lsports", ov.lsPorts, -1);
+    field("mshrs", ov.mshrs, -1);
+    field("fetchwidth", ov.fetchWidth, -1);
+    field("notracecache", ov.disableTraceCache ? 1 : 0, 0);
+    field("mergereadports", ov.mergeReadPorts, -1);
+    field("catchuppriority", ov.catchupPriority, -1);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"sweep\": " << jsonStr(spec.name) << ",\n";
+    os << "  \"codeVersion\": " << jsonStr(kCodeVersionSalt) << ",\n";
+    os << "  \"executed\": " << outcome.executed << ",\n";
+    os << "  \"cacheHits\": " << outcome.cacheHits << ",\n";
+    os << "  \"wallSeconds\": " << jsonNum(outcome.wallSeconds) << ",\n";
+    os << "  \"jobs\": [\n";
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const JobSpec &job = spec.jobs[i];
+        const RunResult &r = outcome.results[i];
+        os << "    {\"workload\": " << jsonStr(job.workload)
+           << ", \"config\": " << jsonStr(configName(job.kind))
+           << ", \"threads\": " << job.numThreads
+           << ", \"overrides\": " << jsonStr(overridesLabel(job.overrides))
+           << ", \"fromCache\": "
+           << (outcome.fromCache[i] ? "true" : "false")
+           << ",\n     \"cycles\": " << r.cycles
+           << ", \"committedThreadInsts\": " << r.committedThreadInsts
+           << ", \"ipc\": " << jsonNum(r.ipc())
+           << ", \"fetchRecords\": " << r.fetchRecords
+           << ", \"fetchedThreadInsts\": " << r.fetchedThreadInsts
+           << ",\n     \"fetchModeFrac\": [" << jsonNum(r.fetchModeFrac[0])
+           << ", " << jsonNum(r.fetchModeFrac[1]) << ", "
+           << jsonNum(r.fetchModeFrac[2]) << "]"
+           << ", \"identFrac\": [" << jsonNum(r.identFrac[0]) << ", "
+           << jsonNum(r.identFrac[1]) << ", " << jsonNum(r.identFrac[2])
+           << ", " << jsonNum(r.identFrac[3]) << "]"
+           << ",\n     \"energyPj\": {\"cache\": " << jsonNum(r.energy.cache)
+           << ", \"overhead\": " << jsonNum(r.energy.overhead)
+           << ", \"other\": " << jsonNum(r.energy.other) << "}"
+           << ", \"lvipRollbacks\": " << r.lvipRollbacks
+           << ", \"branchMispredicts\": " << r.branchMispredicts
+           << ",\n     \"divergences\": " << r.divergences
+           << ", \"remerges\": " << r.remerges
+           << ", \"remergeWithin512\": " << jsonNum(r.remergeWithin512)
+           << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false") << "}"
+           << (i + 1 < spec.jobs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+std::string
+sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
+{
+    std::ostringstream os;
+    os << "workload,config,threads,overrides,fromCache,cycles,"
+          "committedThreadInsts,ipc,fetchRecords,fetchedThreadInsts,"
+          "mergeFrac,detectFrac,catchupFrac,identNoneFrac,identFetchFrac,"
+          "identExecFrac,identExecMergeFrac,energyCachePj,"
+          "energyOverheadPj,energyOtherPj,lvipRollbacks,branchMispredicts,"
+          "divergences,remerges,remergeWithin512,goldenOk\n";
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const JobSpec &job = spec.jobs[i];
+        const RunResult &r = outcome.results[i];
+        os << job.workload << "," << configName(job.kind) << ","
+           << job.numThreads << "," << overridesLabel(job.overrides) << ","
+           << (outcome.fromCache[i] ? 1 : 0) << "," << r.cycles << ","
+           << r.committedThreadInsts << "," << jsonNum(r.ipc()) << ","
+           << r.fetchRecords << "," << r.fetchedThreadInsts;
+        for (double v : r.fetchModeFrac)
+            os << "," << jsonNum(v);
+        for (double v : r.identFrac)
+            os << "," << jsonNum(v);
+        os << "," << jsonNum(r.energy.cache) << ","
+           << jsonNum(r.energy.overhead) << "," << jsonNum(r.energy.other)
+           << "," << r.lvipRollbacks << "," << r.branchMispredicts << ","
+           << r.divergences << "," << r.remerges << ","
+           << jsonNum(r.remergeWithin512) << "," << (r.goldenOk ? 1 : 0)
+           << "\n";
+    }
+    return os.str();
+}
+
+void
+writeArtifact(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    if (!out)
+        fatal("cannot write artifact '%s'", path.c_str());
+}
+
+} // namespace mmt

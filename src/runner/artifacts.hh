@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Artifact emission for finished sweeps: machine-readable JSON (full
+ * precision, one object per job plus sweep metadata) and spreadsheet-
+ * friendly CSV. Plotting scripts consume these instead of scraping the
+ * bench tables.
+ */
+
+#ifndef MMT_RUNNER_ARTIFACTS_HH
+#define MMT_RUNNER_ARTIFACTS_HH
+
+#include <string>
+
+#include "runner/sweep_runner.hh"
+
+namespace mmt
+{
+
+/** Render the sweep as a JSON document. */
+std::string sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome);
+
+/** Render the sweep as CSV (header + one row per job). */
+std::string sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome);
+
+/** Write @p text to @p path; fatal on I/O failure. */
+void writeArtifact(const std::string &path, const std::string &text);
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_ARTIFACTS_HH

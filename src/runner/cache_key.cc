@@ -1,0 +1,69 @@
+#include "runner/cache_key.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "runner/sweep_spec.hh"
+
+namespace mmt
+{
+
+std::uint64_t
+fnv1a64(const std::string &bytes, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+std::string
+overridesKey(const SimOverrides &ov)
+{
+    std::ostringstream os;
+    os << "fhb=" << ov.fhbEntries << ";lsp=" << ov.lsPorts
+       << ";mshr=" << ov.mshrs << ";fw=" << ov.fetchWidth
+       << ";notc=" << (ov.disableTraceCache ? 1 : 0)
+       << ";inv=" << (ov.checkInvariants ? 1 : 0)
+       << ";mrp=" << ov.mergeReadPorts << ";cup=" << ov.catchupPriority;
+    return os.str();
+}
+
+std::string
+jobKey(const JobSpec &job)
+{
+    std::ostringstream os;
+    os << "wl=" << job.workload << "|cfg=" << configName(job.kind)
+       << "|t=" << job.numThreads << "|ov=" << overridesKey(job.overrides)
+       << "|golden=" << (job.checkGolden ? 1 : 0);
+    return os.str();
+}
+
+std::string
+cacheKeyString(const JobSpec &job)
+{
+    const Workload &w = resolveWorkload(job.workload);
+    std::ostringstream os;
+    os << "salt=" << kCodeVersionSalt << "|" << jobKey(job)
+       << "|src=" << hashHex(fnv1a64(w.source));
+    return os.str();
+}
+
+std::uint64_t
+cacheKey(const JobSpec &job)
+{
+    return fnv1a64(cacheKeyString(job));
+}
+
+} // namespace mmt

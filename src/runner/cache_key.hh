@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Content hashing for the sweep runner's persistent result cache.
+ *
+ * A cache key identifies one simulation job completely: the workload
+ * (name *and* assembly source, so editing a kernel invalidates its
+ * entries), the configuration, the thread count, every SimOverrides
+ * field, and a code-version salt. The salt must be bumped whenever a
+ * change to the simulator can alter RunResult values for unchanged
+ * inputs — stale cache entries are otherwise indistinguishable from
+ * fresh ones.
+ */
+
+#ifndef MMT_RUNNER_CACHE_KEY_HH
+#define MMT_RUNNER_CACHE_KEY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/configs.hh"
+
+namespace mmt
+{
+
+struct JobSpec;
+
+/**
+ * Bump on any simulator change that affects results (pipeline timing,
+ * energy parameters, workload data initialisation, RunResult layout).
+ */
+inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v1";
+
+/** FNV-1a 64-bit hash of a byte string. */
+std::uint64_t fnv1a64(const std::string &bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/** Fixed-width lowercase hex rendering of a 64-bit hash. */
+std::string hashHex(std::uint64_t hash);
+
+/**
+ * Canonical textual encoding of every SimOverrides field, in a fixed
+ * order. Two overrides with equal encodings behave identically.
+ */
+std::string overridesKey(const SimOverrides &ov);
+
+/**
+ * Canonical job identity *within* a sweep: workload name, config,
+ * threads, overrides, golden flag. Used to index results; excludes the
+ * source hash and salt (those only matter for on-disk reuse).
+ */
+std::string jobKey(const JobSpec &job);
+
+/**
+ * Full cache identity of a job: jobKey() plus the hash of the workload's
+ * assembly source and the code-version salt.
+ */
+std::string cacheKeyString(const JobSpec &job);
+
+/** 64-bit digest of cacheKeyString(); names the on-disk cache entry. */
+std::uint64_t cacheKey(const JobSpec &job);
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_CACHE_KEY_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Declarative registry of the paper's figure sweeps.
+ *
+ * Each figure is a SweepSpec (what to simulate) plus a render function
+ * (how to turn the results into the table the bench prints). The fig5*
+ * and fig7* benches and `mmt_cli sweep` are thin wrappers over this
+ * registry, so a figure simulated once — serially, in parallel, or from
+ * the cache — always renders identically.
+ */
+
+#ifndef MMT_RUNNER_FIGURES_HH
+#define MMT_RUNNER_FIGURES_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+
+namespace mmt
+{
+
+/** One reproducible figure of the paper. */
+struct Figure
+{
+    std::string id;        // "5a", "7d", ...
+    std::string title;     // header text printed before the table
+    std::string paperNote; // "Paper reference: ..." trailer
+    SweepSpec sweep;
+
+    /** Render the result table (trailing newline included). */
+    std::string (*render)(const SweepSpec &spec,
+                          const std::vector<RunResult> &results);
+};
+
+/** Ids of every registered figure, in paper order. */
+const std::vector<std::string> &figureIds();
+
+/** Build the named figure; fatal if @p id is unknown. */
+Figure makeFigure(const std::string &id);
+
+/**
+ * Speedups of every MMT configuration over Base for one app.
+ * Returned in order {MMT-F, MMT-FX, MMT-FXR, Limit}, as cycle ratios
+ * (Base cycles / config cycles).
+ */
+struct SpeedupRow
+{
+    std::string app;
+    Cycles baseCycles = 0;
+    double mmtF = 0.0;
+    double mmtFX = 0.0;
+    double mmtFXR = 0.0;
+    double limit = 0.0;
+};
+
+/** Extract one app's Figure 5(a)/(c) row from finished sweep results. */
+SpeedupRow speedupRowFromResults(const ResultIndex &index,
+                                 const std::string &app, int num_threads,
+                                 const SimOverrides &ov = SimOverrides());
+
+/**
+ * Run the Figure 5(a)/(c) sweep for one app (serial, uncached).
+ * Convenience wrapper over the runner for ad-hoc use.
+ */
+SpeedupRow speedupRow(const std::string &app, int num_threads,
+                      const SimOverrides &ov = SimOverrides());
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_FIGURES_HH

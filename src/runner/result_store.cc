@@ -1,0 +1,290 @@
+#include "runner/result_store.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "runner/cache_key.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+constexpr const char *kFormatTag = "mmt-result v1";
+
+std::string
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return hashHex(bits);
+}
+
+bool
+parseDoubleBits(const std::string &tok, double &out)
+{
+    if (tok.size() != 16)
+        return false;
+    std::uint64_t bits = 0;
+    for (char c : tok) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else
+            return false;
+        bits = (bits << 4) | static_cast<std::uint64_t>(digit);
+    }
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+}
+
+bool
+parseU64(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    out = 0;
+    for (char c : tok) {
+        if (c < '0' || c > '9')
+            return false;
+        out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeResult(const RunResult &r)
+{
+    std::ostringstream os;
+    os << "workload " << r.workload << "\n";
+    os << "kind " << configName(r.kind) << "\n";
+    os << "numThreads " << r.numThreads << "\n";
+    os << "cycles " << r.cycles << "\n";
+    os << "committedThreadInsts " << r.committedThreadInsts << "\n";
+    os << "fetchRecords " << r.fetchRecords << "\n";
+    os << "fetchedThreadInsts " << r.fetchedThreadInsts << "\n";
+    os << "fetchModeFrac";
+    for (double v : r.fetchModeFrac)
+        os << " " << doubleBits(v);
+    os << "\n";
+    os << "identFrac";
+    for (double v : r.identFrac)
+        os << " " << doubleBits(v);
+    os << "\n";
+    os << "energy " << doubleBits(r.energy.cache) << " "
+       << doubleBits(r.energy.overhead) << " "
+       << doubleBits(r.energy.other) << "\n";
+    os << "lvipRollbacks " << r.lvipRollbacks << "\n";
+    os << "branchMispredicts " << r.branchMispredicts << "\n";
+    os << "divergences " << r.divergences << "\n";
+    os << "remerges " << r.remerges << "\n";
+    os << "remergeWithin512 " << doubleBits(r.remergeWithin512) << "\n";
+    os << "goldenOk " << (r.goldenOk ? 1 : 0) << "\n";
+    return os.str();
+}
+
+bool
+deserializeResult(const std::string &text, RunResult &out)
+{
+    std::istringstream is(text);
+    std::string line;
+    auto fields = [](const std::string &l) {
+        std::vector<std::string> toks;
+        std::istringstream ls(l);
+        std::string t;
+        while (ls >> t)
+            toks.push_back(t);
+        return toks;
+    };
+    auto next = [&](const char *name,
+                    std::size_t nvals) -> std::vector<std::string> {
+        if (!std::getline(is, line))
+            return {};
+        auto toks = fields(line);
+        if (toks.size() != nvals + 1 || toks[0] != name)
+            return {};
+        toks.erase(toks.begin());
+        return toks;
+    };
+
+    auto wl = next("workload", 1);
+    if (wl.empty())
+        return false;
+    out.workload = wl[0];
+
+    auto kind = next("kind", 1);
+    if (kind.empty())
+        return false;
+    bool known = false;
+    for (ConfigKind k : {ConfigKind::Base, ConfigKind::MMT_F,
+                         ConfigKind::MMT_FX, ConfigKind::MMT_FXR,
+                         ConfigKind::Limit}) {
+        if (kind[0] == configName(k)) {
+            out.kind = k;
+            known = true;
+        }
+    }
+    if (!known)
+        return false;
+
+    std::uint64_t u;
+    auto readU64 = [&](const char *name, std::uint64_t &dst) {
+        auto toks = next(name, 1);
+        if (toks.empty() || !parseU64(toks[0], u))
+            return false;
+        dst = u;
+        return true;
+    };
+
+    std::uint64_t threads;
+    if (!readU64("numThreads", threads) || threads > 64)
+        return false;
+    out.numThreads = static_cast<int>(threads);
+    std::uint64_t cycles;
+    if (!readU64("cycles", cycles))
+        return false;
+    out.cycles = cycles;
+    if (!readU64("committedThreadInsts", out.committedThreadInsts) ||
+        !readU64("fetchRecords", out.fetchRecords) ||
+        !readU64("fetchedThreadInsts", out.fetchedThreadInsts)) {
+        return false;
+    }
+
+    auto fm = next("fetchModeFrac", out.fetchModeFrac.size());
+    if (fm.size() != out.fetchModeFrac.size())
+        return false;
+    for (std::size_t i = 0; i < fm.size(); ++i) {
+        if (!parseDoubleBits(fm[i], out.fetchModeFrac[i]))
+            return false;
+    }
+    auto idf = next("identFrac", out.identFrac.size());
+    if (idf.size() != out.identFrac.size())
+        return false;
+    for (std::size_t i = 0; i < idf.size(); ++i) {
+        if (!parseDoubleBits(idf[i], out.identFrac[i]))
+            return false;
+    }
+    auto en = next("energy", 3);
+    if (en.size() != 3 || !parseDoubleBits(en[0], out.energy.cache) ||
+        !parseDoubleBits(en[1], out.energy.overhead) ||
+        !parseDoubleBits(en[2], out.energy.other)) {
+        return false;
+    }
+    if (!readU64("lvipRollbacks", out.lvipRollbacks) ||
+        !readU64("branchMispredicts", out.branchMispredicts) ||
+        !readU64("divergences", out.divergences) ||
+        !readU64("remerges", out.remerges)) {
+        return false;
+    }
+    auto rw = next("remergeWithin512", 1);
+    if (rw.empty() || !parseDoubleBits(rw[0], out.remergeWithin512))
+        return false;
+    auto gk = next("goldenOk", 1);
+    if (gk.empty() || (gk[0] != "0" && gk[0] != "1"))
+        return false;
+    out.goldenOk = gk[0] == "1";
+    return true;
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    mmt_assert(!dir_.empty(), "result store needs a directory");
+}
+
+std::string
+ResultStore::entryPath(const JobSpec &job) const
+{
+    return dir_ + "/" + hashHex(cacheKey(job)) + ".result";
+}
+
+ResultStore::Status
+ResultStore::load(const JobSpec &job, RunResult &out) const
+{
+    std::ifstream in(entryPath(job));
+    if (!in)
+        return Status::Miss;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+
+    // Header: format tag, then the full cache-key string. Validating
+    // the key string (not just the hash in the file name) catches both
+    // hash collisions and entries written under a different
+    // code-version salt.
+    std::string header = std::string(kFormatTag) + "\n" +
+                         "key " + cacheKeyString(job) + "\n";
+    if (text.compare(0, header.size(), header) != 0)
+        return Status::Corrupt;
+
+    // Trailer: checksum over everything before the checksum line.
+    std::size_t nl = text.rfind('\n', text.size() - 2);
+    if (text.empty() || text.back() != '\n' || nl == std::string::npos)
+        return Status::Corrupt;
+    std::string last = text.substr(nl + 1);
+    std::string body = text.substr(0, nl + 1);
+    if (last != "checksum " + hashHex(fnv1a64(body)) + "\n")
+        return Status::Corrupt;
+
+    std::string payload = body.substr(header.size());
+    if (!deserializeResult(payload, out))
+        return Status::Corrupt;
+    if (out.workload != resolveWorkload(job.workload).name ||
+        out.kind != job.kind || out.numThreads != job.numThreads) {
+        return Status::Corrupt;
+    }
+    return Status::Hit;
+}
+
+void
+ResultStore::store(const JobSpec &job, const RunResult &result) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        warn("result store: cannot create '%s': %s", dir_.c_str(),
+             ec.message().c_str());
+        return;
+    }
+
+    std::ostringstream os;
+    os << kFormatTag << "\n";
+    os << "key " << cacheKeyString(job) << "\n";
+    os << serializeResult(result);
+    std::string body = os.str();
+    body += "checksum " + hashHex(fnv1a64(body)) + "\n";
+
+    std::ostringstream tid;
+    tid << std::this_thread::get_id();
+    std::string path = entryPath(job);
+    std::string tmp = path + ".tmp." + tid.str();
+    {
+        std::ofstream outf(tmp, std::ios::trunc);
+        outf << body;
+        if (!outf) {
+            warn("result store: write failed for '%s'", tmp.c_str());
+            fs::remove(tmp, ec);
+            return;
+        }
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        warn("result store: rename to '%s' failed: %s", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+    }
+}
+
+} // namespace mmt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent on-disk result cache for the sweep runner.
+ *
+ * Each finished job is written to `<dir>/<cachekey>.result` as a small
+ * line-oriented text record. Doubles are stored as IEEE-754 bit
+ * patterns so a round trip is bit-identical, and every record ends with
+ * an FNV-1a checksum over its payload. load() verifies the format
+ * version, the full cache-key string (guarding against hash collisions
+ * and stale code-version salts) and the checksum; any mismatch is
+ * reported as Corrupt and the caller re-simulates.
+ *
+ * Writes go through a per-thread temp file followed by std::rename, so
+ * concurrent workers (or concurrent sweep processes sharing a cache
+ * directory) never observe half-written entries.
+ */
+
+#ifndef MMT_RUNNER_RESULT_STORE_HH
+#define MMT_RUNNER_RESULT_STORE_HH
+
+#include <string>
+
+#include "runner/sweep_spec.hh"
+
+namespace mmt
+{
+
+/**
+ * Canonical textual serialization of a RunResult (bit-exact for
+ * doubles). Also the payload format of cache entries, and what the
+ * determinism tests byte-compare.
+ */
+std::string serializeResult(const RunResult &result);
+
+/**
+ * Inverse of serializeResult(). Returns false (leaving @p out in an
+ * unspecified state) on any malformed input.
+ */
+bool deserializeResult(const std::string &text, RunResult &out);
+
+class ResultStore
+{
+  public:
+    enum class Status
+    {
+        Hit,     // entry present and valid
+        Miss,    // no entry
+        Corrupt, // entry present but failed validation
+    };
+
+    /** @param dir cache directory; created on first store(). */
+    explicit ResultStore(std::string dir);
+
+    /** Path of the entry for @p job. */
+    std::string entryPath(const JobSpec &job) const;
+
+    /** Look up @p job; on Hit fills @p out. */
+    Status load(const JobSpec &job, RunResult &out) const;
+
+    /** Persist the result of @p job (atomically replaces any entry). */
+    void store(const JobSpec &job, const RunResult &result) const;
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string dir_;
+};
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_RESULT_STORE_HH

@@ -1,0 +1,179 @@
+#include "runner/sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "runner/result_store.hh"
+
+namespace mmt
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Serialized stderr progress lines with a running ETA. */
+class ProgressReporter
+{
+  public:
+    ProgressReporter(const std::string &name, std::size_t total,
+                     bool enabled)
+        : name_(name), total_(total), enabled_(enabled),
+          start_(Clock::now())
+    {}
+
+    void
+    jobDone(const JobSpec &job, bool cached)
+    {
+        std::size_t done = ++done_;
+        if (!enabled_)
+            return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        double elapsed =
+            std::chrono::duration<double>(Clock::now() - start_).count();
+        double eta = done < total_
+                         ? elapsed / static_cast<double>(done) *
+                               static_cast<double>(total_ - done)
+                         : 0.0;
+        std::fprintf(stderr,
+                     "[%s %zu/%zu] %s/%s/%dT%s  elapsed %.1fs  eta %.1fs\n",
+                     name_.c_str(), done, total_, job.workload.c_str(),
+                     configName(job.kind), job.numThreads,
+                     cached ? " (cached)" : "", elapsed, eta);
+    }
+
+  private:
+    std::string name_;
+    std::size_t total_;
+    bool enabled_;
+    Clock::time_point start_;
+    std::atomic<std::size_t> done_{0};
+    std::mutex mutex_;
+};
+
+} // namespace
+
+std::string
+SweepOutcome::summary() const
+{
+    std::ostringstream os;
+    os << results.size() << " jobs: " << executed << " simulated, "
+       << cacheHits << " cached";
+    if (corruptEntries)
+        os << " (" << corruptEntries << " corrupt entries re-run)";
+    if (goldenFailures)
+        os << ", " << goldenFailures << " golden FAILURES";
+    char secs[32];
+    std::snprintf(secs, sizeof(secs), "%.1f", wallSeconds);
+    os << " in " << secs << "s";
+    return os.str();
+}
+
+SweepOutcome
+runSweep(const SweepSpec &spec, const SweepOptions &options)
+{
+    const std::size_t total = spec.jobs.size();
+    SweepOutcome out;
+    out.results.resize(total);
+    out.fromCache.assign(total, false);
+
+    std::unique_ptr<ResultStore> store;
+    if (!options.cacheDir.empty())
+        store = std::make_unique<ResultStore>(options.cacheDir);
+
+    ProgressReporter progress(spec.name.empty() ? "sweep" : spec.name,
+                              total, options.progress);
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> executed{0}, hits{0}, corrupt{0}, golden{0};
+
+    auto start = Clock::now();
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t i = cursor.fetch_add(1);
+            if (i >= total)
+                return;
+            const JobSpec &job = spec.jobs[i];
+            bool cached = false;
+            if (store && !options.forceRerun) {
+                switch (store->load(job, out.results[i])) {
+                  case ResultStore::Status::Hit:
+                    cached = true;
+                    ++hits;
+                    break;
+                  case ResultStore::Status::Corrupt:
+                    ++corrupt;
+                    break;
+                  case ResultStore::Status::Miss:
+                    break;
+                }
+            }
+            if (!cached) {
+                out.results[i] =
+                    runWorkload(resolveWorkload(job.workload), job.kind,
+                                job.numThreads, job.overrides,
+                                job.checkGolden);
+                ++executed;
+                if (store)
+                    store->store(job, out.results[i]);
+            }
+            out.fromCache[i] = cached;
+            if (job.checkGolden && !out.results[i].goldenOk)
+                ++golden;
+            progress.jobDone(job, cached);
+        }
+    };
+
+    int jobs = options.jobs;
+    if (jobs < 1)
+        jobs = 1;
+    std::size_t workers =
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), total);
+    if (workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t i = 0; i < workers; ++i)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    out.executed = executed;
+    out.cacheHits = hits;
+    out.corruptEntries = corrupt;
+    out.goldenFailures = golden;
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return out;
+}
+
+SweepOptions
+sweepOptionsFromEnv()
+{
+    SweepOptions opt;
+    unsigned hw = std::thread::hardware_concurrency();
+    opt.jobs = hw ? static_cast<int>(hw) : 1;
+    if (const char *jobs = std::getenv("MMT_JOBS")) {
+        int n = std::atoi(jobs);
+        if (n >= 1)
+            opt.jobs = n;
+    }
+    if (const char *dir = std::getenv("MMT_CACHE_DIR")) {
+        if (*dir)
+            opt.cacheDir = dir;
+    }
+    const char *prog = std::getenv("MMT_PROGRESS");
+    opt.progress = !prog || std::atoi(prog) != 0;
+    return opt;
+}
+
+} // namespace mmt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Parallel executor for SweepSpecs.
+ *
+ * Jobs of a sweep are independent simulations, so the runner fans them
+ * out over a pool of worker threads that claim jobs from a shared
+ * atomic cursor (work stealing degenerates to this for a single flat
+ * queue). Results land in a pre-sized vector slot per job, so the
+ * output order — and every byte of every RunResult — is identical for
+ * any worker count, including 1.
+ *
+ * With a cache directory set, each job is first looked up in the
+ * ResultStore; valid entries skip simulation entirely, corrupted ones
+ * are re-run and overwritten.
+ */
+
+#ifndef MMT_RUNNER_SWEEP_RUNNER_HH
+#define MMT_RUNNER_SWEEP_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep_spec.hh"
+
+namespace mmt
+{
+
+struct SweepOptions
+{
+    /** Worker threads; 1 reproduces the historical serial benches. */
+    int jobs = 1;
+    /** Result-cache directory; empty disables the cache. */
+    std::string cacheDir;
+    /** Emit per-job progress and an ETA to stderr. */
+    bool progress = false;
+    /** Ignore cached entries (still refreshes them after running). */
+    bool forceRerun = false;
+};
+
+struct SweepOutcome
+{
+    /** One result per spec job, in spec order. */
+    std::vector<RunResult> results;
+    /** Whether results[i] came from the cache. */
+    std::vector<bool> fromCache;
+
+    std::size_t executed = 0;     // jobs actually simulated
+    std::size_t cacheHits = 0;    // jobs served from the store
+    std::size_t corruptEntries = 0; // invalid entries detected + re-run
+    std::size_t goldenFailures = 0;
+    double wallSeconds = 0.0;
+
+    /** "80 jobs: 3 simulated, 77 cached in 1.2s" summary line. */
+    std::string summary() const;
+};
+
+/** Execute @p spec. */
+SweepOutcome runSweep(const SweepSpec &spec,
+                      const SweepOptions &options = SweepOptions());
+
+/**
+ * Options taken from the environment: MMT_JOBS (default: hardware
+ * concurrency), MMT_CACHE_DIR (default: no cache), MMT_PROGRESS=0 to
+ * silence the reporter. Used by the figure benches so `make bench`
+ * parallelism is tunable without rebuilds.
+ */
+SweepOptions sweepOptionsFromEnv();
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_SWEEP_RUNNER_HH

@@ -1,0 +1,105 @@
+#include "runner/sweep_spec.hh"
+
+#include "common/logging.hh"
+#include "runner/cache_key.hh"
+
+namespace mmt
+{
+
+void
+SweepSpec::add(const std::string &workload, ConfigKind kind,
+               int num_threads, const SimOverrides &ov, bool check_golden)
+{
+    JobSpec job;
+    job.workload = workload;
+    job.kind = kind;
+    job.numThreads = num_threads;
+    job.overrides = ov;
+    job.checkGolden = check_golden;
+    jobs.push_back(std::move(job));
+}
+
+void
+SweepSpec::cross(const std::vector<std::string> &workloads,
+                 const std::vector<ConfigKind> &kinds,
+                 const std::vector<int> &thread_counts,
+                 const std::vector<SimOverrides> &overrides_list,
+                 bool check_golden)
+{
+    for (const std::string &w : workloads) {
+        for (ConfigKind k : kinds) {
+            for (int t : thread_counts) {
+                for (const SimOverrides &ov : overrides_list)
+                    add(w, k, t, ov, check_golden);
+            }
+        }
+    }
+}
+
+void
+SweepSpec::filterWorkloads(const std::vector<std::string> &keep)
+{
+    std::vector<JobSpec> kept;
+    for (JobSpec &job : jobs) {
+        for (const std::string &name : keep) {
+            if (job.workload == name) {
+                kept.push_back(std::move(job));
+                break;
+            }
+        }
+    }
+    jobs = std::move(kept);
+}
+
+const Workload &
+resolveWorkload(const std::string &name)
+{
+    if (name == messagePassingWorkload().name)
+        return messagePassingWorkload();
+    return findWorkload(name);
+}
+
+ConfigKind
+parseConfigKind(const std::string &name)
+{
+    for (ConfigKind k : {ConfigKind::Base, ConfigKind::MMT_F,
+                         ConfigKind::MMT_FX, ConfigKind::MMT_FXR,
+                         ConfigKind::Limit}) {
+        if (name == configName(k))
+            return k;
+    }
+    fatal("unknown config '%s'", name.c_str());
+}
+
+ResultIndex::ResultIndex(const SweepSpec &spec,
+                         const std::vector<RunResult> &results)
+{
+    mmt_assert(spec.jobs.size() == results.size(),
+               "sweep '%s': %zu jobs but %zu results", spec.name.c_str(),
+               spec.jobs.size(), results.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        byKey_[jobKey(spec.jobs[i])] = &results[i];
+}
+
+const RunResult &
+ResultIndex::get(const std::string &workload, ConfigKind kind,
+                 int num_threads, const SimOverrides &ov) const
+{
+    // Golden checking does not change the measurements, so index
+    // lookups match either flavour of the job.
+    for (bool golden : {false, true}) {
+        JobSpec probe;
+        probe.workload = workload;
+        probe.kind = kind;
+        probe.numThreads = num_threads;
+        probe.overrides = ov;
+        probe.checkGolden = golden;
+        auto it = byKey_.find(jobKey(probe));
+        if (it != byKey_.end())
+            return *it->second;
+    }
+    panic("sweep result missing: %s %s %dT", workload.c_str(),
+          configName(kind), num_threads);
+}
+
+} // namespace mmt

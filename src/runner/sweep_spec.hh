@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Declarative description of an experiment sweep: the cross product of
+ * workloads x configurations x thread counts x parameter overrides that
+ * stands behind one figure (or any ad-hoc batch). A SweepSpec is pure
+ * data — building one runs no simulations; SweepRunner executes it.
+ */
+
+#ifndef MMT_RUNNER_SWEEP_SPEC_HH
+#define MMT_RUNNER_SWEEP_SPEC_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace mmt
+{
+
+/** One independent simulation job. */
+struct JobSpec
+{
+    std::string workload; // registry name, or "mp-ring"
+    ConfigKind kind = ConfigKind::Base;
+    int numThreads = 2;
+    SimOverrides overrides;
+    bool checkGolden = false;
+};
+
+/** An ordered set of jobs; results come back in the same order. */
+struct SweepSpec
+{
+    std::string name; // e.g. "fig5a"
+    std::vector<JobSpec> jobs;
+
+    /** Append a single job. */
+    void add(const std::string &workload, ConfigKind kind, int num_threads,
+             const SimOverrides &ov = SimOverrides(),
+             bool check_golden = false);
+
+    /**
+     * Append the full cross product
+     * workloads x kinds x thread counts x overrides (order: workload
+     * outermost, overrides innermost — the order the serial benches
+     * used).
+     */
+    void cross(const std::vector<std::string> &workloads,
+               const std::vector<ConfigKind> &kinds,
+               const std::vector<int> &thread_counts,
+               const std::vector<SimOverrides> &overrides_list =
+                   {SimOverrides()},
+               bool check_golden = false);
+
+    /** Keep only jobs whose workload is in @p keep (CI smoke filters). */
+    void filterWorkloads(const std::vector<std::string> &keep);
+};
+
+/** Registry name or "mp-ring"; fatal if unknown. */
+const Workload &resolveWorkload(const std::string &name);
+
+/** Parse a Table 5 configuration name ("Base", "MMT-FXR", ...). */
+ConfigKind parseConfigKind(const std::string &name);
+
+/**
+ * Index results of a finished sweep by job identity so render code can
+ * look them up without caring about job order.
+ */
+class ResultIndex
+{
+  public:
+    ResultIndex(const SweepSpec &spec,
+                const std::vector<RunResult> &results);
+
+    /** Result of the matching job; panics if the sweep never ran it. */
+    const RunResult &get(const std::string &workload, ConfigKind kind,
+                         int num_threads,
+                         const SimOverrides &ov = SimOverrides()) const;
+
+  private:
+    std::map<std::string, const RunResult *> byKey_;
+};
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_SWEEP_SPEC_HH

@@ -73,26 +73,4 @@ workloadNames()
     return names;
 }
 
-SpeedupRow
-speedupRow(const std::string &app, int num_threads, const SimOverrides &ov)
-{
-    const Workload &w = findWorkload(app);
-    SpeedupRow row;
-    row.app = app;
-    RunResult base = runWorkload(w, ConfigKind::Base, num_threads, ov);
-    row.baseCycles = base.cycles;
-    auto speedup = [&](ConfigKind kind) {
-        RunResult r = runWorkload(w, kind, num_threads, ov);
-        return static_cast<double>(base.cycles) /
-               static_cast<double>(r.cycles);
-    };
-    row.mmtF = speedup(ConfigKind::MMT_F);
-    row.mmtFX = speedup(ConfigKind::MMT_FX);
-    row.mmtFXR = speedup(ConfigKind::MMT_FXR);
-    // Limit runs identical inputs: its absolute cycle count is compared
-    // to the same Base as the paper does.
-    row.limit = speedup(ConfigKind::Limit);
-    return row;
-}
-
 } // namespace mmt

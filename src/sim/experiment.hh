@@ -29,24 +29,8 @@ std::string fmt(double value, int decimals = 3);
 /** Names of all 16 workloads in Table 1 order. */
 std::vector<std::string> workloadNames();
 
-/**
- * Speedups of every MMT configuration over Base for one app.
- * Returned in order {MMT-F, MMT-FX, MMT-FXR, Limit}, as cycle ratios
- * (Base cycles / config cycles).
- */
-struct SpeedupRow
-{
-    std::string app;
-    Cycles baseCycles = 0;
-    double mmtF = 0.0;
-    double mmtFX = 0.0;
-    double mmtFXR = 0.0;
-    double limit = 0.0;
-};
-
-/** Run the Figure 5(a)/(c) sweep for one app. */
-SpeedupRow speedupRow(const std::string &app, int num_threads,
-                      const SimOverrides &ov = SimOverrides());
+// The figure sweeps themselves (speedup rows, the fig5/fig7 batches)
+// live in runner/figures.hh on top of the parallel sweep runner.
 
 } // namespace mmt
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Sweep-runner subsystem tests: parallel execution is bit-identical to
+ * serial, the persistent result cache short-circuits simulation, and
+ * corrupted cache entries are detected and re-run rather than trusted.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "runner/artifacts.hh"
+#include "runner/cache_key.hh"
+#include "runner/figures.hh"
+#include "runner/result_store.hh"
+#include "runner/sweep_runner.hh"
+
+using namespace mmt;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Small but heterogeneous job set: ME + MT apps, two configs. */
+SweepSpec
+smallSpec()
+{
+    SweepSpec spec;
+    spec.name = "test-small";
+    spec.cross({"ammp", "libsvm", "lu"},
+               {ConfigKind::Base, ConfigKind::MMT_FXR}, {1, 2});
+    return spec;
+}
+
+std::vector<std::string>
+serializeAll(const SweepOutcome &outcome)
+{
+    std::vector<std::string> out;
+    for (const RunResult &r : outcome.results)
+        out.push_back(serializeResult(r));
+    return out;
+}
+
+/** Fresh scratch directory under the test tmpdir. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+} // namespace
+
+TEST(SweepRunner, ParallelMatchesSerialBitExact)
+{
+    SweepSpec spec = smallSpec();
+    SweepOutcome serial = runSweep(spec, {.jobs = 1});
+    SweepOutcome parallel = runSweep(spec, {.jobs = 4});
+
+    ASSERT_EQ(serial.results.size(), spec.jobs.size());
+    ASSERT_EQ(parallel.results.size(), spec.jobs.size());
+    EXPECT_EQ(serial.executed, spec.jobs.size());
+    EXPECT_EQ(parallel.executed, spec.jobs.size());
+
+    std::vector<std::string> a = serializeAll(serial);
+    std::vector<std::string> b = serializeAll(parallel);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i], b[i]) << "job " << i << " ("
+                              << spec.jobs[i].workload << ")";
+    }
+}
+
+TEST(SweepRunner, ResultSerializationRoundTrips)
+{
+    SweepSpec spec;
+    spec.name = "roundtrip";
+    spec.add("equake", ConfigKind::MMT_FXR, 2);
+    SweepOutcome out = runSweep(spec);
+    ASSERT_EQ(out.results.size(), 1u);
+
+    std::string text = serializeResult(out.results[0]);
+    RunResult parsed;
+    ASSERT_TRUE(deserializeResult(text, parsed));
+    EXPECT_EQ(serializeResult(parsed), text);
+
+    // Malformed inputs are rejected, not misparsed.
+    RunResult dummy;
+    EXPECT_FALSE(deserializeResult("", dummy));
+    EXPECT_FALSE(deserializeResult(text.substr(0, text.size() / 2), dummy));
+    std::string tampered = text;
+    tampered.replace(tampered.find("kind "), 9, "kind Bogus");
+    EXPECT_FALSE(deserializeResult(tampered, dummy));
+}
+
+TEST(SweepRunner, CacheHitsSkipSimulation)
+{
+    SweepSpec spec = smallSpec();
+    std::string dir = scratchDir("sweep-cache-hits");
+
+    SweepOutcome cold = runSweep(spec, {.jobs = 2, .cacheDir = dir});
+    EXPECT_EQ(cold.executed, spec.jobs.size());
+    EXPECT_EQ(cold.cacheHits, 0u);
+
+    SweepOutcome warm = runSweep(spec, {.jobs = 2, .cacheDir = dir});
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cacheHits, spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        EXPECT_TRUE(warm.fromCache[i]);
+    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+
+    // --force ignores the valid entries but refreshes them.
+    SweepOutcome forced =
+        runSweep(spec, {.jobs = 2, .cacheDir = dir, .forceRerun = true});
+    EXPECT_EQ(forced.executed, spec.jobs.size());
+    EXPECT_EQ(serializeAll(cold), serializeAll(forced));
+}
+
+TEST(SweepRunner, CorruptedEntryIsDetectedAndRerun)
+{
+    SweepSpec spec;
+    spec.name = "test-corrupt";
+    spec.add("ammp", ConfigKind::Base, 2);
+    spec.add("ammp", ConfigKind::MMT_FXR, 2);
+    std::string dir = scratchDir("sweep-cache-corrupt");
+
+    SweepOutcome cold = runSweep(spec, {.cacheDir = dir});
+    ASSERT_EQ(cold.executed, 2u);
+
+    // Flip the cycle count inside the first job's entry without fixing
+    // the checksum.
+    ResultStore store(dir);
+    std::string path = store.entryPath(spec.jobs[0]);
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    in.close();
+    std::string entry = ss.str();
+    std::size_t pos = entry.find("cycles ");
+    ASSERT_NE(pos, std::string::npos);
+    entry[pos + 7] = entry[pos + 7] == '9' ? '1' : '9';
+    std::ofstream(path, std::ios::trunc) << entry;
+
+    SweepOutcome warm = runSweep(spec, {.cacheDir = dir});
+    EXPECT_EQ(warm.corruptEntries, 1u);
+    EXPECT_EQ(warm.executed, 1u);
+    EXPECT_EQ(warm.cacheHits, 1u);
+    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+
+    // The re-run repaired the entry on disk.
+    SweepOutcome healed = runSweep(spec, {.cacheDir = dir});
+    EXPECT_EQ(healed.corruptEntries, 0u);
+    EXPECT_EQ(healed.executed, 0u);
+
+    // A truncated entry is equally rejected.
+    std::ofstream(path, std::ios::trunc) << entry.substr(0, 40);
+    SweepOutcome truncated = runSweep(spec, {.cacheDir = dir});
+    EXPECT_EQ(truncated.corruptEntries, 1u);
+    EXPECT_EQ(truncated.executed, 1u);
+    EXPECT_EQ(serializeAll(cold), serializeAll(truncated));
+}
+
+TEST(SweepRunner, CacheKeyDependsOnAllInputs)
+{
+    JobSpec job;
+    job.workload = "ammp";
+    job.kind = ConfigKind::MMT_FXR;
+    job.numThreads = 2;
+    std::uint64_t base = cacheKey(job);
+
+    JobSpec other = job;
+    other.numThreads = 4;
+    EXPECT_NE(cacheKey(other), base);
+    other = job;
+    other.kind = ConfigKind::Base;
+    EXPECT_NE(cacheKey(other), base);
+    other = job;
+    other.overrides.fhbEntries = 64;
+    EXPECT_NE(cacheKey(other), base);
+    other = job;
+    other.workload = "equake";
+    EXPECT_NE(cacheKey(other), base);
+
+    // Same inputs hash identically.
+    EXPECT_EQ(cacheKey(job), base);
+}
+
+TEST(SweepRunner, WarmFig5aSweepExecutesZeroSimulations)
+{
+    Figure fig = makeFigure("5a");
+    std::string dir = scratchDir("sweep-cache-fig5a");
+
+    SweepOutcome cold = runSweep(fig.sweep, {.jobs = 4, .cacheDir = dir});
+    EXPECT_EQ(cold.executed, fig.sweep.jobs.size());
+    EXPECT_EQ(cold.goldenFailures, 0u);
+
+    SweepOutcome warm = runSweep(fig.sweep, {.jobs = 4, .cacheDir = dir});
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cacheHits, fig.sweep.jobs.size());
+    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+
+    // The rendered figure is identical either way.
+    EXPECT_EQ(fig.render(fig.sweep, cold.results),
+              fig.render(fig.sweep, warm.results));
+}
+
+TEST(SweepRunner, ArtifactsCoverEveryJob)
+{
+    SweepSpec spec;
+    spec.name = "test-artifacts";
+    spec.add("lu", ConfigKind::Base, 2);
+    spec.add("lu", ConfigKind::MMT_FXR, 2);
+    SweepOutcome out = runSweep(spec);
+
+    std::string csv = sweepToCsv(spec, out);
+    // Header + one row per job, each ending in the goldenOk column.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+    EXPECT_NE(csv.find("workload,config,threads"), std::string::npos);
+    EXPECT_NE(csv.find("lu,Base,2"), std::string::npos);
+    EXPECT_NE(csv.find("lu,MMT-FXR,2"), std::string::npos);
+
+    std::string json = sweepToJson(spec, out);
+    EXPECT_NE(json.find("\"sweep\": \"test-artifacts\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"config\": \"MMT-FXR\""), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\": " +
+                        std::to_string(out.results[0].cycles)),
+              std::string::npos);
+}
+
+TEST(SweepRunner, FilterWorkloadsRestrictsJobs)
+{
+    Figure fig = makeFigure("7a");
+    std::size_t full = fig.sweep.jobs.size();
+    fig.sweep.filterWorkloads({"equake", "mcf"});
+    EXPECT_LT(fig.sweep.jobs.size(), full);
+    EXPECT_EQ(fig.sweep.jobs.size(), 2u * (1 + 5)); // Base + 5 FHB sizes
+    for (const JobSpec &job : fig.sweep.jobs)
+        EXPECT_TRUE(job.workload == "equake" || job.workload == "mcf");
+}

@@ -5,6 +5,8 @@
  * Usage:
  *   mmt_cli [options] <workload>
  *   mmt_cli --list
+ *   mmt_cli sweep --figure <id> [sweep options]
+ *   mmt_cli sweep --list-figures
  *
  * Options:
  *   --config <Base|MMT-F|MMT-FX|MMT-FXR|Limit>   (default MMT-FXR)
@@ -18,10 +20,23 @@
  *   --asm <file>           run an assembly file instead of a named
  *                          workload (single address space, MT semantics)
  *
+ * Sweep options (parallel figure reproduction with result caching):
+ *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d
+ *   --jobs <n>             worker threads (default: hardware cores)
+ *   --cache-dir <dir>      persistent result cache; re-runs only
+ *                          simulate jobs whose inputs changed
+ *   --apps <a,b,...>       restrict the sweep to these workloads
+ *   --csv <file>           write per-job results as CSV
+ *   --json <file>          write per-job results as JSON
+ *   --force                ignore cached entries (still refresh them)
+ *   --no-progress          silence the stderr progress/ETA reporter
+ *
  * Examples:
  *   mmt_cli --config Base --threads 4 equake
  *   mmt_cli --stats --fhb 128 water-ns
  *   mmt_cli mp-ring
+ *   mmt_cli sweep --figure 5a --jobs 8 --cache-dir .mmt-cache
+ *   mmt_cli sweep --figure 7a --apps equake,mcf --csv fig7a.csv
  */
 
 #include <cstdio>
@@ -33,6 +48,8 @@
 #include "common/logging.hh"
 #include "core/smt_core.hh"
 #include "iasm/assembler.hh"
+#include "runner/artifacts.hh"
+#include "runner/figures.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 
@@ -49,20 +66,104 @@ usage()
                  "               [--ls-ports N] [--fetch-width N]\n"
                  "               [--no-trace-cache] [--no-golden]\n"
                  "               [--stats] [--asm FILE] <workload>\n"
-                 "       mmt_cli --list\n");
+                 "       mmt_cli --list\n"
+                 "       mmt_cli sweep --figure ID [--jobs N]\n"
+                 "               [--cache-dir DIR] [--apps A,B,...]\n"
+                 "               [--csv FILE] [--json FILE] [--force]\n"
+                 "               [--no-progress]\n"
+                 "       mmt_cli sweep --list-figures\n");
     std::exit(2);
 }
 
-ConfigKind
-parseConfig(const std::string &name)
+std::vector<std::string>
+splitCommas(const std::string &list)
 {
-    for (ConfigKind k : {ConfigKind::Base, ConfigKind::MMT_F,
-                         ConfigKind::MMT_FX, ConfigKind::MMT_FXR,
-                         ConfigKind::Limit}) {
-        if (name == configName(k))
-            return k;
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream is(list);
+    while (std::getline(is, item, ',')) {
+        if (!item.empty())
+            items.push_back(item);
     }
-    fatal("unknown config '%s'", name.c_str());
+    return items;
+}
+
+/** `mmt_cli sweep ...`: run one figure's sweep through the runner. */
+int
+sweepMain(int argc, char **argv)
+{
+    std::string figure_id;
+    std::string apps;
+    std::string csv_path, json_path;
+    SweepOptions options = sweepOptionsFromEnv();
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--figure") {
+            figure_id = next();
+        } else if (arg == "--jobs") {
+            options.jobs = std::atoi(next().c_str());
+            if (options.jobs < 1)
+                fatal("--jobs must be >= 1");
+        } else if (arg == "--cache-dir") {
+            options.cacheDir = next();
+        } else if (arg == "--apps") {
+            apps = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--force") {
+            options.forceRerun = true;
+        } else if (arg == "--no-progress") {
+            options.progress = false;
+        } else if (arg == "--list-figures") {
+            for (const std::string &id : figureIds())
+                std::printf("%s\n", id.c_str());
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown sweep option '%s'\n",
+                         arg.c_str());
+            usage();
+        }
+    }
+    if (figure_id.empty())
+        usage();
+
+    setInformEnabled(false);
+    Figure fig = makeFigure(figure_id);
+    bool filtered = !apps.empty();
+    if (filtered) {
+        fig.sweep.filterWorkloads(splitCommas(apps));
+        if (fig.sweep.jobs.empty())
+            fatal("--apps '%s' matches no job of figure %s", apps.c_str(),
+                  figure_id.c_str());
+    }
+
+    SweepOutcome outcome = runSweep(fig.sweep, options);
+
+    if (!csv_path.empty())
+        writeArtifact(csv_path, sweepToCsv(fig.sweep, outcome));
+    if (!json_path.empty())
+        writeArtifact(json_path, sweepToJson(fig.sweep, outcome));
+
+    if (filtered) {
+        // The figure tables expect every app; print the raw CSV rows
+        // instead when the sweep was restricted.
+        std::printf("%s", sweepToCsv(fig.sweep, outcome).c_str());
+    } else {
+        std::printf("%s", fig.title.c_str());
+        std::printf("%s", fig.render(fig.sweep, outcome.results).c_str());
+        std::printf("%s", fig.paperNote.c_str());
+    }
+    std::fprintf(stderr, "%s: %s\n", fig.sweep.name.c_str(),
+                 outcome.summary().c_str());
+    return outcome.goldenFailures ? 1 : 0;
 }
 
 void
@@ -108,6 +209,9 @@ workloadFromFile(const std::string &path)
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0)
+        return sweepMain(argc - 2, argv + 2);
+
     ConfigKind kind = ConfigKind::MMT_FXR;
     int threads = 2;
     SimOverrides ov;
@@ -127,7 +231,7 @@ main(int argc, char **argv)
             listWorkloads();
             return 0;
         } else if (arg == "--config") {
-            kind = parseConfig(next());
+            kind = parseConfigKind(next());
         } else if (arg == "--threads") {
             threads = std::atoi(next().c_str());
         } else if (arg == "--fhb") {
