@@ -1,0 +1,234 @@
+/**
+ * @file
+ * bench_simspeed — host-throughput benchmark and regression gate.
+ *
+ * Runs the Figure 5(a) job set (every workload x Table 5 config at two
+ * threads) serially, without golden checking or result caching, and
+ * measures simulator speed: simulated cycles and committed
+ * thread-instructions per host second, aggregated over the whole set.
+ * The best of several repetitions is reported, so one descheduled rep
+ * does not fail the gate.
+ *
+ * Artifacts and gating:
+ *  - writes BENCH_simspeed.json (current numbers, recorded baseline,
+ *    and their ratio) to the working directory;
+ *  - compares against bench/simspeed_baseline.json, recorded on the
+ *    pre-arena/event-wheel core (see docs/INTERNALS.md);
+ *  - exits non-zero if MMT_SIMSPEED_MIN_RATIO is set and the measured
+ *    cycles/sec ratio against the baseline falls below it. Unset means
+ *    report-only: host speed is machine-dependent, so the hard gate is
+ *    opt-in for environments where the baseline was recorded.
+ *
+ * Environment knobs:
+ *   MMT_SIMSPEED_REPS            repetitions (default 3)
+ *   MMT_SIMSPEED_APPS            comma list restricting the workloads
+ *   MMT_SIMSPEED_BASELINE        baseline JSON path (default: in-tree)
+ *   MMT_SIMSPEED_WRITE_BASELINE  "1": record current as the baseline
+ *   MMT_SIMSPEED_MIN_RATIO       gate threshold, e.g. "1.3"
+ *   MMT_SIMSPEED_OUT             output path (default BENCH_simspeed.json)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "runner/figures.hh"
+#include "sim/simulator.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+struct Throughput
+{
+    double hostSeconds = 0.0;
+    double simCyclesPerSec = 0.0;
+    double threadInstsPerSec = 0.0;
+};
+
+std::string
+defaultBaselinePath()
+{
+#ifdef MMT_SOURCE_DIR
+    return std::string(MMT_SOURCE_DIR) + "/bench/simspeed_baseline.json";
+#else
+    return "bench/simspeed_baseline.json";
+#endif
+}
+
+const char *
+envOr(const char *name, const char *dflt)
+{
+    const char *v = std::getenv(name);
+    return v && *v ? v : dflt;
+}
+
+/** Pull `"key": <number>` out of our own JSON (no general parser). */
+bool
+extractNumber(const std::string &text, const std::string &key, double &out)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(text.c_str() + pos + needle.size(), nullptr);
+    return true;
+}
+
+std::string
+throughputJson(const Throughput &t, const char *indent)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n%s  \"hostSeconds\": %.6f,\n"
+                  "%s  \"simCyclesPerSec\": %.1f,\n"
+                  "%s  \"threadInstsPerSec\": %.1f\n%s}",
+                  indent, t.hostSeconds, indent, t.simCyclesPerSec, indent,
+                  t.threadInstsPerSec, indent);
+    return buf;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> items;
+    std::string item;
+    std::istringstream is(list);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            items.push_back(item);
+    return items;
+}
+
+} // namespace
+
+int
+main()
+{
+    setInformEnabled(false);
+
+    SweepSpec spec = makeFigure("5a").sweep;
+    const char *apps = std::getenv("MMT_SIMSPEED_APPS");
+    if (apps && *apps) {
+        spec.filterWorkloads(splitCommas(apps));
+        if (spec.jobs.empty())
+            fatal("MMT_SIMSPEED_APPS matches no fig5a job");
+    }
+
+    int reps = std::atoi(envOr("MMT_SIMSPEED_REPS", "3"));
+    if (reps < 1)
+        reps = 1;
+
+    Throughput best;
+    for (int rep = 0; rep < reps; ++rep) {
+        double host = 0.0, cycles = 0.0, insts = 0.0;
+        for (const JobSpec &job : spec.jobs) {
+            RunResult r =
+                runWorkload(resolveWorkload(job.workload), job.kind,
+                            job.numThreads, job.overrides,
+                            /*check_golden=*/false);
+            host += r.simSpeed.hostSeconds;
+            cycles += static_cast<double>(r.cycles);
+            insts += static_cast<double>(r.committedThreadInsts);
+        }
+        if (host <= 0.0)
+            fatal("no host time measured");
+        Throughput t;
+        t.hostSeconds = host;
+        t.simCyclesPerSec = cycles / host;
+        t.threadInstsPerSec = insts / host;
+        std::fprintf(stderr,
+                     "rep %d/%d: %zu jobs in %.2fs host "
+                     "(%.2f Mcycles/s, %.2f Minsts/s)\n",
+                     rep + 1, reps, spec.jobs.size(), t.hostSeconds,
+                     t.simCyclesPerSec / 1e6, t.threadInstsPerSec / 1e6);
+        if (t.simCyclesPerSec > best.simCyclesPerSec)
+            best = t;
+    }
+
+    std::string baseline_path =
+        envOr("MMT_SIMSPEED_BASELINE", defaultBaselinePath().c_str());
+
+    if (std::strcmp(envOr("MMT_SIMSPEED_WRITE_BASELINE", "0"), "1") == 0) {
+        std::ofstream out(baseline_path, std::ios::trunc);
+        out << "{\n  \"baseline\": " << throughputJson(best, "  ")
+            << "\n}\n";
+        if (!out)
+            fatal("cannot write baseline '%s'", baseline_path.c_str());
+        std::printf("baseline recorded: %s (%.2f Mcycles/s)\n",
+                    baseline_path.c_str(), best.simCyclesPerSec / 1e6);
+        return 0;
+    }
+
+    Throughput base;
+    bool have_baseline = false;
+    {
+        std::ifstream in(baseline_path);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            std::string text = ss.str();
+            have_baseline =
+                extractNumber(text, "simCyclesPerSec",
+                              base.simCyclesPerSec) &&
+                extractNumber(text, "threadInstsPerSec",
+                              base.threadInstsPerSec);
+            extractNumber(text, "hostSeconds", base.hostSeconds);
+        }
+    }
+
+    double ratio = have_baseline && base.simCyclesPerSec > 0.0
+                       ? best.simCyclesPerSec / base.simCyclesPerSec
+                       : 0.0;
+
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"simspeed\",\n";
+    js << "  \"jobs\": " << spec.jobs.size() << ",\n";
+    js << "  \"reps\": " << reps << ",\n";
+    js << "  \"current\": " << throughputJson(best, "  ") << ",\n";
+    if (have_baseline) {
+        js << "  \"baseline\": " << throughputJson(base, "  ") << ",\n";
+        char rb[32];
+        std::snprintf(rb, sizeof(rb), "%.3f", ratio);
+        js << "  \"ratio\": " << rb << "\n";
+    } else {
+        js << "  \"baseline\": null,\n  \"ratio\": null\n";
+    }
+    js << "}\n";
+
+    std::string out_path = envOr("MMT_SIMSPEED_OUT", "BENCH_simspeed.json");
+    std::ofstream out(out_path, std::ios::trunc);
+    out << js.str();
+    if (!out)
+        fatal("cannot write '%s'", out_path.c_str());
+
+    std::printf("%s", js.str().c_str());
+    if (have_baseline) {
+        std::printf("sim speed: %.2f Mcycles/s (baseline %.2f, "
+                    "ratio %.3f)\n",
+                    best.simCyclesPerSec / 1e6,
+                    base.simCyclesPerSec / 1e6, ratio);
+    } else {
+        std::printf("sim speed: %.2f Mcycles/s (no baseline at %s)\n",
+                    best.simCyclesPerSec / 1e6, baseline_path.c_str());
+    }
+
+    const char *min_ratio = std::getenv("MMT_SIMSPEED_MIN_RATIO");
+    if (min_ratio && *min_ratio && have_baseline) {
+        double need = std::strtod(min_ratio, nullptr);
+        if (ratio < need) {
+            std::fprintf(stderr,
+                         "FAIL: throughput ratio %.3f below required "
+                         "%.3f\n",
+                         ratio, need);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Slab/free-list object pool for hot-path simulator objects, plus the
+ * companion sequence-ordered ring used to keep handles in FIFO order.
+ *
+ * The pipeline creates and retires one DynInst per fetched instance —
+ * millions per simulated second. Heap-allocating each one (the seed's
+ * `std::deque<std::unique_ptr<DynInst>>`) costs an allocator round trip
+ * and scatters instances across the heap. The Arena hands out objects
+ * from large contiguous slabs and recycles them through a free list, so
+ * steady-state simulation performs no heap allocation per instruction
+ * and recycled objects stay cache-warm (esesc's pooled DInst is the
+ * model for this shape).
+ *
+ * Ownership rules (see docs/INTERNALS.md "Instruction lifecycle"):
+ * objects are created with create() and returned with recycle();
+ * destroying the Arena releases the slabs regardless of outstanding
+ * handles, so all raw pointers into an arena are invalidated at once.
+ * Arenas are instance-scoped (one per core) and not thread-safe; the
+ * sweep runner's one-core-per-job isolation makes that sufficient.
+ */
+
+#ifndef MMT_COMMON_ARENA_HH
+#define MMT_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+/**
+ * Pool allocator for objects of type @p T backed by fixed-size slabs.
+ *
+ * create() placement-constructs on a recycled cell when one is
+ * available, otherwise carves a fresh cell from the newest slab
+ * (allocating a new slab when full). recycle() destroys the object and
+ * pushes its cell onto the free list. No memory is returned to the host
+ * heap before the arena dies.
+ */
+template <typename T, std::size_t SlabObjects = 256>
+class Arena
+{
+    static_assert(SlabObjects > 0);
+
+  public:
+    Arena() = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    ~Arena()
+    {
+        mmt_assert(live_ == 0,
+                   "arena destroyed with %zu live objects (leak)", live_);
+    }
+
+    /** Construct a pooled object; O(1), allocation-free when recycling. */
+    template <typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        T *cell;
+        if (!freeList_.empty()) {
+            cell = freeList_.back();
+            freeList_.pop_back();
+            ++recycled_;
+        } else {
+            if (slabUsed_ == SlabObjects || slabs_.empty()) {
+                slabs_.push_back(std::make_unique<Slab>());
+                slabUsed_ = 0;
+            }
+            cell = slabs_.back()->cell(slabUsed_++);
+        }
+        ++created_;
+        ++live_;
+        return ::new (static_cast<void *>(cell))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy @p obj and make its cell reusable by the next create(). */
+    void
+    recycle(T *obj)
+    {
+        obj->~T();
+        freeList_.push_back(obj);
+        mmt_assert(live_ > 0, "arena recycle underflow");
+        --live_;
+    }
+
+    /** Objects currently created and not yet recycled. */
+    std::size_t live() const { return live_; }
+    /** Total create() calls over the arena's lifetime. */
+    std::size_t created() const { return created_; }
+    /** create() calls served from the free list (no new cell). */
+    std::size_t recycledHits() const { return recycled_; }
+    /** Slabs allocated from the host heap. */
+    std::size_t slabCount() const { return slabs_.size(); }
+    /** Cells the current slabs can hold in total. */
+    std::size_t capacity() const { return slabs_.size() * SlabObjects; }
+
+  private:
+    struct Slab
+    {
+        alignas(T) std::byte storage[sizeof(T) * SlabObjects];
+
+        T *
+        cell(std::size_t i)
+        {
+            return std::launder(
+                reinterpret_cast<T *>(storage + i * sizeof(T)));
+        }
+    };
+
+    std::vector<std::unique_ptr<Slab>> slabs_;
+    std::size_t slabUsed_ = 0; // cells carved from the newest slab
+    std::vector<T *> freeList_;
+    std::size_t live_ = 0;
+    std::size_t created_ = 0;
+    std::size_t recycled_ = 0;
+};
+
+/**
+ * FIFO ring buffer of small handles (pointers/ints) with amortized-O(1)
+ * growth. Replaces std::deque in pipeline queues whose size is bounded
+ * by structure capacities: a power-of-two array with head/size indices
+ * keeps push/pop at a couple of instructions with no per-node
+ * allocation and no iterator bookkeeping.
+ */
+template <typename T>
+class BoundedRing
+{
+  public:
+    /** @param capacity_hint expected peak size (rounded up to 2^k). */
+    explicit BoundedRing(std::size_t capacity_hint = 16)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity_hint)
+            cap <<= 1;
+        buf_.resize(cap);
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    void
+    push_back(T v)
+    {
+        if (size_ == buf_.size())
+            grow();
+        buf_[(head_ + size_) & (buf_.size() - 1)] = v;
+        ++size_;
+    }
+
+    T &
+    front()
+    {
+        mmt_assert(size_ > 0, "front() on empty ring");
+        return buf_[head_];
+    }
+
+    void
+    pop_front()
+    {
+        mmt_assert(size_ > 0, "pop_front() on empty ring");
+        head_ = (head_ + 1) & (buf_.size() - 1);
+        --size_;
+    }
+
+    /** i-th element from the front (0 = front()). */
+    T &
+    at(std::size_t i)
+    {
+        mmt_assert(i < size_, "ring index %zu out of range", i);
+        return buf_[(head_ + i) & (buf_.size() - 1)];
+    }
+
+    void
+    clear()
+    {
+        head_ = 0;
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        std::vector<T> bigger(buf_.size() * 2);
+        for (std::size_t i = 0; i < size_; ++i)
+            bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+        buf_ = std::move(bigger);
+        head_ = 0;
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_COMMON_ARENA_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Calendar-queue event wheel keyed by simulated cycle.
+ *
+ * The seed's completion stage linearly scanned every in-flight
+ * instruction each cycle looking for `completeAt <= now`. The wheel
+ * turns that into O(events due this cycle): schedule(when, item) files
+ * the item into slot `when mod 2^k`, and popDue(now) visits exactly the
+ * items due at `now`, in the order they were scheduled (FIFO per cycle,
+ * which the core relies on for reproducible stat attribution).
+ *
+ * Events farther in the future than the wheel's horizon (cache-miss
+ * chains can exceed any fixed slot count) wait in an overflow list and
+ * are refiled into their slot each time the wheel wraps — O(1)
+ * amortized per event. An item may be scheduled for any cycle strictly
+ * greater than the last popDue() cycle.
+ */
+
+#ifndef MMT_COMMON_EVENT_WHEEL_HH
+#define MMT_COMMON_EVENT_WHEEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** Cycle-keyed calendar queue of @p T payloads. */
+template <typename T>
+class EventWheel
+{
+  public:
+    /** @param horizon_hint max expected (when - now); rounded to 2^k. */
+    explicit EventWheel(std::size_t horizon_hint = 1024)
+    {
+        std::size_t slots = 1;
+        while (slots < horizon_hint)
+            slots <<= 1;
+        slots_.resize(slots);
+    }
+
+    /** File @p item to fire at cycle @p when (must be > last popDue). */
+    void
+    schedule(Cycles when, T item)
+    {
+        mmt_assert(when > lastPopped_ || (when == 0 && lastPopped_ == 0),
+                   "event scheduled for cycle %llu, already at %llu",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(lastPopped_));
+        ++pending_;
+        if (when - lastPopped_ >= slots_.size()) {
+            far_.push_back({when, nextSeq_++, std::move(item)});
+            return;
+        }
+        slots_[slotOf(when)].push_back({when, nextSeq_++, std::move(item)});
+    }
+
+    /**
+     * Fire every item due at cycle @p now, in scheduling order, by
+     * calling @p fn(item). popDue must be called for consecutive cycles
+     * (the core ticks one cycle at a time).
+     */
+    template <typename Fn>
+    void
+    popDue(Cycles now, Fn &&fn)
+    {
+        lastPopped_ = now;
+        // Refile overflow events once per wheel revolution, just after
+        // the slot index wraps: everything now within the horizon moves
+        // into its slot before its due cycle can be reached.
+        if (slotOf(now) == 0 && !far_.empty())
+            refile(now);
+        auto &slot = slots_[slotOf(now)];
+        if (slot.empty())
+            return;
+        // Entries for future laps of the wheel stay. Due entries fire in
+        // scheduling order: a slot holds sorted runs (direct appends and
+        // refiled overflow batches) that can interleave, so the due set
+        // — typically a handful of completions — is sorted by the
+        // schedule sequence number before firing.
+        due_.clear();
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < slot.size(); ++i) {
+            if (slot[i].when == now)
+                due_.push_back(std::move(slot[i]));
+            else
+                slot[keep++] = std::move(slot[i]);
+        }
+        slot.resize(keep);
+        if (due_.size() > 1) {
+            std::sort(due_.begin(), due_.end(),
+                      [](const Entry &a, const Entry &b) {
+                          return a.seq < b.seq;
+                      });
+        }
+        for (Entry &e : due_) {
+            --pending_;
+            fn(e.item);
+        }
+        due_.clear();
+    }
+
+    /** Events scheduled and not yet fired. */
+    std::size_t pending() const { return pending_; }
+
+    bool empty() const { return pending_ == 0; }
+
+  private:
+    struct Entry
+    {
+        Cycles when;
+        std::uint64_t seq; // global scheduling order
+        T item;
+    };
+
+    std::size_t slotOf(Cycles when) const
+    {
+        return static_cast<std::size_t>(when) & (slots_.size() - 1);
+    }
+
+    void
+    refile(Cycles now)
+    {
+        std::size_t keep = 0;
+        for (std::size_t i = 0; i < far_.size(); ++i) {
+            if (far_[i].when - now < slots_.size())
+                slots_[slotOf(far_[i].when)].push_back(std::move(far_[i]));
+            else
+                far_[keep++] = std::move(far_[i]);
+        }
+        far_.resize(keep);
+    }
+
+    std::vector<std::vector<Entry>> slots_;
+    std::vector<Entry> far_; // beyond-horizon overflow, refiled on wrap
+    std::vector<Entry> due_; // scratch for popDue (kept to avoid allocs)
+    std::size_t pending_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    Cycles lastPopped_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_COMMON_EVENT_WHEEL_HH

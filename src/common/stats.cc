@@ -79,4 +79,20 @@ StatGroup::dump() const
     return os.str();
 }
 
+std::string
+StatGroup::dumpJson() const
+{
+    // Stat names are dotted identifiers (no quotes/backslashes), so they
+    // can be emitted without escaping.
+    std::ostringstream os;
+    os << "{\n";
+    const char *sep = "";
+    for (const auto &[name, counter] : counters_) {
+        os << sep << "  \"" << name << "\": " << counter->value();
+        sep = ",\n";
+    }
+    os << "\n}\n";
+    return os.str();
+}
+
 } // namespace mmt

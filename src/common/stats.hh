@@ -90,6 +90,9 @@ class StatGroup
     /** Render "name value" lines, sorted by name. */
     std::string dump() const;
 
+    /** Render a JSON object {"name": value, ...}, sorted by name. */
+    std::string dumpJson() const;
+
   private:
     std::map<std::string, const Counter *> counters_;
 };

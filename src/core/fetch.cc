@@ -7,7 +7,6 @@
  */
 
 #include <algorithm>
-#include <map>
 
 #include "common/logging.hh"
 #include "core/smt_core.hh"
@@ -52,17 +51,19 @@ SmtCore::fetchStage()
         }
     }
 
-    std::vector<int> icount(static_cast<std::size_t>(sync_.numGroups()), 0);
+    icountScratch_.assign(static_cast<std::size_t>(sync_.numGroups()), 0);
     for (int gid = 0; gid < sync_.numGroups(); ++gid) {
         if (!sync_.group(gid).alive)
             continue;
-        sync_.group(gid).members.forEach(
-            [&](ThreadId t) { icount[gid] += rob_.threadCount(t); });
+        sync_.group(gid).members.forEach([&](ThreadId t) {
+            icountScratch_[gid] += rob_.threadCount(t);
+        });
     }
+    sync_.fetchOrder(icountScratch_, fetchOrderScratch_);
 
     int budget = params_.fetchWidth;
     int streams = 0;
-    for (int gid : sync_.fetchOrder(icount)) {
+    for (int gid : fetchOrderScratch_) {
         if (budget <= 0 || streams >= params_.maxFetchStreams)
             break;
         if (!groupCanFetch(gid))
@@ -206,8 +207,16 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
     int resolve_token = -1;
 
     auto alloc_token = [&](ThreadMask stalled) {
-        resolve_token = static_cast<int>(resolveRemaining_.size());
-        resolveRemaining_.push_back(0); // set after instances are made
+        // Counts are set after instances are made; fully-resolved ids
+        // are recycled so the table stops growing with the run length.
+        if (!freeTokens_.empty()) {
+            resolve_token = freeTokens_.back();
+            freeTokens_.pop_back();
+            resolveRemaining_[resolve_token] = 0;
+        } else {
+            resolve_token = static_cast<int>(resolveRemaining_.size());
+            resolveRemaining_.push_back(0);
+        }
         stalled.forEach([&](ThreadId t) {
             threads_[t].resolveToken = resolve_token;
         });
@@ -227,11 +236,25 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
                     bpred_.popReturn(t);
             });
         }
-        // Partition members by actual (taken, target) outcome.
-        std::map<Addr, ThreadMask> outcomes; // next-pc -> members
+        // Partition members by actual (taken, target) outcome, kept in
+        // ascending next-pc order — the iteration order the divergence
+        // split logic saw from the std::map this insertion-sorted array
+        // replaces (at most one outcome per member thread).
+        std::array<std::pair<Addr, ThreadMask>, maxThreads> outcomes;
+        std::size_t n_outcomes = 0;
         itid.forEach([&](ThreadId t) {
             Addr next = bouts[t].taken ? bouts[t].target : pc + instBytes;
-            outcomes[next].set(t);
+            std::size_t i = 0;
+            while (i < n_outcomes && outcomes[i].first < next)
+                ++i;
+            if (i < n_outcomes && outcomes[i].first == next) {
+                outcomes[i].second.set(t);
+                return;
+            }
+            for (std::size_t j = n_outcomes; j > i; --j)
+                outcomes[j] = outcomes[j - 1];
+            outcomes[i] = {next, ThreadMask::single(t)};
+            ++n_outcomes;
         });
 
         bpred_.update(leader, pc, inst, bouts[leader].taken,
@@ -242,7 +265,7 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
             });
         }
 
-        if (outcomes.size() == 1) {
+        if (n_outcomes == 1) {
             bool taken = bouts[leader].taken;
             Addr target = bouts[leader].target;
             if (taken) {
@@ -271,8 +294,8 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
             // the prediction keeps fetching; the other subgroups have
             // mispredicted and wait for the branch to resolve.
             std::vector<std::pair<ThreadMask, Addr>> splits;
-            for (const auto &[next, mask] : outcomes)
-                splits.emplace_back(mask, next);
+            for (std::size_t i = 0; i < n_outcomes; ++i)
+                splits.emplace_back(outcomes[i].second, outcomes[i].first);
             Addr predicted_next =
                 pred.taken && pred.targetValid ? pred.target
                                                : pc + instBytes;
@@ -342,34 +365,32 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
 
     // Split stage (paper Table 2): MMT-FX+ uses the RST-driven splitter;
     // MMT-F "always splits into different instructions in the decode
-    // stage"; singleton fetches pass through.
-    std::vector<SplitInstance> parts;
+    // stage"; singleton fetches pass through. RECV values come from
+    // independent channels and may differ even with identical inputs, so
+    // they always split (cf. Table 2's ME loads, without a predictor).
+    // At most one instance per member thread, so fixed arrays suffice.
+    std::array<SplitInstance, maxThreads> parts;
+    int n_parts = 0;
     if (params_.sharedExec && inst.op != Opcode::RECV) {
-        parts = splitter_.split(inst, itid);
-    } else if (params_.sharedExec) {
-        // RECV values come from independent channels and may differ even
-        // with identical inputs: always split (cf. Table 2's ME loads,
-        // without a predictor).
-        itid.forEach([&](ThreadId t) {
-            parts.push_back({ThreadMask::single(t), false});
-        });
+        n_parts = splitter_.split(inst, itid, parts);
     } else {
         itid.forEach([&](ThreadId t) {
-            parts.push_back({ThreadMask::single(t), false});
+            parts[n_parts++] = {ThreadMask::single(t), false};
         });
     }
 
     // LVIP (paper §4.2.5): merged ME loads with identical addresses may
     // still load different values — predict, verify, roll back. The
     // lvip_penalty flags mark instances that carry a rollback penalty.
-    std::vector<bool> lvip_penalty(parts.size(), false);
+    std::array<bool, maxThreads> lvip_penalty{};
     if (params_.multiExecution && inst.isLoad()) {
-        std::vector<SplitInstance> adjusted;
-        std::vector<bool> flags;
-        for (const SplitInstance &part : parts) {
+        std::array<SplitInstance, maxThreads> adjusted;
+        std::array<bool, maxThreads> flags{};
+        int n_adj = 0;
+        for (int pi = 0; pi < n_parts; ++pi) {
+            const SplitInstance &part = parts[pi];
             if (part.itid.count() <= 1) {
-                adjusted.push_back(part);
-                flags.push_back(false);
+                adjusted[n_adj++] = part;
                 continue;
             }
             bool predicted_identical = lvip_.predictIdentical(pc);
@@ -380,8 +401,7 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
                     actually_identical = false;
             });
             if (predicted_identical && actually_identical) {
-                adjusted.push_back(part);
-                flags.push_back(false);
+                adjusted[n_adj++] = part;
                 continue;
             }
             // Split the load per instance. A wrong "identical" prediction
@@ -391,13 +411,14 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
                 lvip_.recordMispredict(pc);
             bool first_inst = true;
             part.itid.forEach([&](ThreadId t) {
-                adjusted.push_back({ThreadMask::single(t), false});
-                flags.push_back(first_inst && predicted_identical);
+                flags[n_adj] = first_inst && predicted_identical;
+                adjusted[n_adj++] = {ThreadMask::single(t), false};
                 first_inst = false;
             });
         }
-        parts = std::move(adjusted);
-        lvip_penalty = std::move(flags);
+        parts = adjusted;
+        n_parts = n_adj;
+        lvip_penalty = flags;
     }
 
     // RST destination update (paper §4.2.3) — the RST only exists with
@@ -405,9 +426,9 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
     bool writes = info.writesDest && inst.rd != regZero;
     if (params_.sharedExec && writes) {
         auto same_part = [&](ThreadId a, ThreadId b) {
-            for (const SplitInstance &p : parts) {
-                if (p.itid.contains(a))
-                    return p.itid.contains(b);
+            for (int i = 0; i < n_parts; ++i) {
+                if (parts[i].itid.contains(a))
+                    return parts[i].itid.contains(b);
             }
             return false;
         };
@@ -415,11 +436,10 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
     }
 
     int made = 0;
-    for (std::size_t part_idx = 0; part_idx < parts.size(); ++part_idx) {
+    for (int part_idx = 0; part_idx < n_parts; ++part_idx) {
         const SplitInstance &part = parts[part_idx];
-        auto owned = std::make_unique<DynInst>();
-        DynInst *di = owned.get();
-        window_.push_back(std::move(owned));
+        DynInst *di = instArena_.create();
+        window_.push_back(di);
 
         di->seq = nextSeq_++;
         di->pc = pc;

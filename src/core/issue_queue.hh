@@ -41,6 +41,16 @@ class IssueQueue
     std::vector<DynInst *> selectReady(int max, auto &&can_start)
     {
         std::vector<DynInst *> picked;
+        selectReady(max, can_start, picked);
+        return picked;
+    }
+
+    /** As above, filling @p picked (cleared first) — lets the caller
+     *  reuse one buffer every cycle instead of allocating. */
+    void selectReady(int max, auto &&can_start,
+                     std::vector<DynInst *> &picked)
+    {
+        picked.clear();
         for (std::size_t i = 0;
              i < entries_.size() && static_cast<int>(picked.size()) < max;
              ++i) {
@@ -56,7 +66,6 @@ class IssueQueue
         if (!picked.empty()) {
             std::erase(entries_, nullptr);
         }
-        return picked;
     }
 
     Counter wakeups; // ready checks that fired (energy)

@@ -41,6 +41,9 @@ class LoadStoreQueue
     /** True if @p n cache-access ports remain this cycle. */
     bool portsAvailable(int n) const { return portsLeft_ >= n; }
 
+    /** Cache-access ports remaining this cycle. */
+    int portsLeft() const { return portsLeft_; }
+
     /** Consume @p n ports. */
     void claimPorts(int n);
 

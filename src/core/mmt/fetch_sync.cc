@@ -66,6 +66,15 @@ std::vector<int>
 FetchSync::fetchOrder(const std::vector<int> &icount) const
 {
     std::vector<int> ids;
+    fetchOrder(icount, ids);
+    return ids;
+}
+
+void
+FetchSync::fetchOrder(const std::vector<int> &icount,
+                      std::vector<int> &ids) const
+{
+    ids.clear();
     for (int id = 0; id < numGroups(); ++id) {
         if (groups_[id].alive)
             ids.push_back(id);
@@ -80,14 +89,24 @@ FetchSync::fetchOrder(const std::vector<int> &icount) const
             return 2; // ahead thread: lowest priority
         return 1;
     };
-    std::stable_sort(ids.begin(), ids.end(), [&](int a, int b) {
+    auto before = [&](int a, int b) {
         int ra = rank(a), rb = rank(b);
         if (ra != rb)
             return ra < rb;
         // ICOUNT within a rank: fewest in-flight instructions first.
         return icount[a] < icount[b];
-    });
-    return ids;
+    };
+    // Stable insertion sort: at most maxThreads groups, and this runs
+    // every cycle — std::stable_sort's temp buffer would allocate.
+    for (std::size_t i = 1; i < ids.size(); ++i) {
+        int v = ids[i];
+        std::size_t j = i;
+        while (j > 0 && before(v, ids[j - 1])) {
+            ids[j] = ids[j - 1];
+            --j;
+        }
+        ids[j] = v;
+    }
 }
 
 int

@@ -85,6 +85,11 @@ class FetchSync
      *  @param icount per-group in-flight counts for the ICOUNT policy */
     std::vector<int> fetchOrder(const std::vector<int> &icount) const;
 
+    /** As above, filling @p ids (cleared first) so the fetch stage can
+     *  reuse one buffer per cycle. */
+    void fetchOrder(const std::vector<int> &icount,
+                    std::vector<int> &ids) const;
+
     /** Group currently containing @p tid (-1 if halted). */
     int threadGroup(ThreadId tid) const;
 

@@ -6,12 +6,21 @@ namespace mmt
 std::vector<SplitInstance>
 InstructionSplitter::split(const Instruction &inst, ThreadMask fetch_itid)
 {
+    std::array<SplitInstance, maxThreads> parts;
+    int n = split(inst, fetch_itid, parts);
+    return std::vector<SplitInstance>(parts.begin(), parts.begin() + n);
+}
+
+int
+InstructionSplitter::split(const Instruction &inst, ThreadMask fetch_itid,
+                           std::array<SplitInstance, maxThreads> &out)
+{
     ++invocations;
     ++rst_->lookups;
-    std::vector<SplitInstance> out;
+    int n = 0;
     if (fetch_itid.count() <= 1) {
-        out.push_back({fetch_itid, false});
-        return out;
+        out[n++] = {fetch_itid, false};
+        return n;
     }
 
     const InstInfo &info = inst.info();
@@ -48,12 +57,12 @@ InstructionSplitter::split(const Instruction &inst, ThreadMask fetch_itid)
             }
         }
 
-        out.push_back({group, via_merge});
+        out[n++] = {group, via_merge};
         remaining = remaining.minus(group);
     }
 
-    splitsProduced += out.size() - 1;
-    return out;
+    splitsProduced += static_cast<std::uint64_t>(n - 1);
+    return n;
 }
 
 } // namespace mmt

@@ -18,10 +18,12 @@
 #ifndef MMT_CORE_MMT_SPLITTER_HH
 #define MMT_CORE_MMT_SPLITTER_HH
 
+#include <array>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/thread_mask.hh"
+#include "common/types.hh"
 #include "core/mmt/rst.hh"
 #include "isa/isa.hh"
 
@@ -52,6 +54,14 @@ class InstructionSplitter
      */
     std::vector<SplitInstance> split(const Instruction &inst,
                                      ThreadMask fetch_itid);
+
+    /**
+     * As above, writing the instances into @p out and returning the
+     * count (at most one per member thread) — the pipeline's
+     * allocation-free path.
+     */
+    int split(const Instruction &inst, ThreadMask fetch_itid,
+              std::array<SplitInstance, maxThreads> &out);
 
     Counter invocations;
     Counter splitsProduced; // instances beyond the first

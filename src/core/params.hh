@@ -59,6 +59,9 @@ struct CoreParams
     // Penalties.
     Cycles mispredictRedirect = 2;  // cycles after branch resolution
     Cycles lvipRollbackPenalty = 8; // flush + refill after LVIP mispredict
+    /** Front-end depth: decode + split stages between fetch and
+     *  dispatch. */
+    Cycles frontendDelay = 2;
 
     // MMT feature switches (Table 5 configurations).
     bool sharedFetch = false; // MMT-F
@@ -79,6 +82,9 @@ struct CoreParams
 
     /** Simulation safety net. */
     Cycles maxCycles = 200'000'000;
+    /** Commit-starvation watchdog: panic after this many cycles without
+     *  a commit (0 disables the watchdog). */
+    Cycles deadlockCycles = 500'000;
     /** Enable expensive soundness assertions (merged values identical). */
     bool checkInvariants = true;
 };

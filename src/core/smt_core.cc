@@ -20,7 +20,11 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
       rob_(params.robSize, params.numThreads),
       iq_(params.iqSize, &rename_.prf()),
       lsqUnit_(params.lsqSize, params.lsPorts),
-      fus_(params.numAlu, params.numFpu)
+      fus_(params.numAlu, params.numFpu),
+      fetchQueue_(static_cast<std::size_t>(params.fetchQueueSize) + 8),
+      completion_(1024),
+      window_(static_cast<std::size_t>(params.fetchQueueSize +
+                                       params.robSize) + 64)
 {
     mmt_assert(params.numThreads >= 1 && params.numThreads <= maxThreads,
                "bad thread count");
@@ -63,6 +67,16 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
     lastCommitCycle_ = 0;
 }
 
+SmtCore::~SmtCore()
+{
+    // Tests may tear a core down mid-flight; return everything to the
+    // arena so its leak accounting stays exact.
+    while (!window_.empty()) {
+        instArena_.recycle(window_.front());
+        window_.pop_front();
+    }
+}
+
 bool
 SmtCore::done() const
 {
@@ -92,11 +106,32 @@ SmtCore::run()
         if (now_ > params_.maxCycles)
             fatal("simulation exceeded %llu cycles",
                   static_cast<unsigned long long>(params_.maxCycles));
-        if (now_ - lastCommitCycle_ > 500000) {
+        if (params_.deadlockCycles != 0 &&
+            now_ - lastCommitCycle_ > params_.deadlockCycles) {
+            // Per-thread fetch-stall state is the usual culprit in a
+            // commit-starvation hang; include it in the panic.
+            std::string tstate;
+            for (ThreadId t = 0; t < params_.numThreads; ++t) {
+                const ThreadState &ts = threads_[t];
+                tstate += " t" + std::to_string(t) + ":";
+                if (ts.halted) {
+                    tstate += "halted";
+                    continue;
+                }
+                tstate += "stallUntil=" +
+                          std::to_string(ts.fetchStallUntil) +
+                          ",token=" + std::to_string(ts.resolveToken);
+                if (ts.atBarrier)
+                    tstate += ",barrier";
+                if (ts.hintWaitUntil)
+                    tstate += ",hintUntil=" +
+                              std::to_string(ts.hintWaitUntil);
+            }
             panic("pipeline deadlock at cycle %llu (rob=%d iq=%d lsq=%d "
-                  "fq=%zu)",
+                  "fq=%zu)%s",
                   static_cast<unsigned long long>(now_), rob_.occupancy(),
-                  iq_.size(), lsqUnit_.occupancy(), fetchQueue_.size());
+                  iq_.size(), lsqUnit_.occupancy(), fetchQueue_.size(),
+                  tstate.c_str());
         }
     }
 }
@@ -116,9 +151,11 @@ SmtCore::tick()
     fetchStage();
     releaseBarrierIfReady();
 
-    // Reclaim committed instances from the front of the window.
+    // Reclaim committed instances from the front of the window, back
+    // into the arena for the next fetch to reuse.
     while (!window_.empty() &&
            window_.front()->state == InstState::Committed) {
+        instArena_.recycle(window_.front());
         window_.pop_front();
     }
 }
@@ -188,15 +225,11 @@ SmtCore::commitOne(DynInst *inst)
 void
 SmtCore::completeStage()
 {
-    for (auto it = inExec_.begin(); it != inExec_.end();) {
-        DynInst *di = *it;
-        if (di->completeAt <= now_) {
-            onInstanceComplete(di);
-            it = inExec_.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    // Instances issued in the same cycle complete in issue order (they
+    // were scheduled in that order), which the seed's linear scan also
+    // guaranteed — stat attribution stays reproducible.
+    completion_.popDue(now_,
+                       [this](DynInst *di) { onInstanceComplete(di); });
 }
 
 void
@@ -221,6 +254,9 @@ SmtCore::onInstanceComplete(DynInst *inst)
                                  now_ + params_.mispredictRedirect);
                 }
             }
+            // Fully resolved: the id can be reused by a later branch
+            // (no instance or thread references it anymore).
+            freeTokens_.push_back(token);
         }
     }
 
@@ -239,38 +275,47 @@ SmtCore::issueStage()
 {
     // The predicate claims the resource so later candidates see the
     // updated availability within this cycle.
-    auto picked = iq_.selectReady(params_.issueWidth, [&](DynInst *di) {
-        if (di->inst.isMem()) {
-            if (!lsqUnit_.portsAvailable(1))
+    iq_.selectReady(
+        params_.issueWidth,
+        [&](DynInst *di) {
+            if (di->inst.isMem()) {
+                if (!lsqUnit_.portsAvailable(1))
+                    return false;
+                lsqUnit_.claimPorts(1);
+                return true;
+            }
+            OpClass cls = di->inst.info().opClass;
+            if (!fus_.available(cls))
                 return false;
-            lsqUnit_.claimPorts(1);
+            fus_.claim(cls);
             return true;
-        }
-        OpClass cls = di->inst.info().opClass;
-        if (!fus_.available(cls))
-            return false;
-        fus_.claim(cls);
-        return true;
-    });
+        },
+        issueScratch_);
 
-    for (DynInst *di : picked) {
+    for (DynInst *di : issueScratch_) {
         di->state = InstState::Issued;
         di->issuedAt = now_;
         if (di->inst.isMem()) {
             // Perform the (possibly multiple, serialized) cache accesses;
             // one port was claimed at select, the rest (ME split
-            // accesses) claim what remains.
+            // accesses) claim whatever remains this cycle. Accesses that
+            // could not get a port are not dropped: each one slips an
+            // extra cycle behind the serial schedule, modelling the port
+            // conflict it would hit.
             int accesses = di->memAccesses;
-            int extra = std::min(accesses - 1, params_.lsPorts);
-            if (extra > 0 && lsqUnit_.portsAvailable(extra))
-                lsqUnit_.claimPorts(extra);
+            int granted = std::min(accesses - 1, lsqUnit_.portsLeft());
+            if (granted > 0)
+                lsqUnit_.claimPorts(granted);
             bool is_store = di->inst.isStore();
             Cycles worst = now_ + 1;
             int i = 0;
+            Cycles slip = 0;
             auto do_access = [&](ThreadId t) {
+                if (i > granted)
+                    ++slip;
                 Cycles avail = memSys_.dataAccess(
                     threads_[t].asid, di->effAddr[t], is_store,
-                    now_ + static_cast<Cycles>(i));
+                    now_ + static_cast<Cycles>(i) + slip);
                 worst = std::max(worst, avail);
                 ++i;
             };
@@ -292,19 +337,17 @@ SmtCore::issueStage()
             OpClass cls = di->inst.info().opClass;
             di->completeAt = now_ + FuncUnitPool::latency(cls);
         }
-        inExec_.push_back(di);
+        completion_.schedule(di->completeAt, di);
     }
 }
 
 void
 SmtCore::dispatchStage()
 {
-    // Front-end depth: decode + split stages between fetch and dispatch.
-    constexpr Cycles frontendDelay = 2;
     int slots = params_.dispatchWidth;
     while (slots > 0 && !fetchQueue_.empty()) {
         DynInst *di = fetchQueue_.front();
-        if (di->fetchedAt + frontendDelay > now_)
+        if (di->fetchedAt + params_.frontendDelay > now_)
             break;
         if (rob_.full() || iq_.full())
             break;
@@ -391,6 +434,18 @@ SmtCore::dumpStats()
     registerStats(group);
     std::string out = "cycles " + std::to_string(now_) + "\n";
     return out + group.dump();
+}
+
+std::string
+SmtCore::dumpStatsJson()
+{
+    StatGroup group;
+    registerStats(group);
+    std::string body = group.dumpJson();
+    // Splice the cycle count in as the first member, mirroring the text
+    // dump's leading "cycles" line.
+    return "{\n  \"cycles\": " + std::to_string(now_) + ",\n" +
+           body.substr(2);
 }
 
 void

@@ -21,12 +21,13 @@
 #define MMT_CORE_SMT_CORE_HH
 
 #include <array>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "branch/branch_predictor.hh"
+#include "common/arena.hh"
+#include "common/event_wheel.hh"
 #include "common/stats.hh"
 #include "core/dyn_inst.hh"
 #include "core/func_units.hh"
@@ -97,6 +98,7 @@ class SmtCore
      */
     SmtCore(const CoreParams &params, const Program *program,
             std::vector<MemoryImage *> images);
+    ~SmtCore();
 
     /** Run to completion (all threads halted, pipeline drained). */
     void run();
@@ -144,6 +146,9 @@ class SmtCore
 
     /** Render all registered statistics as text (gem5-style dump). */
     std::string dumpStats();
+
+    /** Render all registered statistics as a JSON object. */
+    std::string dumpStatsJson();
 
     /** Aggregate statistics. */
     struct Stats
@@ -239,15 +244,33 @@ class SmtCore
     LoadStoreQueue lsqUnit_;
     FuncUnitPool fus_;
 
+    /**
+     * Pool owning every in-flight DynInst. Instances are created at
+     * fetch, recycled when they leave the window after commit (or by the
+     * destructor mid-flight); steady-state simulation touches no heap.
+     */
+    Arena<DynInst> instArena_;
     /** Fetched-but-not-dispatched instances, in fetch order. */
-    std::deque<DynInst *> fetchQueue_;
-    /** Issued instances awaiting completion. */
-    std::vector<DynInst *> inExec_;
-    /** Ownership of all in-flight instances, in seq order. */
-    std::deque<std::unique_ptr<DynInst>> window_;
+    BoundedRing<DynInst *> fetchQueue_;
+    /**
+     * Issued instances keyed by completion cycle. The completion stage
+     * pops exactly the instances due at `now` (in issue order) instead
+     * of scanning everything in flight.
+     */
+    EventWheel<DynInst *> completion_;
+    /** All in-flight instances, in seq order (handles into the arena). */
+    BoundedRing<DynInst *> window_;
 
     /** Branch-resolution tokens: remaining instance count per token. */
     std::vector<int> resolveRemaining_;
+    /** Token ids whose count hit zero, ready for reuse. */
+    std::vector<int> freeTokens_;
+
+    // Per-cycle scratch buffers, members so their capacity persists
+    // across cycles (no steady-state allocation in the stages).
+    std::vector<DynInst *> issueScratch_;
+    std::vector<int> icountScratch_;
+    std::vector<int> fetchOrderScratch_;
 
     CommitHook commitHook_;
 

@@ -96,7 +96,12 @@ sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
            << ",\n     \"divergences\": " << r.divergences
            << ", \"remerges\": " << r.remerges
            << ", \"remergeWithin512\": " << jsonNum(r.remergeWithin512)
-           << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false") << "}"
+           << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false")
+           << ",\n     \"simSpeed\": {\"hostSeconds\": "
+           << jsonNum(r.simSpeed.hostSeconds) << ", \"simCyclesPerSec\": "
+           << jsonNum(r.simSpeed.simCyclesPerSec)
+           << ", \"threadInstsPerSec\": "
+           << jsonNum(r.simSpeed.threadInstsPerSec) << "}}"
            << (i + 1 < spec.jobs.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -112,7 +117,8 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
           "mergeFrac,detectFrac,catchupFrac,identNoneFrac,identFetchFrac,"
           "identExecFrac,identExecMergeFrac,energyCachePj,"
           "energyOverheadPj,energyOtherPj,lvipRollbacks,branchMispredicts,"
-          "divergences,remerges,remergeWithin512,goldenOk\n";
+          "divergences,remerges,remergeWithin512,goldenOk,hostSeconds,"
+          "simCyclesPerSec,threadInstsPerSec\n";
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const JobSpec &job = spec.jobs[i];
         const RunResult &r = outcome.results[i];
@@ -130,7 +136,9 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
            << "," << r.lvipRollbacks << "," << r.branchMispredicts << ","
            << r.divergences << "," << r.remerges << ","
            << jsonNum(r.remergeWithin512) << "," << (r.goldenOk ? 1 : 0)
-           << "\n";
+           << "," << jsonNum(r.simSpeed.hostSeconds) << ","
+           << jsonNum(r.simSpeed.simCyclesPerSec) << ","
+           << jsonNum(r.simSpeed.threadInstsPerSec) << "\n";
     }
     return os.str();
 }

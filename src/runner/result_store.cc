@@ -238,6 +238,25 @@ ResultStore::load(const JobSpec &job, RunResult &out) const
         return Status::Corrupt;
 
     std::string payload = body.substr(header.size());
+
+    // Auxiliary host-speed section: a trailing "simspeed" line after the
+    // canonical payload. Host timing is a measurement, not a simulation
+    // result, so it lives outside serializeResult() (whose byte-identity
+    // the determinism tests rely on) but still round-trips the cache.
+    out.simSpeed = SimSpeedStats{};
+    std::size_t aux = payload.rfind("simspeed ");
+    if (aux != std::string::npos &&
+        (aux == 0 || payload[aux - 1] == '\n')) {
+        std::istringstream ls(payload.substr(aux));
+        std::string tag, h, c, t;
+        ls >> tag >> h >> c >> t;
+        if (!parseDoubleBits(h, out.simSpeed.hostSeconds) ||
+            !parseDoubleBits(c, out.simSpeed.simCyclesPerSec) ||
+            !parseDoubleBits(t, out.simSpeed.threadInstsPerSec)) {
+            return Status::Corrupt;
+        }
+        payload = payload.substr(0, aux);
+    }
     if (!deserializeResult(payload, out))
         return Status::Corrupt;
     if (out.workload != resolveWorkload(job.workload).name ||
@@ -263,6 +282,9 @@ ResultStore::store(const JobSpec &job, const RunResult &result) const
     os << kFormatTag << "\n";
     os << "key " << cacheKeyString(job) << "\n";
     os << serializeResult(result);
+    os << "simspeed " << doubleBits(result.simSpeed.hostSeconds) << " "
+       << doubleBits(result.simSpeed.simCyclesPerSec) << " "
+       << doubleBits(result.simSpeed.threadInstsPerSec) << "\n";
     std::string body = os.str();
     body += "checksum " + hashHex(fnv1a64(body)) + "\n";
 

@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -71,7 +72,11 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
     SmtCore core(params, &prog, ptrs);
     if (workload.messagePassing)
         core.setMessageNetwork(&net);
+    auto wall_start = std::chrono::steady_clock::now();
     core.run();
+    double host_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
 
     RunResult r;
     r.workload = workload.name;
@@ -99,6 +104,14 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
                       core.stats.identClass[static_cast<std::size_t>(c)]
                           .value()) / committed
                 : 0.0;
+    }
+
+    r.simSpeed.hostSeconds = host_seconds;
+    if (host_seconds > 0.0) {
+        r.simSpeed.simCyclesPerSec =
+            static_cast<double>(r.cycles) / host_seconds;
+        r.simSpeed.threadInstsPerSec =
+            static_cast<double>(r.committedThreadInsts) / host_seconds;
     }
 
     r.energy = computeEnergy(core);
@@ -144,6 +157,26 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
         }
     }
     return r;
+}
+
+std::string
+runStatsDump(const Workload &workload, ConfigKind kind, int num_threads,
+             const SimOverrides &ov, bool json)
+{
+    Program prog = assemble(workload.source);
+    CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
+    bool identical = kind == ConfigKind::Limit;
+
+    auto images = buildImages(workload, prog, num_threads,
+                              params.multiExecution, identical);
+    auto ptrs = imagePointers(images, num_threads);
+
+    MessageNetwork net;
+    SmtCore core(params, &prog, ptrs);
+    if (workload.messagePassing)
+        core.setMessageNetwork(&net);
+    core.run();
+    return json ? core.dumpStatsJson() : core.dumpStats();
 }
 
 } // namespace mmt

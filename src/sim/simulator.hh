@@ -18,6 +18,23 @@
 namespace mmt
 {
 
+/**
+ * Host-throughput measurement of one simulation (the ROADMAP's "as fast
+ * as the hardware allows" is tracked through this): wall-clock seconds
+ * spent inside SmtCore::run() and the resulting simulation rates.
+ *
+ * Unlike every other RunResult field, these values are *measurements of
+ * the host*, not of the simulated machine: they vary run to run and are
+ * deliberately excluded from the canonical serialization that the
+ * determinism tests byte-compare (see serializeResult()).
+ */
+struct SimSpeedStats
+{
+    double hostSeconds = 0.0;
+    double simCyclesPerSec = 0.0;
+    double threadInstsPerSec = 0.0; // committed thread-insts per second
+};
+
 /** Measurements from one simulation run. */
 struct RunResult
 {
@@ -47,6 +64,8 @@ struct RunResult
 
     bool goldenOk = false;
 
+    SimSpeedStats simSpeed;
+
     double ipc() const
     {
         return cycles ? static_cast<double>(committedThreadInsts) /
@@ -66,6 +85,20 @@ RunResult runWorkload(const Workload &workload, ConfigKind kind,
                       int num_threads,
                       const SimOverrides &ov = SimOverrides(),
                       bool check_golden = true);
+
+/**
+ * Run @p workload to completion and return the full counter dump —
+ * every StatGroup-registered counter plus the cycle count.
+ *
+ * Shared by `mmt_cli --stats/--stats-json` and the golden-equivalence
+ * test, so the dump the test pins down is exactly what the CLI prints.
+ *
+ * @param json render as a JSON object instead of "name value" lines
+ */
+std::string runStatsDump(const Workload &workload, ConfigKind kind,
+                         int num_threads,
+                         const SimOverrides &ov = SimOverrides(),
+                         bool json = false);
 
 } // namespace mmt
 

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Timing-neutrality gate for core refactors: the full counter dump of
+ * every Figure 5(a) workload under Base and MMT-FXR must stay
+ * bit-identical to the goldens recorded in tests/goldens/.
+ *
+ * The goldens were recorded on the pre-arena/event-wheel core (after the
+ * CoreParams and load/store-port satellite fixes of the same change, so
+ * they pin the *mechanical* refactor, not those modelling fixes — see
+ * docs/INTERNALS.md). Any cycle-count or counter drift — a reordered
+ * completion, a lost stall, an extra port conflict — shows up as a
+ * byte-level diff here.
+ *
+ * Regenerate intentionally with:
+ *   MMT_UPDATE_GOLDENS=1 ./mmt_tests --gtest_filter='GoldenEquivalence.*'
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+std::string
+goldenDir()
+{
+#ifdef MMT_SOURCE_DIR
+    return std::string(MMT_SOURCE_DIR) + "/tests/goldens";
+#else
+    return "tests/goldens";
+#endif
+}
+
+bool
+updateMode()
+{
+    const char *v = std::getenv("MMT_UPDATE_GOLDENS");
+    return v && std::string(v) == "1";
+}
+
+std::string
+goldenPath(const std::string &workload, ConfigKind kind)
+{
+    return goldenDir() + "/" + workload + "_" + configName(kind) +
+           "_2t.stats";
+}
+
+void
+checkOne(const Workload &w, ConfigKind kind)
+{
+    std::string dump = runStatsDump(w, kind, 2);
+    std::string path = goldenPath(w.name, kind);
+
+    if (updateMode()) {
+        std::ofstream out(path, std::ios::trunc);
+        out << dump;
+        ASSERT_TRUE(out) << "cannot write golden " << path;
+        return;
+    }
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden " << path
+                    << " (record with MMT_UPDATE_GOLDENS=1)";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_EQ(ss.str(), dump)
+        << w.name << " " << configName(kind)
+        << " 2T: stats dump drifted from the recorded golden ("
+        << path << "); a timing-neutral refactor must not change any "
+        << "counter. If the change is an intended timing-model fix, "
+        << "regenerate with MMT_UPDATE_GOLDENS=1.";
+}
+
+} // namespace
+
+TEST(GoldenEquivalence, BaseStatsMatchRecordedGoldens)
+{
+    for (const Workload &w : allWorkloads())
+        checkOne(w, ConfigKind::Base);
+    checkOne(messagePassingWorkload(), ConfigKind::Base);
+}
+
+TEST(GoldenEquivalence, MmtFxrStatsMatchRecordedGoldens)
+{
+    for (const Workload &w : allWorkloads())
+        checkOne(w, ConfigKind::MMT_FXR);
+    checkOne(messagePassingWorkload(), ConfigKind::MMT_FXR);
+}

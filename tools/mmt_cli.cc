@@ -3,7 +3,7 @@
  * mmt_cli — command-line driver for the simulator.
  *
  * Usage:
- *   mmt_cli [options] <workload>
+ *   mmt_cli [run] [options] <workload>
  *   mmt_cli --list
  *   mmt_cli sweep --figure <id> [sweep options]
  *   mmt_cli sweep --list-figures
@@ -17,6 +17,7 @@
  *   --no-trace-cache       disable the trace cache
  *   --no-golden            skip the golden-model comparison
  *   --stats                dump every counter (gem5-style)
+ *   --stats-json           print the counter dump as JSON (only output)
  *   --asm <file>           run an assembly file instead of a named
  *                          workload (single address space, MT semantics)
  *
@@ -62,10 +63,11 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: mmt_cli [--config KIND] [--threads N] [--fhb N]\n"
-                 "               [--ls-ports N] [--fetch-width N]\n"
+                 "usage: mmt_cli [run] [--config KIND] [--threads N]\n"
+                 "               [--fhb N] [--ls-ports N] [--fetch-width N]\n"
                  "               [--no-trace-cache] [--no-golden]\n"
-                 "               [--stats] [--asm FILE] <workload>\n"
+                 "               [--stats] [--stats-json] [--asm FILE]\n"
+                 "               <workload>\n"
                  "       mmt_cli --list\n"
                  "       mmt_cli sweep --figure ID [--jobs N]\n"
                  "               [--cache-dir DIR] [--apps A,B,...]\n"
@@ -163,6 +165,30 @@ sweepMain(int argc, char **argv)
     }
     std::fprintf(stderr, "%s: %s\n", fig.sweep.name.c_str(),
                  outcome.summary().c_str());
+
+    // Host-throughput summary over the jobs actually simulated this
+    // invocation (cache hits report the recording run's speed, so they
+    // are excluded from the aggregate).
+    double host_seconds = 0.0;
+    double sim_cycles = 0.0, thread_insts = 0.0;
+    int measured = 0;
+    for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+        const RunResult &r = outcome.results[i];
+        if (outcome.fromCache[i] || r.simSpeed.hostSeconds <= 0.0)
+            continue;
+        host_seconds += r.simSpeed.hostSeconds;
+        sim_cycles += static_cast<double>(r.cycles);
+        thread_insts += static_cast<double>(r.committedThreadInsts);
+        ++measured;
+    }
+    if (measured > 0 && host_seconds > 0.0) {
+        std::fprintf(stderr,
+                     "%s: sim speed %.2f Mcycles/s, %.2f Minsts/s "
+                     "(%d jobs, %.2fs host)\n",
+                     fig.sweep.name.c_str(), sim_cycles / host_seconds / 1e6,
+                     thread_insts / host_seconds / 1e6, measured,
+                     host_seconds);
+    }
     return outcome.goldenFailures ? 1 : 0;
 }
 
@@ -217,10 +243,16 @@ main(int argc, char **argv)
     SimOverrides ov;
     bool golden = true;
     bool dump_stats = false;
+    bool stats_json = false;
     std::string asm_file;
     std::string workload_name;
 
-    for (int i = 1; i < argc; ++i) {
+    // Optional "run" subcommand alias, symmetric with "sweep".
+    int first_arg = 1;
+    if (argc >= 2 && std::strcmp(argv[1], "run") == 0)
+        first_arg = 2;
+
+    for (int i = first_arg; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc)
@@ -246,6 +278,8 @@ main(int argc, char **argv)
             golden = false;
         } else if (arg == "--stats") {
             dump_stats = true;
+        } else if (arg == "--stats-json") {
+            stats_json = true;
         } else if (arg == "--asm") {
             asm_file = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -269,6 +303,13 @@ main(int argc, char **argv)
         w = messagePassingWorkload();
     } else {
         w = findWorkload(workload_name);
+    }
+
+    if (stats_json) {
+        // Machine-readable mode: the counter dump is the whole output.
+        std::printf("%s",
+                    runStatsDump(w, kind, threads, ov, true).c_str());
+        return 0;
     }
 
     RunResult r = runWorkload(w, kind, threads, ov, golden);
@@ -307,26 +348,10 @@ main(int argc, char **argv)
         std::printf("golden model    %s\n", r.goldenOk ? "ok" : "FAIL");
 
     if (dump_stats) {
-        // Re-run with direct core access for the full counter dump.
-        Program prog = assemble(w.source);
-        CoreParams params = makeCoreParams(kind, w, threads, ov);
-        std::vector<std::unique_ptr<MemoryImage>> images;
-        std::vector<MemoryImage *> ptrs;
-        int spaces = params.multiExecution ? threads : 1;
-        for (int i = 0; i < spaces; ++i) {
-            images.push_back(std::make_unique<MemoryImage>());
-            images.back()->loadData(prog);
-            w.initData(*images.back(), prog, i, threads,
-                       kind == ConfigKind::Limit);
-        }
-        for (int t = 0; t < threads; ++t)
-            ptrs.push_back(images[spaces == 1 ? 0 : t].get());
-        MessageNetwork net;
-        SmtCore core(params, &prog, ptrs);
-        if (w.messagePassing)
-            core.setMessageNetwork(&net);
-        core.run();
-        std::printf("\n--- statistics ---\n%s", core.dumpStats().c_str());
+        // Deterministic re-run for the full counter dump (shared with
+        // the golden-equivalence test via runStatsDump).
+        std::printf("\n--- statistics ---\n%s",
+                    runStatsDump(w, kind, threads, ov, false).c_str());
     }
     return golden && !r.goldenOk ? 1 : 0;
 }
