@@ -1,0 +1,135 @@
+#include "analysis/analyzer.hh"
+
+#include <sstream>
+
+#include "iasm/assembler.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+int
+AnalysisResult::count(Severity s) const
+{
+    int n = 0;
+    for (const Diagnostic &d : diags)
+        n += d.severity == s ? 1 : 0;
+    return n;
+}
+
+ShareClass
+AnalysisResult::classOf(Addr pc) const
+{
+    const Program &prog = cfg->program();
+    if (!prog.validPc(pc))
+        return ShareClass::Unclassified;
+    auto i = static_cast<std::size_t>((pc - prog.codeBase) / instBytes);
+    return sharing.shareClass[i];
+}
+
+double
+AnalysisResult::staticMergeableFrac() const
+{
+    const auto &c = sharing.classCounts;
+    int total = c[0] + c[1] + c[2];
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(total -
+                               c[(std::size_t)ShareClass::Divergent]) /
+           static_cast<double>(total);
+}
+
+AnalysisResult
+analyzeProgram(const Program &prog, const AnalysisOptions &opt)
+{
+    AnalysisResult res;
+    res.cfg = std::make_shared<Cfg>(prog);
+    res.dataflow = analyzeDataflow(*res.cfg);
+    SharingOptions sh;
+    sh.multiExecution = opt.multiExecution;
+    sh.forceTidZero = opt.forceTidZero;
+    res.sharing = analyzeSharing(*res.cfg, sh);
+    res.diags = runLints(*res.cfg, res.dataflow, res.sharing);
+    return res;
+}
+
+AnalysisResult
+analyzeWorkload(const Workload &w)
+{
+    auto owned = std::make_shared<Program>(assemble(w.source));
+    AnalysisOptions opt;
+    opt.multiExecution = w.multiExecution;
+    AnalysisResult res = analyzeProgram(*owned, opt);
+    res.program = std::move(owned);
+    return res;
+}
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderReport(const AnalysisResult &res, const std::string &name,
+             bool json)
+{
+    const auto &counts = res.sharing.classCounts;
+    int total = counts[0] + counts[1] + counts[2];
+    std::ostringstream os;
+    if (json) {
+        os << "{\"workload\": \"" << jsonEscape(name) << "\", ";
+        os << "\"instructions\": " << total << ", ";
+        os << "\"mergeable\": " << counts[0] << ", ";
+        os << "\"unknown\": " << counts[1] << ", ";
+        os << "\"divergent\": " << counts[2] << ", ";
+        os << "\"static_mergeable_frac\": " << res.staticMergeableFrac()
+           << ", ";
+        os << "\"errors\": " << res.errors() << ", ";
+        os << "\"warnings\": " << res.warnings() << ", ";
+        os << "\"diagnostics\": [";
+        bool first = true;
+        for (const Diagnostic &d : res.diags) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "{\"rule\": \"" << jsonEscape(d.rule) << "\", "
+               << "\"severity\": \"" << severityName(d.severity) << "\", "
+               << "\"line\": " << d.line << ", "
+               << "\"pc\": " << d.pc << ", "
+               << "\"message\": \"" << jsonEscape(d.message) << "\"}";
+        }
+        os << "]}\n";
+        return os.str();
+    }
+
+    os << name << ": " << total << " reachable insts, " << counts[0]
+       << " mergeable / " << counts[1] << " unknown / " << counts[2]
+       << " divergent (static upper bound "
+       << static_cast<int>(res.staticMergeableFrac() * 100.0 + 0.5)
+       << "% mergeable)\n";
+    for (const Diagnostic &d : res.diags) {
+        os << "  line " << d.line << " [" << severityName(d.severity)
+           << "] " << d.rule << ": " << d.message << "\n";
+    }
+    if (res.errors() || res.warnings()) {
+        os << "  " << res.errors() << " error(s), " << res.warnings()
+           << " warning(s)\n";
+    }
+    return os.str();
+}
+
+} // namespace analysis
+} // namespace mmt

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * mmt-analyze entry points: run CFG + dataflow + sharing + lints over a
+ * program or a registered workload and render the findings.
+ */
+
+#ifndef MMT_ANALYSIS_ANALYZER_HH
+#define MMT_ANALYSIS_ANALYZER_HH
+
+#include <memory>
+#include <string>
+
+#include "analysis/lint.hh"
+#include "workloads/workload.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+struct AnalysisOptions
+{
+    bool multiExecution = false;
+    bool forceTidZero = false;
+};
+
+/** Everything the passes computed about one program. */
+struct AnalysisResult
+{
+    /** Set when the result owns the analyzed program (analyzeWorkload);
+     *  the Cfg references it, so it must outlive cfg. */
+    std::shared_ptr<const Program> program;
+    std::shared_ptr<const Cfg> cfg; // shared: results are copyable
+    DataflowResult dataflow;
+    SharingResult sharing;
+    std::vector<Diagnostic> diags;
+
+    int count(Severity s) const;
+    int errors() const { return count(Severity::Error); }
+    int warnings() const { return count(Severity::Warning); }
+
+    /** Sharing class of the instruction at @p pc (Unclassified when
+     *  the pc does not address this program). */
+    ShareClass classOf(Addr pc) const;
+
+    /** Fraction of reachable static instructions not provably
+     *  divergent — the static upper bound on merged execution. */
+    double staticMergeableFrac() const;
+};
+
+AnalysisResult analyzeProgram(const Program &prog,
+                              const AnalysisOptions &opt = {});
+
+/** Assemble @p w and analyze it with the workload's thread semantics. */
+AnalysisResult analyzeWorkload(const Workload &w);
+
+/**
+ * Render a report. Text mode prints a summary plus one line per
+ * diagnostic ("line 12 [warning] use-before-def: ..."); JSON mode emits
+ * a machine-readable object with the class counts and diagnostics.
+ */
+std::string renderReport(const AnalysisResult &res,
+                         const std::string &name, bool json);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_ANALYZER_HH

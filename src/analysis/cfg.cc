@@ -1,0 +1,222 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Instruction index of absolute address @p a, or -1. */
+int
+indexOf(const Program &prog, Addr a)
+{
+    return prog.validPc(a)
+               ? static_cast<int>((a - prog.codeBase) / instBytes)
+               : -1;
+}
+
+} // namespace
+
+Cfg::Cfg(const Program &prog) : prog_(&prog)
+{
+    findLeaders();
+    buildEdges();
+    markReachable();
+    computePostDominators();
+}
+
+std::vector<int>
+Cfg::indirectTargets() const
+{
+    std::set<int> targets;
+    for (std::size_t i = 0; i < prog_->code.size(); ++i) {
+        const Instruction &in = prog_->code[i];
+        // Return points: JR/JALR overwhelmingly return to a call site.
+        if (in.op == Opcode::JAL || in.op == Opcode::JALR) {
+            if (i + 1 < prog_->code.size())
+                targets.insert(static_cast<int>(i) + 1);
+        }
+        // Address-taken code: a code address materialized into a
+        // register (LUI/la, or any immediate operand that lands in the
+        // code segment) may be jumped to.
+        int t = indexOf(*prog_, static_cast<Addr>(in.imm));
+        if (t >= 0 && !in.isControl())
+            targets.insert(t);
+    }
+    // Code addresses stored in the initial data image (jump tables).
+    for (const auto &[addr, value] : prog_->dataWords) {
+        (void)addr;
+        int t = indexOf(*prog_, static_cast<Addr>(value));
+        if (t >= 0)
+            targets.insert(t);
+    }
+    return {targets.begin(), targets.end()};
+}
+
+void
+Cfg::findLeaders()
+{
+    const auto &code = prog_->code;
+    int n = static_cast<int>(code.size());
+    std::vector<bool> leader(static_cast<std::size_t>(n), false);
+    if (n == 0)
+        return;
+    leader[0] = true;
+    int entry = indexOf(*prog_, prog_->entry);
+    if (entry >= 0)
+        leader[(std::size_t)entry] = true;
+    for (int i = 0; i < n; ++i) {
+        const Instruction &in = code[(std::size_t)i];
+        // Control transfers and HALT both end a block.
+        if (in.isControl() || in.op == Opcode::HALT) {
+            if (i + 1 < n)
+                leader[(std::size_t)(i + 1)] = true;
+        }
+        if (in.isControl() && !in.isIndirectJump()) {
+            int t = indexOf(*prog_, static_cast<Addr>(in.imm));
+            if (t >= 0)
+                leader[(std::size_t)t] = true;
+        }
+    }
+    for (int t : indirectTargets())
+        leader[(std::size_t)t] = true;
+
+    blockOf_.assign((std::size_t)n, 0);
+    for (int i = 0; i < n; ++i) {
+        if (leader[(std::size_t)i]) {
+            BasicBlock b;
+            b.first = b.last = i;
+            blocks_.push_back(b);
+        } else {
+            blocks_.back().last = i;
+        }
+        blockOf_[(std::size_t)i] = static_cast<int>(blocks_.size()) - 1;
+    }
+}
+
+void
+Cfg::buildEdges()
+{
+    int n = static_cast<int>(prog_->code.size());
+    std::vector<int> indirect = indirectTargets();
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        BasicBlock &blk = blocks_[b];
+        const Instruction &in = prog_->code[(std::size_t)blk.last];
+        std::set<int> succs;
+        auto addTarget = [&](Addr a) {
+            int t = indexOf(*prog_, a);
+            if (t >= 0)
+                succs.insert(blockOf_[(std::size_t)t]);
+        };
+        bool falls = false;
+        if (in.op == Opcode::HALT) {
+            // to virtual exit only
+        } else if (in.isIndirectJump()) {
+            blk.hasIndirect = true;
+            for (int t : indirect)
+                succs.insert(blockOf_[(std::size_t)t]);
+        } else if (in.isUncondJump()) { // J / JAL
+            addTarget(static_cast<Addr>(in.imm));
+        } else if (in.isCondBranch()) {
+            addTarget(static_cast<Addr>(in.imm));
+            falls = true;
+        } else {
+            falls = true;
+        }
+        if (falls) {
+            if (blk.last + 1 < n)
+                succs.insert(blockOf_[(std::size_t)(blk.last + 1)]);
+            else
+                blk.fallsOffEnd = true;
+        }
+        blk.succs.assign(succs.begin(), succs.end());
+    }
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        for (int s : blocks_[b].succs)
+            blocks_[(std::size_t)s].preds.push_back(static_cast<int>(b));
+    }
+}
+
+void
+Cfg::markReachable()
+{
+    if (blocks_.empty())
+        return;
+    int entry = indexOf(*prog_, prog_->entry);
+    std::vector<int> work{entry >= 0 ? blockOf_[(std::size_t)entry] : 0};
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        if (blocks_[(std::size_t)b].reachable)
+            continue;
+        blocks_[(std::size_t)b].reachable = true;
+        for (int s : blocks_[(std::size_t)b].succs)
+            work.push_back(s);
+    }
+}
+
+void
+Cfg::computePostDominators()
+{
+    // Iterative set-based post-dominance over block ids plus the
+    // virtual exit; programs are small (hundreds of blocks), so dense
+    // bool matrices are plenty fast and obviously correct.
+    int n = static_cast<int>(blocks_.size());
+    int exit = n;
+    // pdom[b] = set of nodes post-dominating b.
+    std::vector<std::vector<bool>> pdom(
+        (std::size_t)n + 1,
+        std::vector<bool>((std::size_t)n + 1, true));
+    pdom[(std::size_t)exit].assign((std::size_t)n + 1, false);
+    pdom[(std::size_t)exit][(std::size_t)exit] = true;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int b = n - 1; b >= 0; --b) {
+            const BasicBlock &blk = blocks_[(std::size_t)b];
+            std::vector<bool> next((std::size_t)n + 1, true);
+            bool any = false;
+            auto meet = [&](int s) {
+                const auto &sd = pdom[(std::size_t)s];
+                for (int i = 0; i <= n; ++i)
+                    next[(std::size_t)i] =
+                        next[(std::size_t)i] && sd[(std::size_t)i];
+                any = true;
+            };
+            for (int s : blk.succs)
+                meet(s);
+            if (blk.succs.empty() || blk.fallsOffEnd ||
+                prog_->code[(std::size_t)blk.last].op == Opcode::HALT) {
+                meet(exit);
+            }
+            if (!any) // no successors at all: unreachable dead end
+                next.assign((std::size_t)n + 1, false);
+            next[(std::size_t)b] = true;
+            if (next != pdom[(std::size_t)b]) {
+                pdom[(std::size_t)b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    pdom_ = std::move(pdom);
+}
+
+bool
+Cfg::postDominates(int a, int b) const
+{
+    if (a == b)
+        return true;
+    if (b < 0 || (std::size_t)b >= pdom_.size())
+        return false;
+    const auto &set = pdom_[(std::size_t)b];
+    return a >= 0 && (std::size_t)a < set.size() && set[(std::size_t)a];
+}
+
+} // namespace analysis
+} // namespace mmt

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Control-flow graph over an assembled iasm::Program.
+ *
+ * Blocks are maximal straight-line index ranges of the instruction
+ * stream; edges come from branch/jump immediates and fall-through.
+ * Indirect jumps (JR/JALR) have no static target, so they are given a
+ * conservative successor set: every return point (the instruction after
+ * a JAL/JALR) plus every code address that is materialized by an
+ * immediate or stored in the initial data image (address-taken).
+ *
+ * Besides forward reachability the CFG computes post-dominators over a
+ * virtual exit node (successor of HALT and of fall-off-the-end blocks),
+ * which the lint layer uses for barrier control-dependence checks.
+ */
+
+#ifndef MMT_ANALYSIS_CFG_HH
+#define MMT_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "iasm/program.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** One basic block: instructions [first, last] of Program::code. */
+struct BasicBlock
+{
+    int first = 0;
+    int last = 0;
+    std::vector<int> succs; // successor block ids (virtual exit excluded)
+    std::vector<int> preds;
+    bool reachable = false;   // from the entry block
+    bool fallsOffEnd = false; // control can run past the last instruction
+    bool hasIndirect = false; // ends in JR/JALR (succs are conservative)
+};
+
+/** Control-flow graph of one program. */
+class Cfg
+{
+  public:
+    explicit Cfg(const Program &prog);
+
+    const Program &program() const { return *prog_; }
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+    /** Block id containing instruction @p index. */
+    int blockOf(int index) const { return blockOf_[(std::size_t)index]; }
+    /** Id of the virtual exit node (== blocks().size()). */
+    int exitNode() const { return static_cast<int>(blocks_.size()); }
+
+    /** True if instruction @p index is reachable from the entry. */
+    bool
+    reachable(int index) const
+    {
+        return blocks_[(std::size_t)blockOf(index)].reachable;
+    }
+
+    /**
+     * True if block @p a post-dominates block @p b: every path from b
+     * to the virtual exit passes through a. For blocks that cannot
+     * reach the exit at all (infinite loops) the property is vacuous
+     * and the standard fixpoint reports the initialization value.
+     */
+    bool postDominates(int a, int b) const;
+
+  private:
+    void findLeaders();
+    void buildEdges();
+    void markReachable();
+    void computePostDominators();
+
+    /** Conservative successor indices of an indirect jump. */
+    std::vector<int> indirectTargets() const;
+
+    const Program *prog_;
+    std::vector<BasicBlock> blocks_;
+    std::vector<int> blockOf_;
+    /** pdom_[b][a]: block a post-dominates block b (dense, incl. exit). */
+    std::vector<std::vector<bool>> pdom_;
+};
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_CFG_HH

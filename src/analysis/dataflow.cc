@@ -1,0 +1,144 @@
+#include "analysis/dataflow.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+RegMask
+defMask(const Instruction &in)
+{
+    if (!in.info().writesDest || in.rd == regZero)
+        return 0; // r0 writes are dropped
+    return regBit(in.rd);
+}
+
+RegMask
+useMask(const Instruction &in)
+{
+    RegMask m = 0;
+    if (in.info().readsSrc1)
+        m |= regBit(in.rs1);
+    if (in.info().readsSrc2)
+        m |= regBit(in.rs2);
+    return m;
+}
+
+/** Registers the hardware initializes before the first instruction. */
+constexpr RegMask kHwInit =
+    regBit(regZero) | regBit(regTid) | regBit(regSp);
+
+constexpr RegMask kAll = ~RegMask(0);
+
+} // namespace
+
+DataflowResult
+analyzeDataflow(const Cfg &cfg)
+{
+    const Program &prog = cfg.program();
+    const auto &blocks = cfg.blocks();
+    std::size_t n_insts = prog.code.size();
+
+    DataflowResult res;
+    res.useBeforeDef.assign(n_insts, 0);
+    res.deadDef.assign(n_insts, false);
+    if (blocks.empty())
+        return res;
+
+    int entry_block =
+        prog.validPc(prog.entry)
+            ? cfg.blockOf(static_cast<int>((prog.entry - prog.codeBase) /
+                                           instBytes))
+            : 0;
+
+    // --- Must-defined (forward, intersection). Defs only accumulate
+    // along a path, so in[entry] is exactly the hardware-initialized
+    // set even in the presence of back edges to the entry block.
+    std::vector<RegMask> must_in(blocks.size(), kAll);
+    must_in[(std::size_t)entry_block] = kHwInit;
+    auto blockDefs = [&](const BasicBlock &b) {
+        RegMask m = 0;
+        for (int i = b.first; i <= b.last; ++i)
+            m |= defMask(prog.code[(std::size_t)i]);
+        return m;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 0; b < blocks.size(); ++b) {
+            if (!blocks[b].reachable ||
+                static_cast<int>(b) == entry_block) {
+                continue;
+            }
+            RegMask in = kAll;
+            for (int p : blocks[b].preds) {
+                if (!blocks[(std::size_t)p].reachable)
+                    continue;
+                in &= must_in[(std::size_t)p] |
+                      blockDefs(blocks[(std::size_t)p]);
+            }
+            if (in != must_in[b]) {
+                must_in[b] = in;
+                changed = true;
+            }
+        }
+    }
+
+    // --- Liveness (backward, union). All registers are live at exit:
+    // the golden model compares final architected state.
+    std::vector<RegMask> live_out(blocks.size(), 0);
+    auto blockLiveIn = [&](std::size_t b, RegMask out) {
+        for (int i = blocks[b].last; i >= blocks[b].first; --i) {
+            const Instruction &in = prog.code[(std::size_t)i];
+            out = (out & ~defMask(in)) | useMask(in);
+        }
+        return out;
+    };
+    auto exitAdjacent = [&](const BasicBlock &b) {
+        return b.succs.empty() || b.fallsOffEnd ||
+               prog.code[(std::size_t)b.last].op == Opcode::HALT;
+    };
+    changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = blocks.size(); b-- > 0;) {
+            if (!blocks[b].reachable)
+                continue;
+            RegMask out = exitAdjacent(blocks[b]) ? kAll : 0;
+            for (int s : blocks[b].succs)
+                out |= blockLiveIn((std::size_t)s, live_out[(std::size_t)s]);
+            if (out != live_out[b]) {
+                live_out[b] = out;
+                changed = true;
+            }
+        }
+    }
+
+    // --- Per-instruction findings over reachable blocks.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (!blocks[b].reachable)
+            continue;
+        RegMask defined = must_in[b];
+        for (int i = blocks[b].first; i <= blocks[b].last; ++i) {
+            const Instruction &in = prog.code[(std::size_t)i];
+            res.useBeforeDef[(std::size_t)i] = useMask(in) & ~defined;
+            defined |= defMask(in);
+        }
+        // live-after per instruction, walking backward.
+        RegMask live = live_out[b];
+        for (int i = blocks[b].last; i >= blocks[b].first; --i) {
+            const Instruction &in = prog.code[(std::size_t)i];
+            RegMask def = defMask(in);
+            if (def != 0 && (live & def) == 0)
+                res.deadDef[(std::size_t)i] = true;
+            live = (live & ~def) | useMask(in);
+        }
+    }
+    return res;
+}
+
+} // namespace analysis
+} // namespace mmt

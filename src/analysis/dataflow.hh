@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Classic bit-vector dataflow over the CFG, sized for MMT-RISC's 64
+ * unified architected registers (one std::uint64_t per register set).
+ *
+ *   - Must-defined (forward, intersection): which registers are
+ *     definitely written on every path reaching a point. Reading a
+ *     register outside this set — other than the hardware-initialized
+ *     zero/tid/sp — is a use-before-def.
+ *   - Liveness (backward, union): which registers may still be read
+ *     before being overwritten. A definition whose target is dead is
+ *     useless work. Because the golden model compares final register
+ *     state, every register is treated as live at program exit, so only
+ *     defs that are re-defined before any use on *all* paths are
+ *     flagged.
+ */
+
+#ifndef MMT_ANALYSIS_DATAFLOW_HH
+#define MMT_ANALYSIS_DATAFLOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** Bit set over the 64 unified architected registers. */
+using RegMask = std::uint64_t;
+
+constexpr RegMask
+regBit(RegIndex r)
+{
+    return RegMask(1) << static_cast<unsigned>(r);
+}
+
+/** Per-instruction findings of the dataflow pass. */
+struct DataflowResult
+{
+    /** Registers possibly read before any definition (0 if none).
+     *  Index-aligned with Program::code; reachable code only. */
+    std::vector<RegMask> useBeforeDef;
+    /** True if the instruction defines a register that is overwritten
+     *  before any use on every path (dead definition). */
+    std::vector<bool> deadDef;
+};
+
+DataflowResult analyzeDataflow(const Cfg &cfg);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_DATAFLOW_HH

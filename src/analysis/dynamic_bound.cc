@@ -1,0 +1,61 @@
+#include "analysis/dynamic_bound.hh"
+
+#include "iasm/assembler.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+MergeBoundReport
+checkMergeUpperBound(const AnalysisResult &analysis, const Program &prog,
+                     const PcMergeProfile &profile)
+{
+    MergeBoundReport rep;
+    for (const auto &[pc, counts] : profile) {
+        rep.committed += counts.committed;
+        rep.merged += counts.merged;
+        ShareClass c = analysis.classOf(pc);
+        if (c != ShareClass::Divergent) {
+            rep.mergeableCommitted += counts.committed;
+        } else if (counts.merged > 0) {
+            BoundViolation v;
+            v.pc = pc;
+            v.line = prog.validPc(pc)
+                         ? prog.line(static_cast<int>(
+                               (pc - prog.codeBase) / instBytes))
+                         : 0;
+            v.merged = counts.merged;
+            rep.violations.push_back(v);
+        }
+    }
+    return rep;
+}
+
+MergeBoundReport
+runMergeBoundCheck(const Workload &w, ConfigKind kind, int num_threads,
+                   AnalysisResult *out_analysis, RunResult *out_result)
+{
+    // The static thread model must match the configuration under test:
+    // the Limit config forces tid to 0 in every thread, which erases
+    // the divergence the MT seeds would otherwise prove.
+    auto owned = std::make_shared<Program>(assemble(w.source));
+    AnalysisOptions opt;
+    opt.multiExecution = w.multiExecution;
+    opt.forceTidZero = kind == ConfigKind::Limit;
+    AnalysisResult analysis = analyzeProgram(*owned, opt);
+    analysis.program = std::move(owned);
+    PcMergeProfile profile;
+    RunResult r = runWorkload(w, kind, num_threads, SimOverrides(),
+                              /*check_golden=*/false, &profile);
+    MergeBoundReport rep =
+        checkMergeUpperBound(analysis, *analysis.program, profile);
+    if (out_analysis)
+        *out_analysis = std::move(analysis);
+    if (out_result)
+        *out_result = std::move(r);
+    return rep;
+}
+
+} // namespace analysis
+} // namespace mmt

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic cross-check of the static sharing upper bound.
+ *
+ * The sharing pass's Divergent class is a *proof* that an instruction
+ * can never be execute-merged. The simulator reports which PCs it
+ * actually merged (PcMergeProfile, filled by a commit hook); if a
+ * merged PC is statically Divergent, either the pipeline merged
+ * non-identical instances (an RST/splitter bug) or the analyzer's
+ * abstract domain is unsound. Enforced as a ctest over the registered
+ * workloads and as a property test on random programs.
+ *
+ * The weighted fractions follow: every dynamically merged
+ * thread-instruction belongs to a non-Divergent PC, hence
+ * staticMergeableFrac >= dynamicMergedFrac (both weighted by committed
+ * thread-instructions).
+ */
+
+#ifndef MMT_ANALYSIS_DYNAMIC_BOUND_HH
+#define MMT_ANALYSIS_DYNAMIC_BOUND_HH
+
+#include "analysis/analyzer.hh"
+#include "sim/simulator.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** One violation: a merged PC the analysis proved unmergeable. */
+struct BoundViolation
+{
+    Addr pc = 0;
+    int line = 0;
+    std::uint64_t merged = 0; // merged thread-insts committed at pc
+};
+
+/** Comparison of static classes against one run's merge profile. */
+struct MergeBoundReport
+{
+    std::uint64_t committed = 0;           // total thread-insts
+    std::uint64_t merged = 0;              // exec-merged thread-insts
+    std::uint64_t mergeableCommitted = 0;  // committed at non-Divergent pcs
+    std::vector<BoundViolation> violations;
+
+    bool ok() const { return violations.empty(); }
+
+    double
+    dynamicMergedFrac() const
+    {
+        return committed ? static_cast<double>(merged) /
+                               static_cast<double>(committed)
+                         : 0.0;
+    }
+
+    /** Committed-weighted static upper bound. */
+    double
+    staticMergeableFrac() const
+    {
+        return committed ? static_cast<double>(mergeableCommitted) /
+                               static_cast<double>(committed)
+                         : 1.0;
+    }
+};
+
+/** Compare @p analysis against the merge profile of one run. */
+MergeBoundReport checkMergeUpperBound(const AnalysisResult &analysis,
+                                      const Program &prog,
+                                      const PcMergeProfile &profile);
+
+/**
+ * Convenience: analyze @p w, run it under @p kind with @p num_threads,
+ * and cross-check. Also fills @p out_result / @p out_analysis when
+ * non-null.
+ */
+MergeBoundReport runMergeBoundCheck(const Workload &w, ConfigKind kind,
+                                    int num_threads,
+                                    AnalysisResult *out_analysis = nullptr,
+                                    RunResult *out_result = nullptr);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_DYNAMIC_BOUND_HH

@@ -1,0 +1,224 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+class Linter
+{
+  public:
+    Linter(const Cfg &cfg, const DataflowResult &df,
+           const SharingResult &sh)
+        : cfg_(cfg), prog_(cfg.program()), df_(df), sh_(sh)
+    {
+    }
+
+    std::vector<Diagnostic>
+    run()
+    {
+        for (int i = 0; i < size(); ++i)
+            lintInst(i);
+        lintBarrierDivergence();
+        std::stable_sort(diags_.begin(), diags_.end(),
+                         [](const Diagnostic &a, const Diagnostic &b) {
+                             return a.inst < b.inst;
+                         });
+        return std::move(diags_);
+    }
+
+  private:
+    int size() const { return static_cast<int>(prog_.code.size()); }
+
+    Addr
+    pcOf(int i) const
+    {
+        return prog_.codeBase + static_cast<Addr>(i) * instBytes;
+    }
+
+    void
+    report(const std::string &rule, Severity sev, int i,
+           const std::string &msg)
+    {
+        if (prog_.allowed(i, rule))
+            return;
+        Diagnostic d;
+        d.rule = rule;
+        d.severity = sev;
+        d.inst = i;
+        d.line = prog_.line(i);
+        d.pc = pcOf(i);
+        d.message = msg;
+        diags_.push_back(std::move(d));
+    }
+
+    void
+    lintInst(int i)
+    {
+        const Instruction &in = prog_.code[(std::size_t)i];
+        bool reachable = cfg_.reachable(i);
+
+        if (!reachable) {
+            report("dead-code", Severity::Warning, i,
+                   "unreachable from the program entry");
+            return; // findings below assume the instruction executes
+        }
+
+        // Direct control transfers must land on an instruction.
+        if (in.isControl() && !in.isIndirectJump() &&
+            !prog_.validPc(static_cast<Addr>(in.imm))) {
+            std::ostringstream os;
+            os << "target 0x" << std::hex << static_cast<Addr>(in.imm)
+               << std::dec << " is not a valid instruction address";
+            report("invalid-branch-target", Severity::Error, i, os.str());
+        }
+
+        const BasicBlock &blk = cfg_.blocks()[(std::size_t)cfg_.blockOf(i)];
+        if (i == blk.last && blk.fallsOffEnd) {
+            report("fall-off-end", Severity::Error, i,
+                   "control can run past the last instruction "
+                   "(missing halt or jump?)");
+        }
+
+        if (in.info().writesDest && in.rd == regZero) {
+            report("write-zero", Severity::Warning, i,
+                   "write to r0 is architecturally dropped");
+        }
+
+        RegMask ubd = df_.useBeforeDef[(std::size_t)i];
+        for (int r = 0; r < numArchRegs; ++r) {
+            if (ubd & regBit(r)) {
+                report("use-before-def", Severity::Warning, i,
+                       "register " + regName(r) +
+                           " may be read before any definition");
+            }
+        }
+
+        if (df_.deadDef[(std::size_t)i] && !in.isUncondJump() &&
+            in.op != Opcode::RECV) {
+            report("dead-def", Severity::Info, i,
+                   "definition of " + regName(in.rd) +
+                       " is overwritten before any use");
+        }
+
+        lintSegmentBounds(i, in);
+
+        if (sh_.divergentBranch[(std::size_t)i]) {
+            report("tid-divergent-branch", Severity::Info, i,
+                   "branch direction provably differs across threads");
+        }
+
+        if (in.isIndirectJump()) {
+            report("indirect-jump", Severity::Info, i,
+                   "indirect jump: static successors are conservative");
+        }
+    }
+
+    void
+    lintSegmentBounds(int i, const Instruction &in)
+    {
+        if (!in.isMem())
+            return;
+        const AbsVal &base = sh_.memBase[(std::size_t)i];
+        if (base.kind != AbsVal::Kind::Known)
+            return; // address not statically known
+        Addr data_lo = prog_.dataBase;
+        Addr data_hi = prog_.dataLimit;
+        Addr stack_hi = defaultStackTop;
+        Addr stack_lo = defaultStackTop -
+                        static_cast<Addr>(maxThreads) * defaultStackBytes;
+        for (int t = 0; t < maxThreads; ++t) {
+            Addr a = static_cast<Addr>(base.v[(std::size_t)t]) +
+                     static_cast<Addr>(in.imm);
+            bool in_data = a >= data_lo && a + 8 <= data_hi;
+            bool in_stack = a > stack_lo && a + 8 <= stack_hi + 8;
+            if (!in_data && !in_stack) {
+                std::ostringstream os;
+                os << "constant-addressable access at 0x" << std::hex << a
+                   << std::dec
+                   << " lies outside the data and stack segments";
+                report("segment-bounds", Severity::Error, i, os.str());
+                return; // one report per instruction
+            }
+        }
+    }
+
+    /**
+     * A barrier that is control-dependent on a tid-divergent branch can
+     * be skipped by a subset of threads, deadlocking the rest. Classic
+     * control dependence: barrier block n depends on branch block b
+     * when n post-dominates one successor of b but not b itself.
+     */
+    void
+    lintBarrierDivergence()
+    {
+        std::vector<int> barriers;
+        std::vector<int> div_branches;
+        for (int i = 0; i < size(); ++i) {
+            if (!cfg_.reachable(i))
+                continue;
+            if (prog_.code[(std::size_t)i].op == Opcode::BARRIER)
+                barriers.push_back(i);
+            if (sh_.divergentBranch[(std::size_t)i])
+                div_branches.push_back(i);
+        }
+        for (int bar : barriers) {
+            int n = cfg_.blockOf(bar);
+            for (int br : div_branches) {
+                int b = cfg_.blockOf(br);
+                if (cfg_.postDominates(n, b))
+                    continue; // all threads reach it anyway
+                bool on_some_path = false;
+                for (int s : cfg_.blocks()[(std::size_t)b].succs) {
+                    if (cfg_.postDominates(n, s)) {
+                        on_some_path = true;
+                        break;
+                    }
+                }
+                if (on_some_path) {
+                    report("barrier-divergence", Severity::Warning, bar,
+                           "barrier is control-dependent on the "
+                           "tid-divergent branch at line " +
+                               std::to_string(prog_.line(br)) +
+                               "; threads may not all reach it");
+                    break; // one report per barrier
+                }
+            }
+        }
+    }
+
+    const Cfg &cfg_;
+    const Program &prog_;
+    const DataflowResult &df_;
+    const SharingResult &sh_;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::vector<Diagnostic>
+runLints(const Cfg &cfg, const DataflowResult &dataflow,
+         const SharingResult &sharing)
+{
+    return Linter(cfg, dataflow, sharing).run();
+}
+
+} // namespace analysis
+} // namespace mmt

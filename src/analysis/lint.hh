@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Structural lint rules over the CFG, dataflow and sharing results.
+ *
+ * Rules and severities (suppress per instruction with an inline
+ * "; analyze:allow(<rule>)" comment in the assembly source):
+ *
+ *   invalid-branch-target  Error    branch/jump immediate misses validPc
+ *   fall-off-end           Error    reachable control runs past the
+ *                                   last instruction
+ *   segment-bounds         Error    const-addressable memory access
+ *                                   outside the data and stack segments
+ *   write-zero             Warning  destination r0 (write is dropped)
+ *   use-before-def         Warning  register read before any definition
+ *   dead-code              Warning  instruction unreachable from entry
+ *   barrier-divergence     Warning  BARRIER control-dependent on a
+ *                                   provably tid-divergent branch (some
+ *                                   threads may skip it: deadlock)
+ *   dead-def               Info     definition overwritten before any
+ *                                   use on all paths (skips JAL/JALR
+ *                                   link writes and RECV side effects)
+ *   tid-divergent-branch   Info     branch direction provably differs
+ *                                   across threads (splits the group)
+ *   indirect-jump          Info     JR/JALR: CFG successors are
+ *                                   conservative
+ */
+
+#ifndef MMT_ANALYSIS_LINT_HH
+#define MMT_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "analysis/sharing.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+enum class Severity { Info, Warning, Error };
+
+const char *severityName(Severity s);
+
+/** One finding, anchored to a static instruction. */
+struct Diagnostic
+{
+    std::string rule;
+    Severity severity = Severity::Info;
+    int inst = -1; // instruction index (-1: whole program)
+    int line = 0;  // source line (0 when unknown)
+    Addr pc = 0;
+    std::string message;
+};
+
+/** Run every lint rule; returns diagnostics sorted by instruction. */
+std::vector<Diagnostic> runLints(const Cfg &cfg,
+                                 const DataflowResult &dataflow,
+                                 const SharingResult &sharing);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_LINT_HH

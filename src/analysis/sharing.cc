@@ -1,0 +1,294 @@
+#include "analysis/sharing.hh"
+
+#include "isa/exec.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+/** Abstract machine state: one AbsVal per architected register. */
+using RegState = std::array<AbsVal, numArchRegs>;
+
+/** Entry state per the simulator's thread setup (SmtCore ctor). */
+RegState
+entryState(const SharingOptions &opt)
+{
+    RegState s;
+    s.fill(AbsVal::constant(0)); // reg files are zero-initialized
+    bool mt = !opt.multiExecution && !opt.forceTidZero;
+    if (mt) {
+        std::array<RegVal, maxThreads> tid{}, sp{};
+        for (int t = 0; t < maxThreads; ++t) {
+            tid[(std::size_t)t] = static_cast<RegVal>(t);
+            sp[(std::size_t)t] =
+                defaultStackTop -
+                static_cast<Addr>(t) * defaultStackBytes;
+        }
+        s[regTid] = AbsVal::known(tid);
+        s[regSp] = AbsVal::known(sp);
+    } else {
+        s[regSp] = AbsVal::constant(defaultStackTop);
+    }
+    return s;
+}
+
+/** Register sources read by @p in (unified indices). */
+inline int
+readSources(const Instruction &in, RegIndex out[2])
+{
+    int n = 0;
+    const InstInfo &info = in.info();
+    if (info.readsSrc1)
+        out[n++] = in.rs1;
+    if (info.readsSrc2)
+        out[n++] = in.rs2;
+    return n;
+}
+
+/** Abstract result of one register-writing instruction. */
+AbsVal
+evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
+             const SharingOptions &opt)
+{
+    if (in.op == Opcode::RECV)
+        return AbsVal::unknown(); // per-context message channel
+    if (in.isLoad()) {
+        // A load from a thread-uniform address in a *shared* address
+        // space sees one location; absent data races the loaded value
+        // is uniform too (heuristic — Uniform is never enforced). ME
+        // instances deliberately perturb their private data, so their
+        // loads are unknowable.
+        const AbsVal &base = regs[(std::size_t)in.rs1];
+        if (!opt.multiExecution && base.uniformish())
+            return AbsVal::uniform();
+        return AbsVal::unknown();
+    }
+
+    RegIndex src[2];
+    int n = readSources(in, src);
+    bool all_known = true;
+    for (int i = 0; i < n; ++i) {
+        const AbsVal &s = regs[(std::size_t)src[i]];
+        if (s.kind == AbsVal::Kind::Unknown ||
+            s.kind == AbsVal::Kind::Bottom) {
+            return AbsVal::unknown();
+        }
+        if (s.kind != AbsVal::Kind::Known)
+            all_known = false;
+    }
+    if (!all_known)
+        return AbsVal::uniform(); // uniform-ish inputs, exact op
+
+    // All inputs exactly known: run the real ALU once per thread lane.
+    std::array<RegVal, maxThreads> out{};
+    for (int t = 0; t < maxThreads; ++t) {
+        RegVal a = in.info().readsSrc1
+                       ? regs[(std::size_t)in.rs1].v[(std::size_t)t]
+                       : 0;
+        RegVal b = in.info().readsSrc2
+                       ? regs[(std::size_t)in.rs2].v[(std::size_t)t]
+                       : 0;
+        out[(std::size_t)t] = exec::evalAlu(in, a, b, pc);
+    }
+    return AbsVal::known(out);
+}
+
+/** Apply @p in to @p regs (register effect only). */
+void
+transfer(const Instruction &in, Addr pc, RegState &regs,
+         const SharingOptions &opt)
+{
+    if (!in.info().writesDest || in.rd == regZero)
+        return; // r0 writes are architecturally dropped
+    regs[(std::size_t)in.rd] = evalAbstract(in, pc, regs, opt);
+}
+
+/** Classify @p in given the register state flowing into it. */
+ShareClass
+classify(const Instruction &in, const RegState &regs)
+{
+    // RECV reads a per-context FIFO; the splitter never merges it.
+    if (in.op == Opcode::RECV)
+        return ShareClass::Divergent;
+
+    RegIndex src[2];
+    int n = readSources(in, src);
+
+    // Divergent (sound): for every thread pair some source provably
+    // differs, so no pair can ever present identical inputs.
+    bool all_pairs_differ = true;
+    for (int t = 0; t < maxThreads && all_pairs_differ; ++t) {
+        for (int u = t + 1; u < maxThreads && all_pairs_differ; ++u) {
+            bool differs = false;
+            for (int i = 0; i < n; ++i) {
+                const AbsVal &s = regs[(std::size_t)src[i]];
+                if (s.kind == AbsVal::Kind::Known &&
+                    s.v[(std::size_t)t] != s.v[(std::size_t)u]) {
+                    differs = true;
+                    break;
+                }
+            }
+            all_pairs_differ = differs;
+        }
+    }
+    if (n > 0 && all_pairs_differ)
+        return ShareClass::Divergent;
+
+    // Mergeable (upper bound): every source is uniform across threads.
+    bool all_uniform = true;
+    for (int i = 0; i < n; ++i) {
+        if (!regs[(std::size_t)src[i]].uniformish()) {
+            all_uniform = false;
+            break;
+        }
+    }
+    if (all_uniform)
+        return ShareClass::Mergeable;
+    return ShareClass::Unclassified;
+}
+
+/** Lane-wise branch direction; true if two lanes provably disagree. */
+bool
+branchDiverges(const Instruction &in, Addr pc, const RegState &regs)
+{
+    if (!in.isCondBranch())
+        return false;
+    const AbsVal &a = regs[(std::size_t)in.rs1];
+    const AbsVal &b = regs[(std::size_t)in.rs2];
+    if (a.kind != AbsVal::Kind::Known || b.kind != AbsVal::Kind::Known)
+        return false;
+    bool taken0 = exec::evalBranch(in, a.v[0], b.v[0], pc).taken;
+    for (int t = 1; t < maxThreads; ++t) {
+        if (exec::evalBranch(in, a.v[(std::size_t)t],
+                             b.v[(std::size_t)t], pc)
+                .taken != taken0) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+AbsVal
+join(const AbsVal &a, const AbsVal &b)
+{
+    using Kind = AbsVal::Kind;
+    if (a.kind == Kind::Bottom)
+        return b;
+    if (b.kind == Kind::Bottom)
+        return a;
+    if (a == b)
+        return a;
+    if (a.kind == Kind::Unknown || b.kind == Kind::Unknown)
+        return AbsVal::unknown();
+    // Distinct values that are each thread-uniform stay Uniform (the
+    // path-dependent heuristic); anything involving a lane-divergent
+    // vector degrades to Unknown.
+    if (a.uniformish() && b.uniformish())
+        return AbsVal::uniform();
+    return AbsVal::unknown();
+}
+
+const char *
+shareClassName(ShareClass c)
+{
+    switch (c) {
+      case ShareClass::Mergeable: return "mergeable";
+      case ShareClass::Unclassified: return "unknown";
+      case ShareClass::Divergent: return "divergent";
+    }
+    return "?";
+}
+
+SharingResult
+analyzeSharing(const Cfg &cfg, const SharingOptions &opt)
+{
+    const Program &prog = cfg.program();
+    const auto &blocks = cfg.blocks();
+    std::size_t n_insts = prog.code.size();
+
+    SharingResult res;
+    res.shareClass.assign(n_insts, ShareClass::Unclassified);
+    res.memBase.assign(n_insts, AbsVal());
+    res.divergentBranch.assign(n_insts, false);
+    if (blocks.empty())
+        return res;
+
+    // Block-entry states; fixpoint over reachable blocks.
+    std::vector<RegState> in(blocks.size());
+    for (auto &st : in)
+        st.fill(AbsVal());
+    int entry_block =
+        prog.validPc(prog.entry)
+            ? cfg.blockOf(static_cast<int>((prog.entry - prog.codeBase) /
+                                           instBytes))
+            : 0;
+    in[(std::size_t)entry_block] = entryState(opt);
+
+    std::vector<bool> queued(blocks.size(), false);
+    std::vector<int> work{entry_block};
+    queued[(std::size_t)entry_block] = true;
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        queued[(std::size_t)b] = false;
+
+        RegState st = in[(std::size_t)b];
+        const BasicBlock &blk = blocks[(std::size_t)b];
+        for (int i = blk.first; i <= blk.last; ++i) {
+            const Instruction &inst = prog.code[(std::size_t)i];
+            Addr pc = prog.codeBase +
+                      static_cast<Addr>(i) * instBytes;
+            transfer(inst, pc, st, opt);
+        }
+        for (int s : blk.succs) {
+            RegState merged;
+            bool changed = false;
+            for (int r = 0; r < numArchRegs; ++r) {
+                merged[(std::size_t)r] =
+                    join(in[(std::size_t)s][(std::size_t)r],
+                         st[(std::size_t)r]);
+                changed = changed || !(merged[(std::size_t)r] ==
+                                       in[(std::size_t)s][(std::size_t)r]);
+            }
+            if (changed) {
+                in[(std::size_t)s] = merged;
+                if (!queued[(std::size_t)s]) {
+                    queued[(std::size_t)s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    // Final walk: classify each reachable instruction with the state
+    // flowing into it.
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const BasicBlock &blk = blocks[b];
+        if (!blk.reachable)
+            continue;
+        RegState st = in[b];
+        for (int i = blk.first; i <= blk.last; ++i) {
+            const Instruction &inst = prog.code[(std::size_t)i];
+            Addr pc = prog.codeBase +
+                      static_cast<Addr>(i) * instBytes;
+            ShareClass c = classify(inst, st);
+            res.shareClass[(std::size_t)i] = c;
+            res.classCounts[(std::size_t)c] += 1;
+            if (inst.isMem())
+                res.memBase[(std::size_t)i] = st[(std::size_t)inst.rs1];
+            if (branchDiverges(inst, pc, st))
+                res.divergentBranch[(std::size_t)i] = true;
+            transfer(inst, pc, st, opt);
+        }
+    }
+    return res;
+}
+
+} // namespace analysis
+} // namespace mmt

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Sharing-potential pass: a static upper bound on MMT instruction
+ * merging (the Fig. 1 "how much redundancy is there" question, answered
+ * without running the pipeline).
+ *
+ * Abstract domain. Each architected register is tracked as one of
+ *
+ *   Bottom   — no value yet (unreached)
+ *   Known    — the exact value every thread holds at this point, as a
+ *              per-tid vector {v[0..maxThreads)}; transfer functions
+ *              reuse exec::evalAlu lane-wise, so the abstract semantics
+ *              is the concrete semantics applied per thread
+ *   Uniform  — equal across threads on every individual path, but the
+ *              joined value is path-dependent (heuristic: threads that
+ *              branch differently may disagree)
+ *   Unknown  — anything (loads, RECV, joins of differing values)
+ *
+ * Known is *sound*: the fixpoint only keeps a vector when every path
+ * agrees on it, so "thread t holds v[t] here" is invariant; values that
+ * vary per loop iteration degrade to Uniform/Unknown at the join.
+ *
+ * Classification per static instruction (ShareClass):
+ *
+ *   Mergeable — all register sources are Uniform or Known-equal: every
+ *               thread presents identical inputs, so the splitter may
+ *               keep the instances merged (upper bound; Uniform inputs
+ *               make this heuristic rather than a guarantee)
+ *   Divergent — for every thread pair some source is Known with
+ *               differing lanes (or the op is RECV, which the splitter
+ *               never merges): the instruction can *never* be
+ *               execute-merged. This direction is sound and is enforced
+ *               against the pipeline by the dynamic upper-bound test.
+ *   Unclassified — everything else
+ *
+ * Seeds follow the simulator's thread setup: MT runs give regTid the
+ * vector {0,1,2,3} and regSp the per-thread stack tops; ME runs (and
+ * forceTidZero) make both uniform.
+ */
+
+#ifndef MMT_ANALYSIS_SHARING_HH
+#define MMT_ANALYSIS_SHARING_HH
+
+#include <array>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** Abstract value of one register (see file comment). */
+struct AbsVal
+{
+    enum class Kind { Bottom, Known, Uniform, Unknown };
+    Kind kind = Kind::Bottom;
+    std::array<RegVal, maxThreads> v{}; // valid when kind == Known
+
+    static AbsVal
+    known(const std::array<RegVal, maxThreads> &vals)
+    {
+        return {Kind::Known, vals};
+    }
+
+    static AbsVal
+    constant(RegVal c)
+    {
+        AbsVal a;
+        a.kind = Kind::Known;
+        a.v.fill(c);
+        return a;
+    }
+
+    static AbsVal uniform() { return {Kind::Uniform, {}}; }
+    static AbsVal unknown() { return {Kind::Unknown, {}}; }
+
+    bool
+    lanesAllEqual() const
+    {
+        for (int t = 1; t < maxThreads; ++t)
+            if (v[(std::size_t)t] != v[0])
+                return false;
+        return true;
+    }
+
+    /** Equal across threads (possibly path-dependently). */
+    bool
+    uniformish() const
+    {
+        return kind == Kind::Uniform ||
+               (kind == Kind::Known && lanesAllEqual());
+    }
+
+    bool operator==(const AbsVal &o) const = default;
+};
+
+/** Join (least upper bound) of two abstract values. */
+AbsVal join(const AbsVal &a, const AbsVal &b);
+
+/** Static sharing class of one instruction. */
+enum class ShareClass
+{
+    Mergeable,    // provably identical inputs (upper bound)
+    Unclassified, // cannot tell
+    Divergent,    // provably never execute-merged (sound)
+};
+
+const char *shareClassName(ShareClass c);
+
+/** Thread-setup options mirroring the simulator (see CoreParams). */
+struct SharingOptions
+{
+    bool multiExecution = false;
+    bool forceTidZero = false;
+};
+
+/** Result of the sharing pass. */
+struct SharingResult
+{
+    /** Per-instruction class (index-aligned with Program::code). */
+    std::vector<ShareClass> shareClass;
+    /** Abstract base-register value at each memory instruction (the
+     *  AbsVal of rs1 flowing into it); used by the segment-bounds and
+     *  divergence lints. Kind::Bottom for non-memory instructions. */
+    std::vector<AbsVal> memBase;
+    /** Conditional branches whose direction provably differs between
+     *  at least one thread pair (Known condition lanes disagree). */
+    std::vector<bool> divergentBranch;
+    /** Static instruction counts per class, reachable code only. */
+    std::array<int, 3> classCounts{};
+};
+
+/** Run the sharing fixpoint over @p cfg. */
+SharingResult analyzeSharing(const Cfg &cfg, const SharingOptions &opt);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_SHARING_HH

@@ -134,6 +134,41 @@ struct Stmt
     std::vector<std::string> operands;
 };
 
+/**
+ * Extract lint-suppression rules from a comment: every
+ * "analyze:allow(rule-a, rule-b)" occurrence contributes its rule names.
+ */
+std::vector<std::string>
+parseAllowRules(const std::string &comment)
+{
+    static const std::string kMarker = "analyze:allow(";
+    std::vector<std::string> rules;
+    std::size_t pos = 0;
+    while ((pos = comment.find(kMarker, pos)) != std::string::npos) {
+        pos += kMarker.size();
+        std::size_t close = comment.find(')', pos);
+        if (close == std::string::npos)
+            break;
+        std::string inner = comment.substr(pos, close - pos);
+        std::string rule;
+        auto flush = [&]() {
+            if (!rule.empty())
+                rules.push_back(rule);
+            rule.clear();
+        };
+        for (char c : inner) {
+            if (c == ',') {
+                flush();
+            } else if (!std::isspace(static_cast<unsigned char>(c))) {
+                rule.push_back(c);
+            }
+        }
+        flush();
+        pos = close + 1;
+    }
+    return rules;
+}
+
 class Assembler
 {
   public:
@@ -142,6 +177,7 @@ class Assembler
     {
         prog_.codeBase = code_base;
         prog_.entry = code_base;
+        prog_.dataBase = data_base;
         dataCursor_ = data_base;
     }
 
@@ -150,6 +186,7 @@ class Assembler
     {
         parseLines();
         encodeAll();
+        prog_.dataLimit = dataCursor_;
         auto it = prog_.symbols.find("main");
         if (it != prog_.symbols.end())
             prog_.entry = it->second;
@@ -209,8 +246,11 @@ class Assembler
         while (std::getline(is, raw)) {
             ++line;
             std::size_t hash = raw.find_first_of("#;");
-            if (hash != std::string::npos)
+            std::vector<std::string> allow_rules;
+            if (hash != std::string::npos) {
+                allow_rules = parseAllowRules(raw.substr(hash));
                 raw = raw.substr(0, hash);
+            }
             std::string s = trim(raw);
             // Peel any leading labels.
             for (;;) {
@@ -223,8 +263,12 @@ class Assembler
                     break; // ':' belongs to something else (not a label)
                 }
                 Addr here = in_text ? code_pc : dataCursor_;
-                if (!prog_.symbols.emplace(head, here).second)
-                    err(line, "duplicate label '" + head + "'");
+                if (!prog_.symbols.emplace(head, here).second) {
+                    err(line, "duplicate label '" + head +
+                        "' (first defined at line " +
+                        std::to_string(labelLine_.at(head)) + ")");
+                }
+                labelLine_.emplace(head, line);
                 s = trim(s.substr(colon + 1));
             }
             if (s.empty())
@@ -276,6 +320,11 @@ class Assembler
             ls >> st.mnemonic;
             std::string rest = trim(s.substr(st.mnemonic.size()));
             st.operands = splitOperands(rest);
+            if (!allow_rules.empty()) {
+                auto &set =
+                    prog_.allowRules[static_cast<int>(stmts_.size())];
+                set.insert(allow_rules.begin(), allow_rules.end());
+            }
             stmts_.push_back(std::move(st));
             code_pc += instBytes;
         }
@@ -374,8 +423,11 @@ class Assembler
     encodeAll()
     {
         prog_.code.reserve(stmts_.size());
-        for (const Stmt &st : stmts_)
+        prog_.srcLines.reserve(stmts_.size());
+        for (const Stmt &st : stmts_) {
             prog_.code.push_back(encode(st));
+            prog_.srcLines.push_back(st.line);
+        }
     }
 
     Instruction
@@ -481,6 +533,8 @@ class Assembler
     Program prog_;
     Addr dataCursor_;
     std::vector<Stmt> stmts_;
+    /** Label -> line of its definition (duplicate-label diagnostics). */
+    std::map<std::string, int> labelLine_;
 };
 
 } // namespace

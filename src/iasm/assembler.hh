@@ -22,9 +22,15 @@
  *   pi:    .double 3.14159
  * @endcode
  *
- * All data directives operate on 8-byte words. Undefined labels, malformed
- * operands and wrong register classes are reported with fatal() including
- * the source line number.
+ * All data directives operate on 8-byte words. Undefined labels, duplicate
+ * labels (with the line of the first definition), malformed operands and
+ * wrong register classes are reported with fatal() including the source
+ * line number.
+ *
+ * A comment of the form "; analyze:allow(rule-a, rule-b)" on an
+ * instruction line suppresses those mmt-analyze lint rules for that
+ * instruction (see docs/ANALYSIS.md); the assembler records the rules in
+ * Program::allowRules.
  */
 
 #ifndef MMT_IASM_ASSEMBLER_HH

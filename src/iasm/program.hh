@@ -8,6 +8,7 @@
 #define MMT_IASM_PROGRAM_HH
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,39 @@ class Program
     Addr codeBase = defaultCodeBase;
     /** Entry PC (address of label "main" if present, else codeBase). */
     Addr entry = defaultCodeBase;
+
+    /** Base of the data segment (as assembled). */
+    Addr dataBase = defaultDataBase;
+    /** Address just past the last assembled data word / .space region. */
+    Addr dataLimit = defaultDataBase;
+
+    /**
+     * Source line of instruction i (1-based; empty when the program was
+     * constructed without the assembler). Used by mmt-analyze diagnostics.
+     */
+    std::vector<int> srcLines;
+    /**
+     * Static-analysis suppressions: instruction index -> lint rules
+     * disabled by an inline "; analyze:allow(<rule>)" comment.
+     */
+    std::map<int, std::set<std::string>> allowRules;
+
+    /** Source line of instruction @p index (0 when unknown). */
+    int
+    line(int index) const
+    {
+        return index >= 0 && index < static_cast<int>(srcLines.size())
+                   ? srcLines[static_cast<std::size_t>(index)]
+                   : 0;
+    }
+
+    /** True if lint rule @p rule is suppressed on instruction @p index. */
+    bool
+    allowed(int index, const std::string &rule) const
+    {
+        auto it = allowRules.find(index);
+        return it != allowRules.end() && it->second.count(rule) > 0;
+    }
 
     /** Address just past the last instruction. */
     Addr

@@ -58,7 +58,8 @@ imagePointers(std::vector<std::unique_ptr<MemoryImage>> &images,
 
 RunResult
 runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
-            const SimOverrides &ov, bool check_golden)
+            const SimOverrides &ov, bool check_golden,
+            PcMergeProfile *pc_profile)
 {
     Program prog = assemble(workload.source);
     CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
@@ -72,6 +73,15 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
     SmtCore core(params, &prog, ptrs);
     if (workload.messagePassing)
         core.setMessageNetwork(&net);
+    if (pc_profile) {
+        core.setCommitHook([pc_profile](const DynInst &di, Cycles) {
+            PcCounts &c = (*pc_profile)[di.pc];
+            auto n = static_cast<std::uint64_t>(di.itid.count());
+            c.committed += n;
+            if (di.isMergedExec())
+                c.merged += n;
+        });
+    }
     auto wall_start = std::chrono::steady_clock::now();
     core.run();
     double host_seconds = std::chrono::duration<double>(

@@ -9,6 +9,8 @@
 #define MMT_SIM_SIMULATOR_HH
 
 #include <array>
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "energy/energy_model.hh"
@@ -17,6 +19,20 @@
 
 namespace mmt
 {
+
+/** Commit counts of one static instruction (thread-instructions). */
+struct PcCounts
+{
+    std::uint64_t committed = 0;
+    std::uint64_t merged = 0; // committed via an execute-merged instance
+};
+
+/**
+ * Per-PC merge profile of one run, filled through the core's commit
+ * hook when requested; consumed by analysis::checkMergeUpperBound to
+ * enforce the static upper bound on merging.
+ */
+using PcMergeProfile = std::map<Addr, PcCounts>;
 
 /**
  * Host-throughput measurement of one simulation (the ROADMAP's "as fast
@@ -80,11 +96,14 @@ struct RunResult
  *
  * @param check_golden also run the functional interpreter and compare
  *        final architected state, memory, and OUT logs
+ * @param pc_profile when non-null, filled with per-PC committed/merged
+ *        thread-instruction counts (static-analysis cross-check)
  */
 RunResult runWorkload(const Workload &workload, ConfigKind kind,
                       int num_threads,
                       const SimOverrides &ov = SimOverrides(),
-                      bool check_golden = true);
+                      bool check_golden = true,
+                      PcMergeProfile *pc_profile = nullptr);
 
 /**
  * Run @p workload to completion and return the full counter dump —

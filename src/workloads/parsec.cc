@@ -96,7 +96,7 @@ bs_done:
     addi r22, r22, 1
     blt  r22, r21, bs_pass
     barrier
-    bnez tid, bs_end
+    bnez tid, bs_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r8, 0
 bs_sum:
@@ -199,7 +199,7 @@ sw_pdone:
     j    sw_sloop
 sw_sdone:
     barrier
-    bnez tid, sw_end
+    bnez tid, sw_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r8, 0
 sw_sum:
@@ -326,7 +326,7 @@ fl_mdone:
     j    fl_cloop
 fl_cdone:
     barrier
-    bnez tid, fl_end
+    bnez tid, fl_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r9, 0
 fl_sum:

@@ -84,7 +84,7 @@ lu_kdone:
     addi r12, r1, -1
     blt  r4, r12, lu_kloop
     barrier
-    bnez tid, lu_end
+    bnez tid, lu_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r5, 0
 lu_sum:
@@ -196,7 +196,7 @@ fft_bdone:
     slli r7, r7, 1
     addi r24, r24, 1
     blt  r7, r1, fft_stage
-    bnez tid, fft_end
+    bnez tid, fft_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r9, 0
 fft_sum:
@@ -306,7 +306,7 @@ wns_jnext:
     j    wns_iloop
 wns_idone:
     barrier
-    bnez tid, wns_end
+    bnez tid, wns_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r8, 0
 wns_sum:
@@ -427,7 +427,7 @@ wsp_mdone:
     j    wsp_cloop
 wsp_cdone:
     barrier
-    bnez tid, wsp_end
+    bnez tid, wsp_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     li   r9, 0
 wsp_sum:
@@ -528,7 +528,7 @@ ocean_rdone:
     xor  r10, r10, r11
     addi r4, r4, 1
     blt  r4, r3, ocean_iter
-    bnez tid, ocean_end
+    bnez tid, ocean_end   ; analyze:allow(tid-divergent-branch) thread 0 reduces
     fli  f20, 0.0
     mul  r6, r1, r1
     li   r5, 0

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Unit tests for the mmt-analyze passes: CFG construction, dataflow
+ * (use-before-def, dead defs, dead code), the sharing-potential
+ * abstract interpretation, and the lint rules with their allow()
+ * suppressions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/analyzer.hh"
+#include "iasm/assembler.hh"
+
+using namespace mmt;
+using namespace mmt::analysis;
+
+namespace
+{
+
+/** Keeps the Program alive next to the analysis that references it. */
+struct Analyzed
+{
+    Program prog;
+    AnalysisResult res;
+};
+
+Analyzed
+analyze(const std::string &src, bool multi_execution = false)
+{
+    Analyzed a{assemble(src), {}};
+    AnalysisOptions opt;
+    opt.multiExecution = multi_execution;
+    a.res = analyzeProgram(a.prog, opt);
+    return a;
+}
+
+bool
+hasRule(const AnalysisResult &res, const std::string &rule)
+{
+    for (const Diagnostic &d : res.diags)
+        if (d.rule == rule)
+            return true;
+    return false;
+}
+
+int
+lineOfRule(const AnalysisResult &res, const std::string &rule)
+{
+    for (const Diagnostic &d : res.diags)
+        if (d.rule == rule)
+            return d.line;
+    return -1;
+}
+
+} // namespace
+
+TEST(Cfg, SplitsBlocksAtBranchesAndTargets)
+{
+    Program p = assemble(R"(
+main:
+    li r1, 4
+    beqz r1, out
+    addi r1, r1, -1
+out:
+    halt
+)");
+    Cfg cfg(p);
+    // Blocks: [li,beqz] [addi] [halt]
+    ASSERT_EQ(cfg.blocks().size(), 3u);
+    EXPECT_EQ(cfg.blocks()[0].succs.size(), 2u);
+    EXPECT_EQ(cfg.blocks()[1].succs.size(), 1u);
+    EXPECT_TRUE(cfg.blocks()[2].succs.empty());
+    for (const BasicBlock &b : cfg.blocks())
+        EXPECT_TRUE(b.reachable);
+    EXPECT_EQ(cfg.blockOf(0), 0);
+    EXPECT_EQ(cfg.blockOf(2), 1);
+    EXPECT_EQ(cfg.blockOf(3), 2);
+}
+
+TEST(Cfg, PostDominance)
+{
+    Program p = assemble(R"(
+main:
+    beqz tid, a
+    nop
+a:
+    nop
+    halt
+)");
+    Cfg cfg(p);
+    int branch = cfg.blockOf(0);
+    int join = cfg.blockOf(2);
+    EXPECT_TRUE(cfg.postDominates(join, branch));
+    EXPECT_FALSE(cfg.postDominates(cfg.blockOf(1), branch));
+    EXPECT_TRUE(cfg.postDominates(cfg.exitNode(), branch));
+}
+
+TEST(Cfg, IndirectJumpGetsReturnPointSuccessors)
+{
+    Program p = assemble(R"(
+main:
+    call fn
+    halt
+fn:
+    ret
+)");
+    Cfg cfg(p);
+    const BasicBlock &fn = cfg.blocks()[(std::size_t)cfg.blockOf(2)];
+    EXPECT_TRUE(fn.hasIndirect);
+    // ret's conservative successors include the return point (inst 1).
+    bool has_return_point = false;
+    for (int s : fn.succs)
+        has_return_point |= cfg.blocks()[(std::size_t)s].first == 1;
+    EXPECT_TRUE(has_return_point);
+    EXPECT_TRUE(cfg.reachable(1));
+}
+
+TEST(Dataflow, FlagsUseBeforeDef)
+{
+    auto a = analyze("main:\n  add r1, r2, r3\n  halt\n");
+    EXPECT_TRUE(hasRule(a.res, "use-before-def"));
+    EXPECT_EQ(lineOfRule(a.res, "use-before-def"), 2);
+}
+
+TEST(Dataflow, HardwareRegistersAreInitialized)
+{
+    auto a = analyze("main:\n  add r1, tid, sp\n  st r1, 0(sp)\n  halt\n");
+    EXPECT_FALSE(hasRule(a.res, "use-before-def"));
+}
+
+TEST(Dataflow, MustDefinednessJoinsOverPaths)
+{
+    // r1 is defined on only one branch arm: a later use is flagged.
+    auto a = analyze(R"(
+main:
+    beqz tid, skip
+    li r1, 5
+skip:
+    add r2, r1, r1
+    halt
+)");
+    EXPECT_TRUE(hasRule(a.res, "use-before-def"));
+    // Defined on both arms: clean.
+    auto b = analyze(R"(
+main:
+    beqz tid, other
+    li r1, 5
+    j merge
+other:
+    li r1, 9
+merge:
+    add r2, r1, r1
+    halt
+)");
+    EXPECT_FALSE(hasRule(b.res, "use-before-def"));
+}
+
+TEST(Dataflow, FlagsDeadDef)
+{
+    auto a = analyze(R"(
+main:
+    li r1, 1
+    li r1, 2
+    out r1
+    halt
+)");
+    EXPECT_TRUE(hasRule(a.res, "dead-def"));
+    EXPECT_EQ(lineOfRule(a.res, "dead-def"), 3);
+}
+
+TEST(Dataflow, FinalRegisterStateIsLive)
+{
+    // The golden model compares final registers, so a def that
+    // survives to halt is NOT dead.
+    auto a = analyze("main:\n  li r1, 1\n  halt\n");
+    EXPECT_FALSE(hasRule(a.res, "dead-def"));
+}
+
+TEST(Lint, FlagsDeadCode)
+{
+    auto a = analyze(R"(
+main:
+    halt
+    nop
+)");
+    EXPECT_TRUE(hasRule(a.res, "dead-code"));
+    EXPECT_EQ(lineOfRule(a.res, "dead-code"), 4);
+}
+
+TEST(Lint, FlagsWriteToZeroRegister)
+{
+    auto a = analyze("main:\n  add r0, tid, tid\n  halt\n");
+    EXPECT_TRUE(hasRule(a.res, "write-zero"));
+}
+
+TEST(Lint, FlagsInvalidBranchTarget)
+{
+    auto a = analyze("main:\n  j 0x9000\n  halt\n");
+    EXPECT_TRUE(hasRule(a.res, "invalid-branch-target"));
+    EXPECT_EQ(a.res.errors(), 1);
+}
+
+TEST(Lint, FlagsFallOffEnd)
+{
+    auto a = analyze("main:\n  nop\n");
+    EXPECT_TRUE(hasRule(a.res, "fall-off-end"));
+    EXPECT_GE(a.res.errors(), 1);
+    auto b = analyze("main:\n  nop\n  halt\n");
+    EXPECT_FALSE(hasRule(b.res, "fall-off-end"));
+}
+
+TEST(Lint, FlagsOutOfSegmentConstAccess)
+{
+    auto a = analyze(R"(
+.data
+x: .word 7
+.text
+main:
+    ld r1, 0x900000(r0)
+    halt
+)");
+    EXPECT_TRUE(hasRule(a.res, "segment-bounds"));
+    // Symbol-based access into the data segment is fine.
+    auto b = analyze(R"(
+.data
+x: .word 7
+.text
+main:
+    ld r1, x(r0)
+    st r1, x(r0)
+    halt
+)");
+    EXPECT_FALSE(hasRule(b.res, "segment-bounds"));
+    // Stack accesses through sp are fine too.
+    auto c = analyze(R"(
+main:
+    addi sp, sp, -8
+    st tid, 0(sp)
+    halt
+)");
+    EXPECT_FALSE(hasRule(c.res, "segment-bounds"));
+}
+
+TEST(Lint, FlagsBarrierUnderDivergentBranch)
+{
+    auto a = analyze(R"(
+main:
+    bnez tid, skip
+    barrier
+skip:
+    halt
+)");
+    EXPECT_TRUE(hasRule(a.res, "barrier-divergence"));
+    EXPECT_TRUE(hasRule(a.res, "tid-divergent-branch"));
+    // A barrier every thread reaches is clean.
+    auto b = analyze(R"(
+main:
+    bnez tid, skip
+    nop
+skip:
+    barrier
+    halt
+)");
+    EXPECT_FALSE(hasRule(b.res, "barrier-divergence"));
+}
+
+TEST(Lint, AllowCommentSuppressesRule)
+{
+    auto a = analyze(
+        "main:\n  add r0, tid, tid ; analyze:allow(write-zero)\n  halt\n");
+    EXPECT_FALSE(hasRule(a.res, "write-zero"));
+    // Only the named rule is suppressed.
+    auto b = analyze(
+        "main:\n  add r0, r9, r9 ; analyze:allow(write-zero)\n  halt\n");
+    EXPECT_TRUE(hasRule(b.res, "use-before-def"));
+}
+
+TEST(Sharing, TidSeedsDivergence)
+{
+    auto a = analyze(R"(
+main:
+    mv r1, tid
+    slli r2, r1, 3
+    li r3, 100
+    halt
+)");
+    const auto &cls = a.res.sharing.shareClass;
+    EXPECT_EQ(cls[0], ShareClass::Divergent); // reads tid
+    EXPECT_EQ(cls[1], ShareClass::Divergent); // r1 = {0,1,2,3}
+    EXPECT_EQ(cls[2], ShareClass::Mergeable); // pure immediate
+}
+
+TEST(Sharing, MultiExecutionTidIsUniform)
+{
+    auto a = analyze("main:\n  mv r1, tid\n  halt\n",
+                     /*multi_execution=*/true);
+    EXPECT_EQ(a.res.sharing.shareClass[0], ShareClass::Mergeable);
+    EXPECT_DOUBLE_EQ(a.res.staticMergeableFrac(), 1.0);
+}
+
+TEST(Sharing, LoadsDegradeToUnknown)
+{
+    auto a = analyze(R"(
+.data
+x: .word 3
+.text
+main:
+    ld r1, x(r0)
+    add r2, r1, r1
+    halt
+)");
+    const auto &cls = a.res.sharing.shareClass;
+    // The load itself has a uniform address: mergeable.
+    EXPECT_EQ(cls[0], ShareClass::Mergeable);
+    // Its MT-shared result is heuristically uniform: still mergeable.
+    EXPECT_EQ(cls[1], ShareClass::Mergeable);
+
+    // In an ME run the same data differs per instance.
+    auto b = analyze(
+        ".data\nx: .word 3\n.text\nmain:\n  ld r1, x(r0)\n"
+        "  add r2, r1, r1\n  halt\n",
+        /*multi_execution=*/true);
+    EXPECT_EQ(b.res.sharing.shareClass[1], ShareClass::Unclassified);
+}
+
+TEST(Sharing, JoinOfDivergentPathsDegrades)
+{
+    // r1 ends as 5 on one path and tid-dependent on the other; the
+    // consumer after the join must not be classified Divergent (thread
+    // 0 may hold 5 on either path — pairwise inequality is not
+    // provable), and must not be Mergeable either.
+    auto a = analyze(R"(
+main:
+    beqz tid, a
+    mv r1, tid
+    j b
+a:
+    li r1, 5
+b:
+    add r2, r1, r1
+    halt
+)");
+    int consumer = 4; // add r2, r1, r1
+    EXPECT_EQ(a.res.sharing.shareClass[(std::size_t)consumer],
+              ShareClass::Unclassified);
+}
+
+TEST(Sharing, SpIsDivergentInMtRuns)
+{
+    auto a = analyze("main:\n  st tid, 0(sp)\n  halt\n");
+    // The store reads both sp (divergent address) and tid.
+    EXPECT_EQ(a.res.sharing.shareClass[0], ShareClass::Divergent);
+    auto b = analyze("main:\n  st r0, 0(sp)\n  halt\n",
+                     /*multi_execution=*/true);
+    EXPECT_EQ(b.res.sharing.shareClass[0], ShareClass::Mergeable);
+}
+
+TEST(Sharing, ClassOfMapsPcs)
+{
+    auto a = analyze("main:\n  mv r1, tid\n  halt\n");
+    EXPECT_EQ(a.res.classOf(a.prog.codeBase), ShareClass::Divergent);
+    EXPECT_EQ(a.res.classOf(a.prog.codeBase + instBytes),
+              ShareClass::Mergeable);
+    EXPECT_EQ(a.res.classOf(0x4), ShareClass::Unclassified);
+}
+
+TEST(Report, TextAndJsonRender)
+{
+    auto a = analyze("main:\n  add r0, tid, tid\n  halt\n");
+    std::string text = renderReport(a.res, "demo", false);
+    EXPECT_NE(text.find("write-zero"), std::string::npos);
+    EXPECT_NE(text.find("[warning]"), std::string::npos);
+    std::string json = renderReport(a.res, "demo", true);
+    EXPECT_NE(json.find("\"workload\": \"demo\""), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"write-zero\""), std::string::npos);
+    EXPECT_NE(json.find("\"static_mergeable_frac\""), std::string::npos);
+}

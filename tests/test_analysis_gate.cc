@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The workload lint gate (the ctest side of `mmt_cli analyze --all`):
+ * every registered workload must analyze with zero error-severity
+ * diagnostics, and the static sharing upper bound must dominate the
+ * dynamic merge fraction the pipeline actually achieves (ISSUE-3
+ * acceptance invariant). A violation means either a broken workload, an
+ * unsound abstract domain, or a pipeline that merges non-identical
+ * instances.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dynamic_bound.hh"
+
+using namespace mmt;
+using namespace mmt::analysis;
+
+namespace
+{
+
+std::vector<Workload>
+gateWorkloads()
+{
+    std::vector<Workload> all = allWorkloads();
+    all.push_back(messagePassingWorkload());
+    return all;
+}
+
+std::string
+describe(const AnalysisResult &res, const std::string &name)
+{
+    return renderReport(res, name, /*json=*/false);
+}
+
+} // namespace
+
+class WorkloadLintGate : public ::testing::TestWithParam<Workload>
+{
+};
+
+TEST_P(WorkloadLintGate, NoErrorSeverityDiagnostics)
+{
+    const Workload &w = GetParam();
+    AnalysisResult res = analyzeWorkload(w);
+    EXPECT_EQ(res.errors(), 0) << describe(res, w.name);
+}
+
+TEST_P(WorkloadLintGate, StaticBoundDominatesDynamicMerging)
+{
+    const Workload &w = GetParam();
+    AnalysisResult analysis;
+    MergeBoundReport rep =
+        runMergeBoundCheck(w, ConfigKind::MMT_FXR, 2, &analysis);
+
+    ASSERT_GT(rep.committed, 0u);
+    // Per-PC invariant: a merged pc is never statically Divergent.
+    for (const BoundViolation &v : rep.violations) {
+        ADD_FAILURE() << w.name << ": pc 0x" << std::hex << v.pc
+                      << std::dec << " (line " << v.line << ") merged "
+                      << v.merged
+                      << " thread-insts but is statically divergent";
+    }
+    // Weighted consequence: static upper bound >= dynamic fraction.
+    EXPECT_GE(rep.staticMergeableFrac(), rep.dynamicMergedFrac())
+        << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadLintGate,
+                         ::testing::ValuesIn(gateWorkloads()),
+                         [](const ::testing::TestParamInfo<Workload> &i) {
+                             std::string n = i.param.name;
+                             for (char &c : n)
+                                 if (c == '-' || c == '.')
+                                     c = '_';
+                             return n;
+                         });

@@ -203,6 +203,50 @@ TEST(Assembler, DisassemblyContainsLabels)
     EXPECT_NE(d.find("halt"), std::string::npos);
 }
 
+TEST(Assembler, RecordsSourceLines)
+{
+    Program p = assemble("main:\n  li r1, 1\n\n  nop\n  halt\n");
+    ASSERT_EQ(p.srcLines.size(), p.code.size());
+    EXPECT_EQ(p.line(0), 2);
+    EXPECT_EQ(p.line(1), 4);
+    EXPECT_EQ(p.line(2), 5);
+    EXPECT_EQ(p.line(-1), 0);
+    EXPECT_EQ(p.line(99), 0);
+}
+
+TEST(Assembler, RecordsDataSegmentBounds)
+{
+    Program p = assemble(R"(
+.data
+a: .word 1, 2
+b: .space 16
+.text
+main: halt
+)");
+    EXPECT_EQ(p.dataBase, defaultDataBase);
+    EXPECT_EQ(p.dataLimit, p.dataBase + 2 * 8 + 16);
+
+    Program q = assemble("main:\n halt\n");
+    EXPECT_EQ(q.dataLimit, q.dataBase);  // empty data segment
+}
+
+TEST(Assembler, AllowCommentsRecordSuppressedRules)
+{
+    Program p = assemble(R"(
+main:
+    add r0, r1, r2   ; analyze:allow(write-zero)
+    nop
+    mv r3, tid       # analyze:allow(dead-def, use-before-def)
+    halt
+)");
+    EXPECT_TRUE(p.allowed(0, "write-zero"));
+    EXPECT_FALSE(p.allowed(0, "dead-def"));
+    EXPECT_FALSE(p.allowed(1, "write-zero"));
+    EXPECT_TRUE(p.allowed(2, "dead-def"));
+    EXPECT_TRUE(p.allowed(2, "use-before-def"));
+    EXPECT_FALSE(p.allowed(3, "write-zero"));
+}
+
 using AssemblerDeath = ::testing::Test;
 
 TEST(AssemblerDeath, RejectsUnknownMnemonic)
@@ -215,6 +259,32 @@ TEST(AssemblerDeath, RejectsUndefinedLabel)
 {
     EXPECT_EXIT(assemble("main:\n  j nowhere\n"),
                 ::testing::ExitedWithCode(1), "undefined label");
+}
+
+TEST(AssemblerDeath, UndefinedLabelReportsSourceLine)
+{
+    // The bad reference sits on line 3; the message must name that line
+    // and the label, not just bail out.
+    EXPECT_EXIT(assemble("main:\n  nop\n  j nowhere\n  halt\n"),
+                ::testing::ExitedWithCode(1),
+                "asm line 3: undefined label 'nowhere'");
+    // Memory operands resolve labels too.
+    EXPECT_EXIT(assemble("main:\n  ld r1, missing(r0)\n"),
+                ::testing::ExitedWithCode(1),
+                "asm line 2: undefined label 'missing'");
+}
+
+TEST(AssemblerDeath, DuplicateLabelReportsBothLines)
+{
+    EXPECT_EXIT(assemble("a:\n nop\na:\n halt\n"),
+                ::testing::ExitedWithCode(1),
+                "asm line 3: duplicate label 'a' \\(first defined at "
+                "line 1\\)");
+    // Duplicates across segments are caught as well.
+    EXPECT_EXIT(assemble(".data\nbuf: .word 1\n.text\nbuf:\n halt\n"),
+                ::testing::ExitedWithCode(1),
+                "asm line 4: duplicate label 'buf' \\(first defined at "
+                "line 2\\)");
 }
 
 TEST(AssemblerDeath, RejectsWrongRegisterClass)

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/dynamic_bound.hh"
 #include "iasm/assembler.hh"
 #include "profile/random_program.hh"
 #include "sim/simulator.hh"
@@ -63,6 +64,35 @@ TEST_P(RandomProgramTest, PipelineMatchesGoldenModel)
     RunResult r = runWorkload(w, c.kind, c.threads);
     EXPECT_TRUE(r.goldenOk) << "seed " << c.seed;
     EXPECT_GT(r.committedThreadInsts, 100u);
+}
+
+/**
+ * Property: dynamic merged instructions ⊆ statically mergeable. The
+ * sharing pass proves some instructions can never be execute-merged
+ * (Divergent); if the pipeline merges one anyway, either the RST let
+ * non-identical values pass as shared or the analyzer's abstract
+ * domain is unsound — both are bugs worth failing loudly on.
+ */
+TEST_P(RandomProgramTest, DynamicMergingRespectsStaticBound)
+{
+    const FuzzCase &c = GetParam();
+    RandomProgramParams params;
+    params.seed = c.seed;
+    params.multiExecution = c.me;
+    Workload w = generateRandomWorkload(params);
+
+    analysis::AnalysisResult analysis;
+    analysis::MergeBoundReport rep = analysis::runMergeBoundCheck(
+        w, c.kind, c.threads, &analysis);
+    ASSERT_GT(rep.committed, 0u);
+    for (const analysis::BoundViolation &v : rep.violations) {
+        ADD_FAILURE() << "seed " << c.seed << ": pc 0x" << std::hex
+                      << v.pc << std::dec << " (line " << v.line
+                      << ") merged " << v.merged
+                      << " thread-insts but is statically divergent";
+    }
+    EXPECT_GE(rep.staticMergeableFrac(), rep.dynamicMergedFrac())
+        << "seed " << c.seed;
 }
 
 namespace

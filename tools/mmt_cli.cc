@@ -4,6 +4,7 @@
  *
  * Usage:
  *   mmt_cli [run] [options] <workload>
+ *   mmt_cli analyze <workload>|--all [--json] [--dynamic]
  *   mmt_cli --list
  *   mmt_cli sweep --figure <id> [sweep options]
  *   mmt_cli sweep --list-figures
@@ -20,6 +21,18 @@
  *   --stats-json           print the counter dump as JSON (only output)
  *   --asm <file>           run an assembly file instead of a named
  *                          workload (single address space, MT semantics)
+ *   --strict               refuse to simulate a program with
+ *                          error-severity mmt-analyze diagnostics
+ *
+ * Analyze options (static CFG/dataflow/sharing analysis, no simulation
+ * unless --dynamic):
+ *   --all                  analyze every registered workload
+ *   --json                 machine-readable report
+ *   --dynamic              also run the simulation and cross-check the
+ *                          static upper bound against the merge profile
+ *                          (honors --config/--threads)
+ *   exit status: 1 when any error-severity diagnostic (or upper-bound
+ *   violation with --dynamic) is found
  *
  * Sweep options (parallel figure reproduction with result caching):
  *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d
@@ -46,6 +59,7 @@
 #include <sstream>
 #include <string>
 
+#include "analysis/dynamic_bound.hh"
 #include "common/logging.hh"
 #include "core/smt_core.hh"
 #include "iasm/assembler.hh"
@@ -67,7 +81,10 @@ usage()
                  "               [--fhb N] [--ls-ports N] [--fetch-width N]\n"
                  "               [--no-trace-cache] [--no-golden]\n"
                  "               [--stats] [--stats-json] [--asm FILE]\n"
-                 "               <workload>\n"
+                 "               [--strict] <workload>\n"
+                 "       mmt_cli analyze [--json] [--dynamic]\n"
+                 "               [--config KIND] [--threads N] [--asm FILE]\n"
+                 "               <workload>|--all\n"
                  "       mmt_cli --list\n"
                  "       mmt_cli sweep --figure ID [--jobs N]\n"
                  "               [--cache-dir DIR] [--apps A,B,...]\n"
@@ -230,6 +247,102 @@ workloadFromFile(const std::string &path)
     return w;
 }
 
+/** `mmt_cli analyze ...`: static analysis report / lint gate. */
+int
+analyzeMain(int argc, char **argv)
+{
+    bool json = false;
+    bool all = false;
+    bool dynamic = false;
+    ConfigKind kind = ConfigKind::MMT_FXR;
+    int threads = 2;
+    std::string asm_file;
+    std::string workload_name;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--all") {
+            all = true;
+        } else if (arg == "--dynamic") {
+            dynamic = true;
+        } else if (arg == "--config") {
+            kind = parseConfigKind(next());
+        } else if (arg == "--threads") {
+            threads = std::atoi(next().c_str());
+        } else if (arg == "--asm") {
+            asm_file = next();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown analyze option '%s'\n",
+                         arg.c_str());
+            usage();
+        } else {
+            workload_name = arg;
+        }
+    }
+    if (threads < 1 || threads > maxThreads)
+        fatal("threads must be 1..%d", maxThreads);
+    if (!all && asm_file.empty() && workload_name.empty())
+        usage();
+
+    std::vector<Workload> targets;
+    if (all) {
+        targets = allWorkloads();
+        targets.push_back(messagePassingWorkload());
+    } else if (!asm_file.empty()) {
+        targets.push_back(workloadFromFile(asm_file));
+    } else if (workload_name == "mp-ring") {
+        targets.push_back(messagePassingWorkload());
+    } else {
+        targets.push_back(findWorkload(workload_name));
+    }
+
+    int errors = 0;
+    for (const Workload &w : targets) {
+        analysis::AnalysisResult res = analysis::analyzeWorkload(w);
+        std::printf("%s", analysis::renderReport(res, w.name,
+                                                 json).c_str());
+        errors += res.errors();
+        if (dynamic) {
+            analysis::MergeBoundReport rep =
+                analysis::runMergeBoundCheck(w, kind, threads);
+            if (json) {
+                std::printf("{\"workload\": \"%s\", "
+                            "\"dynamic_merged_frac\": %.6f, "
+                            "\"static_mergeable_frac\": %.6f, "
+                            "\"violations\": %zu}\n",
+                            w.name.c_str(), rep.dynamicMergedFrac(),
+                            rep.staticMergeableFrac(),
+                            rep.violations.size());
+            } else {
+                std::printf("  dynamic: %.1f%% merged vs %.1f%% static "
+                            "upper bound (%s, %dT)%s\n",
+                            100.0 * rep.dynamicMergedFrac(),
+                            100.0 * rep.staticMergeableFrac(),
+                            configName(kind), threads,
+                            rep.ok() ? "" : "  BOUND VIOLATED");
+            }
+            for (const analysis::BoundViolation &v : rep.violations) {
+                std::fprintf(stderr,
+                             "%s: pc 0x%llx (line %d) merged %llu "
+                             "thread-insts but is statically divergent\n",
+                             w.name.c_str(),
+                             static_cast<unsigned long long>(v.pc),
+                             v.line,
+                             static_cast<unsigned long long>(v.merged));
+            }
+            errors += static_cast<int>(rep.violations.size());
+        }
+    }
+    return errors > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -237,6 +350,8 @@ main(int argc, char **argv)
 {
     if (argc >= 2 && std::strcmp(argv[1], "sweep") == 0)
         return sweepMain(argc - 2, argv + 2);
+    if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0)
+        return analyzeMain(argc - 2, argv + 2);
 
     ConfigKind kind = ConfigKind::MMT_FXR;
     int threads = 2;
@@ -244,6 +359,7 @@ main(int argc, char **argv)
     bool golden = true;
     bool dump_stats = false;
     bool stats_json = false;
+    bool strict = false;
     std::string asm_file;
     std::string workload_name;
 
@@ -282,6 +398,8 @@ main(int argc, char **argv)
             stats_json = true;
         } else if (arg == "--asm") {
             asm_file = next();
+        } else if (arg == "--strict") {
+            strict = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -303,6 +421,19 @@ main(int argc, char **argv)
         w = messagePassingWorkload();
     } else {
         w = findWorkload(workload_name);
+    }
+
+    if (strict) {
+        // Opt-in gate: refuse to burn simulation cycles on a program
+        // the static analyzer can prove broken.
+        analysis::AnalysisResult res = analysis::analyzeWorkload(w);
+        if (res.errors() > 0) {
+            std::fprintf(stderr, "%s",
+                         analysis::renderReport(res, w.name,
+                                                false).c_str());
+            fatal("--strict: %d error-severity diagnostic(s); refusing "
+                  "to simulate", res.errors());
+        }
     }
 
     if (stats_json) {
