@@ -1,21 +1,34 @@
 /**
  * @file
- * Ablation — hardware-only re-merging vs. Thread Fusion-style software
- * hints (paper §2: "Our hardware could be used in conjunction with their
- * software hints system to provide even better performance").
+ * Ablation — static fetch hints from mmt-analyze feeding the MMT fetch
+ * frontend (paper §2: "Our hardware could be used in conjunction with
+ * their software hints system to provide even better performance").
  *
- * A synthetic kernel diverges every iteration into paths of configurable
- * length asymmetry; we compare MMT-FXR without hints, with hints, and
- * the hardware-disabled (hints-only) point, across asymmetries.
+ * A synthetic kernel diverges every iteration into paths of
+ * configurable length asymmetry. For each asymmetry we run MMT-FXR in
+ * every static-hints mode (off / fhb-seed / merge-skip / both) and
+ * report cycles, the measured merged fraction against the analyzer's
+ * static prediction, and the mean divergence-to-re-merge latency.
+ *
+ * Acceptance gate (exit 1 on failure): with hints `both`, the sync
+ * latency must be no worse than `off` on every asymmetry point and
+ * strictly better on at least half of them.
+ *
+ * Flags:
+ *   --smoke       fewer iterations and asymmetry points (CI)
+ *   --out <file>  JSON result path (default BENCH_ablation_hints.json)
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
-#include "core/smt_core.hh"
-#include "iasm/assembler.hh"
 #include "sim/experiment.hh"
+#include "sim/simulator.hh"
 
 using namespace mmt;
 
@@ -23,7 +36,7 @@ namespace
 {
 
 std::string
-kernel(int extra_len, bool with_hint)
+kernelSource(int extra_len, int iters)
 {
     std::string pad;
     for (int i = 0; i < extra_len; ++i)
@@ -34,7 +47,8 @@ nthreads: .word 1
 .text
 main:
     li   r1, 0
-    li   r2, 400
+    li   r2, )" +
+           std::to_string(iters) + R"(
 loop:
     bnez tid, odd
     addi r4, r4, 1
@@ -44,7 +58,6 @@ odd:
 )" + pad + R"(
     j    join
 join:
-)" + std::string(with_hint ? "    mergehint\n" : "") + R"(
     addi r1, r1, 1
     blt  r1, r2, loop
     out  r4
@@ -53,64 +66,144 @@ join:
 )";
 }
 
-Cycles
-run(const std::string &src, bool hints, Cycles hint_wait)
+Workload
+makeHammock(int asym, int iters)
 {
-    Program prog = assemble(src);
-    MemoryImage img;
-    img.loadData(prog);
-    img.write64(prog.symbol("nthreads"), 2);
-    CoreParams p;
-    p.numThreads = 2;
-    p.sharedFetch = true;
-    p.sharedExec = true;
-    p.regMerge = true;
-    p.mergeHintWait = hints ? hint_wait : 0;
-    SmtCore core(p, &prog, {&img, &img});
-    core.run();
-    return core.now();
+    Workload w;
+    w.name = "hints-hammock-" + std::to_string(asym);
+    w.suite = "bench";
+    w.multiExecution = false;
+    w.source = kernelSource(asym, iters);
+    w.initData = [](MemoryImage &img, const Program &prog, int,
+                    int num_contexts, bool) {
+        img.write64(prog.symbol("nthreads"),
+                    static_cast<std::uint64_t>(num_contexts));
+    };
+    return w;
 }
 
-Cycles
-runBase(const std::string &src)
+constexpr StaticHintsMode kModes[] = {
+    StaticHintsMode::Off, StaticHintsMode::FhbSeed,
+    StaticHintsMode::MergeSkip, StaticHintsMode::Both};
+
+std::string
+jsonNum(double v)
 {
-    Program prog = assemble(src);
-    MemoryImage img;
-    img.loadData(prog);
-    img.write64(prog.symbol("nthreads"), 2);
-    CoreParams p;
-    p.numThreads = 2;
-    SmtCore core(p, &prog, {&img, &img});
-    core.run();
-    return core.now();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    std::string out_path = "BENCH_ablation_hints.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            out_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_ablation_hints [--smoke] "
+                         "[--out FILE]\n");
+            return 2;
+        }
+    }
+
     setInformEnabled(false);
-    std::printf("Ablation: hardware re-merge vs software hints "
-                "(divergent hammock, 2 threads)\n\n");
+    const int iters = smoke ? 100 : 400;
+    const std::vector<int> asyms =
+        smoke ? std::vector<int>{0, 12} : std::vector<int>{0, 4, 12, 24};
+
+    std::printf("Ablation: static fetch hints (MMT-FXR, divergent "
+                "hammock, 2 threads, %d iterations)\n\n",
+                iters);
 
     std::vector<std::vector<std::string>> rows;
-    for (int asym : {0, 4, 12, 24}) {
-        Cycles base = runBase(kernel(asym, false));
-        Cycles hw = run(kernel(asym, false), false, 0);
-        Cycles hint = run(kernel(asym, true), true, 24);
-        rows.push_back({"asymmetry=" + std::to_string(asym),
-                        std::to_string(base),
-                        fmt(static_cast<double>(base) / hw),
-                        fmt(static_cast<double>(base) / hint)});
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"ablation_hints\",\n"
+         << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+         << "  \"iterations\": " << iters << ",\n  \"points\": [\n";
+
+    int improved = 0, regressed = 0;
+    for (std::size_t pi = 0; pi < asyms.size(); ++pi) {
+        int asym = asyms[pi];
+        Workload w = makeHammock(asym, iters);
+        double off_lat = 0.0, predicted = 0.0;
+        std::uint64_t off_cycles = 0;
+        std::vector<std::string> row{"asymmetry=" + std::to_string(asym)};
+        json << "    {\"asymmetry\": " << asym << ", \"modes\": {";
+        for (std::size_t mi = 0; mi < 4; ++mi) {
+            StaticHintsMode m = kModes[mi];
+            SimOverrides ov;
+            ov.staticHints = m;
+            RunResult r = runWorkload(w, ConfigKind::MMT_FXR, 2, ov,
+                                      /*check_golden=*/false);
+            predicted = r.staticMergeableFrac;
+            if (m == StaticHintsMode::Off) {
+                off_lat = r.meanSyncLatency();
+                off_cycles = r.cycles;
+                row.push_back(fmt(100.0 * predicted, 1));
+            }
+            if (m == StaticHintsMode::Both) {
+                double lat = r.meanSyncLatency();
+                if (lat < off_lat)
+                    ++improved;
+                else if (lat > off_lat)
+                    ++regressed;
+            }
+            row.push_back(std::to_string(r.cycles));
+            row.push_back(fmt(100.0 * r.mergedFrac(), 1) + "/" +
+                          fmt(r.meanSyncLatency(), 0));
+            json << (mi ? ", " : "") << "\""
+                 << staticHintsModeName(m) << "\": {\"cycles\": "
+                 << r.cycles
+                 << ", \"mergedFrac\": " << jsonNum(r.mergedFrac())
+                 << ", \"meanSyncLatency\": "
+                 << jsonNum(r.meanSyncLatency())
+                 << ", \"syncLatencyCycles\": " << r.syncLatencyCycles
+                 << ", \"syncLatencySamples\": " << r.syncLatencySamples
+                 << ", \"catchupAborted\": " << r.catchupAborted << "}";
+        }
+        (void)off_cycles;
+        json << "},\n     \"predictedMergeableFrac\": "
+             << jsonNum(predicted) << "}"
+             << (pi + 1 < asyms.size() ? "," : "") << "\n";
+        rows.push_back(row);
     }
+
     std::printf("%s",
-                formatTable({"divergent path delta", "base cycles",
-                             "MMT (hw only)", "MMT + hints"},
+                formatTable({"path delta", "pred-merge%", "off cyc",
+                             "off m%/lat", "seed cyc", "seed m%/lat",
+                             "skip cyc", "skip m%/lat", "both cyc",
+                             "both m%/lat"},
                             rows)
                     .c_str());
-    std::printf("\nHints pay when the divergent paths are asymmetric: the "
-                "short side idles\nbriefly at the hint instead of running "
-                "ahead and forcing a CATCHUP chase.\n");
-    return 0;
+
+    bool pass = regressed == 0 &&
+                2 * improved >= static_cast<int>(asyms.size());
+    json << "  ],\n  \"acceptance\": {\"regressedPoints\": " << regressed
+         << ", \"improvedPoints\": " << improved
+         << ", \"totalPoints\": " << asyms.size()
+         << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
+
+    std::ofstream out(out_path, std::ios::trunc);
+    out << json.str();
+    if (!out)
+        fatal("cannot write '%s'", out_path.c_str());
+
+    std::printf("\nm%%/lat = merged fraction of thread-insts / mean "
+                "divergence->re-merge cycles.\nfhb-seed turns the first "
+                "arrival at an analyzer re-convergence point into\na "
+                "catch-up chase instead of waiting for taken-branch "
+                "history to accumulate.\n");
+    std::printf("\nacceptance: %d/%zu points improved, %d regressed -> "
+                "%s (%s)\n",
+                improved, asyms.size(), regressed,
+                pass ? "PASS" : "FAIL", out_path.c_str());
+    return pass ? 0 : 1;
 }

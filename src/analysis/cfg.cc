@@ -207,6 +207,35 @@ Cfg::computePostDominators()
     pdom_ = std::move(pdom);
 }
 
+int
+Cfg::immediatePostDominator(int b) const
+{
+    int n = static_cast<int>(blocks_.size());
+    if (b < 0 || b > n)
+        return -1;
+    // Candidates: every strict post-dominator of b (incl. the exit).
+    std::vector<int> cands;
+    for (int a = 0; a <= n; ++a)
+        if (a != b && postDominates(a, b))
+            cands.push_back(a);
+    if (cands.empty())
+        return -1;
+    // The ipdom is the candidate post-dominated by all the others (the
+    // "closest" one). The exit post-dominates nothing, so it wins only
+    // when it is the sole candidate.
+    for (int a : cands) {
+        bool closest = true;
+        for (int c : cands)
+            if (c != a && !postDominates(c, a)) {
+                closest = false;
+                break;
+            }
+        if (closest)
+            return a;
+    }
+    return -1;
+}
+
 bool
 Cfg::postDominates(int a, int b) const
 {

@@ -66,6 +66,15 @@ class Cfg
      */
     bool postDominates(int a, int b) const;
 
+    /**
+     * Immediate post-dominator of block @p b: the unique strict
+     * post-dominator of b that is post-dominated by every other strict
+     * post-dominator of b. Returns exitNode() when the exit is the only
+     * strict post-dominator, and -1 when b has none at all (blocks that
+     * cannot reach the exit).
+     */
+    int immediatePostDominator(int b) const;
+
   private:
     void findLeaders();
     void buildEdges();

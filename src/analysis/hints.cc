@@ -1,0 +1,100 @@
+#include "analysis/hints.hh"
+
+#include <algorithm>
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+Addr
+pcOfIndex(const Program &prog, int index)
+{
+    return prog.codeBase + static_cast<Addr>(index) * instBytes;
+}
+
+void
+sortUnique(std::vector<Addr> &v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/** Remove from @p v every element that appears in sorted @p drop. */
+void
+subtract(std::vector<Addr> &v, const std::vector<Addr> &drop)
+{
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&](Addr a) {
+                               return std::binary_search(drop.begin(),
+                                                         drop.end(), a);
+                           }),
+            v.end());
+}
+
+} // namespace
+
+FetchHints
+computeFetchHints(const Cfg &cfg, const SharingResult &sharing)
+{
+    FetchHints h;
+    const Program &prog = cfg.program();
+    const auto &blocks = cfg.blocks();
+    int n = static_cast<int>(prog.code.size());
+
+    // Blocks strictly inside some divergent hammock: on a path from a
+    // tid-divergent branch to its immediate post-dominator, excluding
+    // both endpoints.
+    std::vector<bool> arm(blocks.size(), false);
+
+    for (int i = 0; i < n; ++i) {
+        if (!cfg.reachable(i))
+            continue;
+        if (sharing.shareClass[(std::size_t)i] == ShareClass::Divergent)
+            h.divergentPcs.push_back(pcOfIndex(prog, i));
+        if (!sharing.divergentBranch[(std::size_t)i])
+            continue;
+        h.tidDivergentBranchPcs.push_back(pcOfIndex(prog, i));
+        int b = cfg.blockOf(i);
+        int ipdom = cfg.immediatePostDominator(b);
+        if (ipdom < 0 || ipdom >= static_cast<int>(blocks.size()))
+            continue; // no pdom, or re-converges only at the exit
+        h.reconvergencePcs.push_back(
+            pcOfIndex(prog, blocks[(std::size_t)ipdom].first));
+        // Flood the arms: every block reachable from the branch before
+        // control must pass the re-convergence point.
+        std::vector<int> stack = blocks[(std::size_t)b].succs;
+        while (!stack.empty()) {
+            int cur = stack.back();
+            stack.pop_back();
+            if (cur == ipdom || arm[(std::size_t)cur])
+                continue;
+            arm[(std::size_t)cur] = true;
+            for (int s : blocks[(std::size_t)cur].succs)
+                stack.push_back(s);
+        }
+    }
+
+    for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+        if (!arm[bi] || !blocks[bi].reachable)
+            continue;
+        for (int i = blocks[bi].first; i <= blocks[bi].last; ++i)
+            h.divergentPcs.push_back(pcOfIndex(prog, i));
+    }
+
+    sortUnique(h.divergentPcs);
+    sortUnique(h.tidDivergentBranchPcs);
+    sortUnique(h.reconvergencePcs);
+    // Merging right *at* a divergent branch still shares the fetch (the
+    // group re-splits after it executes), and re-convergence points are
+    // exactly where groups should merge — keep both out of the skip set.
+    subtract(h.divergentPcs, h.tidDivergentBranchPcs);
+    subtract(h.divergentPcs, h.reconvergencePcs);
+    return h;
+}
+
+} // namespace analysis
+} // namespace mmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FetchHints — the static facts the frontend can consume (paper §2's
+ * "software hints system" suggestion, fed by the mmt-analyze passes):
+ *
+ *   divergentPcs           PCs statically proven to lie on diverged
+ *                          control paths: instructions strictly between
+ *                          a tid-divergent branch and its re-convergence
+ *                          point (the hammock arms), plus Divergent-
+ *                          class instructions. Thread groups cannot
+ *                          usefully persist at these PCs, so MERGE
+ *                          attempts / MERGEHINT waits there are wasted
+ *                          work (merge-skip mode), and a CATCHUP chaser
+ *                          branching into one is transiently — not
+ *                          terminally — off the ahead thread's path.
+ *                          Excludes the branches themselves and the
+ *                          re-convergence points, where merging is
+ *                          still profitable.
+ *   tidDivergentBranchPcs  Conditional branches whose direction
+ *                          provably differs between thread pairs — the
+ *                          points where fetch groups *will* diverge.
+ *   reconvergencePcs       Re-convergence targets of those branches:
+ *                          the first instruction of the branch block's
+ *                          immediate post-dominator. Seeding FHBs with
+ *                          these lets DETECT→CATCHUP fire without
+ *                          waiting for taken-branch history (fhb-seed
+ *                          mode).
+ *
+ * All three vectors are sorted and deduplicated so consumers can binary
+ * search.
+ */
+
+#ifndef MMT_ANALYSIS_HINTS_HH
+#define MMT_ANALYSIS_HINTS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "analysis/sharing.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** Static fetch hints for one assembled program (see file comment). */
+struct FetchHints
+{
+    std::vector<Addr> divergentPcs;
+    std::vector<Addr> tidDivergentBranchPcs;
+    std::vector<Addr> reconvergencePcs;
+};
+
+/**
+ * Derive fetch hints from a completed sharing pass. Only reachable
+ * instructions contribute; a tid-divergent branch whose ipdom is the
+ * virtual exit (no code-level re-convergence) yields no reconvergence
+ * entry.
+ */
+FetchHints computeFetchHints(const Cfg &cfg, const SharingResult &sharing);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_HINTS_HH

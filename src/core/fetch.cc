@@ -34,20 +34,25 @@ SmtCore::groupCanFetch(int gid) const
 void
 SmtCore::fetchStage()
 {
+    sync_.setCycle(now_);
     sync_.tryMerge();
 
-    // Release MERGEHINT waits: a successful merge (the group regained
-    // members) or the timeout ends the pause.
+    // Release MERGEHINT waits: a successful merge (the group *grew*
+    // beyond its size when the wait began) or the timeout ends the
+    // pause. Comparing against the recorded size matters: a subgroup
+    // that was already partial-but-plural when it hit the hint must
+    // actually gain members, not be released instantly.
     for (ThreadId t = 0; t < params_.numThreads; ++t) {
         ThreadState &ts = threads_[t];
         if (ts.hintWaitUntil == 0)
             continue;
         int gid = sync_.threadGroup(t);
-        if (gid != -1 && sync_.group(gid).members.count() > 1) {
-            ts.hintWaitUntil = 0;
+        if (gid != -1 &&
+            sync_.group(gid).members.count() > ts.hintWaitMembers) {
+            clearHintWait(ts);
             ++stats.hintMerges;
         } else if (now_ >= ts.hintWaitUntil) {
-            ts.hintWaitUntil = 0;
+            clearHintWait(ts);
         }
     }
 
@@ -328,12 +333,16 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
         sync_.group(gid).pc = pc + instBytes;
         // A diverged group pauses briefly so the others can reach the
         // same point and the PC-coincidence merge can fire; a fully
-        // merged group treats the hint as a no-op.
+        // merged group treats the hint as a no-op. Merge-skip hints veto
+        // the pause when the resume PC is statically Divergent: the
+        // merge the hint is waiting for could never be useful there.
         if (params_.mergeHintWait > 0 &&
-            itid.count() < sync_.liveThreads()) {
+            itid.count() < sync_.liveThreads() &&
+            !sync_.mergeSkippedAt(pc + instBytes)) {
             itid.forEach([&](ThreadId t) {
                 threads_[t].hintWaitUntil = now_ + params_.mergeHintWait;
                 threads_[t].hintPc = pc + instBytes;
+                threads_[t].hintWaitMembers = itid.count();
             });
             ++stats.hintWaits;
             stop_stream = true;

@@ -24,6 +24,7 @@ FetchSync::FetchSync(int num_threads, int fhb_entries, bool shared_fetch,
       catchupPriority_(catchup_priority),
       branchesFetched_(static_cast<std::size_t>(num_threads), 0),
       divergeStamp_(static_cast<std::size_t>(num_threads), 0),
+      divergeCycle_(static_cast<std::size_t>(num_threads), 0),
       divergePending_(static_cast<std::size_t>(num_threads), false)
 {
     mmt_assert(num_threads >= 1 && num_threads <= maxThreads,
@@ -45,8 +46,42 @@ FetchSync::reset(Addr entry_pc)
     for (ThreadId t = 0; t < numThreads_; ++t) {
         fhbs_[t]->clear();
         branchesFetched_[t] = 0;
+        divergeCycle_[t] = 0;
         divergePending_[t] = false;
     }
+}
+
+void
+FetchSync::setStaticHints(bool fhb_seed, bool merge_skip,
+                          const std::vector<Addr> &reconvergence,
+                          const std::vector<Addr> &divergent)
+{
+    seedEnabled_ = fhb_seed;
+    mergeSkip_ = merge_skip;
+    seedPcs_ = fhb_seed ? reconvergence : std::vector<Addr>{};
+    divergentPcs_ =
+        (fhb_seed || merge_skip) ? divergent : std::vector<Addr>{};
+    for (ThreadId t = 0; t < numThreads_; ++t)
+        fhbs_[t]->seed(seedPcs_);
+}
+
+bool
+FetchSync::seedPcMatch(Addr pc) const
+{
+    return std::binary_search(seedPcs_.begin(), seedPcs_.end(), pc);
+}
+
+bool
+FetchSync::divergentPcMatch(Addr pc) const
+{
+    return std::binary_search(divergentPcs_.begin(), divergentPcs_.end(),
+                              pc);
+}
+
+bool
+FetchSync::mergeSkippedAt(Addr pc) const
+{
+    return mergeSkip_ && divergentPcMatch(pc);
 }
 
 int
@@ -174,6 +209,7 @@ FetchSync::onDivergence(int gid,
         if (!divergePending_[t]) {
             divergePending_[t] = true;
             divergeStamp_[t] = branchesFetched_[t];
+            divergeCycle_[t] = now_;
         }
     });
 
@@ -205,8 +241,11 @@ FetchSync::onTakenBranch(int gid, Addr target)
     g.members.forEach([&](ThreadId t) { fhbs_[t]->record(target); });
 
     if (g.catchupAhead != -1) {
-        // CATCHUP: verify we are still on the ahead group's path.
-        bool on_path = false;
+        // CATCHUP: verify we are still on the ahead group's path. A
+        // branch into a statically-divergent arm is the chaser walking
+        // its own side of a hammock the ahead group also crossed —
+        // transiently off-path, not a false positive.
+        bool on_path = seedEnabled_ && divergentPcMatch(target);
         groups_[g.catchupAhead].members.forEach([&](ThreadId t) {
             if (fhbs_[t]->contains(target))
                 on_path = true;
@@ -216,13 +255,15 @@ FetchSync::onTakenBranch(int gid, Addr target)
         return;
     }
 
-    // DETECT: search all other live groups' histories.
+    // DETECT: search all other live groups' *recorded* histories (a
+    // real-history hit means that group already passed the target, so
+    // we are behind it).
     for (int other = 0; other < numGroups(); ++other) {
         if (other == gid || !groups_[other].alive)
             continue;
         bool hit = false;
         groups_[other].members.forEach([&](ThreadId t) {
-            if (fhbs_[t]->contains(target))
+            if (fhbs_[t]->containsHistory(target))
                 hit = true;
         });
         if (hit) {
@@ -230,6 +271,25 @@ FetchSync::onTakenBranch(int gid, Addr target)
             ++groups_[other].chasedBy;
             ++catchupEntered;
             return;
+        }
+    }
+
+    // Seeded transition: a branch into an analyzer re-convergence point
+    // with no history hit means this group is the first known arrival at
+    // the static meeting point. Instead of waiting for the others to
+    // build matching taken-branch history, boost every free group to
+    // catch up to this one (the arriver is starved, the others race;
+    // tryMerge() completes the re-merge on PC coincidence).
+    if (seedEnabled_ && seedPcMatch(target)) {
+        for (int other = 0; other < numGroups(); ++other) {
+            if (other == gid || !groups_[other].alive)
+                continue;
+            FetchGroup &h = groups_[other];
+            if (h.catchupAhead != -1)
+                continue; // already chasing someone
+            h.catchupAhead = gid;
+            ++g.chasedBy;
+            ++catchupEntered;
         }
     }
 }
@@ -248,6 +308,10 @@ FetchSync::tryMerge()
                 continue;
             for (int b = a + 1; b < numGroups() && !changed; ++b) {
                 if (!groups_[b].alive || groups_[a].pc != groups_[b].pc)
+                    continue;
+                // Merge-skip hint: a statically-Divergent PC re-diverges
+                // the group immediately; don't churn the merge here.
+                if (mergeSkippedAt(groups_[a].pc))
                     continue;
                 // Merge b into a.
                 leaveCatchup(a, false);
@@ -271,6 +335,8 @@ FetchSync::tryMerge()
                     if (divergePending_[t]) {
                         remergeDistance.sample(branchesFetched_[t] -
                                                divergeStamp_[t]);
+                        syncLatencyCycles += now_ - divergeCycle_[t];
+                        ++syncLatencySamples;
                         divergePending_[t] = false;
                     }
                 });

@@ -127,10 +127,39 @@ class FetchSync
 
     FetchHistoryBuffer &fhb(ThreadId tid) { return *fhbs_[tid]; }
 
+    /**
+     * Install analyzer-derived static hints (both vectors sorted).
+     * @param fhb_seed seed every thread's FHB with @p reconvergence and
+     *        enable the seeded DETECT→CATCHUP transition: a group taking
+     *        a branch into a static re-convergence point is presumed
+     *        first there, and every free group is boosted to chase it
+     * @param merge_skip suppress tryMerge() at @p divergent PCs (the
+     *        group cannot usefully persist there; skip the merge churn)
+     * @param divergent PCs statically inside diverged control paths
+     *        (hammock arms). With @p fhb_seed, a CATCHUP chaser branching
+     *        into one is treated as transiently — not terminally — off
+     *        the ahead group's path (no catchup abort).
+     * Seeds survive reset(); call once after construction.
+     */
+    void setStaticHints(bool fhb_seed, bool merge_skip,
+                        const std::vector<Addr> &reconvergence,
+                        const std::vector<Addr> &divergent);
+
+    /** True when merge-skip hints veto merging at @p pc. */
+    bool mergeSkippedAt(Addr pc) const;
+
+    /** Current cycle, for the divergence→remerge latency statistic.
+     *  Called by the fetch stage once per cycle. */
+    void setCycle(Cycles now) { now_ = now; }
+
     Counter divergences;
     Counter remerges;
     Counter catchupEntered;
     Counter catchupAborted; // false positives (CATCHUP -> DETECT)
+    /** Divergence→remerge latency in cycles (unregistered: summed here,
+     *  surfaced via RunResult, never in the golden stats dump). */
+    Counter syncLatencyCycles;
+    Counter syncLatencySamples;
     /** Branches fetched between divergence and remerge (§6.3). */
     Distribution remergeDistance{{16, 32, 64, 128, 256, 512}};
 
@@ -143,13 +172,22 @@ class FetchSync
     void leaveCatchup(int gid, bool aborted);
     bool fullyMerged(int gid) const;
 
+    bool seedPcMatch(Addr pc) const;
+    bool divergentPcMatch(Addr pc) const;
+
     int numThreads_;
     bool sharedFetch_;
     bool catchupPriority_;
+    bool seedEnabled_ = false;
+    bool mergeSkip_ = false;
+    Cycles now_ = 0;
+    std::vector<Addr> seedPcs_;      // sorted re-convergence targets
+    std::vector<Addr> divergentPcs_; // sorted statically-divergent PCs
     std::vector<FetchGroup> groups_;
     std::vector<std::unique_ptr<FetchHistoryBuffer>> fhbs_;
     std::vector<std::uint64_t> branchesFetched_;
     std::vector<std::uint64_t> divergeStamp_;
+    std::vector<Cycles> divergeCycle_;
     std::vector<bool> divergePending_;
 };
 

@@ -1,5 +1,7 @@
 #include "core/mmt/fhb.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace mmt
@@ -32,7 +34,38 @@ FetchHistoryBuffer::contains(Addr pc)
             return true;
         }
     }
+    if (seedMatch(pc)) {
+        ++hits;
+        return true;
+    }
     return false;
+}
+
+bool
+FetchHistoryBuffer::containsHistory(Addr pc)
+{
+    ++searches;
+    for (std::size_t i = 0; i < valid_; ++i) {
+        if (ring_[i] == pc) {
+            ++hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+FetchHistoryBuffer::seedMatch(Addr pc) const
+{
+    return std::binary_search(seeds_.begin(), seeds_.end(), pc);
+}
+
+void
+FetchHistoryBuffer::seed(const std::vector<Addr> &targets)
+{
+    seeds_ = targets;
+    mmt_assert(std::is_sorted(seeds_.begin(), seeds_.end()),
+               "FHB seeds must be sorted");
 }
 
 void

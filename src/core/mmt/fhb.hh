@@ -30,22 +30,40 @@ class FetchHistoryBuffer
     /** Record a taken-branch target (evicting the oldest when full). */
     void record(Addr target_pc);
 
-    /** CAM search: is @p pc among the recorded targets? Counts stats. */
+    /** CAM search over history *and* seeds: is @p pc among the recorded
+     *  or seeded targets? Counts stats. */
     bool contains(Addr pc);
 
-    /** Discard all history (on remerge). */
+    /** CAM search over recorded taken-branch history only (ignores
+     *  seeds). Counts stats like contains(). */
+    bool containsHistory(Addr pc);
+
+    /** Discard recorded history (on remerge). Seeds persist: they are
+     *  static program facts, not dynamic state. */
     void clear();
+
+    /**
+     * Install analyzer-provided re-convergence targets (sorted). Seeds
+     * behave like permanent CAM entries for contains() but are never
+     * evicted and survive clear(); they occupy no ring capacity (the
+     * modeled hardware holds them in a separate read-only table).
+     */
+    void seed(const std::vector<Addr> &targets);
 
     int capacity() const { return capacity_; }
     int size() const { return static_cast<int>(valid_); }
+    int seedCount() const { return static_cast<int>(seeds_.size()); }
 
     Counter searches;
     Counter hits;
     Counter records;
 
   private:
+    bool seedMatch(Addr pc) const;
+
     int capacity_;
     std::vector<Addr> ring_;
+    std::vector<Addr> seeds_; // sorted analyzer re-convergence targets
     std::size_t next_ = 0;
     std::size_t valid_ = 0;
 };

@@ -8,6 +8,8 @@
 #ifndef MMT_CORE_PARAMS_HH
 #define MMT_CORE_PARAMS_HH
 
+#include <vector>
+
 #include "branch/branch_predictor.hh"
 #include "common/types.hh"
 #include "mem/memory_system.hh"
@@ -15,6 +17,42 @@
 
 namespace mmt
 {
+
+/**
+ * How the frontend consumes analyzer-derived static fetch hints.
+ * Off must leave the pipeline bit-identical to a build without hints
+ * (the golden-equivalence guarantee, see docs/INTERNALS.md).
+ */
+enum class StaticHintsMode
+{
+    Off,       // hints ignored entirely
+    FhbSeed,   // pre-populate FHBs with re-convergence targets
+    MergeSkip, // skip MERGE attempts / MERGEHINT waits at Divergent PCs
+    Both,
+};
+
+constexpr bool
+hintsFhbSeed(StaticHintsMode m)
+{
+    return m == StaticHintsMode::FhbSeed || m == StaticHintsMode::Both;
+}
+
+constexpr bool
+hintsMergeSkip(StaticHintsMode m)
+{
+    return m == StaticHintsMode::MergeSkip || m == StaticHintsMode::Both;
+}
+
+/**
+ * Per-program hint tables consumed when staticHints != Off. Filled by
+ * the sim layer from analysis::FetchHints; both vectors are sorted so
+ * the core can binary search.
+ */
+struct StaticHintTable
+{
+    std::vector<Addr> divergentPcs;     // statically never-mergeable PCs
+    std::vector<Addr> reconvergencePcs; // FHB seed targets
+};
 
 /** Full configuration of one simulated core. */
 struct CoreParams
@@ -87,6 +125,11 @@ struct CoreParams
     Cycles deadlockCycles = 500'000;
     /** Enable expensive soundness assertions (merged values identical). */
     bool checkInvariants = true;
+
+    /** Analyzer-driven frontend hints (Off = bit-identical to no-hints). */
+    StaticHintsMode staticHints = StaticHintsMode::Off;
+    /** Hint tables for the running program (empty when staticHints=Off). */
+    StaticHintTable hintTable;
 };
 
 } // namespace mmt

@@ -63,6 +63,13 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
             rst_.clearThread(regTid, t);
     }
 
+    // Analyzer-driven frontend hints (no-op when staticHints == Off:
+    // empty seed/skip tables leave the pipeline bit-identical).
+    sync_.setStaticHints(hintsFhbSeed(params_.staticHints),
+                         hintsMergeSkip(params_.staticHints),
+                         params_.hintTable.reconvergencePcs,
+                         params_.hintTable.divergentPcs);
+
     sync_.reset(program_->entry);
     lastCommitCycle_ = 0;
 }
@@ -252,6 +259,7 @@ SmtCore::onInstanceComplete(DynInst *inst)
                     ts.fetchStallUntil =
                         std::max(ts.fetchStallUntil,
                                  now_ + params_.mispredictRedirect);
+                    clearHintWait(ts);
                 }
             }
             // Fully resolved: the id can be reused by a later branch
@@ -266,6 +274,10 @@ SmtCore::onInstanceComplete(DynInst *inst)
             threads_[t].fetchStallUntil =
                 std::max(threads_[t].fetchStallUntil,
                          now_ + params_.lvipRollbackPenalty);
+            // The rollback squashes the group's path; a member parked at
+            // a MERGEHINT must restart with the rollback penalty, not
+            // serve out the (possibly much longer) hint timeout.
+            clearHintWait(threads_[t]);
         });
     }
 }
@@ -449,9 +461,18 @@ SmtCore::dumpStatsJson()
 }
 
 void
+SmtCore::clearHintWait(ThreadState &ts)
+{
+    ts.hintWaitUntil = 0;
+    ts.hintPc = 0;
+    ts.hintWaitMembers = 0;
+}
+
+void
 SmtCore::haltThread(ThreadId tid)
 {
     threads_[tid].halted = true;
+    clearHintWait(threads_[tid]);
     sync_.removeThread(tid);
 }
 
@@ -469,8 +490,12 @@ SmtCore::releaseBarrierIfReady()
     }
     if (!any)
         return;
-    for (ThreadId t = 0; t < params_.numThreads; ++t)
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
         threads_[t].atBarrier = false;
+        // A barrier is a stronger sync point than any pending hint wait;
+        // crossing it makes leftover hint state stale.
+        clearHintWait(threads_[t]);
+    }
 }
 
 void

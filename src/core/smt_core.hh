@@ -69,7 +69,11 @@ struct ThreadState
     int resolveToken = -1;
     /** Waiting at a software re-merge hint until this cycle (0: none). */
     Cycles hintWaitUntil = 0;
+    /** PC the hint wait resumes at (diagnostics; cleared with the wait). */
     Addr hintPc = 0;
+    /** Fetch-group size when the hint wait began: the wait ends early
+     *  only when membership *grows* past this (a merge arrived). */
+    int hintWaitMembers = 0;
     Addr lastFetchLine = ~Addr(0);
 
     std::uint64_t fetchedInsts = 0;
@@ -212,6 +216,9 @@ class SmtCore
 
     bool groupCanFetch(int gid) const;
     void haltThread(ThreadId tid);
+    /** Drop any pending MERGEHINT wait (squash/redirect/barrier paths:
+     *  the wait must not outlive the control flow that started it). */
+    static void clearHintWait(ThreadState &ts);
     void releaseBarrierIfReady();
     ThreadMask liveMask() const;
 

@@ -52,6 +52,11 @@ overridesLabel(const SimOverrides &ov)
     field("notracecache", ov.disableTraceCache ? 1 : 0, 0);
     field("mergereadports", ov.mergeReadPorts, -1);
     field("catchuppriority", ov.catchupPriority, -1);
+    if (ov.staticHints != StaticHintsMode::Off) {
+        os << sep << "statichints="
+           << staticHintsModeName(ov.staticHints);
+        sep = ";";
+    }
     return os.str();
 }
 
@@ -96,6 +101,13 @@ sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
            << ",\n     \"divergences\": " << r.divergences
            << ", \"remerges\": " << r.remerges
            << ", \"remergeWithin512\": " << jsonNum(r.remergeWithin512)
+           << ",\n     \"catchupAborted\": " << r.catchupAborted
+           << ", \"syncLatencyCycles\": " << r.syncLatencyCycles
+           << ", \"syncLatencySamples\": " << r.syncLatencySamples
+           << ", \"meanSyncLatency\": " << jsonNum(r.meanSyncLatency())
+           << ",\n     \"staticMergeableFrac\": "
+           << jsonNum(r.staticMergeableFrac)
+           << ", \"mergedFrac\": " << jsonNum(r.mergedFrac())
            << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false")
            << ",\n     \"simSpeed\": {\"hostSeconds\": "
            << jsonNum(r.simSpeed.hostSeconds) << ", \"simCyclesPerSec\": "
@@ -117,7 +129,9 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
           "mergeFrac,detectFrac,catchupFrac,identNoneFrac,identFetchFrac,"
           "identExecFrac,identExecMergeFrac,energyCachePj,"
           "energyOverheadPj,energyOtherPj,lvipRollbacks,branchMispredicts,"
-          "divergences,remerges,remergeWithin512,goldenOk,hostSeconds,"
+          "divergences,remerges,remergeWithin512,catchupAborted,"
+          "syncLatencyCycles,syncLatencySamples,meanSyncLatency,"
+          "staticMergeableFrac,mergedFrac,goldenOk,hostSeconds,"
           "simCyclesPerSec,threadInstsPerSec\n";
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const JobSpec &job = spec.jobs[i];
@@ -135,7 +149,11 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
            << jsonNum(r.energy.overhead) << "," << jsonNum(r.energy.other)
            << "," << r.lvipRollbacks << "," << r.branchMispredicts << ","
            << r.divergences << "," << r.remerges << ","
-           << jsonNum(r.remergeWithin512) << "," << (r.goldenOk ? 1 : 0)
+           << jsonNum(r.remergeWithin512) << "," << r.catchupAborted
+           << "," << r.syncLatencyCycles << "," << r.syncLatencySamples
+           << "," << jsonNum(r.meanSyncLatency()) << ","
+           << jsonNum(r.staticMergeableFrac) << ","
+           << jsonNum(r.mergedFrac()) << "," << (r.goldenOk ? 1 : 0)
            << "," << jsonNum(r.simSpeed.hostSeconds) << ","
            << jsonNum(r.simSpeed.simCyclesPerSec) << ","
            << jsonNum(r.simSpeed.threadInstsPerSec) << "\n";

@@ -28,6 +28,80 @@ hashHex(std::uint64_t hash)
     return buf;
 }
 
+namespace
+{
+
+/**
+ * Field-count sentinel. AnyField converts to anything, so
+ * countFields<T>() probes aggregate initialization with ever more
+ * initializers; the largest accepted count is the number of fields.
+ * When a field is added to one of the keyed structs, the static_asserts
+ * below fail until the matching key encoding (and the code-version
+ * salt) are updated — a new parameter can never silently alias cache
+ * entries produced before it existed.
+ */
+struct AnyField
+{
+    template <typename T> constexpr operator T() const;
+};
+
+template <typename T, typename... Fields>
+constexpr std::size_t
+countFields(Fields... fields)
+{
+    if constexpr (requires { T{fields..., AnyField{}}; })
+        return countFields<T>(fields..., AnyField{});
+    else
+        return sizeof...(Fields);
+}
+
+static_assert(countFields<SimOverrides>() == 9,
+              "SimOverrides changed: extend overridesKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<CoreParams>() == 34,
+              "CoreParams changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<BranchPredictorParams>() == 4,
+              "BranchPredictorParams changed: extend paramsKey() and "
+              "bump kCodeVersionSalt");
+static_assert(countFields<MemoryParams>() == 7,
+              "MemoryParams changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<CacheParams>() == 4,
+              "CacheParams changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<TraceCacheParams>() == 5,
+              "TraceCacheParams changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<StaticHintTable>() == 2,
+              "StaticHintTable changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+
+void
+cacheParamsKey(std::ostringstream &os, const CacheParams &c)
+{
+    os << c.name << ":" << c.sizeBytes << ":" << c.assoc << ":"
+       << c.lineBytes;
+}
+
+std::string
+hintTableKey(const StaticHintTable &t)
+{
+    // The tables are derived from the program source (already hashed
+    // into the cache key), so a content hash keeps the key short.
+    std::string bytes;
+    for (Addr a : t.divergentPcs)
+        bytes += std::to_string(a) + ",";
+    bytes += "|";
+    for (Addr a : t.reconvergencePcs)
+        bytes += std::to_string(a) + ",";
+    return std::to_string(t.divergentPcs.size()) + ":" +
+           std::to_string(t.reconvergencePcs.size()) + ":" +
+           hashHex(fnv1a64(bytes));
+}
+
+} // namespace
+
 std::string
 overridesKey(const SimOverrides &ov)
 {
@@ -36,17 +110,63 @@ overridesKey(const SimOverrides &ov)
        << ";mshr=" << ov.mshrs << ";fw=" << ov.fetchWidth
        << ";notc=" << (ov.disableTraceCache ? 1 : 0)
        << ";inv=" << (ov.checkInvariants ? 1 : 0)
-       << ";mrp=" << ov.mergeReadPorts << ";cup=" << ov.catchupPriority;
+       << ";mrp=" << ov.mergeReadPorts << ";cup=" << ov.catchupPriority
+       << ";sh=" << static_cast<int>(ov.staticHints);
+    return os.str();
+}
+
+std::string
+paramsKey(const CoreParams &p)
+{
+    std::ostringstream os;
+    os << "nt=" << p.numThreads << ";fw=" << p.fetchWidth
+       << ";dw=" << p.dispatchWidth << ";iw=" << p.issueWidth
+       << ";cw=" << p.commitWidth << ";mfs=" << p.maxFetchStreams
+       << ";rob=" << p.robSize << ";iq=" << p.iqSize
+       << ";lsq=" << p.lsqSize << ";fq=" << p.fetchQueueSize
+       << ";alu=" << p.numAlu << ";fpu=" << p.numFpu
+       << ";lsp=" << p.lsPorts << ";fhb=" << p.fhbEntries
+       << ";lvip=" << p.lvipEntries << ";mrp=" << p.mergeReadPorts
+       << ";cup=" << (p.catchupPriority ? 1 : 0)
+       << ";mhw=" << p.mergeHintWait << ";mr=" << p.mispredictRedirect
+       << ";lrp=" << p.lvipRollbackPenalty << ";fd=" << p.frontendDelay
+       << ";sf=" << (p.sharedFetch ? 1 : 0)
+       << ";sx=" << (p.sharedExec ? 1 : 0)
+       << ";rm=" << (p.regMerge ? 1 : 0)
+       << ";me=" << (p.multiExecution ? 1 : 0)
+       << ";tid0=" << (p.forceTidZero ? 1 : 0)
+       << ";bp=" << p.bpred.phtEntries << ":" << p.bpred.historyBits
+       << ":" << p.bpred.btbEntries << ":" << p.bpred.rasEntries
+       << ";mem=";
+    cacheParamsKey(os, p.mem.l1i);
+    os << ",";
+    cacheParamsKey(os, p.mem.l1d);
+    os << ",";
+    cacheParamsKey(os, p.mem.l2);
+    os << "," << p.mem.l1Latency << ":" << p.mem.l2Latency << ":"
+       << p.mem.dramLatency << ":" << p.mem.numMshrs
+       << ";tc=" << (p.traceCache.enabled ? 1 : 0) << ":"
+       << p.traceCache.sizeBytes << ":" << p.traceCache.assoc << ":"
+       << p.traceCache.traceInsts << ":"
+       << p.traceCache.maxBranchesPerTrace
+       << ";maxc=" << p.maxCycles << ";dlc=" << p.deadlockCycles
+       << ";inv=" << (p.checkInvariants ? 1 : 0)
+       << ";sh=" << static_cast<int>(p.staticHints)
+       << ";ht=" << hintTableKey(p.hintTable);
     return os.str();
 }
 
 std::string
 jobKey(const JobSpec &job)
 {
+    const Workload &w = resolveWorkload(job.workload);
+    CoreParams p =
+        makeCoreParams(job.kind, w, job.numThreads, job.overrides);
     std::ostringstream os;
     os << "wl=" << job.workload << "|cfg=" << configName(job.kind)
        << "|t=" << job.numThreads << "|ov=" << overridesKey(job.overrides)
-       << "|golden=" << (job.checkGolden ? 1 : 0);
+       << "|golden=" << (job.checkGolden ? 1 : 0)
+       << "|p=" << paramsKey(p);
     return os.str();
 }
 

@@ -28,7 +28,7 @@ struct JobSpec;
  * Bump on any simulator change that affects results (pipeline timing,
  * energy parameters, workload data initialisation, RunResult layout).
  */
-inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v2";
+inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v3";
 
 /** FNV-1a 64-bit hash of a byte string. */
 std::uint64_t fnv1a64(const std::string &bytes,
@@ -40,13 +40,24 @@ std::string hashHex(std::uint64_t hash);
 /**
  * Canonical textual encoding of every SimOverrides field, in a fixed
  * order. Two overrides with equal encodings behave identically.
+ * Guarded by a field-count sentinel in cache_key.cc: adding a field to
+ * SimOverrides without extending this encoding fails the build.
  */
 std::string overridesKey(const SimOverrides &ov);
 
 /**
+ * Canonical textual encoding of every CoreParams field (including the
+ * nested branch/memory/trace-cache parameter structs), in a fixed
+ * order. Same sentinel protection as overridesKey(): a new params field
+ * cannot silently alias stale cache entries.
+ */
+std::string paramsKey(const CoreParams &p);
+
+/**
  * Canonical job identity *within* a sweep: workload name, config,
- * threads, overrides, golden flag. Used to index results; excludes the
- * source hash and salt (those only matter for on-disk reuse).
+ * threads, overrides, golden flag, plus the fully-resolved paramsKey()
+ * of the job. Used to index results; excludes the source hash and salt
+ * (those only matter for on-disk reuse).
  */
 std::string jobKey(const JobSpec &job);
 

@@ -205,6 +205,53 @@ renderFig7d(const SweepSpec &spec, const std::vector<RunResult> &results)
     return formatTable({"fetch width", "geomean speedup"}, rows);
 }
 
+constexpr StaticHintsMode kHintModes[] = {
+    StaticHintsMode::Off, StaticHintsMode::FhbSeed,
+    StaticHintsMode::MergeSkip, StaticHintsMode::Both};
+
+/**
+ * Static-hints ablation: predicted mergeable fraction from mmt-analyze
+ * next to the measured merged fraction and divergence->re-merge latency
+ * for each hints mode, plus cycle speedup of `both` over `off`.
+ */
+std::string
+renderAblationHints(const SweepSpec &spec,
+                    const std::vector<RunResult> &results)
+{
+    ResultIndex index(spec, results);
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> speedups;
+    for (const std::string &app : workloadNames()) {
+        std::vector<std::string> row{app};
+        const RunResult *off = nullptr;
+        const RunResult *both = nullptr;
+        for (StaticHintsMode m : kHintModes) {
+            SimOverrides ov;
+            ov.staticHints = m;
+            const RunResult &r = index.get(app, ConfigKind::MMT_FXR, 2, ov);
+            if (m == StaticHintsMode::Off) {
+                off = &r;
+                row.push_back(fmt(100.0 * r.staticMergeableFrac, 1));
+            }
+            if (m == StaticHintsMode::Both)
+                both = &r;
+            row.push_back(fmt(100.0 * r.mergedFrac(), 1) + "/" +
+                          fmt(r.meanSyncLatency(), 0));
+        }
+        double s = static_cast<double>(off->cycles) /
+                   static_cast<double>(both->cycles);
+        speedups.push_back(s);
+        row.push_back(fmt(s));
+        rows.push_back(row);
+    }
+    rows.push_back({"geomean", "", "", "", "", "",
+                    fmt(geomean(speedups))});
+    return formatTable({"app", "pred-merge%", "off m%/lat",
+                        "fhb-seed m%/lat", "merge-skip m%/lat",
+                        "both m%/lat", "speedup"},
+                       rows);
+}
+
 Figure
 figureSpeedup(const std::string &id, int num_threads)
 {
@@ -228,8 +275,9 @@ figureSpeedup(const std::string &id, int num_threads)
 const std::vector<std::string> &
 figureIds()
 {
-    static const std::vector<std::string> ids = {"5a", "5b", "5c", "5d",
-                                                 "7a", "7b", "7c", "7d"};
+    static const std::vector<std::string> ids = {
+        "5a", "5b", "5c", "5d", "7a",
+        "7b", "7c", "7d", "ablation_hints"};
     return ids;
 }
 
@@ -341,8 +389,28 @@ makeFigure(const std::string &id)
                         {ConfigKind::Base, ConfigKind::MMT_FXR}, {2},
                         width_ovs);
         fig.render = renderFig7d;
+    } else if (id == "ablation_hints") {
+        fig.sweep.name = "fig_ablation_hints";
+        fig.title = "Static fetch hints ablation (MMT-FXR, 2 threads; "
+                    "merged% / mean divergence->re-merge cycles)\n\n";
+        fig.paperNote =
+            "\npred-merge% is mmt-analyze's static upper estimate of "
+            "mergeable work;\nthe per-mode columns show what the "
+            "pipeline actually merged. fhb-seed\npre-populates FHBs "
+            "with re-convergence points; merge-skip suppresses\nMERGE "
+            "attempts at statically-Divergent PCs.\n";
+        std::vector<SimOverrides> hint_ovs;
+        for (StaticHintsMode m : kHintModes) {
+            SimOverrides ov;
+            ov.staticHints = m;
+            hint_ovs.push_back(ov);
+        }
+        fig.sweep.cross(workloadNames(), {ConfigKind::MMT_FXR}, {2},
+                        hint_ovs);
+        fig.render = renderAblationHints;
     } else {
-        fatal("unknown figure '%s' (try: 5a 5b 5c 5d 7a 7b 7c 7d)",
+        fatal("unknown figure '%s' (try: 5a 5b 5c 5d 7a 7b 7c 7d "
+              "ablation_hints)",
               id.c_str());
     }
     return fig;

@@ -91,6 +91,11 @@ serializeResult(const RunResult &r)
     os << "divergences " << r.divergences << "\n";
     os << "remerges " << r.remerges << "\n";
     os << "remergeWithin512 " << doubleBits(r.remergeWithin512) << "\n";
+    os << "catchupAborted " << r.catchupAborted << "\n";
+    os << "syncLatencyCycles " << r.syncLatencyCycles << "\n";
+    os << "syncLatencySamples " << r.syncLatencySamples << "\n";
+    os << "staticMergeableFrac " << doubleBits(r.staticMergeableFrac)
+       << "\n";
     os << "goldenOk " << (r.goldenOk ? 1 : 0) << "\n";
     return os.str();
 }
@@ -190,6 +195,14 @@ deserializeResult(const std::string &text, RunResult &out)
     }
     auto rw = next("remergeWithin512", 1);
     if (rw.empty() || !parseDoubleBits(rw[0], out.remergeWithin512))
+        return false;
+    if (!readU64("catchupAborted", out.catchupAborted) ||
+        !readU64("syncLatencyCycles", out.syncLatencyCycles) ||
+        !readU64("syncLatencySamples", out.syncLatencySamples)) {
+        return false;
+    }
+    auto smf = next("staticMergeableFrac", 1);
+    if (smf.empty() || !parseDoubleBits(smf[0], out.staticMergeableFrac))
         return false;
     auto gk = next("goldenOk", 1);
     if (gk.empty() || (gk[0] != "0" && gk[0] != "1"))

@@ -21,6 +21,33 @@ configName(ConfigKind kind)
     return "?";
 }
 
+const char *
+staticHintsModeName(StaticHintsMode mode)
+{
+    switch (mode) {
+      case StaticHintsMode::Off: return "off";
+      case StaticHintsMode::FhbSeed: return "fhb-seed";
+      case StaticHintsMode::MergeSkip: return "merge-skip";
+      case StaticHintsMode::Both: return "both";
+    }
+    return "?";
+}
+
+StaticHintsMode
+parseStaticHintsMode(const std::string &name)
+{
+    if (name == "off")
+        return StaticHintsMode::Off;
+    if (name == "fhb-seed")
+        return StaticHintsMode::FhbSeed;
+    if (name == "merge-skip")
+        return StaticHintsMode::MergeSkip;
+    if (name == "both")
+        return StaticHintsMode::Both;
+    fatal("unknown static-hints mode '%s' (off|fhb-seed|merge-skip|both)",
+          name.c_str());
+}
+
 CoreParams
 makeCoreParams(ConfigKind kind, const Workload &workload, int num_threads,
                const SimOverrides &ov)
@@ -69,6 +96,9 @@ makeCoreParams(ConfigKind kind, const Workload &workload, int num_threads,
     if (ov.catchupPriority >= 0)
         p.catchupPriority = ov.catchupPriority != 0;
     p.checkInvariants = ov.checkInvariants;
+    // The hint *tables* are per-program; runWorkload fills them from the
+    // analyzer when the mode asks for them.
+    p.staticHints = ov.staticHints;
     return p;
 }
 

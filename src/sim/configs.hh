@@ -35,6 +35,12 @@ enum class ConfigKind
 /** Printable name ("Base", "MMT-F", ...). */
 const char *configName(ConfigKind kind);
 
+/** Printable name of a static-hints mode ("off", "fhb-seed", ...). */
+const char *staticHintsModeName(StaticHintsMode mode);
+
+/** Parse "off" / "fhb-seed" / "merge-skip" / "both"; fatal if unknown. */
+StaticHintsMode parseStaticHintsMode(const std::string &name);
+
 /** Optional per-experiment parameter overrides (sensitivity sweeps). */
 struct SimOverrides
 {
@@ -46,6 +52,8 @@ struct SimOverrides
     bool checkInvariants = true;
     int mergeReadPorts = -1;     // register-merging ablation
     int catchupPriority = -1;    // 0/1 override; CATCHUP ablation
+    /** Analyzer-driven frontend hints (ablation_hints figure). */
+    StaticHintsMode staticHints = StaticHintsMode::Off;
 };
 
 /**

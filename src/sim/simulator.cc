@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/hints.hh"
 #include "common/logging.hh"
 #include "core/msg_net.hh"
 #include "core/smt_core.hh"
@@ -54,6 +55,33 @@ imagePointers(std::vector<std::unique_ptr<MemoryImage>> &images,
     return ptrs;
 }
 
+/**
+ * Run the sharing pass for @p params' thread semantics, record the
+ * static-mergeable prediction, and fill the hint tables when the hints
+ * mode consumes them. Microseconds per program — cheap enough to run on
+ * every simulation.
+ */
+double
+computeStaticHints(CoreParams &params, const Program &prog)
+{
+    analysis::Cfg cfg(prog);
+    analysis::SharingOptions shopt;
+    shopt.multiExecution = params.multiExecution;
+    shopt.forceTidZero = params.forceTidZero;
+    analysis::SharingResult sharing = analysis::analyzeSharing(cfg, shopt);
+    if (params.staticHints != StaticHintsMode::Off) {
+        analysis::FetchHints hints = computeFetchHints(cfg, sharing);
+        params.hintTable.divergentPcs = std::move(hints.divergentPcs);
+        params.hintTable.reconvergencePcs =
+            std::move(hints.reconvergencePcs);
+    }
+    const auto &c = sharing.classCounts;
+    int total = c[0] + c[1] + c[2];
+    return total ? static_cast<double>(total - c[2]) /
+                       static_cast<double>(total)
+                 : 1.0;
+}
+
 } // namespace
 
 RunResult
@@ -63,6 +91,7 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
 {
     Program prog = assemble(workload.source);
     CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
+    double static_mergeable = computeStaticHints(params, prog);
     bool identical = kind == ConfigKind::Limit;
 
     auto images = buildImages(workload, prog, num_threads,
@@ -133,6 +162,10 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
     r.remergeWithin512 =
         rd.total() > 0 ? rd.cumulativeFraction(rd.limits().size() - 1)
                        : 1.0;
+    r.catchupAborted = core.fetchSync().catchupAborted.value();
+    r.syncLatencyCycles = core.fetchSync().syncLatencyCycles.value();
+    r.syncLatencySamples = core.fetchSync().syncLatencySamples.value();
+    r.staticMergeableFrac = static_mergeable;
 
     r.goldenOk = true;
     // The Limit configuration on shared-memory workloads makes every
@@ -175,6 +208,8 @@ runStatsDump(const Workload &workload, ConfigKind kind, int num_threads,
 {
     Program prog = assemble(workload.source);
     CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
+    if (params.staticHints != StaticHintsMode::Off)
+        computeStaticHints(params, prog);
     bool identical = kind == ConfigKind::Limit;
 
     auto images = buildImages(workload, prog, num_threads,

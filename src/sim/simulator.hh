@@ -77,6 +77,15 @@ struct RunResult
     std::uint64_t remerges = 0;
     /** Fraction of remerges found within 512 fetched branches (§6.3). */
     double remergeWithin512 = 0.0;
+    /** False-positive CATCHUP aborts (CATCHUP→DETECT reversions). */
+    std::uint64_t catchupAborted = 0;
+    /** Summed divergence→remerge latency in cycles, and sample count
+     *  (per re-merged thread); mean = syncLatencyCycles/Samples. */
+    std::uint64_t syncLatencyCycles = 0;
+    std::uint64_t syncLatencySamples = 0;
+    /** Analyzer prediction: fraction of reachable static instructions
+     *  not provably Divergent (predicted-vs-measured reporting). */
+    double staticMergeableFrac = 0.0;
 
     bool goldenOk = false;
 
@@ -88,6 +97,19 @@ struct RunResult
                             static_cast<double>(cycles)
                       : 0.0;
     }
+
+    /** Mean cycles from divergence to re-merge (0 when none re-merged). */
+    double meanSyncLatency() const
+    {
+        return syncLatencySamples
+                   ? static_cast<double>(syncLatencyCycles) /
+                         static_cast<double>(syncLatencySamples)
+                   : 0.0;
+    }
+
+    /** Measured exec-merged fraction of committed thread-instructions
+     *  (the dynamic counterpart of staticMergeableFrac). */
+    double mergedFrac() const { return identFrac[2] + identFrac[3]; }
 };
 
 /**

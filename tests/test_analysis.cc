@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/analyzer.hh"
+#include "analysis/hints.hh"
 #include "iasm/assembler.hh"
 
 using namespace mmt;
@@ -362,6 +365,155 @@ TEST(Sharing, ClassOfMapsPcs)
     EXPECT_EQ(a.res.classOf(a.prog.codeBase + instBytes),
               ShareClass::Mergeable);
     EXPECT_EQ(a.res.classOf(0x4), ShareClass::Unclassified);
+}
+
+namespace
+{
+
+bool
+containsPc(const std::vector<Addr> &v, Addr pc)
+{
+    return std::binary_search(v.begin(), v.end(), pc);
+}
+
+FetchHints
+hintsOf(const Analyzed &a)
+{
+    return computeFetchHints(*a.res.cfg, a.res.sharing);
+}
+
+} // namespace
+
+TEST(FetchHints, TableDrivenReconvergence)
+{
+    struct Case
+    {
+        const char *name;
+        const char *src;
+        const char *branchLabel; // the tid-divergent branch
+        const char *reconvLabel; // expected re-convergence point
+        const char *armLabel;    // an instruction inside a hammock arm
+    };
+    const Case cases[] = {
+        {"if-else-rejoin",
+         R"(
+main:
+    bnez tid, odd
+even:
+    addi r1, r1, 1
+    j    join
+odd:
+    addi r1, r1, 2
+join:
+    out  r1
+    halt
+)",
+         "main", "join", "even"},
+        {"loop-exit",
+         R"(
+main:
+    li   r1, 0
+body:
+    addi r1, r1, 1
+br:
+    bnez tid, body
+done:
+    out  r1
+    halt
+)",
+         "br", "done", "body"},
+        {"guard-to-end",
+         R"(
+main:
+    bnez tid, work_end
+work:
+    addi r1, r1, 1
+work_end:
+    barrier
+    halt
+)",
+         "main", "work_end", "work"},
+    };
+    for (const Case &c : cases) {
+        auto a = analyze(c.src);
+        FetchHints h = hintsOf(a);
+        Addr branch = a.prog.symbol(c.branchLabel);
+        Addr reconv = a.prog.symbol(c.reconvLabel);
+        Addr arm = a.prog.symbol(c.armLabel);
+        EXPECT_TRUE(containsPc(h.tidDivergentBranchPcs, branch)) << c.name;
+        EXPECT_TRUE(containsPc(h.reconvergencePcs, reconv)) << c.name;
+        EXPECT_TRUE(containsPc(h.divergentPcs, arm)) << c.name;
+        // The branch itself and the re-convergence point stay out of the
+        // merge-skip set: merging at either is still profitable.
+        EXPECT_FALSE(containsPc(h.divergentPcs, branch)) << c.name;
+        EXPECT_FALSE(containsPc(h.divergentPcs, reconv)) << c.name;
+    }
+}
+
+TEST(FetchHints, NoReconvergenceWhenArmsNeverRejoin)
+{
+    // Both arms halt: the branch's ipdom is the virtual exit, so there
+    // is no code-level re-convergence point to seed.
+    auto a = analyze(R"(
+main:
+    bnez tid, other
+    halt
+other:
+    halt
+)");
+    FetchHints h = hintsOf(a);
+    EXPECT_TRUE(containsPc(h.tidDivergentBranchPcs, a.prog.symbol("main")));
+    EXPECT_TRUE(h.reconvergencePcs.empty());
+}
+
+TEST(FetchHints, UniformBranchesYieldNoHints)
+{
+    // No tid dependence anywhere: every hint vector stays empty.
+    auto a = analyze(R"(
+main:
+    li   r1, 4
+    beqz r1, skip
+    addi r1, r1, 1
+skip:
+    halt
+)");
+    FetchHints h = hintsOf(a);
+    EXPECT_TRUE(h.tidDivergentBranchPcs.empty());
+    EXPECT_TRUE(h.reconvergencePcs.empty());
+    EXPECT_TRUE(h.divergentPcs.empty());
+}
+
+TEST(FetchHints, AllWorkloadsProduceWellFormedHints)
+{
+    auto sorted_unique = [](const std::vector<Addr> &v) {
+        return std::is_sorted(v.begin(), v.end()) &&
+               std::adjacent_find(v.begin(), v.end()) == v.end();
+    };
+    for (const Workload &w : allWorkloads()) {
+        AnalysisResult res = analyzeWorkload(w);
+        FetchHints h = computeFetchHints(*res.cfg, res.sharing);
+        EXPECT_TRUE(sorted_unique(h.divergentPcs)) << w.name;
+        EXPECT_TRUE(sorted_unique(h.tidDivergentBranchPcs)) << w.name;
+        EXPECT_TRUE(sorted_unique(h.reconvergencePcs)) << w.name;
+        const Program &prog = *res.program;
+        Addr lo = prog.codeBase;
+        Addr hi = prog.codeBase +
+                  static_cast<Addr>(prog.code.size()) * instBytes;
+        auto in_code = [&](const std::vector<Addr> &v) {
+            for (Addr pc : v) {
+                if (pc < lo || pc >= hi)
+                    return false;
+            }
+            return true;
+        };
+        EXPECT_TRUE(in_code(h.divergentPcs)) << w.name;
+        EXPECT_TRUE(in_code(h.tidDivergentBranchPcs)) << w.name;
+        EXPECT_TRUE(in_code(h.reconvergencePcs)) << w.name;
+        for (Addr pc : h.tidDivergentBranchPcs)
+            EXPECT_FALSE(containsPc(h.divergentPcs, pc)) << w.name;
+        for (Addr pc : h.reconvergencePcs)
+            EXPECT_FALSE(containsPc(h.divergentPcs, pc)) << w.name;
+    }
 }
 
 TEST(Report, TextAndJsonRender)

@@ -196,6 +196,111 @@ loop:
                             b.core->stats.fetchRecords.value())));
 }
 
+TEST(FetchStage, MergeHintReleasedByPartnerArrivalNotTimeout)
+{
+    // Both threads funnel into `join`, where a MERGEHINT parks whichever
+    // arrives first. The wait must end when the groups merge (growth past
+    // the recorded member count), long before the timeout.
+    const char *src = R"(
+.data
+nthreads: .word 1
+.text
+main:
+    bnez tid, slow
+    j    join
+slow:
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    addi r5, r5, 1
+    j    join
+join:
+    mergehint
+    addi r1, r1, 1
+    out  r1
+    barrier
+    halt
+)";
+    CoreParams p;
+    p.numThreads = 2;
+    p.sharedFetch = true;
+    p.mergeHintWait = 50000;
+    Rig rig(src, p);
+    rig.core->run();
+    EXPECT_GE(rig.core->stats.hintWaits.value(), 1u);
+    EXPECT_GE(rig.core->stats.hintMerges.value(), 1u);
+    EXPECT_LT(rig.core->now(), 5000u);
+    EXPECT_EQ(rig.core->thread(0).output[0], 1u);
+    EXPECT_EQ(rig.core->thread(1).output[0], 1u);
+}
+
+TEST(FetchStage, LvipRollbackClearsMergeHintWait)
+{
+    // Regression: an LVIP rollback squashes the group's path, and any
+    // member parked at a MERGEHINT must restart with the rollback
+    // penalty instead of serving out the full hint timeout. ME threads
+    // diverge on a per-context selector (tid is 0 for every ME thread);
+    // the upper pair then loads a word that differs between its two
+    // private memories, so the merged ME load mispredicts "identical"
+    // and rolls back right as the pair parks at the MERGEHINT.
+    const char *src = R"(
+.data
+nthreads: .word 1
+sel:      .word 0
+val:      .word 0
+.text
+main:
+    la   r9, sel
+    ld   r8, 0(r9)
+    bnez r8, upper
+    addi r1, r1, 1
+    j    join
+upper:
+    la   r9, val
+    ld   r4, 0(r9)
+    mergehint
+    addi r1, r1, 2
+join:
+    out  r1
+    barrier
+    halt
+)";
+    CoreParams p;
+    p.numThreads = 4;
+    p.sharedFetch = true;
+    p.sharedExec = true;
+    p.multiExecution = true;
+    p.mergeHintWait = 20000;
+
+    Program prog = assemble(src);
+    std::vector<MemoryImage> imgs(4);
+    std::vector<MemoryImage *> ptrs;
+    for (int t = 0; t < 4; ++t) {
+        imgs[(std::size_t)t].loadData(prog);
+        imgs[(std::size_t)t].write64(prog.symbol("nthreads"), 4);
+        imgs[(std::size_t)t].write64(prog.symbol("sel"), t >= 2 ? 1 : 0);
+        imgs[(std::size_t)t].write64(prog.symbol("val"),
+                                     t == 3 ? 9u : 5u);
+        ptrs.push_back(&imgs[(std::size_t)t]);
+    }
+    SmtCore core(p, &prog, ptrs);
+    core.run();
+
+    EXPECT_GT(core.stats.lvipRollbacks.value(), 0u);
+    EXPECT_GE(core.stats.hintWaits.value(), 1u);
+    // Without the rollback clearing the wait, threads 2/3 sit at the
+    // hint until the 20000-cycle timeout and the barrier holds 0/1 too.
+    EXPECT_LT(core.now(), 10000u);
+    EXPECT_EQ(core.thread(0).output[0], 1u);
+    EXPECT_EQ(core.thread(1).output[0], 1u);
+    EXPECT_EQ(core.thread(2).output[0], 2u);
+    EXPECT_EQ(core.thread(3).output[0], 2u);
+}
+
 TEST(FetchStage, HaltedThreadStopsFetching)
 {
     const char *src = R"(

@@ -207,3 +207,132 @@ TEST(FetchSync, MergedGroupsSkipFhb)
     EXPECT_EQ(fs.fhb(0).size(), 0);
     EXPECT_EQ(fs.fhb(1).size(), 0);
 }
+
+TEST(FetchSync, CatchupAbortCountsOncePerAbort)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.onTakenBranch(gids[1], 0x3000); // catchup starts
+    EXPECT_EQ(fs.catchupEntered.value(), 1u);
+    fs.onTakenBranch(gids[1], 0x9999); // off-path: one abort
+    EXPECT_EQ(fs.catchupAborted.value(), 1u);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Detect);
+    // More wandering while already back in DETECT is not more aborts.
+    fs.onTakenBranch(gids[1], 0x8888);
+    fs.onTakenBranch(gids[1], 0x7777);
+    EXPECT_EQ(fs.catchupAborted.value(), 1u);
+    // Re-entering catchup and leaving via a merge is not an abort.
+    fs.onTakenBranch(gids[1], 0x3000);
+    EXPECT_EQ(fs.catchupEntered.value(), 2u);
+    fs.group(gids[0]).pc = 0x4000;
+    fs.group(gids[1]).pc = 0x4000;
+    EXPECT_TRUE(fs.tryMerge());
+    EXPECT_EQ(fs.catchupAborted.value(), 1u);
+}
+
+TEST(FetchSync, SeededReconvergenceBoostsOtherGroups)
+{
+    FetchSync fs(2, 32, true);
+    fs.setStaticHints(/*fhb_seed=*/true, /*merge_skip=*/false, {0x5000},
+                      {});
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    // First arrival at the static re-convergence point: no real history
+    // anywhere, but the seed turns the other group into a chaser. The
+    // arriver itself must NOT start chasing (a seed is not evidence the
+    // other group already passed the target).
+    fs.onTakenBranch(gids[0], 0x5000);
+    EXPECT_EQ(fs.group(gids[0]).catchupAhead, -1);
+    EXPECT_EQ(fs.group(gids[1]).catchupAhead, gids[0]);
+    EXPECT_EQ(fs.classify(gids[0]), FetchMode::Catchup); // chased
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Catchup); // chasing
+    EXPECT_EQ(fs.catchupEntered.value(), 1u);
+    // The chaser's own branch into the point verifies on-path through
+    // the arriver's recorded history.
+    fs.onTakenBranch(gids[1], 0x5000);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Catchup);
+    EXPECT_EQ(fs.catchupAborted.value(), 0u);
+}
+
+TEST(FetchSync, CatchupToleratesStaticallyDivergentArms)
+{
+    FetchSync fs(2, 32, true);
+    fs.setStaticHints(/*fhb_seed=*/true, /*merge_skip=*/false, {0x5000},
+                      {0x4000});
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.onTakenBranch(gids[0], 0x3000);
+    fs.onTakenBranch(gids[1], 0x3000);
+    ASSERT_EQ(fs.classify(gids[1]), FetchMode::Catchup);
+    // A branch into a statically-divergent hammock arm is the chaser
+    // walking its own side of a split the ahead group also crossed.
+    fs.onTakenBranch(gids[1], 0x4000);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Catchup);
+    EXPECT_EQ(fs.catchupAborted.value(), 0u);
+    // A target that is neither history nor a known arm still aborts.
+    fs.onTakenBranch(gids[1], 0x9999);
+    EXPECT_EQ(fs.classify(gids[1]), FetchMode::Detect);
+    EXPECT_EQ(fs.catchupAborted.value(), 1u);
+}
+
+TEST(FetchSync, MergeSkipVetoesDivergentPcMerges)
+{
+    FetchSync fs(2, 32, true);
+    fs.setStaticHints(/*fhb_seed=*/false, /*merge_skip=*/true, {},
+                      {0x5000});
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    EXPECT_TRUE(fs.mergeSkippedAt(0x5000));
+    EXPECT_FALSE(fs.mergeSkippedAt(0x6000));
+    fs.group(gids[0]).pc = 0x5000;
+    fs.group(gids[1]).pc = 0x5000;
+    EXPECT_FALSE(fs.tryMerge());
+    fs.group(gids[0]).pc = 0x6000;
+    fs.group(gids[1]).pc = 0x6000;
+    EXPECT_TRUE(fs.tryMerge());
+}
+
+TEST(FetchSync, HintsOffLeavesSkipAndSeedInert)
+{
+    FetchSync fs(2, 32, true);
+    fs.setStaticHints(false, false, {0x5000}, {0x5000});
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    EXPECT_FALSE(fs.mergeSkippedAt(0x5000));
+    // Arriving at 0x5000 must not start a seeded chase.
+    fs.onTakenBranch(gids[0], 0x5000);
+    EXPECT_EQ(fs.group(gids[1]).catchupAhead, -1);
+    EXPECT_EQ(fs.catchupEntered.value(), 0u);
+    // And merges there still happen.
+    fs.group(gids[0]).pc = 0x5000;
+    fs.group(gids[1]).pc = 0x5000;
+    EXPECT_TRUE(fs.tryMerge());
+}
+
+TEST(FetchSync, SyncLatencyAccumulatesDivergenceToMergeCycles)
+{
+    FetchSync fs(2, 32, true);
+    fs.reset(0x1000);
+    fs.setCycle(100);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
+                                              0x1004}});
+    fs.setCycle(160);
+    fs.group(gids[0]).pc = 0x4000;
+    fs.group(gids[1]).pc = 0x4000;
+    EXPECT_TRUE(fs.tryMerge());
+    EXPECT_EQ(fs.syncLatencyCycles.value(), 120u); // 60 cycles x 2 threads
+    EXPECT_EQ(fs.syncLatencySamples.value(), 2u);
+}

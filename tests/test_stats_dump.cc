@@ -55,8 +55,14 @@ TEST(StatsDump, RegistersCoreCounters)
     EXPECT_TRUE(g.has("mmt.fhb1.searches"));
     EXPECT_FALSE(g.has("mmt.fhb2.searches")); // only 2 threads
     EXPECT_FALSE(g.has("msg.sends"));         // no network attached
+    EXPECT_TRUE(g.has("mmt.sync.catchupAborted"));
     EXPECT_EQ(g.get("commit.threadInsts"), 10u);
     EXPECT_EQ(g.get("fetch.records"), 5u);
+
+    // The abort counter also reaches the JSON stats dump (the sweep
+    // artifacts and --stats-json read it from there).
+    std::string json = core->dumpStatsJson();
+    EXPECT_NE(json.find("\"mmt.sync.catchupAborted\""), std::string::npos);
 }
 
 TEST(StatsDump, DumpContainsCyclesAndNames)

@@ -185,6 +185,23 @@ TEST(SweepRunner, CacheKeyDependsOnAllInputs)
     other.workload = "equake";
     EXPECT_NE(cacheKey(other), base);
 
+    // Each static-hints mode keys differently: a cached hints=off result
+    // must never satisfy a hints=on job (or vice versa).
+    std::uint64_t hint_keys[] = {
+        base,
+        (other = job, other.overrides.staticHints = StaticHintsMode::FhbSeed,
+         cacheKey(other)),
+        (other = job,
+         other.overrides.staticHints = StaticHintsMode::MergeSkip,
+         cacheKey(other)),
+        (other = job, other.overrides.staticHints = StaticHintsMode::Both,
+         cacheKey(other)),
+    };
+    for (int i = 0; i < 4; ++i) {
+        for (int k = i + 1; k < 4; ++k)
+            EXPECT_NE(hint_keys[i], hint_keys[k]) << i << " vs " << k;
+    }
+
     // Same inputs hash identically.
     EXPECT_EQ(cacheKey(job), base);
 }

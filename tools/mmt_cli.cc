@@ -16,6 +16,9 @@
  *   --ls-ports <n>         load/store ports override
  *   --fetch-width <n>      fetch width override
  *   --no-trace-cache       disable the trace cache
+ *   --static-hints <m>     off|fhb-seed|merge-skip|both: feed mmt-analyze
+ *                          divergence/re-convergence hints to the fetch
+ *                          frontend (default off)
  *   --no-golden            skip the golden-model comparison
  *   --stats                dump every counter (gem5-style)
  *   --stats-json           print the counter dump as JSON (only output)
@@ -35,7 +38,10 @@
  *   violation with --dynamic) is found
  *
  * Sweep options (parallel figure reproduction with result caching):
- *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d
+ *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d ablation_hints
+ *   --static-hints <m>     for ablation_hints: restrict the mode axis to
+ *                          {off, <m>}; for other figures: apply <m> to
+ *                          every job
  *   --jobs <n>             worker threads (default: hardware cores)
  *   --cache-dir <dir>      persistent result cache; re-runs only
  *                          simulate jobs whose inputs changed
@@ -79,7 +85,8 @@ usage()
     std::fprintf(stderr,
                  "usage: mmt_cli [run] [--config KIND] [--threads N]\n"
                  "               [--fhb N] [--ls-ports N] [--fetch-width N]\n"
-                 "               [--no-trace-cache] [--no-golden]\n"
+                 "               [--no-trace-cache] [--static-hints M]\n"
+                 "               [--no-golden]\n"
                  "               [--stats] [--stats-json] [--asm FILE]\n"
                  "               [--strict] <workload>\n"
                  "       mmt_cli analyze [--json] [--dynamic]\n"
@@ -88,7 +95,8 @@ usage()
                  "       mmt_cli --list\n"
                  "       mmt_cli sweep --figure ID [--jobs N]\n"
                  "               [--cache-dir DIR] [--apps A,B,...]\n"
-                 "               [--csv FILE] [--json FILE] [--force]\n"
+                 "               [--static-hints M] [--csv FILE]\n"
+                 "               [--json FILE] [--force]\n"
                  "               [--no-progress]\n"
                  "       mmt_cli sweep --list-figures\n");
     std::exit(2);
@@ -114,6 +122,7 @@ sweepMain(int argc, char **argv)
     std::string figure_id;
     std::string apps;
     std::string csv_path, json_path;
+    std::string static_hints;
     SweepOptions options = sweepOptionsFromEnv();
 
     for (int i = 0; i < argc; ++i) {
@@ -133,6 +142,8 @@ sweepMain(int argc, char **argv)
             options.cacheDir = next();
         } else if (arg == "--apps") {
             apps = next();
+        } else if (arg == "--static-hints") {
+            static_hints = next();
         } else if (arg == "--csv") {
             csv_path = next();
         } else if (arg == "--json") {
@@ -162,6 +173,26 @@ sweepMain(int argc, char **argv)
         if (fig.sweep.jobs.empty())
             fatal("--apps '%s' matches no job of figure %s", apps.c_str(),
                   figure_id.c_str());
+    }
+    if (!static_hints.empty()) {
+        StaticHintsMode m = parseStaticHintsMode(static_hints);
+        if (figure_id == "ablation_hints") {
+            // The figure already sweeps the mode axis; restrict it to
+            // {off, m}. The render function expects all four modes, so
+            // a restricted sweep prints raw CSV rows like --apps does.
+            std::vector<JobSpec> kept;
+            for (JobSpec &job : fig.sweep.jobs) {
+                if (job.overrides.staticHints == StaticHintsMode::Off ||
+                    job.overrides.staticHints == m)
+                    kept.push_back(std::move(job));
+            }
+            if (kept.size() != fig.sweep.jobs.size())
+                filtered = true;
+            fig.sweep.jobs = std::move(kept);
+        } else {
+            for (JobSpec &job : fig.sweep.jobs)
+                job.overrides.staticHints = m;
+        }
     }
 
     SweepOutcome outcome = runSweep(fig.sweep, options);
@@ -390,6 +421,8 @@ main(int argc, char **argv)
             ov.fetchWidth = std::atoi(next().c_str());
         } else if (arg == "--no-trace-cache") {
             ov.disableTraceCache = true;
+        } else if (arg == "--static-hints") {
+            ov.staticHints = parseStaticHintsMode(next());
         } else if (arg == "--no-golden") {
             golden = false;
         } else if (arg == "--stats") {
@@ -471,6 +504,15 @@ main(int argc, char **argv)
     std::printf("divergences     %llu (remerges %llu)\n",
                 static_cast<unsigned long long>(r.divergences),
                 static_cast<unsigned long long>(r.remerges));
+    std::printf("sync latency    mean %.1f cycles (%llu samples, "
+                "%llu catchup aborts)\n",
+                r.meanSyncLatency(),
+                static_cast<unsigned long long>(r.syncLatencySamples),
+                static_cast<unsigned long long>(r.catchupAborted));
+    std::printf("static analysis %.1f%% mergeable upper bound "
+                "(hints: %s)\n",
+                100.0 * r.staticMergeableFrac,
+                staticHintsModeName(ov.staticHints));
     std::printf("lvip rollbacks  %llu\n",
                 static_cast<unsigned long long>(r.lvipRollbacks));
     std::printf("energy          %.2f uJ (%s)\n", r.energy.total() / 1e6,
