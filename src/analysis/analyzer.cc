@@ -28,15 +28,41 @@ AnalysisResult::classOf(Addr pc) const
     return sharing.shareClass[i];
 }
 
+namespace
+{
+
+int
+totalInsts(const std::array<int, numShareClasses> &c)
+{
+    int total = 0;
+    for (int n : c)
+        total += n;
+    return total;
+}
+
+} // namespace
+
 double
 AnalysisResult::staticMergeableFrac() const
 {
     const auto &c = sharing.classCounts;
-    int total = c[0] + c[1] + c[2];
+    int total = totalInsts(c);
     if (total == 0)
         return 1.0;
     return static_cast<double>(total -
                                c[(std::size_t)ShareClass::Divergent]) /
+           static_cast<double>(total);
+}
+
+double
+AnalysisResult::mergeableProvenFrac() const
+{
+    const auto &c = sharing.classCounts;
+    int total = totalInsts(c);
+    if (total == 0)
+        return 1.0;
+    return static_cast<double>(
+               c[(std::size_t)ShareClass::MergeableProven]) /
            static_cast<double>(total);
 }
 
@@ -87,14 +113,25 @@ renderReport(const AnalysisResult &res, const std::string &name,
              bool json)
 {
     const auto &counts = res.sharing.classCounts;
-    int total = counts[0] + counts[1] + counts[2];
+    int total = totalInsts(counts);
+    auto countOf = [&counts](ShareClass c) {
+        return counts[(std::size_t)c];
+    };
     std::ostringstream os;
     if (json) {
-        os << "{\"workload\": \"" << jsonEscape(name) << "\", ";
+        os << "{\"schema_version\": " << kAnalyzeSchemaVersion << ", ";
+        os << "\"workload\": \"" << jsonEscape(name) << "\", ";
         os << "\"instructions\": " << total << ", ";
-        os << "\"mergeable\": " << counts[0] << ", ";
-        os << "\"unknown\": " << counts[1] << ", ";
-        os << "\"divergent\": " << counts[2] << ", ";
+        os << "\"mergeable_proven\": "
+           << countOf(ShareClass::MergeableProven) << ", ";
+        os << "\"mergeable_heuristic\": "
+           << countOf(ShareClass::MergeableHeuristic) << ", ";
+        os << "\"unknown\": " << countOf(ShareClass::Unclassified)
+           << ", ";
+        os << "\"divergent\": " << countOf(ShareClass::Divergent)
+           << ", ";
+        os << "\"mergeable_proven_frac\": " << res.mergeableProvenFrac()
+           << ", ";
         os << "\"static_mergeable_frac\": " << res.staticMergeableFrac()
            << ", ";
         os << "\"errors\": " << res.errors() << ", ";
@@ -115,8 +152,12 @@ renderReport(const AnalysisResult &res, const std::string &name,
         return os.str();
     }
 
-    os << name << ": " << total << " reachable insts, " << counts[0]
-       << " mergeable / " << counts[1] << " unknown / " << counts[2]
+    os << name << ": " << total << " reachable insts, "
+       << countOf(ShareClass::MergeableProven) << " proven + "
+       << countOf(ShareClass::MergeableHeuristic)
+       << " heuristic mergeable / "
+       << countOf(ShareClass::Unclassified) << " unknown / "
+       << countOf(ShareClass::Divergent)
        << " divergent (static upper bound "
        << static_cast<int>(res.staticMergeableFrac() * 100.0 + 0.5)
        << "% mergeable)\n";

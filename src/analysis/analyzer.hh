@@ -24,6 +24,10 @@ struct AnalysisOptions
     bool forceTidZero = false;
 };
 
+/** JSON report schema version; bump on any key/shape change so the CI
+ *  lint gate fails loudly instead of parsing stale keys. */
+inline constexpr int kAnalyzeSchemaVersion = 2;
+
 /** Everything the passes computed about one program. */
 struct AnalysisResult
 {
@@ -46,6 +50,11 @@ struct AnalysisResult
     /** Fraction of reachable static instructions not provably
      *  divergent — the static upper bound on merged execution. */
     double staticMergeableFrac() const;
+
+    /** Fraction of reachable static instructions classified
+     *  MergeableProven (uniform inputs derived without the shared-load
+     *  heuristic) — the precision metric the affine domain moves. */
+    double mergeableProvenFrac() const;
 };
 
 AnalysisResult analyzeProgram(const Program &prog,

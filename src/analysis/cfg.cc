@@ -1,6 +1,7 @@
 #include "analysis/cfg.hh"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 namespace mmt
@@ -18,6 +19,13 @@ indexOf(const Program &prog, Addr a)
     return prog.validPc(a)
                ? static_cast<int>((a - prog.codeBase) / instBytes)
                : -1;
+}
+
+/** A `ret`: indirect jump through the link register. */
+bool
+isRecognizedRet(const Instruction &in)
+{
+    return in.op == Opcode::JR && in.rs1 == regRa;
 }
 
 } // namespace
@@ -56,6 +64,130 @@ Cfg::indirectTargets() const
             targets.insert(t);
     }
     return {targets.begin(), targets.end()};
+}
+
+std::vector<std::vector<int>>
+Cfg::matchReturnSites() const
+{
+    const auto &code = prog_->code;
+    int n = static_cast<int>(code.size());
+    std::vector<std::vector<int>> matched((std::size_t)n);
+    if (n == 0)
+        return matched;
+
+    // Link-register discipline: matching trusts that `ra` holds the
+    // return PC pushed by the innermost call (a stack save/restore of
+    // ra through a load preserves it). A value placed in ra by any
+    // other instruction is a computed target — demote every ret to the
+    // address-taken fallback.
+    for (const Instruction &in : code) {
+        if (in.info().writesDest && in.rd == regRa &&
+            in.op != Opcode::JAL && in.op != Opcode::JALR &&
+            !in.isLoad()) {
+            return matched;
+        }
+    }
+
+    int entry = indexOf(*prog_, prog_->entry);
+    if (entry < 0)
+        return matched;
+
+    // Call sites and their abstract return points.
+    struct CallSite
+    {
+        int callee;      // instruction index, or -1 for jalr (unknown)
+        int returnIndex; // the pushed return point
+    };
+    std::vector<CallSite> calls;
+    for (int i = 0; i + 1 < n; ++i) {
+        if (code[(std::size_t)i].op == Opcode::JAL) {
+            calls.push_back(
+                {indexOf(*prog_,
+                         static_cast<Addr>(code[(std::size_t)i].imm)),
+                 i + 1});
+        } else if (code[(std::size_t)i].op == Opcode::JALR) {
+            calls.push_back({-1, i + 1});
+        }
+    }
+
+    // Recognized rets reachable from @p start within one frame: nested
+    // calls skip to their return point, computed jumps follow the
+    // conservative target set (over-approximating the frame).
+    std::vector<int> fallback = indirectTargets();
+    auto frameRets = [&](int start) {
+        std::vector<int> rets;
+        std::vector<bool> seen((std::size_t)n, false);
+        std::vector<int> stack{start};
+        while (!stack.empty()) {
+            int i = stack.back();
+            stack.pop_back();
+            if (i < 0 || i >= n || seen[(std::size_t)i])
+                continue;
+            seen[(std::size_t)i] = true;
+            const Instruction &in = code[(std::size_t)i];
+            if (isRecognizedRet(in)) {
+                rets.push_back(i);
+                continue;
+            }
+            if (in.op == Opcode::HALT)
+                continue;
+            if (in.op == Opcode::JAL || in.op == Opcode::JALR) {
+                stack.push_back(i + 1); // the callee frame is skipped
+                continue;
+            }
+            if (in.isIndirectJump()) { // jr through a non-ra register
+                for (int t : fallback)
+                    stack.push_back(t);
+                continue;
+            }
+            if (in.isUncondJump()) { // J
+                stack.push_back(
+                    indexOf(*prog_, static_cast<Addr>(in.imm)));
+                continue;
+            }
+            if (in.isCondBranch()) {
+                stack.push_back(
+                    indexOf(*prog_, static_cast<Addr>(in.imm)));
+            }
+            stack.push_back(i + 1);
+        }
+        return rets;
+    };
+
+    // Rets in the entry frame return to the external caller (the seed
+    // ra), not to any call site in this program: keep the fallback.
+    std::vector<bool> entry_frame_ret((std::size_t)n, false);
+    for (int r : frameRets(entry))
+        entry_frame_ret[(std::size_t)r] = true;
+
+    // Match each direct callee's frame rets to its call sites' return
+    // points; a jalr calls an unknown callee, so its return point
+    // matches every recognized ret.
+    std::map<int, std::vector<int>> frame_cache;
+    std::vector<std::set<int>> sites((std::size_t)n);
+    std::vector<int> jalr_returns;
+    for (const CallSite &c : calls) {
+        if (c.callee < 0) {
+            jalr_returns.push_back(c.returnIndex);
+            continue;
+        }
+        auto [it, fresh] = frame_cache.try_emplace(c.callee);
+        if (fresh)
+            it->second = frameRets(c.callee);
+        for (int r : it->second)
+            sites[(std::size_t)r].insert(c.returnIndex);
+    }
+    for (int r = 0; r < n; ++r) {
+        if (!isRecognizedRet(code[(std::size_t)r]) ||
+            entry_frame_ret[(std::size_t)r]) {
+            continue;
+        }
+        for (int j : jalr_returns)
+            sites[(std::size_t)r].insert(j);
+        matched[(std::size_t)r].assign(sites[(std::size_t)r].begin(),
+                                       sites[(std::size_t)r].end());
+    }
+    return matched;
 }
 
 void
@@ -104,6 +236,7 @@ Cfg::buildEdges()
 {
     int n = static_cast<int>(prog_->code.size());
     std::vector<int> indirect = indirectTargets();
+    std::vector<std::vector<int>> matched = matchReturnSites();
     for (std::size_t b = 0; b < blocks_.size(); ++b) {
         BasicBlock &blk = blocks_[b];
         const Instruction &in = prog_->code[(std::size_t)blk.last];
@@ -118,8 +251,15 @@ Cfg::buildEdges()
             // to virtual exit only
         } else if (in.isIndirectJump()) {
             blk.hasIndirect = true;
-            for (int t : indirect)
-                succs.insert(blockOf_[(std::size_t)t]);
+            const std::vector<int> &m = matched[(std::size_t)blk.last];
+            if (!m.empty()) {
+                blk.indirectMatched = true;
+                for (int t : m)
+                    succs.insert(blockOf_[(std::size_t)t]);
+            } else {
+                for (int t : indirect)
+                    succs.insert(blockOf_[(std::size_t)t]);
+            }
         } else if (in.isUncondJump()) { // J / JAL
             addTarget(static_cast<Addr>(in.imm));
         } else if (in.isCondBranch()) {

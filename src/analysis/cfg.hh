@@ -1,17 +1,36 @@
 /**
  * @file
- * Control-flow graph over an assembled iasm::Program.
+ * Control-flow graph over an assembled iasm::Program, interprocedural
+ * at call-string depth 1.
  *
  * Blocks are maximal straight-line index ranges of the instruction
  * stream; edges come from branch/jump immediates and fall-through.
- * Indirect jumps (JR/JALR) have no static target, so they are given a
- * conservative successor set: every return point (the instruction after
- * a JAL/JALR) plus every code address that is materialized by an
- * immediate or stored in the initial data image (address-taken).
+ *
+ * Indirect jumps have no static target, so they are resolved in two
+ * tiers:
+ *
+ *   1. Call-site-aware return matching. `jal`/`jalr` write the return
+ *      PC to `ra`, so each acts as a call pushing an abstract return
+ *      point (the next instruction). A `ret` (`jr ra`) reached from a
+ *      direct callee's entry without leaving the callee's frame gets
+ *      edges only to the return points of the call sites that target
+ *      that callee (plus the return point of every `jalr`, whose callee
+ *      is unknown). Matching assumes the usual bracketed call/return
+ *      discipline; if any non-call, non-load instruction writes `ra`
+ *      (a computed address materialized into the link register), every
+ *      ret falls back to tier 2.
+ *   2. Address-taken fallback (conservative): every return point plus
+ *      every code address materialized by an immediate or stored in the
+ *      initial data image (jump tables). Used for `jr` through a
+ *      non-`ra` register, rets reachable from the entry frame without a
+ *      call, and rets with no matched call site.
+ *
+ * BasicBlock::indirectMatched distinguishes the tiers, and the tighter
+ * tier-1 edges sharpen post-dominators — and with them the lint layer's
+ * control-dependence checks and the FetchHints re-convergence points.
  *
  * Besides forward reachability the CFG computes post-dominators over a
- * virtual exit node (successor of HALT and of fall-off-the-end blocks),
- * which the lint layer uses for barrier control-dependence checks.
+ * virtual exit node (successor of HALT and of fall-off-the-end blocks).
  */
 
 #ifndef MMT_ANALYSIS_CFG_HH
@@ -35,7 +54,10 @@ struct BasicBlock
     std::vector<int> preds;
     bool reachable = false;   // from the entry block
     bool fallsOffEnd = false; // control can run past the last instruction
-    bool hasIndirect = false; // ends in JR/JALR (succs are conservative)
+    bool hasIndirect = false; // ends in JR/JALR
+    /** hasIndirect only: successors were resolved by call-site return
+     *  matching rather than the conservative address-taken fallback. */
+    bool indirectMatched = false;
 };
 
 /** Control-flow graph of one program. */
@@ -81,8 +103,14 @@ class Cfg
     void markReachable();
     void computePostDominators();
 
-    /** Conservative successor indices of an indirect jump. */
+    /** Conservative successor indices of an indirect jump (tier 2). */
     std::vector<int> indirectTargets() const;
+    /**
+     * Tier-1 matching: per instruction index, the matched return-point
+     * indices of a recognized `ret`, or an empty vector when the
+     * conservative fallback applies to it.
+     */
+    std::vector<std::vector<int>> matchReturnSites() const;
 
     const Program *prog_;
     std::vector<BasicBlock> blocks_;

@@ -34,7 +34,8 @@ checkMergeUpperBound(const AnalysisResult &analysis, const Program &prog,
 
 MergeBoundReport
 runMergeBoundCheck(const Workload &w, ConfigKind kind, int num_threads,
-                   AnalysisResult *out_analysis, RunResult *out_result)
+                   AnalysisResult *out_analysis, RunResult *out_result,
+                   const SimOverrides &ov)
 {
     // The static thread model must match the configuration under test:
     // the Limit config forces tid to 0 in every thread, which erases
@@ -46,7 +47,7 @@ runMergeBoundCheck(const Workload &w, ConfigKind kind, int num_threads,
     AnalysisResult analysis = analyzeProgram(*owned, opt);
     analysis.program = std::move(owned);
     PcMergeProfile profile;
-    RunResult r = runWorkload(w, kind, num_threads, SimOverrides(),
+    RunResult r = runWorkload(w, kind, num_threads, ov,
                               /*check_golden=*/false, &profile);
     MergeBoundReport rep =
         checkMergeUpperBound(analysis, *analysis.program, profile);

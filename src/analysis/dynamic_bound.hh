@@ -69,14 +69,16 @@ MergeBoundReport checkMergeUpperBound(const AnalysisResult &analysis,
                                       const PcMergeProfile &profile);
 
 /**
- * Convenience: analyze @p w, run it under @p kind with @p num_threads,
- * and cross-check. Also fills @p out_result / @p out_analysis when
+ * Convenience: analyze @p w, run it under @p kind with @p num_threads
+ * (and optional simulator overrides, e.g. a --static-hints mode), and
+ * cross-check. Also fills @p out_result / @p out_analysis when
  * non-null.
  */
 MergeBoundReport runMergeBoundCheck(const Workload &w, ConfigKind kind,
                                     int num_threads,
                                     AnalysisResult *out_analysis = nullptr,
-                                    RunResult *out_result = nullptr);
+                                    RunResult *out_result = nullptr,
+                                    const SimOverrides &ov = SimOverrides());
 
 } // namespace analysis
 } // namespace mmt

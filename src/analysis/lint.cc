@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <string>
 
 namespace mmt
 {
@@ -115,8 +116,18 @@ class Linter
         }
 
         if (in.isIndirectJump()) {
-            report("indirect-jump", Severity::Info, i,
-                   "indirect jump: static successors are conservative");
+            // Matched rets (call-site-aware return matching) have
+            // precise successors and are not worth a diagnostic; only
+            // residual address-taken fallbacks stay conservative.
+            const BasicBlock &blk =
+                cfg_.blocks()[(std::size_t)cfg_.blockOf(i)];
+            if (!blk.indirectMatched) {
+                report("indirect-jump", Severity::Info, i,
+                       "indirect jump: " +
+                           std::to_string(blk.succs.size()) +
+                           " conservative successors (address-taken "
+                           "fallback)");
+            }
         }
     }
 

@@ -49,6 +49,37 @@ readSources(const Instruction &in, RegIndex out[2])
     return n;
 }
 
+/**
+ * Ops that are linear in the untracked Affine base, so a stride
+ * survives the transfer: add/sub are linear in both operands, addi and
+ * slli scale by a compile-time constant, and mul/sll need the scaling
+ * operand to be an exactly-Known uniform constant (the result stride is
+ * stride * constant, which an untracked Affine{0} value cannot supply).
+ */
+bool
+strideLinear(const Instruction &in, const AbsVal &a, const AbsVal &b)
+{
+    auto known_const = [](const AbsVal &s) {
+        return s.kind == AbsVal::Kind::Known && s.lanesAllEqual();
+    };
+    switch (in.op) {
+      case Opcode::ADD:
+      case Opcode::SUB:
+      case Opcode::ADDI:
+      case Opcode::SLLI:
+        return true;
+      case Opcode::MUL:
+        return known_const(a) || known_const(b);
+      case Opcode::SLL:
+        return known_const(b);
+      default:
+        return false;
+    }
+}
+
+/** Second synthetic Affine base, to verify base-independence. */
+constexpr RegVal kProbeBase = 0x1000'0000'0001ull;
+
 /** Abstract result of one register-writing instruction. */
 AbsVal
 evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
@@ -56,15 +87,18 @@ evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
 {
     if (in.op == Opcode::RECV)
         return AbsVal::unknown(); // per-context message channel
+    if (in.op == Opcode::JAL || in.op == Opcode::JALR)
+        return AbsVal::constant(exec::evalAlu(in, 0, 0, pc)); // link pc
     if (in.isLoad()) {
         // A load from a thread-uniform address in a *shared* address
         // space sees one location; absent data races the loaded value
-        // is uniform too (heuristic — Uniform is never enforced). ME
-        // instances deliberately perturb their private data, so their
-        // loads are unknowable.
+        // is uniform too. This is the one data heuristic of the domain
+        // — it taints the result Affine{0, heuristic}. ME instances
+        // deliberately perturb their private data, so their loads are
+        // unknowable.
         const AbsVal &base = regs[(std::size_t)in.rs1];
         if (!opt.multiExecution && base.uniformish())
-            return AbsVal::uniform();
+            return AbsVal::affine(0, /*heuristic=*/true);
         return AbsVal::unknown();
     }
 
@@ -80,21 +114,80 @@ evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
         if (s.kind != AbsVal::Kind::Known)
             all_known = false;
     }
-    if (!all_known)
-        return AbsVal::uniform(); // uniform-ish inputs, exact op
-
-    // All inputs exactly known: run the real ALU once per thread lane.
-    std::array<RegVal, maxThreads> out{};
-    for (int t = 0; t < maxThreads; ++t) {
-        RegVal a = in.info().readsSrc1
-                       ? regs[(std::size_t)in.rs1].v[(std::size_t)t]
-                       : 0;
-        RegVal b = in.info().readsSrc2
-                       ? regs[(std::size_t)in.rs2].v[(std::size_t)t]
-                       : 0;
-        out[(std::size_t)t] = exec::evalAlu(in, a, b, pc);
+    if (all_known) {
+        // All inputs exactly known: run the real ALU per thread lane.
+        std::array<RegVal, maxThreads> out{};
+        for (int t = 0; t < maxThreads; ++t) {
+            RegVal a = in.info().readsSrc1
+                           ? regs[(std::size_t)in.rs1].v[(std::size_t)t]
+                           : 0;
+            RegVal b = in.info().readsSrc2
+                           ? regs[(std::size_t)in.rs2].v[(std::size_t)t]
+                           : 0;
+            out[(std::size_t)t] = exec::evalAlu(in, a, b, pc);
+        }
+        return AbsVal::known(out);
     }
-    return AbsVal::known(out);
+
+    // Mixed Known/Affine sources. Collect the heuristic taint and the
+    // per-source affine view (Known vectors use their exact lanes).
+    bool heuristic = false;
+    bool all_uniform = true;
+    bool shaped = true;
+    for (int i = 0; i < n; ++i) {
+        const AbsVal &s = regs[(std::size_t)src[i]];
+        heuristic = heuristic ||
+                    (s.kind == AbsVal::Kind::Affine && s.heuristic);
+        all_uniform = all_uniform && s.uniformish();
+        RegVal stride = 0;
+        shaped = shaped && s.affineStride(&stride);
+    }
+    // Deterministic op, every thread presents identical inputs: the
+    // result is uniform regardless of the op's shape.
+    if (all_uniform)
+        return AbsVal::affine(0, heuristic);
+
+    // Some source is strided. Only base-linear ops keep a provable
+    // stride; verify it by evaluating the real ALU lane-wise on two
+    // synthetic base vectors and checking both results are affine in
+    // tid with the same stride.
+    AbsVal s1 = in.info().readsSrc1 ? regs[(std::size_t)in.rs1] : AbsVal();
+    AbsVal s2 = in.info().readsSrc2 ? regs[(std::size_t)in.rs2] : AbsVal();
+    if (!shaped || !strideLinear(in, s1, s2))
+        return AbsVal::unknown();
+
+    auto lanes = [&](const AbsVal &s, RegVal base,
+                     std::array<RegVal, maxThreads> &out) {
+        if (s.kind == AbsVal::Kind::Known) {
+            out = s.v;
+            return;
+        }
+        for (int t = 0; t < maxThreads; ++t)
+            out[(std::size_t)t] =
+                base + static_cast<RegVal>(t) * s.stride;
+    };
+    std::array<RegVal, maxThreads> out0{}, out1{};
+    for (int pass = 0; pass < 2; ++pass) {
+        RegVal base = pass == 0 ? 0 : kProbeBase;
+        std::array<RegVal, maxThreads> a{}, b{};
+        if (in.info().readsSrc1)
+            lanes(s1, base, a);
+        if (in.info().readsSrc2)
+            lanes(s2, base, b);
+        auto &out = pass == 0 ? out0 : out1;
+        for (int t = 0; t < maxThreads; ++t)
+            out[(std::size_t)t] = exec::evalAlu(
+                in, a[(std::size_t)t], b[(std::size_t)t], pc);
+    }
+    RegVal stride = out0[1] - out0[0];
+    for (int t = 0; t < maxThreads; ++t) {
+        RegVal off = static_cast<RegVal>(t) * stride;
+        if (out0[(std::size_t)t] != out0[0] + off ||
+            out1[(std::size_t)t] != out1[0] + off) {
+            return AbsVal::unknown();
+        }
+    }
+    return AbsVal::affine(stride, heuristic);
 }
 
 /** Apply @p in to @p regs (register effect only). */
@@ -118,8 +211,10 @@ classify(const Instruction &in, const RegState &regs)
     RegIndex src[2];
     int n = readSources(in, src);
 
-    // Divergent (sound): for every thread pair some source provably
-    // differs, so no pair can ever present identical inputs.
+    // Divergent (sound, enforced): for every thread pair some source
+    // provably differs, so no pair can ever present identical inputs.
+    // Only Known facts qualify — an Affine stride proves pairwise
+    // inequality along one path, not across paths.
     bool all_pairs_differ = true;
     for (int t = 0; t < maxThreads && all_pairs_differ; ++t) {
         for (int u = t + 1; u < maxThreads && all_pairs_differ; ++u) {
@@ -139,16 +234,16 @@ classify(const Instruction &in, const RegState &regs)
         return ShareClass::Divergent;
 
     // Mergeable (upper bound): every source is uniform across threads.
-    bool all_uniform = true;
+    // Proven when the uniformity never leaned on the load heuristic.
+    bool heuristic = false;
     for (int i = 0; i < n; ++i) {
-        if (!regs[(std::size_t)src[i]].uniformish()) {
-            all_uniform = false;
-            break;
-        }
+        const AbsVal &s = regs[(std::size_t)src[i]];
+        if (!s.uniformish())
+            return ShareClass::Unclassified;
+        heuristic = heuristic || !s.provenUniform();
     }
-    if (all_uniform)
-        return ShareClass::Mergeable;
-    return ShareClass::Unclassified;
+    return heuristic ? ShareClass::MergeableHeuristic
+                     : ShareClass::MergeableProven;
 }
 
 /** Lane-wise branch direction; true if two lanes provably disagree. */
@@ -186,11 +281,16 @@ join(const AbsVal &a, const AbsVal &b)
         return a;
     if (a.kind == Kind::Unknown || b.kind == Kind::Unknown)
         return AbsVal::unknown();
-    // Distinct values that are each thread-uniform stay Uniform (the
-    // path-dependent heuristic); anything involving a lane-divergent
-    // vector degrades to Unknown.
-    if (a.uniformish() && b.uniformish())
-        return AbsVal::uniform();
+    // Widening: distinct values sharing a per-thread stride join to
+    // Affine{stride} (base forgotten) instead of collapsing to Unknown,
+    // so loop-carried induction variables stabilize. stride == 0 is the
+    // uniform-but-path-dependent case that used to be `Uniform`.
+    RegVal sa = 0, sb = 0;
+    if (a.affineStride(&sa) && b.affineStride(&sb) && sa == sb) {
+        bool heuristic = (a.kind == Kind::Affine && a.heuristic) ||
+                         (b.kind == Kind::Affine && b.heuristic);
+        return AbsVal::affine(sa, heuristic);
+    }
     return AbsVal::unknown();
 }
 
@@ -198,7 +298,8 @@ const char *
 shareClassName(ShareClass c)
 {
     switch (c) {
-      case ShareClass::Mergeable: return "mergeable";
+      case ShareClass::MergeableProven: return "mergeable-proven";
+      case ShareClass::MergeableHeuristic: return "mergeable-heuristic";
       case ShareClass::Unclassified: return "unknown";
       case ShareClass::Divergent: return "divergent";
     }

@@ -4,34 +4,57 @@
  * merging (the Fig. 1 "how much redundancy is there" question, answered
  * without running the pipeline).
  *
- * Abstract domain. Each architected register is tracked as one of
+ * Abstract domain (lattice Bottom ⊑ Known ⊑ Affine ⊑ Unknown). Each
+ * architected register is tracked as one of
  *
  *   Bottom   — no value yet (unreached)
  *   Known    — the exact value every thread holds at this point, as a
  *              per-tid vector {v[0..maxThreads)}; transfer functions
  *              reuse exec::evalAlu lane-wise, so the abstract semantics
  *              is the concrete semantics applied per thread
- *   Uniform  — equal across threads on every individual path, but the
- *              joined value is path-dependent (heuristic: threads that
- *              branch differently may disagree)
- *   Unknown  — anything (loads, RECV, joins of differing values)
+ *   Affine   — thread t holds base + t*stride, where the stride is
+ *              path-invariant but the base is not tracked (it may
+ *              differ per control path / loop iteration). stride == 0
+ *              is the uniform case and subsumes the retired heuristic
+ *              `Uniform` kind; the `heuristic` flag records whether a
+ *              shared-load assumption entered the derivation
+ *   Unknown  — anything (ME loads, RECV, joins of different strides)
  *
  * Known is *sound*: the fixpoint only keeps a vector when every path
- * agrees on it, so "thread t holds v[t] here" is invariant; values that
- * vary per loop iteration degrade to Uniform/Unknown at the join.
+ * agrees on it, so "thread t holds v[t] here" is invariant. Affine is a
+ * per-path relational claim: threads that reached this point along the
+ * same control path (and the same loop iteration) hold values exactly
+ * (t-u)*stride apart. It is derived inductively — entry seeds are exact
+ * (tid has stride 1, sp has stride -stackBytes), and only transfer
+ * functions that are linear in the untracked base propagate a stride
+ * (add/sub, addi, slli, and mul/sll by an exactly-Known uniform
+ * constant), each verified by running exec::evalAlu lane-wise on two
+ * synthetic base vectors. The join widens differing Known vectors with
+ * a common stride to Affine instead of collapsing them to Unknown, so
+ * loop-carried induction variables (counters, strided address streams)
+ * stabilize as Affine.
  *
  * Classification per static instruction (ShareClass):
  *
- *   Mergeable — all register sources are Uniform or Known-equal: every
- *               thread presents identical inputs, so the splitter may
- *               keep the instances merged (upper bound; Uniform inputs
- *               make this heuristic rather than a guarantee)
- *   Divergent — for every thread pair some source is Known with
- *               differing lanes (or the op is RECV, which the splitter
- *               never merges): the instruction can *never* be
- *               execute-merged. This direction is sound and is enforced
- *               against the pipeline by the dynamic upper-bound test.
- *   Unclassified — everything else
+ *   MergeableProven    — every register source is Known-lanes-equal or
+ *                        Affine{stride 0} with no heuristic step: the
+ *                        uniformity claim is derived soundly from the
+ *                        entry state. (Still an upper bound on dynamic
+ *                        merging — threads arriving via different paths
+ *                        or loop iterations may hold different bases.)
+ *   MergeableHeuristic — uniform only modulo the shared-load heuristic
+ *                        (a load from a uniform address in a shared
+ *                        address space is assumed to read one value).
+ *   Divergent          — for every thread pair some source is Known
+ *                        with differing lanes (or the op is RECV, which
+ *                        the splitter never merges): the instruction
+ *                        can *never* be execute-merged. This direction
+ *                        is sound and is enforced against the pipeline
+ *                        by the dynamic upper-bound test. Affine facts
+ *                        are never used here: a nonzero stride proves
+ *                        pairwise inequality only along a single path,
+ *                        which dynamic merging does not guarantee.
+ *   Unclassified       — everything else
  *
  * Seeds follow the simulator's thread setup: MT runs give regTid the
  * vector {0,1,2,3} and regSp the per-thread stack tops; ME runs (and
@@ -54,14 +77,21 @@ namespace analysis
 /** Abstract value of one register (see file comment). */
 struct AbsVal
 {
-    enum class Kind { Bottom, Known, Uniform, Unknown };
+    enum class Kind { Bottom, Known, Affine, Unknown };
     Kind kind = Kind::Bottom;
     std::array<RegVal, maxThreads> v{}; // valid when kind == Known
+    /** Affine only: thread t holds base + t*stride (base untracked). */
+    RegVal stride = 0;
+    /** Affine only: a shared-load assumption entered the derivation. */
+    bool heuristic = false;
 
     static AbsVal
     known(const std::array<RegVal, maxThreads> &vals)
     {
-        return {Kind::Known, vals};
+        AbsVal a;
+        a.kind = Kind::Known;
+        a.v = vals;
+        return a;
     }
 
     static AbsVal
@@ -73,8 +103,23 @@ struct AbsVal
         return a;
     }
 
-    static AbsVal uniform() { return {Kind::Uniform, {}}; }
-    static AbsVal unknown() { return {Kind::Unknown, {}}; }
+    static AbsVal
+    affine(RegVal stride, bool heuristic)
+    {
+        AbsVal a;
+        a.kind = Kind::Affine;
+        a.stride = stride;
+        a.heuristic = heuristic;
+        return a;
+    }
+
+    static AbsVal
+    unknown()
+    {
+        AbsVal a;
+        a.kind = Kind::Unknown;
+        return a;
+    }
 
     bool
     lanesAllEqual() const
@@ -85,29 +130,73 @@ struct AbsVal
         return true;
     }
 
-    /** Equal across threads (possibly path-dependently). */
+    /**
+     * True when this value has a provable per-thread stride: Known
+     * vectors of the shape v[t] = v[0] + t*s (mod 2^64) or any Affine
+     * value. Writes the stride to @p out.
+     */
+    bool
+    affineStride(RegVal *out) const
+    {
+        if (kind == Kind::Affine) {
+            *out = stride;
+            return true;
+        }
+        if (kind != Kind::Known)
+            return false;
+        RegVal s = v[1] - v[0];
+        for (int t = 0; t < maxThreads; ++t) {
+            if (v[(std::size_t)t] !=
+                v[0] + static_cast<RegVal>(t) * s) {
+                return false;
+            }
+        }
+        *out = s;
+        return true;
+    }
+
+    /** Equal across same-path threads (proven or heuristic). */
     bool
     uniformish() const
     {
-        return kind == Kind::Uniform ||
+        return (kind == Kind::Affine && stride == 0) ||
                (kind == Kind::Known && lanesAllEqual());
+    }
+
+    /** uniformish() with no heuristic step in the derivation. */
+    bool
+    provenUniform() const
+    {
+        return uniformish() && !(kind == Kind::Affine && heuristic);
     }
 
     bool operator==(const AbsVal &o) const = default;
 };
 
-/** Join (least upper bound) of two abstract values. */
+/** Join (least upper bound, with Known→Affine stride widening). */
 AbsVal join(const AbsVal &a, const AbsVal &b);
 
 /** Static sharing class of one instruction. */
 enum class ShareClass
 {
-    Mergeable,    // provably identical inputs (upper bound)
-    Unclassified, // cannot tell
-    Divergent,    // provably never execute-merged (sound)
+    MergeableProven,    // identical inputs, soundly derived (upper bound)
+    MergeableHeuristic, // identical inputs modulo the shared-load guess
+    Unclassified,       // cannot tell
+    Divergent,          // provably never execute-merged (sound, enforced)
 };
 
+/** Number of ShareClass values (classCounts array size). */
+inline constexpr int numShareClasses = 4;
+
 const char *shareClassName(ShareClass c);
+
+/** Mergeable under either flavor of uniformity claim. */
+inline bool
+isMergeable(ShareClass c)
+{
+    return c == ShareClass::MergeableProven ||
+           c == ShareClass::MergeableHeuristic;
+}
 
 /** Thread-setup options mirroring the simulator (see CoreParams). */
 struct SharingOptions
@@ -129,7 +218,7 @@ struct SharingResult
      *  at least one thread pair (Known condition lanes disagree). */
     std::vector<bool> divergentBranch;
     /** Static instruction counts per class, reachable code only. */
-    std::array<int, 3> classCounts{};
+    std::array<int, numShareClasses> classCounts{};
 };
 
 /** Run the sharing fixpoint over @p cfg. */

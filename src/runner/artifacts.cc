@@ -107,6 +107,10 @@ sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
            << ", \"meanSyncLatency\": " << jsonNum(r.meanSyncLatency())
            << ",\n     \"staticMergeableFrac\": "
            << jsonNum(r.staticMergeableFrac)
+           << ", \"predicted_mergeable\": "
+           << jsonNum(i < outcome.predictedMergeable.size()
+                          ? outcome.predictedMergeable[i]
+                          : 0.0)
            << ", \"mergedFrac\": " << jsonNum(r.mergedFrac())
            << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false")
            << ",\n     \"simSpeed\": {\"hostSeconds\": "
@@ -131,8 +135,8 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
           "energyOverheadPj,energyOtherPj,lvipRollbacks,branchMispredicts,"
           "divergences,remerges,remergeWithin512,catchupAborted,"
           "syncLatencyCycles,syncLatencySamples,meanSyncLatency,"
-          "staticMergeableFrac,mergedFrac,goldenOk,hostSeconds,"
-          "simCyclesPerSec,threadInstsPerSec\n";
+          "staticMergeableFrac,predicted_mergeable,mergedFrac,goldenOk,"
+          "hostSeconds,simCyclesPerSec,threadInstsPerSec\n";
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const JobSpec &job = spec.jobs[i];
         const RunResult &r = outcome.results[i];
@@ -153,7 +157,10 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
            << "," << r.syncLatencyCycles << "," << r.syncLatencySamples
            << "," << jsonNum(r.meanSyncLatency()) << ","
            << jsonNum(r.staticMergeableFrac) << ","
-           << jsonNum(r.mergedFrac()) << "," << (r.goldenOk ? 1 : 0)
+           << jsonNum(i < outcome.predictedMergeable.size()
+                          ? outcome.predictedMergeable[i]
+                          : 0.0)
+           << "," << jsonNum(r.mergedFrac()) << "," << (r.goldenOk ? 1 : 0)
            << "," << jsonNum(r.simSpeed.hostSeconds) << ","
            << jsonNum(r.simSpeed.simCyclesPerSec) << ","
            << jsonNum(r.simSpeed.threadInstsPerSec) << "\n";

@@ -1,15 +1,19 @@
 #include "runner/sweep_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
+#include "analysis/analyzer.hh"
 #include "common/logging.hh"
+#include "iasm/assembler.hh"
 #include "runner/result_store.hh"
 
 namespace mmt
@@ -59,6 +63,37 @@ class ProgressReporter
     std::mutex mutex_;
 };
 
+/**
+ * Analyzer predictions per job, memoized per (workload, thread-model):
+ * the static pass costs microseconds, so running it up front for every
+ * job is free next to even one simulation.
+ */
+std::vector<double>
+predictJobs(const SweepSpec &spec)
+{
+    std::vector<double> pred(spec.jobs.size(), 0.0);
+    std::map<std::string, double> memo;
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        const JobSpec &job = spec.jobs[i];
+        // Mirrors makeCoreParams: the Limit config forces tid to 0.
+        bool tid0 = job.kind == ConfigKind::Limit;
+        std::string key = job.workload + (tid0 ? "|tid0" : "");
+        auto it = memo.find(key);
+        if (it == memo.end()) {
+            const Workload &w = resolveWorkload(job.workload);
+            Program prog = assemble(w.source);
+            analysis::AnalysisOptions opt;
+            opt.multiExecution = w.multiExecution;
+            opt.forceTidZero = tid0;
+            double frac = analysis::analyzeProgram(prog, opt)
+                              .staticMergeableFrac();
+            it = memo.emplace(key, frac).first;
+        }
+        pred[i] = it->second;
+    }
+    return pred;
+}
+
 } // namespace
 
 std::string
@@ -85,6 +120,21 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     out.results.resize(total);
     out.fromCache.assign(total, false);
 
+    // Analyzer-driven pruning: claim jobs most-promising-first (by
+    // descending predicted mergeable fraction) so partial runs cover
+    // the interesting points early. Results still land in spec-order
+    // slots — the artifacts are byte-identical for any ordering.
+    out.predictedMergeable = predictJobs(spec);
+    out.executionOrder.resize(total);
+    for (std::size_t i = 0; i < total; ++i)
+        out.executionOrder[i] = i;
+    std::stable_sort(out.executionOrder.begin(),
+                     out.executionOrder.end(),
+                     [&out](std::size_t a, std::size_t b) {
+                         return out.predictedMergeable[a] >
+                                out.predictedMergeable[b];
+                     });
+
     std::unique_ptr<ResultStore> store;
     if (!options.cacheDir.empty())
         store = std::make_unique<ResultStore>(options.cacheDir);
@@ -97,9 +147,10 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     auto start = Clock::now();
     auto worker = [&]() {
         for (;;) {
-            std::size_t i = cursor.fetch_add(1);
-            if (i >= total)
+            std::size_t next = cursor.fetch_add(1);
+            if (next >= total)
                 return;
+            std::size_t i = out.executionOrder[next];
             const JobSpec &job = spec.jobs[i];
             bool cached = false;
             if (store && !options.forceRerun) {

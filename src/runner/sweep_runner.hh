@@ -5,9 +5,12 @@
  * Jobs of a sweep are independent simulations, so the runner fans them
  * out over a pool of worker threads that claim jobs from a shared
  * atomic cursor (work stealing degenerates to this for a single flat
- * queue). Results land in a pre-sized vector slot per job, so the
- * output order — and every byte of every RunResult — is identical for
- * any worker count, including 1.
+ * queue). The cursor walks a priority permutation ordered by the static
+ * analyzer's predicted mergeable fraction (most promising first), so a
+ * partial or interrupted sweep covers the interesting points early.
+ * Results land in a pre-sized vector slot per job, so the output order
+ * — and every byte of every RunResult — is identical for any worker
+ * count and any claiming order, including 1.
  *
  * With a cache directory set, each job is first looked up in the
  * ResultStore; valid entries skip simulation entirely, corrupted ones
@@ -43,6 +46,15 @@ struct SweepOutcome
     std::vector<RunResult> results;
     /** Whether results[i] came from the cache. */
     std::vector<bool> fromCache;
+    /** Analyzer prediction per spec job: staticMergeableFrac of the
+     *  workload under the job's thread model — computed in microseconds
+     *  before any simulation, used to order job execution and emitted
+     *  next to the measured merged fraction in artifacts. */
+    std::vector<double> predictedMergeable;
+    /** Spec-order job indices in the order workers claim them: sorted
+     *  by descending prediction (most promising first). Results still
+     *  land in spec-order slots, so artifacts are byte-identical. */
+    std::vector<std::size_t> executionOrder;
 
     std::size_t executed = 0;     // jobs actually simulated
     std::size_t cacheHits = 0;    // jobs served from the store

@@ -76,8 +76,12 @@ computeStaticHints(CoreParams &params, const Program &prog)
             std::move(hints.reconvergencePcs);
     }
     const auto &c = sharing.classCounts;
-    int total = c[0] + c[1] + c[2];
-    return total ? static_cast<double>(total - c[2]) /
+    int total = 0;
+    for (int n : c)
+        total += n;
+    int divergent =
+        c[(std::size_t)analysis::ShareClass::Divergent];
+    return total ? static_cast<double>(total - divergent) /
                        static_cast<double>(total)
                  : 1.0;
 }

@@ -118,6 +118,72 @@ fn:
     EXPECT_TRUE(cfg.reachable(1));
 }
 
+TEST(Cfg, ReturnMatchingGivesExactSuccessors)
+{
+    // Two callees, one call site each: under call-site-aware matching
+    // every ret has exactly the successor of its own call site, not
+    // the union of all return points.
+    Program p = assemble(R"(
+main:
+    call f1
+    out  r0
+    call f2
+    halt
+f1:
+    ret
+f2:
+    ret
+)");
+    Cfg cfg(p);
+    const BasicBlock &f1ret = cfg.blocks()[(std::size_t)cfg.blockOf(4)];
+    const BasicBlock &f2ret = cfg.blocks()[(std::size_t)cfg.blockOf(5)];
+    EXPECT_TRUE(f1ret.hasIndirect);
+    EXPECT_TRUE(f1ret.indirectMatched);
+    ASSERT_EQ(f1ret.succs.size(), 1u); // conservative set would be 2
+    EXPECT_EQ(f1ret.succs[0], cfg.blockOf(1));
+    EXPECT_TRUE(f2ret.indirectMatched);
+    ASSERT_EQ(f2ret.succs.size(), 1u);
+    EXPECT_EQ(f2ret.succs[0], cfg.blockOf(3));
+    // With the all-return-points approximation, f1's ret could bypass
+    // the "out" block straight to halt; matching restores the fact
+    // that the out block is on every path.
+    EXPECT_TRUE(cfg.postDominates(cfg.blockOf(1), cfg.blockOf(0)));
+}
+
+TEST(Cfg, LinkRegisterDisciplineDemotesMatching)
+{
+    // A computed address written to ra (not a call, not a stack
+    // restore) invalidates the call/return bracketing assumption:
+    // every ret falls back to the conservative successor set.
+    Program p = assemble(R"(
+main:
+    call fn
+    halt
+fn:
+    mv  ra, tid
+    ret
+)");
+    Cfg cfg(p);
+    const BasicBlock &ret = cfg.blocks()[(std::size_t)cfg.blockOf(3)];
+    EXPECT_TRUE(ret.hasIndirect);
+    EXPECT_FALSE(ret.indirectMatched);
+}
+
+TEST(Cfg, EntryFrameRetKeepsFallback)
+{
+    // A ret reachable without any call returns to the external caller
+    // (the seed ra), which matching cannot resolve.
+    Program p = assemble(R"(
+main:
+    nop
+    ret
+)");
+    Cfg cfg(p);
+    const BasicBlock &ret = cfg.blocks()[(std::size_t)cfg.blockOf(1)];
+    EXPECT_TRUE(ret.hasIndirect);
+    EXPECT_FALSE(ret.indirectMatched);
+}
+
 TEST(Dataflow, FlagsUseBeforeDef)
 {
     auto a = analyze("main:\n  add r1, r2, r3\n  halt\n");
@@ -290,14 +356,14 @@ main:
     const auto &cls = a.res.sharing.shareClass;
     EXPECT_EQ(cls[0], ShareClass::Divergent); // reads tid
     EXPECT_EQ(cls[1], ShareClass::Divergent); // r1 = {0,1,2,3}
-    EXPECT_EQ(cls[2], ShareClass::Mergeable); // pure immediate
+    EXPECT_EQ(cls[2], ShareClass::MergeableProven); // pure immediate
 }
 
 TEST(Sharing, MultiExecutionTidIsUniform)
 {
     auto a = analyze("main:\n  mv r1, tid\n  halt\n",
                      /*multi_execution=*/true);
-    EXPECT_EQ(a.res.sharing.shareClass[0], ShareClass::Mergeable);
+    EXPECT_EQ(a.res.sharing.shareClass[0], ShareClass::MergeableProven);
     EXPECT_DOUBLE_EQ(a.res.staticMergeableFrac(), 1.0);
 }
 
@@ -313,10 +379,11 @@ main:
     halt
 )");
     const auto &cls = a.res.sharing.shareClass;
-    // The load itself has a uniform address: mergeable.
-    EXPECT_EQ(cls[0], ShareClass::Mergeable);
-    // Its MT-shared result is heuristically uniform: still mergeable.
-    EXPECT_EQ(cls[1], ShareClass::Mergeable);
+    // The load itself has a proven-uniform address: mergeable.
+    EXPECT_EQ(cls[0], ShareClass::MergeableProven);
+    // Its MT-shared result is uniform only under the shared-load
+    // heuristic, which taints the consumer.
+    EXPECT_EQ(cls[1], ShareClass::MergeableHeuristic);
 
     // In an ME run the same data differs per instance.
     auto b = analyze(
@@ -355,7 +422,50 @@ TEST(Sharing, SpIsDivergentInMtRuns)
     EXPECT_EQ(a.res.sharing.shareClass[0], ShareClass::Divergent);
     auto b = analyze("main:\n  st r0, 0(sp)\n  halt\n",
                      /*multi_execution=*/true);
-    EXPECT_EQ(b.res.sharing.shareClass[0], ShareClass::Mergeable);
+    EXPECT_EQ(b.res.sharing.shareClass[0], ShareClass::MergeableProven);
+}
+
+TEST(Sharing, LoopJoinWidensStridedStreamsToAffine)
+{
+    // A strided address stream: r1 starts as tid*8 and advances by a
+    // uniform 32 per iteration. The loop-head join of the entry vector
+    // {0,8,16,24} and its advanced copies used to collapse to Unknown;
+    // the widening join keeps the common per-thread stride.
+    auto a = analyze(R"(
+main:
+    slli r1, tid, 3
+    li   r2, 4
+loop:
+    st   r2, 0(r1)
+    addi r1, r1, 32
+    addi r2, r2, -1
+    bnez r2, loop
+    halt
+)");
+    const AbsVal &base = a.res.sharing.memBase[2]; // st through r1
+    EXPECT_EQ(base.kind, AbsVal::Kind::Affine);
+    EXPECT_EQ(base.stride, static_cast<RegVal>(8));
+    EXPECT_FALSE(base.heuristic);
+    // The loop counter widens to Affine{stride 0} — proven uniform, so
+    // its consumers stay MergeableProven across the join instead of
+    // degrading to Unclassified.
+    EXPECT_EQ(a.res.sharing.shareClass[4], ShareClass::MergeableProven);
+    EXPECT_EQ(a.res.sharing.shareClass[5], ShareClass::MergeableProven);
+}
+
+TEST(Sharing, AffineStrideZeroIsProvenUniform)
+{
+    AbsVal uniform = AbsVal::affine(/*stride=*/0, /*heuristic=*/false);
+    EXPECT_TRUE(uniform.uniformish());
+    EXPECT_TRUE(uniform.provenUniform());
+    // The shared-load taint keeps the value mergeable but demotes the
+    // claim to heuristic.
+    AbsVal guessed = AbsVal::affine(/*stride=*/0, /*heuristic=*/true);
+    EXPECT_TRUE(guessed.uniformish());
+    EXPECT_FALSE(guessed.provenUniform());
+    // A nonzero stride is a same-path relational fact, not uniformity.
+    AbsVal strided = AbsVal::affine(/*stride=*/8, /*heuristic=*/false);
+    EXPECT_FALSE(strided.uniformish());
 }
 
 TEST(Sharing, ClassOfMapsPcs)
@@ -363,7 +473,7 @@ TEST(Sharing, ClassOfMapsPcs)
     auto a = analyze("main:\n  mv r1, tid\n  halt\n");
     EXPECT_EQ(a.res.classOf(a.prog.codeBase), ShareClass::Divergent);
     EXPECT_EQ(a.res.classOf(a.prog.codeBase + instBytes),
-              ShareClass::Mergeable);
+              ShareClass::MergeableProven);
     EXPECT_EQ(a.res.classOf(0x4), ShareClass::Unclassified);
 }
 
@@ -450,6 +560,36 @@ work_end:
     }
 }
 
+TEST(FetchHints, ReturnMatchingRecoversReconvergenceAcrossCalls)
+{
+    // Both arms of a tid-divergent hammock call a helper before
+    // rejoining. With the all-return-points approximation, f1's ret
+    // had an edge straight past the join (to the other return points),
+    // so no block post-dominated the branch short of the exit; with
+    // call-site matching the hammock is tight and the join is found.
+    auto a = analyze(R"(
+main:
+    bnez tid, odd
+    call f1
+    j    join
+odd:
+    call f2
+join:
+    barrier
+    call g
+    halt
+f1:
+    ret
+f2:
+    ret
+g:
+    ret
+)");
+    FetchHints h = hintsOf(a);
+    EXPECT_TRUE(containsPc(h.tidDivergentBranchPcs, a.prog.symbol("main")));
+    EXPECT_TRUE(containsPc(h.reconvergencePcs, a.prog.symbol("join")));
+}
+
 TEST(FetchHints, NoReconvergenceWhenArmsNeverRejoin)
 {
     // Both arms halt: the branch's ipdom is the virtual exit, so there
@@ -526,4 +666,12 @@ TEST(Report, TextAndJsonRender)
     EXPECT_NE(json.find("\"workload\": \"demo\""), std::string::npos);
     EXPECT_NE(json.find("\"rule\": \"write-zero\""), std::string::npos);
     EXPECT_NE(json.find("\"static_mergeable_frac\""), std::string::npos);
+    // The schema is versioned so the CI lint gate can detect drift,
+    // and the mergeable count is split by proof strength.
+    EXPECT_NE(json.find("\"schema_version\": " +
+                        std::to_string(kAnalyzeSchemaVersion)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"mergeable_proven\""), std::string::npos);
+    EXPECT_NE(json.find("\"mergeable_heuristic\""), std::string::npos);
+    EXPECT_EQ(json.find("\"mergeable\":"), std::string::npos);
 }

@@ -93,6 +93,24 @@ TEST_P(RandomProgramTest, DynamicMergingRespectsStaticBound)
     }
     EXPECT_GE(rep.staticMergeableFrac(), rep.dynamicMergedFrac())
         << "seed " << c.seed;
+
+    // The invariant must also survive the static-hints machinery: with
+    // --static-hints both, the frontend consumes the analyzer's own
+    // divergence/re-convergence PCs, which changes fetch scheduling —
+    // but may never make the pipeline merge a statically-Divergent pc.
+    SimOverrides ov;
+    ov.staticHints = StaticHintsMode::Both;
+    analysis::MergeBoundReport hinted = analysis::runMergeBoundCheck(
+        w, c.kind, c.threads, nullptr, nullptr, ov);
+    ASSERT_GT(hinted.committed, 0u);
+    for (const analysis::BoundViolation &v : hinted.violations) {
+        ADD_FAILURE() << "seed " << c.seed << " (static-hints both): pc 0x"
+                      << std::hex << v.pc << std::dec << " (line "
+                      << v.line << ") merged " << v.merged
+                      << " thread-insts but is statically divergent";
+    }
+    EXPECT_GE(hinted.staticMergeableFrac(), hinted.dynamicMergedFrac())
+        << "seed " << c.seed << " (static-hints both)";
 }
 
 namespace

@@ -247,6 +247,54 @@ TEST(SweepRunner, ArtifactsCoverEveryJob)
     EXPECT_NE(json.find("\"cycles\": " +
                         std::to_string(out.results[0].cycles)),
               std::string::npos);
+
+    // Every row carries the analyzer's prediction next to the measured
+    // merged fraction, in both artifact formats.
+    EXPECT_NE(csv.find(",predicted_mergeable,"), std::string::npos);
+    ASSERT_EQ(out.predictedMergeable.size(), spec.jobs.size());
+    std::size_t json_rows = 0;
+    for (std::size_t pos = 0;
+         (pos = json.find("\"predicted_mergeable\": ", pos)) !=
+         std::string::npos;
+         ++pos)
+        ++json_rows;
+    EXPECT_EQ(json_rows, spec.jobs.size());
+}
+
+TEST(SweepRunner, PredictionsOrderJobsMostPromisingFirst)
+{
+    SweepSpec spec = smallSpec();
+    SweepOutcome out = runSweep(spec);
+
+    ASSERT_EQ(out.predictedMergeable.size(), spec.jobs.size());
+    ASSERT_EQ(out.executionOrder.size(), spec.jobs.size());
+    for (double p : out.predictedMergeable) {
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+
+    // executionOrder is a permutation of the job indices, sorted by
+    // descending prediction (claim the promising jobs first)...
+    std::vector<bool> seen(spec.jobs.size(), false);
+    for (std::size_t i : out.executionOrder) {
+        ASSERT_LT(i, seen.size());
+        EXPECT_FALSE(seen[i]);
+        seen[i] = true;
+    }
+    for (std::size_t k = 1; k < out.executionOrder.size(); ++k) {
+        EXPECT_GE(out.predictedMergeable[out.executionOrder[k - 1]],
+                  out.predictedMergeable[out.executionOrder[k]])
+            << "position " << k;
+    }
+
+    // ...while results stay in spec order: the prediction of each job
+    // matches the simulator's own static fraction for that slot, which
+    // only holds if ordering never permuted the result slots.
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+        EXPECT_NEAR(out.predictedMergeable[i],
+                    out.results[i].staticMergeableFrac, 1e-12)
+            << "job " << i << " (" << spec.jobs[i].workload << ")";
+    }
 }
 
 TEST(SweepRunner, FilterWorkloadsRestrictsJobs)

@@ -344,10 +344,12 @@ analyzeMain(int argc, char **argv)
             analysis::MergeBoundReport rep =
                 analysis::runMergeBoundCheck(w, kind, threads);
             if (json) {
-                std::printf("{\"workload\": \"%s\", "
+                std::printf("{\"schema_version\": %d, "
+                            "\"workload\": \"%s\", "
                             "\"dynamic_merged_frac\": %.6f, "
                             "\"static_mergeable_frac\": %.6f, "
                             "\"violations\": %zu}\n",
+                            analysis::kAnalyzeSchemaVersion,
                             w.name.c_str(), rep.dynamicMergedFrac(),
                             rep.staticMergeableFrac(),
                             rep.violations.size());
