@@ -83,7 +83,8 @@ analyzeProgram(const Program &prog, const AnalysisOptions &opt)
 AnalysisResult
 analyzeWorkload(const Workload &w)
 {
-    auto owned = std::make_shared<Program>(assemble(w.source));
+    auto owned = std::make_shared<Program>(
+        assemble(w.source, defaultCodeBase, defaultDataBase, w.name));
     AnalysisOptions opt;
     opt.multiExecution = w.multiExecution;
     AnalysisResult res = analyzeProgram(*owned, opt);

@@ -40,7 +40,8 @@ runMergeBoundCheck(const Workload &w, ConfigKind kind, int num_threads,
     // The static thread model must match the configuration under test:
     // the Limit config forces tid to 0 in every thread, which erases
     // the divergence the MT seeds would otherwise prove.
-    auto owned = std::make_shared<Program>(assemble(w.source));
+    auto owned = std::make_shared<Program>(
+        assemble(w.source, defaultCodeBase, defaultDataBase, w.name));
     AnalysisOptions opt;
     opt.multiExecution = w.multiExecution;
     opt.forceTidZero = kind == ConfigKind::Limit;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Typed AST for the mmtc C subset.
+ *
+ * The parser resolves names and annotates every expression with its type
+ * (Int = 64-bit signed, Fp = double), inserting implicit conversions as
+ * Cast nodes, so downstream passes (IR generation and the reference
+ * scalar interpreter) never re-do semantic analysis.
+ *
+ * Shape of the language (full grammar in docs/COMPILER.md):
+ *  - globals: `int`/`double` scalars and 1-D arrays with constant
+ *    initializers;
+ *  - functions over scalar parameters with scalar/void returns;
+ *  - statements: blocks, if/else, while, for, return, break, continue,
+ *    local scalar declarations, assignments, expression statements;
+ *  - `out(e)` is the built-in observable (the OUT instruction).
+ */
+
+#ifndef MMT_CC_AST_HH
+#define MMT_CC_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mmt
+{
+namespace cc
+{
+
+/** Value type of an expression or variable. */
+enum class Type { Int, Fp, Void };
+
+/** Binary operator repertoire (comparisons yield Int 0/1). */
+enum class BinOp
+{
+    Add, Sub, Mul, Div, Rem,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    LAnd, LOr, // short-circuit
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind
+{
+    IntLit,   // intVal
+    FpLit,    // fpVal
+    VarRef,   // name, varId (locals/params) or global
+    ArrayRef, // name (global array), index in a
+    Binary,   // op, a, b
+    Neg,      // a
+    Not,      // a
+    Call,     // name, args (user function; returns non-void)
+    Cast,     // a (conversion to this->type)
+};
+
+struct Expr
+{
+    ExprKind kind;
+    Type type = Type::Int;
+    int line = 0;
+
+    std::int64_t intVal = 0;
+    double fpVal = 0.0;
+    std::string name;
+    /** Local/parameter slot within the enclosing function; -1 = global. */
+    int varId = -1;
+    BinOp op = BinOp::Add;
+    ExprPtr a, b;
+    std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind
+{
+    Block,    // body
+    If,       // cond, then (body[0]), optional els
+    While,    // cond, body[0]
+    For,      // init (optional), cond, step (optional), body[0]
+    Return,   // optional value
+    Break,
+    Continue,
+    LocalDecl,// varId, optional init value
+    Assign,   // target var or array element, value
+    ExprStmt, // call expression evaluated for effect
+    Out,      // value (int) appended to the thread output log
+};
+
+struct Stmt
+{
+    StmtKind kind;
+    int line = 0;
+
+    ExprPtr cond;          // If/While/For
+    ExprPtr value;         // Return/LocalDecl/Assign/ExprStmt/Out
+    ExprPtr index;         // Assign to array element (nullptr = scalar)
+    std::string name;      // Assign target / LocalDecl name
+    int varId = -1;        // Assign target local id (-1 = global)
+    StmtPtr init, step;    // For clauses (Assign/LocalDecl/ExprStmt)
+    std::vector<StmtPtr> body; // Block: all; If: then/else; loops: [0]
+};
+
+/** One global variable (scalar or 1-D array). */
+struct GlobalVar
+{
+    std::string name;
+    Type type = Type::Int;
+    /** Element count; 0 for scalars. */
+    int arraySize = 0;
+    /** Initializer words (scalars: one entry; arrays: up to arraySize,
+     *  remainder implicitly zero). Doubles are stored as doubles. */
+    std::vector<std::int64_t> intInit;
+    std::vector<double> fpInit;
+    int line = 0;
+};
+
+/** One function: scalar params, local slots, a body block. */
+struct Function
+{
+    std::string name;
+    Type retType = Type::Void;
+    int numParams = 0;
+    /** Types of all local slots; params occupy slots [0, numParams). */
+    std::vector<Type> localTypes;
+    std::vector<std::string> localNames;
+    StmtPtr body;
+    int line = 0;
+};
+
+/** A parsed translation unit. */
+struct Module
+{
+    std::string name;
+    std::vector<GlobalVar> globals;
+    std::vector<std::unique_ptr<Function>> functions;
+
+    const Function *
+    findFunction(const std::string &fname) const
+    {
+        for (const auto &f : functions)
+            if (f->name == fname)
+                return f.get();
+        return nullptr;
+    }
+
+    const GlobalVar *
+    findGlobal(const std::string &gname) const
+    {
+        for (const GlobalVar &g : globals)
+            if (g.name == gname)
+                return &g;
+        return nullptr;
+    }
+};
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_AST_HH

@@ -1,0 +1,78 @@
+#include "cc/compiler.hh"
+
+#include "cc/emit.hh"
+#include "cc/irgen.hh"
+#include "cc/parser.hh"
+#include "cc/regalloc.hh"
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+namespace
+{
+
+void
+checkModule(const Module &m, const std::string &name)
+{
+    const Function *main = m.findFunction("main");
+    if (!main)
+        fatal("%s: no main() function", name.c_str());
+    if (main->numParams != 0)
+        fatal("%s: line %d: main() must take no parameters", name.c_str(),
+              main->line);
+
+    for (const GlobalVar &g : m.globals) {
+        if (g.name == "main")
+            fatal("%s: line %d: global 'main' collides with the entry "
+                  "label",
+                  name.c_str(), g.line);
+        if (g.name.rfind("__mmtc", 0) == 0)
+            fatal("%s: line %d: identifier prefix '__mmtc' is reserved",
+                  name.c_str(), g.line);
+    }
+    for (const auto &fn : m.functions) {
+        if (fn->name.rfind("__mmtc", 0) == 0)
+            fatal("%s: line %d: identifier prefix '__mmtc' is reserved",
+                  name.c_str(), fn->line);
+        int intParams = 0;
+        int fpParams = 0;
+        for (int p = 0; p < fn->numParams; ++p) {
+            if (fn->localTypes[static_cast<std::size_t>(p)] == Type::Fp)
+                ++fpParams;
+            else
+                ++intParams;
+        }
+        if (intParams > kMaxArgsPerClass || fpParams > kMaxArgsPerClass)
+            fatal("%s: line %d: '%s' exceeds %d parameters of one class",
+                  name.c_str(), fn->line, fn->name.c_str(),
+                  kMaxArgsPerClass);
+    }
+}
+
+} // namespace
+
+CompileResult
+compile(const std::string &source, const std::string &name,
+        const CompileOptions &opt)
+{
+    Module ast = parse(source, name);
+    checkModule(ast, name);
+
+    IrModule ir = lowerToIr(ast);
+    CompileResult res;
+    if (opt.spmd)
+        res.spmd = spmdize(ir);
+
+    std::vector<Allocation> allocs;
+    allocs.reserve(ir.functions.size());
+    for (const IrFunction &f : ir.functions)
+        allocs.push_back(allocateRegisters(f));
+
+    res.iasm = emitIasm(ir, allocs);
+    return res;
+}
+
+} // namespace cc
+} // namespace mmt

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * mmtc driver: C subset source -> iasm text, via
+ * parse -> IR lowering -> loop analysis -> auto-SPMDization ->
+ * linear-scan register allocation -> emission. The output assembles
+ * with iasm/assembler.hh and runs under every simulator configuration;
+ * one binary serves all thread counts because slicing is driven by the
+ * `nthreads` data word the workload initializer sets.
+ */
+
+#ifndef MMT_CC_COMPILER_HH
+#define MMT_CC_COMPILER_HH
+
+#include <string>
+
+#include "cc/spmd.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+struct CompileOptions
+{
+    /** Run the auto-SPMDization pass (default). With false the program
+     *  is purely redundant: correct, but nothing is sliced. */
+    bool spmd = true;
+};
+
+struct CompileResult
+{
+    /** Assemblable program text. */
+    std::string iasm;
+    /** What the SPMD pass did (sliced loops, rejections, hazards). */
+    SpmdResult spmd;
+};
+
+/**
+ * Compile @p source. @p name tags diagnostics (all front-end and
+ * driver errors go through fatal()). Enforced limits: main() takes no
+ * parameters; at most 6 int and 6 fp parameters per function; no
+ * identifier may start with "__mmtc" or shadow the entry label "main".
+ */
+CompileResult compile(const std::string &source, const std::string &name,
+                      const CompileOptions &opt = {});
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_COMPILER_HH

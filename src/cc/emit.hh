@@ -1,0 +1,35 @@
+/**
+ * @file
+ * iasm emission: allocated IR -> assembler source text.
+ *
+ * The generated program starts with a `main` shim that carves a
+ * per-thread stack out of the region the analyzer already models
+ * ([defaultStackTop - maxThreads*defaultStackBytes, defaultStackTop]),
+ * calls `fn.main`, and halts. C functions are labeled `fn.<name>` and
+ * internal blocks `.L<name>.<n>` — both outside the C identifier space,
+ * so user globals can keep their source names (workload initializers
+ * address them symbolically, e.g. wl::setWord(img, prog, "nthreads")).
+ */
+
+#ifndef MMT_CC_EMIT_HH
+#define MMT_CC_EMIT_HH
+
+#include <string>
+
+#include "cc/ir.hh"
+#include "cc/regalloc.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+/** Emit the whole module as assemblable iasm text. @p allocs must hold
+ *  one Allocation per module function, same order. */
+std::string emitIasm(const IrModule &m,
+                     const std::vector<Allocation> &allocs);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_EMIT_HH

@@ -1,0 +1,385 @@
+#include "cc/interp.hh"
+
+#include <bit>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+namespace
+{
+
+/** One scalar value; the active member follows the static AST type. */
+struct Value
+{
+    std::int64_t i = 0;
+    double f = 0.0;
+};
+
+/** How a statement finished. */
+enum class Flow { Normal, Break, Continue, Return };
+
+constexpr std::int64_t kStepLimit = 200 * 1000 * 1000;
+constexpr int kMaxCallDepth = 256;
+
+/** ISA division semantics (isa/exec.cc), without host UB. */
+std::int64_t
+isaDiv(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return -1; // ~0 as signed
+    if (b == -1)
+        return static_cast<std::int64_t>(
+            0 - static_cast<std::uint64_t>(a));
+    return a / b;
+}
+
+std::int64_t
+isaRem(std::int64_t a, std::int64_t b)
+{
+    if (b == 0)
+        return a;
+    if (b == -1)
+        return 0;
+    return a % b;
+}
+
+struct GlobalState
+{
+    const GlobalVar *decl = nullptr;
+    std::vector<Value> words;
+};
+
+class Interp
+{
+  public:
+    Interp(const Module &m, const GlobalWords &init) : m_(m)
+    {
+        for (const GlobalVar &g : m_.globals) {
+            GlobalState st;
+            st.decl = &g;
+            std::size_t n =
+                g.arraySize > 0 ? static_cast<std::size_t>(g.arraySize) : 1;
+            st.words.assign(n, Value());
+            if (g.type == Type::Fp) {
+                for (std::size_t i = 0; i < g.fpInit.size() && i < n; ++i)
+                    st.words[i].f = g.fpInit[i];
+            } else {
+                for (std::size_t i = 0; i < g.intInit.size() && i < n; ++i)
+                    st.words[i].i = g.intInit[i];
+            }
+            auto it = init.find(g.name);
+            if (it != init.end()) {
+                for (std::size_t i = 0; i < it->second.size() && i < n;
+                     ++i) {
+                    if (g.type == Type::Fp)
+                        st.words[i].f = std::bit_cast<double>(it->second[i]);
+                    else
+                        st.words[i].i =
+                            static_cast<std::int64_t>(it->second[i]);
+                }
+            }
+            globals_.emplace(g.name, std::move(st));
+        }
+    }
+
+    std::vector<std::int64_t>
+    run()
+    {
+        const Function *main = m_.findFunction("main");
+        if (!main)
+            fatal("%s: interp: no main() function", m_.name.c_str());
+        callFunction(*main, {});
+        return std::move(out_);
+    }
+
+  private:
+    const Module &m_;
+    std::map<std::string, GlobalState> globals_;
+    std::vector<std::int64_t> out_;
+    std::int64_t steps_ = 0;
+    int depth_ = 0;
+
+    void
+    tick(int line)
+    {
+        if (++steps_ > kStepLimit)
+            fatal("%s: interp: step limit exceeded at line %d (infinite "
+                  "loop?)",
+                  m_.name.c_str(), line);
+    }
+
+    GlobalState &
+    global(const std::string &name, int line)
+    {
+        auto it = globals_.find(name);
+        if (it == globals_.end())
+            fatal("%s: interp: unknown global '%s' at line %d",
+                  m_.name.c_str(), name.c_str(), line);
+        return it->second;
+    }
+
+    Value &
+    element(const std::string &name, std::int64_t idx, int line)
+    {
+        GlobalState &g = global(name, line);
+        if (idx < 0 || static_cast<std::size_t>(idx) >= g.words.size())
+            fatal("%s: interp: index %lld out of bounds for '%s' (size "
+                  "%zu) at line %d",
+                  m_.name.c_str(), static_cast<long long>(idx),
+                  name.c_str(), g.words.size(), line);
+        return g.words[static_cast<std::size_t>(idx)];
+    }
+
+    Value
+    callFunction(const Function &fn, const std::vector<Value> &args)
+    {
+        if (++depth_ > kMaxCallDepth)
+            fatal("%s: interp: call depth exceeded in '%s'",
+                  m_.name.c_str(), fn.name.c_str());
+        std::vector<Value> locals(fn.localTypes.size());
+        for (std::size_t i = 0;
+             i < args.size() && i < locals.size(); ++i)
+            locals[i] = args[i];
+        Value ret;
+        execStmt(*fn.body, locals, ret);
+        --depth_;
+        return ret;
+    }
+
+    Flow
+    execStmt(const Stmt &s, std::vector<Value> &locals, Value &ret)
+    {
+        tick(s.line);
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &child : s.body) {
+                Flow fl = execStmt(*child, locals, ret);
+                if (fl != Flow::Normal)
+                    return fl;
+            }
+            return Flow::Normal;
+          case StmtKind::If: {
+            Value c = eval(*s.cond, locals);
+            const Stmt *branch = nullptr;
+            if (c.i != 0)
+                branch = s.body[0].get();
+            else if (s.body.size() > 1)
+                branch = s.body[1].get();
+            return branch ? execStmt(*branch, locals, ret) : Flow::Normal;
+          }
+          case StmtKind::While:
+            while (true) {
+                tick(s.line);
+                if (eval(*s.cond, locals).i == 0)
+                    return Flow::Normal;
+                Flow fl = execStmt(*s.body[0], locals, ret);
+                if (fl == Flow::Break)
+                    return Flow::Normal;
+                if (fl == Flow::Return)
+                    return fl;
+            }
+          case StmtKind::For: {
+            if (s.init) {
+                Flow fl = execStmt(*s.init, locals, ret);
+                if (fl != Flow::Normal)
+                    return fl;
+            }
+            while (true) {
+                tick(s.line);
+                if (s.cond && eval(*s.cond, locals).i == 0)
+                    return Flow::Normal;
+                Flow fl = execStmt(*s.body[0], locals, ret);
+                if (fl == Flow::Break)
+                    return Flow::Normal;
+                if (fl == Flow::Return)
+                    return fl;
+                if (s.step) {
+                    fl = execStmt(*s.step, locals, ret);
+                    if (fl != Flow::Normal)
+                        return fl;
+                }
+            }
+          }
+          case StmtKind::Return:
+            if (s.value)
+                ret = eval(*s.value, locals);
+            return Flow::Return;
+          case StmtKind::Break:
+            return Flow::Break;
+          case StmtKind::Continue:
+            return Flow::Continue;
+          case StmtKind::LocalDecl:
+            if (s.value)
+                locals[static_cast<std::size_t>(s.varId)] =
+                    eval(*s.value, locals);
+            return Flow::Normal;
+          case StmtKind::Assign: {
+            Value v = eval(*s.value, locals);
+            if (s.index) {
+                std::int64_t idx = eval(*s.index, locals).i;
+                element(s.name, idx, s.line) = v;
+            } else if (s.varId >= 0) {
+                locals[static_cast<std::size_t>(s.varId)] = v;
+            } else {
+                global(s.name, s.line).words[0] = v;
+            }
+            return Flow::Normal;
+          }
+          case StmtKind::ExprStmt:
+            eval(*s.value, locals);
+            return Flow::Normal;
+          case StmtKind::Out:
+            out_.push_back(eval(*s.value, locals).i);
+            return Flow::Normal;
+        }
+        return Flow::Normal;
+    }
+
+    Value
+    eval(const Expr &e, std::vector<Value> &locals)
+    {
+        tick(e.line);
+        Value v;
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            v.i = e.intVal;
+            return v;
+          case ExprKind::FpLit:
+            v.f = e.fpVal;
+            return v;
+          case ExprKind::VarRef:
+            if (e.varId >= 0)
+                return locals[static_cast<std::size_t>(e.varId)];
+            return global(e.name, e.line).words[0];
+          case ExprKind::ArrayRef: {
+            std::int64_t idx = eval(*e.a, locals).i;
+            return element(e.name, idx, e.line);
+          }
+          case ExprKind::Binary:
+            return evalBinary(e, locals);
+          case ExprKind::Neg: {
+            Value a = eval(*e.a, locals);
+            if (e.type == Type::Fp)
+                v.f = -a.f;
+            else
+                v.i = static_cast<std::int64_t>(
+                    0 - static_cast<std::uint64_t>(a.i));
+            return v;
+          }
+          case ExprKind::Not:
+            v.i = eval(*e.a, locals).i == 0 ? 1 : 0;
+            return v;
+          case ExprKind::Call: {
+            const Function *fn = m_.findFunction(e.name);
+            if (!fn)
+                fatal("%s: interp: unknown function '%s' at line %d",
+                      m_.name.c_str(), e.name.c_str(), e.line);
+            std::vector<Value> args;
+            for (const ExprPtr &arg : e.args)
+                args.push_back(eval(*arg, locals));
+            return callFunction(*fn, args);
+          }
+          case ExprKind::Cast: {
+            Value a = eval(*e.a, locals);
+            if (e.type == e.a->type)
+                return a;
+            if (e.type == Type::Fp)
+                v.f = static_cast<double>(a.i);
+            else
+                v.i = static_cast<std::int64_t>(a.f); // ISA fcvti: trunc
+            return v;
+          }
+        }
+        return v;
+    }
+
+    Value
+    evalBinary(const Expr &e, std::vector<Value> &locals)
+    {
+        Value v;
+        // Short-circuit first: the right side may not evaluate at all.
+        if (e.op == BinOp::LAnd || e.op == BinOp::LOr) {
+            bool a = eval(*e.a, locals).i != 0;
+            if (e.op == BinOp::LAnd)
+                v.i = (a && eval(*e.b, locals).i != 0) ? 1 : 0;
+            else
+                v.i = (a || eval(*e.b, locals).i != 0) ? 1 : 0;
+            return v;
+        }
+        Value a = eval(*e.a, locals);
+        Value b = eval(*e.b, locals);
+        bool fp = e.a->type == Type::Fp;
+        switch (e.op) {
+          case BinOp::Add:
+            if (fp)
+                v.f = a.f + b.f;
+            else
+                v.i = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(a.i) +
+                    static_cast<std::uint64_t>(b.i));
+            return v;
+          case BinOp::Sub:
+            if (fp)
+                v.f = a.f - b.f;
+            else
+                v.i = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(a.i) -
+                    static_cast<std::uint64_t>(b.i));
+            return v;
+          case BinOp::Mul:
+            if (fp)
+                v.f = a.f * b.f;
+            else
+                v.i = static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(a.i) *
+                    static_cast<std::uint64_t>(b.i));
+            return v;
+          case BinOp::Div:
+            if (fp)
+                v.f = a.f / b.f;
+            else
+                v.i = isaDiv(a.i, b.i);
+            return v;
+          case BinOp::Rem:
+            v.i = isaRem(a.i, b.i);
+            return v;
+          case BinOp::Eq:
+            v.i = fp ? (a.f == b.f) : (a.i == b.i);
+            return v;
+          case BinOp::Ne:
+            v.i = fp ? (a.f != b.f) : (a.i != b.i);
+            return v;
+          case BinOp::Lt:
+            v.i = fp ? (a.f < b.f) : (a.i < b.i);
+            return v;
+          case BinOp::Le:
+            v.i = fp ? (a.f <= b.f) : (a.i <= b.i);
+            return v;
+          case BinOp::Gt:
+            v.i = fp ? (a.f > b.f) : (a.i > b.i);
+            return v;
+          case BinOp::Ge:
+            v.i = fp ? (a.f >= b.f) : (a.i >= b.i);
+            return v;
+          case BinOp::LAnd:
+          case BinOp::LOr:
+            break;
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+std::vector<std::int64_t>
+interpret(const Module &m, const GlobalWords &init)
+{
+    return Interp(m, init).run();
+}
+
+} // namespace cc
+} // namespace mmt

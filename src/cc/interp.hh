@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Scalar reference interpreter for the mmtc C subset.
+ *
+ * Walks the typed AST directly (no IR, no registers, no threads) and
+ * returns the sequence of out() values — the same observable the
+ * simulator's per-thread output log records. Golden-equivalence tests
+ * compare this against a 1-thread functional run of the compiled
+ * binary, so arithmetic mirrors the ISA semantics in isa/exec.cc
+ * exactly (divide-by-zero yields -1, remainder-by-zero the dividend,
+ * fp->int conversion truncates).
+ *
+ * Initial global values are injected as raw 64-bit words (doubles
+ * bit-cast), so a test can read them straight out of the MemoryImage a
+ * workload initializer filled.
+ */
+
+#ifndef MMT_CC_INTERP_HH
+#define MMT_CC_INTERP_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cc/ast.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+/** Raw initial words per global (missing entries keep the source
+ *  initializer; missing trailing words stay zero). */
+using GlobalWords = std::map<std::string, std::vector<std::uint64_t>>;
+
+/**
+ * Run `main` single-threaded and return the out() log.
+ * fatal()s on out-of-bounds array access, missing main, or runaway
+ * execution (step/recursion limits) — the interpreter doubles as a
+ * sanity checker for shipped workloads.
+ */
+std::vector<std::int64_t> interpret(const Module &m,
+                                    const GlobalWords &init = {});
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_INTERP_HH

@@ -1,0 +1,247 @@
+#include "cc/ir.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+std::vector<int>
+IrFunction::successors(int b) const
+{
+    const IrBlock &blk = blocks[static_cast<std::size_t>(b)];
+    mmt_assert(!blk.insts.empty() && blk.insts.back().isTerminator(),
+               "block %d of %s lacks a terminator", b, name.c_str());
+    const IrInst &t = blk.insts.back();
+    switch (t.op) {
+      case IrOp::Br:
+        return {t.target};
+      case IrOp::CondBr:
+        return {t.target, t.targetF};
+      default:
+        return {};
+    }
+}
+
+std::vector<int>
+instUses(const IrInst &inst)
+{
+    std::vector<int> uses;
+    switch (inst.op) {
+      case IrOp::ConstI:
+      case IrOp::ConstF:
+      case IrOp::ReadTid:
+      case IrOp::Barrier:
+      case IrOp::Br:
+        break;
+      case IrOp::Mov:
+      case IrOp::CvtIF:
+      case IrOp::CvtFI:
+      case IrOp::FNeg:
+      case IrOp::Bool:
+      case IrOp::Not:
+      case IrOp::Out:
+      case IrOp::CondBr:
+        uses.push_back(inst.a);
+        break;
+      case IrOp::Add: case IrOp::Sub: case IrOp::Mul: case IrOp::Div:
+      case IrOp::Rem: case IrOp::FAdd: case IrOp::FSub: case IrOp::FMul:
+      case IrOp::FDiv: case IrOp::CmpEQ: case IrOp::CmpNE:
+      case IrOp::CmpLT: case IrOp::CmpLE: case IrOp::FCmpEQ:
+      case IrOp::FCmpLT: case IrOp::FCmpLE:
+        uses.push_back(inst.a);
+        uses.push_back(inst.b);
+        break;
+      case IrOp::LoadG:
+        if (inst.a >= 0)
+            uses.push_back(inst.a);
+        break;
+      case IrOp::StoreG:
+        if (inst.a >= 0)
+            uses.push_back(inst.a);
+        uses.push_back(inst.b);
+        break;
+      case IrOp::Call:
+        uses = inst.args;
+        break;
+      case IrOp::Ret:
+        if (inst.a >= 0)
+            uses.push_back(inst.a);
+        break;
+    }
+    return uses;
+}
+
+int
+instDef(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::StoreG:
+      case IrOp::Barrier:
+      case IrOp::Out:
+      case IrOp::Br:
+      case IrOp::CondBr:
+      case IrOp::Ret:
+        return -1;
+      case IrOp::Call:
+        return inst.dst; // -1 for void calls
+      default:
+        return inst.dst;
+    }
+}
+
+bool
+instIsPure(const IrInst &inst)
+{
+    switch (inst.op) {
+      case IrOp::StoreG:
+      case IrOp::Call:
+      case IrOp::Barrier:
+      case IrOp::Out:
+      case IrOp::Br:
+      case IrOp::CondBr:
+      case IrOp::Ret:
+      case IrOp::LoadG:   // impure for motion purposes: memory may change
+      case IrOp::ReadTid: // thread-dependent
+        return false;
+      default:
+        return true;
+    }
+}
+
+Liveness
+computeLiveness(const IrFunction &f)
+{
+    const std::size_t nb = f.blocks.size();
+    const std::size_t nv = f.vregTypes.size();
+    Liveness lv;
+    lv.liveIn.assign(nb, std::vector<bool>(nv, false));
+    lv.liveOut.assign(nb, std::vector<bool>(nv, false));
+
+    // Per-block gen (used before defined) and kill (defined) sets.
+    std::vector<std::vector<bool>> gen(nb, std::vector<bool>(nv, false));
+    std::vector<std::vector<bool>> kill(nb, std::vector<bool>(nv, false));
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (const IrInst &inst : f.blocks[b].insts) {
+            for (int u : instUses(inst)) {
+                auto ui = static_cast<std::size_t>(u);
+                if (!kill[b][ui])
+                    gen[b][ui] = true;
+            }
+            int d = instDef(inst);
+            if (d >= 0)
+                kill[b][static_cast<std::size_t>(d)] = true;
+        }
+    }
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t bi = nb; bi-- > 0;) {
+            int b = static_cast<int>(bi);
+            std::vector<bool> out(nv, false);
+            for (int s : f.successors(b)) {
+                const auto &in = lv.liveIn[static_cast<std::size_t>(s)];
+                for (std::size_t v = 0; v < nv; ++v)
+                    if (in[v])
+                        out[v] = true;
+            }
+            std::vector<bool> in = gen[bi];
+            for (std::size_t v = 0; v < nv; ++v)
+                if (out[v] && !kill[bi][v])
+                    in[v] = true;
+            if (out != lv.liveOut[bi] || in != lv.liveIn[bi]) {
+                lv.liveOut[bi] = std::move(out);
+                lv.liveIn[bi] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return lv;
+}
+
+namespace
+{
+
+const char *
+opName(IrOp op)
+{
+    switch (op) {
+      case IrOp::ConstI: return "consti";
+      case IrOp::ConstF: return "constf";
+      case IrOp::Mov: return "mov";
+      case IrOp::CvtIF: return "cvtif";
+      case IrOp::CvtFI: return "cvtfi";
+      case IrOp::Add: return "add";
+      case IrOp::Sub: return "sub";
+      case IrOp::Mul: return "mul";
+      case IrOp::Div: return "div";
+      case IrOp::Rem: return "rem";
+      case IrOp::FAdd: return "fadd";
+      case IrOp::FSub: return "fsub";
+      case IrOp::FMul: return "fmul";
+      case IrOp::FDiv: return "fdiv";
+      case IrOp::FNeg: return "fneg";
+      case IrOp::CmpEQ: return "cmpeq";
+      case IrOp::CmpNE: return "cmpne";
+      case IrOp::CmpLT: return "cmplt";
+      case IrOp::CmpLE: return "cmple";
+      case IrOp::FCmpEQ: return "fcmpeq";
+      case IrOp::FCmpLT: return "fcmplt";
+      case IrOp::FCmpLE: return "fcmple";
+      case IrOp::Bool: return "bool";
+      case IrOp::Not: return "not";
+      case IrOp::LoadG: return "loadg";
+      case IrOp::StoreG: return "storeg";
+      case IrOp::Call: return "call";
+      case IrOp::ReadTid: return "readtid";
+      case IrOp::Barrier: return "barrier";
+      case IrOp::Out: return "out";
+      case IrOp::Br: return "br";
+      case IrOp::CondBr: return "condbr";
+      case IrOp::Ret: return "ret";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+dumpIr(const IrFunction &f)
+{
+    std::ostringstream os;
+    os << "function " << f.name << " (" << f.numParams << " params, "
+       << f.vregTypes.size() << " vregs)\n";
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+        os << "bb" << b << ":\n";
+        for (const IrInst &inst : f.blocks[b].insts) {
+            os << "  " << opName(inst.op);
+            if (inst.dst >= 0)
+                os << " v" << inst.dst;
+            if (inst.a >= 0)
+                os << (inst.dst >= 0 ? ", v" : " v") << inst.a;
+            if (inst.b >= 0)
+                os << ", v" << inst.b;
+            if (inst.op == IrOp::ConstI)
+                os << " " << inst.imm;
+            if (inst.op == IrOp::ConstF)
+                os << " " << inst.fimm;
+            if (!inst.sym.empty())
+                os << " @" << inst.sym;
+            for (int arg : inst.args)
+                os << " v" << arg;
+            if (inst.target >= 0)
+                os << " -> bb" << inst.target;
+            if (inst.targetF >= 0)
+                os << " / bb" << inst.targetF;
+            os << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace cc
+} // namespace mmt

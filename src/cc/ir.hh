@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Three-address IR for mmtc: functions of basic blocks over virtual
+ * registers, plus the module container the passes transform.
+ *
+ * Virtual registers are typed (Int or Fp) and mutable: user locals keep
+ * one vreg for their whole lifetime (no SSA), expression temporaries are
+ * defined exactly once. Every block ends in exactly one terminator
+ * (Br / CondBr / Ret). Globals are addressed symbolically (LoadG/StoreG
+ * with an optional element-index vreg); the emitter turns them into
+ * `la` + `ld/st/fld/fst` against the assembler's data labels.
+ */
+
+#ifndef MMT_CC_IR_HH
+#define MMT_CC_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/ast.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+enum class IrOp
+{
+    ConstI,  // dst = imm
+    ConstF,  // dst = fimm
+    Mov,     // dst = a (same class; Int or Fp)
+    CvtIF,   // dst(fp) = (double) a(int)
+    CvtFI,   // dst(int) = trunc a(fp)
+    // Integer arithmetic, dst = a <op> b.
+    Add, Sub, Mul, Div, Rem,
+    // FP arithmetic.
+    FAdd, FSub, FMul, FDiv,
+    FNeg,    // dst = -a
+    // Integer comparisons, dst(int) = a <op> b (0/1). GT/GE are
+    // normalized to LT/LE by operand swap during IR generation.
+    CmpEQ, CmpNE, CmpLT, CmpLE,
+    // FP comparisons, dst(int) = a <op> b.
+    FCmpEQ, FCmpLT, FCmpLE,
+    Bool,    // dst = (a != 0)
+    Not,     // dst = (a == 0)
+    LoadG,   // dst = mem[sym + (a >= 0 ? vreg a : 0) * 8]
+    StoreG,  // mem[sym + (a >= 0 ? vreg a : 0) * 8] = b
+    Call,    // dst (or -1 for void) = sym(args...)
+    ReadTid, // dst = hardware thread id (SPMD pass only)
+    Barrier, // re-convergence join (SPMD pass only)
+    Out,     // append a to the thread output log
+    // Terminators.
+    Br,      // goto target
+    CondBr,  // a != 0 ? goto target : goto targetF
+    Ret,     // return a (or nothing when a == -1)
+};
+
+struct IrInst
+{
+    IrOp op;
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    std::int64_t imm = 0;
+    double fimm = 0.0;
+    std::string sym;       // LoadG/StoreG global, Call target
+    std::vector<int> args; // Call arguments
+    int target = -1;       // Br/CondBr taken successor (block id)
+    int targetF = -1;      // CondBr fall-through successor
+    int line = 0;          // source line (diagnostics)
+
+    bool
+    isTerminator() const
+    {
+        return op == IrOp::Br || op == IrOp::CondBr || op == IrOp::Ret;
+    }
+};
+
+struct IrBlock
+{
+    std::vector<IrInst> insts;
+};
+
+struct IrFunction
+{
+    std::string name;
+    Type retType = Type::Void;
+    int numParams = 0;
+    /** Type of every vreg; locals/params occupy the low ids. */
+    std::vector<Type> vregTypes;
+    std::vector<IrBlock> blocks; // block 0 is the entry
+
+    int
+    newTemp(Type type)
+    {
+        vregTypes.push_back(type);
+        return static_cast<int>(vregTypes.size()) - 1;
+    }
+
+    /** Successor block ids of @p b (empty for Ret-terminated blocks). */
+    std::vector<int> successors(int b) const;
+};
+
+/** The unit the backend passes share: globals plus lowered functions. */
+struct IrModule
+{
+    std::string name;
+    std::vector<GlobalVar> globals;
+    std::vector<IrFunction> functions;
+
+    IrFunction *
+    findFunction(const std::string &fname)
+    {
+        for (IrFunction &f : functions)
+            if (f.name == fname)
+                return &f;
+        return nullptr;
+    }
+};
+
+/** Vregs read by @p inst (dedup not guaranteed). */
+std::vector<int> instUses(const IrInst &inst);
+
+/** Vreg written by @p inst, or -1. */
+int instDef(const IrInst &inst);
+
+/** True when @p inst has no side effect beyond writing its dst. */
+bool instIsPure(const IrInst &inst);
+
+/**
+ * Per-block liveness (backward may-analysis over vregs).
+ * liveIn[b] / liveOut[b] are bitsets indexed by vreg id.
+ */
+struct Liveness
+{
+    std::vector<std::vector<bool>> liveIn;
+    std::vector<std::vector<bool>> liveOut;
+};
+
+Liveness computeLiveness(const IrFunction &f);
+
+/** Debug dump of a function's IR (tests and -v tooling). */
+std::string dumpIr(const IrFunction &f);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_IR_HH

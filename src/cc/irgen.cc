@@ -1,0 +1,509 @@
+#include "cc/irgen.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+namespace
+{
+
+class IrGen
+{
+  public:
+    explicit IrGen(const Module &m) : mod_(m) {}
+
+    IrModule
+    run()
+    {
+        IrModule out;
+        out.name = mod_.name;
+        out.globals = mod_.globals;
+        for (const auto &fn : mod_.functions) {
+            out.functions.push_back(lowerFunction(*fn));
+        }
+        return out;
+    }
+
+  private:
+    const Module &mod_;
+    IrFunction *f_ = nullptr;
+    int cur_ = 0;
+    std::vector<int> breakTargets_;
+    std::vector<int> continueTargets_;
+
+    IrFunction
+    lowerFunction(const Function &fn)
+    {
+        IrFunction irf;
+        irf.name = fn.name;
+        irf.retType = fn.retType;
+        irf.numParams = fn.numParams;
+        irf.vregTypes = fn.localTypes;
+        irf.blocks.emplace_back();
+
+        f_ = &irf;
+        cur_ = 0;
+        breakTargets_.clear();
+        continueTargets_.clear();
+
+        genStmt(*fn.body);
+        terminateOpenBlocks(fn.retType);
+        f_ = nullptr;
+        return irf;
+    }
+
+    int
+    newBlock()
+    {
+        f_->blocks.emplace_back();
+        return static_cast<int>(f_->blocks.size()) - 1;
+    }
+
+    bool
+    curTerminated() const
+    {
+        const IrBlock &b = f_->blocks[static_cast<std::size_t>(cur_)];
+        return !b.insts.empty() && b.insts.back().isTerminator();
+    }
+
+    IrInst &
+    emit(IrInst inst)
+    {
+        // Code after return/break/continue lands in a fresh unreachable
+        // block so every block keeps exactly one terminator.
+        if (curTerminated())
+            cur_ = newBlock();
+        IrBlock &b = f_->blocks[static_cast<std::size_t>(cur_)];
+        b.insts.push_back(std::move(inst));
+        return b.insts.back();
+    }
+
+    IrInst
+    make(IrOp op, int line)
+    {
+        IrInst inst;
+        inst.op = op;
+        inst.line = line;
+        return inst;
+    }
+
+    int
+    emitConstI(std::int64_t v, int line)
+    {
+        IrInst inst = make(IrOp::ConstI, line);
+        inst.dst = f_->newTemp(Type::Int);
+        inst.imm = v;
+        emit(inst);
+        return inst.dst;
+    }
+
+    void
+    emitBr(int target, int line)
+    {
+        if (curTerminated())
+            return;
+        IrInst inst = make(IrOp::Br, line);
+        inst.target = target;
+        emit(inst);
+    }
+
+    void
+    emitCondBr(int cond, int t, int fblk, int line)
+    {
+        IrInst inst = make(IrOp::CondBr, line);
+        inst.a = cond;
+        inst.target = t;
+        inst.targetF = fblk;
+        emit(inst);
+    }
+
+    // ----- expressions ------------------------------------------------
+
+    int
+    genExpr(const Expr &e)
+    {
+        switch (e.kind) {
+          case ExprKind::IntLit:
+            return emitConstI(e.intVal, e.line);
+          case ExprKind::FpLit: {
+            IrInst inst = make(IrOp::ConstF, e.line);
+            inst.dst = f_->newTemp(Type::Fp);
+            inst.fimm = e.fpVal;
+            emit(inst);
+            return inst.dst;
+          }
+          case ExprKind::VarRef:
+            if (e.varId >= 0)
+                return e.varId;
+            return genGlobalLoad(e.name, -1, e.type, e.line);
+          case ExprKind::ArrayRef: {
+            int idx = genExpr(*e.a);
+            return genGlobalLoad(e.name, idx, e.type, e.line);
+          }
+          case ExprKind::Binary:
+            return genBinary(e);
+          case ExprKind::Neg: {
+            int a = genExpr(*e.a);
+            if (e.type == Type::Fp) {
+                IrInst inst = make(IrOp::FNeg, e.line);
+                inst.dst = f_->newTemp(Type::Fp);
+                inst.a = a;
+                emit(inst);
+                return inst.dst;
+            }
+            int zero = emitConstI(0, e.line);
+            IrInst inst = make(IrOp::Sub, e.line);
+            inst.dst = f_->newTemp(Type::Int);
+            inst.a = zero;
+            inst.b = a;
+            emit(inst);
+            return inst.dst;
+          }
+          case ExprKind::Not: {
+            int a = genExpr(*e.a);
+            IrInst inst = make(IrOp::Not, e.line);
+            inst.dst = f_->newTemp(Type::Int);
+            inst.a = a;
+            emit(inst);
+            return inst.dst;
+          }
+          case ExprKind::Call:
+            return genCall(e);
+          case ExprKind::Cast: {
+            int a = genExpr(*e.a);
+            if (e.type == e.a->type)
+                return a;
+            IrInst inst =
+                make(e.type == Type::Fp ? IrOp::CvtIF : IrOp::CvtFI, e.line);
+            inst.dst = f_->newTemp(e.type);
+            inst.a = a;
+            emit(inst);
+            return inst.dst;
+          }
+        }
+        mmt_assert(false, "unhandled expression kind");
+        return -1;
+    }
+
+    int
+    genGlobalLoad(const std::string &sym, int idx, Type type, int line)
+    {
+        IrInst inst = make(IrOp::LoadG, line);
+        inst.dst = f_->newTemp(type);
+        inst.a = idx;
+        inst.sym = sym;
+        emit(inst);
+        return inst.dst;
+    }
+
+    int
+    genCall(const Expr &e)
+    {
+        IrInst inst = make(IrOp::Call, e.line);
+        for (const ExprPtr &arg : e.args)
+            inst.args.push_back(genExpr(*arg));
+        inst.sym = e.name;
+        inst.dst = e.type == Type::Void ? -1 : f_->newTemp(e.type);
+        emit(inst);
+        return inst.dst;
+    }
+
+    int
+    genBinary(const Expr &e)
+    {
+        if (e.op == BinOp::LAnd || e.op == BinOp::LOr)
+            return genShortCircuit(e);
+
+        bool fp = e.a->type == Type::Fp;
+        int a = genExpr(*e.a);
+        int b = genExpr(*e.b);
+        IrOp op = IrOp::Add;
+        bool swap = false;
+        bool negate = false;
+        switch (e.op) {
+          case BinOp::Add: op = fp ? IrOp::FAdd : IrOp::Add; break;
+          case BinOp::Sub: op = fp ? IrOp::FSub : IrOp::Sub; break;
+          case BinOp::Mul: op = fp ? IrOp::FMul : IrOp::Mul; break;
+          case BinOp::Div: op = fp ? IrOp::FDiv : IrOp::Div; break;
+          case BinOp::Rem: op = IrOp::Rem; break;
+          case BinOp::Eq: op = fp ? IrOp::FCmpEQ : IrOp::CmpEQ; break;
+          case BinOp::Ne:
+            // FP has no direct NE: lower as !(a == b).
+            op = fp ? IrOp::FCmpEQ : IrOp::CmpNE;
+            negate = fp;
+            break;
+          case BinOp::Lt: op = fp ? IrOp::FCmpLT : IrOp::CmpLT; break;
+          case BinOp::Le: op = fp ? IrOp::FCmpLE : IrOp::CmpLE; break;
+          case BinOp::Gt:
+            op = fp ? IrOp::FCmpLT : IrOp::CmpLT;
+            swap = true;
+            break;
+          case BinOp::Ge:
+            op = fp ? IrOp::FCmpLE : IrOp::CmpLE;
+            swap = true;
+            break;
+          case BinOp::LAnd:
+          case BinOp::LOr:
+            break;
+        }
+        IrInst inst = make(op, e.line);
+        inst.dst = f_->newTemp(e.type);
+        inst.a = swap ? b : a;
+        inst.b = swap ? a : b;
+        emit(inst);
+        if (!negate)
+            return inst.dst;
+        IrInst inv = make(IrOp::Not, e.line);
+        inv.dst = f_->newTemp(Type::Int);
+        inv.a = inst.dst;
+        emit(inv);
+        return inv.dst;
+    }
+
+    int
+    genShortCircuit(const Expr &e)
+    {
+        // result is a mutable temp assigned on both paths.
+        int result = f_->newTemp(Type::Int);
+        int a = genExpr(*e.a);
+        int abool = f_->newTemp(Type::Int);
+        IrInst toBool = make(IrOp::Bool, e.line);
+        toBool.dst = abool;
+        toBool.a = a;
+        emit(toBool);
+        IrInst movA = make(IrOp::Mov, e.line);
+        movA.dst = result;
+        movA.a = abool;
+        emit(movA);
+
+        int rhs = newBlock();
+        int join = newBlock();
+        if (e.op == BinOp::LAnd)
+            emitCondBr(abool, rhs, join, e.line);
+        else
+            emitCondBr(abool, join, rhs, e.line);
+
+        cur_ = rhs;
+        int b = genExpr(*e.b);
+        IrInst bBool = make(IrOp::Bool, e.line);
+        bBool.dst = f_->newTemp(Type::Int);
+        bBool.a = b;
+        emit(bBool);
+        IrInst movB = make(IrOp::Mov, e.line);
+        movB.dst = result;
+        movB.a = bBool.dst;
+        emit(movB);
+        emitBr(join, e.line);
+
+        cur_ = join;
+        return result;
+    }
+
+    // ----- statements -------------------------------------------------
+
+    void
+    genStmt(const Stmt &s)
+    {
+        switch (s.kind) {
+          case StmtKind::Block:
+            for (const StmtPtr &child : s.body)
+                genStmt(*child);
+            return;
+          case StmtKind::If:
+            genIf(s);
+            return;
+          case StmtKind::While:
+            genWhile(s);
+            return;
+          case StmtKind::For:
+            genFor(s);
+            return;
+          case StmtKind::Return: {
+            IrInst inst = make(IrOp::Ret, s.line);
+            inst.a = s.value ? genExpr(*s.value) : -1;
+            emit(inst);
+            return;
+          }
+          case StmtKind::Break:
+            mmt_assert(!breakTargets_.empty(), "break outside loop");
+            emitBr(breakTargets_.back(), s.line);
+            return;
+          case StmtKind::Continue:
+            mmt_assert(!continueTargets_.empty(), "continue outside loop");
+            emitBr(continueTargets_.back(), s.line);
+            return;
+          case StmtKind::LocalDecl:
+            if (s.value) {
+                IrInst inst = make(IrOp::Mov, s.line);
+                inst.dst = s.varId;
+                inst.a = genExpr(*s.value);
+                emit(inst);
+            }
+            return;
+          case StmtKind::Assign:
+            genAssign(s);
+            return;
+          case StmtKind::ExprStmt:
+            genExpr(*s.value);
+            return;
+          case StmtKind::Out: {
+            IrInst inst = make(IrOp::Out, s.line);
+            inst.a = genExpr(*s.value);
+            emit(inst);
+            return;
+          }
+        }
+    }
+
+    void
+    genAssign(const Stmt &s)
+    {
+        if (s.index) {
+            int idx = genExpr(*s.index);
+            int val = genExpr(*s.value);
+            IrInst inst = make(IrOp::StoreG, s.line);
+            inst.a = idx;
+            inst.b = val;
+            inst.sym = s.name;
+            emit(inst);
+        } else if (s.varId >= 0) {
+            IrInst inst = make(IrOp::Mov, s.line);
+            inst.dst = s.varId;
+            inst.a = genExpr(*s.value);
+            emit(inst);
+        } else {
+            int val = genExpr(*s.value);
+            IrInst inst = make(IrOp::StoreG, s.line);
+            inst.a = -1;
+            inst.b = val;
+            inst.sym = s.name;
+            emit(inst);
+        }
+    }
+
+    void
+    genIf(const Stmt &s)
+    {
+        int cond = genExpr(*s.cond);
+        bool hasElse = s.body.size() > 1;
+        int thenB = newBlock();
+        int elseB = hasElse ? newBlock() : -1;
+        int join = newBlock();
+        emitCondBr(cond, thenB, hasElse ? elseB : join, s.line);
+
+        cur_ = thenB;
+        genStmt(*s.body[0]);
+        emitBr(join, s.line);
+
+        if (hasElse) {
+            cur_ = elseB;
+            genStmt(*s.body[1]);
+            emitBr(join, s.line);
+        }
+        cur_ = join;
+    }
+
+    void
+    genWhile(const Stmt &s)
+    {
+        int header = newBlock();
+        emitBr(header, s.line);
+        cur_ = header;
+        int cond = genExpr(*s.cond);
+        int body = newBlock();
+        int exit = newBlock();
+        emitCondBr(cond, body, exit, s.line);
+
+        breakTargets_.push_back(exit);
+        continueTargets_.push_back(header);
+        cur_ = body;
+        genStmt(*s.body[0]);
+        emitBr(header, s.line);
+        breakTargets_.pop_back();
+        continueTargets_.pop_back();
+
+        cur_ = exit;
+    }
+
+    void
+    genFor(const Stmt &s)
+    {
+        // The block holding the init acts as the loop preheader; the
+        // step lives in a dedicated latch so `continue` re-runs it.
+        if (s.init)
+            genStmt(*s.init);
+        int header = newBlock();
+        emitBr(header, s.line);
+        cur_ = header;
+        int cond = s.cond ? genExpr(*s.cond) : emitConstI(1, s.line);
+        int body = newBlock();
+        int latch = newBlock();
+        int exit = newBlock();
+        emitCondBr(cond, body, exit, s.line);
+
+        breakTargets_.push_back(exit);
+        continueTargets_.push_back(latch);
+        cur_ = body;
+        genStmt(*s.body[0]);
+        emitBr(latch, s.line);
+        breakTargets_.pop_back();
+        continueTargets_.pop_back();
+
+        cur_ = latch;
+        if (s.step)
+            genStmt(*s.step);
+        emitBr(header, s.line);
+
+        cur_ = exit;
+    }
+
+    void
+    terminateOpenBlocks(Type retType)
+    {
+        for (IrBlock &b : f_->blocks) {
+            if (!b.insts.empty() && b.insts.back().isTerminator())
+                continue;
+            // Fell off the end (or an empty join/unreachable block):
+            // synthesize `return 0` / `return 0.0` / `return`.
+            int line = b.insts.empty() ? 0 : b.insts.back().line;
+            IrInst ret;
+            ret.op = IrOp::Ret;
+            ret.line = line;
+            if (retType == Type::Void) {
+                ret.a = -1;
+            } else if (retType == Type::Fp) {
+                IrInst cst;
+                cst.op = IrOp::ConstF;
+                cst.dst = f_->newTemp(Type::Fp);
+                cst.fimm = 0.0;
+                cst.line = line;
+                b.insts.push_back(cst);
+                ret.a = cst.dst;
+            } else {
+                IrInst cst;
+                cst.op = IrOp::ConstI;
+                cst.dst = f_->newTemp(Type::Int);
+                cst.imm = 0;
+                cst.line = line;
+                b.insts.push_back(cst);
+                ret.a = cst.dst;
+            }
+            b.insts.push_back(ret);
+        }
+    }
+};
+
+} // namespace
+
+IrModule
+lowerToIr(const Module &m)
+{
+    return IrGen(m).run();
+}
+
+} // namespace cc
+} // namespace mmt

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * AST -> IR lowering. Local scalars become mutable vregs (slot i of the
+ * function is vreg i), expression temporaries are fresh single-def
+ * vregs, control flow becomes explicit basic blocks. No optimization is
+ * attempted beyond short-circuit lowering; the SPMD and regalloc passes
+ * run on the result.
+ */
+
+#ifndef MMT_CC_IRGEN_HH
+#define MMT_CC_IRGEN_HH
+
+#include "cc/ast.hh"
+#include "cc/ir.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+/** Lower a parsed module to IR. */
+IrModule lowerToIr(const Module &m);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_IRGEN_HH

@@ -1,0 +1,229 @@
+#include "cc/lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+namespace
+{
+
+const std::map<std::string, Tok> &
+keywords()
+{
+    static const std::map<std::string, Tok> table = {
+        {"int", Tok::KwInt},       {"double", Tok::KwDouble},
+        {"void", Tok::KwVoid},     {"if", Tok::KwIf},
+        {"else", Tok::KwElse},     {"while", Tok::KwWhile},
+        {"for", Tok::KwFor},       {"return", Tok::KwReturn},
+        {"break", Tok::KwBreak},   {"continue", Tok::KwContinue},
+    };
+    return table;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source, const std::string &name)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    int line = 1;
+    const std::size_t n = source.size();
+
+    auto err = [&](const std::string &msg) {
+        fatal("%s: line %d: %s", name.c_str(), line, msg.c_str());
+    };
+    auto peek = [&](std::size_t k = 0) -> char {
+        return i + k < n ? source[i + k] : '\0';
+    };
+    auto push = [&](Tok kind) {
+        Token t;
+        t.kind = kind;
+        t.line = line;
+        out.push_back(t);
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && peek(1) == '*') {
+            i += 2;
+            while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+                if (source[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            if (i >= n)
+                err("unterminated block comment");
+            i += 2;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::size_t b = i;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '_'))
+                ++i;
+            std::string word = source.substr(b, i - b);
+            auto it = keywords().find(word);
+            if (it != keywords().end()) {
+                push(it->second);
+            } else {
+                Token t;
+                t.kind = Tok::Ident;
+                t.line = line;
+                t.text = word;
+                out.push_back(t);
+            }
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+            std::size_t b = i;
+            bool is_fp = false;
+            bool is_hex = c == '0' && (peek(1) == 'x' || peek(1) == 'X');
+            if (is_hex)
+                i += 2;
+            while (i < n) {
+                char d = source[i];
+                if (std::isdigit(static_cast<unsigned char>(d)) ||
+                    (is_hex &&
+                     std::isxdigit(static_cast<unsigned char>(d)))) {
+                    ++i;
+                } else if (!is_hex && (d == '.' || d == 'e' || d == 'E')) {
+                    is_fp = true;
+                    ++i;
+                    if ((d == 'e' || d == 'E') &&
+                        (source[i] == '+' || source[i] == '-'))
+                        ++i;
+                } else {
+                    break;
+                }
+            }
+            std::string lit = source.substr(b, i - b);
+            Token t;
+            t.line = line;
+            char *end = nullptr;
+            if (is_fp) {
+                t.kind = Tok::FpLit;
+                t.fpVal = std::strtod(lit.c_str(), &end);
+            } else {
+                t.kind = Tok::IntLit;
+                t.intVal = std::strtoll(lit.c_str(), &end, 0);
+            }
+            if (end != lit.c_str() + lit.size())
+                err("bad numeric literal '" + lit + "'");
+            out.push_back(t);
+            continue;
+        }
+        auto two = [&](char a, char b, Tok kind) -> bool {
+            if (c == a && peek(1) == b) {
+                push(kind);
+                i += 2;
+                return true;
+            }
+            return false;
+        };
+        if (two('=', '=', Tok::Eq) || two('!', '=', Tok::Ne) ||
+            two('<', '=', Tok::Le) || two('>', '=', Tok::Ge) ||
+            two('&', '&', Tok::AndAnd) || two('|', '|', Tok::OrOr))
+            continue;
+        Tok kind;
+        switch (c) {
+          case '(': kind = Tok::LParen; break;
+          case ')': kind = Tok::RParen; break;
+          case '{': kind = Tok::LBrace; break;
+          case '}': kind = Tok::RBrace; break;
+          case '[': kind = Tok::LBracket; break;
+          case ']': kind = Tok::RBracket; break;
+          case ',': kind = Tok::Comma; break;
+          case ';': kind = Tok::Semi; break;
+          case '=': kind = Tok::Assign; break;
+          case '+': kind = Tok::Plus; break;
+          case '-': kind = Tok::Minus; break;
+          case '*': kind = Tok::Star; break;
+          case '/': kind = Tok::Slash; break;
+          case '%': kind = Tok::Percent; break;
+          case '<': kind = Tok::Lt; break;
+          case '>': kind = Tok::Gt; break;
+          case '!': kind = Tok::Not; break;
+          default:
+            err(std::string("unexpected character '") + c + "'");
+        }
+        push(kind);
+        ++i;
+    }
+    Token end_tok;
+    end_tok.kind = Tok::End;
+    end_tok.line = line;
+    out.push_back(end_tok);
+    return out;
+}
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "end of input";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FpLit: return "floating literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwDouble: return "'double'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Assign: return "'='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+      case Tok::AndAnd: return "'&&'";
+      case Tok::OrOr: return "'||'";
+      case Tok::Not: return "'!'";
+    }
+    return "?";
+}
+
+} // namespace cc
+} // namespace mmt

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Lexer for the mmtc C subset (docs/COMPILER.md): identifiers, integer
+ * and floating literals, keywords, and the operator/punctuation set of a
+ * SysY-style language. Comments are `//` to end of line plus C block comments.
+ *
+ * Errors are reported with fatal(), prefixed by the program name and the
+ * 1-based source line, matching the assembler's diagnostic style.
+ */
+
+#ifndef MMT_CC_LEXER_HH
+#define MMT_CC_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmt
+{
+namespace cc
+{
+
+enum class Tok
+{
+    End,
+    Ident,
+    IntLit,
+    FpLit,
+    // Keywords.
+    KwInt, KwDouble, KwVoid, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+    KwBreak, KwContinue,
+    // Punctuation / operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Assign,
+    Plus, Minus, Star, Slash, Percent,
+    Eq, Ne, Lt, Le, Gt, Ge,
+    AndAnd, OrOr, Not,
+};
+
+struct Token
+{
+    Tok kind = Tok::End;
+    int line = 0;
+    std::string text;       // Ident spelling
+    std::int64_t intVal = 0;
+    double fpVal = 0.0;
+};
+
+/** Tokenize @p source; fatal() on malformed input. */
+std::vector<Token> lex(const std::string &source, const std::string &name);
+
+/** Spelling of a token kind for diagnostics ("'+'", "identifier", ...). */
+std::string tokName(Tok kind);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_LEXER_HH

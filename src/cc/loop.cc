@@ -1,0 +1,289 @@
+#include "cc/loop.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace mmt
+{
+namespace cc
+{
+namespace
+{
+
+std::vector<std::vector<int>>
+predecessors(const IrFunction &f)
+{
+    std::vector<std::vector<int>> preds(f.blocks.size());
+    for (std::size_t b = 0; b < f.blocks.size(); ++b)
+        for (int s : f.successors(static_cast<int>(b)))
+            preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(b));
+    return preds;
+}
+
+/** Collect the natural loop of back edge latch->header. */
+void
+collectLoop(const std::vector<std::vector<int>> &preds, int header, int latch,
+            std::vector<bool> &inLoop)
+{
+    inLoop[static_cast<std::size_t>(header)] = true;
+    std::vector<int> work;
+    if (!inLoop[static_cast<std::size_t>(latch)]) {
+        inLoop[static_cast<std::size_t>(latch)] = true;
+        work.push_back(latch);
+    }
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (int p : preds[static_cast<std::size_t>(b)]) {
+            if (!inLoop[static_cast<std::size_t>(p)]) {
+                inLoop[static_cast<std::size_t>(p)] = true;
+                work.push_back(p);
+            }
+        }
+    }
+}
+
+/** Locate the single in-loop definition of @p vreg; nullptr when the
+ *  count differs from one. */
+const IrInst *
+singleLoopDef(const IrFunction &f, const LoopInfo &loop, int vreg,
+              int *defBlock = nullptr, int *defIdx = nullptr)
+{
+    const IrInst *found = nullptr;
+    for (int b : loop.blocks) {
+        const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+        for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+            if (instDef(blk.insts[i]) != vreg)
+                continue;
+            if (found)
+                return nullptr;
+            found = &blk.insts[i];
+            if (defBlock)
+                *defBlock = b;
+            if (defIdx)
+                *defIdx = static_cast<int>(i);
+        }
+    }
+    return found;
+}
+
+/**
+ * Try to prove the canonical induction-variable shape and fill in the
+ * indvar fields of @p loop.
+ */
+void
+recognizeIndvar(const IrFunction &f, LoopInfo &loop)
+{
+    if (loop.latch < 0 || loop.preheader < 0)
+        return;
+
+    // The header must be the ONLY exiting block, with one exit edge.
+    int exitTarget = -1;
+    int bodyTarget = -1;
+    for (int b : loop.blocks) {
+        for (int s : f.successors(b)) {
+            if (loop.contains(s))
+                continue;
+            if (b != loop.header || exitTarget >= 0)
+                return; // break / multi-exit
+            exitTarget = s;
+        }
+        const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+        if (blk.insts.back().op == IrOp::Ret)
+            return; // return inside the loop
+    }
+    if (exitTarget < 0)
+        return; // no way out; never canonical
+
+    const IrBlock &hdr = f.blocks[static_cast<std::size_t>(loop.header)];
+    const IrInst &term = hdr.insts.back();
+    if (term.op != IrOp::CondBr)
+        return;
+    if (term.target == exitTarget)
+        return; // inverted loop shape (cond false enters body)
+    bodyTarget = term.target;
+    if (term.targetF != exitTarget)
+        return;
+
+    // Condition: CmpLT/CmpLE(iv, bound), defined in the header itself.
+    const IrInst *cmp = nullptr;
+    for (const IrInst &inst : hdr.insts)
+        if (instDef(inst) == term.a)
+            cmp = &inst;
+    if (!cmp || (cmp->op != IrOp::CmpLT && cmp->op != IrOp::CmpLE))
+        return;
+    int iv = cmp->a;
+    if (iv < 0)
+        return;
+
+    // Unique in-loop def of iv: `Mov iv, t` in the latch, with
+    // `t = Add(iv, step)` and step a positive integer constant.
+    int defBlock = -1;
+    int defIdx = -1;
+    const IrInst *mov = singleLoopDef(f, loop, iv, &defBlock, &defIdx);
+    if (!mov || mov->op != IrOp::Mov || defBlock != loop.latch)
+        return;
+    const IrBlock &latchBlk = f.blocks[static_cast<std::size_t>(loop.latch)];
+    const IrInst *add = nullptr;
+    int addIdx = -1;
+    for (int i = 0; i < defIdx; ++i) {
+        if (instDef(latchBlk.insts[static_cast<std::size_t>(i)]) == mov->a) {
+            add = &latchBlk.insts[static_cast<std::size_t>(i)];
+            addIdx = i;
+        }
+    }
+    if (!add || add->op != IrOp::Add)
+        return;
+    int stepVreg = -1;
+    if (add->a == iv)
+        stepVreg = add->b;
+    else if (add->b == iv)
+        stepVreg = add->a;
+    else
+        return;
+    const IrInst *stepDef = nullptr;
+    for (int i = 0; i < addIdx; ++i)
+        if (instDef(latchBlk.insts[static_cast<std::size_t>(i)]) == stepVreg)
+            stepDef = &latchBlk.insts[static_cast<std::size_t>(i)];
+    if (!stepDef || stepDef->op != IrOp::ConstI || stepDef->imm <= 0)
+        return;
+
+    loop.indvar = iv;
+    loop.step = stepDef->imm;
+    loop.boundVreg = cmp->b;
+    loop.cmpIsLe = cmp->op == IrOp::CmpLE;
+    loop.exiting = loop.header;
+    loop.exitTarget = exitTarget;
+    loop.bodyTarget = bodyTarget;
+    loop.stepAddIdx = addIdx;
+}
+
+} // namespace
+
+std::vector<std::vector<bool>>
+computeDominators(const IrFunction &f)
+{
+    const std::size_t nb = f.blocks.size();
+    std::vector<std::vector<bool>> dom(nb, std::vector<bool>(nb, true));
+    dom[0].assign(nb, false);
+    dom[0][0] = true;
+
+    auto preds = predecessors(f);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t b = 1; b < nb; ++b) {
+            std::vector<bool> next(nb, true);
+            if (preds[b].empty()) {
+                // Unreachable block: dominated only by itself.
+                next.assign(nb, false);
+            } else {
+                for (int p : preds[b]) {
+                    const auto &pd = dom[static_cast<std::size_t>(p)];
+                    for (std::size_t i = 0; i < nb; ++i)
+                        next[i] = next[i] && pd[i];
+                }
+            }
+            next[b] = true;
+            if (next != dom[b]) {
+                dom[b] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    return dom;
+}
+
+std::vector<LoopInfo>
+findLoops(const IrFunction &f)
+{
+    const std::size_t nb = f.blocks.size();
+    auto dom = computeDominators(f);
+    auto preds = predecessors(f);
+
+    // Gather back edges grouped by header.
+    std::map<int, std::vector<int>> latchesByHeader;
+    for (std::size_t b = 0; b < nb; ++b) {
+        for (int s : f.successors(static_cast<int>(b))) {
+            if (dom[b][static_cast<std::size_t>(s)])
+                latchesByHeader[s].push_back(static_cast<int>(b));
+        }
+    }
+
+    std::vector<LoopInfo> loops;
+    for (const auto &entry : latchesByHeader) {
+        LoopInfo loop;
+        loop.header = entry.first;
+        loop.latch = entry.second.size() == 1 ? entry.second[0] : -1;
+        std::vector<bool> inLoop(nb, false);
+        for (int latch : entry.second)
+            collectLoop(preds, loop.header, latch, inLoop);
+        for (std::size_t b = 0; b < nb; ++b)
+            if (inLoop[b])
+                loop.blocks.push_back(static_cast<int>(b));
+
+        // Unique predecessor outside the loop -> preheader.
+        int pre = -1;
+        bool unique = true;
+        for (int p : preds[static_cast<std::size_t>(loop.header)]) {
+            if (inLoop[static_cast<std::size_t>(p)])
+                continue;
+            if (pre >= 0)
+                unique = false;
+            pre = p;
+        }
+        loop.preheader = unique ? pre : -1;
+
+        recognizeIndvar(f, loop);
+        loops.push_back(std::move(loop));
+    }
+
+    // Nesting: the innermost enclosing loop is the smallest strict
+    // superset containing this loop's header.
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+        int best = -1;
+        std::size_t bestSize = 0;
+        for (std::size_t j = 0; j < loops.size(); ++j) {
+            if (i == j || loops[j].blocks.size() <= loops[i].blocks.size())
+                continue;
+            if (!loops[j].contains(loops[i].header))
+                continue;
+            if (best < 0 || loops[j].blocks.size() < bestSize) {
+                best = static_cast<int>(j);
+                bestSize = loops[j].blocks.size();
+            }
+        }
+        loops[i].parent = best;
+    }
+
+    // Sort outermost-first (by block-set size descending, then header)
+    // so the SPMD pass can walk parents before children.
+    std::vector<std::size_t> order(loops.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  if (loops[a].blocks.size() != loops[b].blocks.size())
+                      return loops[a].blocks.size() > loops[b].blocks.size();
+                  return loops[a].header < loops[b].header;
+              });
+    std::vector<LoopInfo> sorted;
+    std::vector<int> newIndex(loops.size(), -1);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        newIndex[order[i]] = static_cast<int>(i);
+        sorted.push_back(std::move(loops[order[i]]));
+    }
+    for (LoopInfo &loop : sorted)
+        if (loop.parent >= 0)
+            loop.parent = newIndex[static_cast<std::size_t>(loop.parent)];
+    for (LoopInfo &loop : sorted) {
+        loop.depth = 1;
+        for (int p = loop.parent; p >= 0;
+             p = sorted[static_cast<std::size_t>(p)].parent)
+            ++loop.depth;
+    }
+    return sorted;
+}
+
+} // namespace cc
+} // namespace mmt

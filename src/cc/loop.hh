@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Natural-loop analysis over the mmtc IR: dominators, loop nests, and
+ * canonical induction-variable recognition. The SPMD pass consumes the
+ * resulting LoopInfo records to decide which loops can be sliced across
+ * thread ids.
+ *
+ * A loop is "canonical" (sliceable shape) when it has
+ *  - a unique latch whose step sequence is `iv = iv + C` with C a
+ *    positive integer constant,
+ *  - a header that is the only exiting block, terminated by
+ *    `CondBr (iv < bound | iv <= bound), body, exit`, and
+ *  - a unique preheader predecessor outside the loop.
+ * Everything else is still reported (for nesting bookkeeping) with
+ * indvar == -1.
+ */
+
+#ifndef MMT_CC_LOOP_HH
+#define MMT_CC_LOOP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cc/ir.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+struct LoopInfo
+{
+    int header = -1;
+    int latch = -1;     // unique back-edge source; -1 when not unique
+    int preheader = -1; // unique out-of-loop predecessor of the header
+    /** All blocks of the natural loop (header included, nested loops
+     *  included), sorted ascending. */
+    std::vector<int> blocks;
+
+    // Canonical induction variable, valid when indvar >= 0.
+    int indvar = -1;
+    std::int64_t step = 0;
+    int boundVreg = -1;
+    bool cmpIsLe = false; // `iv <= bound` instead of `iv < bound`
+    int exiting = -1;     // == header for canonical loops
+    int exitTarget = -1;  // successor outside the loop
+    int bodyTarget = -1;  // successor inside the loop
+    /** Location of the `iv + C` add inside the latch (block-local
+     *  instruction index), for the SPMD stride rewrite. */
+    int stepAddIdx = -1;
+
+    int parent = -1; // index of the innermost enclosing loop, or -1
+    int depth = 1;   // 1 = outermost
+
+    bool
+    contains(int b) const
+    {
+        for (int x : blocks)
+            if (x == b)
+                return true;
+        return false;
+    }
+};
+
+/**
+ * Find all natural loops of @p f, outermost-first within each nest
+ * (parents precede children). Back edges sharing a header are merged
+ * into one loop with latch == -1.
+ */
+std::vector<LoopInfo> findLoops(const IrFunction &f);
+
+/** Immediate-dominator-free dominator sets: dom[b] is the bitset of
+ *  blocks dominating b (including b). Exposed for tests. */
+std::vector<std::vector<bool>> computeDominators(const IrFunction &f);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_LOOP_HH

@@ -1,0 +1,718 @@
+#include "cc/parser.hh"
+
+#include <map>
+#include <utility>
+
+#include "cc/lexer.hh"
+#include "common/logging.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &source, std::string name)
+        : name_(std::move(name)), toks_(lex(source, name_))
+    {
+    }
+
+    Module
+    run()
+    {
+        Module m;
+        m.name = name_;
+        module_ = &m;
+        while (!at(Tok::End))
+            topLevel();
+        return m;
+    }
+
+  private:
+    // ---------------------------------------------------------- helpers --
+    [[noreturn]] void
+    err(int line, const std::string &msg) const
+    {
+        fatal("%s: line %d: %s", name_.c_str(), line, msg.c_str());
+    }
+
+    const Token &cur() const { return toks_[pos_]; }
+    bool at(Tok k) const { return cur().kind == k; }
+
+    Token
+    advance()
+    {
+        Token t = cur();
+        if (t.kind != Tok::End)
+            ++pos_;
+        return t;
+    }
+
+    Token
+    expect(Tok k, const char *ctx)
+    {
+        if (!at(k)) {
+            err(cur().line, "expected " + tokName(k) + " " + ctx +
+                                ", got " + tokName(cur().kind));
+        }
+        return advance();
+    }
+
+    bool
+    accept(Tok k)
+    {
+        if (!at(k))
+            return false;
+        advance();
+        return true;
+    }
+
+    static bool
+    isTypeTok(Tok k)
+    {
+        return k == Tok::KwInt || k == Tok::KwDouble;
+    }
+
+    Type
+    parseType()
+    {
+        if (accept(Tok::KwInt))
+            return Type::Int;
+        if (accept(Tok::KwDouble))
+            return Type::Fp;
+        err(cur().line, "expected a type, got " + tokName(cur().kind));
+    }
+
+    /** Wrap @p e in a Cast to @p want if needed (Int<->Fp only). */
+    ExprPtr
+    convert(ExprPtr e, Type want, const char *ctx)
+    {
+        if (e->type == want)
+            return e;
+        if (e->type == Type::Void || want == Type::Void)
+            err(e->line, std::string("void value used ") + ctx);
+        auto cast = std::make_unique<Expr>();
+        cast->kind = ExprKind::Cast;
+        cast->type = want;
+        cast->line = e->line;
+        cast->a = std::move(e);
+        return cast;
+    }
+
+    // -------------------------------------------------------- top level --
+    void
+    topLevel()
+    {
+        int line = cur().line;
+        if (at(Tok::KwVoid)) {
+            advance();
+            function(Type::Void, line);
+            return;
+        }
+        Type type = parseType();
+        Token ident = expect(Tok::Ident, "after type");
+        if (at(Tok::LParen)) {
+            functionNamed(type, ident, line);
+        } else {
+            globalVar(type, ident, line);
+        }
+    }
+
+    void
+    function(Type ret, int line)
+    {
+        Token ident = expect(Tok::Ident, "in function definition");
+        functionNamed(ret, ident, line);
+    }
+
+    void
+    functionNamed(Type ret, const Token &ident, int line)
+    {
+        if (module_->findFunction(ident.text) ||
+            module_->findGlobal(ident.text) || ident.text == "out")
+            err(line, "redefinition of '" + ident.text + "'");
+
+        auto fn = std::make_unique<Function>();
+        fn->name = ident.text;
+        fn->retType = ret;
+        fn->line = line;
+        fn_ = fn.get();
+        scopes_.clear();
+        scopes_.emplace_back();
+
+        expect(Tok::LParen, "after function name");
+        if (!at(Tok::RParen)) {
+            do {
+                Type pt = parseType();
+                Token pn = expect(Tok::Ident, "in parameter list");
+                declareLocal(pn.text, pt, pn.line);
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after parameters");
+        fn->numParams = static_cast<int>(fn->localTypes.size());
+        // Register before the body so direct recursion resolves.
+        Function *raw = fn.get();
+        module_->functions.push_back(std::move(fn));
+        raw->body = block();
+        scopes_.clear();
+        fn_ = nullptr;
+    }
+
+    void
+    globalVar(Type type, const Token &ident, int line)
+    {
+        if (module_->findGlobal(ident.text) ||
+            module_->findFunction(ident.text) || ident.text == "out")
+            err(line, "redefinition of '" + ident.text + "'");
+        GlobalVar g;
+        g.name = ident.text;
+        g.type = type;
+        g.line = line;
+        if (accept(Tok::LBracket)) {
+            Token sz = expect(Tok::IntLit, "as array size");
+            if (sz.intVal <= 0)
+                err(line, "array size must be positive");
+            g.arraySize = static_cast<int>(sz.intVal);
+            expect(Tok::RBracket, "after array size");
+        }
+        if (accept(Tok::Assign)) {
+            if (g.arraySize > 0) {
+                expect(Tok::LBrace, "to open array initializer");
+                if (!at(Tok::RBrace)) {
+                    do {
+                        constInit(g);
+                    } while (accept(Tok::Comma));
+                }
+                expect(Tok::RBrace, "to close array initializer");
+                int given = static_cast<int>(
+                    g.type == Type::Int ? g.intInit.size()
+                                        : g.fpInit.size());
+                if (given > g.arraySize)
+                    err(line, "too many initializers for '" + g.name +
+                                  "'");
+            } else {
+                constInit(g);
+            }
+        }
+        expect(Tok::Semi, "after global declaration");
+        module_->globals.push_back(std::move(g));
+    }
+
+    /** One constant initializer element (sign and literal only). */
+    void
+    constInit(GlobalVar &g)
+    {
+        bool neg = accept(Tok::Minus);
+        Token t = advance();
+        double fv;
+        std::int64_t iv;
+        if (t.kind == Tok::IntLit) {
+            iv = neg ? -t.intVal : t.intVal;
+            fv = static_cast<double>(iv);
+        } else if (t.kind == Tok::FpLit) {
+            fv = neg ? -t.fpVal : t.fpVal;
+            iv = static_cast<std::int64_t>(fv);
+        } else {
+            err(t.line, "expected a constant initializer");
+        }
+        if (g.type == Type::Int)
+            g.intInit.push_back(iv);
+        else
+            g.fpInit.push_back(fv);
+    }
+
+    // ------------------------------------------------------- statements --
+    int
+    declareLocal(const std::string &lname, Type type, int line)
+    {
+        auto &scope = scopes_.back();
+        if (scope.count(lname))
+            err(line, "redeclaration of '" + lname + "' in this scope");
+        int id = static_cast<int>(fn_->localTypes.size());
+        fn_->localTypes.push_back(type);
+        fn_->localNames.push_back(lname);
+        scope[lname] = id;
+        return id;
+    }
+
+    /** Find a local slot; -1 when the name is not a local. */
+    int
+    lookupLocal(const std::string &lname) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto hit = it->find(lname);
+            if (hit != it->end())
+                return hit->second;
+        }
+        return -1;
+    }
+
+    StmtPtr
+    block()
+    {
+        int line = expect(Tok::LBrace, "to open block").line;
+        scopes_.emplace_back();
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Block;
+        s->line = line;
+        while (!at(Tok::RBrace) && !at(Tok::End))
+            s->body.push_back(statement());
+        expect(Tok::RBrace, "to close block");
+        scopes_.pop_back();
+        return s;
+    }
+
+    StmtPtr
+    statement()
+    {
+        int line = cur().line;
+        if (at(Tok::LBrace))
+            return block();
+        if (accept(Tok::KwIf)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::If;
+            s->line = line;
+            expect(Tok::LParen, "after 'if'");
+            s->cond = intCond(expression());
+            expect(Tok::RParen, "after condition");
+            s->body.push_back(statement());
+            if (accept(Tok::KwElse))
+                s->body.push_back(statement());
+            return s;
+        }
+        if (accept(Tok::KwWhile)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::While;
+            s->line = line;
+            expect(Tok::LParen, "after 'while'");
+            s->cond = intCond(expression());
+            expect(Tok::RParen, "after condition");
+            ++loopDepth_;
+            s->body.push_back(statement());
+            --loopDepth_;
+            return s;
+        }
+        if (accept(Tok::KwFor)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::For;
+            s->line = line;
+            expect(Tok::LParen, "after 'for'");
+            scopes_.emplace_back(); // scope of a for-init declaration
+            if (!at(Tok::Semi))
+                s->init = simpleStatement();
+            expect(Tok::Semi, "after for-init");
+            if (!at(Tok::Semi))
+                s->cond = intCond(expression());
+            expect(Tok::Semi, "after for-condition");
+            if (!at(Tok::RParen))
+                s->step = simpleStatement();
+            expect(Tok::RParen, "after for-step");
+            ++loopDepth_;
+            s->body.push_back(statement());
+            --loopDepth_;
+            scopes_.pop_back();
+            return s;
+        }
+        if (accept(Tok::KwReturn)) {
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::Return;
+            s->line = line;
+            if (!at(Tok::Semi)) {
+                if (fn_->retType == Type::Void)
+                    err(line, "return with a value in void function '" +
+                                  fn_->name + "'");
+                s->value = convert(expression(), fn_->retType,
+                                   "in return");
+            } else if (fn_->retType != Type::Void) {
+                err(line, "return without a value in non-void function '" +
+                              fn_->name + "'");
+            }
+            expect(Tok::Semi, "after return");
+            return s;
+        }
+        if (accept(Tok::KwBreak)) {
+            if (loopDepth_ == 0)
+                err(line, "'break' outside a loop");
+            expect(Tok::Semi, "after 'break'");
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::Break;
+            s->line = line;
+            return s;
+        }
+        if (accept(Tok::KwContinue)) {
+            if (loopDepth_ == 0)
+                err(line, "'continue' outside a loop");
+            expect(Tok::Semi, "after 'continue'");
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::Continue;
+            s->line = line;
+            return s;
+        }
+        StmtPtr s = simpleStatement();
+        expect(Tok::Semi, "after statement");
+        return s;
+    }
+
+    /** Declaration, assignment or call — the for-clause statement forms. */
+    StmtPtr
+    simpleStatement()
+    {
+        int line = cur().line;
+        if (isTypeTok(cur().kind)) {
+            Type type = parseType();
+            Token ident = expect(Tok::Ident, "in declaration");
+            if (at(Tok::LBracket))
+                err(line, "local arrays are not supported; declare '" +
+                              ident.text + "' as a global");
+            auto s = std::make_unique<Stmt>();
+            s->kind = StmtKind::LocalDecl;
+            s->line = line;
+            s->name = ident.text;
+            if (accept(Tok::Assign))
+                s->value = convert(expression(), type, "in initializer");
+            // Declare after the initializer so `int x = x;` is an error.
+            s->varId = declareLocal(ident.text, type, line);
+            return s;
+        }
+        Token ident = expect(Tok::Ident, "to start statement");
+        if (at(Tok::LParen))
+            return callStatement(ident, line);
+        auto s = std::make_unique<Stmt>();
+        s->kind = StmtKind::Assign;
+        s->line = line;
+        s->name = ident.text;
+        Type target_type;
+        if (accept(Tok::LBracket)) {
+            const GlobalVar *g = module_->findGlobal(ident.text);
+            if (!g || g->arraySize == 0)
+                err(line, "'" + ident.text + "' is not a global array");
+            s->index = convert(expression(), Type::Int, "as array index");
+            expect(Tok::RBracket, "after array index");
+            s->varId = -1;
+            target_type = g->type;
+        } else {
+            int local = lookupLocal(ident.text);
+            if (local >= 0) {
+                s->varId = local;
+                target_type = fn_->localTypes[local];
+            } else {
+                const GlobalVar *g = module_->findGlobal(ident.text);
+                if (!g)
+                    err(line, "assignment to undeclared '" + ident.text +
+                                  "'");
+                if (g->arraySize > 0)
+                    err(line, "cannot assign whole array '" + ident.text +
+                                  "'");
+                s->varId = -1;
+                target_type = g->type;
+            }
+        }
+        expect(Tok::Assign, "in assignment");
+        s->value = convert(expression(), target_type, "in assignment");
+        return s;
+    }
+
+    StmtPtr
+    callStatement(const Token &ident, int line)
+    {
+        auto s = std::make_unique<Stmt>();
+        s->line = line;
+        if (ident.text == "out") {
+            expect(Tok::LParen, "after 'out'");
+            s->kind = StmtKind::Out;
+            s->value = convert(expression(), Type::Int, "in out()");
+            expect(Tok::RParen, "after out argument");
+            return s;
+        }
+        s->kind = StmtKind::ExprStmt;
+        s->value = callExpr(ident, line, /*need_value=*/false);
+        return s;
+    }
+
+    // ------------------------------------------------------ expressions --
+    ExprPtr
+    intCond(ExprPtr e)
+    {
+        if (e->type != Type::Int)
+            err(e->line, "condition must be an int expression "
+                         "(use a comparison for doubles)");
+        return e;
+    }
+
+    ExprPtr expression() { return orExpr(); }
+
+    ExprPtr
+    binary(BinOp op, ExprPtr a, ExprPtr b, int line)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Binary;
+        e->op = op;
+        e->line = line;
+        bool logical = op == BinOp::LAnd || op == BinOp::LOr;
+        bool compare = op == BinOp::Eq || op == BinOp::Ne ||
+                       op == BinOp::Lt || op == BinOp::Le ||
+                       op == BinOp::Gt || op == BinOp::Ge;
+        if (logical) {
+            e->a = intCond(std::move(a));
+            e->b = intCond(std::move(b));
+            e->type = Type::Int;
+        } else if (a->type == Type::Fp || b->type == Type::Fp) {
+            if (op == BinOp::Rem)
+                err(line, "'%' requires int operands");
+            e->a = convert(std::move(a), Type::Fp, "in arithmetic");
+            e->b = convert(std::move(b), Type::Fp, "in arithmetic");
+            e->type = compare ? Type::Int : Type::Fp;
+        } else {
+            e->a = std::move(a);
+            e->b = std::move(b);
+            e->type = Type::Int;
+        }
+        return e;
+    }
+
+    ExprPtr
+    orExpr()
+    {
+        ExprPtr e = andExpr();
+        while (at(Tok::OrOr)) {
+            int line = advance().line;
+            e = binary(BinOp::LOr, std::move(e), andExpr(), line);
+        }
+        return e;
+    }
+
+    ExprPtr
+    andExpr()
+    {
+        ExprPtr e = eqExpr();
+        while (at(Tok::AndAnd)) {
+            int line = advance().line;
+            e = binary(BinOp::LAnd, std::move(e), eqExpr(), line);
+        }
+        return e;
+    }
+
+    ExprPtr
+    eqExpr()
+    {
+        ExprPtr e = relExpr();
+        while (at(Tok::Eq) || at(Tok::Ne)) {
+            BinOp op = at(Tok::Eq) ? BinOp::Eq : BinOp::Ne;
+            int line = advance().line;
+            e = binary(op, std::move(e), relExpr(), line);
+        }
+        return e;
+    }
+
+    ExprPtr
+    relExpr()
+    {
+        ExprPtr e = addExpr();
+        for (;;) {
+            BinOp op;
+            if (at(Tok::Lt))
+                op = BinOp::Lt;
+            else if (at(Tok::Le))
+                op = BinOp::Le;
+            else if (at(Tok::Gt))
+                op = BinOp::Gt;
+            else if (at(Tok::Ge))
+                op = BinOp::Ge;
+            else
+                return e;
+            int line = advance().line;
+            e = binary(op, std::move(e), addExpr(), line);
+        }
+    }
+
+    ExprPtr
+    addExpr()
+    {
+        ExprPtr e = mulExpr();
+        while (at(Tok::Plus) || at(Tok::Minus)) {
+            BinOp op = at(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+            int line = advance().line;
+            e = binary(op, std::move(e), mulExpr(), line);
+        }
+        return e;
+    }
+
+    ExprPtr
+    mulExpr()
+    {
+        ExprPtr e = unary();
+        for (;;) {
+            BinOp op;
+            if (at(Tok::Star))
+                op = BinOp::Mul;
+            else if (at(Tok::Slash))
+                op = BinOp::Div;
+            else if (at(Tok::Percent))
+                op = BinOp::Rem;
+            else
+                return e;
+            int line = advance().line;
+            e = binary(op, std::move(e), unary(), line);
+        }
+    }
+
+    ExprPtr
+    unary()
+    {
+        int line = cur().line;
+        if (accept(Tok::Minus)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Neg;
+            e->line = line;
+            e->a = unary();
+            if (e->a->type == Type::Void)
+                err(line, "void value negated");
+            e->type = e->a->type;
+            return e;
+        }
+        if (accept(Tok::Not)) {
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::Not;
+            e->line = line;
+            e->a = intCond(unary());
+            e->type = Type::Int;
+            return e;
+        }
+        // Function-style casts: int(e), double(e).
+        if (isTypeTok(cur().kind) && toks_[pos_ + 1].kind == Tok::LParen) {
+            Type want = parseType();
+            expect(Tok::LParen, "in cast");
+            ExprPtr inner = expression();
+            expect(Tok::RParen, "in cast");
+            if (inner->type == want)
+                return inner;
+            return convert(std::move(inner), want, "in cast");
+        }
+        return primary();
+    }
+
+    ExprPtr
+    primary()
+    {
+        int line = cur().line;
+        if (at(Tok::IntLit)) {
+            Token t = advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::IntLit;
+            e->type = Type::Int;
+            e->line = line;
+            e->intVal = t.intVal;
+            return e;
+        }
+        if (at(Tok::FpLit)) {
+            Token t = advance();
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::FpLit;
+            e->type = Type::Fp;
+            e->line = line;
+            e->fpVal = t.fpVal;
+            return e;
+        }
+        if (accept(Tok::LParen)) {
+            ExprPtr e = expression();
+            expect(Tok::RParen, "to close parenthesis");
+            return e;
+        }
+        Token ident = expect(Tok::Ident, "in expression");
+        if (at(Tok::LParen))
+            return callExpr(ident, line, /*need_value=*/true);
+        if (accept(Tok::LBracket)) {
+            const GlobalVar *g = module_->findGlobal(ident.text);
+            if (!g || g->arraySize == 0)
+                err(line, "'" + ident.text + "' is not a global array");
+            auto e = std::make_unique<Expr>();
+            e->kind = ExprKind::ArrayRef;
+            e->type = g->type;
+            e->line = line;
+            e->name = ident.text;
+            e->a = convert(expression(), Type::Int, "as array index");
+            expect(Tok::RBracket, "after array index");
+            return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::VarRef;
+        e->line = line;
+        e->name = ident.text;
+        int local = lookupLocal(ident.text);
+        if (local >= 0) {
+            e->varId = local;
+            e->type = fn_->localTypes[local];
+            return e;
+        }
+        const GlobalVar *g = module_->findGlobal(ident.text);
+        if (!g)
+            err(line, "use of undeclared '" + ident.text + "'");
+        if (g->arraySize > 0)
+            err(line, "array '" + ident.text + "' used without an index");
+        e->varId = -1;
+        e->type = g->type;
+        return e;
+    }
+
+    ExprPtr
+    callExpr(const Token &ident, int line, bool need_value)
+    {
+        if (ident.text == "out")
+            err(line, "out() is a statement, not an expression");
+        const Function *callee = module_->findFunction(ident.text);
+        if (!callee)
+            err(line, "call to undeclared function '" + ident.text + "'");
+        if (need_value && callee->retType == Type::Void)
+            err(line, "void function '" + ident.text +
+                          "' used in an expression");
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::Call;
+        e->type = callee->retType;
+        e->line = line;
+        e->name = ident.text;
+        expect(Tok::LParen, "after function name");
+        if (!at(Tok::RParen)) {
+            do {
+                e->args.push_back(expression());
+            } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "after call arguments");
+        if (static_cast<int>(e->args.size()) != callee->numParams) {
+            err(line, "'" + ident.text + "' expects " +
+                          std::to_string(callee->numParams) +
+                          " argument(s), got " +
+                          std::to_string(e->args.size()));
+        }
+        for (int i = 0; i < callee->numParams; ++i) {
+            e->args[static_cast<std::size_t>(i)] =
+                convert(std::move(e->args[static_cast<std::size_t>(i)]),
+                        callee->localTypes[static_cast<std::size_t>(i)],
+                        "in call argument");
+        }
+        return e;
+    }
+
+    std::string name_;
+    std::vector<Token> toks_;
+    std::size_t pos_ = 0;
+    Module *module_ = nullptr;
+    Function *fn_ = nullptr;
+    std::vector<std::map<std::string, int>> scopes_;
+    int loopDepth_ = 0;
+};
+
+} // namespace
+
+Module
+parse(const std::string &source, const std::string &name)
+{
+    return Parser(source, name).run();
+}
+
+} // namespace cc
+} // namespace mmt

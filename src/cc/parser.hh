@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Recursive-descent parser and semantic checker for the mmtc C subset:
+ * tokens -> typed AST (cc/ast.hh). Name resolution, type checking and
+ * implicit Int<->Fp conversions happen here; every error is reported via
+ * fatal() with the program name and source line.
+ */
+
+#ifndef MMT_CC_PARSER_HH
+#define MMT_CC_PARSER_HH
+
+#include <string>
+
+#include "cc/ast.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+/**
+ * Parse @p source into a typed Module.
+ *
+ * @param source the C-subset program text
+ * @param name program name used in diagnostics (file name or workload)
+ */
+Module parse(const std::string &source, const std::string &name);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_PARSER_HH

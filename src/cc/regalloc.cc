@@ -1,0 +1,162 @@
+#include "cc/regalloc.hh"
+
+#include <algorithm>
+
+namespace mmt
+{
+namespace cc
+{
+namespace
+{
+
+struct Interval
+{
+    int vreg = -1;
+    int start = -1;
+    int end = -1;
+    bool crossesCall = false;
+};
+
+} // namespace
+
+Allocation
+allocateRegisters(const IrFunction &f)
+{
+    const std::size_t nv = f.vregTypes.size();
+    Allocation alloc;
+    alloc.loc.assign(nv, Location());
+
+    Liveness lv = computeLiveness(f);
+
+    // Global instruction numbering in block-layout order.
+    std::vector<int> blockStart(f.blocks.size(), 0);
+    int pos = 0;
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+        blockStart[b] = pos;
+        pos += static_cast<int>(f.blocks[b].insts.size());
+    }
+
+    std::vector<Interval> ivs(nv);
+    for (std::size_t v = 0; v < nv; ++v)
+        ivs[v].vreg = static_cast<int>(v);
+    auto extend = [&](int v, int p) {
+        Interval &iv = ivs[static_cast<std::size_t>(v)];
+        if (iv.start < 0 || p < iv.start)
+            iv.start = p;
+        if (p > iv.end)
+            iv.end = p;
+    };
+
+    // Parameters are live from function entry (the prologue moves the
+    // incoming argument registers into their homes).
+    for (int p = 0; p < f.numParams; ++p)
+        extend(p, 0);
+
+    std::vector<int> callPositions;
+    for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+        int bs = blockStart[b];
+        int be = bs + static_cast<int>(f.blocks[b].insts.size()) - 1;
+        for (std::size_t v = 0; v < nv; ++v) {
+            if (lv.liveIn[b][v])
+                extend(static_cast<int>(v), bs);
+            if (lv.liveOut[b][v])
+                extend(static_cast<int>(v), be);
+        }
+        for (std::size_t i = 0; i < f.blocks[b].insts.size(); ++i) {
+            const IrInst &inst = f.blocks[b].insts[i];
+            int p = bs + static_cast<int>(i);
+            for (int u : instUses(inst))
+                extend(u, p);
+            if (instDef(inst) >= 0)
+                extend(instDef(inst), p);
+            if (inst.op == IrOp::Call) {
+                callPositions.push_back(p);
+                alloc.hasCalls = true;
+            }
+        }
+    }
+
+    // Anything live across a call goes to the stack: the allocatable
+    // registers are all caller-saved.
+    for (Interval &iv : ivs) {
+        if (iv.start < 0)
+            continue;
+        for (int cp : callPositions)
+            if (iv.start < cp && iv.end > cp)
+                iv.crossesCall = true;
+    }
+
+    std::vector<const Interval *> order;
+    for (const Interval &iv : ivs)
+        if (iv.start >= 0)
+            order.push_back(&iv);
+    std::sort(order.begin(), order.end(),
+              [](const Interval *a, const Interval *b) {
+                  if (a->start != b->start)
+                      return a->start < b->start;
+                  return a->vreg < b->vreg;
+              });
+
+    // One scan per register class.
+    for (int cls = 0; cls < 2; ++cls) {
+        Type want = cls == 0 ? Type::Int : Type::Fp;
+        std::vector<const Interval *> active; // sorted by end asc
+        std::vector<int> freeRegs;
+        for (int r = kLastAllocReg; r >= kFirstAllocReg; --r)
+            freeRegs.push_back(r);
+
+        for (const Interval *iv : order) {
+            if (f.vregTypes[static_cast<std::size_t>(iv->vreg)] != want)
+                continue;
+            if (iv->crossesCall) {
+                alloc.loc[static_cast<std::size_t>(iv->vreg)].slot =
+                    alloc.numSlots++;
+                continue;
+            }
+            // Expire intervals that ended before this one starts.
+            std::size_t keep = 0;
+            for (const Interval *a : active) {
+                if (a->end < iv->start)
+                    freeRegs.push_back(
+                        alloc.loc[static_cast<std::size_t>(a->vreg)].reg);
+                else
+                    active[keep++] = a;
+            }
+            active.resize(keep);
+
+            if (!freeRegs.empty()) {
+                int r = freeRegs.back();
+                freeRegs.pop_back();
+                alloc.loc[static_cast<std::size_t>(iv->vreg)].reg = r;
+                active.push_back(iv);
+                std::sort(active.begin(), active.end(),
+                          [](const Interval *a, const Interval *b) {
+                              return a->end < b->end;
+                          });
+                continue;
+            }
+            // Spill whichever of {this, furthest-ending active} ends
+            // last.
+            const Interval *victim = active.back();
+            if (victim->end > iv->end) {
+                int r = alloc.loc[static_cast<std::size_t>(victim->vreg)].reg;
+                alloc.loc[static_cast<std::size_t>(victim->vreg)].reg = -1;
+                alloc.loc[static_cast<std::size_t>(victim->vreg)].slot =
+                    alloc.numSlots++;
+                alloc.loc[static_cast<std::size_t>(iv->vreg)].reg = r;
+                active.back() = iv;
+                std::sort(active.begin(), active.end(),
+                          [](const Interval *a, const Interval *b) {
+                              return a->end < b->end;
+                          });
+            } else {
+                alloc.loc[static_cast<std::size_t>(iv->vreg)].slot =
+                    alloc.numSlots++;
+            }
+        }
+    }
+    return alloc;
+}
+
+} // namespace cc
+} // namespace mmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Linear-scan register allocation over the mmtc IR.
+ *
+ * Register conventions (unified MMT-RISC indices, see isa/isa.hh):
+ *  - r0 zero, r1 int return, r2-r7 int args, r8-r24 allocatable,
+ *    r25-r27 emitter scratch, r28 tid, r29 sp, r30 address scratch,
+ *    r31 ra;
+ *  - f1 fp return, f2-f7 fp args, f8-f24 allocatable, f25-f27 scratch.
+ *
+ * Every allocatable register is caller-saved: live intervals that cross
+ * a Call are simply assigned stack slots instead (spill-everywhere via
+ * the emitter's scratch registers), which keeps calls cheap to emit and
+ * is plenty for the kernel-sized programs mmtc targets.
+ */
+
+#ifndef MMT_CC_REGALLOC_HH
+#define MMT_CC_REGALLOC_HH
+
+#include <vector>
+
+#include "cc/ir.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+constexpr int kFirstAllocReg = 8;
+constexpr int kLastAllocReg = 24;
+constexpr int kMaxArgsPerClass = 6; // r2-r7 / f2-f7
+
+/** Where a vreg lives for its whole lifetime. */
+struct Location
+{
+    /** Class-local register number (r<reg> or f<reg>), or -1. */
+    int reg = -1;
+    /** Stack slot index when reg < 0; slot i sits at 8*(i+1)(sp). */
+    int slot = -1;
+};
+
+struct Allocation
+{
+    std::vector<Location> loc; // indexed by vreg
+    int numSlots = 0;
+    bool hasCalls = false;
+
+    /** Frame bytes: ra home plus the spill slots, or 0 for leaf
+     *  functions that spill nothing. */
+    int
+    frameBytes() const
+    {
+        if (!hasCalls && numSlots == 0)
+            return 0;
+        return 8 * (1 + numSlots);
+    }
+};
+
+/** Allocate registers/slots for every vreg of @p f. */
+Allocation allocateRegisters(const IrFunction &f);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_REGALLOC_HH

@@ -1,0 +1,887 @@
+#include "cc/spmd.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "cc/loop.hh"
+#include "common/types.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+const char *const kNumThreadsSym = "nthreads";
+
+namespace
+{
+
+const char *const kScratchPrefix = "__mmtc_red";
+
+bool
+isScratchSym(const std::string &sym)
+{
+    return sym.rfind(kScratchPrefix, 0) == 0;
+}
+
+/**
+ * Affine form of an index value inside one loop:
+ * indvarCoeff * iv + sum(terms[v] * v) + constant, with every term vreg
+ * loop-invariant. `ok == false` means "could not prove affine".
+ */
+struct Affine
+{
+    bool ok = false;
+    std::int64_t indvarCoeff = 0;
+    std::int64_t constant = 0;
+    std::map<int, std::int64_t> terms;
+    /**
+     * Loads of scalar globals, keyed by symbol so two loads of the same
+     * global unify. Sound because a scalar global stored anywhere inside
+     * the loop disqualifies the candidate before these forms are
+     * compared.
+     */
+    std::map<std::string, std::int64_t> symTerms;
+
+    bool
+    operator==(const Affine &o) const
+    {
+        return ok && o.ok && indvarCoeff == o.indvarCoeff &&
+               constant == o.constant && terms == o.terms &&
+               symTerms == o.symTerms;
+    }
+};
+
+/** A recognized `+`-reduction variable of one candidate loop. */
+struct Reduction
+{
+    int vreg = -1;
+    Type type = Type::Int;
+};
+
+struct Candidate
+{
+    LoopInfo loop;
+    std::vector<Reduction> reductions;
+    /** Arrays stored inside the loop (hazard analysis input). */
+    std::set<std::string> storedSyms;
+};
+
+/** Location of one global access for the hazard scan. */
+struct Access
+{
+    std::size_t func = 0;
+    int block = 0;
+    int idx = 0;
+    bool store = false;
+    bool sliced = false; // inside a sliced loop of main
+    int loopIdx = -1;    // candidate index when sliced
+    int line = 0;
+};
+
+class SpmdPass
+{
+  public:
+    explicit SpmdPass(IrModule &m) : m_(m) {}
+
+    SpmdResult
+    run()
+    {
+        IrFunction *main = m_.findFunction("main");
+        if (main && checkNthreadsUsable())
+            sliceFunction(*main);
+        scanHazards();
+        return std::move(result_);
+    }
+
+  private:
+    IrModule &m_;
+    SpmdResult result_;
+    std::vector<Candidate> accepted_;
+    int scratchCounter_ = 0;
+
+    void
+    warn(const std::string &msg)
+    {
+        if (std::find(result_.warnings.begin(), result_.warnings.end(),
+                      msg) == result_.warnings.end())
+            result_.warnings.push_back(msg);
+    }
+
+    GlobalVar *
+    findGlobal(const std::string &sym)
+    {
+        for (GlobalVar &g : m_.globals)
+            if (g.name == sym)
+                return &g;
+        return nullptr;
+    }
+
+    /**
+     * The `nthreads` word must be usable as the live thread count: an
+     * int scalar (declared by the program or synthesized here) that the
+     * program never writes.
+     */
+    bool
+    checkNthreadsUsable()
+    {
+        for (const IrFunction &f : m_.functions)
+            for (const IrBlock &b : f.blocks)
+                for (const IrInst &inst : b.insts)
+                    if (inst.op == IrOp::StoreG && inst.sym == kNumThreadsSym) {
+                        warn("program writes 'nthreads'; SPMD slicing "
+                             "disabled");
+                        return false;
+                    }
+        const GlobalVar *g = findGlobal(kNumThreadsSym);
+        if (g && (g->type != Type::Int || g->arraySize != 0)) {
+            warn("'nthreads' must be an int scalar to enable SPMD slicing");
+            return false;
+        }
+        return true;
+    }
+
+    // ----- candidate selection ---------------------------------------
+
+    void
+    sliceFunction(IrFunction &f)
+    {
+        std::vector<LoopInfo> loops = findLoops(f);
+        Liveness lv = computeLiveness(f);
+        auto dom = computeDominators(f);
+
+        // Outermost-first (findLoops order); loops nested inside an
+        // accepted candidate stay untouched.
+        for (LoopInfo &loop : loops) {
+            bool insideAccepted = false;
+            for (const Candidate &c : accepted_)
+                if (c.loop.contains(loop.header))
+                    insideAccepted = true;
+            if (insideAccepted)
+                continue;
+            Candidate cand;
+            cand.loop = loop;
+            std::string reason;
+            if (checkCandidate(f, lv, dom, cand, reason)) {
+                accepted_.push_back(std::move(cand));
+            } else {
+                std::ostringstream os;
+                os << "loop at line " << loopLine(f, loop)
+                   << " not sliced: " << reason;
+                result_.rejected.push_back(os.str());
+            }
+        }
+
+        for (Candidate &c : accepted_)
+            transform(f, c);
+    }
+
+    static int
+    loopLine(const IrFunction &f, const LoopInfo &loop)
+    {
+        const IrBlock &hdr = f.blocks[static_cast<std::size_t>(loop.header)];
+        return hdr.insts.empty() ? 0 : hdr.insts.back().line;
+    }
+
+    bool
+    checkCandidate(const IrFunction &f, const Liveness &lv,
+                   const std::vector<std::vector<bool>> &dom, Candidate &cand,
+                   std::string &reason)
+    {
+        const LoopInfo &loop = cand.loop;
+        if (loop.indvar < 0) {
+            reason = "no canonical induction variable "
+                     "(iv = init; iv < bound; iv += C)";
+            return false;
+        }
+
+        // The bound must be loop-invariant.
+        Affine bound = affineOf(f, loop, dom, loop.boundVreg, loop.header,
+                                blockLen(f, loop.header) - 1);
+        if (!bound.ok || bound.indvarCoeff != 0) {
+            reason = "loop bound is not loop-invariant";
+            return false;
+        }
+
+        // No side-effecting or thread-dependent instructions inside.
+        for (int b : loop.blocks) {
+            const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+            for (const IrInst &inst : blk.insts) {
+                switch (inst.op) {
+                  case IrOp::Call:
+                    reason = "calls a function inside the loop";
+                    return false;
+                  case IrOp::Out:
+                    reason = "out() inside the loop";
+                    return false;
+                  case IrOp::Barrier:
+                  case IrOp::ReadTid:
+                    reason = "already thread-dependent";
+                    return false;
+                  default:
+                    break;
+                }
+            }
+        }
+
+        // Stores: global arrays only, one affine-in-iv index form per
+        // array so the slices write disjoint elements.
+        std::map<std::string, Affine> storeForm;
+        for (int b : loop.blocks) {
+            const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+                const IrInst &inst = blk.insts[i];
+                if (inst.op != IrOp::StoreG)
+                    continue;
+                const GlobalVar *g = nullptr;
+                for (const GlobalVar &gv : m_.globals)
+                    if (gv.name == inst.sym)
+                        g = &gv;
+                if (!g || g->arraySize == 0 || inst.a < 0) {
+                    reason = "stores a scalar global ('" + inst.sym + "')";
+                    return false;
+                }
+                Affine form = affineOf(f, loop, dom, inst.a, b,
+                                       static_cast<int>(i));
+                if (!form.ok || form.indvarCoeff == 0) {
+                    reason = "store index into '" + inst.sym +
+                             "' is not affine in the induction variable";
+                    return false;
+                }
+                auto it = storeForm.find(inst.sym);
+                if (it == storeForm.end()) {
+                    storeForm.emplace(inst.sym, form);
+                } else if (!(it->second == form)) {
+                    reason = "stores '" + inst.sym +
+                             "' with two different index forms";
+                    return false;
+                }
+                cand.storedSyms.insert(inst.sym);
+            }
+        }
+
+        // Loads from arrays the loop also stores must use the exact
+        // store index (read-your-own-slice); other arrays are free.
+        for (int b : loop.blocks) {
+            const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+                const IrInst &inst = blk.insts[i];
+                if (inst.op != IrOp::LoadG)
+                    continue;
+                auto it = storeForm.find(inst.sym);
+                if (it == storeForm.end())
+                    continue;
+                Affine form = affineOf(f, loop, dom, inst.a, b,
+                                       static_cast<int>(i));
+                if (!(form == it->second)) {
+                    reason = "loads '" + inst.sym +
+                             "' which the loop stores elsewhere";
+                    return false;
+                }
+            }
+        }
+
+        // Scalars written in the loop must be iteration-private unless
+        // they form a `+`-reduction; the induction variable must die at
+        // the exit.
+        std::set<int> defined;
+        for (int b : loop.blocks)
+            for (const IrInst &inst : f.blocks[static_cast<std::size_t>(b)].insts)
+                if (instDef(inst) >= 0)
+                    defined.insert(instDef(inst));
+
+        auto hdr = static_cast<std::size_t>(loop.header);
+        auto exitBlk = static_cast<std::size_t>(loop.exitTarget);
+        for (int v : defined) {
+            auto vi = static_cast<std::size_t>(v);
+            if (v == loop.indvar) {
+                if (lv.liveIn[exitBlk][vi]) {
+                    reason = "induction variable is used after the loop";
+                    return false;
+                }
+                continue;
+            }
+            if (!lv.liveIn[hdr][vi] && !lv.liveIn[exitBlk][vi])
+                continue; // iteration-private temp or local
+            Reduction red;
+            if (!matchReduction(f, loop, v, red)) {
+                std::ostringstream os;
+                os << "scalar v" << v
+                   << " is loop-carried and not a +-reduction";
+                reason = os.str();
+                return false;
+            }
+            cand.reductions.push_back(red);
+        }
+        return true;
+    }
+
+    static int
+    blockLen(const IrFunction &f, int b)
+    {
+        return static_cast<int>(f.blocks[static_cast<std::size_t>(b)].insts.size());
+    }
+
+    /**
+     * Affine form of vreg @p v as observed at use site (@p useBlock,
+     * @p useIdx). Values defined inside the loop are followed only when
+     * their single in-loop definition dominates the use site, so the
+     * form is valid on every iteration.
+     */
+    Affine
+    affineOf(const IrFunction &f, const LoopInfo &loop,
+             const std::vector<std::vector<bool>> &dom, int v, int useBlock,
+             int useIdx, int fuel = 32) const
+    {
+        Affine a;
+        if (v < 0 || fuel <= 0)
+            return a;
+        if (v == loop.indvar) {
+            a.ok = true;
+            a.indvarCoeff = 1;
+            return a;
+        }
+
+        const IrInst *def = nullptr;
+        int defBlock = -1;
+        int defIdx = -1;
+        for (int b : loop.blocks) {
+            const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+                if (instDef(blk.insts[i]) != v)
+                    continue;
+                if (def)
+                    return a; // several in-loop defs: not analyzable
+                def = &blk.insts[i];
+                defBlock = b;
+                defIdx = static_cast<int>(i);
+            }
+        }
+        if (!def) {
+            // No definition inside the loop: loop-invariant symbol.
+            a.ok = true;
+            a.terms[v] = 1;
+            return a;
+        }
+
+        bool dominates =
+            defBlock == useBlock
+                ? defIdx < useIdx
+                : dom[static_cast<std::size_t>(useBlock)]
+                     [static_cast<std::size_t>(defBlock)];
+        if (!dominates)
+            return a;
+
+        auto sub = [&](int opnd) {
+            return affineOf(f, loop, dom, opnd, defBlock, defIdx, fuel - 1);
+        };
+        switch (def->op) {
+          case IrOp::ConstI:
+            a.ok = true;
+            a.constant = def->imm;
+            return a;
+          case IrOp::Mov:
+            return sub(def->a);
+          case IrOp::Add:
+          case IrOp::Sub: {
+            Affine lhs = sub(def->a);
+            Affine rhs = sub(def->b);
+            if (!lhs.ok || !rhs.ok)
+                return a;
+            std::int64_t sign = def->op == IrOp::Add ? 1 : -1;
+            a = lhs;
+            a.indvarCoeff += sign * rhs.indvarCoeff;
+            a.constant += sign * rhs.constant;
+            for (const auto &t : rhs.terms) {
+                a.terms[t.first] += sign * t.second;
+                if (a.terms[t.first] == 0)
+                    a.terms.erase(t.first);
+            }
+            for (const auto &t : rhs.symTerms) {
+                a.symTerms[t.first] += sign * t.second;
+                if (a.symTerms[t.first] == 0)
+                    a.symTerms.erase(t.first);
+            }
+            return a;
+          }
+          case IrOp::Mul: {
+            Affine lhs = sub(def->a);
+            Affine rhs = sub(def->b);
+            if (!lhs.ok || !rhs.ok)
+                return a;
+            // One side must be a plain constant.
+            const Affine *cst = nullptr;
+            const Affine *var = nullptr;
+            if (lhs.indvarCoeff == 0 && lhs.terms.empty() &&
+                lhs.symTerms.empty()) {
+                cst = &lhs;
+                var = &rhs;
+            } else if (rhs.indvarCoeff == 0 && rhs.terms.empty() &&
+                       rhs.symTerms.empty()) {
+                cst = &rhs;
+                var = &lhs;
+            } else {
+                return a;
+            }
+            a = *var;
+            a.indvarCoeff *= cst->constant;
+            a.constant *= cst->constant;
+            for (auto &t : a.terms)
+                t.second *= cst->constant;
+            for (auto &t : a.symTerms)
+                t.second *= cst->constant;
+            return a;
+          }
+          case IrOp::LoadG:
+            // A load of a scalar global is invariant for any candidate
+            // we accept: in-loop scalar stores reject the loop outright.
+            if (def->a < 0) {
+                a.ok = true;
+                a.symTerms[def->sym] = 1;
+            }
+            return a;
+          default:
+            return a;
+        }
+    }
+
+    /**
+     * `v` qualifies as a reduction when its only in-loop write is
+     * `v = v + e` (Add or FAdd), `v` is not read anywhere else in the
+     * loop, and `v` is zero-initialized in the preheader (the partials
+     * are combined by plain summation).
+     */
+    bool
+    matchReduction(const IrFunction &f, const LoopInfo &loop, int v,
+                   Reduction &red) const
+    {
+        const IrInst *mov = nullptr;
+        int movBlock = -1;
+        int movIdx = -1;
+        for (int b : loop.blocks) {
+            const IrBlock &blk = f.blocks[static_cast<std::size_t>(b)];
+            for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+                if (instDef(blk.insts[i]) != v)
+                    continue;
+                if (mov)
+                    return false;
+                mov = &blk.insts[i];
+                movBlock = b;
+                movIdx = static_cast<int>(i);
+            }
+        }
+        if (!mov || mov->op != IrOp::Mov)
+            return false;
+
+        // The moved value: Add/FAdd with v as one operand, defined in
+        // the same block right before the Mov.
+        const IrBlock &blk = f.blocks[static_cast<std::size_t>(movBlock)];
+        const IrInst *add = nullptr;
+        for (int i = 0; i < movIdx; ++i)
+            if (instDef(blk.insts[static_cast<std::size_t>(i)]) == mov->a)
+                add = &blk.insts[static_cast<std::size_t>(i)];
+        if (!add || (add->op != IrOp::Add && add->op != IrOp::FAdd))
+            return false;
+        if (add->a != v && add->b != v)
+            return false;
+
+        // Every in-loop read of v must be that one Add.
+        for (int b : loop.blocks) {
+            for (const IrInst &inst :
+                 f.blocks[static_cast<std::size_t>(b)].insts) {
+                if (&inst == add)
+                    continue;
+                for (int u : instUses(inst))
+                    if (u == v)
+                        return false;
+            }
+        }
+
+        // Zero-initialized in the preheader (last def wins).
+        const IrBlock &pre =
+            f.blocks[static_cast<std::size_t>(loop.preheader)];
+        const IrInst *init = nullptr;
+        for (const IrInst &inst : pre.insts)
+            if (instDef(inst) == v)
+                init = &inst;
+        if (!init || init->op != IrOp::Mov)
+            return false;
+        const IrInst *cst = nullptr;
+        for (const IrInst &inst : pre.insts) {
+            if (&inst == init)
+                break;
+            if (instDef(inst) == init->a)
+                cst = &inst;
+        }
+        bool zero = cst && ((cst->op == IrOp::ConstI && cst->imm == 0) ||
+                            (cst->op == IrOp::ConstF && cst->fimm == 0.0));
+        if (!zero)
+            return false;
+
+        red.vreg = v;
+        red.type = f.vregTypes[static_cast<std::size_t>(v)];
+        return true;
+    }
+
+    // ----- transformation --------------------------------------------
+
+    void
+    transform(IrFunction &f, Candidate &cand)
+    {
+        const LoopInfo &loop = cand.loop;
+        if (!findGlobal(kNumThreadsSym)) {
+            GlobalVar g;
+            g.name = kNumThreadsSym;
+            g.type = Type::Int;
+            g.intInit.push_back(1);
+            m_.globals.push_back(g);
+        }
+
+        int line = loopLine(f, loop);
+        auto mk = [line](IrOp op) {
+            IrInst inst;
+            inst.op = op;
+            inst.line = line;
+            return inst;
+        };
+
+        // Preheader: iv += tid * C, and the per-iteration stride C * T.
+        int tid = f.newTemp(Type::Int);
+        int nthr = f.newTemp(Type::Int);
+        int stepc = f.newTemp(Type::Int);
+        int off = f.newTemp(Type::Int);
+        int shifted = f.newTemp(Type::Int);
+        int stride = f.newTemp(Type::Int);
+        std::vector<IrInst> ins;
+        {
+            IrInst i1 = mk(IrOp::ReadTid);
+            i1.dst = tid;
+            ins.push_back(i1);
+            IrInst i2 = mk(IrOp::LoadG);
+            i2.dst = nthr;
+            i2.sym = kNumThreadsSym;
+            ins.push_back(i2);
+            IrInst i3 = mk(IrOp::ConstI);
+            i3.dst = stepc;
+            i3.imm = loop.step;
+            ins.push_back(i3);
+            IrInst i4 = mk(IrOp::Mul);
+            i4.dst = off;
+            i4.a = tid;
+            i4.b = stepc;
+            ins.push_back(i4);
+            IrInst i5 = mk(IrOp::Add);
+            i5.dst = shifted;
+            i5.a = loop.indvar;
+            i5.b = off;
+            ins.push_back(i5);
+            IrInst i6 = mk(IrOp::Mov);
+            i6.dst = loop.indvar;
+            i6.a = shifted;
+            ins.push_back(i6);
+            IrInst i7 = mk(IrOp::Mul);
+            i7.dst = stride;
+            i7.a = nthr;
+            i7.b = stepc;
+            ins.push_back(i7);
+        }
+        IrBlock &pre = f.blocks[static_cast<std::size_t>(loop.preheader)];
+        pre.insts.insert(pre.insts.end() - 1, ins.begin(), ins.end());
+
+        // Latch: iv += C becomes iv += C * T.
+        IrBlock &latch = f.blocks[static_cast<std::size_t>(loop.latch)];
+        IrInst &add = latch.insts[static_cast<std::size_t>(loop.stepAddIdx)];
+        if (add.a == loop.indvar)
+            add.b = stride;
+        else
+            add.a = stride;
+
+        // Join block on the exit edge: reduction spill, BARRIER, then a
+        // redundant combine loop leaving identical totals everywhere.
+        int jb = static_cast<int>(f.blocks.size());
+        f.blocks.emplace_back();
+        IrBlock &hdrBlk = f.blocks[static_cast<std::size_t>(loop.header)];
+        hdrBlk.insts.back().targetF = jb;
+
+        std::vector<std::string> scratch;
+        for (const Reduction &red : cand.reductions) {
+            GlobalVar g;
+            g.name = kScratchPrefix + std::to_string(scratchCounter_++);
+            g.type = red.type;
+            g.arraySize = maxThreads;
+            m_.globals.push_back(g);
+            scratch.push_back(g.name);
+
+            IrInst st = mk(IrOp::StoreG);
+            st.sym = g.name;
+            st.a = tid;
+            st.b = red.vreg;
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(st);
+        }
+        f.blocks[static_cast<std::size_t>(jb)].insts.push_back(
+            mk(IrOp::Barrier));
+
+        if (cand.reductions.empty()) {
+            IrInst br = mk(IrOp::Br);
+            br.target = loop.exitTarget;
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(br);
+        } else {
+            emitCombine(f, cand, scratch, jb, nthr, mk);
+        }
+
+        SlicedLoop info;
+        info.line = line;
+        info.reductions = static_cast<int>(cand.reductions.size());
+        result_.sliced.push_back(info);
+    }
+
+    /** Reset each reduction to zero and re-sum all per-thread partials
+     *  (every thread redundantly, ending with identical totals). */
+    template <typename Mk>
+    void
+    emitCombine(IrFunction &f, const Candidate &cand,
+                const std::vector<std::string> &scratch, int jb, int nthr,
+                Mk mk)
+    {
+        for (const Reduction &red : cand.reductions) {
+            IrInst z = red.type == Type::Fp ? mk(IrOp::ConstF)
+                                            : mk(IrOp::ConstI);
+            z.dst = f.newTemp(red.type);
+            IrInst mv = mk(IrOp::Mov);
+            mv.dst = red.vreg;
+            mv.a = z.dst;
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(z);
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(mv);
+        }
+        int cnt = f.newTemp(Type::Int);
+        {
+            IrInst z = mk(IrOp::ConstI);
+            z.dst = f.newTemp(Type::Int);
+            IrInst mv = mk(IrOp::Mov);
+            mv.dst = cnt;
+            mv.a = z.dst;
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(z);
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(mv);
+        }
+
+        int ch = static_cast<int>(f.blocks.size());
+        f.blocks.emplace_back();
+        int cb = static_cast<int>(f.blocks.size());
+        f.blocks.emplace_back();
+        int ex = static_cast<int>(f.blocks.size());
+        f.blocks.emplace_back();
+
+        {
+            IrInst br = mk(IrOp::Br);
+            br.target = ch;
+            f.blocks[static_cast<std::size_t>(jb)].insts.push_back(br);
+        }
+        {
+            IrInst cmp = mk(IrOp::CmpLT);
+            cmp.dst = f.newTemp(Type::Int);
+            cmp.a = cnt;
+            cmp.b = nthr;
+            IrInst br = mk(IrOp::CondBr);
+            br.a = cmp.dst;
+            br.target = cb;
+            br.targetF = ex;
+            f.blocks[static_cast<std::size_t>(ch)].insts.push_back(cmp);
+            f.blocks[static_cast<std::size_t>(ch)].insts.push_back(br);
+        }
+        {
+            IrBlock &body = f.blocks[static_cast<std::size_t>(cb)];
+            for (std::size_t k = 0; k < cand.reductions.size(); ++k) {
+                const Reduction &red = cand.reductions[k];
+                IrInst ld = mk(IrOp::LoadG);
+                ld.dst = f.newTemp(red.type);
+                ld.sym = scratch[k];
+                ld.a = cnt;
+                IrInst sum =
+                    red.type == Type::Fp ? mk(IrOp::FAdd) : mk(IrOp::Add);
+                sum.dst = f.newTemp(red.type);
+                sum.a = red.vreg;
+                sum.b = ld.dst;
+                IrInst mv = mk(IrOp::Mov);
+                mv.dst = red.vreg;
+                mv.a = sum.dst;
+                body.insts.push_back(ld);
+                body.insts.push_back(sum);
+                body.insts.push_back(mv);
+            }
+            IrInst one = mk(IrOp::ConstI);
+            one.dst = f.newTemp(Type::Int);
+            one.imm = 1;
+            IrInst next = mk(IrOp::Add);
+            next.dst = f.newTemp(Type::Int);
+            next.a = cnt;
+            next.b = one.dst;
+            IrInst mv = mk(IrOp::Mov);
+            mv.dst = cnt;
+            mv.a = next.dst;
+            IrInst br = mk(IrOp::Br);
+            br.target = ch;
+            body.insts.push_back(one);
+            body.insts.push_back(next);
+            body.insts.push_back(mv);
+            body.insts.push_back(br);
+        }
+        {
+            IrInst br = mk(IrOp::Br);
+            br.target = cand.loop.exitTarget;
+            f.blocks[static_cast<std::size_t>(ex)].insts.push_back(br);
+        }
+    }
+
+    // ----- hazard analysis -------------------------------------------
+
+    /**
+     * Redundant code runs on every thread with (ideally) identical
+     * values. Flag the patterns where values can diverge across threads
+     * or race with sliced-loop stores:
+     *  - a redundant read of g that can later be followed by a redundant
+     *    write of g (classic read-modify-write: g = g + 1);
+     *  - a redundant write of g that can reach a sliced loop storing g;
+     *  - a redundant read of g that can reach a sliced loop storing g
+     *    (a fast thread's sliced stores race a slow thread's read).
+     */
+    void
+    scanHazards()
+    {
+        // Accesses per global.
+        std::map<std::string, std::vector<Access>> accesses;
+        for (std::size_t fi = 0; fi < m_.functions.size(); ++fi) {
+            const IrFunction &f = m_.functions[fi];
+            bool isMain = f.name == "main";
+            for (std::size_t b = 0; b < f.blocks.size(); ++b) {
+                bool sliced = false;
+                int loopIdx = -1;
+                if (isMain) {
+                    for (std::size_t c = 0; c < accepted_.size(); ++c)
+                        if (accepted_[c].loop.contains(static_cast<int>(b))) {
+                            sliced = true;
+                            loopIdx = static_cast<int>(c);
+                        }
+                }
+                const IrBlock &blk = f.blocks[b];
+                for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+                    const IrInst &inst = blk.insts[i];
+                    if (inst.op != IrOp::LoadG && inst.op != IrOp::StoreG)
+                        continue;
+                    if (isScratchSym(inst.sym) ||
+                        inst.sym == kNumThreadsSym)
+                        continue;
+                    Access acc;
+                    acc.func = fi;
+                    acc.block = static_cast<int>(b);
+                    acc.idx = static_cast<int>(i);
+                    acc.store = inst.op == IrOp::StoreG;
+                    acc.sliced = sliced;
+                    acc.loopIdx = loopIdx;
+                    acc.line = inst.line;
+                    accesses[inst.sym].push_back(acc);
+                }
+            }
+        }
+
+        // Per-function block reachability (transitive, >= 1 edge).
+        std::vector<std::vector<std::vector<bool>>> reach;
+        for (const IrFunction &f : m_.functions) {
+            std::size_t nb = f.blocks.size();
+            std::vector<std::vector<bool>> r(nb,
+                                             std::vector<bool>(nb, false));
+            for (std::size_t b = 0; b < nb; ++b) {
+                std::vector<int> work = f.successors(static_cast<int>(b));
+                while (!work.empty()) {
+                    int s = work.back();
+                    work.pop_back();
+                    if (r[b][static_cast<std::size_t>(s)])
+                        continue;
+                    r[b][static_cast<std::size_t>(s)] = true;
+                    for (int t : f.successors(s))
+                        work.push_back(t);
+                }
+            }
+            reach.push_back(std::move(r));
+        }
+        auto canReach = [&](const Access &from, int toBlock) {
+            return from.block == toBlock ||
+                   reach[from.func][static_cast<std::size_t>(from.block)]
+                        [static_cast<std::size_t>(toBlock)];
+        };
+
+        IrFunction *main = m_.findFunction("main");
+        std::size_t mainIdx = 0;
+        for (std::size_t fi = 0; fi < m_.functions.size(); ++fi)
+            if (&m_.functions[fi] == main)
+                mainIdx = fi;
+
+        for (const auto &entry : accesses) {
+            const std::string &sym = entry.first;
+            const std::vector<Access> &accs = entry.second;
+            // Redundant read-modify-write.
+            for (const Access &l : accs) {
+                if (l.store || l.sliced)
+                    continue;
+                for (const Access &s : accs) {
+                    if (!s.store || s.sliced)
+                        continue;
+                    bool ordered =
+                        l.func == s.func
+                            ? (l.block == s.block
+                                   ? l.idx < s.idx ||
+                                         reach[l.func]
+                                              [static_cast<std::size_t>(
+                                                  l.block)]
+                                              [static_cast<std::size_t>(
+                                                  s.block)]
+                                   : canReach(l, s.block))
+                            : true; // cross-function: stay conservative
+                    if (ordered) {
+                        std::ostringstream os;
+                        os << "global '" << sym
+                           << "' is read-modify-written by redundant code "
+                              "(line "
+                           << s.line
+                           << "); its value can diverge across threads";
+                        warn(os.str());
+                    }
+                }
+            }
+            // Redundant access racing a sliced loop's stores.
+            for (const Candidate &c : accepted_) {
+                if (!c.storedSyms.count(sym))
+                    continue;
+                for (const Access &a : accs) {
+                    if (a.sliced)
+                        continue;
+                    bool races =
+                        a.func == mainIdx
+                            ? canReach(a, c.loop.header)
+                            : true; // helper code: conservative
+                    if (!races)
+                        continue;
+                    std::ostringstream os;
+                    os << "redundant " << (a.store ? "write" : "read")
+                       << " of '" << sym << "' (line " << a.line
+                       << ") can race the sliced loop at line "
+                       << loopLine(*main, c.loop) << " storing it";
+                    warn(os.str());
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+SpmdResult
+spmdize(IrModule &m)
+{
+    return SpmdPass(m).run();
+}
+
+} // namespace cc
+} // namespace mmt

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Auto-SPMDization: rewrite provably-parallel counted loops in `main` so
+ * the iteration space is sliced across hardware thread ids, leaving the
+ * rest of the program to execute redundantly on every thread (which is
+ * exactly the redundancy MMT's fetch/execution merging exploits).
+ *
+ * A sliced loop `for (iv = init; iv < bound; iv += C)` becomes
+ *
+ *     iv   = init + tid * C          (preheader)
+ *     ...  loop body unchanged ...
+ *     iv  += C * nthreads            (latch)
+ *     BARRIER                        (re-convergence join on exit)
+ *
+ * `nthreads` is a data word the workload initializer overwrites with the
+ * live thread count, so one binary serves every thread configuration.
+ * `+`-reductions are supported through per-thread scratch slots combined
+ * redundantly after the join barrier. Loops that cannot be proven safe
+ * are left untouched; the pass reports what it sliced and warns about
+ * redundant-code read/write patterns on shared globals whose values
+ * could diverge across threads.
+ */
+
+#ifndef MMT_CC_SPMD_HH
+#define MMT_CC_SPMD_HH
+
+#include <string>
+#include <vector>
+
+#include "cc/ir.hh"
+
+namespace mmt
+{
+namespace cc
+{
+
+/** Symbol holding the live thread count (set by workload init). */
+extern const char *const kNumThreadsSym;
+
+/** One loop the pass rewrote. */
+struct SlicedLoop
+{
+    int line = 0;       // source line of the loop header compare
+    int reductions = 0; // number of `+`-reduction variables handled
+};
+
+struct SpmdResult
+{
+    std::vector<SlicedLoop> sliced;
+    /** Human-readable notes about loops that were *not* sliced. */
+    std::vector<std::string> rejected;
+    /** Possible cross-thread hazards in redundant code. */
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Run the pass over @p m (only `main` is considered for slicing).
+ * Adds the `nthreads` global (and reduction scratch arrays) on demand.
+ */
+SpmdResult spmdize(IrModule &m);
+
+} // namespace cc
+} // namespace mmt
+
+#endif // MMT_CC_SPMD_HH

@@ -172,8 +172,9 @@ parseAllowRules(const std::string &comment)
 class Assembler
 {
   public:
-    Assembler(const std::string &source, Addr code_base, Addr data_base)
-        : src_(source)
+    Assembler(const std::string &source, Addr code_base, Addr data_base,
+              std::string name)
+        : src_(source), name_(std::move(name))
     {
         prog_.codeBase = code_base;
         prog_.entry = code_base;
@@ -197,7 +198,9 @@ class Assembler
     [[noreturn]] void
     err(int line, const std::string &msg) const
     {
-        fatal("asm line %d: %s", line, msg.c_str());
+        if (name_.empty())
+            fatal("asm line %d: %s", line, msg.c_str());
+        fatal("%s: asm line %d: %s", name_.c_str(), line, msg.c_str());
     }
 
     static std::string
@@ -530,6 +533,8 @@ class Assembler
     }
 
     const std::string &src_;
+    /** Program name prefixed to diagnostics (may be empty). */
+    std::string name_;
     Program prog_;
     Addr dataCursor_;
     std::vector<Stmt> stmts_;
@@ -540,9 +545,10 @@ class Assembler
 } // namespace
 
 Program
-assemble(const std::string &source, Addr code_base, Addr data_base)
+assemble(const std::string &source, Addr code_base, Addr data_base,
+         const std::string &name)
 {
-    return Assembler(source, code_base, data_base).run();
+    return Assembler(source, code_base, data_base, name).run();
 }
 
 } // namespace mmt

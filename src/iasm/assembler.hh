@@ -49,12 +49,16 @@ namespace mmt
  * @param source full assembly text
  * @param code_base base address of the code segment
  * @param data_base base address of the data segment
+ * @param name program or file name prefixed to every diagnostic, so
+ *        "saxpy: asm line 3: ..." identifies which of several sources
+ *        failed; empty keeps the bare "asm line N" form.
  * @return the assembled program; entry is the "main" label if defined,
  *         otherwise the first instruction.
  */
 Program assemble(const std::string &source,
                  Addr code_base = defaultCodeBase,
-                 Addr data_base = defaultDataBase);
+                 Addr data_base = defaultDataBase,
+                 const std::string &name = "");
 
 } // namespace mmt
 

@@ -205,6 +205,48 @@ renderFig7d(const SweepSpec &spec, const std::vector<RunResult> &results)
     return formatTable({"fetch width", "geomean speedup"}, rows);
 }
 
+/** Names of the mmtc-compiled workloads (MT and ME variants). */
+std::vector<std::string>
+csrcNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : compiledWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+/**
+ * Compiled-workload figure: MMT-FXR speedup over Base at 2 and 4
+ * threads plus the merged fraction, for every mmtc kernel in both
+ * execution models.
+ */
+std::string
+renderCsrc(const SweepSpec &spec, const std::vector<RunResult> &results)
+{
+    ResultIndex index(spec, results);
+    std::vector<std::vector<std::string>> rows;
+    std::vector<double> s2, s4;
+    for (const std::string &app : csrcNames()) {
+        const RunResult &b2 = index.get(app, ConfigKind::Base, 2);
+        const RunResult &r2 = index.get(app, ConfigKind::MMT_FXR, 2);
+        const RunResult &b4 = index.get(app, ConfigKind::Base, 4);
+        const RunResult &r4 = index.get(app, ConfigKind::MMT_FXR, 4);
+        double sp2 = static_cast<double>(b2.cycles) /
+                     static_cast<double>(r2.cycles);
+        double sp4 = static_cast<double>(b4.cycles) /
+                     static_cast<double>(r4.cycles);
+        rows.push_back({app, std::to_string(b2.cycles), fmt(sp2),
+                        fmt(sp4), fmt(100.0 * r2.mergedFrac(), 1)});
+        s2.push_back(sp2);
+        s4.push_back(sp4);
+    }
+    rows.push_back({"geomean", "", fmt(geomean(s2)), fmt(geomean(s4)),
+                    ""});
+    return formatTable({"app", "base-cycles(2T)", "MMT-FXR 2T",
+                        "MMT-FXR 4T", "merged%(2T)"},
+                       rows);
+}
+
 constexpr StaticHintsMode kHintModes[] = {
     StaticHintsMode::Off, StaticHintsMode::FhbSeed,
     StaticHintsMode::MergeSkip, StaticHintsMode::Both};
@@ -277,7 +319,7 @@ figureIds()
 {
     static const std::vector<std::string> ids = {
         "5a", "5b", "5c", "5d", "7a",
-        "7b", "7c", "7d", "ablation_hints"};
+        "7b", "7c", "7d", "ablation_hints", "csrc"};
     return ids;
 }
 
@@ -408,9 +450,22 @@ makeFigure(const std::string &id)
         fig.sweep.cross(workloadNames(), {ConfigKind::MMT_FXR}, {2},
                         hint_ovs);
         fig.render = renderAblationHints;
+    } else if (id == "csrc") {
+        fig.sweep.name = "fig_csrc";
+        fig.title = "Compiled C workloads (mmtc): MMT-FXR speedup over "
+                    "Base SMT\n\n";
+        fig.paperNote =
+            "\nMT kernels ('c-*') read nthreads and partition their "
+            "auto-SPMDized\nloops by tid; ME variants ('c-*-me') run "
+            "one perturbed instance per\ncontext, so MMT merges their "
+            "redundant instructions instead.\n";
+        fig.sweep.cross(csrcNames(),
+                        {ConfigKind::Base, ConfigKind::MMT_FXR}, {2, 4},
+                        {SimOverrides()}, /*check_golden=*/true);
+        fig.render = renderCsrc;
     } else {
         fatal("unknown figure '%s' (try: 5a 5b 5c 5d 7a 7b 7c 7d "
-              "ablation_hints)",
+              "ablation_hints csrc)",
               id.c_str());
     }
     return fig;

@@ -81,7 +81,9 @@ predictJobs(const SweepSpec &spec)
         auto it = memo.find(key);
         if (it == memo.end()) {
             const Workload &w = resolveWorkload(job.workload);
-            Program prog = assemble(w.source);
+            Program prog =
+                assemble(w.source, defaultCodeBase, defaultDataBase,
+                         w.name);
             analysis::AnalysisOptions opt;
             opt.multiExecution = w.multiExecution;
             opt.forceTidZero = tid0;

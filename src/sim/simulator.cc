@@ -93,7 +93,8 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
             const SimOverrides &ov, bool check_golden,
             PcMergeProfile *pc_profile)
 {
-    Program prog = assemble(workload.source);
+    Program prog = assemble(workload.source, defaultCodeBase,
+                            defaultDataBase, workload.name);
     CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
     double static_mergeable = computeStaticHints(params, prog);
     bool identical = kind == ConfigKind::Limit;
@@ -210,7 +211,8 @@ std::string
 runStatsDump(const Workload &workload, ConfigKind kind, int num_threads,
              const SimOverrides &ov, bool json)
 {
-    Program prog = assemble(workload.source);
+    Program prog = assemble(workload.source, defaultCodeBase,
+                            defaultDataBase, workload.name);
     CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
     if (params.staticHints != StaticHintsMode::Off)
         computeStaticHints(params, prog);

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Compiled C workloads: the kernels under workloads/csrc/ are embedded
+ * at build time (csrc_embed.hh), translated by the mmtc frontend on
+ * first use, and registered both as MT kernels ("c-<name>") whose
+ * auto-SPMDized loops partition by tid, and as ME variants
+ * ("c-<name>-me") that run one instance per address space with
+ * per-instance input perturbation — the same two execution models the
+ * hand-written suites cover.
+ */
+
+#include "workloads/workload.hh"
+
+#include "cc/compiler.hh"
+#include "common/logging.hh"
+#include "csrc_embed.hh"
+#include "workloads/data_init.hh"
+
+namespace mmt
+{
+namespace
+{
+
+/**
+ * Deterministic fill + per-instance perturbation for one kernel. The
+ * fill seed depends only on the kernel, so the MT image and ME instance
+ * 0 see identical inputs; perturbation applies to ME instances > 0
+ * unless the Limit configuration (@p identical) suppresses it.
+ */
+void
+initCsrcData(const std::string &base, MemoryImage &img, const Program &prog,
+             int instance, bool identical)
+{
+    bool perturb = !identical && instance > 0;
+    Rng prng(9000 + static_cast<std::uint64_t>(instance));
+    if (base == "saxpy") {
+        Rng rng(501);
+        wl::fillDoubles(img, prog, "x", 64, rng, 0.0, 1.0);
+        wl::fillDoubles(img, prog, "y", 64, rng, 0.0, 1.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "y", 64, prng, 0.25, 0.0, 1.0);
+    } else if (base == "dot") {
+        Rng rng(502);
+        wl::fillDoubles(img, prog, "x", 64, rng, 0.0, 1.0);
+        wl::fillDoubles(img, prog, "y", 64, rng, 0.0, 1.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "x", 64, prng, 0.25, 0.0, 1.0);
+    } else if (base == "stencil1d") {
+        Rng rng(503);
+        wl::fillDoubles(img, prog, "a", 66, rng, 0.0, 2.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "a", 66, prng, 0.25, 0.0, 2.0);
+    } else if (base == "hist") {
+        Rng rng(504);
+        wl::fillWords(img, prog, "x", 128, rng, 1 << 20);
+        if (perturb)
+            wl::perturbWords(img, prog, "x", 128, prng, 0.25, 1 << 20);
+    } else if (base == "matvec") {
+        Rng rng(505);
+        wl::fillDoubles(img, prog, "A", 1024, rng, 0.0, 1.0);
+        wl::fillDoubles(img, prog, "x", 32, rng, 0.0, 1.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "x", 32, prng, 0.25, 0.0, 1.0);
+    } else if (base == "psum") {
+        Rng rng(506);
+        wl::fillWords(img, prog, "a", 64, rng, 512);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 64, prng, 0.25, 512);
+    } else {
+        fatal("initCsrcData: unknown compiled workload '%s'", base.c_str());
+    }
+}
+
+Workload
+makeCompiled(const CompiledSource &src, bool multi_execution)
+{
+    Workload w;
+    w.name = "c-" + src.name + (multi_execution ? "-me" : "");
+    w.suite = "CSRC";
+    w.multiExecution = multi_execution;
+    w.source = src.iasm;
+    std::string base = src.name;
+    w.initData = [base, multi_execution](MemoryImage &img,
+                                         const Program &prog, int instance,
+                                         int num_contexts, bool identical) {
+        // ME instances are whole independent programs, so the sliced
+        // loops must each run their full range: nthreads stays 1.
+        wl::setWord(img, prog, cc::kNumThreadsSym,
+                    static_cast<std::uint64_t>(
+                        multi_execution ? 1 : num_contexts));
+        initCsrcData(base, img, prog, instance, identical);
+    };
+    return w;
+}
+
+} // namespace
+
+const std::vector<CompiledSource> &
+compiledSources()
+{
+    static const std::vector<CompiledSource> sources = [] {
+        std::vector<CompiledSource> v;
+        auto add = [&](const char *name, const char *text) {
+            CompiledSource s;
+            s.name = name;
+            s.csource = text;
+            s.iasm = cc::compile(text, name).iasm;
+            v.push_back(std::move(s));
+        };
+        add("saxpy", csrc::saxpy_c);
+        add("dot", csrc::dot_c);
+        add("stencil1d", csrc::stencil1d_c);
+        add("hist", csrc::hist_c);
+        add("matvec", csrc::matvec_c);
+        add("psum", csrc::psum_c);
+        return v;
+    }();
+    return sources;
+}
+
+const std::vector<Workload> &
+compiledWorkloads()
+{
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        for (const CompiledSource &s : compiledSources()) {
+            v.push_back(makeCompiled(s, false));
+            v.push_back(makeCompiled(s, true));
+        }
+        return v;
+    }();
+    return all;
+}
+
+} // namespace mmt

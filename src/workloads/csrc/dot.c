@@ -1,0 +1,15 @@
+// dot: inner product with a single +-reduction; every thread accumulates
+// a private partial over its stride-T slice, the partials meet in the
+// per-thread scratch array after the re-convergence barrier.
+int n = 64;
+double x[64];
+double y[64];
+
+int main() {
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + x[i] * y[i];
+    }
+    out(int(s * 100.0));
+    return 0;
+}

@@ -1,0 +1,26 @@
+// hist: bin counting, phrased loop-over-bins so the outer loop slices
+// (each thread owns whole bins and stores disjoint h[b]); the inner
+// scan over the samples stays inside the sliced region. The weighted
+// checksum is a +-reduction.
+int n = 128;
+int nbins = 8;
+int x[128];
+int h[8];
+
+int main() {
+    for (int b = 0; b < nbins; b = b + 1) {
+        int c = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (x[i] % nbins == b) {
+                c = c + 1;
+            }
+        }
+        h[b] = c;
+    }
+    int s = 0;
+    for (int b = 0; b < nbins; b = b + 1) {
+        s = s + h[b] * (b + 1);
+    }
+    out(s);
+    return 0;
+}

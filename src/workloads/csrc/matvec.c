@@ -1,0 +1,23 @@
+// mat-vec: y = A * x with row-major A. The outer row loop slices
+// (stores y[i], one row per iteration); the inner dot product is
+// iteration-private and rides along unchanged inside the slice.
+int n = 32;
+double A[1024];
+double x[32];
+double y[32];
+
+int main() {
+    for (int i = 0; i < n; i = i + 1) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            acc = acc + A[i * n + j] * x[j];
+        }
+        y[i] = acc;
+    }
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + y[i];
+    }
+    out(int(s * 100.0));
+    return 0;
+}

@@ -1,0 +1,32 @@
+// prefix-sum: Hillis-Steele inclusive scan. The outer doubling loop is
+// redundant (every thread runs it identically: the carried d = d * 2 is
+// not a +-reduction, so it is deliberately not sliced); the two inner
+// loops slice with a join barrier each, which is exactly the
+// compute / barrier / copy / barrier phase structure of the hand-written
+// SPLASH-2 kernels.
+int n = 64;
+int a[64];
+int b[64];
+
+int main() {
+    int d = 1;
+    while (d < n) {
+        for (int i = 0; i < n; i = i + 1) {
+            if (i >= d) {
+                b[i] = a[i] + a[i - d];
+            } else {
+                b[i] = a[i];
+            }
+        }
+        for (int i = 0; i < n; i = i + 1) {
+            a[i] = b[i];
+        }
+        d = d * 2;
+    }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * (i % 7 + 1);
+    }
+    out(s);
+    return 0;
+}

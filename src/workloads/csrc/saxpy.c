@@ -1,0 +1,19 @@
+// saxpy: y = y + alpha * x, then a checksum reduction.
+// Both loops auto-SPMDize: the update stores y[i] (disjoint slices per
+// thread), the checksum is a +-reduction combined after the join.
+int n = 64;
+double alpha = 2.0;
+double x[64];
+double y[64];
+
+int main() {
+    for (int i = 0; i < n; i = i + 1) {
+        y[i] = y[i] + alpha * x[i];
+    }
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + y[i];
+    }
+    out(int(s * 1000.0));
+    return 0;
+}

@@ -1,0 +1,19 @@
+// stencil-1d: 3-point smoothing from a into b over padded interior
+// [1, n]. The stencil loop reads neighbours of an array it never
+// writes, so slicing is safe without any index restriction; the
+// checksum reduction runs after the join barrier.
+int n = 64;
+double a[66];
+double b[66];
+
+int main() {
+    for (int i = 1; i <= n; i = i + 1) {
+        b[i] = 0.25 * a[i - 1] + 0.5 * a[i] + 0.25 * a[i + 1];
+    }
+    double s = 0.0;
+    for (int i = 1; i <= n; i = i + 1) {
+        s = s + b[i];
+    }
+    out(int(s * 1000.0));
+    return 0;
+}

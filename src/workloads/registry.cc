@@ -31,6 +31,10 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     }
+    for (const Workload &w : compiledWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
     fatal("unknown workload '%s'", name.c_str());
 }
 

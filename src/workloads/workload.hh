@@ -56,7 +56,32 @@ struct Workload
 /** All 16 workloads in the paper's Table 1 order. */
 const std::vector<Workload> &allWorkloads();
 
-/** Find a workload by name; fatal if unknown. */
+/**
+ * Kernels compiled from the C sources in workloads/csrc/ by the mmtc
+ * frontend (cc/compiler.hh): each C workload appears twice, as an MT
+ * kernel ("c-<name>") whose sliced loops partition by tid, and as an ME
+ * variant ("c-<name>-me") with one instance per address space and
+ * per-instance input perturbation. Kept separate from allWorkloads() so
+ * the paper's Table 1 suite stays at 16 apps.
+ */
+const std::vector<Workload> &compiledWorkloads();
+
+/**
+ * One C workload as shipped: the embedded C text plus the assembly the
+ * mmtc frontend produced for it. Tests use the pair for golden
+ * equivalence (interpret the C, execute the assembly, compare OUT logs).
+ */
+struct CompiledSource
+{
+    std::string name;    // base name, e.g. "saxpy"
+    std::string csource; // C text (embedded at build time)
+    std::string iasm;    // mmtc output, also Workload::source
+};
+
+/** The compiled C workloads, one entry per file under workloads/csrc/. */
+const std::vector<CompiledSource> &compiledSources();
+
+/** Find a workload by name (registry or compiled); fatal if unknown. */
 const Workload &findWorkload(const std::string &name);
 
 // Suite constructors (one translation unit per suite).

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * mmtc frontend unit tests: front-end diagnostics, interpreter
+ * semantics (which mirror isa/exec.cc), SPMD slicing decisions on
+ * hand-built candidates, and golden equivalence of small compiled
+ * programs against the reference interpreter at 1..4 threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hh"
+#include "cc/interp.hh"
+#include "cc/parser.hh"
+#include "iasm/assembler.hh"
+#include "mem/memory_image.hh"
+#include "profile/tracer.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+std::vector<std::int64_t>
+interp(const std::string &src)
+{
+    cc::Module m = cc::parse(src, "test");
+    return cc::interpret(m);
+}
+
+/** The out() log as the ISA records it (raw 64-bit words). */
+std::vector<std::uint64_t>
+toWords(const std::vector<std::int64_t> &vals)
+{
+    std::vector<std::uint64_t> w;
+    for (std::int64_t v : vals)
+        w.push_back(static_cast<std::uint64_t>(v));
+    return w;
+}
+
+/** Compile + assemble + run functionally at @p nthreads (shared
+ *  image, MT conventions); returns thread 0's out() log and checks
+ *  every thread produced the same one. */
+std::vector<std::uint64_t>
+runCompiled(const std::string &src, int nthreads,
+            const cc::CompileOptions &opt = {})
+{
+    cc::CompileResult res = cc::compile(src, "test", opt);
+    Program prog = assemble(res.iasm, defaultCodeBase, defaultDataBase,
+                            "test");
+    MemoryImage img;
+    img.loadData(prog);
+    if (prog.symbols.count(cc::kNumThreadsSym)) {
+        img.write64(prog.symbol(cc::kNumThreadsSym),
+                    static_cast<std::uint64_t>(nthreads));
+    }
+    std::vector<MemoryImage *> ptrs(static_cast<std::size_t>(nthreads),
+                                    &img);
+    FunctionalCpu cpu(&prog, ptrs, false);
+    cpu.run(50'000'000);
+    for (int t = 1; t < nthreads; ++t)
+        EXPECT_EQ(cpu.thread(t).output, cpu.thread(0).output)
+            << "thread " << t << " diverged";
+    return cpu.thread(0).output;
+}
+
+/** Golden check: interpreter result == compiled result at 1, 2 and 4
+ *  threads. */
+void
+expectGolden(const std::string &src)
+{
+    std::vector<std::uint64_t> expected = toWords(interp(src));
+    for (int n : {1, 2, 4})
+        EXPECT_EQ(runCompiled(src, n), expected) << n << " threads";
+}
+
+} // namespace
+
+// ----------------------------------------------------------- frontend --
+
+TEST(CcParser, RejectsUndeclaredIdentifier)
+{
+    EXPECT_EXIT(cc::parse("int main() { return x; }", "t"),
+                ::testing::ExitedWithCode(1), "use of undeclared 'x'");
+}
+
+TEST(CcParser, RejectsLocalArrays)
+{
+    EXPECT_EXIT(cc::parse("int main() { int a[4]; return 0; }", "t"),
+                ::testing::ExitedWithCode(1),
+                "local arrays are not supported");
+}
+
+TEST(CcParser, RejectsBreakOutsideLoop)
+{
+    EXPECT_EXIT(cc::parse("int main() { break; }", "t"),
+                ::testing::ExitedWithCode(1), "'break' outside a loop");
+}
+
+TEST(CcParser, RejectsWrongArity)
+{
+    EXPECT_EXIT(
+        cc::parse("int f(int a) { return a; }"
+                  "int main() { return f(1, 2); }",
+                  "t"),
+        ::testing::ExitedWithCode(1), "expects 1 argument\\(s\\), got 2");
+}
+
+TEST(CcParser, RejectsDoubleCondition)
+{
+    EXPECT_EXIT(cc::parse("int main() { double d = 1.0; if (d) {} "
+                          "return 0; }",
+                          "t"),
+                ::testing::ExitedWithCode(1), "condition must be an int");
+}
+
+TEST(CcCompiler, RejectsReservedPrefix)
+{
+    EXPECT_EXIT(cc::compile("int __mmtc_x = 0; int main() { return 0; }",
+                            "t"),
+                ::testing::ExitedWithCode(1), "reserved");
+}
+
+TEST(CcCompiler, RejectsMainWithParameters)
+{
+    EXPECT_EXIT(cc::compile("int main(int a) { return a; }", "t"),
+                ::testing::ExitedWithCode(1),
+                "main\\(\\) must take no parameters");
+}
+
+TEST(CcCompiler, RejectsTooManyParameters)
+{
+    EXPECT_EXIT(cc::compile("int f(int a, int b, int c, int d, int e, "
+                            "int g, int h) { return a; }"
+                            "int main() { return 0; }",
+                            "t"),
+                ::testing::ExitedWithCode(1), "exceeds 6 parameters");
+}
+
+// -------------------------------------------------------- interpreter --
+
+TEST(CcInterp, ArithmeticMirrorsIsaSemantics)
+{
+    // DIV by zero yields -1, REM by zero the dividend, fp->int
+    // truncates — exactly isa/exec.cc.
+    auto out = interp("int main() {"
+                      "  out(7 / 0); out(7 % 0); out(-9 / 2);"
+                      "  out(int(2.9)); out(int(0.0 - 2.9));"
+                      "  return 0; }");
+    EXPECT_EQ(out, (std::vector<std::int64_t>{-1, 7, -4, 2, -2}));
+}
+
+TEST(CcInterp, ShortCircuitAndPrecedence)
+{
+    auto out = interp("int g = 0;"
+                      "int touch() { g = g + 1; return 1; }"
+                      "int main() {"
+                      "  out(0 && touch()); out(g);"
+                      "  out(1 || touch()); out(g);"
+                      "  out(2 + 3 * 4); out((2 + 3) * 4);"
+                      "  out(10 - 4 - 3);"
+                      "  return 0; }");
+    EXPECT_EQ(out, (std::vector<std::int64_t>{0, 0, 1, 0, 14, 20, 3}));
+}
+
+TEST(CcInterp, FunctionsAndGlobalArrays)
+{
+    auto out = interp("int fib[16];"
+                      "int fill(int n) {"
+                      "  fib[0] = 0; fib[1] = 1;"
+                      "  for (int i = 2; i < n; i = i + 1) {"
+                      "    fib[i] = fib[i - 1] + fib[i - 2];"
+                      "  }"
+                      "  return fib[n - 1]; }"
+                      "int main() { out(fill(10)); return 0; }");
+    EXPECT_EQ(out, (std::vector<std::int64_t>{34}));
+}
+
+TEST(CcInterpDeath, CatchesOutOfBoundsAccess)
+{
+    EXPECT_EXIT(interp("int a[4]; int main() { out(a[9]); return 0; }"),
+                ::testing::ExitedWithCode(1), "out of bounds");
+}
+
+TEST(CcInterpDeath, CatchesRunawayLoop)
+{
+    EXPECT_EXIT(interp("int main() { while (1) {} return 0; }"),
+                ::testing::ExitedWithCode(1), "step limit");
+}
+
+// ------------------------------------------------------------ slicing --
+
+TEST(CcSpmd, SlicesCanonicalLoopWithReduction)
+{
+    cc::CompileResult res = cc::compile(
+        "int n = 32; int a[32];"
+        "int main() {"
+        "  int s = 0;"
+        "  for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }"
+        "  out(s); return 0; }",
+        "t");
+    ASSERT_EQ(res.spmd.sliced.size(), 1u);
+    EXPECT_EQ(res.spmd.sliced[0].reductions, 1);
+    EXPECT_TRUE(res.spmd.rejected.empty());
+    EXPECT_TRUE(res.spmd.warnings.empty());
+    // The rewritten loop re-converges through a barrier and spills the
+    // partials to a per-thread scratch array.
+    EXPECT_NE(res.iasm.find("barrier"), std::string::npos);
+    EXPECT_NE(res.iasm.find("__mmtc_red0"), std::string::npos);
+}
+
+TEST(CcSpmd, RejectsCallInLoop)
+{
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int a[8];"
+        "int f(int x) { return x + 1; }"
+        "int main() {"
+        "  for (int i = 0; i < n; i = i + 1) { a[i] = f(i); }"
+        "  out(a[3]); return 0; }",
+        "t");
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    ASSERT_EQ(res.spmd.rejected.size(), 1u);
+    EXPECT_NE(res.spmd.rejected[0].find("calls a function"),
+              std::string::npos);
+}
+
+TEST(CcSpmd, RejectsScalarGlobalStoreInLoop)
+{
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int g = 0;"
+        "int main() {"
+        "  for (int i = 0; i < n; i = i + 1) { g = i; }"
+        "  out(g); return 0; }",
+        "t");
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    ASSERT_EQ(res.spmd.rejected.size(), 1u);
+    EXPECT_NE(res.spmd.rejected[0].find("stores a scalar global"),
+              std::string::npos);
+}
+
+TEST(CcSpmd, RejectsTwoStoreIndexForms)
+{
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int a[32];"
+        "int main() {"
+        "  for (int i = 0; i < n; i = i + 1) {"
+        "    a[i] = i; a[i + 8] = i;"
+        "  }"
+        "  out(a[3]); return 0; }",
+        "t");
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    ASSERT_EQ(res.spmd.rejected.size(), 1u);
+    EXPECT_NE(res.spmd.rejected[0].find("two different index forms"),
+              std::string::npos);
+}
+
+TEST(CcSpmd, RejectsNonCanonicalStep)
+{
+    // Doubling induction variable: not iv += C.
+    cc::CompileResult res = cc::compile(
+        "int n = 64; int a[64];"
+        "int main() {"
+        "  for (int i = 1; i < n; i = i * 2) { a[i] = i; }"
+        "  out(a[4]); return 0; }",
+        "t");
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    ASSERT_EQ(res.spmd.rejected.size(), 1u);
+    EXPECT_NE(res.spmd.rejected[0].find("no canonical induction"),
+              std::string::npos);
+}
+
+TEST(CcSpmd, RejectsLoopCarriedScalarThatIsNotAReduction)
+{
+    // s = s * 2 + a[i] is loop-carried but not a plain `+`-reduction.
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int a[8];"
+        "int main() {"
+        "  int s = 1;"
+        "  for (int i = 0; i < n; i = i + 1) { s = s * 2 + a[i]; }"
+        "  out(s); return 0; }",
+        "t");
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    ASSERT_EQ(res.spmd.rejected.size(), 1u);
+}
+
+TEST(CcSpmd, WarnsOnRedundantReadModifyWrite)
+{
+    // g = g + 1 outside any sliced loop runs once per thread under MT;
+    // the hazard scan must flag the redundant RMW.
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int a[8]; int g = 0;"
+        "int main() {"
+        "  g = g + 1;"
+        "  for (int i = 0; i < n; i = i + 1) { a[i] = i; }"
+        "  out(a[3] + g); return 0; }",
+        "t");
+    EXPECT_EQ(res.spmd.sliced.size(), 1u);
+    ASSERT_FALSE(res.spmd.warnings.empty());
+    EXPECT_NE(res.spmd.warnings[0].find("read-modify-written"),
+              std::string::npos);
+}
+
+TEST(CcSpmd, NoSpmdOptionDisablesSlicing)
+{
+    cc::CompileOptions opt;
+    opt.spmd = false;
+    cc::CompileResult res = cc::compile(
+        "int n = 8; int a[8];"
+        "int main() {"
+        "  for (int i = 0; i < n; i = i + 1) { a[i] = i; }"
+        "  out(a[3]); return 0; }",
+        "t", opt);
+    EXPECT_TRUE(res.spmd.sliced.empty());
+    EXPECT_EQ(res.iasm.find("barrier"), std::string::npos);
+}
+
+// --------------------------------------------------- golden equivalence --
+
+TEST(CcGolden, SlicedLoopsMatchInterpreterAtAllThreadCounts)
+{
+    expectGolden("int n = 48; int a[48]; int b[48];"
+                 "int main() {"
+                 "  for (int i = 0; i < n; i = i + 1) { a[i] = i * 3; }"
+                 "  int s = 0;"
+                 "  for (int i = 0; i < n; i = i + 1) {"
+                 "    b[i] = a[i] + 1; s = s + b[i];"
+                 "  }"
+                 "  out(s); return 0; }");
+}
+
+TEST(CcGolden, FpReductionAndCalls)
+{
+    expectGolden("int n = 16; double v[16];"
+                 "double scale(double x) { return x * 1.5; }"
+                 "int main() {"
+                 "  for (int i = 0; i < n; i = i + 1) {"
+                 "    v[i] = 0.25 * i;"
+                 "  }"
+                 "  double s = 0.0;"
+                 "  for (int i = 0; i < n; i = i + 1) { s = s + v[i]; }"
+                 "  out(int(scale(s) * 100.0));"
+                 "  return 0; }");
+}
+
+TEST(CcGolden, ControlFlowHeavyRedundantCode)
+{
+    expectGolden("int main() {"
+                 "  int x = 0;"
+                 "  for (int i = 0; i < 20; i = i + 1) {"
+                 "    if (i % 3 == 0) { x = x + i; }"
+                 "    else { if (i % 3 == 1) { x = x - 1; } }"
+                 "    while (x > 25) { x = x - 10; }"
+                 "  }"
+                 "  out(x); return 0; }");
+}
+
+TEST(CcGolden, SpillsSurvivePerThreadStacks)
+{
+    // More live values than allocatable registers force stack spills;
+    // per-thread stack pointers must keep sliced iterations private.
+    expectGolden(
+        "int n = 24; int a[24];"
+        "int main() {"
+        "  int v0 = 1; int v1 = 2; int v2 = 3; int v3 = 4; int v4 = 5;"
+        "  int v5 = 6; int v6 = 7; int v7 = 8; int v8 = 9; int v9 = 10;"
+        "  int va = 11; int vb = 12; int vc = 13; int vd = 14;"
+        "  int ve = 15; int vf = 16; int vg = 17; int vh = 18;"
+        "  for (int i = 0; i < n; i = i + 1) { a[i] = i * i; }"
+        "  int s = 0;"
+        "  for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }"
+        "  out(s + v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9"
+        "      + va + vb + vc + vd + ve + vf + vg + vh);"
+        "  return 0; }");
+}

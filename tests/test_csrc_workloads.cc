@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Compiled C workload tests (the mmtc frontend's acceptance gate):
+ *
+ *  - golden equivalence: interpreting the C source over the exact
+ *    words the workload initializer placed in memory must produce the
+ *    same out() log as a 1-thread functional run of the compiled
+ *    binary;
+ *  - SPMD correctness: N-thread runs of the auto-SPMDized MT kernels
+ *    must reproduce the 1-thread output on every thread;
+ *  - ME instances must differ (and stop differing under the Limit
+ *    configuration's identical inputs);
+ *  - simulator integration: every compiled workload passes the golden
+ *    model under Base and MMT-FXR through runWorkload;
+ *  - lint gate: zero error-severity mmt-analyze diagnostics, the
+ *    static-mergeable >= dynamic-merged invariant, and recorded
+ *    mergeable-proven precision baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/dynamic_bound.hh"
+#include "cc/compiler.hh"
+#include "cc/interp.hh"
+#include "cc/parser.hh"
+#include "iasm/assembler.hh"
+#include "profile/tracer.hh"
+#include "sim/simulator.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+const CompiledSource &
+sourceFor(const std::string &base)
+{
+    for (const CompiledSource &s : compiledSources())
+        if (s.name == base)
+            return s;
+    ADD_FAILURE() << "no compiled source '" << base << "'";
+    static CompiledSource empty;
+    return empty;
+}
+
+/**
+ * Read every C-level global out of @p img as raw words, so the
+ * interpreter sees exactly the inputs the workload initializer
+ * produced (declared initializers included, since the image was loaded
+ * from the program's data segment first).
+ */
+cc::GlobalWords
+globalWordsFromImage(const cc::Module &m, const MemoryImage &img,
+                     const Program &prog)
+{
+    cc::GlobalWords words;
+    for (const cc::GlobalVar &g : m.globals) {
+        int n = g.arraySize == 0 ? 1 : g.arraySize;
+        std::vector<std::uint64_t> v;
+        for (int i = 0; i < n; ++i)
+            v.push_back(img.read64(prog.symbol(g.name) +
+                                   static_cast<Addr>(i) * 8));
+        words[g.name] = std::move(v);
+    }
+    return words;
+}
+
+/** Functional run of workload @p w at @p nthreads; returns per-thread
+ *  output logs. MT workloads share one image, ME gets one each. */
+std::vector<std::vector<std::uint64_t>>
+functionalRun(const Workload &w, int nthreads)
+{
+    Program prog = assemble(w.source, defaultCodeBase, defaultDataBase,
+                            w.name);
+    std::vector<std::unique_ptr<MemoryImage>> images;
+    std::vector<MemoryImage *> ptrs;
+    int spaces = w.multiExecution ? nthreads : 1;
+    for (int i = 0; i < spaces; ++i) {
+        images.push_back(std::make_unique<MemoryImage>());
+        images.back()->loadData(prog);
+        w.initData(*images.back(), prog, i, nthreads, false);
+    }
+    for (int t = 0; t < nthreads; ++t)
+        ptrs.push_back(images[spaces == 1
+                                  ? 0
+                                  : static_cast<std::size_t>(t)].get());
+    FunctionalCpu cpu(&prog, ptrs, w.multiExecution);
+    cpu.run(50'000'000);
+    std::vector<std::vector<std::uint64_t>> out;
+    for (int t = 0; t < nthreads; ++t) {
+        EXPECT_TRUE(cpu.thread(t).halted) << w.name;
+        out.push_back(cpu.thread(t).output);
+    }
+    return out;
+}
+
+/**
+ * Measured mergeable-proven fractions at the commit that introduced
+ * the compiled workloads (analyzer schema v2, affine domain + call
+ * matching). The analyzer must never fall below these.
+ */
+struct ProvenBaseline
+{
+    const char *name;
+    double frac;
+};
+
+constexpr ProvenBaseline kCompiledProvenBaselines[] = {
+    {"c-saxpy", 46.0 / 92.0},      {"c-saxpy-me", 58.0 / 92.0},
+    {"c-dot", 34.0 / 64.0},        {"c-dot-me", 42.0 / 64.0},
+    {"c-stencil1d", 51.0 / 107.0}, {"c-stencil1d-me", 63.0 / 107.0},
+    {"c-hist", 65.0 / 110.0},      {"c-hist-me", 77.0 / 110.0},
+    {"c-matvec", 61.0 / 109.0},    {"c-matvec-me", 73.0 / 109.0},
+    {"c-psum", 72.0 / 145.0},      {"c-psum-me", 88.0 / 145.0},
+};
+
+double
+provenBaseline(const std::string &name)
+{
+    for (const ProvenBaseline &b : kCompiledProvenBaselines)
+        if (name == b.name)
+            return b.frac;
+    ADD_FAILURE() << "no proven-precision baseline recorded for '"
+                  << name << "' — measure and add one";
+    return 1.0;
+}
+
+} // namespace
+
+TEST(CsrcRegistry, TwelveWorkloadsTwoPerSource)
+{
+    EXPECT_EQ(compiledSources().size(), 6u);
+    EXPECT_EQ(compiledWorkloads().size(), 12u);
+    for (const CompiledSource &s : compiledSources()) {
+        const Workload &mt = findWorkload("c-" + s.name);
+        const Workload &me = findWorkload("c-" + s.name + "-me");
+        EXPECT_FALSE(mt.multiExecution);
+        EXPECT_TRUE(me.multiExecution);
+        EXPECT_EQ(mt.source, s.iasm);
+        EXPECT_EQ(me.source, s.iasm);
+        EXPECT_EQ(mt.suite, "CSRC");
+    }
+}
+
+TEST(CsrcRegistry, EverySourceSlicesAtLeastOneLoop)
+{
+    // The MT variants are only meaningful if the SPMD pass actually
+    // partitioned work in every shipped kernel.
+    for (const CompiledSource &s : compiledSources()) {
+        cc::CompileResult res = cc::compile(s.csource, s.name);
+        EXPECT_GE(res.spmd.sliced.size(), 1u)
+            << s.name << " has no sliced loop";
+        EXPECT_TRUE(res.spmd.warnings.empty())
+            << s.name << ": " << res.spmd.warnings.front();
+        EXPECT_EQ(res.iasm, s.iasm);
+    }
+}
+
+class CsrcWorkloadTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const CompiledSource &src() const { return sourceFor(GetParam()); }
+    const Workload &mt() const
+    {
+        return findWorkload("c-" + GetParam());
+    }
+    const Workload &me() const
+    {
+        return findWorkload("c-" + GetParam() + "-me");
+    }
+};
+
+TEST_P(CsrcWorkloadTest, GoldenEquivalenceAgainstInterpreter)
+{
+    // Interpret the C over the exact initialized memory words; the
+    // compiled binary at 1 thread must produce the identical OUT log.
+    const Workload &w = mt();
+    Program prog = assemble(w.source, defaultCodeBase, defaultDataBase,
+                            w.name);
+    MemoryImage img;
+    img.loadData(prog);
+    w.initData(img, prog, 0, 1, false);
+
+    cc::Module mod = cc::parse(src().csource, src().name);
+    cc::GlobalWords words = globalWordsFromImage(mod, img, prog);
+    std::vector<std::int64_t> expected = cc::interpret(mod, words);
+    ASSERT_FALSE(expected.empty());
+    std::vector<std::uint64_t> expected_words;
+    for (std::int64_t v : expected)
+        expected_words.push_back(static_cast<std::uint64_t>(v));
+
+    FunctionalCpu cpu(&prog, {&img}, false);
+    cpu.run(50'000'000);
+    EXPECT_TRUE(cpu.thread(0).halted);
+    EXPECT_EQ(cpu.thread(0).output, expected_words) << w.name;
+}
+
+TEST_P(CsrcWorkloadTest, SpmdNThreadMatchesOneThread)
+{
+    auto one = functionalRun(mt(), 1);
+    ASSERT_FALSE(one[0].empty());
+    for (int n : {2, 4}) {
+        auto many = functionalRun(mt(), n);
+        for (int t = 0; t < n; ++t)
+            EXPECT_EQ(many[static_cast<std::size_t>(t)], one[0])
+                << mt().name << " thread " << t << " of " << n;
+    }
+}
+
+TEST_P(CsrcWorkloadTest, MeInstancesDifferUnlessIdentical)
+{
+    const Workload &w = me();
+    Program prog = assemble(w.source, defaultCodeBase, defaultDataBase,
+                            w.name);
+    auto run_instance = [&](int instance, bool identical) {
+        MemoryImage img;
+        img.loadData(prog);
+        w.initData(img, prog, instance, 2, identical);
+        FunctionalCpu cpu(&prog, {&img}, true);
+        cpu.run(50'000'000);
+        return cpu.thread(0).output;
+    };
+    EXPECT_NE(run_instance(0, false), run_instance(1, false)) << w.name;
+    EXPECT_EQ(run_instance(0, true), run_instance(1, true)) << w.name;
+}
+
+TEST_P(CsrcWorkloadTest, SimulatorGoldenOkBaseAndMmtFxr)
+{
+    for (const Workload *w : {&mt(), &me()}) {
+        for (ConfigKind kind : {ConfigKind::Base, ConfigKind::MMT_FXR}) {
+            RunResult r = runWorkload(*w, kind, 2, SimOverrides(),
+                                      /*check_golden=*/true);
+            EXPECT_TRUE(r.goldenOk)
+                << w->name << " under " << configName(kind);
+            EXPECT_GT(r.committedThreadInsts, 0u);
+        }
+    }
+}
+
+TEST_P(CsrcWorkloadTest, LintGateAndMergeBound)
+{
+    for (const Workload *w : {&mt(), &me()}) {
+        analysis::AnalysisResult res = analysis::analyzeWorkload(*w);
+        EXPECT_EQ(res.errors(), 0)
+            << analysis::renderReport(res, w->name, false);
+        EXPECT_GE(res.mergeableProvenFrac(), provenBaseline(w->name))
+            << analysis::renderReport(res, w->name, false);
+
+        analysis::MergeBoundReport rep =
+            analysis::runMergeBoundCheck(*w, ConfigKind::MMT_FXR, 2);
+        ASSERT_GT(rep.committed, 0u);
+        for (const analysis::BoundViolation &v : rep.violations) {
+            ADD_FAILURE() << w->name << ": pc 0x" << std::hex << v.pc
+                          << std::dec << " (line " << v.line
+                          << ") merged " << v.merged
+                          << " thread-insts but is statically divergent";
+        }
+        EXPECT_GE(rep.staticMergeableFrac(), rep.dynamicMergedFrac())
+            << w->name;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCsrc, CsrcWorkloadTest,
+    ::testing::Values("saxpy", "dot", "stencil1d", "hist", "matvec",
+                      "psum"),
+    [](const ::testing::TestParamInfo<std::string> &i) { return i.param; });

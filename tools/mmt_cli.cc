@@ -4,7 +4,8 @@
  *
  * Usage:
  *   mmt_cli [run] [options] <workload>
- *   mmt_cli analyze <workload>|--all [--json] [--dynamic]
+ *   mmt_cli compile <file.c> [--threads N] [--emit-iasm] [--no-spmd]
+ *   mmt_cli analyze <workload>|--all|--compiled [--json] [--dynamic]
  *   mmt_cli --list
  *   mmt_cli sweep --figure <id> [sweep options]
  *   mmt_cli sweep --list-figures
@@ -27,9 +28,19 @@
  *   --strict               refuse to simulate a program with
  *                          error-severity mmt-analyze diagnostics
  *
+ * Compile options (mmtc C-subset frontend, docs/COMPILER.md):
+ *   --threads <1..4>       functional run thread count (default 2)
+ *   --emit-iasm            print the generated assembly and exit
+ *   --no-spmd              disable auto-SPMDization (purely redundant
+ *                          output)
+ *   The slicing report (sliced loops, rejections, hazard warnings)
+ *   goes to stderr; without --emit-iasm the program is assembled and
+ *   executed functionally and the OUT log printed.
+ *
  * Analyze options (static CFG/dataflow/sharing analysis, no simulation
  * unless --dynamic):
  *   --all                  analyze every registered workload
+ *   --compiled             analyze every mmtc-compiled C workload
  *   --json                 machine-readable report
  *   --dynamic              also run the simulation and cross-check the
  *                          static upper bound against the merge profile
@@ -66,9 +77,11 @@
 #include <string>
 
 #include "analysis/dynamic_bound.hh"
+#include "cc/compiler.hh"
 #include "common/logging.hh"
 #include "core/smt_core.hh"
 #include "iasm/assembler.hh"
+#include "profile/tracer.hh"
 #include "runner/artifacts.hh"
 #include "runner/figures.hh"
 #include "sim/experiment.hh"
@@ -89,9 +102,11 @@ usage()
                  "               [--no-golden]\n"
                  "               [--stats] [--stats-json] [--asm FILE]\n"
                  "               [--strict] <workload>\n"
+                 "       mmt_cli compile FILE.c [--threads N]\n"
+                 "               [--emit-iasm] [--no-spmd]\n"
                  "       mmt_cli analyze [--json] [--dynamic]\n"
                  "               [--config KIND] [--threads N] [--asm FILE]\n"
-                 "               <workload>|--all\n"
+                 "               <workload>|--all|--compiled\n"
                  "       mmt_cli --list\n"
                  "       mmt_cli sweep --figure ID [--jobs N]\n"
                  "               [--cache-dir DIR] [--apps A,B,...]\n"
@@ -252,6 +267,92 @@ listWorkloads()
     const Workload &mp = messagePassingWorkload();
     std::printf("%-14s %-9s %s\n", mp.name.c_str(), mp.suite.c_str(),
                 "message-passing");
+    for (const Workload &w : compiledWorkloads()) {
+        std::printf("%-14s %-9s %s\n", w.name.c_str(), w.suite.c_str(),
+                    w.multiExecution ? "multi-execution"
+                                     : "multi-threaded");
+    }
+}
+
+/** `mmt_cli compile ...`: mmtc frontend driver + functional run. */
+int
+compileMain(int argc, char **argv)
+{
+    int threads = 2;
+    bool emit_iasm = false;
+    cc::CompileOptions copt;
+    std::string path;
+
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads = std::atoi(next().c_str());
+        } else if (arg == "--emit-iasm") {
+            emit_iasm = true;
+        } else if (arg == "--no-spmd") {
+            copt.spmd = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown compile option '%s'\n",
+                         arg.c_str());
+            usage();
+        } else {
+            path = arg;
+        }
+    }
+    if (path.empty())
+        usage();
+    if (threads < 1 || threads > maxThreads)
+        fatal("threads must be 1..%d", maxThreads);
+
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    cc::CompileResult res = cc::compile(ss.str(), path, copt);
+    for (const cc::SlicedLoop &s : res.spmd.sliced)
+        std::fprintf(stderr, "%s: sliced loop at line %d (%d reduction%s)\n",
+                     path.c_str(), s.line, s.reductions,
+                     s.reductions == 1 ? "" : "s");
+    for (const std::string &r : res.spmd.rejected)
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), r.c_str());
+    for (const std::string &w : res.spmd.warnings)
+        std::fprintf(stderr, "%s: warning: %s\n", path.c_str(), w.c_str());
+
+    if (emit_iasm) {
+        std::printf("%s", res.iasm.c_str());
+        return 0;
+    }
+
+    // Assemble and execute functionally at the requested thread count,
+    // shared address space, like the registered MT variants.
+    Program prog = assemble(res.iasm, defaultCodeBase, defaultDataBase,
+                            path);
+    MemoryImage img;
+    img.loadData(prog);
+    if (prog.symbols.count(cc::kNumThreadsSym)) {
+        img.write64(prog.symbol(cc::kNumThreadsSym),
+                    static_cast<std::uint64_t>(threads));
+    }
+    std::vector<MemoryImage *> ptrs(static_cast<std::size_t>(threads),
+                                    &img);
+    FunctionalCpu cpu(&prog, ptrs, /*multi_execution=*/false);
+    cpu.run();
+    for (int t = 0; t < threads; ++t) {
+        std::printf("thread %d out:", t);
+        for (std::int64_t v : cpu.thread(t).output)
+            std::printf(" %lld", static_cast<long long>(v));
+        std::printf("  (%llu insts)\n",
+                    static_cast<unsigned long long>(
+                        cpu.thread(t).executed));
+    }
+    return 0;
 }
 
 /** Run a raw assembly file as a single MT workload. */
@@ -284,6 +385,7 @@ analyzeMain(int argc, char **argv)
 {
     bool json = false;
     bool all = false;
+    bool compiled = false;
     bool dynamic = false;
     ConfigKind kind = ConfigKind::MMT_FXR;
     int threads = 2;
@@ -301,6 +403,8 @@ analyzeMain(int argc, char **argv)
             json = true;
         } else if (arg == "--all") {
             all = true;
+        } else if (arg == "--compiled") {
+            compiled = true;
         } else if (arg == "--dynamic") {
             dynamic = true;
         } else if (arg == "--config") {
@@ -319,13 +423,20 @@ analyzeMain(int argc, char **argv)
     }
     if (threads < 1 || threads > maxThreads)
         fatal("threads must be 1..%d", maxThreads);
-    if (!all && asm_file.empty() && workload_name.empty())
+    if (!all && !compiled && asm_file.empty() && workload_name.empty())
         usage();
 
     std::vector<Workload> targets;
     if (all) {
         targets = allWorkloads();
         targets.push_back(messagePassingWorkload());
+    }
+    if (compiled) {
+        for (const Workload &w : compiledWorkloads())
+            targets.push_back(w);
+    }
+    if (all || compiled) {
+        // fall through with the collected targets
     } else if (!asm_file.empty()) {
         targets.push_back(workloadFromFile(asm_file));
     } else if (workload_name == "mp-ring") {
@@ -385,6 +496,8 @@ main(int argc, char **argv)
         return sweepMain(argc - 2, argv + 2);
     if (argc >= 2 && std::strcmp(argv[1], "analyze") == 0)
         return analyzeMain(argc - 2, argv + 2);
+    if (argc >= 2 && std::strcmp(argv[1], "compile") == 0)
+        return compileMain(argc - 2, argv + 2);
 
     ConfigKind kind = ConfigKind::MMT_FXR;
     int threads = 2;
