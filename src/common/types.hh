@@ -32,11 +32,29 @@ using PhysReg = int;
 /** Sentinel for "no physical register". */
 constexpr PhysReg invalidPhysReg = -1;
 
-/** Maximum number of hardware threads supported by the MMT structures. */
+/** Maximum number of hardware threads supported by the MMT structures.
+ *  In a CMP this bounds the *system-wide* context count: thread groups
+ *  span cores, but SEND/RECV ranks, ITIDs and per-context tables all
+ *  index the same 0..maxThreads-1 space. */
 constexpr int maxThreads = 4;
 
 /** Number of distinct unordered thread pairs with maxThreads threads. */
 constexpr int maxThreadPairs = maxThreads * (maxThreads - 1) / 2;
+
+/** Maximum number of SMT cores in a CMP system. */
+constexpr int maxCores = maxThreads;
+
+/**
+ * How a thread group's contexts are assigned to the cores of a CMP.
+ * Packed fills core 0 up to its SMT capacity before spilling to core 1
+ * (with <= maxThreads contexts this is today's all-on-one-core layout);
+ * Spread deals contexts round-robin, one per core first.
+ */
+enum class Placement
+{
+    Packed,
+    Spread,
+};
 
 } // namespace mmt
 

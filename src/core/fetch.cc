@@ -149,7 +149,7 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
         itid.forEach([&](ThreadId t) {
             ThreadId from = static_cast<ThreadId>(
                 threads_[t].regs[inst.rs1] & 3);
-            if (!msgNet_->canRecv(from, t))
+            if (!msgNet_->canRecv(from, contextId(t)))
                 all_ready = false;
         });
         if (!all_ready) {
@@ -195,10 +195,13 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
             if (inst.op == Opcode::OUT) {
                 ts.output.push_back(a);
             } else if (inst.op == Opcode::SEND) {
-                msgNet_->send(t, static_cast<ThreadId>(a & 3), b);
+                // SEND/RECV ranks are global context ids, so a ring
+                // workload spans CMP cores unchanged.
+                msgNet_->send(contextId(t), static_cast<ThreadId>(a & 3),
+                              b);
             } else if (inst.op == Opcode::RECV) {
-                dest_vals[t] =
-                    msgNet_->recv(static_cast<ThreadId>(a & 3), t);
+                dest_vals[t] = msgNet_->recv(static_cast<ThreadId>(a & 3),
+                                             contextId(t));
             }
         } else if (info.writesDest) {
             dest_vals[t] = exec::evalAlu(inst, a, b, pc);
@@ -337,15 +340,19 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
         // the pause when the resume PC is statically Divergent: the
         // merge the hint is waiting for could never be useful there.
         if (params_.mergeHintWait > 0 &&
-            itid.count() < sync_.liveThreads() &&
-            !sync_.mergeSkippedAt(pc + instBytes)) {
-            itid.forEach([&](ThreadId t) {
-                threads_[t].hintWaitUntil = now_ + params_.mergeHintWait;
-                threads_[t].hintPc = pc + instBytes;
-                threads_[t].hintWaitMembers = itid.count();
-            });
-            ++stats.hintWaits;
-            stop_stream = true;
+            itid.count() < sync_.liveThreads()) {
+            if (sync_.mergeSkippedAt(pc + instBytes)) {
+                ++sync_.mergeSkipVetoes;
+            } else {
+                itid.forEach([&](ThreadId t) {
+                    threads_[t].hintWaitUntil =
+                        now_ + params_.mergeHintWait;
+                    threads_[t].hintPc = pc + instBytes;
+                    threads_[t].hintWaitMembers = itid.count();
+                });
+                ++stats.hintWaits;
+                stop_stream = true;
+            }
         }
     } else {
         sync_.group(gid).pc = pc + instBytes;

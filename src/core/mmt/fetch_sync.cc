@@ -311,8 +311,10 @@ FetchSync::tryMerge()
                     continue;
                 // Merge-skip hint: a statically-Divergent PC re-diverges
                 // the group immediately; don't churn the merge here.
-                if (mergeSkippedAt(groups_[a].pc))
+                if (mergeSkippedAt(groups_[a].pc)) {
+                    ++mergeSkipVetoes;
                     continue;
+                }
                 // Merge b into a.
                 leaveCatchup(a, false);
                 leaveCatchup(b, false);

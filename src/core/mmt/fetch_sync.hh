@@ -156,6 +156,13 @@ class FetchSync
     Counter remerges;
     Counter catchupEntered;
     Counter catchupAborted; // false positives (CATCHUP -> DETECT)
+    /** Merge-skip hint vetoes that actually fired: a PC-coincidence
+     *  merge or MERGEHINT wait suppressed at a statically-Divergent PC
+     *  (unregistered: summed here, surfaced via RunResult, never in the
+     *  golden stats dump). Zero unless the hints mode enables
+     *  merge-skip — the observable form of the merge-skip ≡ off
+     *  ablation finding. */
+    Counter mergeSkipVetoes;
     /** Divergence→remerge latency in cycles (unregistered: summed here,
      *  surfaced via RunResult, never in the golden stats dump). */
     Counter syncLatencyCycles;

@@ -114,6 +114,15 @@ struct CoreParams
      *  with identical inputs"). */
     bool forceTidZero = false;
 
+    /**
+     * Global context id of each hardware thread (CMP placement): thread
+     * t of this core runs context contextIds[t] of the workload's thread
+     * group, which determines its tid register, stack slot, ME address
+     * space/image and SEND/RECV rank. Empty = identity (thread t is
+     * context t), the single-core layout.
+     */
+    std::vector<int> contextIds;
+
     BranchPredictorParams bpred;
     MemoryParams mem;
     TraceCacheParams traceCache;

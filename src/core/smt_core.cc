@@ -30,7 +30,14 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
                "bad thread count");
     mmt_assert(static_cast<int>(images.size()) == params.numThreads,
                "need one memory image per thread");
+    mmt_assert(params_.contextIds.empty() ||
+                   static_cast<int>(params_.contextIds.size()) ==
+                       params_.numThreads,
+               "need one context id per thread");
 
+    // Context identity: tid register, stack slot, ME address space and
+    // message-passing rank all follow the *global* context id, so a
+    // thread behaves identically wherever its core sits in the CMP.
     const bool mt = !params_.multiExecution;
     std::array<RegVal, numArchRegs> init_regs{};
     init_regs[regSp] = defaultStackTop;
@@ -38,24 +45,29 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
     std::vector<std::pair<RegVal, RegVal>> sp_tid;
     for (ThreadId t = 0; t < params_.numThreads; ++t) {
         ThreadState &ts = threads_[t];
+        ThreadId ctx = contextId(t);
         ts.image = images[t];
-        ts.asid = params_.multiExecution ? t : 0;
+        ts.asid = params_.multiExecution ? ctx : 0;
         ts.regs = init_regs;
         if (mt) {
             ts.regs[regSp] = defaultStackTop -
-                             static_cast<Addr>(t) * defaultStackBytes;
+                             static_cast<Addr>(ctx) * defaultStackBytes;
             ts.regs[regTid] =
-                params_.forceTidZero ? 0 : static_cast<RegVal>(t);
+                params_.forceTidZero ? 0 : static_cast<RegVal>(ctx);
         }
         sp_tid.emplace_back(ts.regs[regSp], ts.regs[regTid]);
     }
 
     // Program-start mappings and RST state (paper §4.2.6): everything
-    // shared, except sp/tid of MT workloads.
+    // shared, except sp/tid of MT workloads. The shared mappings are
+    // seeded from thread 0's architected state (identical to init_regs
+    // on a single core; on a CMP core whose leader hosts a non-zero
+    // context, the leader's sp/tid land in the shared map so the RAT
+    // matches the architected state even without private mappings).
     bool private_regs = mt && params_.numThreads > 1;
     bool private_tid = private_regs && !params_.forceTidZero;
-    rename_.init(params_.numThreads, init_regs, private_regs, private_tid,
-                 sp_tid);
+    rename_.init(params_.numThreads, threads_[0].regs, private_regs,
+                 private_tid, sp_tid);
     rst_.setAllShared();
     for (ThreadId t = 0; private_regs && t < params_.numThreads; ++t) {
         rst_.clearThread(regSp, t);
@@ -115,32 +127,38 @@ SmtCore::run()
                   static_cast<unsigned long long>(params_.maxCycles));
         if (params_.deadlockCycles != 0 &&
             now_ - lastCommitCycle_ > params_.deadlockCycles) {
-            // Per-thread fetch-stall state is the usual culprit in a
-            // commit-starvation hang; include it in the panic.
-            std::string tstate;
-            for (ThreadId t = 0; t < params_.numThreads; ++t) {
-                const ThreadState &ts = threads_[t];
-                tstate += " t" + std::to_string(t) + ":";
-                if (ts.halted) {
-                    tstate += "halted";
-                    continue;
-                }
-                tstate += "stallUntil=" +
-                          std::to_string(ts.fetchStallUntil) +
-                          ",token=" + std::to_string(ts.resolveToken);
-                if (ts.atBarrier)
-                    tstate += ",barrier";
-                if (ts.hintWaitUntil)
-                    tstate += ",hintUntil=" +
-                              std::to_string(ts.hintWaitUntil);
-            }
-            panic("pipeline deadlock at cycle %llu (rob=%d iq=%d lsq=%d "
-                  "fq=%zu)%s",
-                  static_cast<unsigned long long>(now_), rob_.occupancy(),
-                  iq_.size(), lsqUnit_.occupancy(), fetchQueue_.size(),
-                  tstate.c_str());
+            panic("pipeline deadlock at cycle %llu%s",
+                  static_cast<unsigned long long>(now_),
+                  stallDiagnostics().c_str());
         }
     }
+}
+
+std::string
+SmtCore::stallDiagnostics() const
+{
+    // Per-thread fetch-stall state is the usual culprit in a
+    // commit-starvation hang; render it for the deadlock panic (also
+    // per core from the CMP scheduler's system-level watchdog).
+    std::string tstate = " (rob=" + std::to_string(rob_.occupancy()) +
+                         " iq=" + std::to_string(iq_.size()) +
+                         " lsq=" + std::to_string(lsqUnit_.occupancy()) +
+                         " fq=" + std::to_string(fetchQueue_.size()) + ")";
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        const ThreadState &ts = threads_[t];
+        tstate += " t" + std::to_string(t) + ":";
+        if (ts.halted) {
+            tstate += "halted";
+            continue;
+        }
+        tstate += "stallUntil=" + std::to_string(ts.fetchStallUntil) +
+                  ",token=" + std::to_string(ts.resolveToken);
+        if (ts.atBarrier)
+            tstate += ",barrier";
+        if (ts.hintWaitUntil)
+            tstate += ",hintUntil=" + std::to_string(ts.hintWaitUntil);
+    }
+    return tstate;
 }
 
 void
@@ -377,65 +395,68 @@ SmtCore::dispatchStage()
 }
 
 void
-SmtCore::registerStats(StatGroup &group)
+SmtCore::registerStats(StatGroup &group, const std::string &prefix)
 {
-    group.addCounter("fetch.records", &stats.fetchRecords);
-    group.addCounter("fetch.threadInsts", &stats.fetchedThreadInsts);
-    group.addCounter("fetch.streamCycles", &stats.fetchStreamCycles);
-    group.addCounter("fetch.mode.merge", &stats.fetchedInMode[0]);
-    group.addCounter("fetch.mode.detect", &stats.fetchedInMode[1]);
-    group.addCounter("fetch.mode.catchup", &stats.fetchedInMode[2]);
-    group.addCounter("commit.instances", &stats.committedInstances);
-    group.addCounter("commit.threadInsts", &stats.committedThreadInsts);
-    group.addCounter("commit.notIdentical", &stats.identClass[0]);
-    group.addCounter("commit.fetchIdentical", &stats.identClass[1]);
-    group.addCounter("commit.execIdentical", &stats.identClass[2]);
-    group.addCounter("commit.execIdenticalRegMerge", &stats.identClass[3]);
-    group.addCounter("branch.mispredicts", &stats.branchMispredicts);
-    group.addCounter("branch.lookups", &bpred_.lookups);
-    group.addCounter("mem.loads", &stats.loads);
-    group.addCounter("mem.stores", &stats.stores);
-    group.addCounter("mem.l1i.accesses", &memSys_.l1i().accesses);
-    group.addCounter("mem.l1i.misses", &memSys_.l1i().misses);
-    group.addCounter("mem.l1d.accesses", &memSys_.l1d().accesses);
-    group.addCounter("mem.l1d.misses", &memSys_.l1d().misses);
-    group.addCounter("mem.l2.accesses", &memSys_.l2().accesses);
-    group.addCounter("mem.l2.misses", &memSys_.l2().misses);
-    group.addCounter("mem.mshrStalls", &memSys_.mshrStalls);
-    group.addCounter("mem.traceCache.accesses", &traceCache_.accesses);
-    group.addCounter("mem.traceCache.misses", &traceCache_.misses);
-    group.addCounter("rename.ops", &rename_.renameOps);
-    group.addCounter("rename.prfReads", &rename_.prf().reads);
-    group.addCounter("rename.prfWrites", &rename_.prf().writes);
-    group.addCounter("iq.wakeups", &iq_.wakeups);
-    group.addCounter("rob.writes", &rob_.writes);
-    group.addCounter("lsq.accesses", &lsqUnit_.accesses);
-    group.addCounter("fu.intOps", &fus_.intOps);
-    group.addCounter("fu.fpOps", &fus_.fpOps);
-    group.addCounter("mmt.rst.lookups", &rst_.lookups);
-    group.addCounter("mmt.rst.updates", &rst_.updates);
-    group.addCounter("mmt.rst.mergeSets", &rst_.mergeSets);
-    group.addCounter("mmt.splitter.invocations", &splitter_.invocations);
-    group.addCounter("mmt.splitter.splits", &splitter_.splitsProduced);
-    group.addCounter("mmt.lvip.accesses", &lvip_.accesses);
-    group.addCounter("mmt.lvip.mispredicts", &lvip_.mispredicts);
-    group.addCounter("mmt.lvip.rollbacks", &stats.lvipRollbacks);
-    group.addCounter("mmt.regMerge.compares", &regMerge_.compares);
-    group.addCounter("mmt.regMerge.merges", &regMerge_.merges);
-    group.addCounter("mmt.regMerge.portStarved", &regMerge_.portStarved);
-    group.addCounter("mmt.sync.divergences", &sync_.divergences);
-    group.addCounter("mmt.sync.remerges", &sync_.remerges);
-    group.addCounter("mmt.sync.catchupEntered", &sync_.catchupEntered);
-    group.addCounter("mmt.sync.catchupAborted", &sync_.catchupAborted);
+    auto add = [&](const char *name, Counter *c) {
+        group.addCounter(prefix + name, c);
+    };
+    add("fetch.records", &stats.fetchRecords);
+    add("fetch.threadInsts", &stats.fetchedThreadInsts);
+    add("fetch.streamCycles", &stats.fetchStreamCycles);
+    add("fetch.mode.merge", &stats.fetchedInMode[0]);
+    add("fetch.mode.detect", &stats.fetchedInMode[1]);
+    add("fetch.mode.catchup", &stats.fetchedInMode[2]);
+    add("commit.instances", &stats.committedInstances);
+    add("commit.threadInsts", &stats.committedThreadInsts);
+    add("commit.notIdentical", &stats.identClass[0]);
+    add("commit.fetchIdentical", &stats.identClass[1]);
+    add("commit.execIdentical", &stats.identClass[2]);
+    add("commit.execIdenticalRegMerge", &stats.identClass[3]);
+    add("branch.mispredicts", &stats.branchMispredicts);
+    add("branch.lookups", &bpred_.lookups);
+    add("mem.loads", &stats.loads);
+    add("mem.stores", &stats.stores);
+    add("mem.l1i.accesses", &memSys_.l1i().accesses);
+    add("mem.l1i.misses", &memSys_.l1i().misses);
+    add("mem.l1d.accesses", &memSys_.l1d().accesses);
+    add("mem.l1d.misses", &memSys_.l1d().misses);
+    add("mem.l2.accesses", &memSys_.l2().accesses);
+    add("mem.l2.misses", &memSys_.l2().misses);
+    add("mem.mshrStalls", &memSys_.mshrStalls);
+    add("mem.traceCache.accesses", &traceCache_.accesses);
+    add("mem.traceCache.misses", &traceCache_.misses);
+    add("rename.ops", &rename_.renameOps);
+    add("rename.prfReads", &rename_.prf().reads);
+    add("rename.prfWrites", &rename_.prf().writes);
+    add("iq.wakeups", &iq_.wakeups);
+    add("rob.writes", &rob_.writes);
+    add("lsq.accesses", &lsqUnit_.accesses);
+    add("fu.intOps", &fus_.intOps);
+    add("fu.fpOps", &fus_.fpOps);
+    add("mmt.rst.lookups", &rst_.lookups);
+    add("mmt.rst.updates", &rst_.updates);
+    add("mmt.rst.mergeSets", &rst_.mergeSets);
+    add("mmt.splitter.invocations", &splitter_.invocations);
+    add("mmt.splitter.splits", &splitter_.splitsProduced);
+    add("mmt.lvip.accesses", &lvip_.accesses);
+    add("mmt.lvip.mispredicts", &lvip_.mispredicts);
+    add("mmt.lvip.rollbacks", &stats.lvipRollbacks);
+    add("mmt.regMerge.compares", &regMerge_.compares);
+    add("mmt.regMerge.merges", &regMerge_.merges);
+    add("mmt.regMerge.portStarved", &regMerge_.portStarved);
+    add("mmt.sync.divergences", &sync_.divergences);
+    add("mmt.sync.remerges", &sync_.remerges);
+    add("mmt.sync.catchupEntered", &sync_.catchupEntered);
+    add("mmt.sync.catchupAborted", &sync_.catchupAborted);
     for (ThreadId t = 0; t < params_.numThreads; ++t) {
-        std::string prefix = "mmt.fhb" + std::to_string(t);
-        group.addCounter(prefix + ".searches", &sync_.fhb(t).searches);
-        group.addCounter(prefix + ".hits", &sync_.fhb(t).hits);
-        group.addCounter(prefix + ".records", &sync_.fhb(t).records);
+        std::string fhb = prefix + "mmt.fhb" + std::to_string(t);
+        group.addCounter(fhb + ".searches", &sync_.fhb(t).searches);
+        group.addCounter(fhb + ".hits", &sync_.fhb(t).hits);
+        group.addCounter(fhb + ".records", &sync_.fhb(t).records);
     }
     if (msgNet_ != nullptr) {
-        group.addCounter("msg.sends", &msgNet_->sends);
-        group.addCounter("msg.recvs", &msgNet_->recvs);
+        add("msg.sends", &msgNet_->sends);
+        add("msg.recvs", &msgNet_->recvs);
     }
 }
 
@@ -476,26 +497,50 @@ SmtCore::haltThread(ThreadId tid)
     sync_.removeThread(tid);
 }
 
-void
-SmtCore::releaseBarrierIfReady()
+int
+SmtCore::liveThreadCount() const
 {
-    bool any = false;
+    int n = 0;
     for (ThreadId t = 0; t < params_.numThreads; ++t) {
-        ThreadState &ts = threads_[t];
-        if (ts.halted)
-            continue;
-        if (!ts.atBarrier)
-            return; // someone is still on the way
-        any = true;
+        if (!threads_[t].halted)
+            ++n;
     }
-    if (!any)
-        return;
+    return n;
+}
+
+int
+SmtCore::threadsAtBarrier() const
+{
+    int n = 0;
+    for (ThreadId t = 0; t < params_.numThreads; ++t) {
+        if (!threads_[t].halted && threads_[t].atBarrier)
+            ++n;
+    }
+    return n;
+}
+
+void
+SmtCore::releaseBarrier()
+{
     for (ThreadId t = 0; t < params_.numThreads; ++t) {
         threads_[t].atBarrier = false;
         // A barrier is a stronger sync point than any pending hint wait;
         // crossing it makes leftover hint state stale.
         clearHintWait(threads_[t]);
     }
+}
+
+void
+SmtCore::releaseBarrierIfReady()
+{
+    // Under a CMP the barrier spans every core's threads; the system
+    // scheduler decides when all have arrived and calls releaseBarrier().
+    if (externalBarrier_)
+        return;
+    int live = liveThreadCount();
+    if (live == 0 || threadsAtBarrier() != live)
+        return; // someone is still on the way
+    releaseBarrier();
 }
 
 void

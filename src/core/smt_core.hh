@@ -116,6 +116,38 @@ class SmtCore
     const CoreParams &params() const { return params_; }
     const ThreadState &thread(ThreadId tid) const { return threads_[tid]; }
 
+    /** Global context id of hardware thread @p tid (CMP placement;
+     *  identity on a single core). */
+    ThreadId contextId(ThreadId tid) const
+    {
+        return params_.contextIds.empty()
+                   ? tid
+                   : params_.contextIds[static_cast<std::size_t>(tid)];
+    }
+
+    /** Cycle of the most recent commit (system deadlock watchdog). */
+    Cycles lastCommitCycle() const { return lastCommitCycle_; }
+
+    /** Per-thread fetch-stall state rendered for a deadlock panic. */
+    std::string stallDiagnostics() const;
+
+    /**
+     * Barrier coordination hand-off: when set, the core never releases
+     * its own BARRIER waits — the system scheduler (sim/cmp.hh) releases
+     * them once every live thread of *every* core has arrived, matching
+     * the functional model's global barrier.
+     */
+    void setExternalBarrier(bool external) { externalBarrier_ = external; }
+
+    /** Live (non-halted) threads of this core. */
+    int liveThreadCount() const;
+
+    /** Live threads currently waiting at a BARRIER. */
+    int threadsAtBarrier() const;
+
+    /** Release every thread waiting at a BARRIER (external mode). */
+    void releaseBarrier();
+
     /** Attach a message network (required to execute SEND/RECV). */
     void setMessageNetwork(MessageNetwork *net) { msgNet_ = net; }
     MessageNetwork *messageNetwork() { return msgNet_; }
@@ -144,9 +176,11 @@ class SmtCore
     /**
      * Register every counter of the core and its components with
      * @p group under dotted names ("fetch.records", "mmt.rst.lookups",
-     * ...). The group holds pointers; it must not outlive the core.
+     * ...), each prefixed with @p prefix ("" for the single-core dump
+     * the goldens pin, "core0." under a CMP). The group holds pointers;
+     * it must not outlive the core.
      */
-    void registerStats(StatGroup &group);
+    void registerStats(StatGroup &group, const std::string &prefix = "");
 
     /** Render all registered statistics as text (gem5-style dump). */
     std::string dumpStats();
@@ -282,6 +316,7 @@ class SmtCore
     CommitHook commitHook_;
 
     Cycles lastCommitCycle_ = 0;
+    bool externalBarrier_ = false;
 };
 
 } // namespace mmt

@@ -34,6 +34,12 @@ computeEnergy(SmtCore &core, const EnergyParams &p)
     e.cache += n(mem.l1d().accesses) * p.l1dAccess;
     e.cache += n(mem.l2().accesses) * p.l2Access;
     e.cache += n(mem.l2().misses) * p.dramAccess;
+    // CMP shared structures, charged to the cores that drive them (the
+    // private-L2 counters above stay zero when a shared L2 is routed;
+    // all of these are zero on a standalone core).
+    e.cache += n(mem.sharedL2Accesses) * p.l2Access;
+    e.cache += n(mem.sharedL2Misses) * p.dramAccess;
+    e.cache += n(mem.sharedIAccesses) * p.l1iAccess;
     e.cache += n(core.traceCache().accesses) * p.traceCacheAccess;
 
     e.other += n(core.bpred().lookups) * p.bpredLookup;

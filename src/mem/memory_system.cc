@@ -28,6 +28,22 @@ MemorySystem::allocMshr(Cycles now, Cycles service_latency)
 }
 
 Cycles
+MemorySystem::l2Service(AddressSpaceId asid, Addr addr, Cycles now)
+{
+    Cache &l2c = sharedL2_ ? *sharedL2_ : l2_;
+    auto l2 = l2c.access(asid, addr, now, params_.dramLatency);
+    if (sharedL2_) {
+        ++sharedL2Accesses;
+        if (!l2.hit)
+            ++sharedL2Misses;
+    }
+    Cycles service = params_.l2Latency;
+    if (!l2.hit || l2.readyAt > now)
+        service += std::max(l2.readyAt, now) - now;
+    return service;
+}
+
+Cycles
 MemorySystem::dataAccess(AddressSpaceId asid, Addr addr, bool is_write,
                          Cycles now)
 {
@@ -39,10 +55,7 @@ MemorySystem::dataAccess(AddressSpaceId asid, Addr addr, bool is_write,
     if (l1.hit)
         return std::max(l1.readyAt, now) + params_.l1Latency;
 
-    auto l2 = l2_.access(asid, addr, now, params_.dramLatency);
-    Cycles service = params_.l2Latency;
-    if (!l2.hit || l2.readyAt > now)
-        service += std::max(l2.readyAt, now) - now;
+    Cycles service = l2Service(asid, addr, now);
 
     Cycles start = allocMshr(now, service);
     Cycles ready = start + params_.l1Latency + service;
@@ -60,13 +73,31 @@ MemorySystem::instAccess(AddressSpaceId asid, Addr addr, Cycles now)
     if (l1.hit)
         return std::max(l1.readyAt, now) + params_.l1Latency;
 
-    auto l2 = l2_.access(asid, addr, now, params_.dramLatency);
-    Cycles service = params_.l2Latency;
-    if (!l2.hit || l2.readyAt > now)
-        service += std::max(l2.readyAt, now) - now;
+    // Shared fetch path (Sphynx-style): an L1I miss first probes the
+    // CMP's shared I-cache; a hit fills the private L1I at the hop
+    // latency without touching the L2.
+    if (sharedICache_) {
+        ++sharedIAccesses;
+        auto sl = sharedICache_->access(asid, addr, now, 0);
+        if (sl.hit) {
+            ++sharedIHits;
+            Cycles ready = std::max(sl.readyAt, now) + params_.l1Latency +
+                           params_.sharedILatency;
+            l1i_.setFillTime(asid, addr, ready);
+            return ready;
+        }
+    }
+
+    Cycles service = l2Service(asid, addr, now);
 
     // Instruction misses bypass the data MSHR pool (separate fill path).
     Cycles ready = now + params_.l1Latency + service;
+    if (sharedICache_) {
+        // The shared I-cache also fills on the L2 path (it missed above,
+        // installing the line; stamp when that fill lands).
+        sharedICache_->setFillTime(asid, addr,
+                                   ready + params_.sharedILatency);
+    }
     l1i_.setFillTime(asid, addr, ready);
     return ready;
 }

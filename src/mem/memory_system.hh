@@ -26,10 +26,17 @@ struct MemoryParams
     Cycles l1Latency = 1;
     Cycles l2Latency = 6;
     Cycles dramLatency = 200;
+    /** Interconnect hop to the CMP's shared I-cache (when present). */
+    Cycles sharedILatency = 2;
     int numMshrs = 16;
 };
 
-/** Timing model of the shared cache hierarchy. */
+/**
+ * Timing model of one core's cache hierarchy. Standalone it owns a
+ * private L2 (the single-core Table 4 hierarchy); under a CMP the
+ * system injects a shared L2 (and optionally a shared I-cache probed
+ * between the private L1I and the L2) that replaces / augments it.
+ */
 class MemorySystem
 {
   public:
@@ -54,7 +61,21 @@ class MemorySystem
     Cache &l1d() { return l1d_; }
     Cache &l2() { return l2_; }
 
+    /** Route L1 misses to @p l2 (the CMP's shared L2) instead of the
+     *  private one. Pass nullptr to restore the private L2. */
+    void setSharedL2(Cache *l2) { sharedL2_ = l2; }
+
+    /** Probe @p cache (the CMP's Sphynx-style shared I-cache) between
+     *  the private L1I and the L2 on instruction-fetch misses. */
+    void setSharedICache(Cache *cache) { sharedICache_ = cache; }
+
     Counter mshrStalls; // accesses delayed because all MSHRs were busy
+    // Per-core traffic into the CMP's shared structures (all zero when
+    // nothing is shared — the single-core case).
+    Counter sharedL2Accesses;
+    Counter sharedL2Misses;
+    Counter sharedIAccesses;
+    Counter sharedIHits;
 
   private:
     /**
@@ -63,10 +84,16 @@ class MemorySystem
      */
     Cycles allocMshr(Cycles now, Cycles service_latency);
 
+    /** L2 access through the private or shared L2, counting shared
+     *  traffic. @return service latency beyond the L1 fill. */
+    Cycles l2Service(AddressSpaceId asid, Addr addr, Cycles now);
+
     MemoryParams params_;
     Cache l1i_;
     Cache l1d_;
     Cache l2_;
+    Cache *sharedL2_ = nullptr;
+    Cache *sharedICache_ = nullptr;
     std::vector<Cycles> mshrFreeAt_;
 };
 

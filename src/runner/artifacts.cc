@@ -57,7 +57,42 @@ overridesLabel(const SimOverrides &ov)
            << staticHintsModeName(ov.staticHints);
         sep = ";";
     }
+    field("cores", ov.numCores, 1);
+    if (ov.placement != Placement::Packed) {
+        os << sep << "placement=" << placementName(ov.placement);
+        sep = ";";
+    }
+    field("sharedicache", ov.sharedICache ? 1 : 0, 0);
     return os.str();
+}
+
+/** Per-core context lists as "0:1|2:3" (one group per populated core). */
+std::string
+perCoreContextsLabel(const RunResult &r)
+{
+    std::string out;
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        if (c)
+            out += "|";
+        const std::vector<int> &ctxs = r.perCore[c].contexts;
+        for (std::size_t i = 0; i < ctxs.size(); ++i)
+            out += (i ? ":" : "") + std::to_string(ctxs[i]);
+    }
+    return out;
+}
+
+/** One numeric column value per core, pipe-joined. */
+template <typename Fn>
+std::string
+perCoreJoined(const RunResult &r, Fn value)
+{
+    std::string out;
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        if (c)
+            out += "|";
+        out += value(r.perCore[c]);
+    }
+    return out;
 }
 
 } // namespace
@@ -113,6 +148,27 @@ sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
                           : 0.0)
            << ", \"mergedFrac\": " << jsonNum(r.mergedFrac())
            << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false")
+           << ",\n     \"mergeSkipVetoes\": " << r.mergeSkipVetoes
+           << ", \"numCores\": " << r.numCores
+           << ", \"placement\": " << jsonStr(placementName(r.placement))
+           << ", \"sharedL2Accesses\": " << r.sharedL2Accesses
+           << ", \"sharedL2Misses\": " << r.sharedL2Misses
+           << ",\n     \"sharedICacheAccesses\": " << r.sharedICacheAccesses
+           << ", \"sharedICacheHits\": " << r.sharedICacheHits
+           << ",\n     \"perCore\": [";
+        for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+            const CoreBreakdown &cb = r.perCore[c];
+            os << (c ? ", " : "") << "{\"contexts\": [";
+            for (std::size_t k = 0; k < cb.contexts.size(); ++k)
+                os << (k ? ", " : "") << cb.contexts[k];
+            os << "], \"cycles\": " << cb.cycles
+               << ", \"committedThreadInsts\": " << cb.committedThreadInsts
+               << ", \"mergedFrac\": " << jsonNum(cb.mergedFrac)
+               << ", \"energyPj\": " << jsonNum(cb.energyPj)
+               << ", \"sharedICacheHits\": " << cb.sharedICacheHits
+               << "}";
+        }
+        os << "]"
            << ",\n     \"simSpeed\": {\"hostSeconds\": "
            << jsonNum(r.simSpeed.hostSeconds) << ", \"simCyclesPerSec\": "
            << jsonNum(r.simSpeed.simCyclesPerSec)
@@ -136,6 +192,10 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
           "divergences,remerges,remergeWithin512,catchupAborted,"
           "syncLatencyCycles,syncLatencySamples,meanSyncLatency,"
           "staticMergeableFrac,predicted_mergeable,mergedFrac,goldenOk,"
+          "mergeSkipVetoes,numCores,placement,sharedL2Accesses,"
+          "sharedL2Misses,sharedICacheAccesses,sharedICacheHits,"
+          "perCoreContexts,perCoreCycles,perCoreMergedFrac,"
+          "perCoreSharedICacheHits,"
           "hostSeconds,simCyclesPerSec,threadInstsPerSec\n";
     for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
         const JobSpec &job = spec.jobs[i];
@@ -161,6 +221,26 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
                           ? outcome.predictedMergeable[i]
                           : 0.0)
            << "," << jsonNum(r.mergedFrac()) << "," << (r.goldenOk ? 1 : 0)
+           << "," << r.mergeSkipVetoes << "," << r.numCores << ","
+           << placementName(r.placement) << "," << r.sharedL2Accesses
+           << "," << r.sharedL2Misses << "," << r.sharedICacheAccesses
+           << "," << r.sharedICacheHits << ","
+           << perCoreContextsLabel(r) << ","
+           << perCoreJoined(r,
+                            [](const CoreBreakdown &cb) {
+                                return std::to_string(cb.cycles);
+                            })
+           << ","
+           << perCoreJoined(r,
+                            [](const CoreBreakdown &cb) {
+                                return jsonNum(cb.mergedFrac);
+                            })
+           << ","
+           << perCoreJoined(r,
+                            [](const CoreBreakdown &cb) {
+                                return std::to_string(
+                                    cb.sharedICacheHits);
+                            })
            << "," << jsonNum(r.simSpeed.hostSeconds) << ","
            << jsonNum(r.simSpeed.simCyclesPerSec) << ","
            << jsonNum(r.simSpeed.threadInstsPerSec) << "\n";

@@ -55,16 +55,19 @@ countFields(Fields... fields)
         return sizeof...(Fields);
 }
 
-static_assert(countFields<SimOverrides>() == 9,
+static_assert(countFields<SimOverrides>() == 12,
               "SimOverrides changed: extend overridesKey() and bump "
               "kCodeVersionSalt");
-static_assert(countFields<CoreParams>() == 34,
+static_assert(countFields<CoreParams>() == 35,
               "CoreParams changed: extend paramsKey() and bump "
+              "kCodeVersionSalt");
+static_assert(countFields<SystemParams>() == 5,
+              "SystemParams changed: extend systemKey() and bump "
               "kCodeVersionSalt");
 static_assert(countFields<BranchPredictorParams>() == 4,
               "BranchPredictorParams changed: extend paramsKey() and "
               "bump kCodeVersionSalt");
-static_assert(countFields<MemoryParams>() == 7,
+static_assert(countFields<MemoryParams>() == 8,
               "MemoryParams changed: extend paramsKey() and bump "
               "kCodeVersionSalt");
 static_assert(countFields<CacheParams>() == 4,
@@ -111,7 +114,10 @@ overridesKey(const SimOverrides &ov)
        << ";notc=" << (ov.disableTraceCache ? 1 : 0)
        << ";inv=" << (ov.checkInvariants ? 1 : 0)
        << ";mrp=" << ov.mergeReadPorts << ";cup=" << ov.catchupPriority
-       << ";sh=" << static_cast<int>(ov.staticHints);
+       << ";sh=" << static_cast<int>(ov.staticHints)
+       << ";nc=" << ov.numCores
+       << ";pl=" << placementName(ov.placement)
+       << ";si=" << (ov.sharedICache ? 1 : 0);
     return os.str();
 }
 
@@ -135,7 +141,14 @@ paramsKey(const CoreParams &p)
        << ";rm=" << (p.regMerge ? 1 : 0)
        << ";me=" << (p.multiExecution ? 1 : 0)
        << ";tid0=" << (p.forceTidZero ? 1 : 0)
-       << ";bp=" << p.bpred.phtEntries << ":" << p.bpred.historyBits
+       << ";ctx=";
+    if (p.contextIds.empty()) {
+        os << "-";
+    } else {
+        for (std::size_t i = 0; i < p.contextIds.size(); ++i)
+            os << (i ? ":" : "") << p.contextIds[i];
+    }
+    os << ";bp=" << p.bpred.phtEntries << ":" << p.bpred.historyBits
        << ":" << p.bpred.btbEntries << ":" << p.bpred.rasEntries
        << ";mem=";
     cacheParamsKey(os, p.mem.l1i);
@@ -144,7 +157,8 @@ paramsKey(const CoreParams &p)
     os << ",";
     cacheParamsKey(os, p.mem.l2);
     os << "," << p.mem.l1Latency << ":" << p.mem.l2Latency << ":"
-       << p.mem.dramLatency << ":" << p.mem.numMshrs
+       << p.mem.dramLatency << ":" << p.mem.sharedILatency << ":"
+       << p.mem.numMshrs
        << ";tc=" << (p.traceCache.enabled ? 1 : 0) << ":"
        << p.traceCache.sizeBytes << ":" << p.traceCache.assoc << ":"
        << p.traceCache.traceInsts << ":"
@@ -157,16 +171,26 @@ paramsKey(const CoreParams &p)
 }
 
 std::string
+systemKey(const SystemParams &sys)
+{
+    std::ostringstream os;
+    os << "nc=" << sys.numCores << ":pl=" << placementName(sys.placement)
+       << ":si=" << (sys.sharedICache ? 1 : 0) << ":sig=";
+    cacheParamsKey(os, sys.sharedICacheGeom);
+    return os.str();
+}
+
+std::string
 jobKey(const JobSpec &job)
 {
     const Workload &w = resolveWorkload(job.workload);
-    CoreParams p =
-        makeCoreParams(job.kind, w, job.numThreads, job.overrides);
+    SystemParams sys =
+        makeSystemParams(job.kind, w, job.numThreads, job.overrides);
     std::ostringstream os;
     os << "wl=" << job.workload << "|cfg=" << configName(job.kind)
        << "|t=" << job.numThreads << "|ov=" << overridesKey(job.overrides)
        << "|golden=" << (job.checkGolden ? 1 : 0)
-       << "|p=" << paramsKey(p);
+       << "|sys=" << systemKey(sys) << "|p=" << paramsKey(sys.core);
     return os.str();
 }
 

@@ -28,7 +28,7 @@ struct JobSpec;
  * Bump on any simulator change that affects results (pipeline timing,
  * energy parameters, workload data initialisation, RunResult layout).
  */
-inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v3";
+inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v4";
 
 /** FNV-1a 64-bit hash of a byte string. */
 std::uint64_t fnv1a64(const std::string &bytes,
@@ -52,6 +52,13 @@ std::string overridesKey(const SimOverrides &ov);
  * cannot silently alias stale cache entries.
  */
 std::string paramsKey(const CoreParams &p);
+
+/**
+ * Canonical textual encoding of the system topology (core count,
+ * placement, shared-I-cache switch and geometry). Sentinel-guarded like
+ * paramsKey().
+ */
+std::string systemKey(const SystemParams &sys);
 
 /**
  * Canonical job identity *within* a sweep: workload name, config,

@@ -294,6 +294,69 @@ renderAblationHints(const SweepSpec &spec,
                        rows);
 }
 
+SimOverrides
+cmpOverrides(const PlacementScenario &s)
+{
+    SimOverrides ov;
+    ov.numCores = s.numCores;
+    ov.placement = s.placement;
+    ov.sharedICache = s.sharedICache;
+    return ov;
+}
+
+/**
+ * CMP figure: per-app cycle ratio of each topology scenario against the
+ * single-core SMT baseline (MMT-FXR, 4 threads), plus the merged
+ * fraction once the contexts are spread one-per-core and the shared
+ * I-cache hit rate when it is enabled.
+ */
+std::string
+renderCmp(const SweepSpec &spec, const std::vector<RunResult> &results)
+{
+    const std::vector<PlacementScenario> &scns = placementScenarios();
+    ResultIndex index(spec, results);
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::vector<double>> per_scn(scns.size() - 1);
+    for (const std::string &app : workloadNames()) {
+        const RunResult &base = index.get(app, ConfigKind::MMT_FXR, 4);
+        std::vector<std::string> row{app, std::to_string(base.cycles)};
+        const RunResult *spread4 = nullptr;
+        const RunResult *spread4si = nullptr;
+        for (std::size_t i = 1; i < scns.size(); ++i) {
+            const PlacementScenario &s = scns[i];
+            const RunResult &r = index.get(app, ConfigKind::MMT_FXR, 4,
+                                           cmpOverrides(s));
+            double ratio = static_cast<double>(base.cycles) /
+                           static_cast<double>(r.cycles);
+            row.push_back(fmt(ratio));
+            per_scn[i - 1].push_back(ratio);
+            if (s.numCores == 4 && s.placement == Placement::Spread)
+                (s.sharedICache ? spread4si : spread4) = &r;
+        }
+        row.push_back(fmt(100.0 * spread4->mergedFrac(), 1));
+        double si_hit =
+            spread4si->sharedICacheAccesses > 0
+                ? 100.0 *
+                      static_cast<double>(spread4si->sharedICacheHits) /
+                      static_cast<double>(spread4si->sharedICacheAccesses)
+                : 0.0;
+        row.push_back(fmt(si_hit, 1));
+        rows.push_back(row);
+    }
+    std::vector<std::string> gm{"geomean", ""};
+    for (std::size_t i = 0; i + 1 < scns.size(); ++i)
+        gm.push_back(fmt(geomean(per_scn[i])));
+    gm.push_back("");
+    gm.push_back("");
+    rows.push_back(gm);
+    std::vector<std::string> headers{"app", "1c-cycles"};
+    for (std::size_t i = 1; i < scns.size(); ++i)
+        headers.push_back(scns[i].name);
+    headers.push_back("merged%(4c-sp)");
+    headers.push_back("siHit%(4c-sp)");
+    return formatTable(headers, rows);
+}
+
 Figure
 figureSpeedup(const std::string &id, int num_threads)
 {
@@ -319,7 +382,7 @@ figureIds()
 {
     static const std::vector<std::string> ids = {
         "5a", "5b", "5c", "5d", "7a",
-        "7b", "7c", "7d", "ablation_hints", "csrc"};
+        "7b", "7c", "7d", "ablation_hints", "csrc", "cmp"};
     return ids;
 }
 
@@ -463,9 +526,26 @@ makeFigure(const std::string &id)
                         {ConfigKind::Base, ConfigKind::MMT_FXR}, {2, 4},
                         {SimOverrides()}, /*check_golden=*/true);
         fig.render = renderCsrc;
+    } else if (id == "cmp") {
+        fig.sweep.name = "fig_cmp";
+        fig.title = "CMP topology: cycle ratio vs single-core SMT "
+                    "(MMT-FXR, 4 threads; >1.00 = faster)\n\n";
+        fig.paperNote =
+            "\nPacked keeps all contexts on core 0 (cycle-identical to "
+            "1c by\nconstruction); spread gives each context a private "
+            "pipeline but\nforfeits intra-core merging, so merged% "
+            "collapses once every core\nholds one context. '+si' adds "
+            "the Sphynx-style shared I-cache between\nthe private L1Is "
+            "and the shared L2.\n";
+        std::vector<SimOverrides> cmp_ovs;
+        for (const PlacementScenario &s : placementScenarios())
+            cmp_ovs.push_back(cmpOverrides(s));
+        fig.sweep.cross(workloadNames(), {ConfigKind::MMT_FXR}, {4},
+                        cmp_ovs, /*check_golden=*/true);
+        fig.render = renderCmp;
     } else {
         fatal("unknown figure '%s' (try: 5a 5b 5c 5d 7a 7b 7c 7d "
-              "ablation_hints csrc)",
+              "ablation_hints csrc cmp)",
               id.c_str());
     }
     return fig;

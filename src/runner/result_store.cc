@@ -96,6 +96,22 @@ serializeResult(const RunResult &r)
     os << "syncLatencySamples " << r.syncLatencySamples << "\n";
     os << "staticMergeableFrac " << doubleBits(r.staticMergeableFrac)
        << "\n";
+    os << "mergeSkipVetoes " << r.mergeSkipVetoes << "\n";
+    os << "system " << r.numCores << " " << placementName(r.placement)
+       << " " << (r.sharedICache ? 1 : 0) << "\n";
+    os << "sharedL2 " << r.sharedL2Accesses << " " << r.sharedL2Misses
+       << "\n";
+    os << "sharedICacheStats " << r.sharedICacheAccesses << " "
+       << r.sharedICacheHits << "\n";
+    os << "perCore " << r.perCore.size() << "\n";
+    for (const CoreBreakdown &cb : r.perCore) {
+        os << "core";
+        for (std::size_t i = 0; i < cb.contexts.size(); ++i)
+            os << (i ? ":" : " ") << cb.contexts[i];
+        os << " " << cb.cycles << " " << cb.committedThreadInsts << " "
+           << doubleBits(cb.mergedFrac) << " " << doubleBits(cb.energyPj)
+           << " " << cb.sharedICacheHits << "\n";
+    }
     os << "goldenOk " << (r.goldenOk ? 1 : 0) << "\n";
     return os.str();
 }
@@ -204,6 +220,72 @@ deserializeResult(const std::string &text, RunResult &out)
     auto smf = next("staticMergeableFrac", 1);
     if (smf.empty() || !parseDoubleBits(smf[0], out.staticMergeableFrac))
         return false;
+    if (!readU64("mergeSkipVetoes", out.mergeSkipVetoes))
+        return false;
+    auto sysl = next("system", 3);
+    if (sysl.size() != 3)
+        return false;
+    std::uint64_t cores;
+    if (!parseU64(sysl[0], cores) || cores < 1 ||
+        cores > static_cast<std::uint64_t>(maxCores)) {
+        return false;
+    }
+    out.numCores = static_cast<int>(cores);
+    if (sysl[1] == "packed")
+        out.placement = Placement::Packed;
+    else if (sysl[1] == "spread")
+        out.placement = Placement::Spread;
+    else
+        return false;
+    if (sysl[2] != "0" && sysl[2] != "1")
+        return false;
+    out.sharedICache = sysl[2] == "1";
+    auto sl2 = next("sharedL2", 2);
+    if (sl2.size() != 2 || !parseU64(sl2[0], out.sharedL2Accesses) ||
+        !parseU64(sl2[1], out.sharedL2Misses)) {
+        return false;
+    }
+    auto sic = next("sharedICacheStats", 2);
+    if (sic.size() != 2 ||
+        !parseU64(sic[0], out.sharedICacheAccesses) ||
+        !parseU64(sic[1], out.sharedICacheHits)) {
+        return false;
+    }
+    std::uint64_t num_cores_listed;
+    if (!readU64("perCore", num_cores_listed) ||
+        num_cores_listed > static_cast<std::uint64_t>(maxCores)) {
+        return false;
+    }
+    out.perCore.clear();
+    for (std::uint64_t c = 0; c < num_cores_listed; ++c) {
+        auto cl = next("core", 6);
+        if (cl.size() != 6)
+            return false;
+        CoreBreakdown cb;
+        // Context ids are colon-joined ("0:1"); each is <= maxThreads.
+        std::istringstream cs(cl[0]);
+        std::string tok;
+        while (std::getline(cs, tok, ':')) {
+            std::uint64_t ctx;
+            if (!parseU64(tok, ctx) ||
+                ctx >= static_cast<std::uint64_t>(maxThreads)) {
+                return false;
+            }
+            cb.contexts.push_back(static_cast<int>(ctx));
+        }
+        if (cb.contexts.empty())
+            return false;
+        std::uint64_t core_cycles;
+        if (!parseU64(cl[1], core_cycles) ||
+            !parseU64(cl[2], cb.committedThreadInsts) ||
+            !parseDoubleBits(cl[3], cb.mergedFrac) ||
+            !parseDoubleBits(cl[4], cb.energyPj) ||
+            !parseU64(cl[5], cb.sharedICacheHits)) {
+            return false;
+        }
+        cb.cycles = core_cycles;
+        out.perCore.push_back(std::move(cb));
+    }
     auto gk = next("goldenOk", 1);
     if (gk.empty() || (gk[0] != "0" && gk[0] != "1"))
         return false;

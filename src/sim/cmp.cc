@@ -1,0 +1,202 @@
+#include "sim/cmp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mmt
+{
+
+Cmp::Cmp(const SystemParams &sys, const Program *program,
+         const std::vector<MemoryImage *> &images)
+    : sys_(sys)
+{
+    int num_contexts = sys_.core.numThreads;
+    mmt_assert(static_cast<int>(images.size()) == num_contexts,
+               "need one memory image per context");
+
+    if (sys_.numCores == 1) {
+        // The standalone core, constructed exactly as before the CMP
+        // layer existed (identity placement, no shared structures, no
+        // contextIds): the bit-identity path the goldens pin.
+        contexts_.emplace_back();
+        for (int ctx = 0; ctx < num_contexts; ++ctx) {
+            contexts_[0].push_back(ctx);
+            ctxLoc_.push_back({0, static_cast<ThreadId>(ctx)});
+        }
+        cores_.push_back(
+            std::make_unique<SmtCore>(sys_.core, program, images));
+        return;
+    }
+
+    contexts_ =
+        placeContexts(num_contexts, sys_.numCores, sys_.placement);
+
+    // Shared outer memory: one L2 for the chip (the Table 4 L2 geometry
+    // from the per-core template), plus the optional shared I-cache.
+    sharedL2_ = std::make_unique<Cache>(sys_.core.mem.l2);
+    if (sys_.sharedICache)
+        sharedICache_ = std::make_unique<Cache>(sys_.sharedICacheGeom);
+
+    ctxLoc_.resize(static_cast<std::size_t>(num_contexts));
+    for (std::size_t c = 0; c < contexts_.size(); ++c) {
+        const std::vector<int> &ctxs = contexts_[c];
+        CoreParams params = sys_.core;
+        params.numThreads = static_cast<int>(ctxs.size());
+        params.contextIds = ctxs;
+        std::vector<MemoryImage *> core_images;
+        for (std::size_t t = 0; t < ctxs.size(); ++t) {
+            core_images.push_back(
+                images[static_cast<std::size_t>(ctxs[t])]);
+            ctxLoc_[static_cast<std::size_t>(ctxs[t])] = {
+                static_cast<int>(c), static_cast<ThreadId>(t)};
+        }
+        auto core =
+            std::make_unique<SmtCore>(params, program, core_images);
+        core->memSys().setSharedL2(sharedL2_.get());
+        if (sharedICache_)
+            core->memSys().setSharedICache(sharedICache_.get());
+        // BARRIER spans the whole thread group; the system releases it.
+        core->setExternalBarrier(true);
+        cores_.push_back(std::move(core));
+    }
+}
+
+bool
+Cmp::done() const
+{
+    for (const auto &core : cores_) {
+        if (!core->done())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+Cmp::now() const
+{
+    return cores_.size() == 1 ? cores_[0]->now() : now_;
+}
+
+const ThreadState &
+Cmp::contextState(int ctx) const
+{
+    const CtxLoc &loc = ctxLoc_[static_cast<std::size_t>(ctx)];
+    return cores_[static_cast<std::size_t>(loc.core)]->thread(loc.thread);
+}
+
+void
+Cmp::setMessageNetwork(MessageNetwork *net)
+{
+    for (auto &core : cores_)
+        core->setMessageNetwork(net);
+}
+
+void
+Cmp::setCommitHook(SmtCore::CommitHook hook)
+{
+    for (auto &core : cores_)
+        core->setCommitHook(hook);
+}
+
+void
+Cmp::releaseGlobalBarrierIfReady()
+{
+    int live = 0;
+    int waiting = 0;
+    for (const auto &core : cores_) {
+        live += core->liveThreadCount();
+        waiting += core->threadsAtBarrier();
+    }
+    if (live == 0 || waiting != live)
+        return; // someone, somewhere, is still on the way
+    for (auto &core : cores_)
+        core->releaseBarrier();
+}
+
+void
+Cmp::tickSystem()
+{
+    ++now_;
+    // Lockstep: every non-done core steps each system cycle, so the
+    // per-core clocks and the shared caches' timestamps stay coherent.
+    // A finished core's clock freezes at its completion cycle.
+    for (auto &core : cores_) {
+        if (!core->done())
+            core->tick();
+    }
+    releaseGlobalBarrierIfReady();
+}
+
+void
+Cmp::run()
+{
+    if (cores_.size() == 1 && !sharedL2_) {
+        cores_[0]->run();
+        return;
+    }
+    const CoreParams &p = sys_.core;
+    while (!done()) {
+        tickSystem();
+        if (now_ > p.maxCycles)
+            fatal("simulation exceeded %llu cycles",
+                  static_cast<unsigned long long>(p.maxCycles));
+        if (p.deadlockCycles != 0) {
+            Cycles last_commit = 0;
+            for (const auto &core : cores_)
+                last_commit =
+                    std::max(last_commit, core->lastCommitCycle());
+            if (now_ - last_commit > p.deadlockCycles) {
+                std::string diag;
+                for (std::size_t c = 0; c < cores_.size(); ++c) {
+                    diag += "\n  core" + std::to_string(c) + ":" +
+                            cores_[c]->stallDiagnostics();
+                }
+                panic("system deadlock at cycle %llu%s",
+                      static_cast<unsigned long long>(now_),
+                      diag.c_str());
+            }
+        }
+    }
+}
+
+void
+Cmp::registerAllStats(StatGroup &group)
+{
+    for (std::size_t c = 0; c < cores_.size(); ++c)
+        cores_[c]->registerStats(group,
+                                 "core" + std::to_string(c) + ".");
+    if (sharedL2_) {
+        group.addCounter("sys.l2.accesses", &sharedL2_->accesses);
+        group.addCounter("sys.l2.misses", &sharedL2_->misses);
+    }
+    if (sharedICache_) {
+        group.addCounter("sys.sl1i.accesses", &sharedICache_->accesses);
+        group.addCounter("sys.sl1i.misses", &sharedICache_->misses);
+    }
+}
+
+std::string
+Cmp::dumpStats()
+{
+    if (cores_.size() == 1 && !sharedL2_)
+        return cores_[0]->dumpStats();
+    StatGroup group;
+    registerAllStats(group);
+    std::string out = "cycles " + std::to_string(now()) + "\n";
+    return out + group.dump();
+}
+
+std::string
+Cmp::dumpStatsJson()
+{
+    if (cores_.size() == 1 && !sharedL2_)
+        return cores_[0]->dumpStatsJson();
+    StatGroup group;
+    registerAllStats(group);
+    std::string body = group.dumpJson();
+    return "{\n  \"cycles\": " + std::to_string(now()) + ",\n" +
+           body.substr(2);
+}
+
+} // namespace mmt

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Cmp — a chip multiprocessor of SMT/MMT cores under one cycle
+ * scheduler. Each populated core runs a slice of the workload's thread
+ * group (per the placement policy); L1 misses route through one shared
+ * L2, optionally with a Sphynx-style shared I-cache between the private
+ * L1Is and the L2. With numCores == 1 the Cmp degenerates to exactly
+ * today's standalone SmtCore: same construction, same run loop, same
+ * stats dump — the bit-identity guarantee the goldens pin.
+ */
+
+#ifndef MMT_SIM_CMP_HH
+#define MMT_SIM_CMP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smt_core.hh"
+#include "sim/configs.hh"
+
+namespace mmt
+{
+
+/** A CMP of SmtCores stepped in lockstep with shared outer memory. */
+class Cmp
+{
+  public:
+    /**
+     * @param sys topology plus the shared per-core configuration
+     * @param program the binary every context executes
+     * @param images one functional memory pointer per *global context*
+     *        (MT workloads pass the same pointer for every context)
+     */
+    Cmp(const SystemParams &sys, const Program *program,
+        const std::vector<MemoryImage *> &images);
+
+    /** Run all cores to completion (global barriers released here). */
+    void run();
+
+    bool done() const;
+
+    /** System cycle count: the lockstep clock (== the single core's
+     *  clock when numCores == 1). */
+    Cycles now() const;
+
+    int numCores() const { return static_cast<int>(cores_.size()); }
+    SmtCore &core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+
+    /** Global context ids hosted by core @p i, in thread order. */
+    const std::vector<int> &coreContexts(int i) const
+    {
+        return contexts_[static_cast<std::size_t>(i)];
+    }
+
+    /** Architectural state of global context @p ctx (golden compare). */
+    const ThreadState &contextState(int ctx) const;
+
+    /** Attach a message network, forwarded to every core (SEND/RECV
+     *  ranks are global context ids, so one network spans the chip). */
+    void setMessageNetwork(MessageNetwork *net);
+
+    /** Install a commit hook on every core. */
+    void setCommitHook(SmtCore::CommitHook hook);
+
+    const SystemParams &params() const { return sys_; }
+
+    Cache *sharedL2() { return sharedL2_.get(); }
+    Cache *sharedICache() { return sharedICache_.get(); }
+
+    /**
+     * Full counter dump. numCores == 1 delegates to the core (the exact
+     * bytes the goldens pin); a CMP prefixes each core's counters with
+     * "coreN." and appends the shared structures under "sys.".
+     */
+    std::string dumpStats();
+    std::string dumpStatsJson();
+
+  private:
+    void tickSystem();
+    void releaseGlobalBarrierIfReady();
+    void registerAllStats(StatGroup &group);
+
+    SystemParams sys_;
+    /** Per populated core: the global context ids it hosts. */
+    std::vector<std::vector<int>> contexts_;
+    std::vector<std::unique_ptr<SmtCore>> cores_;
+    std::unique_ptr<Cache> sharedL2_;
+    std::unique_ptr<Cache> sharedICache_;
+    /** Location of each global context: (core index, local thread). */
+    struct CtxLoc
+    {
+        int core;
+        ThreadId thread;
+    };
+    std::vector<CtxLoc> ctxLoc_;
+    Cycles now_ = 0;
+};
+
+} // namespace mmt
+
+#endif // MMT_SIM_CMP_HH

@@ -48,6 +48,52 @@ parseStaticHintsMode(const std::string &name)
           name.c_str());
 }
 
+const char *
+placementName(Placement placement)
+{
+    switch (placement) {
+      case Placement::Packed: return "packed";
+      case Placement::Spread: return "spread";
+    }
+    return "?";
+}
+
+Placement
+parsePlacement(const std::string &name)
+{
+    if (name == "packed")
+        return Placement::Packed;
+    if (name == "spread")
+        return Placement::Spread;
+    fatal("unknown placement '%s' (packed|spread)", name.c_str());
+}
+
+std::vector<std::vector<int>>
+placeContexts(int num_contexts, int num_cores, Placement placement)
+{
+    mmt_assert(num_contexts >= 1 && num_contexts <= maxThreads,
+               "bad context count %d", num_contexts);
+    mmt_assert(num_cores >= 1 && num_cores <= maxCores,
+               "bad core count %d", num_cores);
+    std::vector<std::vector<int>> cores(
+        static_cast<std::size_t>(num_cores));
+    for (int ctx = 0; ctx < num_contexts; ++ctx) {
+        // Packed fills core 0 to its SMT capacity before spilling over
+        // (with <= maxThreads contexts: everything on core 0, today's
+        // single-core layout); Spread deals round-robin.
+        int c = placement == Placement::Packed ? ctx / maxThreads
+                                               : ctx % num_cores;
+        cores[static_cast<std::size_t>(c)].push_back(ctx);
+    }
+    // Idle cores are not instantiated: a SmtCore needs >= 1 thread.
+    std::vector<std::vector<int>> populated;
+    for (auto &c : cores) {
+        if (!c.empty())
+            populated.push_back(std::move(c));
+    }
+    return populated;
+}
+
 CoreParams
 makeCoreParams(ConfigKind kind, const Workload &workload, int num_threads,
                const SimOverrides &ov)
@@ -100,6 +146,20 @@ makeCoreParams(ConfigKind kind, const Workload &workload, int num_threads,
     // analyzer when the mode asks for them.
     p.staticHints = ov.staticHints;
     return p;
+}
+
+SystemParams
+makeSystemParams(ConfigKind kind, const Workload &workload,
+                 int num_threads, const SimOverrides &ov)
+{
+    SystemParams sys;
+    mmt_assert(ov.numCores >= 1 && ov.numCores <= maxCores,
+               "bad core count %d", ov.numCores);
+    sys.numCores = ov.numCores;
+    sys.placement = ov.placement;
+    sys.sharedICache = ov.sharedICache;
+    sys.core = makeCoreParams(kind, workload, num_threads, ov);
+    return sys;
 }
 
 std::string

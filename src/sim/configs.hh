@@ -14,6 +14,7 @@
 #define MMT_SIM_CONFIGS_HH
 
 #include <string>
+#include <vector>
 
 #include "core/params.hh"
 
@@ -54,7 +55,43 @@ struct SimOverrides
     int catchupPriority = -1;    // 0/1 override; CATCHUP ablation
     /** Analyzer-driven frontend hints (ablation_hints figure). */
     StaticHintsMode staticHints = StaticHintsMode::Off;
+    // CMP topology (cmp figure).
+    int numCores = 1;
+    Placement placement = Placement::Packed;
+    bool sharedICache = false;
 };
+
+/**
+ * System-level configuration of a CMP of SMT cores: the topology plus
+ * the per-core parameters every core shares (threads-per-core and
+ * context placement are filled in per core by the Cmp).
+ */
+struct SystemParams
+{
+    int numCores = 1;
+    Placement placement = Placement::Packed;
+    /** Probe a shared I-cache between each core's L1I and the L2. */
+    bool sharedICache = false;
+    CacheParams sharedICacheGeom{"sl1i", 64 * 1024, 8, 64};
+    /** Template for every core (numThreads = system-wide contexts). */
+    CoreParams core;
+};
+
+/** Printable name of a placement policy ("packed" / "spread"). */
+const char *placementName(Placement placement);
+
+/** Parse "packed" / "spread"; fatal if unknown. */
+Placement parsePlacement(const std::string &name);
+
+/**
+ * Assign @p num_contexts global contexts to @p num_cores cores.
+ * @return one context-id list per *populated* core, in core order:
+ *         empty cores are not instantiated (Packed with few contexts
+ *         uses fewer cores than configured).
+ */
+std::vector<std::vector<int>> placeContexts(int num_contexts,
+                                            int num_cores,
+                                            Placement placement);
 
 /**
  * Build the CoreParams for running @p workload under @p kind with
@@ -63,6 +100,14 @@ struct SimOverrides
 CoreParams makeCoreParams(ConfigKind kind, const Workload &workload,
                           int num_threads,
                           const SimOverrides &ov = SimOverrides());
+
+/**
+ * Build the full system configuration: makeCoreParams plus the CMP
+ * topology from the overrides.
+ */
+SystemParams makeSystemParams(ConfigKind kind, const Workload &workload,
+                              int num_threads,
+                              const SimOverrides &ov = SimOverrides());
 
 /** Render the Table 4 configuration as text (bench headers). */
 std::string describeTable4();

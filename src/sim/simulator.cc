@@ -10,6 +10,7 @@
 #include "core/smt_core.hh"
 #include "iasm/assembler.hh"
 #include "profile/tracer.hh"
+#include "sim/cmp.hh"
 
 namespace mmt
 {
@@ -95,20 +96,20 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
 {
     Program prog = assemble(workload.source, defaultCodeBase,
                             defaultDataBase, workload.name);
-    CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
-    double static_mergeable = computeStaticHints(params, prog);
+    SystemParams sys = makeSystemParams(kind, workload, num_threads, ov);
+    double static_mergeable = computeStaticHints(sys.core, prog);
     bool identical = kind == ConfigKind::Limit;
 
     auto images = buildImages(workload, prog, num_threads,
-                              params.multiExecution, identical);
+                              sys.core.multiExecution, identical);
     auto ptrs = imagePointers(images, num_threads);
 
     MessageNetwork net;
-    SmtCore core(params, &prog, ptrs);
+    Cmp cmp(sys, &prog, ptrs);
     if (workload.messagePassing)
-        core.setMessageNetwork(&net);
+        cmp.setMessageNetwork(&net);
     if (pc_profile) {
-        core.setCommitHook([pc_profile](const DynInst &di, Cycles) {
+        cmp.setCommitHook([pc_profile](const DynInst &di, Cycles) {
             PcCounts &c = (*pc_profile)[di.pc];
             auto n = static_cast<std::uint64_t>(di.itid.count());
             c.committed += n;
@@ -117,7 +118,7 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
         });
     }
     auto wall_start = std::chrono::steady_clock::now();
-    core.run();
+    cmp.run();
     double host_seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - wall_start)
                               .count();
@@ -126,29 +127,86 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
     r.workload = workload.name;
     r.kind = kind;
     r.numThreads = num_threads;
-    r.cycles = core.now();
-    r.committedThreadInsts = core.stats.committedThreadInsts.value();
-    r.fetchRecords = core.stats.fetchRecords.value();
-    r.fetchedThreadInsts = core.stats.fetchedThreadInsts.value();
+    r.numCores = sys.numCores;
+    r.placement = sys.placement;
+    r.sharedICache = sys.sharedICache;
+    r.cycles = cmp.now();
+
+    // Aggregate the per-core counters (the single-core path reduces to
+    // reading the one core's counters, as before the CMP layer).
+    std::array<std::uint64_t, 3> in_mode{};
+    std::array<std::uint64_t, 4> ident{};
+    double remerge_frac_weighted = 0.0;
+    std::uint64_t remerge_total = 0;
+    for (int c = 0; c < cmp.numCores(); ++c) {
+        SmtCore &core = cmp.core(c);
+        r.committedThreadInsts += core.stats.committedThreadInsts.value();
+        r.fetchRecords += core.stats.fetchRecords.value();
+        r.fetchedThreadInsts += core.stats.fetchedThreadInsts.value();
+        for (std::size_t m = 0; m < in_mode.size(); ++m)
+            in_mode[m] += core.stats.fetchedInMode[m].value();
+        for (std::size_t i = 0; i < ident.size(); ++i)
+            ident[i] += core.stats.identClass[i].value();
+        r.lvipRollbacks += core.stats.lvipRollbacks.value();
+        r.branchMispredicts += core.stats.branchMispredicts.value();
+        FetchSync &sync = core.fetchSync();
+        r.divergences += sync.divergences.value();
+        r.remerges += sync.remerges.value();
+        r.catchupAborted += sync.catchupAborted.value();
+        r.syncLatencyCycles += sync.syncLatencyCycles.value();
+        r.syncLatencySamples += sync.syncLatencySamples.value();
+        r.mergeSkipVetoes += sync.mergeSkipVetoes.value();
+        const Distribution &rd = sync.remergeDistance;
+        if (rd.total() > 0) {
+            remerge_frac_weighted +=
+                rd.cumulativeFraction(rd.limits().size() - 1) *
+                static_cast<double>(rd.total());
+            remerge_total += rd.total();
+        }
+        MemorySystem &mem = core.memSys();
+        r.sharedL2Accesses += mem.sharedL2Accesses.value();
+        r.sharedL2Misses += mem.sharedL2Misses.value();
+        r.sharedICacheAccesses += mem.sharedIAccesses.value();
+        r.sharedICacheHits += mem.sharedIHits.value();
+
+        EnergyBreakdown core_energy = computeEnergy(core);
+        r.energy.cache += core_energy.cache;
+        r.energy.overhead += core_energy.overhead;
+        r.energy.other += core_energy.other;
+
+        CoreBreakdown cb;
+        cb.contexts = cmp.coreContexts(c);
+        cb.cycles = core.now();
+        cb.committedThreadInsts =
+            core.stats.committedThreadInsts.value();
+        double core_committed =
+            static_cast<double>(cb.committedThreadInsts);
+        cb.mergedFrac =
+            core_committed > 0
+                ? (static_cast<double>(core.stats.identClass[2].value()) +
+                   static_cast<double>(core.stats.identClass[3].value())) /
+                      core_committed
+                : 0.0;
+        cb.energyPj = core_energy.total();
+        cb.sharedICacheHits = mem.sharedIHits.value();
+        r.perCore.push_back(std::move(cb));
+    }
 
     double fetched = static_cast<double>(r.fetchedThreadInsts);
-    for (int m = 0; m < 3; ++m) {
-        r.fetchModeFrac[static_cast<std::size_t>(m)] =
-            fetched > 0
-                ? static_cast<double>(
-                      core.stats.fetchedInMode[static_cast<std::size_t>(m)]
-                          .value()) / fetched
-                : 0.0;
+    for (std::size_t m = 0; m < in_mode.size(); ++m) {
+        r.fetchModeFrac[m] =
+            fetched > 0 ? static_cast<double>(in_mode[m]) / fetched : 0.0;
     }
     double committed = static_cast<double>(r.committedThreadInsts);
-    for (int c = 0; c < 4; ++c) {
-        r.identFrac[static_cast<std::size_t>(c)] =
-            committed > 0
-                ? static_cast<double>(
-                      core.stats.identClass[static_cast<std::size_t>(c)]
-                          .value()) / committed
-                : 0.0;
+    for (std::size_t i = 0; i < ident.size(); ++i) {
+        r.identFrac[i] = committed > 0
+                             ? static_cast<double>(ident[i]) / committed
+                             : 0.0;
     }
+    r.remergeWithin512 =
+        remerge_total > 0 ? remerge_frac_weighted /
+                                static_cast<double>(remerge_total)
+                          : 1.0;
 
     r.simSpeed.hostSeconds = host_seconds;
     if (host_seconds > 0.0) {
@@ -158,18 +216,6 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
             static_cast<double>(r.committedThreadInsts) / host_seconds;
     }
 
-    r.energy = computeEnergy(core);
-    r.lvipRollbacks = core.stats.lvipRollbacks.value();
-    r.branchMispredicts = core.stats.branchMispredicts.value();
-    r.divergences = core.fetchSync().divergences.value();
-    r.remerges = core.fetchSync().remerges.value();
-    const Distribution &rd = core.fetchSync().remergeDistance;
-    r.remergeWithin512 =
-        rd.total() > 0 ? rd.cumulativeFraction(rd.limits().size() - 1)
-                       : 1.0;
-    r.catchupAborted = core.fetchSync().catchupAborted.value();
-    r.syncLatencyCycles = core.fetchSync().syncLatencyCycles.value();
-    r.syncLatencySamples = core.fetchSync().syncLatencySamples.value();
     r.staticMergeableFrac = static_mergeable;
 
     r.goldenOk = true;
@@ -181,17 +227,18 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
         check_golden = false;
     if (check_golden) {
         auto golden_images = buildImages(workload, prog, num_threads,
-                                         params.multiExecution, identical);
+                                         sys.core.multiExecution,
+                                         identical);
         auto golden_ptrs = imagePointers(golden_images, num_threads);
         MessageNetwork golden_net;
-        FunctionalCpu golden(&prog, golden_ptrs, params.multiExecution,
-                             params.forceTidZero);
+        FunctionalCpu golden(&prog, golden_ptrs, sys.core.multiExecution,
+                             sys.core.forceTidZero);
         if (workload.messagePassing)
             golden.setMessageNetwork(&golden_net);
         golden.run();
-        for (ThreadId t = 0; t < num_threads; ++t) {
-            const ThreadState &ts = core.thread(t);
-            const FuncThread &ft = golden.thread(t);
+        for (ThreadId ctx = 0; ctx < num_threads; ++ctx) {
+            const ThreadState &ts = cmp.contextState(ctx);
+            const FuncThread &ft = golden.thread(ctx);
             if (ts.regs != ft.regs || ts.output != ft.output)
                 r.goldenOk = false;
         }
@@ -213,21 +260,21 @@ runStatsDump(const Workload &workload, ConfigKind kind, int num_threads,
 {
     Program prog = assemble(workload.source, defaultCodeBase,
                             defaultDataBase, workload.name);
-    CoreParams params = makeCoreParams(kind, workload, num_threads, ov);
-    if (params.staticHints != StaticHintsMode::Off)
-        computeStaticHints(params, prog);
+    SystemParams sys = makeSystemParams(kind, workload, num_threads, ov);
+    if (sys.core.staticHints != StaticHintsMode::Off)
+        computeStaticHints(sys.core, prog);
     bool identical = kind == ConfigKind::Limit;
 
     auto images = buildImages(workload, prog, num_threads,
-                              params.multiExecution, identical);
+                              sys.core.multiExecution, identical);
     auto ptrs = imagePointers(images, num_threads);
 
     MessageNetwork net;
-    SmtCore core(params, &prog, ptrs);
+    Cmp cmp(sys, &prog, ptrs);
     if (workload.messagePassing)
-        core.setMessageNetwork(&net);
-    core.run();
-    return json ? core.dumpStatsJson() : core.dumpStats();
+        cmp.setMessageNetwork(&net);
+    cmp.run();
+    return json ? cmp.dumpStatsJson() : cmp.dumpStats();
 }
 
 } // namespace mmt

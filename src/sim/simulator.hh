@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "energy/energy_model.hh"
 #include "sim/configs.hh"
@@ -51,12 +52,31 @@ struct SimSpeedStats
     double threadInstsPerSec = 0.0; // committed thread-insts per second
 };
 
+/** Per-core slice of a CMP run (one entry even on a single core). */
+struct CoreBreakdown
+{
+    /** Global context ids hosted by this core, in thread order. */
+    std::vector<int> contexts;
+    /** This core's own clock (freezes when the core finishes). */
+    Cycles cycles = 0;
+    std::uint64_t committedThreadInsts = 0;
+    /** Exec-merged fraction of this core's committed thread-insts. */
+    double mergedFrac = 0.0;
+    double energyPj = 0.0;
+    std::uint64_t sharedICacheHits = 0;
+};
+
 /** Measurements from one simulation run. */
 struct RunResult
 {
     std::string workload;
     ConfigKind kind = ConfigKind::Base;
     int numThreads = 0;
+
+    // System topology the run used (cmp figure).
+    int numCores = 1;
+    Placement placement = Placement::Packed;
+    bool sharedICache = false;
 
     Cycles cycles = 0;
     std::uint64_t committedThreadInsts = 0;
@@ -86,6 +106,21 @@ struct RunResult
     /** Analyzer prediction: fraction of reachable static instructions
      *  not provably Divergent (predicted-vs-measured reporting). */
     double staticMergeableFrac = 0.0;
+
+    /** Merge-skip hint vetoes that fired (PC-coincidence merges and
+     *  MERGEHINT waits suppressed at statically-Divergent PCs); zero
+     *  unless the hints mode enables merge-skip. */
+    std::uint64_t mergeSkipVetoes = 0;
+
+    // Shared-structure traffic, summed across cores (zero when nothing
+    // is shared — the single-core case).
+    std::uint64_t sharedL2Accesses = 0;
+    std::uint64_t sharedL2Misses = 0;
+    std::uint64_t sharedICacheAccesses = 0;
+    std::uint64_t sharedICacheHits = 0;
+
+    /** One entry per populated core (exactly one on a single core). */
+    std::vector<CoreBreakdown> perCore;
 
     bool goldenOk = false;
 

@@ -24,6 +24,30 @@ allWorkloads()
     return all;
 }
 
+const std::vector<PlacementScenario> &
+placementScenarios()
+{
+    static const std::vector<PlacementScenario> scenarios = {
+        {"1c", 1, Placement::Packed, false,
+         "single SMT core (the paper's topology)"},
+        {"1c-spread", 1, Placement::Spread, false,
+         "spread over one core: cycle-identical to 1c"},
+        {"2c-packed", 2, Placement::Packed, false,
+         "two cores, every context packed onto core 0"},
+        {"2c-spread", 2, Placement::Spread, false,
+         "two cores, contexts dealt round-robin"},
+        {"2c-spread+si", 2, Placement::Spread, true,
+         "two cores round-robin, shared I-cache on"},
+        {"4c-packed", 4, Placement::Packed, false,
+         "four cores, every context packed onto core 0"},
+        {"4c-spread", 4, Placement::Spread, false,
+         "one context per core: no intra-core merging"},
+        {"4c-spread+si", 4, Placement::Spread, true,
+         "one context per core, shared I-cache on"},
+    };
+    return scenarios;
+}
+
 const Workload &
 findWorkload(const std::string &name)
 {

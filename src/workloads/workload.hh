@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/types.hh"
 #include "iasm/program.hh"
 #include "mem/memory_image.hh"
 
@@ -97,6 +98,30 @@ std::vector<Workload> parsecWorkloads();  // swaptions fluidanimate
  * paper's Table 1 suite stays at 16 apps.
  */
 const Workload &messagePassingWorkload();
+
+/**
+ * A named thread-group placement: how a workload's contexts map onto
+ * the cores of a CMP. Packed reproduces the paper's single-SMT-core
+ * layout (every context competes for one pipeline and can merge);
+ * Spread deals contexts round-robin, trading intra-core merging for
+ * private pipelines.
+ */
+struct PlacementScenario
+{
+    std::string name; // e.g. "2c-spread"
+    int numCores = 1;
+    Placement placement = Placement::Packed;
+    bool sharedICache = false;
+    std::string description;
+};
+
+/**
+ * The canonical placement-scenario axis used by the `cmp` figure and
+ * the CMP tests. The first entry is the single-core baseline every
+ * other scenario is measured against; `1c-spread` places identically
+ * to it and so doubles as a bit-identity check of the topology code.
+ */
+const std::vector<PlacementScenario> &placementScenarios();
 
 } // namespace mmt
 

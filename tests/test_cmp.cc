@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CMP layer tests: context placement shapes, the packed-topology
+ * cycle-identity invariant, message passing and MT barriers across
+ * cores, shared-L2/shared-I-cache behaviour, the placement scenario
+ * registry, and the per-core RunResult plumbing through the result
+ * store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mmt/fetch_sync.hh"
+#include "runner/result_store.hh"
+#include "sim/configs.hh"
+#include "sim/experiment.hh"
+#include "sim/simulator.hh"
+
+using namespace mmt;
+
+namespace
+{
+
+SimOverrides
+topo(int cores, Placement placement, bool shared_icache = false)
+{
+    SimOverrides ov;
+    ov.numCores = cores;
+    ov.placement = placement;
+    ov.sharedICache = shared_icache;
+    return ov;
+}
+
+RunResult
+run(const std::string &app, int threads, const SimOverrides &ov,
+    bool check_golden = true)
+{
+    const Workload &w = app == "mp-ring" ? messagePassingWorkload()
+                                         : findWorkload(app);
+    return runWorkload(w, ConfigKind::MMT_FXR, threads, ov, check_golden);
+}
+
+} // namespace
+
+TEST(PlaceContexts, PackedFillsCoreZeroFirst)
+{
+    // With <= maxThreads contexts, Packed reproduces today's
+    // single-core layout no matter how many cores exist.
+    auto one = placeContexts(4, 1, Placement::Packed);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], (std::vector<int>{0, 1, 2, 3}));
+
+    auto four = placeContexts(4, 4, Placement::Packed);
+    ASSERT_EQ(four.size(), 1u); // idle cores are dropped
+    EXPECT_EQ(four[0], (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PlaceContexts, SpreadDealsRoundRobin)
+{
+    auto two = placeContexts(4, 2, Placement::Spread);
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_EQ(two[0], (std::vector<int>{0, 2}));
+    EXPECT_EQ(two[1], (std::vector<int>{1, 3}));
+
+    auto partial = placeContexts(3, 4, Placement::Spread);
+    ASSERT_EQ(partial.size(), 3u);
+    for (int c = 0; c < 3; ++c)
+        EXPECT_EQ(partial[static_cast<std::size_t>(c)],
+                  std::vector<int>{c});
+}
+
+TEST(Cmp, PackedTopologyIsCycleIdentical)
+{
+    // The load-bearing invariant: adding cores without moving contexts
+    // must not change a single number.
+    RunResult base = run("equake", 4, SimOverrides());
+    for (const SimOverrides &ov :
+         {topo(1, Placement::Spread), topo(2, Placement::Packed),
+          topo(4, Placement::Packed)}) {
+        RunResult r = run("equake", 4, ov);
+        EXPECT_TRUE(r.goldenOk);
+        EXPECT_EQ(r.cycles, base.cycles);
+        EXPECT_EQ(r.committedThreadInsts, base.committedThreadInsts);
+        EXPECT_EQ(r.fetchRecords, base.fetchRecords);
+        EXPECT_DOUBLE_EQ(r.energy.total(), base.energy.total());
+    }
+}
+
+TEST(Cmp, MessagePassingSpansCores)
+{
+    // SEND/RECV ranks are global context ids: the ring all-reduce must
+    // produce golden results with one rank per core.
+    RunResult r = run("mp-ring", 4, topo(4, Placement::Spread));
+    EXPECT_TRUE(r.goldenOk);
+    ASSERT_EQ(r.perCore.size(), 4u);
+    for (const CoreBreakdown &cb : r.perCore)
+        EXPECT_EQ(cb.contexts.size(), 1u);
+}
+
+TEST(Cmp, MeSpreadMatchesPackedArchitecturally)
+{
+    RunResult packed = run("equake", 4, topo(4, Placement::Packed));
+    RunResult spread = run("equake", 4, topo(4, Placement::Spread));
+    EXPECT_TRUE(packed.goldenOk);
+    EXPECT_TRUE(spread.goldenOk);
+    // Same architected work either way; merging only exists intra-core,
+    // so singleton cores report none.
+    EXPECT_EQ(packed.committedThreadInsts, spread.committedThreadInsts);
+    ASSERT_EQ(spread.perCore.size(), 4u);
+    for (const CoreBreakdown &cb : spread.perCore)
+        EXPECT_DOUBLE_EQ(cb.mergedFrac, 0.0);
+    EXPECT_EQ(packed.perCore.size(), 1u);
+}
+
+TEST(Cmp, MtBarrierAndSharedL2AcrossCores)
+{
+    // lu shares one address space and synchronizes with BARRIER; the
+    // golden comparison checks the final memory image, so a pass means
+    // the global barrier and the shared L2 kept the cores coherent.
+    RunResult r = run("lu", 4, topo(2, Placement::Spread));
+    EXPECT_TRUE(r.goldenOk);
+    EXPECT_GT(r.sharedL2Accesses, 0u);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    EXPECT_EQ(r.perCore[0].contexts, (std::vector<int>{0, 2}));
+    EXPECT_EQ(r.perCore[1].contexts, (std::vector<int>{1, 3}));
+}
+
+TEST(Cmp, SharedICacheObservesHits)
+{
+    RunResult off = run("lu", 4, topo(4, Placement::Spread, false));
+    RunResult on = run("lu", 4, topo(4, Placement::Spread, true));
+    EXPECT_TRUE(on.goldenOk);
+    EXPECT_EQ(off.sharedICacheAccesses, 0u);
+    EXPECT_GT(on.sharedICacheAccesses, 0u);
+    EXPECT_GT(on.sharedICacheHits, 0u);
+    EXPECT_GE(on.sharedICacheAccesses, on.sharedICacheHits);
+}
+
+TEST(Cmp, MergeSkipVetoCounterIncrements)
+{
+    // The counter behind RunResult::mergeSkipVetoes: a vetoed re-merge
+    // at a statically-Divergent PC must be observable, not silent.
+    FetchSync fs(2, 32, /*shared_fetch=*/true);
+    fs.setStaticHints(/*fhb_seed=*/false, /*merge_skip=*/true, {},
+                      {0x5000});
+    fs.reset(0x1000);
+    auto gids = fs.onDivergence(
+        0, {{ThreadMask::single(0), 0x2000},
+            {ThreadMask::single(1), 0x1004}});
+    ASSERT_EQ(gids.size(), 2u);
+    EXPECT_EQ(fs.mergeSkipVetoes.value(), 0u);
+    fs.group(gids[0]).pc = 0x5000;
+    fs.group(gids[1]).pc = 0x5000;
+    EXPECT_FALSE(fs.tryMerge());
+    EXPECT_GT(fs.mergeSkipVetoes.value(), 0u);
+}
+
+TEST(Cmp, ResultStoreRoundTripsPerCoreBreakdown)
+{
+    RunResult r = run("equake", 4, topo(2, Placement::Spread, true),
+                      /*check_golden=*/false);
+    ASSERT_EQ(r.perCore.size(), 2u);
+    r.mergeSkipVetoes = 7; // exercise the field even when the run has none
+
+    RunResult back;
+    ASSERT_TRUE(deserializeResult(serializeResult(r), back));
+    EXPECT_EQ(back.numCores, r.numCores);
+    EXPECT_EQ(back.placement, r.placement);
+    EXPECT_EQ(back.sharedICache, r.sharedICache);
+    EXPECT_EQ(back.mergeSkipVetoes, r.mergeSkipVetoes);
+    EXPECT_EQ(back.sharedL2Accesses, r.sharedL2Accesses);
+    EXPECT_EQ(back.sharedL2Misses, r.sharedL2Misses);
+    EXPECT_EQ(back.sharedICacheAccesses, r.sharedICacheAccesses);
+    EXPECT_EQ(back.sharedICacheHits, r.sharedICacheHits);
+    ASSERT_EQ(back.perCore.size(), r.perCore.size());
+    for (std::size_t c = 0; c < r.perCore.size(); ++c) {
+        EXPECT_EQ(back.perCore[c].contexts, r.perCore[c].contexts);
+        EXPECT_EQ(back.perCore[c].cycles, r.perCore[c].cycles);
+        EXPECT_EQ(back.perCore[c].committedThreadInsts,
+                  r.perCore[c].committedThreadInsts);
+        EXPECT_DOUBLE_EQ(back.perCore[c].mergedFrac,
+                         r.perCore[c].mergedFrac);
+        EXPECT_DOUBLE_EQ(back.perCore[c].energyPj,
+                         r.perCore[c].energyPj);
+        EXPECT_EQ(back.perCore[c].sharedICacheHits,
+                  r.perCore[c].sharedICacheHits);
+    }
+}
+
+TEST(Cmp, DeserializeRejectsBadTopology)
+{
+    RunResult r = run("equake", 2, topo(2, Placement::Spread),
+                      /*check_golden=*/false);
+    std::string text = serializeResult(r);
+    std::string::size_type pos = text.find("system 2 spread");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, 8, "system 9");
+    RunResult back;
+    EXPECT_FALSE(deserializeResult(text, back));
+}
+
+TEST(Cmp, PlacementScenarioRegistry)
+{
+    const std::vector<PlacementScenario> &scns = placementScenarios();
+    ASSERT_GE(scns.size(), 2u);
+    // The baseline entry must describe the paper's topology exactly.
+    EXPECT_EQ(scns[0].numCores, 1);
+    EXPECT_EQ(scns[0].placement, Placement::Packed);
+    EXPECT_FALSE(scns[0].sharedICache);
+    for (const PlacementScenario &s : scns) {
+        EXPECT_GE(s.numCores, 1);
+        EXPECT_LE(s.numCores, maxCores);
+        EXPECT_FALSE(s.name.empty());
+    }
+    for (std::size_t i = 0; i < scns.size(); ++i)
+        for (std::size_t j = i + 1; j < scns.size(); ++j)
+            EXPECT_NE(scns[i].name, scns[j].name);
+}

@@ -17,6 +17,11 @@
  *   --ls-ports <n>         load/store ports override
  *   --fetch-width <n>      fetch width override
  *   --no-trace-cache       disable the trace cache
+ *   --cores <1..4>         number of SMT cores in the CMP (default 1)
+ *   --placement <p>        packed|spread: how thread contexts map onto
+ *                          cores (default packed; see docs/WORKLOADS.md)
+ *   --shared-icache        add the shared second-level I-cache between
+ *                          the private L1Is and the shared L2
  *   --static-hints <m>     off|fhb-seed|merge-skip|both: feed mmt-analyze
  *                          divergence/re-convergence hints to the fetch
  *                          frontend (default off)
@@ -49,7 +54,8 @@
  *   violation with --dynamic) is found
  *
  * Sweep options (parallel figure reproduction with result caching):
- *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d ablation_hints
+ *   --figure <id>          5a 5b 5c 5d 7a 7b 7c 7d ablation_hints csrc
+ *                          cmp
  *   --static-hints <m>     for ablation_hints: restrict the mode axis to
  *                          {off, <m>}; for other figures: apply <m> to
  *                          every job
@@ -97,6 +103,8 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: mmt_cli [run] [--config KIND] [--threads N]\n"
+                 "               [--cores N] [--placement packed|spread]\n"
+                 "               [--shared-icache]\n"
                  "               [--fhb N] [--ls-ports N] [--fetch-width N]\n"
                  "               [--no-trace-cache] [--static-hints M]\n"
                  "               [--no-golden]\n"
@@ -536,6 +544,12 @@ main(int argc, char **argv)
             ov.fetchWidth = std::atoi(next().c_str());
         } else if (arg == "--no-trace-cache") {
             ov.disableTraceCache = true;
+        } else if (arg == "--cores") {
+            ov.numCores = std::atoi(next().c_str());
+        } else if (arg == "--placement") {
+            ov.placement = parsePlacement(next());
+        } else if (arg == "--shared-icache") {
+            ov.sharedICache = true;
         } else if (arg == "--static-hints") {
             ov.staticHints = parseStaticHintsMode(next());
         } else if (arg == "--no-golden") {
@@ -559,6 +573,8 @@ main(int argc, char **argv)
     }
     if (threads < 1 || threads > maxThreads)
         fatal("threads must be 1..%d", maxThreads);
+    if (ov.numCores < 1 || ov.numCores > maxCores)
+        fatal("cores must be 1..%d", maxCores);
     if (asm_file.empty() && workload_name.empty())
         usage();
 
@@ -597,6 +613,11 @@ main(int argc, char **argv)
                 w.suite.c_str());
     std::printf("config          %s, %d threads\n", configName(kind),
                 threads);
+    if (r.numCores > 1) {
+        std::printf("topology        %d cores, %s placement%s\n",
+                    r.numCores, placementName(r.placement),
+                    r.sharedICache ? ", shared I-cache" : "");
+    }
     std::printf("cycles          %llu\n",
                 static_cast<unsigned long long>(r.cycles));
     std::printf("thread insts    %llu (IPC %.2f)\n",
@@ -630,6 +651,34 @@ main(int argc, char **argv)
                 staticHintsModeName(ov.staticHints));
     std::printf("lvip rollbacks  %llu\n",
                 static_cast<unsigned long long>(r.lvipRollbacks));
+    if (r.mergeSkipVetoes > 0) {
+        std::printf("merge-skip      %llu vetoed MERGE attempts\n",
+                    static_cast<unsigned long long>(r.mergeSkipVetoes));
+    }
+    if (r.numCores > 1) {
+        for (const CoreBreakdown &cb : r.perCore) {
+            std::string ctxs;
+            for (std::size_t i = 0; i < cb.contexts.size(); ++i)
+                ctxs += (i ? "," : "") + std::to_string(cb.contexts[i]);
+            std::printf("  core[%s]      %llu cycles, %llu insts, "
+                        "merged %.1f%%\n",
+                        ctxs.c_str(),
+                        static_cast<unsigned long long>(cb.cycles),
+                        static_cast<unsigned long long>(
+                            cb.committedThreadInsts),
+                        100.0 * cb.mergedFrac);
+        }
+        std::printf("shared L2       %llu accesses, %llu misses\n",
+                    static_cast<unsigned long long>(r.sharedL2Accesses),
+                    static_cast<unsigned long long>(r.sharedL2Misses));
+        if (r.sharedICache) {
+            std::printf("shared I-cache  %llu accesses, %llu hits\n",
+                        static_cast<unsigned long long>(
+                            r.sharedICacheAccesses),
+                        static_cast<unsigned long long>(
+                            r.sharedICacheHits));
+        }
+    }
     std::printf("energy          %.2f uJ (%s)\n", r.energy.total() / 1e6,
                 r.energy.toString().c_str());
     if (golden)
