@@ -6,13 +6,22 @@
  *
  * A synthetic kernel diverges every iteration into paths of
  * configurable length asymmetry. For each asymmetry we run MMT-FXR in
- * every static-hints mode (off / fhb-seed / merge-skip / both) and
+ * every static-hints mode (off / fhb-seed / split-steer / both) and
  * report cycles, the measured merged fraction against the analyzer's
  * static prediction, and the mean divergence-to-re-merge latency.
  *
+ * A second leg runs registered MT workloads under off vs split-steer:
+ * their merged groups fetch statically-Divergent PCs mid-stream
+ * (per-thread address math), which is where the predicted-split fetch
+ * charge binds against the fetch width — the hammock alone never
+ * exercises that, which is exactly how the retired merge-skip hint's
+ * dead veto went unnoticed.
+ *
  * Acceptance gate (exit 1 on failure): with hints `both`, the sync
  * latency must be no worse than `off` on every asymmetry point and
- * strictly better on at least half of them.
+ * strictly better on at least half of them; split-steer must charge a
+ * nonzero number of fetch slots and move cycles (vs off) on at least
+ * three workloads of the second leg (one in --smoke).
  *
  * Flags:
  *   --smoke       fewer iterations and asymmetry points (CI)
@@ -29,6 +38,7 @@
 #include "common/logging.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
+#include "workloads/workload.hh"
 
 using namespace mmt;
 
@@ -84,7 +94,7 @@ makeHammock(int asym, int iters)
 
 constexpr StaticHintsMode kModes[] = {
     StaticHintsMode::Off, StaticHintsMode::FhbSeed,
-    StaticHintsMode::MergeSkip, StaticHintsMode::Both};
+    StaticHintsMode::SplitSteer, StaticHintsMode::Both};
 
 std::string
 jsonNum(double v)
@@ -167,7 +177,9 @@ main(int argc, char **argv)
                  << jsonNum(r.meanSyncLatency())
                  << ", \"syncLatencyCycles\": " << r.syncLatencyCycles
                  << ", \"syncLatencySamples\": " << r.syncLatencySamples
-                 << ", \"catchupAborted\": " << r.catchupAborted << "}";
+                 << ", \"catchupAborted\": " << r.catchupAborted
+                 << ", \"splitSteerCharges\": " << r.splitSteerCharges
+                 << "}";
         }
         (void)off_cycles;
         json << "},\n     \"predictedMergeableFrac\": "
@@ -179,16 +191,62 @@ main(int argc, char **argv)
     std::printf("%s",
                 formatTable({"path delta", "pred-merge%", "off cyc",
                              "off m%/lat", "seed cyc", "seed m%/lat",
-                             "skip cyc", "skip m%/lat", "both cyc",
+                             "steer cyc", "steer m%/lat", "both cyc",
                              "both m%/lat"},
                             rows)
                     .c_str());
 
+    // Second leg: registered MT workloads, off vs split-steer. The
+    // compiled kernels and the strided asm apps keep fully merged
+    // groups fetching Divergent-class PCs, so the predicted-split
+    // charge must both fire (nonzero counter) and move cycles.
+    const std::vector<std::string> steer_apps =
+        smoke ? std::vector<std::string>{"c-saxpy", "c-psum", "lu"}
+              : std::vector<std::string>{"c-saxpy", "c-dot", "c-psum",
+                                         "c-chain", "lu", "fft"};
+    json << "  ],\n  \"workloads\": [\n";
+    int cycles_moved = 0;
+    std::uint64_t total_charges = 0;
+    std::vector<std::vector<std::string>> wrows;
+    for (std::size_t wi = 0; wi < steer_apps.size(); ++wi) {
+        const Workload &w = findWorkload(steer_apps[wi]);
+        SimOverrides ov;
+        ov.staticHints = StaticHintsMode::Off;
+        RunResult off = runWorkload(w, ConfigKind::MMT_FXR, 4, ov,
+                                    /*check_golden=*/false);
+        ov.staticHints = StaticHintsMode::SplitSteer;
+        RunResult steer = runWorkload(w, ConfigKind::MMT_FXR, 4, ov,
+                                      /*check_golden=*/false);
+        if (steer.cycles != off.cycles)
+            ++cycles_moved;
+        total_charges += steer.splitSteerCharges;
+        wrows.push_back({w.name, std::to_string(off.cycles),
+                         std::to_string(steer.cycles),
+                         std::to_string(steer.splitSteerCharges)});
+        json << "    {\"workload\": \"" << w.name
+             << "\", \"offCycles\": " << off.cycles
+             << ", \"steerCycles\": " << steer.cycles
+             << ", \"splitSteerCharges\": " << steer.splitSteerCharges
+             << "}" << (wi + 1 < steer_apps.size() ? "," : "") << "\n";
+    }
+    std::printf("\nsplit-steer on registered workloads (MMT-FXR, 4 "
+                "threads)\n%s",
+                formatTable({"workload", "off cyc", "steer cyc",
+                             "slots charged"},
+                            wrows)
+                    .c_str());
+
+    const int need_moved = smoke ? 1 : 3;
+    bool steer_pass = total_charges > 0 && cycles_moved >= need_moved;
     bool pass = regressed == 0 &&
-                2 * improved >= static_cast<int>(asyms.size());
+                2 * improved >= static_cast<int>(asyms.size()) &&
+                steer_pass;
     json << "  ],\n  \"acceptance\": {\"regressedPoints\": " << regressed
          << ", \"improvedPoints\": " << improved
          << ", \"totalPoints\": " << asyms.size()
+         << ", \"steerCharges\": " << total_charges
+         << ", \"steerCyclesMoved\": " << cycles_moved
+         << ", \"steerCyclesMovedNeeded\": " << need_moved
          << ", \"pass\": " << (pass ? "true" : "false") << "}\n}\n";
 
     std::ofstream out(out_path, std::ios::trunc);
@@ -200,10 +258,16 @@ main(int argc, char **argv)
                 "divergence->re-merge cycles.\nfhb-seed turns the first "
                 "arrival at an analyzer re-convergence point into\na "
                 "catch-up chase instead of waiting for taken-branch "
-                "history to accumulate.\n");
-    std::printf("\nacceptance: %d/%zu points improved, %d regressed -> "
-                "%s (%s)\n",
-                improved, asyms.size(), regressed,
+                "history to accumulate.\nsplit-steer charges fetch "
+                "slots by the statically predicted sub-instruction\n"
+                "count, so merged groups stop over-fetching past the "
+                "split stage's bandwidth.\n");
+    std::printf("\nacceptance: %d/%zu points improved, %d regressed; "
+                "steer moved cycles on %d/%zu\nworkloads (need %d) with "
+                "%llu slots charged -> %s (%s)\n",
+                improved, asyms.size(), regressed, cycles_moved,
+                steer_apps.size(), need_moved,
+                static_cast<unsigned long long>(total_charges),
                 pass ? "PASS" : "FAIL", out_path.c_str());
     return pass ? 0 : 1;
 }

@@ -26,7 +26,7 @@ struct AnalysisOptions
 
 /** JSON report schema version; bump on any key/shape change so the CI
  *  lint gate fails loudly instead of parsing stale keys. */
-inline constexpr int kAnalyzeSchemaVersion = 2;
+inline constexpr int kAnalyzeSchemaVersion = 3;
 
 /** Everything the passes computed about one program. */
 struct AnalysisResult

@@ -36,6 +36,8 @@ Cfg::Cfg(const Program &prog) : prog_(&prog)
     buildEdges();
     markReachable();
     computePostDominators();
+    buildContextGraph();
+    refinePostDominators();
 }
 
 std::vector<int>
@@ -188,6 +190,340 @@ Cfg::matchReturnSites() const
                                        sites[(std::size_t)r].end());
     }
     return matched;
+}
+
+void
+Cfg::buildDegenerateContextGraph()
+{
+    // One root context over the flat graph: node ids coincide with
+    // block ids, so flow-sensitive clients see exactly the old CFG.
+    contexts_.assign(1, CallContext{});
+    contextSensitive_ = false;
+    ctxNodes_.clear();
+    nodesOfBlock_.assign(blocks_.size(), {});
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+        CtxNode nd;
+        nd.block = static_cast<int>(b);
+        nd.ctx = 0;
+        nd.succs = blocks_[b].succs;
+        ctxNodes_.push_back(std::move(nd));
+        nodesOfBlock_[b] = {static_cast<int>(b)};
+    }
+    int entry = indexOf(*prog_, prog_->entry);
+    ctxEntry_ = entry >= 0 ? blockOf_[(std::size_t)entry] : 0;
+}
+
+void
+Cfg::buildContextGraph()
+{
+    const auto &code = prog_->code;
+    int n = static_cast<int>(code.size());
+    funcEntries_.clear();
+    funcRecursive_.clear();
+    if (blocks_.empty()) {
+        contexts_.assign(1, CallContext{});
+        contextSensitive_ = false;
+        ctxEntry_ = 0;
+        return;
+    }
+
+    // Preconditions for call-string expansion; anything the frame
+    // model cannot bracket precisely degenerates to the flat graph.
+    int entry = indexOf(*prog_, prog_->entry);
+    bool ok = entry >= 0;
+    for (int i = 0; i < n && ok; ++i) {
+        const Instruction &in = code[(std::size_t)i];
+        if (in.op == Opcode::JALR) {
+            ok = false; // unknown callee
+        } else if (in.op == Opcode::JAL &&
+                   indexOf(*prog_, static_cast<Addr>(in.imm)) < 0) {
+            ok = false; // call to nowhere
+        } else if (in.isIndirectJump() && !isRecognizedRet(in)) {
+            ok = false; // computed jump through a non-ra register
+        } else if (in.info().writesDest && in.rd == regRa &&
+                   in.op != Opcode::JAL && in.op != Opcode::JALR &&
+                   !in.isLoad()) {
+            ok = false; // ra discipline broken
+        }
+    }
+    if (!ok) {
+        buildDegenerateContextGraph();
+        return;
+    }
+
+    // One intra-frame scan per function (and the root frame, keyed -1):
+    // nested calls skip straight to their return point.
+    struct FrameInfo
+    {
+        std::vector<bool> member; // instruction indices in the frame
+        std::vector<int> rets;    // recognized rets
+        std::vector<int> calls;   // jal instruction indices
+    };
+    auto frameScan = [&](int start) {
+        FrameInfo fi;
+        fi.member.assign((std::size_t)n, false);
+        std::vector<int> stack{start};
+        while (!stack.empty()) {
+            int i = stack.back();
+            stack.pop_back();
+            if (i < 0 || i >= n || fi.member[(std::size_t)i])
+                continue;
+            fi.member[(std::size_t)i] = true;
+            const Instruction &in = code[(std::size_t)i];
+            if (isRecognizedRet(in)) {
+                fi.rets.push_back(i);
+                continue;
+            }
+            if (in.op == Opcode::HALT)
+                continue;
+            if (in.op == Opcode::JAL) {
+                fi.calls.push_back(i);
+                stack.push_back(i + 1); // the callee frame is skipped
+                continue;
+            }
+            if (in.isUncondJump()) {
+                stack.push_back(
+                    indexOf(*prog_, static_cast<Addr>(in.imm)));
+                continue;
+            }
+            if (in.isCondBranch()) {
+                stack.push_back(
+                    indexOf(*prog_, static_cast<Addr>(in.imm)));
+            }
+            stack.push_back(i + 1);
+        }
+        return fi;
+    };
+    auto calleeOf = [&](int call_site) {
+        return indexOf(*prog_,
+                       static_cast<Addr>(code[(std::size_t)call_site].imm));
+    };
+
+    // Discover functions transitively from the root frame.
+    std::map<int, FrameInfo> frames;
+    std::vector<int> pending{-1};
+    while (!pending.empty()) {
+        int f = pending.back();
+        pending.pop_back();
+        if (frames.count(f))
+            continue;
+        FrameInfo fi = frameScan(f < 0 ? entry : f);
+        for (int c : fi.calls) {
+            int callee = calleeOf(c);
+            if (!frames.count(callee))
+                pending.push_back(callee);
+        }
+        frames.emplace(f, std::move(fi));
+    }
+    if (!frames[-1].rets.empty()) {
+        // A ret in the entry frame returns to the external caller; the
+        // flat fallback models it, the frame model cannot.
+        buildDegenerateContextGraph();
+        return;
+    }
+
+    // Call graph over function entries; a function is recursive when it
+    // can reach itself through one or more call edges (i.e. it sits in
+    // a nontrivial SCC or has a self loop).
+    std::map<int, bool> recursive;
+    for (const auto &[f, fi] : frames) {
+        if (f < 0)
+            continue;
+        std::set<int> seen;
+        std::vector<int> stack;
+        for (int c : fi.calls)
+            stack.push_back(calleeOf(c));
+        bool cyc = false;
+        while (!stack.empty() && !cyc) {
+            int g = stack.back();
+            stack.pop_back();
+            if (!seen.insert(g).second)
+                continue;
+            if (g == f) {
+                cyc = true;
+                break;
+            }
+            for (int c : frames[g].calls)
+                stack.push_back(calleeOf(c));
+        }
+        recursive[f] = cyc;
+    }
+    for (const auto &[f, cyc] : recursive) {
+        funcEntries_.push_back(f);
+        funcRecursive_.push_back(cyc);
+    }
+
+    // Context enumeration (worklist): depth-kCallStringDepth call-string
+    // suffixes for non-recursive callees, one shared bottom context per
+    // recursive function. retLinks records, per context, every (return
+    // point, caller context) pair that created or re-entered it.
+    constexpr int kMaxContexts = 96;
+    contexts_.clear();
+    contexts_.push_back(CallContext{});
+    std::map<std::pair<int, std::vector<int>>, int> ctxIds;
+    std::map<int, int> bottomIds;
+    std::vector<std::vector<std::pair<int, int>>> retLinks(1);
+    std::map<std::pair<int, int>, int> childOf; // (ctx, call site) -> ctx
+    std::vector<int> ctxWork{0};
+    bool overflow = false;
+    while (!ctxWork.empty() && !overflow) {
+        int x = ctxWork.back();
+        ctxWork.pop_back();
+        const CallContext cc = contexts_[(std::size_t)x];
+        const FrameInfo &fi = frames[cc.func];
+        for (int c : fi.calls) {
+            int g = calleeOf(c);
+            int child = -1;
+            if (recursive[g]) {
+                auto [it, fresh] =
+                    bottomIds.try_emplace(g, (int)contexts_.size());
+                child = it->second;
+                if (fresh) {
+                    CallContext nc;
+                    nc.func = g;
+                    nc.bottom = true;
+                    contexts_.push_back(std::move(nc));
+                    retLinks.emplace_back();
+                    ctxWork.push_back(child);
+                }
+            } else {
+                std::vector<int> str = cc.callString;
+                str.push_back(c);
+                while ((int)str.size() > kCallStringDepth)
+                    str.erase(str.begin());
+                auto [it, fresh] = ctxIds.try_emplace(
+                    std::make_pair(g, str), (int)contexts_.size());
+                child = it->second;
+                if (fresh) {
+                    CallContext nc;
+                    nc.func = g;
+                    nc.callString = str;
+                    contexts_.push_back(std::move(nc));
+                    retLinks.emplace_back();
+                    ctxWork.push_back(child);
+                }
+            }
+            retLinks[(std::size_t)child].push_back({c + 1, x});
+            childOf[{x, c}] = child;
+            if ((int)contexts_.size() > kMaxContexts) {
+                overflow = true;
+                break;
+            }
+        }
+    }
+    if (overflow) {
+        contexts_.clear();
+        buildDegenerateContextGraph();
+        return;
+    }
+
+    // Node construction: one copy of each frame block per context.
+    ctxNodes_.clear();
+    nodesOfBlock_.assign(blocks_.size(), {});
+    std::map<std::pair<int, int>, int> nodeId; // (block, ctx) -> node
+    for (std::size_t x = 0; x < contexts_.size(); ++x) {
+        const FrameInfo &fi = frames[contexts_[x].func];
+        std::set<int> blks;
+        for (int i = 0; i < n; ++i)
+            if (fi.member[(std::size_t)i])
+                blks.insert(blockOf_[(std::size_t)i]);
+        for (int b : blks) {
+            CtxNode nd;
+            nd.block = b;
+            nd.ctx = static_cast<int>(x);
+            int id = static_cast<int>(ctxNodes_.size());
+            nodeId[{b, (int)x}] = id;
+            nodesOfBlock_[(std::size_t)b].push_back(id);
+            ctxNodes_.push_back(std::move(nd));
+        }
+    }
+
+    // Edges.
+    for (std::size_t v = 0; v < ctxNodes_.size(); ++v) {
+        CtxNode &nd = ctxNodes_[v];
+        const BasicBlock &blk = blocks_[(std::size_t)nd.block];
+        const Instruction &last = code[(std::size_t)blk.last];
+        if (last.op == Opcode::HALT)
+            continue; // virtual exit only
+        if (last.op == Opcode::JAL) {
+            int child = childOf.at({nd.ctx, blk.last});
+            int eb = blockOf_[(std::size_t)calleeOf(blk.last)];
+            nd.succs.push_back(nodeId.at({eb, child}));
+            continue;
+        }
+        if (isRecognizedRet(last)) {
+            std::set<int> succs;
+            for (const auto &[ret_inst, caller] :
+                 retLinks[(std::size_t)nd.ctx]) {
+                int rb = blockOf_[(std::size_t)ret_inst];
+                succs.insert(nodeId.at({rb, caller}));
+            }
+            nd.succs.assign(succs.begin(), succs.end());
+            continue;
+        }
+        for (int s : blk.succs)
+            nd.succs.push_back(nodeId.at({s, nd.ctx}));
+    }
+
+    ctxEntry_ = nodeId.at({blockOf_[(std::size_t)entry], 0});
+    contextSensitive_ = true;
+}
+
+void
+Cfg::refinePostDominators()
+{
+    if (!contextSensitive_)
+        return;
+    // Block-labelled post-dominance over the expanded graph: bp[v] is
+    // the set of *blocks* appearing on every path from node v to the
+    // exit. Projected per block (intersection over all copies), this
+    // refines the flat relation: expanded paths are a subset of flat
+    // paths, so every flat fact survives and spurious cross-call-site
+    // return paths stop suppressing real post-dominators.
+    int nb = static_cast<int>(blocks_.size());
+    int exit = nb;
+    std::size_t nn = ctxNodes_.size();
+    std::vector<std::vector<bool>> bp(
+        nn, std::vector<bool>((std::size_t)nb + 1, true));
+    std::vector<bool> exitSet((std::size_t)nb + 1, false);
+    exitSet[(std::size_t)exit] = true;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t v = nn; v-- > 0;) {
+            const CtxNode &nd = ctxNodes_[v];
+            const BasicBlock &blk = blocks_[(std::size_t)nd.block];
+            std::vector<bool> next((std::size_t)nb + 1, true);
+            auto meet = [&](const std::vector<bool> &sd) {
+                for (int i = 0; i <= nb; ++i)
+                    next[(std::size_t)i] =
+                        next[(std::size_t)i] && sd[(std::size_t)i];
+            };
+            for (int s : nd.succs)
+                meet(bp[(std::size_t)s]);
+            if (nd.succs.empty() || blk.fallsOffEnd ||
+                prog_->code[(std::size_t)blk.last].op == Opcode::HALT) {
+                meet(exitSet);
+            }
+            next[(std::size_t)nd.block] = true;
+            if (next != bp[v]) {
+                bp[v] = std::move(next);
+                changed = true;
+            }
+        }
+    }
+    for (int b = 0; b < nb; ++b) {
+        const auto &nodes = nodesOfBlock_[(std::size_t)b];
+        if (nodes.empty())
+            continue;
+        std::vector<bool> inter((std::size_t)nb + 1, true);
+        for (int v : nodes) {
+            for (int i = 0; i <= nb; ++i)
+                inter[(std::size_t)i] =
+                    inter[(std::size_t)i] && bp[(std::size_t)v][(std::size_t)i];
+        }
+        pdom_[(std::size_t)b] = std::move(inter);
+    }
 }
 
 void

@@ -1,7 +1,8 @@
 /**
  * @file
  * Control-flow graph over an assembled iasm::Program, interprocedural
- * at call-string depth 1.
+ * and call-graph aware: call-string contexts of depth kCallStringDepth
+ * outside recursive SCCs, conservative fallback inside them.
  *
  * Blocks are maximal straight-line index ranges of the instruction
  * stream; edges come from branch/jump immediates and fall-through.
@@ -29,8 +30,30 @@
  * tier-1 edges sharpen post-dominators — and with them the lint layer's
  * control-dependence checks and the FetchHints re-convergence points.
  *
+ * On top of the flat block graph the Cfg builds a *context-expanded*
+ * graph for flow-sensitive clients (the sharing pass): it derives the
+ * call graph from direct `jal` sites, condenses its strongly connected
+ * components (Tarjan), and clones each non-recursive function's blocks
+ * once per call-string suffix of depth kCallStringDepth. A context's
+ * `ret` then has exactly one successor per call site that created it —
+ * the matching return point in the *caller's* context — so caller state
+ * flows around a call without being joined with other call sites'
+ * state. Functions inside a recursive SCC (or reached through one)
+ * share a single bottom context whose rets conservatively return to
+ * every recorded call site. Programs that break the preconditions
+ * (broken ra-discipline, `jalr` calls, computed jumps, entry-frame
+ * rets) degenerate to one root context over the flat graph, which is
+ * exactly the old behavior.
+ *
  * Besides forward reachability the CFG computes post-dominators over a
  * virtual exit node (successor of HALT and of fall-off-the-end blocks).
+ * When the context expansion is active, the post-dominator relation is
+ * refined over it: block a post-dominates block b iff every expanded
+ * path from any context copy of b to the exit passes through some copy
+ * of a. Expanded paths are a subset of flat paths (spurious
+ * cross-call-site return edges disappear), so the refinement only adds
+ * post-dominator facts — re-convergence hints for helper-heavy code get
+ * tighter, never looser.
  */
 
 #ifndef MMT_ANALYSIS_CFG_HH
@@ -45,6 +68,9 @@ namespace mmt
 namespace analysis
 {
 
+/** Call-string suffix length tracked outside recursive SCCs. */
+inline constexpr int kCallStringDepth = 2;
+
 /** One basic block: instructions [first, last] of Program::code. */
 struct BasicBlock
 {
@@ -58,6 +84,26 @@ struct BasicBlock
     /** hasIndirect only: successors were resolved by call-site return
      *  matching rather than the conservative address-taken fallback. */
     bool indirectMatched = false;
+};
+
+/** One calling context of the expanded graph. */
+struct CallContext
+{
+    /** Function entry instruction index; -1 for the root (entry) frame. */
+    int func = -1;
+    /** Call-string suffix: `jal` instruction indices, outermost first,
+     *  at most kCallStringDepth long. Empty for root/bottom contexts. */
+    std::vector<int> callString;
+    /** Shared conservative context (recursive SCC / unknown callers). */
+    bool bottom = false;
+};
+
+/** One node of the context-expanded graph: (block, context). */
+struct CtxNode
+{
+    int block = 0;
+    int ctx = 0;
+    std::vector<int> succs; // CtxNode indices (virtual exit excluded)
 };
 
 /** Control-flow graph of one program. */
@@ -97,11 +143,38 @@ class Cfg
      */
     int immediatePostDominator(int b) const;
 
+    // ---- context-expanded graph (see file comment) ----
+
+    /** All contexts; index 0 is always the root context. */
+    const std::vector<CallContext> &contexts() const { return contexts_; }
+    /** Expanded nodes; entry node is ctxEntry(). */
+    const std::vector<CtxNode> &ctxNodes() const { return ctxNodes_; }
+    /** Expanded node ids of block @p b (empty if never reached). */
+    const std::vector<int> &
+    ctxNodesOf(int b) const
+    {
+        return nodesOfBlock_[(std::size_t)b];
+    }
+    int ctxEntry() const { return ctxEntry_; }
+    /** True when the call-string expansion is active (not degenerate). */
+    bool contextSensitive() const { return contextSensitive_; }
+    /** Direct-call function entries (instruction indices), sorted. */
+    const std::vector<int> &functionEntries() const { return funcEntries_; }
+    /** True if functionEntries()[i] is in a recursive call-graph SCC. */
+    bool
+    functionRecursive(int i) const
+    {
+        return funcRecursive_[(std::size_t)i];
+    }
+
   private:
     void findLeaders();
     void buildEdges();
     void markReachable();
     void computePostDominators();
+    void buildContextGraph();
+    void buildDegenerateContextGraph();
+    void refinePostDominators();
 
     /** Conservative successor indices of an indirect jump (tier 2). */
     std::vector<int> indirectTargets() const;
@@ -117,6 +190,14 @@ class Cfg
     std::vector<int> blockOf_;
     /** pdom_[b][a]: block a post-dominates block b (dense, incl. exit). */
     std::vector<std::vector<bool>> pdom_;
+
+    std::vector<CallContext> contexts_;
+    std::vector<CtxNode> ctxNodes_;
+    std::vector<std::vector<int>> nodesOfBlock_;
+    int ctxEntry_ = 0;
+    bool contextSensitive_ = false;
+    std::vector<int> funcEntries_;
+    std::vector<bool> funcRecursive_;
 };
 
 } // namespace analysis

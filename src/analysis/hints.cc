@@ -55,6 +55,11 @@ computeFetchHints(const Cfg &cfg, const SharingResult &sharing)
             continue;
         if (sharing.shareClass[(std::size_t)i] == ShareClass::Divergent)
             h.divergentPcs.push_back(pcOfIndex(prog, i));
+        if (sharing.predictedLanes[(std::size_t)i] > 1) {
+            // Built in index order, so both vectors stay pc-sorted.
+            h.splitPcs.push_back(pcOfIndex(prog, i));
+            h.splitCounts.push_back(sharing.predictedLanes[(std::size_t)i]);
+        }
         if (!sharing.divergentBranch[(std::size_t)i])
             continue;
         h.tidDivergentBranchPcs.push_back(pcOfIndex(prog, i));

@@ -7,10 +7,7 @@
  *                          control paths: instructions strictly between
  *                          a tid-divergent branch and its re-convergence
  *                          point (the hammock arms), plus Divergent-
- *                          class instructions. Thread groups cannot
- *                          usefully persist at these PCs, so MERGE
- *                          attempts / MERGEHINT waits there are wasted
- *                          work (merge-skip mode), and a CATCHUP chaser
+ *                          class instructions. A CATCHUP chaser
  *                          branching into one is transiently — not
  *                          terminally — off the ahead thread's path.
  *                          Excludes the branches themselves and the
@@ -25,9 +22,19 @@
  *                          these lets DETECT→CATCHUP fire without
  *                          waiting for taken-branch history (fhb-seed
  *                          mode).
+ *   splitPcs/splitCounts   PCs whose instruction the splitter must
+ *                          provably expand into >1 sub-instruction
+ *                          (sharing.predictedLanes, from the affine
+ *                          domain's pairwise-distinct proofs), with the
+ *                          predicted instance count. The frontend
+ *                          charges these against the fetch width
+ *                          (split-steer mode): one fetch record that
+ *                          expands into k instances occupies k decode/
+ *                          split slots, steering the leftover slots to
+ *                          other streams instead of over-fetching.
  *
- * All three vectors are sorted and deduplicated so consumers can binary
- * search.
+ * All Addr vectors are sorted and deduplicated so consumers can binary
+ * search; splitCounts is index-parallel with splitPcs.
  */
 
 #ifndef MMT_ANALYSIS_HINTS_HH
@@ -49,6 +56,10 @@ struct FetchHints
     std::vector<Addr> divergentPcs;
     std::vector<Addr> tidDivergentBranchPcs;
     std::vector<Addr> reconvergencePcs;
+    /** Sorted PCs with predicted sub-instruction count > 1, and the
+     *  predicted counts (index-parallel). */
+    std::vector<Addr> splitPcs;
+    std::vector<std::uint8_t> splitCounts;
 };
 
 /**

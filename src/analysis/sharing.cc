@@ -1,5 +1,7 @@
 #include "analysis/sharing.hh"
 
+#include <algorithm>
+
 #include "isa/exec.hh"
 
 namespace mmt
@@ -12,6 +14,72 @@ namespace
 
 /** Abstract machine state: one AbsVal per architected register. */
 using RegState = std::array<AbsVal, numArchRegs>;
+
+/**
+ * One tracked memory slot for store-to-load forwarding: lane t of the
+ * abstract store wrote lane t of @p val to address addr[t]. Tracked
+ * only when the per-lane image is unambiguous — the addresses are
+ * pairwise distinct (MT private stack slots), the address spaces are
+ * separate (ME), or the address and value are both uniform — so an
+ * exact-address load can recover the stored AbsVal lane-wise. This is
+ * what sees through mmtc's caller-saved spills: every value live
+ * across a call sits in a stack slot, and without forwarding each
+ * reload collapses to Unknown.
+ */
+struct MemSlot
+{
+    std::array<RegVal, maxThreads> addr{};
+    AbsVal val;
+
+    bool operator==(const MemSlot &o) const = default;
+};
+
+/** Slot-count cap; a full frame drops new stores (toward ⊤, sound). */
+constexpr int kMaxSlots = 24;
+
+/** Register file plus the tracked spill-slot frame. */
+struct AnalysisState
+{
+    RegState regs;
+    /** Sorted by address vector (lexicographic); absent slot = ⊤. */
+    std::vector<MemSlot> slots;
+
+    bool operator==(const AnalysisState &o) const = default;
+};
+
+/** All lanes of @p a pairwise distinct (no 8-byte range overlap). */
+bool
+lanesDisjoint(const std::array<RegVal, maxThreads> &a)
+{
+    for (int t = 0; t < maxThreads; ++t)
+        for (int u = t + 1; u < maxThreads; ++u) {
+            // overlap iff |a[t] - a[u]| < 8 (unsigned wraparound-safe)
+            RegVal d = a[(std::size_t)t] - a[(std::size_t)u];
+            if (d + 7 < 15)
+                return false;
+        }
+    return true;
+}
+
+/**
+ * May the 8-byte accesses at @p a and @p b touch a common location?
+ * ME instances own private address spaces, so only same-lane pairs can
+ * collide; MT threads share memory, so every lane pair can.
+ */
+bool
+vecsMayOverlap(const std::array<RegVal, maxThreads> &a,
+               const std::array<RegVal, maxThreads> &b, bool me)
+{
+    for (int t = 0; t < maxThreads; ++t)
+        for (int u = 0; u < maxThreads; ++u) {
+            if (me && t != u)
+                continue;
+            RegVal d = a[(std::size_t)t] - b[(std::size_t)u];
+            if (d + 7 < 15)
+                return true;
+        }
+    return false;
+}
 
 /** Entry state per the simulator's thread setup (SmtCore ctor). */
 RegState
@@ -49,19 +117,29 @@ readSources(const Instruction &in, RegIndex out[2])
     return n;
 }
 
+/** An exactly-known uniform scaling operand. (Single-base Affine
+ *  values canonicalize to Known, so this covers pinned joins too.) */
+bool
+knownConst(const AbsVal &s, RegVal *out)
+{
+    if (s.kind == AbsVal::Kind::Known && s.lanesAllEqual()) {
+        *out = s.v[0];
+        return true;
+    }
+    return false;
+}
+
 /**
- * Ops that are linear in the untracked Affine base, so a stride
- * survives the transfer: add/sub are linear in both operands, addi and
+ * Ops that are linear in the Affine base, so a stride (and base facts)
+ * survive the transfer: add/sub are linear in both operands, addi and
  * slli scale by a compile-time constant, and mul/sll need the scaling
- * operand to be an exactly-Known uniform constant (the result stride is
- * stride * constant, which an untracked Affine{0} value cannot supply).
+ * operand to be an exactly-pinned uniform constant (the result stride
+ * is stride * constant, which an unpinned Affine{0} cannot supply).
  */
 bool
 strideLinear(const Instruction &in, const AbsVal &a, const AbsVal &b)
 {
-    auto known_const = [](const AbsVal &s) {
-        return s.kind == AbsVal::Kind::Known && s.lanesAllEqual();
-    };
+    RegVal c = 0;
     switch (in.op) {
       case Opcode::ADD:
       case Opcode::SUB:
@@ -69,9 +147,9 @@ strideLinear(const Instruction &in, const AbsVal &a, const AbsVal &b)
       case Opcode::SLLI:
         return true;
       case Opcode::MUL:
-        return known_const(a) || known_const(b);
+        return knownConst(a, &c) || knownConst(b, &c);
       case Opcode::SLL:
-        return known_const(b);
+        return knownConst(b, &c);
       default:
         return false;
     }
@@ -80,23 +158,99 @@ strideLinear(const Instruction &in, const AbsVal &a, const AbsVal &b)
 /** Second synthetic Affine base, to verify base-independence. */
 constexpr RegVal kProbeBase = 0x1000'0000'0001ull;
 
+/** Base facts of one affine-viewed source (see BaseView notes). */
+struct BaseView
+{
+    int k = 0;      // alignment: base ≡ r (mod 2^k)
+    RegVal r = 0;   // residue (also the evalAlu representative)
+    int nb = 0;     // exact candidates (0 = unknown base)
+    std::array<RegVal, AbsVal::kMaxBases> b{};
+};
+
+/**
+ * Base view of a source that passed affineStride(): Known vectors pin
+ * the base to v[0]; Affine values expose their lattice + set. Heuristic
+ * values carry no base facts (k = 0, empty set).
+ */
+BaseView
+viewOf(const AbsVal &s)
+{
+    BaseView o;
+    if (s.kind == AbsVal::Kind::Known) {
+        o.k = 64;
+        o.r = s.v[0];
+        o.nb = 1;
+        o.b[0] = s.v[0];
+        return o;
+    }
+    if (s.kind == AbsVal::Kind::Affine && !s.heuristic) {
+        o.k = s.baseAlign;
+        o.r = s.baseRes;
+        o.nb = s.nBases;
+        o.b = s.bases;
+    }
+    return o;
+}
+
+/** A source an op does not read acts as the exact constant 0. */
+BaseView
+zeroView()
+{
+    BaseView o;
+    o.k = 64;
+    o.nb = 1;
+    return o;
+}
+
+/** Alignment join: all of a's and b's residue classes, coarsened. */
+void
+latticeJoin(int ka, RegVal ra, int kb, RegVal rb, int *k, RegVal *r)
+{
+    int kk = ka < kb ? ka : kb;
+    int dv = twoAdicVal(ra - rb);
+    if (dv < kk)
+        kk = dv;
+    *k = kk;
+    *r = ra & alignMask(kk);
+}
+
+/** Per-lane effective addresses of a memory access with Known base. */
+std::array<RegVal, maxThreads>
+effAddrs(const Instruction &in, const AbsVal &base)
+{
+    std::array<RegVal, maxThreads> a{};
+    for (int t = 0; t < maxThreads; ++t)
+        a[(std::size_t)t] =
+            base.v[(std::size_t)t] + static_cast<RegVal>(in.imm);
+    return a;
+}
+
 /** Abstract result of one register-writing instruction. */
 AbsVal
-evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
+evalAbstract(const Instruction &in, Addr pc, const AnalysisState &st,
              const SharingOptions &opt)
 {
+    const RegState &regs = st.regs;
     if (in.op == Opcode::RECV)
         return AbsVal::unknown(); // per-context message channel
     if (in.op == Opcode::JAL || in.op == Opcode::JALR)
         return AbsVal::constant(exec::evalAlu(in, 0, 0, pc)); // link pc
     if (in.isLoad()) {
+        const AbsVal &base = regs[(std::size_t)in.rs1];
+        // Store-to-load forwarding: an exact (lane-wise) address match
+        // against a tracked slot recovers the stored abstract value.
+        if (base.kind == AbsVal::Kind::Known) {
+            std::array<RegVal, maxThreads> addr = effAddrs(in, base);
+            for (const MemSlot &s : st.slots)
+                if (s.addr == addr)
+                    return s.val;
+        }
         // A load from a thread-uniform address in a *shared* address
         // space sees one location; absent data races the loaded value
         // is uniform too. This is the one data heuristic of the domain
         // — it taints the result Affine{0, heuristic}. ME instances
         // deliberately perturb their private data, so their loads are
         // unknowable.
-        const AbsVal &base = regs[(std::size_t)in.rs1];
         if (!opt.multiExecution && base.uniformish())
             return AbsVal::affine(0, /*heuristic=*/true);
         return AbsVal::unknown();
@@ -142,20 +296,39 @@ evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
         RegVal stride = 0;
         shaped = shaped && s.affineStride(&stride);
     }
-    // Deterministic op, every thread presents identical inputs: the
-    // result is uniform regardless of the op's shape.
-    if (all_uniform)
-        return AbsVal::affine(0, heuristic);
 
-    // Some source is strided. Only base-linear ops keep a provable
+    AbsVal s1 = in.info().readsSrc1 ? regs[(std::size_t)in.rs1] : AbsVal();
+    AbsVal s2 = in.info().readsSrc2 ? regs[(std::size_t)in.rs2] : AbsVal();
+    bool linear = shaped && strideLinear(in, s1, s2);
+
+    if (!linear) {
+        if (!all_uniform)
+            return AbsVal::unknown();
+        // Deterministic op, every thread presents identical inputs: the
+        // result is uniform regardless of the op's shape. When every
+        // source's value set is pinned, the result's is too (the op
+        // applied to each candidate combination).
+        if (!heuristic) {
+            BaseView va = in.info().readsSrc1 ? viewOf(s1) : zeroView();
+            BaseView vb = in.info().readsSrc2 ? viewOf(s2) : zeroView();
+            if (va.nb > 0 && vb.nb > 0) {
+                RegVal cand[AbsVal::kMaxBases * AbsVal::kMaxBases];
+                int nc = 0;
+                for (int i = 0; i < va.nb; ++i)
+                    for (int j = 0; j < vb.nb; ++j)
+                        cand[nc++] = exec::evalAlu(
+                            in, va.b[(std::size_t)i],
+                            vb.b[(std::size_t)j], pc);
+                return AbsVal::affineBases(0, false, cand, nc);
+            }
+        }
+        return AbsVal::affine(0, heuristic);
+    }
+
+    // Some source may be strided. Only base-linear ops keep a provable
     // stride; verify it by evaluating the real ALU lane-wise on two
     // synthetic base vectors and checking both results are affine in
     // tid with the same stride.
-    AbsVal s1 = in.info().readsSrc1 ? regs[(std::size_t)in.rs1] : AbsVal();
-    AbsVal s2 = in.info().readsSrc2 ? regs[(std::size_t)in.rs2] : AbsVal();
-    if (!shaped || !strideLinear(in, s1, s2))
-        return AbsVal::unknown();
-
     auto lanes = [&](const AbsVal &s, RegVal base,
                      std::array<RegVal, maxThreads> &out) {
         if (s.kind == AbsVal::Kind::Known) {
@@ -187,34 +360,146 @@ evalAbstract(const Instruction &in, Addr pc, const RegState &regs,
             return AbsVal::unknown();
         }
     }
-    return AbsVal::affine(stride, heuristic);
+    if (heuristic)
+        return AbsVal::affine(stride, true);
+
+    // Analytic base propagation. The op is linear in each unpinned
+    // source (that is what strideLinear admits), so the result base is
+    // evalAlu applied to the source bases, its exact candidates are the
+    // op over the candidate cross product, and its alignment is each
+    // source's alignment boosted by the 2-adic valuation of that
+    // source's linear coefficient (derived by finite difference).
+    BaseView va = in.info().readsSrc1 ? viewOf(s1) : zeroView();
+    BaseView vb = in.info().readsSrc2 ? viewOf(s2) : zeroView();
+    if (va.nb > 0 && vb.nb > 0) {
+        RegVal cand[AbsVal::kMaxBases * AbsVal::kMaxBases];
+        int nc = 0;
+        for (int i = 0; i < va.nb; ++i)
+            for (int j = 0; j < vb.nb; ++j)
+                cand[nc++] = exec::evalAlu(in, va.b[(std::size_t)i],
+                                           vb.b[(std::size_t)j], pc);
+        AbsVal res = AbsVal::affineBases(stride, false, cand, nc);
+        if (res.nBases > 0)
+            return res;
+        // Set overflowed under the cap: fall through to the lattice.
+    }
+    RegVal r0 = exec::evalAlu(in, va.r, vb.r, pc);
+    RegVal m1 = exec::evalAlu(in, va.r + 1, vb.r, pc) - r0;
+    RegVal m2 = exec::evalAlu(in, va.r, vb.r + 1, pc) - r0;
+    auto contrib = [](int k, RegVal m) {
+        if (k >= 64)
+            return 64;
+        int c = k + twoAdicVal(m);
+        return c > 64 ? 64 : c;
+    };
+    int ka = contrib(va.k, m1);
+    int kb = contrib(vb.k, m2);
+    return AbsVal::affineAligned(stride, false, ka < kb ? ka : kb, r0);
 }
 
-/** Apply @p in to @p regs (register effect only). */
+/**
+ * Memory effect of a store on the tracked frame. Any slot the store
+ * may overlap is dropped; a new slot is recorded only when the lane
+ * image is unambiguous (see MemSlot).
+ */
 void
-transfer(const Instruction &in, Addr pc, RegState &regs,
+storeTransfer(const Instruction &in, AnalysisState &st,
+              const SharingOptions &opt)
+{
+    const AbsVal &base = st.regs[(std::size_t)in.rs1];
+    if (base.kind != AbsVal::Kind::Known) {
+        // Unknown/affine target: could hit any tracked slot. (Base
+        // facts bound residues, not ranges, so no disjointness proof.)
+        st.slots.clear();
+        return;
+    }
+    std::array<RegVal, maxThreads> addr = effAddrs(in, base);
+    std::erase_if(st.slots, [&](const MemSlot &s) {
+        return vecsMayOverlap(s.addr, addr, opt.multiExecution);
+    });
+    const AbsVal &val = st.regs[(std::size_t)in.rs2];
+    bool lane_safe = opt.multiExecution || lanesDisjoint(addr) ||
+                     (base.lanesAllEqual() && val.uniformish());
+    if (!lane_safe || val.kind == AbsVal::Kind::Unknown ||
+        val.kind == AbsVal::Kind::Bottom) {
+        return;
+    }
+    if (static_cast<int>(st.slots.size()) >= kMaxSlots)
+        return;
+    MemSlot slot{addr, val};
+    auto it = std::lower_bound(st.slots.begin(), st.slots.end(), slot,
+                               [](const MemSlot &a, const MemSlot &b) {
+                                   return a.addr < b.addr;
+                               });
+    st.slots.insert(it, std::move(slot));
+}
+
+/** Apply @p in to the abstract state (register and frame effects). */
+void
+transfer(const Instruction &in, Addr pc, AnalysisState &st,
          const SharingOptions &opt)
 {
+    if (in.isStore()) {
+        storeTransfer(in, st, opt);
+        return;
+    }
     if (!in.info().writesDest || in.rd == regZero)
         return; // r0 writes are architecturally dropped
-    regs[(std::size_t)in.rd] = evalAbstract(in, pc, regs, opt);
+    st.regs[(std::size_t)in.rd] = evalAbstract(in, pc, st, opt);
 }
 
-/** Classify @p in given the register state flowing into it. */
-ShareClass
-classify(const Instruction &in, const RegState &regs)
+/** dst = dst ⊔ src on frames: keep exact-address matches, join values. */
+void
+joinSlots(std::vector<MemSlot> &dst, const std::vector<MemSlot> &src)
 {
+    std::erase_if(dst, [&](MemSlot &d) {
+        for (const MemSlot &s : src)
+            if (s.addr == d.addr) {
+                d.val = join(d.val, s.val);
+                return d.val.kind == AbsVal::Kind::Unknown;
+            }
+        return true;
+    });
+}
+
+/** Distinct values among a Known vector's lanes. */
+int
+distinctLanes(const AbsVal &s)
+{
+    int n = 0;
+    for (int t = 0; t < maxThreads; ++t) {
+        bool seen = false;
+        for (int u = 0; u < t; ++u)
+            seen = seen ||
+                   s.v[(std::size_t)u] == s.v[(std::size_t)t];
+        n += seen ? 0 : 1;
+    }
+    return n;
+}
+
+/**
+ * Classify @p in given the register state flowing into it; also
+ * records the predicted sub-instruction count in @p lanes_out.
+ */
+ShareClass
+classify(const Instruction &in, const RegState &regs,
+         std::uint8_t *lanes_out)
+{
+    *lanes_out = 1;
+
     // RECV reads a per-context FIFO; the splitter never merges it.
-    if (in.op == Opcode::RECV)
+    if (in.op == Opcode::RECV) {
+        *lanes_out = maxThreads;
         return ShareClass::Divergent;
+    }
 
     RegIndex src[2];
     int n = readSources(in, src);
 
     // Divergent (sound, enforced): for every thread pair some source
     // provably differs, so no pair can ever present identical inputs.
-    // Only Known facts qualify — an Affine stride proves pairwise
-    // inequality along one path, not across paths.
+    // Known lanes prove it pointwise; a non-heuristic Affine proves it
+    // when its base facts exclude every cross-path collision.
     bool all_pairs_differ = true;
     for (int t = 0; t < maxThreads && all_pairs_differ; ++t) {
         for (int u = t + 1; u < maxThreads && all_pairs_differ; ++u) {
@@ -230,8 +515,23 @@ classify(const Instruction &in, const RegState &regs)
             all_pairs_differ = differs;
         }
     }
-    if (n > 0 && all_pairs_differ)
+    if (n > 0 && all_pairs_differ) {
+        int lanes = 2;
+        for (int i = 0; i < n; ++i) {
+            const AbsVal &s = regs[(std::size_t)src[i]];
+            if (s.kind == AbsVal::Kind::Known)
+                lanes = std::max(lanes, distinctLanes(s));
+        }
+        *lanes_out = static_cast<std::uint8_t>(lanes);
         return ShareClass::Divergent;
+    }
+    for (int i = 0; i < n; ++i) {
+        const AbsVal &s = regs[(std::size_t)src[i]];
+        if (s.provablyPairwiseDistinct()) {
+            *lanes_out = maxThreads;
+            return ShareClass::Divergent;
+        }
+    }
 
     // Mergeable (upper bound): every source is uniform across threads.
     // Proven when the uniformity never leaned on the load heuristic.
@@ -246,7 +546,33 @@ classify(const Instruction &in, const RegState &regs)
                      : ShareClass::MergeableProven;
 }
 
-/** Lane-wise branch direction; true if two lanes provably disagree. */
+/**
+ * Candidate condition-operand values of thread @p t: a Known lane is a
+ * singleton; a non-heuristic Affine with a surviving base set yields
+ * {b + t*stride}. Returns the count, 0 when unbounded.
+ */
+int
+threadCandidates(const AbsVal &s, int t,
+                 RegVal out[AbsVal::kMaxBases])
+{
+    if (s.kind == AbsVal::Kind::Known) {
+        out[0] = s.v[(std::size_t)t];
+        return 1;
+    }
+    if (s.kind == AbsVal::Kind::Affine && !s.heuristic && s.nBases > 0) {
+        for (int i = 0; i < s.nBases; ++i)
+            out[i] = s.bases[(std::size_t)i] +
+                     static_cast<RegVal>(t) * s.stride;
+        return s.nBases;
+    }
+    return 0;
+}
+
+/**
+ * Branch direction per thread over candidate value sets; true when some
+ * thread is always-taken while another is always-not-taken (so the two
+ * provably disagree whatever path bases they arrived with).
+ */
 bool
 branchDiverges(const Instruction &in, Addr pc, const RegState &regs)
 {
@@ -254,20 +580,116 @@ branchDiverges(const Instruction &in, Addr pc, const RegState &regs)
         return false;
     const AbsVal &a = regs[(std::size_t)in.rs1];
     const AbsVal &b = regs[(std::size_t)in.rs2];
-    if (a.kind != AbsVal::Kind::Known || b.kind != AbsVal::Kind::Known)
-        return false;
-    bool taken0 = exec::evalBranch(in, a.v[0], b.v[0], pc).taken;
-    for (int t = 1; t < maxThreads; ++t) {
-        if (exec::evalBranch(in, a.v[(std::size_t)t],
-                             b.v[(std::size_t)t], pc)
-                .taken != taken0) {
-            return true;
+    bool some_always_taken = false, some_never_taken = false;
+    for (int t = 0; t < maxThreads; ++t) {
+        RegVal ca[AbsVal::kMaxBases], cb[AbsVal::kMaxBases];
+        int na = threadCandidates(a, t, ca);
+        int nb = threadCandidates(b, t, cb);
+        if (na == 0 || nb == 0)
+            continue; // unbounded: could go either way
+        bool can_take = false, can_fall = false;
+        for (int i = 0; i < na; ++i) {
+            for (int j = 0; j < nb; ++j) {
+                if (exec::evalBranch(in, ca[i], cb[j], pc).taken)
+                    can_take = true;
+                else
+                    can_fall = true;
+            }
         }
+        some_always_taken = some_always_taken || !can_fall;
+        some_never_taken = some_never_taken || !can_take;
     }
-    return false;
+    return some_always_taken && some_never_taken;
 }
 
 } // namespace
+
+AbsVal
+AbsVal::affineBases(RegVal stride, bool heuristic, const RegVal *cand,
+                    int n)
+{
+    if (heuristic || n <= 0)
+        return affine(stride, heuristic);
+    RegVal sorted[kMaxBases];
+    int nb = 0;
+    bool overflow = false;
+    for (int i = 0; i < n && !overflow; ++i) {
+        bool dup = false;
+        for (int j = 0; j < nb; ++j)
+            dup = dup || sorted[j] == cand[i];
+        if (dup)
+            continue;
+        if (nb == kMaxBases) {
+            overflow = true;
+            break;
+        }
+        sorted[nb++] = cand[i];
+    }
+    if (overflow)
+        return affine(stride, heuristic);
+    // Bounded insertion sort (nb <= kMaxBases; std::sort's unrolled
+    // small-array path trips gcc's -Warray-bounds here).
+    for (int i = 1; i < nb; ++i) {
+        RegVal x = sorted[i];
+        int j = i;
+        for (; j > 0 && sorted[j - 1] > x; --j)
+            sorted[j] = sorted[j - 1];
+        sorted[j] = x;
+    }
+    if (nb == 1) {
+        // A single admissible base pins every lane exactly: canonicalize
+        // to Known so downstream transfer/classify/lints get full
+        // precision (and the representation stays unique).
+        std::array<RegVal, maxThreads> lanes{};
+        for (int t = 0; t < maxThreads; ++t)
+            lanes[(std::size_t)t] =
+                sorted[0] + static_cast<RegVal>(t) * stride;
+        return known(lanes);
+    }
+    AbsVal a;
+    a.kind = Kind::Affine;
+    a.stride = stride;
+    a.nBases = static_cast<std::uint8_t>(nb);
+    int k = 64;
+    RegVal r = sorted[0];
+    for (int i = 0; i < nb; ++i) {
+        a.bases[(std::size_t)i] = sorted[i];
+        int kj = 0;
+        RegVal rj = 0;
+        latticeJoin(k, r, 64, sorted[i], &kj, &rj);
+        k = kj;
+        r = rj;
+    }
+    a.baseAlign = static_cast<std::uint8_t>(k);
+    a.baseRes = r;
+    return a;
+}
+
+bool
+AbsVal::provablyPairwiseDistinct() const
+{
+    if (kind != Kind::Affine || heuristic || stride == 0)
+        return false;
+    for (int d = 1; d < maxThreads; ++d) {
+        RegVal delta = static_cast<RegVal>(d) * stride;
+        if (nBases > 0) {
+            // Thread t holds b1 + t*s, thread t+d holds b2 + (t+d)*s:
+            // they collide iff b1 - b2 == d*s for some candidate pair.
+            for (int i = 0; i < nBases; ++i)
+                for (int j = 0; j < nBases; ++j)
+                    if (bases[(std::size_t)i] - bases[(std::size_t)j] ==
+                        delta)
+                        return false;
+        } else if (baseAlign > 0) {
+            // All bases agree mod 2^k, so a collision needs d*s ≡ 0.
+            if ((delta & alignMask(baseAlign)) == 0)
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
 
 AbsVal
 join(const AbsVal &a, const AbsVal &b)
@@ -282,14 +704,35 @@ join(const AbsVal &a, const AbsVal &b)
     if (a.kind == Kind::Unknown || b.kind == Kind::Unknown)
         return AbsVal::unknown();
     // Widening: distinct values sharing a per-thread stride join to
-    // Affine{stride} (base forgotten) instead of collapsing to Unknown,
-    // so loop-carried induction variables stabilize. stride == 0 is the
-    // uniform-but-path-dependent case that used to be `Uniform`.
+    // Affine{stride} instead of collapsing to Unknown, so loop-carried
+    // induction variables stabilize. The base facts of both sides merge:
+    // exact candidate sets union (widening away past the cap), and the
+    // alignment lattice coarsens to the common residue class. stride ==
+    // 0 is the uniform-but-path-dependent case that used to be
+    // `Uniform`.
     RegVal sa = 0, sb = 0;
     if (a.affineStride(&sa) && b.affineStride(&sb) && sa == sb) {
         bool heuristic = (a.kind == Kind::Affine && a.heuristic) ||
                          (b.kind == Kind::Affine && b.heuristic);
-        return AbsVal::affine(sa, heuristic);
+        if (heuristic)
+            return AbsVal::affine(sa, true);
+        BaseView va = viewOf(a), vb = viewOf(b);
+        if (va.nb > 0 && vb.nb > 0) {
+            RegVal cand[2 * AbsVal::kMaxBases];
+            int nc = 0;
+            for (int i = 0; i < va.nb; ++i)
+                cand[nc++] = va.b[(std::size_t)i];
+            for (int i = 0; i < vb.nb; ++i)
+                cand[nc++] = vb.b[(std::size_t)i];
+            AbsVal res = AbsVal::affineBases(sa, false, cand, nc);
+            if (res.nBases > 0)
+                return res;
+        }
+        // Set widened away (or one side already had): keep alignment.
+        int k = 0;
+        RegVal r = 0;
+        latticeJoin(va.k, va.r, vb.k, vb.r, &k, &r);
+        return AbsVal::affineAligned(sa, false, k, r);
     }
     return AbsVal::unknown();
 }
@@ -317,48 +760,61 @@ analyzeSharing(const Cfg &cfg, const SharingOptions &opt)
     res.shareClass.assign(n_insts, ShareClass::Unclassified);
     res.memBase.assign(n_insts, AbsVal());
     res.divergentBranch.assign(n_insts, false);
+    res.predictedLanes.assign(n_insts, 1);
     if (blocks.empty())
         return res;
 
-    // Block-entry states; fixpoint over reachable blocks.
-    std::vector<RegState> in(blocks.size());
+    // Node-entry states; fixpoint over the context-expanded graph (one
+    // node per block in the degenerate case — the old flat analysis).
+    // Running per (block, call-string) node keeps caller state intact
+    // around calls: a helper's body is analyzed once per context, and
+    // its ret flows each context's state only to the matching call
+    // site's return point instead of joining every caller.
+    const auto &nodes = cfg.ctxNodes();
+    std::vector<AnalysisState> in(nodes.size());
     for (auto &st : in)
-        st.fill(AbsVal());
-    int entry_block =
-        prog.validPc(prog.entry)
-            ? cfg.blockOf(static_cast<int>((prog.entry - prog.codeBase) /
-                                           instBytes))
-            : 0;
-    in[(std::size_t)entry_block] = entryState(opt);
+        st.regs.fill(AbsVal());
+    if (nodes.empty())
+        return res;
+    int entry_node = cfg.ctxEntry();
+    in[(std::size_t)entry_node].regs = entryState(opt);
 
-    std::vector<bool> queued(blocks.size(), false);
-    std::vector<int> work{entry_block};
-    queued[(std::size_t)entry_block] = true;
+    std::vector<bool> queued(nodes.size(), false);
+    std::vector<int> work{entry_node};
+    queued[(std::size_t)entry_node] = true;
     while (!work.empty()) {
-        int b = work.back();
+        int v = work.back();
         work.pop_back();
-        queued[(std::size_t)b] = false;
+        queued[(std::size_t)v] = false;
 
-        RegState st = in[(std::size_t)b];
-        const BasicBlock &blk = blocks[(std::size_t)b];
+        AnalysisState st = in[(std::size_t)v];
+        const BasicBlock &blk = blocks[(std::size_t)nodes[(std::size_t)v].block];
         for (int i = blk.first; i <= blk.last; ++i) {
             const Instruction &inst = prog.code[(std::size_t)i];
             Addr pc = prog.codeBase +
                       static_cast<Addr>(i) * instBytes;
             transfer(inst, pc, st, opt);
         }
-        for (int s : blk.succs) {
-            RegState merged;
-            bool changed = false;
+        for (int s : nodes[(std::size_t)v].succs) {
+            AnalysisState &cur = in[(std::size_t)s];
+            AnalysisState merged;
             for (int r = 0; r < numArchRegs; ++r) {
-                merged[(std::size_t)r] =
-                    join(in[(std::size_t)s][(std::size_t)r],
-                         st[(std::size_t)r]);
-                changed = changed || !(merged[(std::size_t)r] ==
-                                       in[(std::size_t)s][(std::size_t)r]);
+                merged.regs[(std::size_t)r] =
+                    join(cur.regs[(std::size_t)r],
+                         st.regs[(std::size_t)r]);
             }
-            if (changed) {
-                in[(std::size_t)s] = merged;
+            // First state to reach a node seeds its frame; later ones
+            // meet it (slots start "absent everywhere" = ⊤ only once a
+            // path has actually arrived).
+            bool first = true;
+            for (int r = 0; first && r < numArchRegs; ++r)
+                first = cur.regs[(std::size_t)r].kind ==
+                        AbsVal::Kind::Bottom;
+            merged.slots = first ? st.slots : cur.slots;
+            if (!first)
+                joinSlots(merged.slots, st.slots);
+            if (!(merged == cur)) {
+                cur = std::move(merged);
                 if (!queued[(std::size_t)s]) {
                     queued[(std::size_t)s] = true;
                     work.push_back(s);
@@ -368,22 +824,40 @@ analyzeSharing(const Cfg &cfg, const SharingOptions &opt)
     }
 
     // Final walk: classify each reachable instruction with the state
-    // flowing into it.
+    // flowing into it — the join over all of its block's context
+    // copies, since PC-coincidence merging can group threads from any
+    // mix of contexts. Single-context blocks (all of the entry frame)
+    // keep full per-context precision.
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         const BasicBlock &blk = blocks[b];
         if (!blk.reachable)
             continue;
-        RegState st = in[b];
+        AnalysisState st;
+        st.regs.fill(AbsVal());
+        bool first = true;
+        for (int v : cfg.ctxNodesOf(static_cast<int>(b))) {
+            for (int r = 0; r < numArchRegs; ++r)
+                st.regs[(std::size_t)r] =
+                    join(st.regs[(std::size_t)r],
+                         in[(std::size_t)v].regs[(std::size_t)r]);
+            if (first)
+                st.slots = in[(std::size_t)v].slots;
+            else
+                joinSlots(st.slots, in[(std::size_t)v].slots);
+            first = false;
+        }
         for (int i = blk.first; i <= blk.last; ++i) {
             const Instruction &inst = prog.code[(std::size_t)i];
             Addr pc = prog.codeBase +
                       static_cast<Addr>(i) * instBytes;
-            ShareClass c = classify(inst, st);
+            std::uint8_t lanes = 1;
+            ShareClass c = classify(inst, st.regs, &lanes);
             res.shareClass[(std::size_t)i] = c;
+            res.predictedLanes[(std::size_t)i] = lanes;
             res.classCounts[(std::size_t)c] += 1;
             if (inst.isMem())
-                res.memBase[(std::size_t)i] = st[(std::size_t)inst.rs1];
-            if (branchDiverges(inst, pc, st))
+                res.memBase[(std::size_t)i] = st.regs[(std::size_t)inst.rs1];
+            if (branchDiverges(inst, pc, st.regs))
                 res.divergentBranch[(std::size_t)i] = true;
             transfer(inst, pc, st, opt);
         }

@@ -12,27 +12,43 @@
  *              per-tid vector {v[0..maxThreads)}; transfer functions
  *              reuse exec::evalAlu lane-wise, so the abstract semantics
  *              is the concrete semantics applied per thread
- *   Affine   — thread t holds base + t*stride, where the stride is
- *              path-invariant but the base is not tracked (it may
- *              differ per control path / loop iteration). stride == 0
- *              is the uniform case and subsumes the retired heuristic
+ *   Affine   — thread t holds B + t*stride, where the stride is
+ *              path-invariant and B is the (path-dependent) base. The
+ *              base is *partially* tracked (see below). stride == 0 is
+ *              the uniform case and subsumes the retired heuristic
  *              `Uniform` kind; the `heuristic` flag records whether a
  *              shared-load assumption entered the derivation
  *   Unknown  — anything (ME loads, RECV, joins of different strides)
  *
+ * Affine base tracking (the affine-with-base refinement). Each Affine
+ * value carries two base facts, both describing the set of bases B that
+ * any control path (or loop iteration) may supply:
+ *
+ *   - an exact base set: up to kMaxBases candidate bases (nBases > 0
+ *     means B is one of bases[0..nBases)). Joins union the sets; when
+ *     the union exceeds kMaxBases the set widens away (nBases = 0).
+ *   - a power-of-2 alignment lattice (baseAlign k, baseRes r): every
+ *     possible base satisfies B ≡ r (mod 2^k). k == 64 pins the base
+ *     exactly; k == 0 is the old base-untracked Affine. This survives
+ *     the exact set's widening: a loop that bumps a tid-strided address
+ *     by a constant keeps k = v2(increment) forever, so loop-carried
+ *     address streams retain provable cross-path separation.
+ *
+ * Both facts are per-path sound: abstract interpretation joins over all
+ * paths/iterations, so the set (or residue class) covers every base a
+ * thread can arrive with. Heuristic values (shared-load guesses) carry
+ * no base facts — the loaded value itself is unknown.
+ *
  * Known is *sound*: the fixpoint only keeps a vector when every path
- * agrees on it, so "thread t holds v[t] here" is invariant. Affine is a
- * per-path relational claim: threads that reached this point along the
- * same control path (and the same loop iteration) hold values exactly
- * (t-u)*stride apart. It is derived inductively — entry seeds are exact
- * (tid has stride 1, sp has stride -stackBytes), and only transfer
- * functions that are linear in the untracked base propagate a stride
- * (add/sub, addi, slli, and mul/sll by an exactly-Known uniform
- * constant), each verified by running exec::evalAlu lane-wise on two
- * synthetic base vectors. The join widens differing Known vectors with
- * a common stride to Affine instead of collapsing them to Unknown, so
- * loop-carried induction variables (counters, strided address streams)
- * stabilize as Affine.
+ * agrees on it, so "thread t holds v[t] here" is invariant. Affine
+ * strides are derived inductively — entry seeds are exact (tid has
+ * stride 1, sp has stride -stackBytes), and only transfer functions
+ * that are linear in the base propagate a stride (add/sub, addi, slli,
+ * and mul/sll by an exactly-known uniform constant), each verified by
+ * running exec::evalAlu lane-wise on two synthetic base vectors. Base
+ * facts ride the same linear ops analytically: the residue moves by
+ * evalAlu on representatives and the alignment gains v2(coefficient);
+ * exact sets cross-product through evalAlu with a kMaxBases cap.
  *
  * Classification per static instruction (ShareClass):
  *
@@ -45,15 +61,18 @@
  *   MergeableHeuristic — uniform only modulo the shared-load heuristic
  *                        (a load from a uniform address in a shared
  *                        address space is assumed to read one value).
- *   Divergent          — for every thread pair some source is Known
- *                        with differing lanes (or the op is RECV, which
- *                        the splitter never merges): the instruction
- *                        can *never* be execute-merged. This direction
- *                        is sound and is enforced against the pipeline
- *                        by the dynamic upper-bound test. Affine facts
- *                        are never used here: a nonzero stride proves
- *                        pairwise inequality only along a single path,
- *                        which dynamic merging does not guarantee.
+ *   Divergent          — some source provably differs for every thread
+ *                        pair, so no pair can ever present identical
+ *                        inputs: the instruction can *never* be
+ *                        execute-merged. Sound and enforced against the
+ *                        pipeline by the dynamic upper-bound test. Two
+ *                        proofs qualify: Known lanes that pairwise
+ *                        differ, and a non-heuristic Affine whose base
+ *                        facts exclude cross-path collisions — for all
+ *                        lane distances d, no two admissible bases
+ *                        differ by exactly d*stride (checked against
+ *                        the exact set, or via (d*stride) mod 2^k != 0
+ *                        on the alignment lattice).
  *   Unclassified       — everything else
  *
  * Seeds follow the simulator's thread setup: MT runs give regTid the
@@ -65,6 +84,7 @@
 #define MMT_ANALYSIS_SHARING_HH
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "analysis/cfg.hh"
@@ -74,16 +94,48 @@ namespace mmt
 namespace analysis
 {
 
+/** 2-adic valuation of @p x, capped at 64 (v2(0) == 64). */
+inline int
+twoAdicVal(RegVal x)
+{
+    if (x == 0)
+        return 64;
+    int k = 0;
+    while (!(x & 1)) {
+        x >>= 1;
+        ++k;
+    }
+    return k;
+}
+
+/** Bit mask of the low @p k bits (k in [0, 64]). */
+inline RegVal
+alignMask(int k)
+{
+    return k >= 64 ? ~RegVal(0) : ((RegVal(1) << k) - 1);
+}
+
 /** Abstract value of one register (see file comment). */
 struct AbsVal
 {
     enum class Kind { Bottom, Known, Affine, Unknown };
+
+    /** Exact-base-set capacity; joins past this widen to lattice-only. */
+    static constexpr int kMaxBases = 4;
+
     Kind kind = Kind::Bottom;
     std::array<RegVal, maxThreads> v{}; // valid when kind == Known
-    /** Affine only: thread t holds base + t*stride (base untracked). */
+    /** Affine only: thread t holds base + t*stride. */
     RegVal stride = 0;
     /** Affine only: a shared-load assumption entered the derivation. */
     bool heuristic = false;
+    /** Affine only: every admissible base ≡ baseRes (mod 2^baseAlign). */
+    std::uint8_t baseAlign = 0;
+    /** Affine only: number of exact base candidates (0 = widened). */
+    std::uint8_t nBases = 0;
+    RegVal baseRes = 0;
+    /** Affine only: sorted, deduplicated candidate bases. */
+    std::array<RegVal, kMaxBases> bases{};
 
     static AbsVal
     known(const std::array<RegVal, maxThreads> &vals)
@@ -103,6 +155,7 @@ struct AbsVal
         return a;
     }
 
+    /** Base-untracked Affine (k = 0, empty set) — the old domain. */
     static AbsVal
     affine(RegVal stride, bool heuristic)
     {
@@ -110,6 +163,29 @@ struct AbsVal
         a.kind = Kind::Affine;
         a.stride = stride;
         a.heuristic = heuristic;
+        return a;
+    }
+
+    /**
+     * Affine with an exact base candidate set (canonicalized: sorted,
+     * deduplicated, lattice recomputed from the set). @p n == 0 or
+     * @p heuristic produce the base-untracked value.
+     */
+    static AbsVal affineBases(RegVal stride, bool heuristic,
+                              const RegVal *cand, int n);
+
+    /** Affine with lattice-only base facts (set widened away). */
+    static AbsVal
+    affineAligned(RegVal stride, bool heuristic, int k, RegVal r)
+    {
+        AbsVal a;
+        a.kind = Kind::Affine;
+        a.stride = stride;
+        a.heuristic = heuristic;
+        if (!heuristic && k > 0) {
+            a.baseAlign = static_cast<std::uint8_t>(k > 64 ? 64 : k);
+            a.baseRes = r & alignMask(a.baseAlign);
+        }
         return a;
     }
 
@@ -170,6 +246,21 @@ struct AbsVal
         return uniformish() && !(kind == Kind::Affine && heuristic);
     }
 
+    /** Affine with a surviving exact base set. */
+    bool
+    hasBases() const
+    {
+        return kind == Kind::Affine && nBases > 0;
+    }
+
+    /**
+     * Sound "no two threads can ever hold equal values" proof from the
+     * affine base facts: for every lane distance d in [1, maxThreads),
+     * no two admissible bases differ by exactly d*stride. Known lanes
+     * are handled by the caller (classify) — this covers only Affine.
+     */
+    bool provablyPairwiseDistinct() const;
+
     bool operator==(const AbsVal &o) const = default;
 };
 
@@ -215,8 +306,15 @@ struct SharingResult
      *  divergence lints. Kind::Bottom for non-memory instructions. */
     std::vector<AbsVal> memBase;
     /** Conditional branches whose direction provably differs between
-     *  at least one thread pair (Known condition lanes disagree). */
+     *  at least one thread pair (some thread is always-taken while
+     *  another is always-not-taken over its candidate value sets). */
     std::vector<bool> divergentBranch;
+    /** Statically predicted sub-instruction (lane-split) count per
+     *  instruction: 1 for anything mergeable or unclassified, and for
+     *  Divergent instructions the proven number of distinct input
+     *  groups (distinct Known lanes, or maxThreads when the proof is
+     *  affine/RECV). Feeds the split-steer fetch hint. */
+    std::vector<std::uint8_t> predictedLanes;
     /** Static instruction counts per class, reachable code only. */
     std::array<int, numShareClasses> classCounts{};
 };

@@ -53,6 +53,7 @@ allocateRegisters(const IrFunction &f)
         extend(p, 0);
 
     std::vector<int> callPositions;
+    std::vector<int> callDefs; // dst vreg of the call at callPositions[i]
     for (std::size_t b = 0; b < f.blocks.size(); ++b) {
         int bs = blockStart[b];
         int be = bs + static_cast<int>(f.blocks[b].insts.size()) - 1;
@@ -71,19 +72,29 @@ allocateRegisters(const IrFunction &f)
                 extend(instDef(inst), p);
             if (inst.op == IrOp::Call) {
                 callPositions.push_back(p);
+                callDefs.push_back(instDef(inst));
                 alloc.hasCalls = true;
             }
         }
     }
 
     // Anything live across a call goes to the stack: the allocatable
-    // registers are all caller-saved.
+    // registers are all caller-saved. An interval that *starts* at the
+    // call position also crosses it when it is an argument reused
+    // later (a parameter whose first use is the call) — only the
+    // call's own result is defined after the clobber and may stay in a
+    // register.
     for (Interval &iv : ivs) {
         if (iv.start < 0)
             continue;
-        for (int cp : callPositions)
-            if (iv.start < cp && iv.end > cp)
+        for (std::size_t c = 0; c < callPositions.size(); ++c) {
+            int cp = callPositions[c];
+            bool live_before =
+                iv.start < cp ||
+                (iv.start == cp && iv.vreg != callDefs[c]);
+            if (live_before && iv.end > cp)
                 iv.crossesCall = true;
+        }
     }
 
     std::vector<const Interval *> order;

@@ -100,13 +100,39 @@ SmtCore::fetchFromGroup(int gid, int budget)
             params_.fetchQueueSize) {
             break;
         }
+        // Split-steer: a record the splitter will provably expand into k
+        // sub-instructions occupies k decode/split slots, not 1. Charge
+        // them up front (the first record of a stream always fits) so
+        // the frontend stops over-fetching past its expansion bandwidth.
+        int charge = fetchSlotCharge(sync_.group(gid).pc,
+                                     sync_.group(gid).members.count());
+        if (fetched > 0 && fetched + charge > budget)
+            break;
         int r = fetchRecord(gid, tc_hit, branches_crossed);
-        if (r >= 0)
-            ++fetched;
+        if (r >= 0) {
+            fetched += charge;
+            if (charge > 1)
+                sync_.splitSteerCharges += static_cast<std::uint64_t>(
+                    charge - 1);
+        }
         if (r <= 0)
             break;
     }
     return fetched;
+}
+
+int
+SmtCore::fetchSlotCharge(Addr pc, int members)
+{
+    if (!hintsSplitSteer(params_.staticHints) || members <= 1)
+        return 1;
+    const std::vector<Addr> &pcs = params_.hintTable.splitPcs;
+    auto it = std::lower_bound(pcs.begin(), pcs.end(), pc);
+    if (it == pcs.end() || *it != pc)
+        return 1;
+    int pred = params_.hintTable
+                   .splitCounts[static_cast<std::size_t>(it - pcs.begin())];
+    return std::max(1, std::min(pred, members));
 }
 
 int
@@ -336,23 +362,16 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
         sync_.group(gid).pc = pc + instBytes;
         // A diverged group pauses briefly so the others can reach the
         // same point and the PC-coincidence merge can fire; a fully
-        // merged group treats the hint as a no-op. Merge-skip hints veto
-        // the pause when the resume PC is statically Divergent: the
-        // merge the hint is waiting for could never be useful there.
+        // merged group treats the hint as a no-op.
         if (params_.mergeHintWait > 0 &&
             itid.count() < sync_.liveThreads()) {
-            if (sync_.mergeSkippedAt(pc + instBytes)) {
-                ++sync_.mergeSkipVetoes;
-            } else {
-                itid.forEach([&](ThreadId t) {
-                    threads_[t].hintWaitUntil =
-                        now_ + params_.mergeHintWait;
-                    threads_[t].hintPc = pc + instBytes;
-                    threads_[t].hintWaitMembers = itid.count();
-                });
-                ++stats.hintWaits;
-                stop_stream = true;
-            }
+            itid.forEach([&](ThreadId t) {
+                threads_[t].hintWaitUntil = now_ + params_.mergeHintWait;
+                threads_[t].hintPc = pc + instBytes;
+                threads_[t].hintWaitMembers = itid.count();
+            });
+            ++stats.hintWaits;
+            stop_stream = true;
         }
     } else {
         sync_.group(gid).pc = pc + instBytes;

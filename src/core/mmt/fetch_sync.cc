@@ -52,15 +52,13 @@ FetchSync::reset(Addr entry_pc)
 }
 
 void
-FetchSync::setStaticHints(bool fhb_seed, bool merge_skip,
+FetchSync::setStaticHints(bool fhb_seed,
                           const std::vector<Addr> &reconvergence,
                           const std::vector<Addr> &divergent)
 {
     seedEnabled_ = fhb_seed;
-    mergeSkip_ = merge_skip;
     seedPcs_ = fhb_seed ? reconvergence : std::vector<Addr>{};
-    divergentPcs_ =
-        (fhb_seed || merge_skip) ? divergent : std::vector<Addr>{};
+    divergentPcs_ = fhb_seed ? divergent : std::vector<Addr>{};
     for (ThreadId t = 0; t < numThreads_; ++t)
         fhbs_[t]->seed(seedPcs_);
 }
@@ -76,12 +74,6 @@ FetchSync::divergentPcMatch(Addr pc) const
 {
     return std::binary_search(divergentPcs_.begin(), divergentPcs_.end(),
                               pc);
-}
-
-bool
-FetchSync::mergeSkippedAt(Addr pc) const
-{
-    return mergeSkip_ && divergentPcMatch(pc);
 }
 
 int
@@ -309,12 +301,6 @@ FetchSync::tryMerge()
             for (int b = a + 1; b < numGroups() && !changed; ++b) {
                 if (!groups_[b].alive || groups_[a].pc != groups_[b].pc)
                     continue;
-                // Merge-skip hint: a statically-Divergent PC re-diverges
-                // the group immediately; don't churn the merge here.
-                if (mergeSkippedAt(groups_[a].pc)) {
-                    ++mergeSkipVetoes;
-                    continue;
-                }
                 // Merge b into a.
                 leaveCatchup(a, false);
                 leaveCatchup(b, false);

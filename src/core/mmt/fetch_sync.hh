@@ -133,20 +133,15 @@ class FetchSync
      *        enable the seeded DETECT→CATCHUP transition: a group taking
      *        a branch into a static re-convergence point is presumed
      *        first there, and every free group is boosted to chase it
-     * @param merge_skip suppress tryMerge() at @p divergent PCs (the
-     *        group cannot usefully persist there; skip the merge churn)
      * @param divergent PCs statically inside diverged control paths
      *        (hammock arms). With @p fhb_seed, a CATCHUP chaser branching
      *        into one is treated as transiently — not terminally — off
      *        the ahead group's path (no catchup abort).
      * Seeds survive reset(); call once after construction.
      */
-    void setStaticHints(bool fhb_seed, bool merge_skip,
+    void setStaticHints(bool fhb_seed,
                         const std::vector<Addr> &reconvergence,
                         const std::vector<Addr> &divergent);
-
-    /** True when merge-skip hints veto merging at @p pc. */
-    bool mergeSkippedAt(Addr pc) const;
 
     /** Current cycle, for the divergence→remerge latency statistic.
      *  Called by the fetch stage once per cycle. */
@@ -156,13 +151,13 @@ class FetchSync
     Counter remerges;
     Counter catchupEntered;
     Counter catchupAborted; // false positives (CATCHUP -> DETECT)
-    /** Merge-skip hint vetoes that actually fired: a PC-coincidence
-     *  merge or MERGEHINT wait suppressed at a statically-Divergent PC
-     *  (unregistered: summed here, surfaced via RunResult, never in the
-     *  golden stats dump). Zero unless the hints mode enables
-     *  merge-skip — the observable form of the merge-skip ≡ off
-     *  ablation finding. */
-    Counter mergeSkipVetoes;
+    /** Extra fetch slots charged by the split-steer hint: the fetch
+     *  stage adds predicted-sub-instruction-count − 1 per record fetched
+     *  at a statically predicted-split PC (unregistered: summed here,
+     *  surfaced via RunResult, never in the golden stats dump). Zero
+     *  unless the hints mode enables split-steer — the counter the
+     *  retired merge-skip veto never managed to move. */
+    Counter splitSteerCharges;
     /** Divergence→remerge latency in cycles (unregistered: summed here,
      *  surfaced via RunResult, never in the golden stats dump). */
     Counter syncLatencyCycles;
@@ -186,7 +181,6 @@ class FetchSync
     bool sharedFetch_;
     bool catchupPriority_;
     bool seedEnabled_ = false;
-    bool mergeSkip_ = false;
     Cycles now_ = 0;
     std::vector<Addr> seedPcs_;      // sorted re-convergence targets
     std::vector<Addr> divergentPcs_; // sorted statically-divergent PCs

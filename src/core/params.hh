@@ -8,6 +8,7 @@
 #ifndef MMT_CORE_PARAMS_HH
 #define MMT_CORE_PARAMS_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "branch/branch_predictor.hh"
@@ -25,9 +26,9 @@ namespace mmt
  */
 enum class StaticHintsMode
 {
-    Off,       // hints ignored entirely
-    FhbSeed,   // pre-populate FHBs with re-convergence targets
-    MergeSkip, // skip MERGE attempts / MERGEHINT waits at Divergent PCs
+    Off,        // hints ignored entirely
+    FhbSeed,    // pre-populate FHBs with re-convergence targets
+    SplitSteer, // charge fetch slots by predicted sub-instruction count
     Both,
 };
 
@@ -38,20 +39,25 @@ hintsFhbSeed(StaticHintsMode m)
 }
 
 constexpr bool
-hintsMergeSkip(StaticHintsMode m)
+hintsSplitSteer(StaticHintsMode m)
 {
-    return m == StaticHintsMode::MergeSkip || m == StaticHintsMode::Both;
+    return m == StaticHintsMode::SplitSteer || m == StaticHintsMode::Both;
 }
 
 /**
  * Per-program hint tables consumed when staticHints != Off. Filled by
- * the sim layer from analysis::FetchHints; both vectors are sorted so
- * the core can binary search.
+ * the sim layer from analysis::FetchHints; the Addr vectors are sorted
+ * so the core can binary search (splitCounts is index-parallel with
+ * splitPcs).
  */
 struct StaticHintTable
 {
     std::vector<Addr> divergentPcs;     // statically never-mergeable PCs
     std::vector<Addr> reconvergencePcs; // FHB seed targets
+    /** PCs the analyzer predicts the splitter must expand (>1
+     *  sub-instruction), with the predicted instance counts. */
+    std::vector<Addr> splitPcs;
+    std::vector<std::uint8_t> splitCounts;
 };
 
 /** Full configuration of one simulated core. */

@@ -76,9 +76,8 @@ SmtCore::SmtCore(const CoreParams &params, const Program *program,
     }
 
     // Analyzer-driven frontend hints (no-op when staticHints == Off:
-    // empty seed/skip tables leave the pipeline bit-identical).
+    // empty seed/split tables leave the pipeline bit-identical).
     sync_.setStaticHints(hintsFhbSeed(params_.staticHints),
-                         hintsMergeSkip(params_.staticHints),
                          params_.hintTable.reconvergencePcs,
                          params_.hintTable.divergentPcs);
 

@@ -234,6 +234,13 @@ class SmtCore
      */
     int fetchRecord(int gid, bool tc_hit, int &branches_crossed);
 
+    /**
+     * Fetch-width slots one record at @p pc occupies for a group of
+     * @p members threads: 1, or the statically predicted sub-instruction
+     * count (capped at the member count) under the split-steer hint.
+     */
+    int fetchSlotCharge(Addr pc, int members);
+
     /** Create, rename and enqueue the split instances of one record.
      *  @return the number of instances created */
     int makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,

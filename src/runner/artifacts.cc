@@ -148,7 +148,7 @@ sweepToJson(const SweepSpec &spec, const SweepOutcome &outcome)
                           : 0.0)
            << ", \"mergedFrac\": " << jsonNum(r.mergedFrac())
            << ", \"goldenOk\": " << (r.goldenOk ? "true" : "false")
-           << ",\n     \"mergeSkipVetoes\": " << r.mergeSkipVetoes
+           << ",\n     \"splitSteerCharges\": " << r.splitSteerCharges
            << ", \"numCores\": " << r.numCores
            << ", \"placement\": " << jsonStr(placementName(r.placement))
            << ", \"sharedL2Accesses\": " << r.sharedL2Accesses
@@ -192,7 +192,7 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
           "divergences,remerges,remergeWithin512,catchupAborted,"
           "syncLatencyCycles,syncLatencySamples,meanSyncLatency,"
           "staticMergeableFrac,predicted_mergeable,mergedFrac,goldenOk,"
-          "mergeSkipVetoes,numCores,placement,sharedL2Accesses,"
+          "splitSteerCharges,numCores,placement,sharedL2Accesses,"
           "sharedL2Misses,sharedICacheAccesses,sharedICacheHits,"
           "perCoreContexts,perCoreCycles,perCoreMergedFrac,"
           "perCoreSharedICacheHits,"
@@ -221,7 +221,7 @@ sweepToCsv(const SweepSpec &spec, const SweepOutcome &outcome)
                           ? outcome.predictedMergeable[i]
                           : 0.0)
            << "," << jsonNum(r.mergedFrac()) << "," << (r.goldenOk ? 1 : 0)
-           << "," << r.mergeSkipVetoes << "," << r.numCores << ","
+           << "," << r.splitSteerCharges << "," << r.numCores << ","
            << placementName(r.placement) << "," << r.sharedL2Accesses
            << "," << r.sharedL2Misses << "," << r.sharedICacheAccesses
            << "," << r.sharedICacheHits << ","

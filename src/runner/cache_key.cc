@@ -76,7 +76,7 @@ static_assert(countFields<CacheParams>() == 4,
 static_assert(countFields<TraceCacheParams>() == 5,
               "TraceCacheParams changed: extend paramsKey() and bump "
               "kCodeVersionSalt");
-static_assert(countFields<StaticHintTable>() == 2,
+static_assert(countFields<StaticHintTable>() == 4,
               "StaticHintTable changed: extend paramsKey() and bump "
               "kCodeVersionSalt");
 
@@ -98,8 +98,15 @@ hintTableKey(const StaticHintTable &t)
     bytes += "|";
     for (Addr a : t.reconvergencePcs)
         bytes += std::to_string(a) + ",";
+    bytes += "|";
+    for (Addr a : t.splitPcs)
+        bytes += std::to_string(a) + ",";
+    bytes += "|";
+    for (std::uint8_t c : t.splitCounts)
+        bytes += std::to_string(c) + ",";
     return std::to_string(t.divergentPcs.size()) + ":" +
            std::to_string(t.reconvergencePcs.size()) + ":" +
+           std::to_string(t.splitPcs.size()) + ":" +
            hashHex(fnv1a64(bytes));
 }
 

@@ -249,7 +249,7 @@ renderCsrc(const SweepSpec &spec, const std::vector<RunResult> &results)
 
 constexpr StaticHintsMode kHintModes[] = {
     StaticHintsMode::Off, StaticHintsMode::FhbSeed,
-    StaticHintsMode::MergeSkip, StaticHintsMode::Both};
+    StaticHintsMode::SplitSteer, StaticHintsMode::Both};
 
 /**
  * Static-hints ablation: predicted mergeable fraction from mmt-analyze
@@ -289,7 +289,7 @@ renderAblationHints(const SweepSpec &spec,
     rows.push_back({"geomean", "", "", "", "", "",
                     fmt(geomean(speedups))});
     return formatTable({"app", "pred-merge%", "off m%/lat",
-                        "fhb-seed m%/lat", "merge-skip m%/lat",
+                        "fhb-seed m%/lat", "split-steer m%/lat",
                         "both m%/lat", "speedup"},
                        rows);
 }
@@ -502,8 +502,8 @@ makeFigure(const std::string &id)
             "\npred-merge% is mmt-analyze's static upper estimate of "
             "mergeable work;\nthe per-mode columns show what the "
             "pipeline actually merged. fhb-seed\npre-populates FHBs "
-            "with re-convergence points; merge-skip suppresses\nMERGE "
-            "attempts at statically-Divergent PCs.\n";
+            "with re-convergence points; split-steer charges\nfetch "
+            "slots by the predicted sub-instruction count.\n";
         std::vector<SimOverrides> hint_ovs;
         for (StaticHintsMode m : kHintModes) {
             SimOverrides ov;

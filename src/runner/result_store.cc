@@ -96,7 +96,7 @@ serializeResult(const RunResult &r)
     os << "syncLatencySamples " << r.syncLatencySamples << "\n";
     os << "staticMergeableFrac " << doubleBits(r.staticMergeableFrac)
        << "\n";
-    os << "mergeSkipVetoes " << r.mergeSkipVetoes << "\n";
+    os << "splitSteerCharges " << r.splitSteerCharges << "\n";
     os << "system " << r.numCores << " " << placementName(r.placement)
        << " " << (r.sharedICache ? 1 : 0) << "\n";
     os << "sharedL2 " << r.sharedL2Accesses << " " << r.sharedL2Misses
@@ -220,7 +220,7 @@ deserializeResult(const std::string &text, RunResult &out)
     auto smf = next("staticMergeableFrac", 1);
     if (smf.empty() || !parseDoubleBits(smf[0], out.staticMergeableFrac))
         return false;
-    if (!readU64("mergeSkipVetoes", out.mergeSkipVetoes))
+    if (!readU64("splitSteerCharges", out.splitSteerCharges))
         return false;
     auto sysl = next("system", 3);
     if (sysl.size() != 3)

@@ -27,7 +27,7 @@ staticHintsModeName(StaticHintsMode mode)
     switch (mode) {
       case StaticHintsMode::Off: return "off";
       case StaticHintsMode::FhbSeed: return "fhb-seed";
-      case StaticHintsMode::MergeSkip: return "merge-skip";
+      case StaticHintsMode::SplitSteer: return "split-steer";
       case StaticHintsMode::Both: return "both";
     }
     return "?";
@@ -40,11 +40,18 @@ parseStaticHintsMode(const std::string &name)
         return StaticHintsMode::Off;
     if (name == "fhb-seed")
         return StaticHintsMode::FhbSeed;
-    if (name == "merge-skip")
-        return StaticHintsMode::MergeSkip;
+    if (name == "split-steer")
+        return StaticHintsMode::SplitSteer;
+    if (name == "merge-skip") {
+        // Retired: the statically-Divergent merge veto never fired where
+        // it mattered (ablation showed merge-skip ≡ off bit-identically),
+        // so its slot in the mode axis now carries the split-steer hint.
+        warn("--static-hints merge-skip is retired; using split-steer");
+        return StaticHintsMode::SplitSteer;
+    }
     if (name == "both")
         return StaticHintsMode::Both;
-    fatal("unknown static-hints mode '%s' (off|fhb-seed|merge-skip|both)",
+    fatal("unknown static-hints mode '%s' (off|fhb-seed|split-steer|both)",
           name.c_str());
 }
 

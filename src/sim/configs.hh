@@ -39,7 +39,8 @@ const char *configName(ConfigKind kind);
 /** Printable name of a static-hints mode ("off", "fhb-seed", ...). */
 const char *staticHintsModeName(StaticHintsMode mode);
 
-/** Parse "off" / "fhb-seed" / "merge-skip" / "both"; fatal if unknown. */
+/** Parse "off" / "fhb-seed" / "split-steer" / "both"; fatal if
+ *  unknown. "merge-skip" is accepted as a deprecated alias. */
 StaticHintsMode parseStaticHintsMode(const std::string &name);
 
 /** Optional per-experiment parameter overrides (sensitivity sweeps). */

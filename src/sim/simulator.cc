@@ -75,6 +75,8 @@ computeStaticHints(CoreParams &params, const Program &prog)
         params.hintTable.divergentPcs = std::move(hints.divergentPcs);
         params.hintTable.reconvergencePcs =
             std::move(hints.reconvergencePcs);
+        params.hintTable.splitPcs = std::move(hints.splitPcs);
+        params.hintTable.splitCounts = std::move(hints.splitCounts);
     }
     const auto &c = sharing.classCounts;
     int total = 0;
@@ -155,7 +157,7 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
         r.catchupAborted += sync.catchupAborted.value();
         r.syncLatencyCycles += sync.syncLatencyCycles.value();
         r.syncLatencySamples += sync.syncLatencySamples.value();
-        r.mergeSkipVetoes += sync.mergeSkipVetoes.value();
+        r.splitSteerCharges += sync.splitSteerCharges.value();
         const Distribution &rd = sync.remergeDistance;
         if (rd.total() > 0) {
             remerge_frac_weighted +=

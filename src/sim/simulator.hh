@@ -107,10 +107,10 @@ struct RunResult
      *  not provably Divergent (predicted-vs-measured reporting). */
     double staticMergeableFrac = 0.0;
 
-    /** Merge-skip hint vetoes that fired (PC-coincidence merges and
-     *  MERGEHINT waits suppressed at statically-Divergent PCs); zero
-     *  unless the hints mode enables merge-skip. */
-    std::uint64_t mergeSkipVetoes = 0;
+    /** Extra fetch slots the split-steer hint charged (predicted
+     *  sub-instruction count − 1 per record fetched at a predicted-split
+     *  PC); zero unless the hints mode enables split-steer. */
+    std::uint64_t splitSteerCharges = 0;
 
     // Shared-structure traffic, summed across cores (zero when nothing
     // is shared — the single-core case).

@@ -66,6 +66,41 @@ initCsrcData(const std::string &base, MemoryImage &img, const Program &prog,
         wl::fillWords(img, prog, "a", 64, rng, 512);
         if (perturb)
             wl::perturbWords(img, prog, "a", 64, prng, 0.25, 512);
+    } else if (base == "chain") {
+        Rng rng(507);
+        wl::fillWords(img, prog, "a", 32, rng, 256);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 32, prng, 0.25, 256);
+    } else if (base == "spill") {
+        Rng rng(508);
+        wl::fillWords(img, prog, "a", 32, rng, 128);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 32, prng, 0.25, 128);
+    } else if (base == "poly") {
+        Rng rng(509);
+        wl::fillWords(img, prog, "a", 40, rng, 64);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 40, prng, 0.25, 64);
+    } else if (base == "bank") {
+        Rng rng(510);
+        wl::fillWords(img, prog, "a", 64, rng, 1024);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 64, prng, 0.25, 1024);
+    } else if (base == "window") {
+        Rng rng(511);
+        wl::fillDoubles(img, prog, "x", 48, rng, 0.0, 2.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "x", 48, prng, 0.25, 0.0, 2.0);
+    } else if (base == "pair") {
+        Rng rng(512);
+        wl::fillWords(img, prog, "a", 32, rng, 512);
+        if (perturb)
+            wl::perturbWords(img, prog, "a", 32, prng, 0.25, 512);
+    } else if (base == "mixed") {
+        Rng rng(513);
+        wl::fillDoubles(img, prog, "x", 32, rng, 0.0, 1.0);
+        if (perturb)
+            wl::perturbDoubles(img, prog, "x", 32, prng, 0.25, 0.0, 1.0);
     } else {
         fatal("initCsrcData: unknown compiled workload '%s'", base.c_str());
     }
@@ -113,6 +148,15 @@ compiledSources()
         add("hist", csrc::hist_c);
         add("matvec", csrc::matvec_c);
         add("psum", csrc::psum_c);
+        // Analyzer stress corpus: helper calls and register pressure
+        // produce the caller-saved spill patterns hand asm never has.
+        add("chain", csrc::chain_c);
+        add("spill", csrc::spill_c);
+        add("poly", csrc::poly_c);
+        add("bank", csrc::bank_c);
+        add("window", csrc::window_c);
+        add("pair", csrc::pair_c);
+        add("mixed", csrc::mixed_c);
         return v;
     }();
     return sources;

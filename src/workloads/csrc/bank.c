@@ -1,0 +1,20 @@
+// bank: loop bounds come from a two-site address helper; lo lives
+// across the second call, so the bound check and trip math in main are
+// only provably uniform when the spilled reload is forwarded.
+int n = 64;
+int a[64];
+
+int bankbase(int b, int w) {
+    return b * w + w / 2;
+}
+
+int main() {
+    int lo = bankbase(0, 8);
+    int hi = bankbase(3, 8) + lo;
+    int s = 0;
+    for (int i = lo; i < hi; i = i + 1) {
+        s = s + a[i];
+    }
+    out(s * (hi - lo));
+    return 0;
+}

@@ -1,0 +1,23 @@
+// chain: three-call helper pipeline over index math. i0/i1 live across
+// later calls, so mmtc's caller-saved allocator spills them; the
+// analyzer only keeps the reloads precise via stack-slot forwarding
+// through per-call-site contexts.
+int n = 32;
+int a[32];
+
+int stepidx(int k, int s) {
+    return k * s + (s - 1);
+}
+
+int main() {
+    int i0 = stepidx(2, 3);
+    int i1 = stepidx(i0, 2);
+    int i2 = stepidx(i1 + i0, 1);
+    int m = i0 + i1 * 2 + i2;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * (m + i);
+    }
+    out(s + m);
+    return 0;
+}

@@ -1,0 +1,21 @@
+// mixed: double-typed spills — w0 lives across the second blend call,
+// so the reload goes through an fst/fld pair and the analyzer's
+// forwarding must handle FP slots bit-cast lane-wise.
+int n = 32;
+double x[32];
+
+double blend(double w, double v) {
+    return w * v + (1.0 - w) * 0.25;
+}
+
+int main() {
+    double w0 = blend(0.75, 0.5);
+    double w1 = blend(w0, 2.0);
+    double g = w0 * 4.0 + w1;
+    double s = 0.0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + x[i] * g;
+    }
+    out(int(s * 10.0) + int(g * 4.0));
+    return 0;
+}

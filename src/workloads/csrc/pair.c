@@ -1,0 +1,24 @@
+// pair: nested helpers — sumpair calls off twice, and is itself called
+// from two sites, so off's contexts carry depth-2 call strings. b
+// spills inside sumpair's frame and u across the second outer call.
+int n = 32;
+int a[32];
+
+int off(int k) {
+    return k * 2 + 1;
+}
+
+int sumpair(int b) {
+    return off(b) + off(b + 3);
+}
+
+int main() {
+    int u = sumpair(2);
+    int v = sumpair(u) + u;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * (u + v);
+    }
+    out(s + v - u);
+    return 0;
+}

@@ -1,0 +1,21 @@
+// poly: Horner steps through a three-site helper; h and g are reused
+// after later calls, forcing spill/reload pairs whose precision
+// depends on call-site contexts keeping each frame separate.
+int n = 40;
+int a[40];
+
+int horner(int acc, int x, int c) {
+    return acc * x + c;
+}
+
+int main() {
+    int h = horner(1, 4, 3);
+    int g = horner(h, 4, 7) + h;
+    int f = horner(g - h, 2, 5);
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * (f + g + h);
+    }
+    out(s + f * 2 + g + h);
+    return 0;
+}

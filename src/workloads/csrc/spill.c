@@ -1,0 +1,37 @@
+// spill: high register pressure without calls — twenty int scalars stay
+// live into the final reduction, overflowing the sixteen caller-saved
+// int registers so the allocator must spill constant-derived values.
+// Hand asm never produces this pattern; it exists to stress the
+// analyzer's spill-slot tracking.
+int n = 32;
+int a[32];
+
+int main() {
+    int c0 = 3;
+    int c1 = c0 + 4;
+    int c2 = c1 * 2;
+    int c3 = c2 - c0;
+    int c4 = c3 + 5;
+    int c5 = c4 * 2 - c1;
+    int c6 = c5 + c2;
+    int c7 = c6 - c3;
+    int c8 = c7 + c0;
+    int c9 = c8 * 2 - c4;
+    int c10 = c9 + c5;
+    int c11 = c10 - c6;
+    int c12 = c11 + c7;
+    int c13 = c12 * 2 - c8;
+    int c14 = c13 + c9;
+    int c15 = c14 - c10;
+    int c16 = c15 + c11;
+    int c17 = c16 * 2 - c12;
+    int c18 = c17 + c13;
+    int c19 = c18 - c14;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i] * (c0 + c19);
+    }
+    out(s + c1 + c2 + c3 + c4 + c5 + c6 + c7 + c8 + c9 + c10 + c11 +
+        c12 + c13 + c14 + c15 + c16 + c17 + c18);
+    return 0;
+}

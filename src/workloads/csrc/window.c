@@ -1,0 +1,27 @@
+// window: clamp helper with internal control flow called from two
+// sites with different constants — the per-context argument join
+// exercises the affine base-set machinery while lo spills across the
+// second call.
+int n = 48;
+double x[48];
+
+int clampi(int v, int limit) {
+    if (v < 0) {
+        return 0;
+    }
+    if (v > limit) {
+        return limit;
+    }
+    return v;
+}
+
+int main() {
+    int lo = clampi(6 - 9, 48);
+    int hi = clampi(40 + 16, 48);
+    double s = 0.0;
+    for (int i = lo; i < hi; i = i + 1) {
+        s = s + x[i] * 0.5;
+    }
+    out(int(s) + (hi - lo));
+    return 0;
+}

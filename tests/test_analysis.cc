@@ -554,7 +554,7 @@ work_end:
         EXPECT_TRUE(containsPc(h.reconvergencePcs, reconv)) << c.name;
         EXPECT_TRUE(containsPc(h.divergentPcs, arm)) << c.name;
         // The branch itself and the re-convergence point stay out of the
-        // merge-skip set: merging at either is still profitable.
+        // divergent set: merging at either is still profitable.
         EXPECT_FALSE(containsPc(h.divergentPcs, branch)) << c.name;
         EXPECT_FALSE(containsPc(h.divergentPcs, reconv)) << c.name;
     }
@@ -606,6 +606,35 @@ other:
     EXPECT_TRUE(h.reconvergencePcs.empty());
 }
 
+TEST(FetchHints, SplitTablePredictsLaneCounts)
+{
+    // tid-fed instructions split into one sub-instruction per distinct
+    // lane value; uniform instructions never enter the split table.
+    auto a = analyze(R"(
+main:
+    mv   r1, tid
+    addi r2, r1, 4
+    li   r3, 7
+    halt
+)");
+    FetchHints h = hintsOf(a);
+    ASSERT_EQ(h.splitPcs.size(), h.splitCounts.size());
+    Addr base = a.prog.codeBase;
+    EXPECT_TRUE(containsPc(h.splitPcs, base));             // mv r1, tid
+    EXPECT_TRUE(containsPc(h.splitPcs, base + instBytes)); // addi off tid
+    EXPECT_FALSE(containsPc(h.splitPcs, base + 2 * instBytes)); // li
+    for (std::size_t i = 0; i < h.splitPcs.size(); ++i)
+        EXPECT_GT(h.splitCounts[i], 1) << "pc " << h.splitPcs[i];
+}
+
+TEST(FetchHints, UniformProgramHasEmptySplitTable)
+{
+    auto a = analyze("main:\n  li r1, 3\n  addi r2, r1, 1\n  halt\n");
+    FetchHints h = hintsOf(a);
+    EXPECT_TRUE(h.splitPcs.empty());
+    EXPECT_TRUE(h.splitCounts.empty());
+}
+
 TEST(FetchHints, UniformBranchesYieldNoHints)
 {
     // No tid dependence anywhere: every hint vector stays empty.
@@ -635,6 +664,10 @@ TEST(FetchHints, AllWorkloadsProduceWellFormedHints)
         EXPECT_TRUE(sorted_unique(h.divergentPcs)) << w.name;
         EXPECT_TRUE(sorted_unique(h.tidDivergentBranchPcs)) << w.name;
         EXPECT_TRUE(sorted_unique(h.reconvergencePcs)) << w.name;
+        EXPECT_TRUE(sorted_unique(h.splitPcs)) << w.name;
+        ASSERT_EQ(h.splitPcs.size(), h.splitCounts.size()) << w.name;
+        for (std::uint8_t c : h.splitCounts)
+            EXPECT_GT(c, 1) << w.name;
         const Program &prog = *res.program;
         Addr lo = prog.codeBase;
         Addr hi = prog.codeBase +
@@ -649,6 +682,7 @@ TEST(FetchHints, AllWorkloadsProduceWellFormedHints)
         EXPECT_TRUE(in_code(h.divergentPcs)) << w.name;
         EXPECT_TRUE(in_code(h.tidDivergentBranchPcs)) << w.name;
         EXPECT_TRUE(in_code(h.reconvergencePcs)) << w.name;
+        EXPECT_TRUE(in_code(h.splitPcs)) << w.name;
         for (Addr pc : h.tidDivergentBranchPcs)
             EXPECT_FALSE(containsPc(h.divergentPcs, pc)) << w.name;
         for (Addr pc : h.reconvergencePcs)

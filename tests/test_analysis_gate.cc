@@ -24,6 +24,12 @@ gateWorkloads()
 {
     std::vector<Workload> all = allWorkloads();
     all.push_back(messagePassingWorkload());
+    // The mmtc-compiled corpus rides the same gate: compiler output is
+    // the only source of caller-saved spill patterns, multi-call-site
+    // helpers, and depth-2 call strings, so hand asm alone would leave
+    // the interprocedural machinery untested.
+    for (const Workload &w : compiledWorkloads())
+        all.push_back(w);
     return all;
 }
 
@@ -57,6 +63,37 @@ constexpr ProvenBaseline kProvenBaselines[] = {
     {"swaptions", 28.0 / 65.0}, {"fluidanimate", 24.0 / 84.0},
     {"blackscholes", 22.0 / 73.0}, {"canneal", 16.0 / 47.0},
     {"mp-ring", 16.0 / 42.0},
+    // Compiled corpus, re-pinned for schema v3 (affine-with-base,
+    // call-string contexts, spill-slot forwarding).
+    {"c-saxpy", 46.0 / 92.0},      {"c-saxpy-me", 58.0 / 92.0},
+    {"c-dot", 34.0 / 64.0},        {"c-dot-me", 42.0 / 64.0},
+    {"c-stencil1d", 51.0 / 107.0}, {"c-stencil1d-me", 63.0 / 107.0},
+    {"c-hist", 65.0 / 110.0},      {"c-hist-me", 77.0 / 110.0},
+    {"c-matvec", 61.0 / 109.0},    {"c-matvec-me", 73.0 / 109.0},
+    {"c-psum", 72.0 / 145.0},      {"c-psum-me", 88.0 / 145.0},
+    {"c-chain", 64.0 / 102.0},     {"c-chain-me", 83.0 / 102.0},
+    {"c-spill", 84.0 / 173.0},     {"c-spill-me", 136.0 / 173.0},
+    {"c-poly", 69.0 / 111.0},      {"c-poly-me", 91.0 / 111.0},
+    {"c-bank", 54.0 / 87.0},       {"c-bank-me", 70.0 / 87.0},
+    {"c-window", 64.0 / 98.0},     {"c-window-me", 79.0 / 98.0},
+    {"c-pair", 59.0 / 104.0},      {"c-pair-me", 85.0 / 104.0},
+    {"c-mixed", 62.0 / 97.0},      {"c-mixed-me", 77.0 / 97.0},
+};
+
+/**
+ * What the *flat* (context-insensitive, no spill forwarding) analysis
+ * proves on the spill-pattern stress kernels — the acceptance bar the
+ * interprocedural machinery must strictly beat. Measured by running
+ * the schema-v2 analyzer over the same compiled output.
+ */
+constexpr ProvenBaseline kFlatStressBaselines[] = {
+    {"c-chain", 47.0 / 102.0},  {"c-chain-me", 64.0 / 102.0},
+    {"c-spill", 52.0 / 173.0},  {"c-spill-me", 95.0 / 173.0},
+    {"c-poly", 52.0 / 111.0},   {"c-poly-me", 72.0 / 111.0},
+    {"c-bank", 49.0 / 87.0},    {"c-bank-me", 63.0 / 87.0},
+    {"c-window", 61.0 / 98.0},  {"c-window-me", 74.0 / 98.0},
+    {"c-pair", 41.0 / 104.0},   {"c-pair-me", 64.0 / 104.0},
+    {"c-mixed", 46.0 / 97.0},   {"c-mixed-me", 60.0 / 97.0},
 };
 
 double
@@ -166,6 +203,14 @@ TEST_P(WorkloadLintGate, AffineDomainDoesNotRegressProvenPrecision)
         // just hold — their induction variables used to die at the
         // loop join and now stabilize as Affine.
         EXPECT_GT(proven, baseline) << describe(res, w.name);
+    }
+    // The stress kernels must strictly beat the flat analysis: their
+    // precision comes from call-string contexts keeping spill frames
+    // separate per call site, which is exactly what this gate guards.
+    for (const ProvenBaseline &b : kFlatStressBaselines) {
+        if (w.name == b.name) {
+            EXPECT_GT(proven, b.frac) << describe(res, w.name);
+        }
     }
 }
 

@@ -135,23 +135,21 @@ TEST(Cmp, SharedICacheObservesHits)
     EXPECT_GE(on.sharedICacheAccesses, on.sharedICacheHits);
 }
 
-TEST(Cmp, MergeSkipVetoCounterIncrements)
+TEST(Cmp, SplitSteerChargesFireOnRealWorkloads)
 {
-    // The counter behind RunResult::mergeSkipVetoes: a vetoed re-merge
-    // at a statically-Divergent PC must be observable, not silent.
-    FetchSync fs(2, 32, /*shared_fetch=*/true);
-    fs.setStaticHints(/*fhb_seed=*/false, /*merge_skip=*/true, {},
-                      {0x5000});
-    fs.reset(0x1000);
-    auto gids = fs.onDivergence(
-        0, {{ThreadMask::single(0), 0x2000},
-            {ThreadMask::single(1), 0x1004}});
-    ASSERT_EQ(gids.size(), 2u);
-    EXPECT_EQ(fs.mergeSkipVetoes.value(), 0u);
-    fs.group(gids[0]).pc = 0x5000;
-    fs.group(gids[1]).pc = 0x5000;
-    EXPECT_FALSE(fs.tryMerge());
-    EXPECT_GT(fs.mergeSkipVetoes.value(), 0u);
+    // The regression the retired merge-skip veto silently hid: a hint
+    // whose counter never moves is dead weight. The split-steer charge
+    // must fire (nonzero counter) and change timing on an MT workload
+    // whose merged groups fetch statically Divergent PCs, must stay
+    // inert under `off`, and `off` must remain bit-identical.
+    SimOverrides ov;
+    RunResult off = run("c-saxpy", 4, ov, /*check_golden=*/false);
+    EXPECT_EQ(off.splitSteerCharges, 0u);
+    ov.staticHints = StaticHintsMode::SplitSteer;
+    RunResult steer = run("c-saxpy", 4, ov, /*check_golden=*/true);
+    EXPECT_TRUE(steer.goldenOk);
+    EXPECT_GT(steer.splitSteerCharges, 0u);
+    EXPECT_NE(steer.cycles, off.cycles);
 }
 
 TEST(Cmp, ResultStoreRoundTripsPerCoreBreakdown)
@@ -159,14 +157,14 @@ TEST(Cmp, ResultStoreRoundTripsPerCoreBreakdown)
     RunResult r = run("equake", 4, topo(2, Placement::Spread, true),
                       /*check_golden=*/false);
     ASSERT_EQ(r.perCore.size(), 2u);
-    r.mergeSkipVetoes = 7; // exercise the field even when the run has none
+    r.splitSteerCharges = 7; // exercise the field even without hints
 
     RunResult back;
     ASSERT_TRUE(deserializeResult(serializeResult(r), back));
     EXPECT_EQ(back.numCores, r.numCores);
     EXPECT_EQ(back.placement, r.placement);
     EXPECT_EQ(back.sharedICache, r.sharedICache);
-    EXPECT_EQ(back.mergeSkipVetoes, r.mergeSkipVetoes);
+    EXPECT_EQ(back.splitSteerCharges, r.splitSteerCharges);
     EXPECT_EQ(back.sharedL2Accesses, r.sharedL2Accesses);
     EXPECT_EQ(back.sharedL2Misses, r.sharedL2Misses);
     EXPECT_EQ(back.sharedICacheAccesses, r.sharedICacheAccesses);

@@ -237,8 +237,7 @@ TEST(FetchSync, CatchupAbortCountsOncePerAbort)
 TEST(FetchSync, SeededReconvergenceBoostsOtherGroups)
 {
     FetchSync fs(2, 32, true);
-    fs.setStaticHints(/*fhb_seed=*/true, /*merge_skip=*/false, {0x5000},
-                      {});
+    fs.setStaticHints(/*fhb_seed=*/true, {0x5000}, {});
     fs.reset(0x1000);
     auto gids = fs.onDivergence(
         0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
@@ -263,8 +262,7 @@ TEST(FetchSync, SeededReconvergenceBoostsOtherGroups)
 TEST(FetchSync, CatchupToleratesStaticallyDivergentArms)
 {
     FetchSync fs(2, 32, true);
-    fs.setStaticHints(/*fhb_seed=*/true, /*merge_skip=*/false, {0x5000},
-                      {0x4000});
+    fs.setStaticHints(/*fhb_seed=*/true, {0x5000}, {0x4000});
     fs.reset(0x1000);
     auto gids = fs.onDivergence(
         0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
@@ -283,34 +281,30 @@ TEST(FetchSync, CatchupToleratesStaticallyDivergentArms)
     EXPECT_EQ(fs.catchupAborted.value(), 1u);
 }
 
-TEST(FetchSync, MergeSkipVetoesDivergentPcMerges)
+TEST(FetchSync, MergesAtDivergentPcsAfterVetoRetirement)
 {
+    // The merge-skip veto is retired (its ablation was bit-identical to
+    // off): PC coincidence must merge even at a statically-divergent PC
+    // installed for the catchup-tolerance hint.
     FetchSync fs(2, 32, true);
-    fs.setStaticHints(/*fhb_seed=*/false, /*merge_skip=*/true, {},
-                      {0x5000});
+    fs.setStaticHints(/*fhb_seed=*/true, {}, {0x5000});
     fs.reset(0x1000);
     auto gids = fs.onDivergence(
         0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
                                               0x1004}});
-    EXPECT_TRUE(fs.mergeSkippedAt(0x5000));
-    EXPECT_FALSE(fs.mergeSkippedAt(0x6000));
     fs.group(gids[0]).pc = 0x5000;
     fs.group(gids[1]).pc = 0x5000;
-    EXPECT_FALSE(fs.tryMerge());
-    fs.group(gids[0]).pc = 0x6000;
-    fs.group(gids[1]).pc = 0x6000;
     EXPECT_TRUE(fs.tryMerge());
 }
 
-TEST(FetchSync, HintsOffLeavesSkipAndSeedInert)
+TEST(FetchSync, HintsOffLeavesSeedInert)
 {
     FetchSync fs(2, 32, true);
-    fs.setStaticHints(false, false, {0x5000}, {0x5000});
+    fs.setStaticHints(false, {0x5000}, {0x5000});
     fs.reset(0x1000);
     auto gids = fs.onDivergence(
         0, {{ThreadMask::single(0), 0x2000}, {ThreadMask::single(1),
                                               0x1004}});
-    EXPECT_FALSE(fs.mergeSkippedAt(0x5000));
     // Arriving at 0x5000 must not start a seeded chase.
     fs.onTakenBranch(gids[0], 0x5000);
     EXPECT_EQ(fs.group(gids[1]).catchupAhead, -1);

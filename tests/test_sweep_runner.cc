@@ -192,7 +192,7 @@ TEST(SweepRunner, CacheKeyDependsOnAllInputs)
         (other = job, other.overrides.staticHints = StaticHintsMode::FhbSeed,
          cacheKey(other)),
         (other = job,
-         other.overrides.staticHints = StaticHintsMode::MergeSkip,
+         other.overrides.staticHints = StaticHintsMode::SplitSteer,
          cacheKey(other)),
         (other = job, other.overrides.staticHints = StaticHintsMode::Both,
          cacheKey(other)),

@@ -22,7 +22,7 @@
  *                          cores (default packed; see docs/WORKLOADS.md)
  *   --shared-icache        add the shared second-level I-cache between
  *                          the private L1Is and the shared L2
- *   --static-hints <m>     off|fhb-seed|merge-skip|both: feed mmt-analyze
+ *   --static-hints <m>     off|fhb-seed|split-steer|both: feed mmt-analyze
  *                          divergence/re-convergence hints to the fetch
  *                          frontend (default off)
  *   --no-golden            skip the golden-model comparison
@@ -651,9 +651,9 @@ main(int argc, char **argv)
                 staticHintsModeName(ov.staticHints));
     std::printf("lvip rollbacks  %llu\n",
                 static_cast<unsigned long long>(r.lvipRollbacks));
-    if (r.mergeSkipVetoes > 0) {
-        std::printf("merge-skip      %llu vetoed MERGE attempts\n",
-                    static_cast<unsigned long long>(r.mergeSkipVetoes));
+    if (r.splitSteerCharges > 0) {
+        std::printf("split-steer     %llu extra fetch slots charged\n",
+                    static_cast<unsigned long long>(r.splitSteerCharges));
     }
     if (r.numCores > 1) {
         for (const CoreBreakdown &cb : r.perCore) {
