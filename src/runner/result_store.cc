@@ -1,12 +1,17 @@
 #include "runner/result_store.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <thread>
 
 #include "common/logging.hh"
 #include "runner/cache_key.hh"
@@ -62,7 +67,84 @@ parseU64(const std::string &tok, std::uint64_t &out)
     return true;
 }
 
+/**
+ * Unique-per-call temp/quarantine suffix: process identity plus a
+ * monotonic counter. The counter disambiguates threads and repeated
+ * stores inside one process; the host+pid tag disambiguates processes
+ * sharing the cache directory (a thread-id alone collides across
+ * forked workers, which all observe the same main-thread id).
+ */
+std::string
+uniqueSuffix()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return processTag() + "." + std::to_string(seq.fetch_add(1));
+}
+
+/** Write @p body to @p path (O_EXCL) and fsync it. */
+bool
+writeFileDurable(const std::string &path, const std::string &body)
+{
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        warn("result store: cannot create '%s': %s", path.c_str(),
+             std::strerror(errno));
+        return false;
+    }
+    std::size_t off = 0;
+    while (off < body.size()) {
+        ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("result store: write failed for '%s': %s", path.c_str(),
+                 std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    bool ok = ::fsync(fd) == 0;
+    if (!ok) {
+        warn("result store: fsync failed for '%s': %s", path.c_str(),
+             std::strerror(errno));
+    }
+    ::close(fd);
+    return ok;
+}
+
+/** fsync a directory so a just-renamed entry survives a crash. */
+void
+syncDirectory(const std::string &dir)
+{
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+}
+
 } // namespace
+
+std::string
+processTag()
+{
+    // The hostname is stable across fork(); the pid is not, so it is
+    // read fresh on every call.
+    static const std::string host = [] {
+        char buf[256];
+        if (::gethostname(buf, sizeof(buf) - 1) != 0)
+            return std::string("unknown-host");
+        buf[sizeof(buf) - 1] = '\0';
+        std::string h(buf);
+        for (char &c : h) {
+            if (c == '/' || c == '.' || c == ' ')
+                c = '_';
+        }
+        return h.empty() ? std::string("unknown-host") : h;
+    }();
+    return host + "." + std::to_string(::getpid());
+}
 
 std::string
 serializeResult(const RunResult &r)
@@ -257,20 +339,34 @@ deserializeResult(const std::string &text, RunResult &out)
         return false;
     }
     out.perCore.clear();
+    // A context id is a global thread id, so across the whole perCore
+    // list at most maxThreads ids can appear and none can repeat (one
+    // context lives on exactly one core). Without these bounds a
+    // corrupt entry with an arbitrarily long (or repetitive) colon
+    // list would allocate unbounded memory and deserialize into an
+    // impossible topology.
+    std::array<bool, maxThreads> ctx_seen{};
     for (std::uint64_t c = 0; c < num_cores_listed; ++c) {
         auto cl = next("core", 6);
         if (cl.size() != 6)
             return false;
         CoreBreakdown cb;
-        // Context ids are colon-joined ("0:1"); each is <= maxThreads.
+        // Context ids are colon-joined ("0:1"); each is < maxThreads.
         std::istringstream cs(cl[0]);
         std::string tok;
         while (std::getline(cs, tok, ':')) {
             std::uint64_t ctx;
+            if (cb.contexts.size() >=
+                static_cast<std::size_t>(maxThreads)) {
+                return false;
+            }
             if (!parseU64(tok, ctx) ||
                 ctx >= static_cast<std::uint64_t>(maxThreads)) {
                 return false;
             }
+            if (ctx_seen[ctx])
+                return false;
+            ctx_seen[ctx] = true;
             cb.contexts.push_back(static_cast<int>(ctx));
         }
         if (cb.contexts.empty())
@@ -361,7 +457,7 @@ ResultStore::load(const JobSpec &job, RunResult &out) const
     return Status::Hit;
 }
 
-void
+bool
 ResultStore::store(const JobSpec &job, const RunResult &result) const
 {
     namespace fs = std::filesystem;
@@ -370,7 +466,7 @@ ResultStore::store(const JobSpec &job, const RunResult &result) const
     if (ec) {
         warn("result store: cannot create '%s': %s", dir_.c_str(),
              ec.message().c_str());
-        return;
+        return false;
     }
 
     std::ostringstream os;
@@ -383,25 +479,50 @@ ResultStore::store(const JobSpec &job, const RunResult &result) const
     std::string body = os.str();
     body += "checksum " + hashHex(fnv1a64(body)) + "\n";
 
-    std::ostringstream tid;
-    tid << std::this_thread::get_id();
+    // Publish protocol: exclusive unique temp file, write, fsync,
+    // atomic rename, directory fsync. Concurrent writers of the same
+    // entry each own a distinct temp file; the last rename wins whole.
     std::string path = entryPath(job);
-    std::string tmp = path + ".tmp." + tid.str();
-    {
-        std::ofstream outf(tmp, std::ios::trunc);
-        outf << body;
-        if (!outf) {
-            warn("result store: write failed for '%s'", tmp.c_str());
-            fs::remove(tmp, ec);
-            return;
-        }
+    std::string tmp = path + ".tmp." + uniqueSuffix();
+    if (!writeFileDurable(tmp, body)) {
+        fs::remove(tmp, ec);
+        return false;
     }
     fs::rename(tmp, path, ec);
     if (ec) {
         warn("result store: rename to '%s' failed: %s", path.c_str(),
              ec.message().c_str());
         fs::remove(tmp, ec);
+        return false;
     }
+    syncDirectory(dir_);
+    return true;
+}
+
+std::string
+ResultStore::quarantine(const JobSpec &job) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path qdir = fs::path(dir_) / "quarantine";
+    fs::create_directories(qdir, ec);
+    if (ec) {
+        warn("result store: cannot create '%s': %s",
+             qdir.string().c_str(), ec.message().c_str());
+        return "";
+    }
+    std::string path = entryPath(job);
+    std::string dest =
+        (qdir / (hashHex(cacheKey(job)) + ".result." + uniqueSuffix()))
+            .string();
+    fs::rename(path, dest, ec);
+    if (ec) {
+        // Already quarantined or replaced by a concurrent worker.
+        return "";
+    }
+    warn("result store: quarantined corrupt entry '%s' -> '%s'",
+         path.c_str(), dest.c_str());
+    return dest;
 }
 
 } // namespace mmt

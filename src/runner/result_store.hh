@@ -8,11 +8,18 @@
  * an FNV-1a checksum over its payload. load() verifies the format
  * version, the full cache-key string (guarding against hash collisions
  * and stale code-version salts) and the checksum; any mismatch is
- * reported as Corrupt and the caller re-simulates.
+ * reported as Corrupt and the caller re-simulates (after moving the bad
+ * bytes aside with quarantine(), so the corruption is kept for
+ * forensics instead of being re-detected on every run).
  *
- * Writes go through a per-thread temp file followed by std::rename, so
- * concurrent workers (or concurrent sweep processes sharing a cache
- * directory) never observe half-written entries.
+ * The store is safe for genuinely concurrent writers — threads of one
+ * process, several processes on one host, or a fleet of hosts sharing
+ * one directory (the sharded sweep runner, runner/shard.hh). Writes go
+ * through a host+pid+counter-qualified temp file that is fsync'd before
+ * an atomic rename publish, so readers never observe half-written
+ * entries and two writers can never interleave bytes in the same temp
+ * file. A writer killed mid-publish leaves only a stale `.tmp.*` file,
+ * which the sharded runner's janitor removes.
  */
 
 #ifndef MMT_RUNNER_RESULT_STORE_HH
@@ -38,6 +45,13 @@ std::string serializeResult(const RunResult &result);
  */
 bool deserializeResult(const std::string &text, RunResult &out);
 
+/**
+ * "<host>.<pid>" identity of the calling process. Computed per call so
+ * it stays correct across fork() (the sharded runner forks workers);
+ * only the hostname is cached.
+ */
+std::string processTag();
+
 class ResultStore
 {
   public:
@@ -57,8 +71,21 @@ class ResultStore
     /** Look up @p job; on Hit fills @p out. */
     Status load(const JobSpec &job, RunResult &out) const;
 
-    /** Persist the result of @p job (atomically replaces any entry). */
-    void store(const JobSpec &job, const RunResult &result) const;
+    /**
+     * Persist the result of @p job (atomically replaces any entry):
+     * unique temp file, fsync, rename, directory fsync. Returns false
+     * (with a warning) if the entry could not be published.
+     */
+    bool store(const JobSpec &job, const RunResult &result) const;
+
+    /**
+     * Move a corrupt entry into `<dir>/quarantine/` so the bytes are
+     * preserved for debugging and the next run sees a clean Miss
+     * instead of re-detecting the same corruption. Returns the
+     * quarantine path, or "" if the entry was already gone (e.g. a
+     * concurrent worker quarantined or replaced it first).
+     */
+    std::string quarantine(const JobSpec &job) const;
 
     const std::string &dir() const { return dir_; }
 

@@ -1,0 +1,822 @@
+#include "runner/shard.hh"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "runner/cache_key.hh"
+#include "runner/result_store.hh"
+
+namespace mmt
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+std::string
+uniqueSuffix()
+{
+    static std::atomic<std::uint64_t> seq{0};
+    return processTag() + "." + std::to_string(seq.fetch_add(1));
+}
+
+long
+nowUnix()
+{
+    return static_cast<long>(::time(nullptr));
+}
+
+/** Seconds since @p path was last written; negative if unreadable. */
+double
+fileAgeSeconds(const fs::path &path)
+{
+    std::error_code ec;
+    auto t = fs::last_write_time(path, ec);
+    if (ec)
+        return -1.0;
+    auto now = fs::file_time_type::clock::now();
+    return std::chrono::duration<double>(now - t).count();
+}
+
+std::string
+jobLabel(const JobSpec &job)
+{
+    return job.workload + "/" + configName(job.kind) + "/" +
+           std::to_string(job.numThreads) + "T";
+}
+
+/** Atomic (tmp + rename) small-file write; best effort. */
+void
+writeAtomicText(const std::string &path, const std::string &text)
+{
+    std::string tmp = path + ".tmp." + uniqueSuffix();
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        out << text;
+        if (!out)
+            return;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+/**
+ * Remove stale `.tmp` litter for one entry (a dead writer's partial
+ * publish). @p entry_base is the `<dir>/<hash>.result` path.
+ */
+std::size_t
+removeStaleTmps(const std::string &entry_base, double stale_sec)
+{
+    fs::path base(entry_base);
+    std::string prefix = base.filename().string() + ".tmp.";
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(base.parent_path(), ec)) {
+        std::string name = de.path().filename().string();
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        double age = fileAgeSeconds(de.path());
+        if (age < 0.0 || age <= stale_sec)
+            continue;
+        std::error_code rec;
+        if (fs::remove(de.path(), rec))
+            ++removed;
+    }
+    return removed;
+}
+
+/** What produced a job's result slot in the worker engine. */
+enum class JobSource : char
+{
+    None = 0,  // still missing
+    Store = 1, // loaded from the shared store
+    Ran = 2,   // simulated by this process
+};
+
+struct EngineResult
+{
+    std::vector<RunResult> results;
+    std::vector<JobSource> source;
+    std::vector<double> predicted;
+    std::vector<std::size_t> order;
+    std::size_t executed = 0;
+    std::size_t hits = 0;
+    std::size_t corrupt = 0;
+    std::size_t golden = 0;
+    std::size_t missing = 0;
+};
+
+/**
+ * The worker engine: claim jobs through leases until every job of the
+ * sweep is published (wait_for_publish, the forked-fleet mode) or until
+ * only live foreign leases remain (manual fleet mode). Runs
+ * @p claim_threads claim loops plus one heartbeat thread.
+ */
+EngineResult
+shardWorkerEngine(const SweepSpec &spec, const SweepOptions &options,
+                  int shard_id, int shard_count, bool wait_for_publish,
+                  int claim_threads, ProgressReporter *progress)
+{
+    const std::size_t total = spec.jobs.size();
+    ResultStore store(options.cacheDir);
+    LeaseManager leases(options.leaseStaleSec, shard_id);
+
+    EngineResult res;
+    res.results.resize(total);
+    res.source.assign(total, JobSource::None);
+    res.predicted = predictSweepJobs(spec);
+    res.order = sweepPriorityOrder(res.predicted);
+    // Each shard starts its walk at a different point of the priority
+    // order: less lease contention at startup, same coverage.
+    if (shard_count > 1 && total > 0) {
+        std::size_t offset =
+            (static_cast<std::size_t>(shard_id) * total) /
+            static_cast<std::size_t>(shard_count);
+        std::rotate(res.order.begin(),
+                    res.order.begin() + static_cast<std::ptrdiff_t>(offset),
+                    res.order.end());
+    }
+
+    // 0 = pending, 1 = done. The exchange in the claim loops makes
+    // every job's completion attributed exactly once.
+    std::unique_ptr<std::atomic<char>[]> state(
+        new std::atomic<char>[total]);
+    for (std::size_t i = 0; i < total; ++i)
+        state[i].store(0, std::memory_order_relaxed);
+    std::atomic<std::size_t> pending{total};
+    std::atomic<std::size_t> executed{0}, hits{0}, corrupt{0}, golden{0};
+    std::mutex result_mutex; // guards res.results/res.source slots
+
+    // Status heartbeat: leases stay fresh while simulations run, and
+    // the shard-status snapshot gives the parent (or an operator on
+    // another host) live per-worker progress.
+    std::error_code ec;
+    fs::create_directories(shardStatusDir(options.cacheDir), ec);
+    std::string status_path =
+        shardStatusPath(options.cacheDir, spec.name);
+    auto writeStatus = [&](bool finished) {
+        ShardStatus s;
+        s.sweep = spec.name;
+        std::string tag = processTag();
+        std::size_t dot = tag.rfind('.');
+        s.host = tag.substr(0, dot);
+        s.pid = static_cast<long>(::getpid());
+        s.shard = shard_id;
+        s.total = total;
+        s.done = total - pending.load();
+        s.executed = executed.load();
+        s.hits = hits.load();
+        s.corrupt = corrupt.load();
+        s.golden = golden.load();
+        s.finished = finished;
+        s.updated = nowUnix();
+        writeAtomicText(status_path, renderShardStatus(s));
+    };
+
+    std::atomic<bool> stop_heartbeat{false};
+    double heartbeat_sec =
+        std::min(2.0, std::max(0.05, options.leaseStaleSec / 4.0));
+    std::thread heartbeat([&] {
+        while (!stop_heartbeat.load()) {
+            leases.heartbeat();
+            writeStatus(false);
+            // Sliced sleep so engine shutdown never waits a full
+            // heartbeat period.
+            auto until = Clock::now() +
+                         std::chrono::duration<double>(heartbeat_sec);
+            while (!stop_heartbeat.load() && Clock::now() < until) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            }
+        }
+    });
+
+    auto markDone = [&](std::size_t idx, RunResult &&r, JobSource how,
+                        bool cached) {
+        if (state[idx].exchange(1) != 0)
+            return false; // a sibling thread got there first
+        {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            res.results[idx] = std::move(r);
+            res.source[idx] = how;
+        }
+        pending.fetch_sub(1);
+        if (how == JobSource::Store)
+            hits.fetch_add(1);
+        else
+            executed.fetch_add(1);
+        if (progress)
+            progress->jobDone(spec.jobs[idx], cached);
+        return true;
+    };
+
+    auto claimLoop = [&] {
+        double backoff = 0.05;
+        for (;;) {
+            bool progressed = false;
+            for (std::size_t idx : res.order) {
+                if (state[idx].load() != 0)
+                    continue;
+                const JobSpec &job = spec.jobs[idx];
+                std::string lp = leasePath(store, job);
+                if (leases.ownedByUs(lp))
+                    continue; // a sibling thread is simulating it
+                RunResult loaded;
+                ResultStore::Status st = store.load(job, loaded);
+                if (st == ResultStore::Status::Hit) {
+                    markDone(idx, std::move(loaded), JobSource::Store,
+                             true);
+                    progressed = true;
+                    continue;
+                }
+                if (st == ResultStore::Status::Corrupt) {
+                    store.quarantine(job);
+                    corrupt.fetch_add(1);
+                }
+                if (leases.tryClaim(lp, jobLabel(job)) !=
+                    LeaseManager::Claim::Claimed) {
+                    continue; // live owner (or lost the race)
+                }
+                // Re-check under the lease: the previous owner may
+                // have published between our load and our claim.
+                st = store.load(job, loaded);
+                if (st == ResultStore::Status::Hit) {
+                    leases.release(lp);
+                    markDone(idx, std::move(loaded), JobSource::Store,
+                             true);
+                    progressed = true;
+                    continue;
+                }
+                if (st == ResultStore::Status::Corrupt) {
+                    store.quarantine(job);
+                    corrupt.fetch_add(1);
+                }
+                RunResult r = runWorkload(resolveWorkload(job.workload),
+                                          job.kind, job.numThreads,
+                                          job.overrides, job.checkGolden);
+                if (job.checkGolden && !r.goldenOk)
+                    golden.fetch_add(1);
+                store.store(job, r);
+                markDone(idx, std::move(r), JobSource::Ran, false);
+                leases.release(lp);
+                progressed = true;
+                backoff = 0.05;
+            }
+            if (pending.load() == 0)
+                return;
+            if (!progressed) {
+                // Everything left is leased by a live foreign worker.
+                if (!wait_for_publish)
+                    return;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+                backoff = std::min(backoff * 2.0, 1.0);
+            }
+        }
+    };
+
+    if (claim_threads <= 1) {
+        claimLoop();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(claim_threads));
+        for (int i = 0; i < claim_threads; ++i)
+            pool.emplace_back(claimLoop);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Jobs published by foreign workers after our threads last looked.
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        if (state[idx].load() != 0)
+            continue;
+        const JobSpec &job = spec.jobs[idx];
+        RunResult loaded;
+        if (store.load(job, loaded) == ResultStore::Status::Hit)
+            markDone(idx, std::move(loaded), JobSource::Store, true);
+    }
+
+    stop_heartbeat.store(true);
+    heartbeat.join();
+
+    res.executed = executed.load();
+    res.hits = hits.load();
+    res.corrupt = corrupt.load();
+    res.golden = golden.load();
+    res.missing = pending.load();
+    writeStatus(true);
+    return res;
+}
+
+/** Shared argument validation for both sharded entry points. */
+void
+checkShardOptions(const SweepOptions &options, const char *mode)
+{
+    if (options.cacheDir.empty())
+        fatal("%s requires a cache directory (--cache-dir / "
+              "MMT_CACHE_DIR): the store is the coordination medium",
+              mode);
+    if (options.forceRerun)
+        fatal("%s does not support --force: sharded workers trust the "
+              "store; remove the cache directory to re-run", mode);
+    if (options.leaseStaleSec <= 0.0)
+        fatal("lease staleness must be positive (got %.3f)",
+              options.leaseStaleSec);
+}
+
+} // namespace
+
+std::string
+leasePath(const ResultStore &store, const JobSpec &job)
+{
+    return store.entryPath(job) + ".lease";
+}
+
+LeaseManager::LeaseManager(double stale_sec, int shard_id)
+    : staleSec_(stale_sec), shardId_(shard_id)
+{}
+
+bool
+LeaseManager::isStale(const std::string &lease_path) const
+{
+    double age = fileAgeSeconds(lease_path);
+    return age > staleSec_;
+}
+
+LeaseManager::Claim
+LeaseManager::tryClaim(const std::string &lease_path,
+                       const std::string &job_label)
+{
+    // Bounded attempts: each retry only follows a state change we
+    // caused or observed (tombstoned a stale lease, saw one vanish);
+    // callers back off between whole passes.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+        int fd = ::open(lease_path.c_str(),
+                        O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            std::ostringstream os;
+            os << "mmt-lease v1\n"
+               << "owner " << processTag() << "\n"
+               << "shard " << shardId_ << "\n"
+               << "job " << job_label << "\n"
+               << "start " << nowUnix() << "\n";
+            std::string body = os.str();
+            ssize_t n = ::write(fd, body.data(), body.size());
+            ::fsync(fd);
+            ::close(fd);
+            if (n != static_cast<ssize_t>(body.size())) {
+                ::unlink(lease_path.c_str());
+                return Claim::Busy;
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            owned_.push_back(lease_path);
+            return Claim::Claimed;
+        }
+        if (errno != EEXIST) {
+            warn("lease: cannot create '%s': %s", lease_path.c_str(),
+                 std::strerror(errno));
+            return Claim::Busy;
+        }
+        double age = fileAgeSeconds(lease_path);
+        if (age < 0.0)
+            continue; // vanished between open and stat: retry create
+        if (age <= staleSec_)
+            return Claim::Busy; // live owner
+        // Stale: two-phase reclaim. Renaming to a unique tombstone can
+        // succeed for exactly one reclaimer; everyone then re-runs the
+        // O_EXCL race above. The dead owner's partial .tmp writes are
+        // swept here too — its publish never happened.
+        std::string tomb = lease_path + ".stale." + uniqueSuffix();
+        if (::rename(lease_path.c_str(), tomb.c_str()) == 0) {
+            ::unlink(tomb.c_str());
+            std::string base = lease_path.substr(
+                0, lease_path.size() - std::strlen(".lease"));
+            removeStaleTmps(base, staleSec_);
+            warn("lease: reclaimed stale lease for %s (heartbeat %.1fs "
+                 "old)", job_label.c_str(), age);
+        }
+        // Either we freed the path or someone else did; retry.
+    }
+    return Claim::Busy;
+}
+
+void
+LeaseManager::release(const std::string &lease_path)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = std::find(owned_.begin(), owned_.end(), lease_path);
+        if (it != owned_.end())
+            owned_.erase(it);
+    }
+    ::unlink(lease_path.c_str());
+}
+
+bool
+LeaseManager::ownedByUs(const std::string &lease_path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::find(owned_.begin(), owned_.end(), lease_path) !=
+           owned_.end();
+}
+
+void
+LeaseManager::heartbeat()
+{
+    std::vector<std::string> paths;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        paths = owned_;
+    }
+    for (const std::string &p : paths) {
+        std::error_code ec;
+        fs::last_write_time(p, fs::file_time_type::clock::now(), ec);
+        // A release between the snapshot and here is fine to ignore.
+    }
+}
+
+std::vector<std::string>
+LeaseManager::owned() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return owned_;
+}
+
+std::string
+shardStatusDir(const std::string &cache_dir)
+{
+    return cache_dir + "/shard-status";
+}
+
+std::string
+shardStatusPath(const std::string &cache_dir,
+                const std::string &sweep_name)
+{
+    return shardStatusDir(cache_dir) + "/" +
+           (sweep_name.empty() ? "sweep" : sweep_name) + "." +
+           processTag() + ".json";
+}
+
+std::string
+renderShardStatus(const ShardStatus &s)
+{
+    std::ostringstream os;
+    os << "{\"schema\": 1, \"sweep\": \"" << s.sweep << "\", \"host\": \""
+       << s.host << "\", \"pid\": " << s.pid
+       << ", \"shard\": " << s.shard << ", \"total\": " << s.total
+       << ", \"done\": " << s.done << ", \"executed\": " << s.executed
+       << ", \"hits\": " << s.hits << ", \"corrupt\": " << s.corrupt
+       << ", \"golden\": " << s.golden << ", \"finished\": "
+       << (s.finished ? "true" : "false")
+       << ", \"updated\": " << s.updated << "}\n";
+    return os.str();
+}
+
+bool
+parseShardStatus(const std::string &text, ShardStatus &out)
+{
+    auto str_field = [&](const char *key, std::string &dst) {
+        std::string pat = std::string("\"") + key + "\": \"";
+        std::size_t pos = text.find(pat);
+        if (pos == std::string::npos)
+            return false;
+        pos += pat.size();
+        std::size_t end = text.find('"', pos);
+        if (end == std::string::npos)
+            return false;
+        dst = text.substr(pos, end - pos);
+        return true;
+    };
+    auto num_field = [&](const char *key, long &dst) {
+        std::string pat = std::string("\"") + key + "\": ";
+        std::size_t pos = text.find(pat);
+        if (pos == std::string::npos)
+            return false;
+        pos += pat.size();
+        char *end = nullptr;
+        dst = std::strtol(text.c_str() + pos, &end, 10);
+        return end != text.c_str() + pos;
+    };
+    long pid = 0, shard = 0, total = 0, done = 0, executed = 0;
+    long hit = 0, corrupt = 0, golden = 0, updated = 0;
+    if (!str_field("sweep", out.sweep) ||
+        !str_field("host", out.host) || !num_field("pid", pid) ||
+        !num_field("shard", shard) || !num_field("total", total) ||
+        !num_field("done", done) || !num_field("executed", executed) ||
+        !num_field("hits", hit) || !num_field("corrupt", corrupt) ||
+        !num_field("golden", golden) || !num_field("updated", updated)) {
+        return false;
+    }
+    if (total < 0 || done < 0 || executed < 0 || hit < 0)
+        return false;
+    out.pid = pid;
+    out.shard = static_cast<int>(shard);
+    out.total = static_cast<std::size_t>(total);
+    out.done = static_cast<std::size_t>(done);
+    out.executed = static_cast<std::size_t>(executed);
+    out.hits = static_cast<std::size_t>(hit);
+    out.corrupt = static_cast<std::size_t>(corrupt);
+    out.golden = static_cast<std::size_t>(golden);
+    out.updated = updated;
+    out.finished = text.find("\"finished\": true") != std::string::npos;
+    return true;
+}
+
+std::size_t
+janitorSweep(const ResultStore &store, const SweepSpec &spec,
+             double stale_sec)
+{
+    // Collect this sweep's entry basenames; only their litter is ours
+    // to clean (the directory may be shared with other sweeps/fleets).
+    std::vector<std::string> bases;
+    bases.reserve(spec.jobs.size());
+    for (const JobSpec &job : spec.jobs)
+        bases.push_back(fs::path(store.entryPath(job)).filename().string());
+    auto is_ours = [&](const std::string &name, std::string &rest) {
+        for (const std::string &base : bases) {
+            if (name.size() > base.size() &&
+                name.rfind(base, 0) == 0 && name[base.size()] == '.') {
+                rest = name.substr(base.size());
+                return true;
+            }
+        }
+        return false;
+    };
+
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(store.dir(), ec)) {
+        std::string name = de.path().filename().string();
+        std::string rest;
+        if (!is_ours(name, rest))
+            continue;
+        bool litter = rest.rfind(".tmp.", 0) == 0 ||
+                      rest.rfind(".lease.stale.", 0) == 0 ||
+                      rest == ".lease";
+        if (!litter)
+            continue;
+        double age = fileAgeSeconds(de.path());
+        if (age < 0.0 || age <= stale_sec)
+            continue; // fresh: possibly a live foreign fleet's
+        std::error_code rec;
+        if (fs::remove(de.path(), rec))
+            ++removed;
+    }
+    return removed;
+}
+
+SweepOutcome
+runShardWorker(const SweepSpec &spec, const SweepOptions &options)
+{
+    checkShardOptions(options, "--shard-id");
+    int shard_count = std::max(1, options.shardCount);
+    int shard_id = std::max(0, options.shardId);
+    if (shard_id >= shard_count)
+        fatal("--shard-id %d out of range for --shard-count %d",
+              shard_id, shard_count);
+
+    auto start = Clock::now();
+    const std::size_t total = spec.jobs.size();
+    ProgressReporter progress(
+        (spec.name.empty() ? "sweep" : spec.name) + " shard " +
+            std::to_string(shard_id) + "/" + std::to_string(shard_count),
+        total, options.progress);
+
+    EngineResult eng = shardWorkerEngine(
+        spec, options, shard_id, shard_count, /*wait_for_publish=*/false,
+        std::max(1, options.jobs), &progress);
+
+    SweepOutcome out;
+    out.results = std::move(eng.results);
+    out.fromCache.resize(total);
+    for (std::size_t i = 0; i < total; ++i)
+        out.fromCache[i] = eng.source[i] == JobSource::Store;
+    out.predictedMergeable = std::move(eng.predicted);
+    out.executionOrder = std::move(eng.order);
+    out.executed = eng.executed;
+    out.cacheHits = eng.hits;
+    out.corruptEntries = eng.corrupt;
+    out.goldenFailures = eng.golden;
+    out.missingJobs = eng.missing;
+    if (out.missingJobs == 0) {
+        ResultStore store(options.cacheDir);
+        janitorSweep(store, spec, options.leaseStaleSec);
+    }
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return out;
+}
+
+SweepOutcome
+runShardedSweep(const SweepSpec &spec, const SweepOptions &options)
+{
+    checkShardOptions(options, "--shards");
+    if (options.shards < 2)
+        fatal("--shards wants >= 2 worker processes (got %d); use "
+              "--jobs for in-process parallelism", options.shards);
+    const int shards = options.shards;
+    const std::size_t total = spec.jobs.size();
+
+    auto start = Clock::now();
+    ResultStore store(options.cacheDir);
+    SweepOutcome out;
+    out.results.resize(total);
+    out.fromCache.assign(total, false);
+    out.predictedMergeable = predictSweepJobs(spec);
+    out.executionOrder = sweepPriorityOrder(out.predictedMergeable);
+
+    // Pre-scan: cached jobs are served directly by the parent (and
+    // define the fromCache flags, exactly as a serial run would);
+    // corrupt entries are quarantined so the fleet re-runs them.
+    std::size_t prescan_hits = 0, corrupt = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        switch (store.load(spec.jobs[i], out.results[i])) {
+          case ResultStore::Status::Hit:
+            out.fromCache[i] = true;
+            ++prescan_hits;
+            break;
+          case ResultStore::Status::Corrupt:
+            store.quarantine(spec.jobs[i]);
+            ++corrupt;
+            break;
+          case ResultStore::Status::Miss:
+            break;
+        }
+    }
+    std::size_t pending_total = total - prescan_hits;
+
+    std::vector<pid_t> children;
+    if (pending_total > 0) {
+        // The fleet: forked workers claim the missing jobs through
+        // leases. Flush first so buffered output is not duplicated
+        // into every child.
+        std::fflush(stdout);
+        std::fflush(stderr);
+        int per_worker_jobs = std::max(1, options.jobs / shards);
+        for (int k = 0; k < shards; ++k) {
+            pid_t pid = ::fork();
+            if (pid < 0) {
+                warn("fork failed for shard %d: %s", k,
+                     std::strerror(errno));
+                continue;
+            }
+            if (pid == 0) {
+                SweepOptions child = options;
+                child.progress = false;
+                EngineResult eng = shardWorkerEngine(
+                    spec, child, k, shards, /*wait_for_publish=*/true,
+                    per_worker_jobs, nullptr);
+                std::fflush(nullptr);
+                ::_exit(eng.golden ? 1 : 0);
+            }
+            children.push_back(pid);
+        }
+        if (children.empty())
+            fatal("could not fork any shard worker");
+
+        // Monitor: reap children and aggregate their heartbeat files
+        // into one progress/ETA line.
+        std::string host = processTag();
+        host = host.substr(0, host.rfind('.'));
+        auto child_status_path = [&](pid_t pid) {
+            return shardStatusDir(options.cacheDir) + "/" +
+                   (spec.name.empty() ? "sweep" : spec.name) + "." +
+                   host + "." + std::to_string(pid) + ".json";
+        };
+        std::vector<bool> reaped(children.size(), false);
+        std::size_t alive = children.size();
+        std::size_t last_done = static_cast<std::size_t>(-1);
+        while (alive > 0) {
+            for (std::size_t c = 0; c < children.size(); ++c) {
+                if (reaped[c])
+                    continue;
+                int wstatus = 0;
+                pid_t got = ::waitpid(children[c], &wstatus, WNOHANG);
+                if (got == children[c]) {
+                    reaped[c] = true;
+                    --alive;
+                    if (WIFSIGNALED(wstatus)) {
+                        warn("shard worker %zu (pid %ld) killed by "
+                             "signal %d; its in-flight job will be "
+                             "reclaimed",
+                             c, static_cast<long>(children[c]),
+                             WTERMSIG(wstatus));
+                    }
+                }
+            }
+            std::size_t fleet_executed = 0;
+            for (std::size_t c = 0; c < children.size(); ++c) {
+                std::ifstream in(child_status_path(children[c]));
+                if (!in)
+                    continue;
+                std::ostringstream ss;
+                ss << in.rdbuf();
+                ShardStatus s;
+                if (parseShardStatus(ss.str(), s))
+                    fleet_executed += s.executed;
+            }
+            std::size_t done = prescan_hits + fleet_executed;
+            if (options.progress && done != last_done) {
+                last_done = done;
+                double elapsed = std::chrono::duration<double>(
+                                     Clock::now() - start).count();
+                double eta = 0.0;
+                if (fleet_executed > 0 && done < total) {
+                    eta = elapsed /
+                          static_cast<double>(fleet_executed) *
+                          static_cast<double>(total - done);
+                }
+                std::fprintf(stderr,
+                             "[%s shards] %zu/%zu workers alive, "
+                             "%zu/%zu jobs (%zu cached)  elapsed %.1fs"
+                             "  eta %.1fs\n",
+                             spec.name.empty() ? "sweep"
+                                               : spec.name.c_str(),
+                             alive, children.size(), done, total,
+                             prescan_hits, elapsed, eta);
+            }
+            if (alive > 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+        }
+    }
+
+    // Collect the fleet's results. Anything still missing was lost
+    // with a crashed worker *and* never reclaimed (e.g. every worker
+    // died); a re-run completes it from the warm cache.
+    std::size_t missing = 0;
+    std::vector<bool> have(total, false);
+    for (std::size_t i = 0; i < total; ++i) {
+        if (out.fromCache[i]) {
+            have[i] = true;
+            continue;
+        }
+        switch (store.load(spec.jobs[i], out.results[i])) {
+          case ResultStore::Status::Hit:
+            have[i] = true;
+            break;
+          case ResultStore::Status::Corrupt:
+            store.quarantine(spec.jobs[i]);
+            ++corrupt;
+            ++missing;
+            break;
+          case ResultStore::Status::Miss:
+            ++missing;
+            break;
+        }
+    }
+
+    out.executed = pending_total - missing;
+    out.cacheHits = prescan_hits;
+    out.corruptEntries = corrupt;
+    out.missingJobs = missing;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (have[i] && spec.jobs[i].checkGolden &&
+            !out.results[i].goldenOk) {
+            ++out.goldenFailures;
+        }
+    }
+
+    if (missing == 0) {
+        janitorSweep(store, spec, options.leaseStaleSec);
+        for (pid_t pid : children) {
+            std::string host_tag = processTag();
+            std::string path =
+                shardStatusDir(options.cacheDir) + "/" +
+                (spec.name.empty() ? "sweep" : spec.name) + "." +
+                host_tag.substr(0, host_tag.rfind('.')) + "." +
+                std::to_string(pid) + ".json";
+            ::unlink(path.c_str());
+        }
+    } else {
+        warn("sharded sweep incomplete: %zu job(s) missing; re-run to "
+             "complete from the warm cache", missing);
+    }
+
+    out.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return out;
+}
+
+} // namespace mmt

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Multi-process sweep sharding over a shared ResultStore directory.
+ *
+ * The in-process runner (runner/sweep_runner.hh) hands jobs to threads
+ * through an atomic cursor; that cannot cross a process (or host)
+ * boundary, and one crashed simulation takes the whole sweep down with
+ * it. The sharded runner coordinates any number of worker *processes*
+ * through the cache directory itself: the store is the service, and
+ * the only shared state is files.
+ *
+ * ## Lease protocol
+ *
+ * Every job's cache entry `<hash>.result` has a companion lease file
+ * `<hash>.result.lease`. A worker claims a job by creating the lease
+ * with O_CREAT|O_EXCL (atomic on POSIX, including NFS v3+): the file
+ * carries the owner's host+pid identity, and its mtime is the owner's
+ * heartbeat, refreshed by a background thread while the simulation
+ * runs. Publishing the result (write + fsync + atomic rename, see
+ * ResultStore::store) and then releasing the lease completes the job.
+ *
+ * A lease whose mtime is older than SweepOptions::leaseStaleSec is
+ * abandoned — its owner was killed or lost its host. Reclaim is
+ * two-phase so two reclaimers cannot both think they own the job: the
+ * stale lease is first renamed to a unique tombstone (only one rename
+ * can succeed), then the reclaimer re-runs the O_EXCL claim race like
+ * everyone else. Claim attempts are bounded and callers back off
+ * exponentially between passes.
+ *
+ * ## Failure model
+ *
+ * A worker killed at any point loses only its in-flight job:
+ *  - killed before claiming: nothing to clean;
+ *  - killed holding the lease: the heartbeat stops, the lease goes
+ *    stale, and any other worker (this run or a later one) reclaims
+ *    and re-runs the job;
+ *  - killed mid-write: the partial `.tmp.<host>.<pid>.<seq>` file is
+ *    invisible to readers (entries publish by atomic rename) and is
+ *    removed when the lease is reclaimed or by the end-of-run janitor;
+ *  - killed between publish and release: the stale lease is reclaimed,
+ *    the reclaimer sees the published entry and simply releases.
+ * Results are deterministic, so even a pathological double-execution
+ * (reclaim racing a live-but-stalled owner) publishes identical bytes.
+ *
+ * ## Observability
+ *
+ * Each worker heartbeats a `shard-status/<sweep>.<host>.<pid>.json`
+ * snapshot (counts + liveness) into the store; the forked-fleet parent
+ * aggregates them into a single progress/ETA line.
+ */
+
+#ifndef MMT_RUNNER_SHARD_HH
+#define MMT_RUNNER_SHARD_HH
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hh"
+
+namespace mmt
+{
+
+class ResultStore;
+
+/** Lease file for @p job's entry in @p store. */
+std::string leasePath(const ResultStore &store, const JobSpec &job);
+
+/**
+ * Claims and heartbeats lease files for one worker process. Safe to
+ * share between the worker's claim threads; the O_EXCL create is the
+ * arbiter both across processes and across threads.
+ */
+class LeaseManager
+{
+  public:
+    enum class Claim
+    {
+        Claimed, // we own the lease
+        Busy,    // a live owner holds it (or we lost the race)
+    };
+
+    LeaseManager(double stale_sec, int shard_id);
+
+    /** Try to take @p lease_path (reclaiming it if stale). */
+    Claim tryClaim(const std::string &lease_path,
+                   const std::string &job_label);
+
+    /** Drop a lease we own (after publishing the result). */
+    void release(const std::string &lease_path);
+
+    /** True if this process currently owns @p lease_path. */
+    bool ownedByUs(const std::string &lease_path) const;
+
+    /** Refresh the heartbeat (mtime) of every lease we own. */
+    void heartbeat();
+
+    /** Leases currently owned (diagnostics). */
+    std::vector<std::string> owned() const;
+
+    /** True if the lease file's heartbeat is older than stale_sec. */
+    bool isStale(const std::string &lease_path) const;
+
+  private:
+    double staleSec_;
+    int shardId_;
+    mutable std::mutex mutex_;
+    std::vector<std::string> owned_; // guarded by mutex_
+};
+
+/** Parsed `shard-status/*.json` heartbeat snapshot. */
+struct ShardStatus
+{
+    std::string sweep;
+    std::string host;
+    long pid = 0;
+    int shard = -1;
+    std::size_t total = 0;
+    std::size_t done = 0;     // jobs this worker marked complete
+    std::size_t executed = 0; // jobs this worker simulated
+    std::size_t hits = 0;     // jobs it served from the store
+    std::size_t corrupt = 0;
+    std::size_t golden = 0;
+    bool finished = false;
+    long updated = 0; // unix seconds of the snapshot
+};
+
+/** Directory holding the per-worker heartbeat files. */
+std::string shardStatusDir(const std::string &cache_dir);
+
+/** Status file path for this process. */
+std::string shardStatusPath(const std::string &cache_dir,
+                            const std::string &sweep_name);
+
+/** Render/parse one status snapshot (single-line JSON). */
+std::string renderShardStatus(const ShardStatus &status);
+bool parseShardStatus(const std::string &text, ShardStatus &out);
+
+/**
+ * Remove litter a crashed worker can leave for this sweep's jobs:
+ * stale leases, tombstones and stale `.tmp` files. Called once a run
+ * completes with every job published; returns the number of files
+ * removed. Fresh leases and foreign files are left alone, so a
+ * concurrent fleet sharing the directory is unaffected.
+ */
+std::size_t janitorSweep(const ResultStore &store, const SweepSpec &spec,
+                         double stale_sec);
+
+/**
+ * Run as one worker of a manually-launched fleet (options.shardId of
+ * options.shardCount, possibly on different hosts) sharing
+ * options.cacheDir. Claims jobs through leases, publishes results,
+ * exits when every job is either published or held by a live foreign
+ * lease (outcome.missingJobs counts the latter — re-run, or let the
+ * other shards finish, to complete the sweep).
+ */
+SweepOutcome runShardWorker(const SweepSpec &spec,
+                            const SweepOptions &options);
+
+/**
+ * Fork options.shards lease-coordinated worker processes and wait for
+ * the fleet: crash isolation for the parent (a dead worker loses one
+ * job, the survivors reclaim its lease) plus an aggregated progress
+ * line. Results, fromCache flags and artifacts are byte-identical to
+ * a serial runSweep of the same spec against the same cache state.
+ */
+SweepOutcome runShardedSweep(const SweepSpec &spec,
+                             const SweepOptions &options);
+
+} // namespace mmt
+
+#endif // MMT_RUNNER_SHARD_HH

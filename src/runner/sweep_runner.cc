@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,52 +27,43 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
-/** Serialized stderr progress lines with a running ETA. */
-class ProgressReporter
+/** Warn-and-keep-default env int: strict parse, minimum bound. */
+void
+envInt(const char *name, int min_value, int &out)
 {
-  public:
-    ProgressReporter(const std::string &name, std::size_t total,
-                     bool enabled)
-        : name_(name), total_(total), enabled_(enabled),
-          start_(Clock::now())
-    {}
-
-    void
-    jobDone(const JobSpec &job, bool cached)
-    {
-        std::size_t done = ++done_;
-        if (!enabled_)
-            return;
-        std::lock_guard<std::mutex> lock(mutex_);
-        double elapsed =
-            std::chrono::duration<double>(Clock::now() - start_).count();
-        double eta = done < total_
-                         ? elapsed / static_cast<double>(done) *
-                               static_cast<double>(total_ - done)
-                         : 0.0;
-        std::fprintf(stderr,
-                     "[%s %zu/%zu] %s/%s/%dT%s  elapsed %.1fs  eta %.1fs\n",
-                     name_.c_str(), done, total_, job.workload.c_str(),
-                     configName(job.kind), job.numThreads,
-                     cached ? " (cached)" : "", elapsed, eta);
+    const char *value = std::getenv(name);
+    if (!value)
+        return;
+    long parsed = 0;
+    if (!parseStrictInt(value, parsed) || parsed < min_value) {
+        warn("%s='%s' is not an integer >= %d; keeping default %d", name,
+             value, min_value, out);
+        return;
     }
+    out = static_cast<int>(parsed);
+}
 
-  private:
-    std::string name_;
-    std::size_t total_;
-    bool enabled_;
-    Clock::time_point start_;
-    std::atomic<std::size_t> done_{0};
-    std::mutex mutex_;
-};
+/** Warn-and-keep-default env bool. */
+void
+envBool(const char *name, bool &out)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return;
+    bool parsed = false;
+    if (!parseStrictBool(value, parsed)) {
+        warn("%s='%s' is not a boolean (0/1/true/false/on/off/yes/no); "
+             "keeping default %d",
+             name, value, out ? 1 : 0);
+        return;
+    }
+    out = parsed;
+}
 
-/**
- * Analyzer predictions per job, memoized per (workload, thread-model):
- * the static pass costs microseconds, so running it up front for every
- * job is free next to even one simulation.
- */
+} // namespace
+
 std::vector<double>
-predictJobs(const SweepSpec &spec)
+predictSweepJobs(const SweepSpec &spec)
 {
     std::vector<double> pred(spec.jobs.size(), 0.0);
     std::map<std::string, double> memo;
@@ -96,7 +90,107 @@ predictJobs(const SweepSpec &spec)
     return pred;
 }
 
-} // namespace
+std::vector<std::size_t>
+sweepPriorityOrder(const std::vector<double> &predictions)
+{
+    std::vector<std::size_t> order(predictions.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&predictions](std::size_t a, std::size_t b) {
+                         return predictions[a] > predictions[b];
+                     });
+    return order;
+}
+
+ProgressReporter::ProgressReporter(const std::string &name,
+                                   std::size_t total, bool enabled,
+                                   Sink sink)
+    : name_(name), total_(total), enabled_(enabled),
+      sink_(std::move(sink)), start_(Clock::now())
+{}
+
+void
+ProgressReporter::jobDone(const JobSpec &job, bool cached)
+{
+    // The increment and the emission share one critical section: with
+    // the increment outside, two workers could observe the same count
+    // (printing "[5/64]" twice, never "[6/64]") and the final line was
+    // not guaranteed to read total/total.
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t done = ++done_;
+    if (!enabled_)
+        return;
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    double eta = done < total_
+                     ? elapsed / static_cast<double>(done) *
+                           static_cast<double>(total_ - done)
+                     : 0.0;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "[%s %zu/%zu] %s/%s/%dT%s  elapsed %.1fs  eta %.1fs",
+                  name_.c_str(), done, total_, job.workload.c_str(),
+                  configName(job.kind), job.numThreads,
+                  cached ? " (cached)" : "", elapsed, eta);
+    if (sink_)
+        sink_(line);
+    else
+        std::fprintf(stderr, "%s\n", line);
+}
+
+std::size_t
+ProgressReporter::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_;
+}
+
+bool
+parseStrictInt(const std::string &text, long &out)
+{
+    if (text.empty() || text.size() > 18)
+        return false;
+    long value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + (c - '0');
+    }
+    out = value;
+    return true;
+}
+
+bool
+parseStrictBool(const std::string &text, bool &out)
+{
+    if (text == "1" || text == "true" || text == "on" || text == "yes") {
+        out = true;
+        return true;
+    }
+    if (text == "0" || text == "false" || text == "off" ||
+        text == "no") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseStrictDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    if (!(value >= 0.0) || value > 1e12) // rejects NaN and negatives
+        return false;
+    out = value;
+    return true;
+}
 
 std::string
 SweepOutcome::summary() const
@@ -105,7 +199,10 @@ SweepOutcome::summary() const
     os << results.size() << " jobs: " << executed << " simulated, "
        << cacheHits << " cached";
     if (corruptEntries)
-        os << " (" << corruptEntries << " corrupt entries re-run)";
+        os << " (" << corruptEntries << " corrupt entries quarantined)";
+    if (missingJobs)
+        os << ", " << missingJobs
+           << " missing (in flight elsewhere — re-run to complete)";
     if (goldenFailures)
         os << ", " << goldenFailures << " golden FAILURES";
     char secs[32];
@@ -126,16 +223,8 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
     // descending predicted mergeable fraction) so partial runs cover
     // the interesting points early. Results still land in spec-order
     // slots — the artifacts are byte-identical for any ordering.
-    out.predictedMergeable = predictJobs(spec);
-    out.executionOrder.resize(total);
-    for (std::size_t i = 0; i < total; ++i)
-        out.executionOrder[i] = i;
-    std::stable_sort(out.executionOrder.begin(),
-                     out.executionOrder.end(),
-                     [&out](std::size_t a, std::size_t b) {
-                         return out.predictedMergeable[a] >
-                                out.predictedMergeable[b];
-                     });
+    out.predictedMergeable = predictSweepJobs(spec);
+    out.executionOrder = sweepPriorityOrder(out.predictedMergeable);
 
     std::unique_ptr<ResultStore> store;
     if (!options.cacheDir.empty())
@@ -162,6 +251,7 @@ runSweep(const SweepSpec &spec, const SweepOptions &options)
                     ++hits;
                     break;
                   case ResultStore::Status::Corrupt:
+                    store->quarantine(job);
                     ++corrupt;
                     break;
                   case ResultStore::Status::Miss:
@@ -215,17 +305,26 @@ sweepOptionsFromEnv()
     SweepOptions opt;
     unsigned hw = std::thread::hardware_concurrency();
     opt.jobs = hw ? static_cast<int>(hw) : 1;
-    if (const char *jobs = std::getenv("MMT_JOBS")) {
-        int n = std::atoi(jobs);
-        if (n >= 1)
-            opt.jobs = n;
-    }
+    envInt("MMT_JOBS", 1, opt.jobs);
+    envInt("MMT_SHARDS", 0, opt.shards);
     if (const char *dir = std::getenv("MMT_CACHE_DIR")) {
         if (*dir)
             opt.cacheDir = dir;
+        else
+            warn("MMT_CACHE_DIR is set but empty; caching stays off");
     }
-    const char *prog = std::getenv("MMT_PROGRESS");
-    opt.progress = !prog || std::atoi(prog) != 0;
+    opt.progress = true;
+    envBool("MMT_PROGRESS", opt.progress);
+    if (const char *stale = std::getenv("MMT_LEASE_STALE_SEC")) {
+        double parsed = 0.0;
+        if (parseStrictDouble(stale, parsed) && parsed > 0.0) {
+            opt.leaseStaleSec = parsed;
+        } else {
+            warn("MMT_LEASE_STALE_SEC='%s' is not a positive number; "
+                 "keeping default %.1f",
+                 stale, opt.leaseStaleSec);
+        }
+    }
     return opt;
 }
 

@@ -14,12 +14,20 @@
  *
  * With a cache directory set, each job is first looked up in the
  * ResultStore; valid entries skip simulation entirely, corrupted ones
- * are re-run and overwritten.
+ * are quarantined, re-run and overwritten.
+ *
+ * For multi-process execution (crash isolation, fleets of hosts
+ * sharing one cache directory) see runner/shard.hh, which coordinates
+ * workers through lease files in the store instead of an in-process
+ * cursor.
  */
 
 #ifndef MMT_RUNNER_SWEEP_RUNNER_HH
 #define MMT_RUNNER_SWEEP_RUNNER_HH
 
+#include <chrono>
+#include <functional>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +46,18 @@ struct SweepOptions
     bool progress = false;
     /** Ignore cached entries (still refreshes them after running). */
     bool forceRerun = false;
+
+    // Multi-process sharding (runner/shard.hh; requires cacheDir).
+    /** >1: fork this many lease-coordinated worker processes. */
+    int shards = 0;
+    /** >=0: run as worker @p shardId of a manually-launched fleet of
+     *  shardCount processes (possibly on different hosts). */
+    int shardId = -1;
+    /** Fleet size for shardId mode. */
+    int shardCount = 0;
+    /** A lease whose heartbeat is older than this is considered
+     *  abandoned and may be reclaimed by another worker. */
+    double leaseStaleSec = 30.0;
 };
 
 struct SweepOutcome
@@ -58,8 +78,11 @@ struct SweepOutcome
 
     std::size_t executed = 0;     // jobs actually simulated
     std::size_t cacheHits = 0;    // jobs served from the store
-    std::size_t corruptEntries = 0; // invalid entries detected + re-run
+    std::size_t corruptEntries = 0; // invalid entries quarantined + re-run
     std::size_t goldenFailures = 0;
+    /** Jobs with no result at exit (sharded runs only: another worker
+     *  crashed or still holds the lease; a re-run completes them). */
+    std::size_t missingJobs = 0;
     double wallSeconds = 0.0;
 
     /** "80 jobs: 3 simulated, 77 cached in 1.2s" summary line. */
@@ -71,10 +94,78 @@ SweepOutcome runSweep(const SweepSpec &spec,
                       const SweepOptions &options = SweepOptions());
 
 /**
+ * Serialized progress lines with a running ETA. jobDone() is safe to
+ * call from any number of worker threads: the done-counter increment
+ * and the line emission happen under one lock, so the printed
+ * "[k/total]" sequence is exactly 1..total in order (an increment
+ * outside the lock used to let two workers print the same k and skip
+ * another). The sink defaults to stderr; tests inject their own.
+ */
+class ProgressReporter
+{
+  public:
+    using Sink = std::function<void(const std::string &line)>;
+
+    ProgressReporter(const std::string &name, std::size_t total,
+                     bool enabled, Sink sink = Sink());
+
+    /** Count one finished job and emit a "[name k/total] ..." line. */
+    void jobDone(const JobSpec &job, bool cached);
+
+    /** Jobs reported so far. */
+    std::size_t done() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::string name_;
+    std::size_t total_;
+    bool enabled_;
+    Sink sink_;
+    Clock::time_point start_;
+    mutable std::mutex mutex_;
+    std::size_t done_ = 0; // guarded by mutex_
+};
+
+/**
+ * Strict base-10 unsigned integer parse: the entire string must be
+ * digits (no sign, no suffix — "8x" and "" are rejected, unlike atoi).
+ */
+bool parseStrictInt(const std::string &text, long &out);
+
+/**
+ * Strict boolean parse: 0/1/true/false/on/off/yes/no (lowercase).
+ * Anything else is rejected.
+ */
+bool parseStrictBool(const std::string &text, bool &out);
+
+/** Strict finite non-negative double parse ("1.5"; rejects "1.5s"). */
+bool parseStrictDouble(const std::string &text, double &out);
+
+/**
+ * Analyzer predictions per job (staticMergeableFrac of each job's
+ * workload under its thread model), memoized per workload — the pass
+ * costs microseconds. Shared by runSweep and the sharded runner so
+ * every execution mode claims jobs in the same priority order.
+ */
+std::vector<double> predictSweepJobs(const SweepSpec &spec);
+
+/**
+ * Spec-order indices sorted by descending prediction (stable, so equal
+ * predictions keep spec order): the claim order of workers.
+ */
+std::vector<std::size_t>
+sweepPriorityOrder(const std::vector<double> &predictions);
+
+/**
  * Options taken from the environment: MMT_JOBS (default: hardware
- * concurrency), MMT_CACHE_DIR (default: no cache), MMT_PROGRESS=0 to
- * silence the reporter. Used by the figure benches so `make bench`
- * parallelism is tunable without rebuilds.
+ * concurrency), MMT_SHARDS (default: no sharding), MMT_CACHE_DIR
+ * (default: no cache), MMT_PROGRESS=0 to silence the reporter,
+ * MMT_LEASE_STALE_SEC to tune lease reclaim. Values that fail strict
+ * parsing warn and keep the default instead of being silently
+ * misread (MMT_JOBS=8x used to become 8, MMT_PROGRESS=yes used to
+ * become off). Used by the figure benches and mmt_cli so parallelism
+ * is tunable without rebuilds.
  */
 SweepOptions sweepOptionsFromEnv();
 

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Sharded-sweep subsystem tests: lease claim/release/reclaim mechanics,
+ * concurrent multi-process writers through the ResultStore, crash-
+ * mid-write recovery (torn entries quarantined, stale litter swept),
+ * and byte-identity of sharded execution against the serial runner.
+ */
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "runner/result_store.hh"
+#include "runner/shard.hh"
+#include "runner/sweep_runner.hh"
+
+using namespace mmt;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Fresh scratch directory under the test tmpdir. */
+std::string
+scratchDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** Two cheap jobs over one workload. */
+SweepSpec
+tinySpec()
+{
+    SweepSpec spec;
+    spec.name = "test-shard";
+    spec.add("ammp", ConfigKind::Base, 2);
+    spec.add("ammp", ConfigKind::MMT_FXR, 2);
+    return spec;
+}
+
+std::vector<std::string>
+serializeAll(const SweepOutcome &outcome)
+{
+    std::vector<std::string> out;
+    for (const RunResult &r : outcome.results)
+        out.push_back(serializeResult(r));
+    return out;
+}
+
+/** Backdate a file's mtime (heartbeat) by @p seconds. */
+void
+backdate(const std::string &path, double seconds)
+{
+    auto t = fs::last_write_time(path);
+    fs::last_write_time(
+        path, t - std::chrono::duration_cast<fs::file_time_type::duration>(
+                      std::chrono::duration<double>(seconds)));
+}
+
+/** Files in @p dir whose name contains @p needle. */
+std::vector<std::string>
+filesContaining(const std::string &dir, const std::string &needle)
+{
+    std::vector<std::string> hits;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        std::string name = de.path().filename().string();
+        if (name.find(needle) != std::string::npos)
+            hits.push_back(name);
+    }
+    return hits;
+}
+
+} // namespace
+
+TEST(Shard, LeaseClaimReleaseAndStaleReclaim)
+{
+    std::string dir = scratchDir("shard-lease");
+    std::string lease = dir + "/deadbeef.result.lease";
+
+    LeaseManager a(30.0, 0);
+    LeaseManager b(30.0, 1);
+
+    // First claim wins; a second claimant sees a live owner.
+    EXPECT_EQ(a.tryClaim(lease, "j"), LeaseManager::Claim::Claimed);
+    EXPECT_TRUE(a.ownedByUs(lease));
+    EXPECT_EQ(b.tryClaim(lease, "j"), LeaseManager::Claim::Busy);
+    EXPECT_FALSE(b.ownedByUs(lease));
+    EXPECT_EQ(a.owned().size(), 1u);
+
+    // The lease file carries the owner's identity.
+    std::ifstream in(lease);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(text.find("mmt-lease v1"), std::string::npos);
+    EXPECT_NE(text.find("owner " + processTag()), std::string::npos);
+    EXPECT_NE(text.find("shard 0"), std::string::npos);
+
+    // Release frees it for the next claimant.
+    a.release(lease);
+    EXPECT_FALSE(a.ownedByUs(lease));
+    EXPECT_FALSE(fs::exists(lease));
+    EXPECT_EQ(b.tryClaim(lease, "j"), LeaseManager::Claim::Claimed);
+
+    // A heartbeat refresh keeps the lease live...
+    backdate(lease, 10.0);
+    EXPECT_TRUE(LeaseManager(5.0, 2).isStale(lease));
+    b.heartbeat();
+    EXPECT_FALSE(LeaseManager(5.0, 2).isStale(lease));
+
+    // ...and a dead owner's stale lease is reclaimed by someone else.
+    backdate(lease, 10.0);
+    LeaseManager c(5.0, 3);
+    EXPECT_EQ(c.tryClaim(lease, "j"), LeaseManager::Claim::Claimed);
+    EXPECT_TRUE(c.ownedByUs(lease));
+    EXPECT_TRUE(filesContaining(dir, ".stale.").empty())
+        << "reclaim tombstone leaked";
+    c.release(lease);
+    b.release(lease);
+}
+
+TEST(Shard, StaleReclaimSweepsDeadWritersTmpFiles)
+{
+    std::string dir = scratchDir("shard-lease-tmp");
+    std::string entry = dir + "/cafecafe.result";
+    std::string lease = entry + ".lease";
+
+    // A dead worker left a stale lease and a partial publish.
+    std::ofstream(lease) << "mmt-lease v1\n";
+    std::ofstream(entry + ".tmp.deadhost.12345.0") << "partial";
+    backdate(lease, 60.0);
+    backdate(entry + ".tmp.deadhost.12345.0", 60.0);
+
+    LeaseManager m(5.0, 0);
+    EXPECT_EQ(m.tryClaim(lease, "j"), LeaseManager::Claim::Claimed);
+    EXPECT_TRUE(filesContaining(dir, ".tmp.").empty())
+        << "dead writer's tmp file survived the reclaim";
+    m.release(lease);
+}
+
+TEST(Shard, StatusRoundTrips)
+{
+    ShardStatus s;
+    s.sweep = "fig5a";
+    s.host = "hostname_example";
+    s.pid = 4242;
+    s.shard = 3;
+    s.total = 80;
+    s.done = 17;
+    s.executed = 12;
+    s.hits = 5;
+    s.corrupt = 1;
+    s.golden = 0;
+    s.finished = false;
+    s.updated = 1754500000;
+
+    ShardStatus p;
+    ASSERT_TRUE(parseShardStatus(renderShardStatus(s), p));
+    EXPECT_EQ(p.sweep, s.sweep);
+    EXPECT_EQ(p.host, s.host);
+    EXPECT_EQ(p.pid, s.pid);
+    EXPECT_EQ(p.shard, s.shard);
+    EXPECT_EQ(p.total, s.total);
+    EXPECT_EQ(p.done, s.done);
+    EXPECT_EQ(p.executed, s.executed);
+    EXPECT_EQ(p.hits, s.hits);
+    EXPECT_EQ(p.corrupt, s.corrupt);
+    EXPECT_EQ(p.golden, s.golden);
+    EXPECT_EQ(p.finished, s.finished);
+    EXPECT_EQ(p.updated, s.updated);
+
+    s.finished = true;
+    ASSERT_TRUE(parseShardStatus(renderShardStatus(s), p));
+    EXPECT_TRUE(p.finished);
+
+    ShardStatus bad;
+    EXPECT_FALSE(parseShardStatus("", bad));
+    EXPECT_FALSE(parseShardStatus("{\"sweep\": \"x\"}", bad));
+}
+
+TEST(Shard, ForkedConcurrentWritersNeverTearReads)
+{
+    // Regression for the tmp-name collision: the temp suffix used to be
+    // the std::thread id alone, which is identical in forked children
+    // (both are the main thread), so two processes interleaved bytes in
+    // one temp file and readers saw checksum failures. With host+pid+
+    // counter suffixes every writer owns a private temp file and every
+    // published entry is whole.
+    std::string dir = scratchDir("shard-writers");
+    JobSpec job;
+    job.workload = "ammp";
+    job.kind = ConfigKind::Base;
+    job.numThreads = 2;
+
+    RunResult seed;
+    seed.workload = resolveWorkload(job.workload).name;
+    seed.kind = job.kind;
+    seed.numThreads = job.numThreads;
+    seed.cycles = 1000;
+    ResultStore store(dir);
+    ASSERT_TRUE(store.store(job, seed));
+
+    constexpr int kWriters = 2;
+    constexpr int kStoresPerWriter = 150;
+    pid_t pids[kWriters];
+    for (int w = 0; w < kWriters; ++w) {
+        pid_t pid = fork();
+        ASSERT_GE(pid, 0);
+        if (pid == 0) {
+            // Child: hammer the entry with its own payload variant.
+            ResultStore cstore(dir);
+            RunResult mine = seed;
+            mine.cycles = 1000 + static_cast<std::uint64_t>(w);
+            bool ok = true;
+            for (int n = 0; n < kStoresPerWriter; ++n)
+                ok = cstore.store(job, mine) && ok;
+            ::_exit(ok ? 0 : 1);
+        }
+        pids[w] = pid;
+    }
+
+    // Parent: every read must observe one whole payload variant.
+    int torn = 0, reads = 0, done = 0;
+    bool reaped[kWriters] = {};
+    while (done < kWriters) {
+        RunResult got;
+        ResultStore::Status st = store.load(job, got);
+        ++reads;
+        if (st == ResultStore::Status::Corrupt) {
+            ++torn;
+        } else if (st == ResultStore::Status::Hit) {
+            EXPECT_GE(got.cycles, 1000u);
+            EXPECT_LT(got.cycles, 1000u + kWriters);
+        }
+        for (int w = 0; w < kWriters; ++w) {
+            if (reaped[w])
+                continue;
+            int wstatus = 0;
+            if (waitpid(pids[w], &wstatus, WNOHANG) == pids[w]) {
+                EXPECT_TRUE(WIFEXITED(wstatus) &&
+                            WEXITSTATUS(wstatus) == 0);
+                reaped[w] = true;
+                ++done;
+            }
+        }
+    }
+    EXPECT_EQ(torn, 0) << "of " << reads << " concurrent reads";
+    RunResult final_read;
+    EXPECT_EQ(store.load(job, final_read), ResultStore::Status::Hit);
+}
+
+TEST(Shard, CrashMidWriteRecovery)
+{
+    SweepSpec spec = tinySpec();
+    std::string dir = scratchDir("shard-crash");
+    SweepOutcome cold = runSweep(spec, {.jobs = 1, .cacheDir = dir});
+    ASSERT_EQ(cold.executed, 2u);
+
+    ResultStore store(dir);
+    // Simulate a worker that died mid-publish of job 0 (torn entry +
+    // stale temp file) and another that died holding job 1's lease
+    // right after publishing.
+    std::string entry0 = store.entryPath(spec.jobs[0]);
+    {
+        std::ifstream in(entry0);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        in.close();
+        std::ofstream(entry0, std::ios::trunc)
+            << text.substr(0, text.size() / 2);
+    }
+    std::string tmp0 = entry0 + ".tmp.deadhost.999.7";
+    std::ofstream(tmp0) << "partial bytes";
+    backdate(tmp0, 60.0);
+    std::string lease1 = leasePath(store, spec.jobs[1]);
+    std::ofstream(lease1) << "mmt-lease v1\n";
+    backdate(lease1, 60.0);
+
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.cacheDir = dir;
+    opt.shardId = 0;
+    opt.shardCount = 1;
+    opt.leaseStaleSec = 0.5;
+    SweepOutcome recovered = runShardWorker(spec, opt);
+
+    // The torn entry was quarantined and re-simulated; the published
+    // job was served from the store.
+    EXPECT_EQ(recovered.missingJobs, 0u);
+    EXPECT_EQ(recovered.corruptEntries, 1u);
+    EXPECT_EQ(recovered.executed, 1u);
+    EXPECT_EQ(recovered.cacheHits, 1u);
+    EXPECT_EQ(serializeAll(cold), serializeAll(recovered));
+    EXPECT_FALSE(filesContaining(dir + "/quarantine", ".result.").empty())
+        << "torn bytes were not preserved for forensics";
+
+    // All crash litter is gone: no temp files, no leases.
+    EXPECT_TRUE(filesContaining(dir, ".tmp.").empty());
+    EXPECT_TRUE(filesContaining(dir, ".lease").empty());
+
+    // A second pass runs nothing: the cache healed.
+    SweepOutcome warm = runSweep(spec, {.jobs = 1, .cacheDir = dir});
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.corruptEntries, 0u);
+    EXPECT_EQ(serializeAll(cold), serializeAll(warm));
+}
+
+TEST(Shard, ManualWorkerSkipsLiveForeignLease)
+{
+    SweepSpec spec = tinySpec();
+    std::string dir = scratchDir("shard-foreign");
+    ResultStore store(dir);
+
+    // Job 1 is held by a live foreign worker (fresh heartbeat).
+    fs::create_directories(dir);
+    std::string lease1 = leasePath(store, spec.jobs[1]);
+    std::ofstream(lease1) << "mmt-lease v1\n";
+
+    SweepOptions opt;
+    opt.jobs = 1;
+    opt.cacheDir = dir;
+    opt.shardId = 0;
+    opt.shardCount = 2;
+    SweepOutcome partial = runShardWorker(spec, opt);
+    EXPECT_EQ(partial.executed, 1u);
+    EXPECT_EQ(partial.missingJobs, 1u);
+
+    // The foreign owner "finishes": lease released. A re-run completes
+    // from the warm cache plus one simulation.
+    fs::remove(lease1);
+    SweepOutcome complete = runShardWorker(spec, opt);
+    EXPECT_EQ(complete.missingJobs, 0u);
+    EXPECT_EQ(complete.executed, 1u);
+    EXPECT_EQ(complete.cacheHits, 1u);
+}
+
+TEST(Shard, ShardedSweepMatchesSerialBitExact)
+{
+    SweepSpec spec = tinySpec();
+    spec.add("lu", ConfigKind::Base, 2);
+    spec.add("lu", ConfigKind::MMT_FXR, 2);
+
+    SweepOutcome serial = runSweep(spec, {.jobs = 1});
+
+    SweepOptions opt;
+    opt.jobs = 2;
+    opt.cacheDir = scratchDir("shard-vs-serial");
+    opt.shards = 2;
+    SweepOutcome sharded = runShardedSweep(spec, opt);
+
+    ASSERT_EQ(sharded.results.size(), spec.jobs.size());
+    EXPECT_EQ(sharded.executed, spec.jobs.size());
+    EXPECT_EQ(sharded.cacheHits, 0u);
+    EXPECT_EQ(sharded.missingJobs, 0u);
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        EXPECT_FALSE(sharded.fromCache[i]);
+    EXPECT_EQ(serializeAll(serial), serializeAll(sharded));
+
+    // No coordination litter once the fleet is done.
+    EXPECT_TRUE(filesContaining(opt.cacheDir, ".lease").empty());
+    EXPECT_TRUE(filesContaining(opt.cacheDir, ".tmp.").empty());
+    EXPECT_TRUE(
+        filesContaining(shardStatusDir(opt.cacheDir), ".json").empty())
+        << "worker status heartbeats survived completion";
+
+    // Warm sharded re-run simulates nothing and reads identical bytes.
+    SweepOutcome warm = runShardedSweep(spec, opt);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cacheHits, spec.jobs.size());
+    for (std::size_t i = 0; i < spec.jobs.size(); ++i)
+        EXPECT_TRUE(warm.fromCache[i]);
+    EXPECT_EQ(serializeAll(serial), serializeAll(warm));
+}
+
+TEST(Shard, JanitorRemovesOnlyThisSweepsStaleLitter)
+{
+    SweepSpec spec = tinySpec();
+    std::string dir = scratchDir("shard-janitor");
+    runSweep(spec, {.jobs = 1, .cacheDir = dir});
+    ResultStore store(dir);
+
+    std::string stale_lease = leasePath(store, spec.jobs[0]);
+    std::ofstream(stale_lease) << "mmt-lease v1\n";
+    backdate(stale_lease, 60.0);
+    std::string stale_tmp =
+        store.entryPath(spec.jobs[0]) + ".tmp.deadhost.1.0";
+    std::ofstream(stale_tmp) << "partial";
+    backdate(stale_tmp, 60.0);
+    std::string stale_tomb =
+        leasePath(store, spec.jobs[1]) + ".stale.deadhost.1.1";
+    std::ofstream(stale_tomb) << "mmt-lease v1\n";
+    backdate(stale_tomb, 60.0);
+    // Live lease (fresh heartbeat) and a foreign sweep's file must
+    // both survive.
+    std::string live_lease = leasePath(store, spec.jobs[1]);
+    std::ofstream(live_lease) << "mmt-lease v1\n";
+    std::string foreign = dir + "/0123456789abcdef.result.lease";
+    std::ofstream(foreign) << "mmt-lease v1\n";
+    backdate(foreign, 60.0);
+
+    EXPECT_EQ(janitorSweep(store, spec, 5.0), 3u);
+    EXPECT_FALSE(fs::exists(stale_lease));
+    EXPECT_FALSE(fs::exists(stale_tmp));
+    EXPECT_FALSE(fs::exists(stale_tomb));
+    EXPECT_TRUE(fs::exists(live_lease));
+    EXPECT_TRUE(fs::exists(foreign));
+
+    // Entries themselves are never janitor food.
+    EXPECT_EQ(filesContaining(dir, ".result").size(), 4u);
+}

@@ -6,9 +6,12 @@
  */
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -295,6 +298,150 @@ TEST(SweepRunner, PredictionsOrderJobsMostPromisingFirst)
                     out.results[i].staticMergeableFrac, 1e-12)
             << "job " << i << " (" << spec.jobs[i].workload << ")";
     }
+}
+
+TEST(SweepRunner, DeserializeRejectsBadContextLists)
+{
+    // Regression: the perCore "core 0:1 ..." context list used to be
+    // parsed without bounds, so a corrupt entry could deserialize into
+    // an impossible topology (duplicate contexts, out-of-range ids) or
+    // allocate memory proportional to an attacker-length colon list.
+    SweepSpec spec;
+    spec.name = "ctx";
+    spec.add("ammp", ConfigKind::Base, 2);
+    SweepOutcome out = runSweep(spec);
+    std::string text = serializeResult(out.results[0]);
+    ASSERT_NE(text.find("\ncore 0:1 "), std::string::npos);
+
+    auto withContexts = [&](const std::string &ctxs) {
+        std::size_t pos = text.find("\ncore ") + std::strlen("\ncore ");
+        std::size_t end = text.find(' ', pos);
+        return text.substr(0, pos) + ctxs + text.substr(end);
+    };
+
+    RunResult parsed;
+    ASSERT_TRUE(deserializeResult(text, parsed)); // untampered baseline
+    // One context on one core only.
+    EXPECT_FALSE(deserializeResult(withContexts("0:0"), parsed));
+    EXPECT_FALSE(deserializeResult(withContexts("0:1:1"), parsed));
+    // Context ids are thread ids: < maxThreads.
+    EXPECT_FALSE(deserializeResult(withContexts("0:7"), parsed));
+    // The list is bounded by maxThreads entries.
+    EXPECT_FALSE(deserializeResult(withContexts("0:1:2:3:0"), parsed));
+    std::string huge = "0";
+    for (int i = 0; i < 10000; ++i)
+        huge += ":0";
+    EXPECT_FALSE(deserializeResult(withContexts(huge), parsed));
+}
+
+TEST(SweepRunner, ProgressReporterOutputIsMonotone)
+{
+    // Regression: done_ used to be incremented outside the reporter's
+    // lock, so two workers could print the same count and skip another;
+    // the "[k/total]" sequence must be exactly 1..total in order.
+    constexpr std::size_t kWorkers = 8, kPerWorker = 8;
+    constexpr std::size_t kTotal = kWorkers * kPerWorker;
+    std::vector<std::string> lines; // sink runs under the reporter lock
+    ProgressReporter reporter("mono", kTotal, true,
+                              [&](const std::string &line) {
+                                  lines.push_back(line);
+                              });
+    JobSpec job;
+    job.workload = "ammp";
+
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+        pool.emplace_back([&] {
+            for (std::size_t n = 0; n < kPerWorker; ++n)
+                reporter.jobDone(job, false);
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    EXPECT_EQ(reporter.done(), kTotal);
+    ASSERT_EQ(lines.size(), kTotal);
+    for (std::size_t k = 0; k < kTotal; ++k) {
+        std::string want = "[mono " + std::to_string(k + 1) + "/" +
+                           std::to_string(kTotal) + "]";
+        EXPECT_NE(lines[k].find(want), std::string::npos)
+            << "line " << k << ": " << lines[k];
+    }
+}
+
+TEST(SweepRunner, StrictParsersRejectGarbage)
+{
+    long l = -1;
+    EXPECT_TRUE(parseStrictInt("8", l));
+    EXPECT_EQ(l, 8);
+    EXPECT_TRUE(parseStrictInt("0", l));
+    EXPECT_FALSE(parseStrictInt("8x", l)); // atoi would read 8
+    EXPECT_FALSE(parseStrictInt("", l));
+    EXPECT_FALSE(parseStrictInt("-2", l));
+    EXPECT_FALSE(parseStrictInt(" 4", l));
+    EXPECT_FALSE(parseStrictInt("9999999999999999999", l));
+
+    bool b = false;
+    EXPECT_TRUE(parseStrictBool("yes", b)); // atoi would read 0 = off
+    EXPECT_TRUE(b);
+    EXPECT_TRUE(parseStrictBool("off", b));
+    EXPECT_FALSE(b);
+    EXPECT_FALSE(parseStrictBool("maybe", b));
+    EXPECT_FALSE(parseStrictBool("", b));
+
+    double d = -1.0;
+    EXPECT_TRUE(parseStrictDouble("1.5", d));
+    EXPECT_DOUBLE_EQ(d, 1.5);
+    EXPECT_FALSE(parseStrictDouble("1.5s", d));
+    EXPECT_FALSE(parseStrictDouble("-1", d));
+    EXPECT_FALSE(parseStrictDouble("nan", d));
+    EXPECT_FALSE(parseStrictDouble("", d));
+}
+
+TEST(SweepRunner, EnvOptionsWarnAndKeepDefaultsOnGarbage)
+{
+    for (const char *name : {"MMT_JOBS", "MMT_SHARDS", "MMT_PROGRESS",
+                             "MMT_CACHE_DIR", "MMT_LEASE_STALE_SEC"})
+        ::unsetenv(name);
+    SweepOptions defaults = sweepOptionsFromEnv();
+    EXPECT_GE(defaults.jobs, 1);
+    EXPECT_EQ(defaults.shards, 0);
+    EXPECT_TRUE(defaults.progress);
+    EXPECT_TRUE(defaults.cacheDir.empty());
+    EXPECT_DOUBLE_EQ(defaults.leaseStaleSec, 30.0);
+
+    // Garbage values warn and keep the defaults (MMT_JOBS=8x used to
+    // atoi to 8; MMT_PROGRESS=yes used to atoi to 0 = silently off).
+    ::setenv("MMT_JOBS", "8x", 1);
+    ::setenv("MMT_SHARDS", "two", 1);
+    ::setenv("MMT_PROGRESS", "maybe", 1);
+    ::setenv("MMT_CACHE_DIR", "", 1);
+    ::setenv("MMT_LEASE_STALE_SEC", "fast", 1);
+    SweepOptions garbage = sweepOptionsFromEnv();
+    EXPECT_EQ(garbage.jobs, defaults.jobs);
+    EXPECT_EQ(garbage.shards, 0);
+    EXPECT_TRUE(garbage.progress);
+    EXPECT_TRUE(garbage.cacheDir.empty());
+    EXPECT_DOUBLE_EQ(garbage.leaseStaleSec, 30.0);
+
+    ::setenv("MMT_JOBS", "6", 1);
+    ::setenv("MMT_SHARDS", "3", 1);
+    ::setenv("MMT_PROGRESS", "yes", 1);
+    ::setenv("MMT_CACHE_DIR", "/tmp/mmt-env-test", 1);
+    ::setenv("MMT_LEASE_STALE_SEC", "1.5", 1);
+    SweepOptions valid = sweepOptionsFromEnv();
+    EXPECT_EQ(valid.jobs, 6);
+    EXPECT_EQ(valid.shards, 3);
+    EXPECT_TRUE(valid.progress);
+    EXPECT_EQ(valid.cacheDir, "/tmp/mmt-env-test");
+    EXPECT_DOUBLE_EQ(valid.leaseStaleSec, 1.5);
+
+    ::setenv("MMT_PROGRESS", "off", 1);
+    EXPECT_FALSE(sweepOptionsFromEnv().progress);
+
+    for (const char *name : {"MMT_JOBS", "MMT_SHARDS", "MMT_PROGRESS",
+                             "MMT_CACHE_DIR", "MMT_LEASE_STALE_SEC"})
+        ::unsetenv(name);
 }
 
 TEST(SweepRunner, FilterWorkloadsRestrictsJobs)

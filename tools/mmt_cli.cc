@@ -65,8 +65,16 @@
  *   --apps <a,b,...>       restrict the sweep to these workloads
  *   --csv <file>           write per-job results as CSV
  *   --json <file>          write per-job results as JSON
- *   --force                ignore cached entries (still refresh them)
+ *   --force                ignore cached entries (still refresh them;
+ *                          incompatible with sharding)
  *   --no-progress          silence the stderr progress/ETA reporter
+ *   --shards <n>           fork N lease-coordinated worker processes
+ *                          sharing --cache-dir (crash isolation: a dead
+ *                          worker loses one job, survivors reclaim it)
+ *   --shard-id <k>         run as worker K of a manually-launched fleet
+ *   --shard-count <n>      fleet size for --shard-id (default 1)
+ *   --lease-stale-sec <s>  heartbeat age after which a lease is
+ *                          considered abandoned (default 30)
  *
  * Examples:
  *   mmt_cli --config Base --threads 4 equake
@@ -90,6 +98,7 @@
 #include "profile/tracer.hh"
 #include "runner/artifacts.hh"
 #include "runner/figures.hh"
+#include "runner/shard.hh"
 #include "sim/experiment.hh"
 #include "sim/simulator.hh"
 
@@ -120,7 +129,9 @@ usage()
                  "               [--cache-dir DIR] [--apps A,B,...]\n"
                  "               [--static-hints M] [--csv FILE]\n"
                  "               [--json FILE] [--force]\n"
-                 "               [--no-progress]\n"
+                 "               [--no-progress] [--shards N]\n"
+                 "               [--shard-id K --shard-count N]\n"
+                 "               [--lease-stale-sec S]\n"
                  "       mmt_cli sweep --list-figures\n");
     std::exit(2);
 }
@@ -155,12 +166,31 @@ sweepMain(int argc, char **argv)
                 usage();
             return argv[++i];
         };
+        auto nextInt = [&](const char *flag, long min_value) -> int {
+            std::string text = next();
+            long parsed = 0;
+            if (!parseStrictInt(text, parsed) || parsed < min_value)
+                fatal("%s wants an integer >= %ld (got '%s')", flag,
+                      min_value, text.c_str());
+            return static_cast<int>(parsed);
+        };
         if (arg == "--figure") {
             figure_id = next();
         } else if (arg == "--jobs") {
-            options.jobs = std::atoi(next().c_str());
-            if (options.jobs < 1)
-                fatal("--jobs must be >= 1");
+            options.jobs = nextInt("--jobs", 1);
+        } else if (arg == "--shards") {
+            options.shards = nextInt("--shards", 2);
+        } else if (arg == "--shard-id") {
+            options.shardId = nextInt("--shard-id", 0);
+        } else if (arg == "--shard-count") {
+            options.shardCount = nextInt("--shard-count", 1);
+        } else if (arg == "--lease-stale-sec") {
+            std::string text = next();
+            double parsed = 0.0;
+            if (!parseStrictDouble(text, parsed) || parsed <= 0.0)
+                fatal("--lease-stale-sec wants a positive number "
+                      "(got '%s')", text.c_str());
+            options.leaseStaleSec = parsed;
         } else if (arg == "--cache-dir") {
             options.cacheDir = next();
         } else if (arg == "--apps") {
@@ -218,7 +248,29 @@ sweepMain(int argc, char **argv)
         }
     }
 
-    SweepOutcome outcome = runSweep(fig.sweep, options);
+    if (options.shards > 0 && options.shardId >= 0)
+        fatal("--shards (forked fleet) and --shard-id (manual fleet "
+              "member) are mutually exclusive");
+
+    SweepOutcome outcome;
+    if (options.shardId >= 0)
+        outcome = runShardWorker(fig.sweep, options);
+    else if (options.shards > 0)
+        outcome = runShardedSweep(fig.sweep, options);
+    else
+        outcome = runSweep(fig.sweep, options);
+
+    if (outcome.missingJobs > 0) {
+        // Another fleet member crashed (or still holds a lease):
+        // partial artifacts would silently misrepresent the figure.
+        std::fprintf(stderr,
+                     "%s: %s\n%s: artifacts skipped (%zu job(s) "
+                     "missing); re-run to complete from the warm "
+                     "cache\n",
+                     fig.sweep.name.c_str(), outcome.summary().c_str(),
+                     fig.sweep.name.c_str(), outcome.missingJobs);
+        return 3;
+    }
 
     if (!csv_path.empty())
         writeArtifact(csv_path, sweepToCsv(fig.sweep, outcome));
