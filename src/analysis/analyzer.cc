@@ -76,7 +76,8 @@ analyzeProgram(const Program &prog, const AnalysisOptions &opt)
     sh.multiExecution = opt.multiExecution;
     sh.forceTidZero = opt.forceTidZero;
     res.sharing = analyzeSharing(*res.cfg, sh);
-    res.diags = runLints(*res.cfg, res.dataflow, res.sharing);
+    res.race = analyzeRaces(*res.cfg, res.sharing, sh);
+    res.diags = runLints(*res.cfg, res.dataflow, res.sharing, res.race);
     return res;
 }
 
@@ -135,6 +136,13 @@ renderReport(const AnalysisResult &res, const std::string &name,
            << ", ";
         os << "\"static_mergeable_frac\": " << res.staticMergeableFrac()
            << ", ";
+        int suppressed = 0;
+        for (const RacePair &p : res.race.pairs)
+            suppressed += p.suppressed ? 1 : 0;
+        os << "\"race_checked\": "
+           << (res.race.checked ? "true" : "false") << ", ";
+        os << "\"race_pairs\": " << res.race.pairs.size() << ", ";
+        os << "\"race_suppressed\": " << suppressed << ", ";
         os << "\"errors\": " << res.errors() << ", ";
         os << "\"warnings\": " << res.warnings() << ", ";
         os << "\"diagnostics\": [";
@@ -162,6 +170,13 @@ renderReport(const AnalysisResult &res, const std::string &name,
        << " divergent (static upper bound "
        << static_cast<int>(res.staticMergeableFrac() * 100.0 + 0.5)
        << "% mergeable)\n";
+    if (res.race.checked) {
+        int suppressed = 0;
+        for (const RacePair &p : res.race.pairs)
+            suppressed += p.suppressed ? 1 : 0;
+        os << "  races: " << res.race.pairs.size() << " may-race pair(s), "
+           << suppressed << " allow-listed\n";
+    }
     for (const Diagnostic &d : res.diags) {
         os << "  line " << d.line << " [" << severityName(d.severity)
            << "] " << d.rule << ": " << d.message << "\n";

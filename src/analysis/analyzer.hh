@@ -25,8 +25,9 @@ struct AnalysisOptions
 };
 
 /** JSON report schema version; bump on any key/shape change so the CI
- *  lint gate fails loudly instead of parsing stale keys. */
-inline constexpr int kAnalyzeSchemaVersion = 3;
+ *  lint gate fails loudly instead of parsing stale keys.
+ *  v4: race_checked / race_pairs / race_suppressed keys. */
+inline constexpr int kAnalyzeSchemaVersion = 4;
 
 /** Everything the passes computed about one program. */
 struct AnalysisResult
@@ -37,6 +38,7 @@ struct AnalysisResult
     std::shared_ptr<const Cfg> cfg; // shared: results are copyable
     DataflowResult dataflow;
     SharingResult sharing;
+    RaceResult race;
     std::vector<Diagnostic> diags;
 
     int count(Severity s) const;

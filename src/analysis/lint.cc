@@ -1,8 +1,11 @@
 #include "analysis/lint.hh"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace mmt
 {
@@ -16,8 +19,8 @@ class Linter
 {
   public:
     Linter(const Cfg &cfg, const DataflowResult &df,
-           const SharingResult &sh)
-        : cfg_(cfg), prog_(cfg.program()), df_(df), sh_(sh)
+           const SharingResult &sh, const RaceResult &race)
+        : cfg_(cfg), prog_(cfg.program()), df_(df), sh_(sh), race_(race)
     {
     }
 
@@ -27,6 +30,8 @@ class Linter
         for (int i = 0; i < size(); ++i)
             lintInst(i);
         lintBarrierDivergence();
+        lintRaces();
+        lintUnusedSuppressions(); // must run after every other rule
         std::stable_sort(diags_.begin(), diags_.end(),
                          [](const Diagnostic &a, const Diagnostic &b) {
                              return a.inst < b.inst;
@@ -47,8 +52,10 @@ class Linter
     report(const std::string &rule, Severity sev, int i,
            const std::string &msg)
     {
-        if (prog_.allowed(i, rule))
+        if (prog_.allowed(i, rule)) {
+            used_.emplace(i, rule);
             return;
+        }
         Diagnostic d;
         d.rule = rule;
         d.severity = sev;
@@ -204,10 +211,80 @@ class Linter
         }
     }
 
+    /**
+     * One Error diagnostic per (anchor, rule) over the may-race pairs:
+     * names the first partner's line plus how many more there are. The
+     * suppression comment goes on the anchor (lower-index) access.
+     */
+    void
+    lintRaces()
+    {
+        if (!race_.checked)
+            return;
+        struct Group
+        {
+            int firstPartner = -1;
+            int count = 0;
+        };
+        std::map<std::pair<int, std::string>, Group> groups;
+        for (const RacePair &p : race_.pairs) {
+            Group &g = groups[{p.anchor, p.rule}];
+            if (g.count == 0)
+                g.firstPartner = p.anchor == p.instA ? p.instB : p.instA;
+            ++g.count;
+        }
+        for (const auto &[key, g] : groups) {
+            const auto &[anchor, rule] = key;
+            const Instruction &in = prog_.code[(std::size_t)anchor];
+            std::ostringstream os;
+            os << (in.isStore() ? "store" : "load");
+            if (g.firstPartner == anchor) {
+                os << " may race with itself across threads";
+            } else {
+                os << " may race with the access at line "
+                   << prog_.line(g.firstPartner);
+            }
+            if (g.count > 1)
+                os << " (+" << (g.count - 1) << " more)";
+            if (rule == kRuleUnguardedReduction)
+                os << "; touches a __mmtc_red reduction scratch region";
+            report(rule, Severity::Error, anchor, os.str());
+        }
+    }
+
+    /**
+     * Every "analyze:allow(<rule>)" must suppress something: a rule
+     * that never fired on its instruction is a stale suppression and an
+     * error (runs last, after every rule has had its chance to fire).
+     */
+    void
+    lintUnusedSuppressions()
+    {
+        for (const auto &[i, rules] : prog_.allowRules) {
+            for (const std::string &rule : rules) {
+                if (used_.count({i, rule}))
+                    continue;
+                // Race rules only fire under MT analysis; the same
+                // program analyzed with multi-execution semantics (its
+                // checker skipped) cannot judge those suppressions.
+                if (!race_.checked &&
+                    (rule == kRuleRaceStoreStore ||
+                     rule == kRuleRaceStoreLoad ||
+                     rule == kRuleUnguardedReduction))
+                    continue;
+                report("unused-suppression", Severity::Error, i,
+                       "suppression for '" + rule +
+                           "' never fires here; remove it");
+            }
+        }
+    }
+
     const Cfg &cfg_;
     const Program &prog_;
     const DataflowResult &df_;
     const SharingResult &sh_;
+    const RaceResult &race_;
+    std::set<std::pair<int, std::string>> used_;
     std::vector<Diagnostic> diags_;
 };
 
@@ -226,9 +303,9 @@ severityName(Severity s)
 
 std::vector<Diagnostic>
 runLints(const Cfg &cfg, const DataflowResult &dataflow,
-         const SharingResult &sharing)
+         const SharingResult &sharing, const RaceResult &race)
 {
-    return Linter(cfg, dataflow, sharing).run();
+    return Linter(cfg, dataflow, sharing, race).run();
 }
 
 } // namespace analysis

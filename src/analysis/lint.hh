@@ -16,6 +16,16 @@
  *   barrier-divergence     Warning  BARRIER control-dependent on a
  *                                   provably tid-divergent branch (some
  *                                   threads may skip it: deadlock)
+ *   race-store-store       Error    two stores in the same barrier
+ *                                   epoch may touch the same address
+ *                                   from different threads
+ *   race-store-load        Error    store/load pair, same conditions
+ *   unguarded-reduction    Error    a racing pair touches a __mmtc_red
+ *                                   reduction scratch region (misused
+ *                                   reduction idiom)
+ *   unused-suppression     Error    an "analyze:allow(<rule>)" comment
+ *                                   whose rule never fires on that
+ *                                   instruction (stale suppression)
  *   dead-def               Info     definition overwritten before any
  *                                   use on all paths (skips JAL/JALR
  *                                   link writes and RECV side effects)
@@ -23,6 +33,10 @@
  *                                   across threads (splits the group)
  *   indirect-jump          Info     JR/JALR: CFG successors are
  *                                   conservative
+ *
+ * Race pairs are anchored at the lower-index access: one diagnostic per
+ * (anchor, rule), naming the first partner plus a count, and the
+ * suppression comment goes on the anchor line.
  */
 
 #ifndef MMT_ANALYSIS_LINT_HH
@@ -32,6 +46,7 @@
 #include <vector>
 
 #include "analysis/dataflow.hh"
+#include "analysis/race.hh"
 #include "analysis/sharing.hh"
 
 namespace mmt
@@ -57,7 +72,8 @@ struct Diagnostic
 /** Run every lint rule; returns diagnostics sorted by instruction. */
 std::vector<Diagnostic> runLints(const Cfg &cfg,
                                  const DataflowResult &dataflow,
-                                 const SharingResult &sharing);
+                                 const SharingResult &sharing,
+                                 const RaceResult &race);
 
 } // namespace analysis
 } // namespace mmt

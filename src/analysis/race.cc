@@ -1,0 +1,448 @@
+#include "analysis/race.hh"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+
+namespace mmt
+{
+namespace analysis
+{
+
+const char *const kRuleRaceStoreStore = "race-store-store";
+const char *const kRuleRaceStoreLoad = "race-store-load";
+const char *const kRuleUnguardedReduction = "unguarded-reduction";
+
+namespace
+{
+
+constexpr std::uint8_t kAllThreads =
+    static_cast<std::uint8_t>((1u << maxThreads) - 1);
+
+/** Prefix of the mmtc reduction scratch symbols. */
+constexpr const char *kRedPrefix = "__mmtc_red";
+
+/** [lo, hi) extent of one reduction scratch array in the data segment. */
+struct RedRegion
+{
+    Addr lo = 0;
+    Addr hi = 0;
+};
+
+/** Two 8-byte accesses at @p a and @p b overlap. */
+bool
+rangesOverlap(RegVal a, RegVal b)
+{
+    return a - b + 7 < 15; // unsigned: |a - b| < 8
+}
+
+/**
+ * Per-thread address candidates of one access: exact values when the
+ * lattice pins them (Known lanes, non-heuristic Affine with a
+ * surviving base set), otherwise unbounded (n == 0).
+ */
+int
+addrCandidates(const AbsVal &base, RegVal imm, int t,
+               RegVal out[AbsVal::kMaxBases])
+{
+    if (base.kind == AbsVal::Kind::Known) {
+        out[0] = base.v[(std::size_t)t] + imm;
+        return 1;
+    }
+    if (base.kind == AbsVal::Kind::Affine && !base.heuristic &&
+        base.nBases > 0) {
+        for (int i = 0; i < base.nBases; ++i)
+            out[i] = base.bases[(std::size_t)i] +
+                     static_cast<RegVal>(t) * base.stride + imm;
+        return base.nBases;
+    }
+    return 0;
+}
+
+/**
+ * Alignment-residue facts of thread @p t's address: every admissible
+ * address ≡ r (mod 2^k). k == 0 means no fact (proof unavailable).
+ */
+void
+addrResidue(const AbsVal &base, RegVal imm, int t, int *k_out,
+            RegVal *r_out)
+{
+    *k_out = 0;
+    *r_out = 0;
+    if (base.kind == AbsVal::Kind::Known) {
+        *k_out = 64;
+        *r_out = base.v[(std::size_t)t] + imm;
+        return;
+    }
+    if (base.kind == AbsVal::Kind::Affine && !base.heuristic &&
+        base.baseAlign > 0) {
+        *k_out = base.baseAlign;
+        *r_out = (base.baseRes + static_cast<RegVal>(t) * base.stride +
+                  imm) &
+                 alignMask(base.baseAlign);
+    }
+}
+
+class RaceAnalyzer
+{
+  public:
+    RaceAnalyzer(const Cfg &cfg, const SharingResult &sharing,
+                 const SharingOptions &opt)
+        : cfg_(cfg), prog_(cfg.program()), sh_(sharing), opt_(opt)
+    {
+    }
+
+    RaceResult
+    run()
+    {
+        RaceResult res;
+        if (opt_.multiExecution)
+            return res; // private address spaces: nothing shared
+        res.checked = true;
+        const auto &nodes = cfg_.ctxNodes();
+        if (nodes.empty())
+            return res;
+        res.nodeEpochs.assign(nodes.size(), EpochSet());
+        res.nodeMayExec.assign(nodes.size(), 0);
+        computeEpochs(res);
+        computeMayExec(res);
+        collectRedRegions();
+        collectAccesses(res);
+        checkPairs(res);
+        return res;
+    }
+
+  private:
+    /** Number of BARRIERs in block @p b strictly before instruction
+     *  index @p i (shifts the node-entry epoch set to the access). */
+    EpochSet
+    epochsAt(const EpochSet &entry, int block, int i) const
+    {
+        EpochSet e = entry;
+        const BasicBlock &blk = cfg_.blocks()[(std::size_t)block];
+        for (int j = blk.first; j < i; ++j) {
+            if (prog_.code[(std::size_t)j].op == Opcode::BARRIER)
+                e = e.shifted();
+        }
+        return e;
+    }
+
+    void
+    computeEpochs(RaceResult &res)
+    {
+        const auto &nodes = cfg_.ctxNodes();
+        int entry = cfg_.ctxEntry();
+        res.nodeEpochs[(std::size_t)entry].bits = 1; // epoch 0
+        std::vector<bool> queued(nodes.size(), false);
+        std::vector<int> work{entry};
+        queued[(std::size_t)entry] = true;
+        while (!work.empty()) {
+            int v = work.back();
+            work.pop_back();
+            queued[(std::size_t)v] = false;
+            const CtxNode &node = nodes[(std::size_t)v];
+            const BasicBlock &blk =
+                cfg_.blocks()[(std::size_t)node.block];
+            EpochSet out = epochsAt(res.nodeEpochs[(std::size_t)v],
+                                    node.block, blk.last + 1);
+            for (int s : node.succs) {
+                if (res.nodeEpochs[(std::size_t)s].join(out) &&
+                    !queued[(std::size_t)s]) {
+                    queued[(std::size_t)s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+
+    void
+    computeMayExec(RaceResult &res)
+    {
+        const auto &nodes = cfg_.ctxNodes();
+        int entry = cfg_.ctxEntry();
+        res.nodeMayExec[(std::size_t)entry] = kAllThreads;
+        std::vector<bool> queued(nodes.size(), false);
+        std::vector<int> work{entry};
+        queued[(std::size_t)entry] = true;
+        while (!work.empty()) {
+            int v = work.back();
+            work.pop_back();
+            queued[(std::size_t)v] = false;
+            const CtxNode &node = nodes[(std::size_t)v];
+            const BasicBlock &blk =
+                cfg_.blocks()[(std::size_t)node.block];
+            std::uint8_t m = res.nodeMayExec[(std::size_t)v];
+            const Instruction &last =
+                prog_.code[(std::size_t)blk.last];
+
+            // Classify each successor edge of a conditional branch as
+            // taken / fall-through so the feasibility masks refine the
+            // flowing thread set (tid-guarded sections).
+            int taken_block = -1, fall_block = -1;
+            if (last.isCondBranch()) {
+                Addr target = static_cast<Addr>(last.imm);
+                if (prog_.validPc(target)) {
+                    taken_block = cfg_.blockOf(static_cast<int>(
+                        (target - prog_.codeBase) / instBytes));
+                }
+                if (blk.last + 1 <
+                    static_cast<int>(prog_.code.size()))
+                    fall_block = cfg_.blockOf(blk.last + 1);
+            }
+            for (int s : node.succs) {
+                int sb = nodes[(std::size_t)s].block;
+                std::uint8_t em = m;
+                if (last.isCondBranch()) {
+                    em = 0;
+                    if (sb == taken_block)
+                        em |= m & sh_.branchCanTake[(std::size_t)blk.last];
+                    if (sb == fall_block)
+                        em |= m & sh_.branchCanFall[(std::size_t)blk.last];
+                    if (sb != taken_block && sb != fall_block)
+                        em = m; // unexpected edge: stay conservative
+                }
+                std::uint8_t joined =
+                    res.nodeMayExec[(std::size_t)s] | em;
+                if (joined != res.nodeMayExec[(std::size_t)s]) {
+                    res.nodeMayExec[(std::size_t)s] = joined;
+                    if (!queued[(std::size_t)s]) {
+                        queued[(std::size_t)s] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+
+    void
+    collectRedRegions()
+    {
+        for (const auto &[name, addr] : prog_.symbols) {
+            if (name.rfind(kRedPrefix, 0) != 0)
+                continue;
+            Addr hi = prog_.dataLimit;
+            for (const auto &[other, oaddr] : prog_.symbols) {
+                if (oaddr > addr && oaddr < hi)
+                    hi = oaddr;
+            }
+            redRegions_.push_back({addr, hi});
+        }
+    }
+
+    struct Access
+    {
+        int inst = 0;
+        EpochSet epochs;
+        std::uint8_t mask = 0;
+        bool store = false;
+    };
+
+    void
+    collectAccesses(RaceResult &res)
+    {
+        const auto &nodes = cfg_.ctxNodes();
+        for (std::size_t v = 0; v < nodes.size(); ++v) {
+            if (res.nodeEpochs[v].empty())
+                continue; // unreached node
+            const CtxNode &node = nodes[v];
+            const BasicBlock &blk =
+                cfg_.blocks()[(std::size_t)node.block];
+            for (int i = blk.first; i <= blk.last; ++i) {
+                const Instruction &in = prog_.code[(std::size_t)i];
+                if (!in.isMem())
+                    continue;
+                Access a;
+                a.inst = i;
+                a.epochs = epochsAt(res.nodeEpochs[v], node.block, i);
+                a.mask = res.nodeMayExec[v];
+                a.store = in.isStore();
+                accesses_.push_back(a);
+            }
+        }
+    }
+
+    /** Thread t's access at @p i may overlap thread u's at @p j. */
+    bool
+    mayOverlap(int i, int j, int t, int u) const
+    {
+        const AbsVal &a = sh_.memBase[(std::size_t)i];
+        const AbsVal &b = sh_.memBase[(std::size_t)j];
+        RegVal ia = static_cast<RegVal>(prog_.code[(std::size_t)i].imm);
+        RegVal ib = static_cast<RegVal>(prog_.code[(std::size_t)j].imm);
+        RegVal ca[AbsVal::kMaxBases], cb[AbsVal::kMaxBases];
+        int na = addrCandidates(a, ia, t, ca);
+        int nb = addrCandidates(b, ib, u, cb);
+        if (na > 0 && nb > 0) {
+            for (int x = 0; x < na; ++x)
+                for (int y = 0; y < nb; ++y)
+                    if (rangesOverlap(ca[x], cb[y]))
+                        return true;
+            return false;
+        }
+        // At least one side unbounded: try the alignment residue. The
+        // addresses are provably >= 8 apart when their residue delta
+        // mod 2^k lies in [8, 2^k - 8] (needs k >= 4).
+        int ka = 0, kb = 0;
+        RegVal ra = 0, rb = 0;
+        addrResidue(a, ia, t, &ka, &ra);
+        addrResidue(b, ib, u, &kb, &rb);
+        if (ka == 0 || kb == 0)
+            return true; // no facts: may overlap
+        int k = ka < kb ? ka : kb;
+        if (k < 4)
+            return true;
+        RegVal mask = alignMask(k);
+        RegVal rho = (ra - rb) & mask;
+        return !(rho >= 8 && rho <= mask - 7);
+    }
+
+    /** Every exact address candidate of @p i (all threads in @p mask)
+     *  lies inside a reduction scratch region. */
+    bool
+    insideRedRegion(int i, std::uint8_t mask) const
+    {
+        if (redRegions_.empty())
+            return false;
+        const AbsVal &base = sh_.memBase[(std::size_t)i];
+        RegVal imm = static_cast<RegVal>(prog_.code[(std::size_t)i].imm);
+        bool any = false;
+        for (int t = 0; t < maxThreads; ++t) {
+            if (!(mask & (1u << t)))
+                continue;
+            RegVal c[AbsVal::kMaxBases];
+            int n = addrCandidates(base, imm, t, c);
+            if (n == 0)
+                return false; // unbounded: cannot attribute
+            for (int x = 0; x < n; ++x) {
+                bool in = false;
+                for (const RedRegion &r : redRegions_) {
+                    if (static_cast<Addr>(c[x]) >= r.lo &&
+                        static_cast<Addr>(c[x]) + 8 <= r.hi)
+                        in = true;
+                }
+                if (!in)
+                    return false;
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    void
+    checkPairs(RaceResult &res)
+    {
+        // (min inst, max inst) -> rule; collected across node pairs.
+        std::map<std::pair<int, int>, const char *> found;
+        std::size_t n = accesses_.size();
+        for (std::size_t x = 0; x < n; ++x) {
+            const Access &a = accesses_[x];
+            for (std::size_t y = x; y < n; ++y) {
+                const Access &b = accesses_[y];
+                if (!a.store && !b.store)
+                    continue;
+                std::pair<int, int> key =
+                    a.inst <= b.inst
+                        ? std::make_pair(a.inst, b.inst)
+                        : std::make_pair(b.inst, a.inst);
+                if (found.count(key))
+                    continue;
+                if (!a.epochs.intersects(b.epochs))
+                    continue;
+                // Cross-thread feasibility: some t in a.mask and
+                // u in b.mask with t != u (two identical singletons are
+                // a tid-guarded section — benign).
+                if (a.mask == 0 || b.mask == 0 ||
+                    std::popcount(
+                        static_cast<unsigned>(a.mask | b.mask)) < 2)
+                    continue;
+                bool conflict = false;
+                for (int t = 0; t < maxThreads && !conflict; ++t) {
+                    if (!(a.mask & (1u << t)))
+                        continue;
+                    for (int u = 0; u < maxThreads && !conflict; ++u) {
+                        if (u == t || !(b.mask & (1u << u)))
+                            continue;
+                        conflict = mayOverlap(a.inst, b.inst, t, u);
+                    }
+                }
+                if (!conflict)
+                    continue;
+                const char *rule;
+                if (insideRedRegion(a.inst, a.mask) ||
+                    insideRedRegion(b.inst, b.mask))
+                    rule = kRuleUnguardedReduction;
+                else if (a.store && b.store)
+                    rule = kRuleRaceStoreStore;
+                else
+                    rule = kRuleRaceStoreLoad;
+                found.emplace(key, rule);
+            }
+        }
+        for (const auto &[key, rule] : found) {
+            RacePair p;
+            p.instA = key.first;
+            p.instB = key.second;
+            // Anchor at the store endpoint (min-index store when both
+            // qualify): suppressions and diagnostics attach there.
+            p.anchor = prog_.code[(std::size_t)p.instA].isStore()
+                           ? p.instA
+                           : p.instB;
+            p.rule = rule;
+            p.suppressed = prog_.allowed(p.anchor, p.rule);
+            res.pairs.push_back(std::move(p));
+        }
+    }
+
+    const Cfg &cfg_;
+    const Program &prog_;
+    const SharingResult &sh_;
+    SharingOptions opt_;
+    std::vector<RedRegion> redRegions_;
+    std::vector<Access> accesses_;
+};
+
+} // namespace
+
+EpochSet
+RaceResult::epochsOf(const Cfg &cfg, int i) const
+{
+    EpochSet e;
+    if (!checked || nodeEpochs.empty())
+        return e;
+    int b = cfg.blockOf(i);
+    const BasicBlock &blk = cfg.blocks()[(std::size_t)b];
+    const Program &prog = cfg.program();
+    for (int v : cfg.ctxNodesOf(b)) {
+        EpochSet node = nodeEpochs[(std::size_t)v];
+        if (node.empty())
+            continue;
+        for (int j = blk.first; j < i; ++j) {
+            if (prog.code[(std::size_t)j].op == Opcode::BARRIER)
+                node = node.shifted();
+        }
+        e.join(node);
+    }
+    return e;
+}
+
+bool
+RaceResult::reportsPair(int i, int j) const
+{
+    int lo = i < j ? i : j;
+    int hi = i < j ? j : i;
+    for (const RacePair &p : pairs) {
+        if (p.instA == lo && p.instB == hi)
+            return true;
+    }
+    return false;
+}
+
+RaceResult
+analyzeRaces(const Cfg &cfg, const SharingResult &sharing,
+             const SharingOptions &opt)
+{
+    return RaceAnalyzer(cfg, sharing, opt).run();
+}
+
+} // namespace analysis
+} // namespace mmt

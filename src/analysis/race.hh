@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Barrier-aware static data-race detection over iasm programs.
+ *
+ * May-happen-in-parallel (MHP) model. BARRIER is a global rendezvous:
+ * the simulator gates fetch until every live thread arrives, so two
+ * dynamic accesses can overlap in time only when their threads have
+ * passed the *same number* of barriers (threads with different barrier
+ * counts are temporally ordered by the releases between them, and a
+ * halted thread's accesses are ordered before every later release,
+ * which waits only on live threads). The analysis therefore abstracts
+ * each instruction's possible barrier counts — its *epoch set* — with
+ * a small bitset plus an "open tail" (EpochSet), propagated over the
+ * context-expanded interprocedural CFG (depth-2 call strings): a
+ * BARRIER shifts the set, joins union it, and a barrier inside a loop
+ * widens into the open tail. Two accesses may race only when their
+ * epoch sets intersect.
+ *
+ * Same-epoch pairs with at least one store are then checked for
+ * cross-thread conflict:
+ *
+ *   - disjointness proof: per-thread address candidates from the
+ *     affine-with-base sharing lattice (Known lanes, exact base sets,
+ *     or the power-of-2 alignment residue) must be >= 8 bytes apart
+ *     for every feasible cross-thread pair (t, u), t != u;
+ *   - tid-guarded sections: a may-execute thread-mask dataflow over the
+ *     branch feasibility masks (SharingResult::branchCanTake/Fall)
+ *     proves accesses reachable by a single common thread benign;
+ *   - the `__mmtc_red<k>` reduction idiom: scratch-slot stores are
+ *     indexed by tid (provably disjoint) and the combine loop reads
+ *     after the join barrier; a surviving pair touching a reduction
+ *     scratch region is a misused idiom and gets its own rule.
+ *
+ * Everything else is reported as a lint rule — `race-store-store`,
+ * `race-store-load`, or `unguarded-reduction` — anchored at the store
+ * endpoint of the pair (lower-index store when both are stores), where
+ * the existing "; analyze:allow(<rule>)" suppression mechanism applies. The raw
+ * pre-suppression pair set is retained: the dynamic happens-before
+ * oracle (analysis/race_oracle.hh) enforces that every dynamically
+ * observed race appears in it, suppressed or not.
+ *
+ * Multi-execution programs run one address space per context, so no
+ * cross-thread shared-memory race exists; RaceResult::checked is false
+ * and the pair list empty.
+ */
+
+#ifndef MMT_ANALYSIS_RACE_HH
+#define MMT_ANALYSIS_RACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/sharing.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** Lint rule names reported by the race analysis. */
+extern const char *const kRuleRaceStoreStore;
+extern const char *const kRuleRaceStoreLoad;
+extern const char *const kRuleUnguardedReduction;
+
+/**
+ * Abstract set of barrier epochs: epoch k is in the set when bit k of
+ * @ref bits is set (k < 64), or when the open tail covers it
+ * (openFrom >= 0 and k >= openFrom). The open tail is the widening for
+ * barriers inside loops: once a path's count can exceed the bitset
+ * range (or the fixpoint keeps shifting), every later epoch is
+ * admitted. Monotone under join and shift, so the dataflow converges.
+ */
+struct EpochSet
+{
+    std::uint64_t bits = 0;
+    int openFrom = -1; // -1: no open tail; else all epochs >= openFrom
+
+    bool empty() const { return bits == 0 && openFrom < 0; }
+
+    bool
+    contains(int k) const
+    {
+        if (openFrom >= 0 && k >= openFrom)
+            return true;
+        return k >= 0 && k < 64 && ((bits >> k) & 1) != 0;
+    }
+
+    /** The set after passing one barrier (every epoch advances by 1). */
+    EpochSet
+    shifted() const
+    {
+        EpochSet r;
+        r.bits = bits << 1;
+        r.openFrom = openFrom < 0 ? -1 : (openFrom >= 63 ? 63
+                                                         : openFrom + 1);
+        if ((bits >> 63) != 0)
+            r.openFrom = 63; // shifted past the bitset: widen
+        return r;
+    }
+
+    /** Union; returns true when this set grew. */
+    bool
+    join(const EpochSet &o)
+    {
+        std::uint64_t nb = bits | o.bits;
+        int nf = openFrom;
+        if (o.openFrom >= 0)
+            nf = nf < 0 ? o.openFrom : (nf < o.openFrom ? nf : o.openFrom);
+        bool grew = nb != bits || nf != openFrom;
+        bits = nb;
+        openFrom = nf;
+        return grew;
+    }
+
+    bool
+    intersects(const EpochSet &o) const
+    {
+        if ((bits & o.bits) != 0)
+            return true;
+        if (openFrom >= 0 && o.openFrom >= 0)
+            return true;
+        if (openFrom >= 0 && (o.bits >> openFrom) != 0)
+            return true;
+        if (o.openFrom >= 0 && (bits >> o.openFrom) != 0)
+            return true;
+        return false;
+    }
+};
+
+/** One may-race access pair (instruction indices, instA <= instB). */
+struct RacePair
+{
+    int instA = 0;
+    int instB = 0;
+    /** Diagnostics and suppressions attach to the anchor: the store
+     *  endpoint of a store/load pair (the access responsible for the
+     *  conflict), the lower-index store of a store/store pair. */
+    int anchor = 0;
+    std::string rule;
+    /** An "; analyze:allow(<rule>)" comment on the anchor covers it. */
+    bool suppressed = false;
+};
+
+/** Result of the race analysis over one program. */
+struct RaceResult
+{
+    /** False for multi-execution programs (private address spaces — no
+     *  shared memory, hence no cross-thread races by construction). */
+    bool checked = false;
+
+    /** Deduplicated may-race pairs, pre-suppression, sorted by
+     *  (instA, instB). The dynamic-oracle gate checks against this
+     *  list, so suppressed pairs still count as statically reported. */
+    std::vector<RacePair> pairs;
+
+    /** Per ctx-node epoch set at node entry (empty for unreached
+     *  nodes); exposed for the epoch-segmentation tests. */
+    std::vector<EpochSet> nodeEpochs;
+    /** Per ctx-node may-execute thread mask (bit t: thread t can reach
+     *  the node), refined through tid-guarded branches. */
+    std::vector<std::uint8_t> nodeMayExec;
+
+    /** Epoch set of instruction @p i joined over every context copy
+     *  (convenience for tests; empty when unreachable / unchecked). */
+    EpochSet epochsOf(const Cfg &cfg, int i) const;
+
+    /** True when some raw pair (suppressed or not) covers the
+     *  unordered instruction pair {i, j}. */
+    bool reportsPair(int i, int j) const;
+};
+
+/**
+ * Run the race analysis. @p sharing must come from analyzeSharing over
+ * the same @p cfg with the same options.
+ */
+RaceResult analyzeRaces(const Cfg &cfg, const SharingResult &sharing,
+                        const SharingOptions &opt);
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_RACE_HH

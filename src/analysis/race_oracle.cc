@@ -1,0 +1,306 @@
+#include "analysis/race_oracle.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "iasm/assembler.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+namespace
+{
+
+using Clock = std::vector<std::uint64_t>;
+
+/** Last access bookkeeping of one address (FastTrack-style, but with a
+ *  full read vector — the context count is at most maxThreads). */
+struct Access
+{
+    std::uint64_t clock = 0; // owner's own component at access time
+    Addr pc = 0;
+    RegVal val = 0;
+    bool valid = false;
+    int ctx = -1;
+};
+
+struct Shadow
+{
+    Access lastStore;
+    std::vector<Access> lastLoad; // indexed by context
+};
+
+class Replayer
+{
+  public:
+    explicit Replayer(const RaceTrace &trace)
+        : trace_(trace), nctx_(static_cast<int>(trace.size())),
+          pos_(trace.size(), 0), clocks_(trace.size())
+    {
+        for (int c = 0; c < nctx_; ++c) {
+            clocks_[(std::size_t)c].assign((std::size_t)nctx_, 0);
+            clocks_[(std::size_t)c][(std::size_t)c] = 1;
+        }
+    }
+
+    std::vector<DynamicRace>
+    run()
+    {
+        // Round-based scheduler: drain every context up to its next
+        // barrier (or a receive whose message has not been sent yet),
+        // then rendezvous the barrier arrivals and repeat. Traces come
+        // from completed runs, so this always terminates with every
+        // stream consumed; a malformed trace just stops early.
+        for (;;) {
+            bool progressed = false;
+            for (int c = 0; c < nctx_; ++c)
+                progressed |= drain(c);
+            std::vector<int> arrived;
+            for (int c = 0; c < nctx_; ++c) {
+                if (atBarrier(c))
+                    arrived.push_back(c);
+            }
+            if (!arrived.empty()) {
+                rendezvous(arrived);
+                progressed = true;
+            }
+            if (!progressed)
+                break;
+        }
+        std::vector<DynamicRace> out;
+        out.reserve(races_.size());
+        for (const auto &[key, race] : races_)
+            out.push_back(race);
+        return out;
+    }
+
+  private:
+    const std::vector<RaceEvent> &
+    stream(int c) const
+    {
+        return trace_[(std::size_t)c];
+    }
+
+    bool
+    atBarrier(int c) const
+    {
+        const auto &s = stream(c);
+        return pos_[(std::size_t)c] < s.size() &&
+               s[pos_[(std::size_t)c]].kind == RaceEvent::Kind::Barrier;
+    }
+
+    /** Process context @p c until barrier / end / blocked receive. */
+    bool
+    drain(int c)
+    {
+        bool progressed = false;
+        const auto &s = stream(c);
+        while (pos_[(std::size_t)c] < s.size()) {
+            const RaceEvent &ev = s[pos_[(std::size_t)c]];
+            if (ev.kind == RaceEvent::Kind::Barrier)
+                break;
+            if (ev.kind == RaceEvent::Kind::Recv &&
+                channel(ev.partner, c).empty())
+                break; // message not sent yet: another context first
+            step(c, ev);
+            ++pos_[(std::size_t)c];
+            progressed = true;
+        }
+        return progressed;
+    }
+
+    void
+    step(int c, const RaceEvent &ev)
+    {
+        Clock &vc = clocks_[(std::size_t)c];
+        switch (ev.kind) {
+          case RaceEvent::Kind::Load: onLoad(c, ev); break;
+          case RaceEvent::Kind::Store: onStore(c, ev); break;
+          case RaceEvent::Kind::Send:
+            channel(c, ev.partner).push_back(vc);
+            ++vc[(std::size_t)c];
+            break;
+          case RaceEvent::Kind::Recv: {
+            std::deque<Clock> &q = channel(ev.partner, c);
+            joinInto(vc, q.front());
+            q.pop_front();
+            ++vc[(std::size_t)c];
+            break;
+          }
+          case RaceEvent::Kind::Barrier: break; // handled by rendezvous
+        }
+    }
+
+    void
+    rendezvous(const std::vector<int> &arrived)
+    {
+        // All arrivals synchronize through one release: join their
+        // clocks into a common frontier, then tick each own component
+        // so post-barrier accesses are concurrent across contexts again.
+        Clock merged((std::size_t)nctx_, 0);
+        for (int c : arrived)
+            joinInto(merged, clocks_[(std::size_t)c]);
+        for (int c : arrived) {
+            clocks_[(std::size_t)c] = merged;
+            ++clocks_[(std::size_t)c][(std::size_t)c];
+            ++pos_[(std::size_t)c];
+        }
+    }
+
+    static void
+    joinInto(Clock &dst, const Clock &src)
+    {
+        for (std::size_t i = 0; i < dst.size(); ++i)
+            dst[i] = std::max(dst[i], src[i]);
+    }
+
+    /** @p a happened before context @p c's current point? */
+    bool
+    ordered(const Access &a, int c) const
+    {
+        return a.clock <=
+               clocks_[(std::size_t)c][(std::size_t)a.ctx];
+    }
+
+    Shadow &
+    shadow(Addr addr)
+    {
+        Shadow &sh = shadows_[addr];
+        if (sh.lastLoad.empty())
+            sh.lastLoad.resize((std::size_t)nctx_);
+        return sh;
+    }
+
+    void
+    onLoad(int c, const RaceEvent &ev)
+    {
+        Shadow &sh = shadow(ev.addr);
+        const Access &st = sh.lastStore;
+        if (st.valid && st.ctx != c && !ordered(st, c) && st.val != ev.val)
+            record(st.pc, ev.pc, ev.addr, false);
+        Access &me = sh.lastLoad[(std::size_t)c];
+        me.clock = clocks_[(std::size_t)c][(std::size_t)c];
+        me.pc = ev.pc;
+        me.val = ev.val;
+        me.valid = true;
+        me.ctx = c;
+    }
+
+    void
+    onStore(int c, const RaceEvent &ev)
+    {
+        if (ev.val == ev.old)
+            return; // silent store: every interleaving is equivalent
+        Shadow &sh = shadow(ev.addr);
+        const Access &st = sh.lastStore;
+        if (st.valid && st.ctx != c && !ordered(st, c) && st.val != ev.val)
+            record(st.pc, ev.pc, ev.addr, true);
+        for (const Access &ld : sh.lastLoad) {
+            if (ld.valid && ld.ctx != c && !ordered(ld, c) &&
+                ld.val != ev.val)
+                record(ld.pc, ev.pc, ev.addr, false);
+        }
+        sh.lastStore.clock = clocks_[(std::size_t)c][(std::size_t)c];
+        sh.lastStore.pc = ev.pc;
+        sh.lastStore.val = ev.val;
+        sh.lastStore.valid = true;
+        sh.lastStore.ctx = c;
+    }
+
+    std::deque<Clock> &
+    channel(int from, int to)
+    {
+        return channels_[{from, to}];
+    }
+
+    void
+    record(Addr pcA, Addr pcB, Addr addr, bool store_store)
+    {
+        Addr lo = std::min(pcA, pcB);
+        Addr hi = std::max(pcA, pcB);
+        DynamicRace &r = races_[std::make_tuple(lo, hi, store_store)];
+        if (r.count == 0) {
+            r.pcA = lo;
+            r.pcB = hi;
+            r.addr = addr;
+            r.storeStore = store_store;
+        }
+        ++r.count;
+    }
+
+    const RaceTrace &trace_;
+    int nctx_;
+    std::vector<std::size_t> pos_;
+    std::vector<Clock> clocks_;
+    std::map<Addr, Shadow> shadows_;
+    std::map<std::pair<int, int>, std::deque<Clock>> channels_;
+    std::map<std::tuple<Addr, Addr, bool>, DynamicRace> races_;
+};
+
+} // namespace
+
+std::vector<DynamicRace>
+replayRaceTrace(const RaceTrace &trace)
+{
+    return Replayer(trace).run();
+}
+
+RaceGateReport
+checkRaceGate(const AnalysisResult &analysis, const Program &prog,
+              const std::vector<DynamicRace> &races)
+{
+    RaceGateReport rep;
+    rep.checked = analysis.race.checked;
+    rep.races = races;
+    auto instOf = [&](Addr pc) {
+        return prog.validPc(pc)
+                   ? static_cast<int>((pc - prog.codeBase) / instBytes)
+                   : -1;
+    };
+    for (const DynamicRace &r : races) {
+        int a = instOf(r.pcA);
+        int b = instOf(r.pcB);
+        if (a < 0 || b < 0 || !analysis.race.reportsPair(a, b))
+            rep.unreported.push_back(r);
+    }
+    return rep;
+}
+
+RaceGateReport
+runRaceGate(const Workload &w, ConfigKind kind, int num_threads,
+            AnalysisResult *out_analysis, RunResult *out_result,
+            const SimOverrides &ov)
+{
+    if (w.multiExecution) {
+        // Private per-context images: no shared memory, no races; the
+        // static side agrees (RaceResult::checked == false).
+        RaceGateReport rep;
+        rep.checked = false;
+        return rep;
+    }
+    auto owned = std::make_shared<Program>(
+        assemble(w.source, defaultCodeBase, defaultDataBase, w.name));
+    AnalysisOptions opt;
+    opt.multiExecution = w.multiExecution;
+    opt.forceTidZero = kind == ConfigKind::Limit;
+    AnalysisResult analysis = analyzeProgram(*owned, opt);
+    analysis.program = std::move(owned);
+    RaceTrace trace;
+    RunResult r = runWorkload(w, kind, num_threads, ov,
+                              /*check_golden=*/false, nullptr, &trace);
+    RaceGateReport rep = checkRaceGate(
+        analysis, *analysis.program, replayRaceTrace(trace));
+    if (out_analysis)
+        *out_analysis = std::move(analysis);
+    if (out_result)
+        *out_result = std::move(r);
+    return rep;
+}
+
+} // namespace analysis
+} // namespace mmt

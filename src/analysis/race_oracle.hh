@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Dynamic happens-before race oracle and the static/dynamic race gate.
+ *
+ * The oracle replays one run's per-context event streams
+ * (sim/race_trace.hh) with vector clocks: BARRIER is a global
+ * rendezvous (all arriving contexts join into one clock), SEND/RECV is
+ * a point-to-point edge through per-channel FIFO queues — exactly the
+ * synchronization the simulated machine has. Two accesses to the same
+ * address, at least one a store, unordered by that relation, are a
+ * dynamic race. Two value-based filters drop the benign ones the MMT
+ * execution model produces by design: silent stores (the value written
+ * equals the value overwritten — redundant threads re-storing a
+ * result), and equal-value conflicts (both sides move the same value,
+ * so every interleaving yields the same state — redundant computation
+ * racing itself).
+ *
+ * The gate (runRaceGate) is the soundness cross-check mirroring
+ * dynamic_bound.hh: every dynamically observed race must map to a
+ * (pre-suppression) pair the static analyzer reported. A violation
+ * means the static may-race set missed a real race — an MHP or
+ * disjointness-proof bug, never an acceptable outcome.
+ */
+
+#ifndef MMT_ANALYSIS_RACE_ORACLE_HH
+#define MMT_ANALYSIS_RACE_ORACLE_HH
+
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "sim/simulator.hh"
+
+namespace mmt
+{
+namespace analysis
+{
+
+/** One dynamically observed race (deduplicated per pc pair + kind). */
+struct DynamicRace
+{
+    Addr pcA = 0; // lower pc of the pair
+    Addr pcB = 0;
+    Addr addr = 0;       // first address it was observed at
+    bool storeStore = false;
+    std::uint64_t count = 0; // observations after dedup key collapse
+};
+
+/** Replay @p trace and return the observed races. */
+std::vector<DynamicRace> replayRaceTrace(const RaceTrace &trace);
+
+/** One run's dynamic races checked against the static may-race set. */
+struct RaceGateReport
+{
+    /** False when the oracle does not apply (ME private images). */
+    bool checked = false;
+    std::vector<DynamicRace> races;
+    /** Races with no matching static pair — static analysis unsound. */
+    std::vector<DynamicRace> unreported;
+
+    bool ok() const { return unreported.empty(); }
+};
+
+/** Check @p races against @p analysis for @p prog. */
+RaceGateReport checkRaceGate(const AnalysisResult &analysis,
+                             const Program &prog,
+                             const std::vector<DynamicRace> &races);
+
+/**
+ * Convenience: analyze @p w, run it under @p kind with @p num_threads
+ * capturing the memory trace, replay, and cross-check. ME workloads
+ * return checked == false without running. Golden verification is
+ * skipped (deliberately racy workloads diverge from the interpreter's
+ * schedule); also fills @p out_analysis / @p out_result when non-null.
+ */
+RaceGateReport runRaceGate(const Workload &w, ConfigKind kind,
+                           int num_threads,
+                           AnalysisResult *out_analysis = nullptr,
+                           RunResult *out_result = nullptr,
+                           const SimOverrides &ov = SimOverrides());
+
+} // namespace analysis
+} // namespace mmt
+
+#endif // MMT_ANALYSIS_RACE_ORACLE_HH

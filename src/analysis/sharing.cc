@@ -569,37 +569,52 @@ threadCandidates(const AbsVal &s, int t,
 }
 
 /**
- * Branch direction per thread over candidate value sets; true when some
- * thread is always-taken while another is always-not-taken (so the two
- * provably disagree whatever path bases they arrived with).
+ * Branch-direction feasibility per thread over candidate value sets.
+ * Bit t of @p take_out / @p fall_out is set when thread t may take /
+ * may fall through; threads with unbounded candidates get both bits.
+ * Both masks are zero for non-conditional-branch instructions.
  */
-bool
-branchDiverges(const Instruction &in, Addr pc, const RegState &regs)
+void
+branchLaneMasks(const Instruction &in, Addr pc, const RegState &regs,
+                std::uint8_t *take_out, std::uint8_t *fall_out)
 {
+    *take_out = 0;
+    *fall_out = 0;
     if (!in.isCondBranch())
-        return false;
+        return;
     const AbsVal &a = regs[(std::size_t)in.rs1];
     const AbsVal &b = regs[(std::size_t)in.rs2];
-    bool some_always_taken = false, some_never_taken = false;
     for (int t = 0; t < maxThreads; ++t) {
         RegVal ca[AbsVal::kMaxBases], cb[AbsVal::kMaxBases];
         int na = threadCandidates(a, t, ca);
         int nb = threadCandidates(b, t, cb);
-        if (na == 0 || nb == 0)
-            continue; // unbounded: could go either way
-        bool can_take = false, can_fall = false;
+        auto bit = static_cast<std::uint8_t>(1u << t);
+        if (na == 0 || nb == 0) {
+            // Unbounded: could go either way.
+            *take_out |= bit;
+            *fall_out |= bit;
+            continue;
+        }
         for (int i = 0; i < na; ++i) {
             for (int j = 0; j < nb; ++j) {
                 if (exec::evalBranch(in, ca[i], cb[j], pc).taken)
-                    can_take = true;
+                    *take_out |= bit;
                 else
-                    can_fall = true;
+                    *fall_out |= bit;
             }
         }
-        some_always_taken = some_always_taken || !can_fall;
-        some_never_taken = some_never_taken || !can_take;
     }
-    return some_always_taken && some_never_taken;
+}
+
+/**
+ * True when some thread is always-taken while another is always-not-
+ * taken (so the two provably disagree whatever bases they arrived with).
+ */
+bool
+branchDiverges(std::uint8_t take, std::uint8_t fall)
+{
+    return (take & static_cast<std::uint8_t>(~fall)) != 0 &&
+           (fall & static_cast<std::uint8_t>(~take)) != 0;
 }
 
 } // namespace
@@ -761,6 +776,8 @@ analyzeSharing(const Cfg &cfg, const SharingOptions &opt)
     res.memBase.assign(n_insts, AbsVal());
     res.divergentBranch.assign(n_insts, false);
     res.predictedLanes.assign(n_insts, 1);
+    res.branchCanTake.assign(n_insts, 0);
+    res.branchCanFall.assign(n_insts, 0);
     if (blocks.empty())
         return res;
 
@@ -857,7 +874,11 @@ analyzeSharing(const Cfg &cfg, const SharingOptions &opt)
             res.classCounts[(std::size_t)c] += 1;
             if (inst.isMem())
                 res.memBase[(std::size_t)i] = st.regs[(std::size_t)inst.rs1];
-            if (branchDiverges(inst, pc, st.regs))
+            std::uint8_t take = 0, fall = 0;
+            branchLaneMasks(inst, pc, st.regs, &take, &fall);
+            res.branchCanTake[(std::size_t)i] = take;
+            res.branchCanFall[(std::size_t)i] = fall;
+            if (branchDiverges(take, fall))
                 res.divergentBranch[(std::size_t)i] = true;
             transfer(inst, pc, st, opt);
         }

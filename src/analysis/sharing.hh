@@ -317,6 +317,15 @@ struct SharingResult
     std::vector<std::uint8_t> predictedLanes;
     /** Static instruction counts per class, reachable code only. */
     std::array<int, numShareClasses> classCounts{};
+    /** Per-instruction branch-direction feasibility bitmasks (bit t:
+     *  thread t may take / may fall through, over its candidate value
+     *  sets). Threads with unbounded candidates get both bits; both
+     *  masks are zero for non-conditional-branch instructions. The MHP
+     *  race analysis derives tid-guarded may-execute sets from these;
+     *  divergentBranch[i] == (canTake & ~canFall) && (canFall & ~canTake)
+     *  being both nonzero. */
+    std::vector<std::uint8_t> branchCanTake;
+    std::vector<std::uint8_t> branchCanFall;
 };
 
 /** Run the sharing fixpoint over @p cfg. */

@@ -1,10 +1,18 @@
 #include "cc/compiler.hh"
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "analysis/race.hh"
 #include "cc/emit.hh"
 #include "cc/irgen.hh"
 #include "cc/parser.hh"
 #include "cc/regalloc.hh"
 #include "common/logging.hh"
+#include "iasm/assembler.hh"
 
 namespace mmt
 {
@@ -51,6 +59,196 @@ checkModule(const Module &m, const std::string &name)
     }
 }
 
+/** Parsed "; mmtc:mem(sym[,sliced])" marker of one assembly line. */
+struct MemMark
+{
+    bool valid = false;
+    bool sliced = false;
+    std::string sym;
+};
+
+constexpr const char *kMemMarker = "; mmtc:mem(";
+
+MemMark
+parseMark(const std::string &line)
+{
+    MemMark m;
+    std::size_t pos = line.find(kMemMarker);
+    if (pos == std::string::npos) {
+        // Unmarked memory lines the emitter generates are sp-relative
+        // (prologue saves, spill slots, call-argument reloads). The
+        // per-thread stacks are 64 KiB apart in their own segment, so
+        // they behave like a thread-private pseudo-global.
+        if (line.find("(sp)") != std::string::npos) {
+            m.sym = "<stack>";
+            m.valid = true;
+        }
+        return m;
+    }
+    std::size_t open = pos + std::string(kMemMarker).size();
+    std::size_t close = line.find(')', open);
+    if (close == std::string::npos)
+        return m;
+    std::string inner = line.substr(open, close - open);
+    std::size_t comma = inner.find(',');
+    if (comma != std::string::npos) {
+        m.sliced = inner.substr(comma + 1) == "sliced";
+        inner = inner.substr(0, comma);
+    }
+    m.sym = inner;
+    m.valid = true;
+    return m;
+}
+
+/**
+ * Cross-thread hazard check over the emitted assembly: run the
+ * barrier-aware race analyzer (MT semantics) and classify every
+ * may-race pair using the mmtc:mem markers.
+ *
+ *   - distinct globals: benign — SPMD slicing keeps every index inside
+ *     its own array, so differently-named arrays cannot collide;
+ *   - both endpoints inside accepted sliced loops: benign by the
+ *     compiler-asserted per-thread index partition;
+ *   - redundant store/store of one global: benign — every thread
+ *     redundantly computes and writes the same value;
+ *   - anything else is a real hazard warning (SpmdResult::warnings).
+ *
+ * Benign pairs get an "analyze:allow(<rule>)" suppression on the
+ * anchor line so the emitted program is lint-clean; all three benign
+ * claims are dynamically cross-checked by the happens-before race
+ * oracle, which checks raw (pre-suppression) pairs. The markers are
+ * stripped from the final text.
+ */
+void
+annotateRaces(CompileResult &res, const std::string &name)
+{
+    Program prog =
+        assemble(res.iasm, defaultCodeBase, defaultDataBase, name);
+    analysis::Cfg cfg(prog);
+    analysis::SharingOptions sopt; // MT shared-memory semantics
+    analysis::SharingResult sharing = analysis::analyzeSharing(cfg, sopt);
+    analysis::RaceResult race = analysis::analyzeRaces(cfg, sharing, sopt);
+
+    std::vector<std::string> lines;
+    {
+        std::istringstream is(res.iasm);
+        std::string l;
+        while (std::getline(is, l))
+            lines.push_back(l);
+    }
+    auto lineAt = [&](int n) -> const std::string & {
+        static const std::string empty;
+        return n >= 1 && n <= static_cast<int>(lines.size())
+                   ? lines[(std::size_t)(n - 1)]
+                   : empty;
+    };
+    auto warn = [&](const std::string &msg) {
+        auto &ws = res.spmd.warnings;
+        if (std::find(ws.begin(), ws.end(), msg) == ws.end())
+            ws.push_back(msg);
+    };
+
+    // Classify every pair, then emit an "analyze:allow" only for
+    // (anchor line, rule) groups where EVERY pair is benign: the
+    // suppression is per (instruction, rule), so one surviving hazard
+    // in the group must keep the whole group unsuppressed (the benign
+    // co-anchored pairs then merely ride along in the lint's "+N more"
+    // count).
+    std::map<std::pair<int, std::string>, bool> group_ok;
+    for (const analysis::RacePair &p : race.pairs) {
+        int la = prog.line(p.instA);
+        int lb = prog.line(p.instB);
+        MemMark a = parseMark(lineAt(la));
+        MemMark b = parseMark(lineAt(lb));
+        int anchor_line = prog.line(p.anchor);
+        auto verdict = [&](bool benign) {
+            auto it = group_ok.emplace(
+                std::make_pair(anchor_line, p.rule), true);
+            it.first->second = it.first->second && benign;
+        };
+        bool red_scratch = a.sym.rfind("__mmtc_red", 0) == 0 &&
+                           b.sym == a.sym;
+        if (a.valid && b.valid &&
+            (a.sym != b.sym || (a.sliced && b.sliced) || red_scratch)) {
+            // Reduction scratch follows the store/BARRIER/combine-load
+            // idiom; imprecise epochs (a barrier inside a loop) can keep
+            // the pair alive statically, but the barrier orders it.
+            verdict(true);
+            continue;
+        }
+        if (a.valid && b.valid && !a.sliced && !b.sliced) {
+            bool both_store = prog.code[(std::size_t)p.instA].isStore() &&
+                              prog.code[(std::size_t)p.instB].isStore();
+            if (both_store) {
+                // Redundant store/store: every thread writes the value
+                // it redundantly computed.
+                verdict(true);
+                continue;
+            }
+            verdict(false);
+            std::ostringstream os;
+            os << "global '" << a.sym
+               << "' is read-modify-written by redundant code (asm line "
+               << anchor_line << "); its value can diverge across threads";
+            warn(os.str());
+            continue;
+        }
+        if (a.valid && b.valid) {
+            // Same global, exactly one endpoint sliced: a fast thread's
+            // sliced accesses race a slow thread's redundant ones.
+            verdict(false);
+            const MemMark &red = a.sliced ? b : a;
+            int red_inst = a.sliced ? p.instB : p.instA;
+            bool red_store = prog.code[(std::size_t)red_inst].isStore();
+            std::ostringstream os;
+            os << "redundant " << (red_store ? "write" : "read")
+               << " of '" << red.sym << "' (asm line "
+               << prog.line(red_inst)
+               << ") can race the sliced loop accessing it";
+            warn(os.str());
+            continue;
+        }
+        verdict(false);
+        std::ostringstream os;
+        os << "cross-thread hazard between asm lines " << la << " and "
+           << lb << " (" << p.rule << ")";
+        warn(os.str());
+    }
+
+    std::map<int, std::set<std::string>> allows; // asm line -> rules
+    for (const auto &[key, ok] : group_ok) {
+        if (ok)
+            allows[key.first].insert(key.second);
+    }
+
+    // Rewrite: strip markers, attach the collected suppressions.
+    std::ostringstream out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::string l = lines[i];
+        std::size_t pos = l.find(kMemMarker);
+        if (pos != std::string::npos) {
+            l.erase(pos);
+            while (!l.empty() && (l.back() == ' ' || l.back() == '\t'))
+                l.pop_back();
+        }
+        auto it = allows.find(static_cast<int>(i) + 1);
+        if (it != allows.end()) {
+            l += "   ; analyze:allow(";
+            bool first = true;
+            for (const std::string &r : it->second) {
+                if (!first)
+                    l += ", ";
+                first = false;
+                l += r;
+            }
+            l += ") mmtc: benign by slicing/redundancy, "
+                 "oracle-cross-checked";
+        }
+        out << l << "\n";
+    }
+    res.iasm = out.str();
+}
+
 } // namespace
 
 CompileResult
@@ -71,6 +269,7 @@ compile(const std::string &source, const std::string &name,
         allocs.push_back(allocateRegisters(f));
 
     res.iasm = emitIasm(ir, allocs);
+    annotateRaces(res, name);
     return res;
 }
 

@@ -69,6 +69,12 @@ struct IrInst
     int target = -1;       // Br/CondBr taken successor (block id)
     int targetF = -1;      // CondBr fall-through successor
     int line = 0;          // source line (diagnostics)
+    /** LoadG/StoreG only: inside an accepted (sliced) SPMD loop, so the
+     *  per-thread index partition makes the access disjoint across
+     *  threads by construction. Set by the SPMD pass; emission tags the
+     *  generated memory line so the driver's race annotation can tell
+     *  compiler-asserted slices from genuinely redundant accesses. */
+    bool sliced = false;
 
     bool
     isTerminator() const

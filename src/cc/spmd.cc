@@ -66,20 +66,6 @@ struct Candidate
 {
     LoopInfo loop;
     std::vector<Reduction> reductions;
-    /** Arrays stored inside the loop (hazard analysis input). */
-    std::set<std::string> storedSyms;
-};
-
-/** Location of one global access for the hazard scan. */
-struct Access
-{
-    std::size_t func = 0;
-    int block = 0;
-    int idx = 0;
-    bool store = false;
-    bool sliced = false; // inside a sliced loop of main
-    int loopIdx = -1;    // candidate index when sliced
-    int line = 0;
 };
 
 class SpmdPass
@@ -93,7 +79,8 @@ class SpmdPass
         IrFunction *main = m_.findFunction("main");
         if (main && checkNthreadsUsable())
             sliceFunction(*main);
-        scanHazards();
+        if (main)
+            markSliced(*main);
         return std::move(result_);
     }
 
@@ -259,7 +246,6 @@ class SpmdPass
                              "' with two different index forms";
                     return false;
                 }
-                cand.storedSyms.insert(inst.sym);
             }
         }
 
@@ -735,141 +721,30 @@ class SpmdPass
         }
     }
 
-    // ----- hazard analysis -------------------------------------------
+    // ----- sliced-access marking -------------------------------------
 
     /**
-     * Redundant code runs on every thread with (ideally) identical
-     * values. Flag the patterns where values can diverge across threads
-     * or race with sliced-loop stores:
-     *  - a redundant read of g that can later be followed by a redundant
-     *    write of g (classic read-modify-write: g = g + 1);
-     *  - a redundant write of g that can reach a sliced loop storing g;
-     *  - a redundant read of g that can reach a sliced loop storing g
-     *    (a fast thread's sliced stores race a slow thread's read).
+     * Tag every global access inside an accepted loop as sliced. The
+     * emitter forwards the tag on the generated memory line, and the
+     * driver's race-annotation pass (cc/compiler.cc) uses it to tell
+     * compiler-asserted disjoint slices from genuinely redundant
+     * accesses — the cross-thread hazard scan itself now runs on the
+     * emitted assembly through the barrier-aware race analyzer
+     * (analysis/race.hh) instead of an ad-hoc IR walk here.
      */
     void
-    scanHazards()
+    markSliced(IrFunction &main)
     {
-        // Accesses per global.
-        std::map<std::string, std::vector<Access>> accesses;
-        for (std::size_t fi = 0; fi < m_.functions.size(); ++fi) {
-            const IrFunction &f = m_.functions[fi];
-            bool isMain = f.name == "main";
-            for (std::size_t b = 0; b < f.blocks.size(); ++b) {
-                bool sliced = false;
-                int loopIdx = -1;
-                if (isMain) {
-                    for (std::size_t c = 0; c < accepted_.size(); ++c)
-                        if (accepted_[c].loop.contains(static_cast<int>(b))) {
-                            sliced = true;
-                            loopIdx = static_cast<int>(c);
-                        }
-                }
-                const IrBlock &blk = f.blocks[b];
-                for (std::size_t i = 0; i < blk.insts.size(); ++i) {
-                    const IrInst &inst = blk.insts[i];
-                    if (inst.op != IrOp::LoadG && inst.op != IrOp::StoreG)
-                        continue;
-                    if (isScratchSym(inst.sym) ||
-                        inst.sym == kNumThreadsSym)
-                        continue;
-                    Access acc;
-                    acc.func = fi;
-                    acc.block = static_cast<int>(b);
-                    acc.idx = static_cast<int>(i);
-                    acc.store = inst.op == IrOp::StoreG;
-                    acc.sliced = sliced;
-                    acc.loopIdx = loopIdx;
-                    acc.line = inst.line;
-                    accesses[inst.sym].push_back(acc);
-                }
-            }
-        }
-
-        // Per-function block reachability (transitive, >= 1 edge).
-        std::vector<std::vector<std::vector<bool>>> reach;
-        for (const IrFunction &f : m_.functions) {
-            std::size_t nb = f.blocks.size();
-            std::vector<std::vector<bool>> r(nb,
-                                             std::vector<bool>(nb, false));
-            for (std::size_t b = 0; b < nb; ++b) {
-                std::vector<int> work = f.successors(static_cast<int>(b));
-                while (!work.empty()) {
-                    int s = work.back();
-                    work.pop_back();
-                    if (r[b][static_cast<std::size_t>(s)])
-                        continue;
-                    r[b][static_cast<std::size_t>(s)] = true;
-                    for (int t : f.successors(s))
-                        work.push_back(t);
-                }
-            }
-            reach.push_back(std::move(r));
-        }
-        auto canReach = [&](const Access &from, int toBlock) {
-            return from.block == toBlock ||
-                   reach[from.func][static_cast<std::size_t>(from.block)]
-                        [static_cast<std::size_t>(toBlock)];
-        };
-
-        IrFunction *main = m_.findFunction("main");
-        std::size_t mainIdx = 0;
-        for (std::size_t fi = 0; fi < m_.functions.size(); ++fi)
-            if (&m_.functions[fi] == main)
-                mainIdx = fi;
-
-        for (const auto &entry : accesses) {
-            const std::string &sym = entry.first;
-            const std::vector<Access> &accs = entry.second;
-            // Redundant read-modify-write.
-            for (const Access &l : accs) {
-                if (l.store || l.sliced)
-                    continue;
-                for (const Access &s : accs) {
-                    if (!s.store || s.sliced)
-                        continue;
-                    bool ordered =
-                        l.func == s.func
-                            ? (l.block == s.block
-                                   ? l.idx < s.idx ||
-                                         reach[l.func]
-                                              [static_cast<std::size_t>(
-                                                  l.block)]
-                                              [static_cast<std::size_t>(
-                                                  s.block)]
-                                   : canReach(l, s.block))
-                            : true; // cross-function: stay conservative
-                    if (ordered) {
-                        std::ostringstream os;
-                        os << "global '" << sym
-                           << "' is read-modify-written by redundant code "
-                              "(line "
-                           << s.line
-                           << "); its value can diverge across threads";
-                        warn(os.str());
-                    }
-                }
-            }
-            // Redundant access racing a sliced loop's stores.
-            for (const Candidate &c : accepted_) {
-                if (!c.storedSyms.count(sym))
-                    continue;
-                for (const Access &a : accs) {
-                    if (a.sliced)
-                        continue;
-                    bool races =
-                        a.func == mainIdx
-                            ? canReach(a, c.loop.header)
-                            : true; // helper code: conservative
-                    if (!races)
-                        continue;
-                    std::ostringstream os;
-                    os << "redundant " << (a.store ? "write" : "read")
-                       << " of '" << sym << "' (line " << a.line
-                       << ") can race the sliced loop at line "
-                       << loopLine(*main, c.loop) << " storing it";
-                    warn(os.str());
-                }
+        for (std::size_t b = 0; b < main.blocks.size(); ++b) {
+            bool sliced = false;
+            for (const Candidate &c : accepted_)
+                if (c.loop.contains(static_cast<int>(b)))
+                    sliced = true;
+            if (!sliced)
+                continue;
+            for (IrInst &inst : main.blocks[b].insts) {
+                if (inst.op == IrOp::LoadG || inst.op == IrOp::StoreG)
+                    inst.sliced = true;
             }
         }
     }

@@ -16,9 +16,11 @@
  * live thread count, so one binary serves every thread configuration.
  * `+`-reductions are supported through per-thread scratch slots combined
  * redundantly after the join barrier. Loops that cannot be proven safe
- * are left untouched; the pass reports what it sliced and warns about
- * redundant-code read/write patterns on shared globals whose values
- * could diverge across threads.
+ * are left untouched; the pass reports what it sliced and tags global
+ * accesses inside accepted loops (IrInst::sliced). Cross-thread hazard
+ * warnings are produced by the driver (cc/compiler.cc), which runs the
+ * barrier-aware race analyzer (analysis/race.hh) over the emitted
+ * assembly and classifies each may-race pair using the sliced tags.
  */
 
 #ifndef MMT_CC_SPMD_HH
@@ -49,7 +51,9 @@ struct SpmdResult
     std::vector<SlicedLoop> sliced;
     /** Human-readable notes about loops that were *not* sliced. */
     std::vector<std::string> rejected;
-    /** Possible cross-thread hazards in redundant code. */
+    /** Possible cross-thread hazards in redundant code: may-race pairs
+     *  from the static race analysis that the driver could not justify
+     *  as benign (filled by cc::compile, not the SPMD pass itself). */
     std::vector<std::string> warnings;
 };
 

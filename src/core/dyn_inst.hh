@@ -61,6 +61,13 @@ struct DynInst
     /** Number of distinct cache accesses this instance performs. */
     int memAccesses = 0;
 
+    // Per-member memory-trace capture (race oracle; filled only when
+    // SmtCore::setCaptureMemTrace is on). Loads: value read. Stores:
+    // value written / value overwritten. SEND/RECV: value moved /
+    // partner rank.
+    std::array<RegVal, maxThreads> memVal{};
+    std::array<RegVal, maxThreads> memOld{};
+
     // LVIP (ME merged loads).
     bool lvipChecked = false;
     bool lvipMispredict = false;

@@ -196,6 +196,8 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
     std::array<RegVal, maxThreads> src_a{};
     std::array<RegVal, maxThreads> src_b{};
     std::array<Addr, maxThreads> eff_addrs{};
+    std::array<RegVal, maxThreads> mem_vals{};
+    std::array<RegVal, maxThreads> mem_olds{};
     std::array<BranchOut, maxThreads> bouts{};
 
     itid.forEach([&](ThreadId t) {
@@ -209,9 +211,14 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
             Addr addr = exec::effectiveAddr(inst, a);
             eff_addrs[t] = addr;
             dest_vals[t] = ts.image->read64(addr);
+            mem_vals[t] = dest_vals[t];
         } else if (inst.isStore()) {
             Addr addr = exec::effectiveAddr(inst, a);
             eff_addrs[t] = addr;
+            if (captureMemTrace_) {
+                mem_olds[t] = ts.image->read64(addr);
+                mem_vals[t] = b;
+            }
             ts.image->write64(addr, b);
         } else if (inst.isControl()) {
             bouts[t] = exec::evalBranch(inst, a, b, pc);
@@ -225,9 +232,13 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
                 // workload spans CMP cores unchanged.
                 msgNet_->send(contextId(t), static_cast<ThreadId>(a & 3),
                               b);
+                mem_vals[t] = b;
+                mem_olds[t] = a & 3;
             } else if (inst.op == Opcode::RECV) {
                 dest_vals[t] = msgNet_->recv(static_cast<ThreadId>(a & 3),
                                              contextId(t));
+                mem_vals[t] = dest_vals[t];
+                mem_olds[t] = a & 3;
             }
         } else if (info.writesDest) {
             dest_vals[t] = exec::evalAlu(inst, a, b, pc);
@@ -379,7 +390,8 @@ SmtCore::fetchRecord(int gid, bool tc_hit, int &branches_crossed)
 
     // ---- Split stage + renaming. ----
     int made = makeInstances(inst, pc, itid, mode, dest_vals, src_a, src_b,
-                             eff_addrs, bouts, resolve_token);
+                             eff_addrs, mem_vals, mem_olds, bouts,
+                             resolve_token);
     if (resolve_token >= 0)
         resolveRemaining_[resolve_token] = made;
 
@@ -393,6 +405,8 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
                        const std::array<RegVal, maxThreads> &src_a,
                        const std::array<RegVal, maxThreads> &src_b,
                        const std::array<Addr, maxThreads> &eff_addrs,
+                       const std::array<RegVal, maxThreads> &mem_vals,
+                       const std::array<RegVal, maxThreads> &mem_olds,
                        const std::array<BranchOut, maxThreads> &bouts,
                        int resolve_token)
 {
@@ -495,6 +509,10 @@ SmtCore::makeInstances(const Instruction &inst, Addr pc, ThreadMask itid,
         di->branchTaken = bouts[pl].taken;
         di->branchTarget = bouts[pl].target;
         di->effAddr = eff_addrs;
+        if (captureMemTrace_) {
+            di->memVal = mem_vals;
+            di->memOld = mem_olds;
+        }
         if (inst.isMem()) {
             di->memAccesses =
                 params_.multiExecution ? part.itid.count() : 1;

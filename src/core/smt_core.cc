@@ -8,7 +8,7 @@ namespace mmt
 {
 
 SmtCore::SmtCore(const CoreParams &params, const Program *program,
-                 std::vector<MemoryImage *> images)
+                 const std::vector<MemoryImage *> &images)
     : params_(params), program_(program),
       memSys_(params.mem), traceCache_(params.traceCache),
       bpred_(params.bpred, params.numThreads),

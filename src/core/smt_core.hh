@@ -101,7 +101,7 @@ class SmtCore
      *        same pointer for every thread, ME workloads distinct ones
      */
     SmtCore(const CoreParams &params, const Program *program,
-            std::vector<MemoryImage *> images);
+            const std::vector<MemoryImage *> &images);
     ~SmtCore();
 
     /** Run to completion (all threads halted, pipeline drained). */
@@ -157,6 +157,12 @@ class SmtCore
      *  examples/pipeline_trace.cc). */
     using CommitHook = std::function<void(const DynInst &, Cycles)>;
     void setCommitHook(CommitHook hook) { commitHook_ = std::move(hook); }
+
+    /** Record per-member memory values (DynInst::memVal/memOld) during
+     *  functional execution — the raw material of the dynamic race
+     *  oracle's trace. Off by default: the extra pre-store read is not
+     *  free and the values are unused otherwise. */
+    void setCaptureMemTrace(bool on) { captureMemTrace_ = on; }
 
     // Component access for the energy model and tests.
     MemorySystem &memSys() { return memSys_; }
@@ -249,6 +255,8 @@ class SmtCore
                       const std::array<RegVal, maxThreads> &src_a,
                       const std::array<RegVal, maxThreads> &src_b,
                       const std::array<Addr, maxThreads> &eff_addrs,
+                      const std::array<RegVal, maxThreads> &mem_vals,
+                      const std::array<RegVal, maxThreads> &mem_olds,
                       const std::array<BranchOut, maxThreads> &bouts,
                       int resolve_token);
 
@@ -324,6 +332,7 @@ class SmtCore
 
     Cycles lastCommitCycle_ = 0;
     bool externalBarrier_ = false;
+    bool captureMemTrace_ = false;
 };
 
 } // namespace mmt

@@ -28,7 +28,7 @@ struct JobSpec;
  * Bump on any simulator change that affects results (pipeline timing,
  * energy parameters, workload data initialisation, RunResult layout).
  */
-inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v5";
+inline constexpr const char *kCodeVersionSalt = "mmt-sweep-v6";
 
 /** FNV-1a 64-bit hash of a byte string. */
 std::uint64_t fnv1a64(const std::string &bytes,

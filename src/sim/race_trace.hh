@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dynamic memory/synchronization trace of one simulation run, the input
+ * of the happens-before race oracle (analysis/race_oracle.hh).
+ *
+ * The simulator fills one event stream per *global context* from the
+ * cores' commit hooks: commit order is per-context program order, and
+ * cross-context ordering is reconstructed offline from the Barrier and
+ * Send/Recv events, so no global timestamps are needed (and the capture
+ * perturbs nothing the goldens pin — it is pure observation).
+ *
+ * Only MT (shared-memory) runs produce a meaningful trace: ME contexts
+ * write private images, so identical addresses in different streams are
+ * different locations and the oracle must not be pointed at them.
+ */
+
+#ifndef MMT_SIM_RACE_TRACE_HH
+#define MMT_SIM_RACE_TRACE_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mmt
+{
+
+/** One committed event of one context, in program order. */
+struct RaceEvent
+{
+    enum class Kind
+    {
+        Load,    // addr/val = location, value read
+        Store,   // addr/val/old = location, value written, overwritten
+        Barrier, // global rendezvous
+        Send,    // partner = destination rank, val = value sent
+        Recv,    // partner = source rank, val = value received
+    };
+
+    Kind kind = Kind::Load;
+    Addr pc = 0;
+    Addr addr = 0;
+    RegVal val = 0;
+    RegVal old = 0;
+    int partner = -1; // Send/Recv only: the other context's rank
+};
+
+/** Index = global context id; each stream is in commit order. */
+using RaceTrace = std::vector<std::vector<RaceEvent>>;
+
+} // namespace mmt
+
+#endif // MMT_SIM_RACE_TRACE_HH

@@ -94,7 +94,7 @@ computeStaticHints(CoreParams &params, const Program &prog)
 RunResult
 runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
             const SimOverrides &ov, bool check_golden,
-            PcMergeProfile *pc_profile)
+            PcMergeProfile *pc_profile, RaceTrace *race_trace)
 {
     Program prog = assemble(workload.source, defaultCodeBase,
                             defaultDataBase, workload.name);
@@ -110,14 +110,56 @@ runWorkload(const Workload &workload, ConfigKind kind, int num_threads,
     Cmp cmp(sys, &prog, ptrs);
     if (workload.messagePassing)
         cmp.setMessageNetwork(&net);
-    if (pc_profile) {
-        cmp.setCommitHook([pc_profile](const DynInst &di, Cycles) {
-            PcCounts &c = (*pc_profile)[di.pc];
-            auto n = static_cast<std::uint64_t>(di.itid.count());
-            c.committed += n;
-            if (di.isMergedExec())
-                c.merged += n;
-        });
+    if (race_trace)
+        race_trace->assign(static_cast<std::size_t>(num_threads), {});
+    if (pc_profile || race_trace) {
+        // The hooks are per core: the trace hook needs this core's
+        // local-thread -> global-context mapping to route events.
+        for (int c = 0; c < cmp.numCores(); ++c) {
+            std::vector<int> ctxs = cmp.coreContexts(c);
+            if (race_trace)
+                cmp.core(c).setCaptureMemTrace(true);
+            cmp.core(c).setCommitHook(
+                [pc_profile, race_trace, ctxs](const DynInst &di, Cycles) {
+                    if (pc_profile) {
+                        PcCounts &pcs = (*pc_profile)[di.pc];
+                        auto n =
+                            static_cast<std::uint64_t>(di.itid.count());
+                        pcs.committed += n;
+                        if (di.isMergedExec())
+                            pcs.merged += n;
+                    }
+                    if (!race_trace)
+                        return;
+                    RaceEvent::Kind kind;
+                    if (di.inst.isLoad())
+                        kind = RaceEvent::Kind::Load;
+                    else if (di.inst.isStore())
+                        kind = RaceEvent::Kind::Store;
+                    else if (di.inst.op == Opcode::BARRIER)
+                        kind = RaceEvent::Kind::Barrier;
+                    else if (di.inst.op == Opcode::SEND)
+                        kind = RaceEvent::Kind::Send;
+                    else if (di.inst.op == Opcode::RECV)
+                        kind = RaceEvent::Kind::Recv;
+                    else
+                        return;
+                    di.itid.forEach([&](ThreadId t) {
+                        RaceEvent ev;
+                        ev.kind = kind;
+                        ev.pc = di.pc;
+                        ev.addr = di.effAddr[t];
+                        ev.val = di.memVal[t];
+                        ev.old = di.memOld[t];
+                        if (kind == RaceEvent::Kind::Send ||
+                            kind == RaceEvent::Kind::Recv)
+                            ev.partner = static_cast<int>(di.memOld[t]);
+                        (*race_trace)[(std::size_t)
+                                          ctxs[(std::size_t)t]]
+                            .push_back(ev);
+                    });
+                });
+        }
     }
     auto wall_start = std::chrono::steady_clock::now();
     cmp.run();

@@ -16,6 +16,7 @@
 
 #include "energy/energy_model.hh"
 #include "sim/configs.hh"
+#include "sim/race_trace.hh"
 #include "workloads/workload.hh"
 
 namespace mmt
@@ -155,12 +156,16 @@ struct RunResult
  *        final architected state, memory, and OUT logs
  * @param pc_profile when non-null, filled with per-PC committed/merged
  *        thread-instruction counts (static-analysis cross-check)
+ * @param race_trace when non-null, memory-trace capture is enabled and
+ *        the per-context event streams are recorded here (input of the
+ *        happens-before race oracle); meaningful for MT workloads only
  */
 RunResult runWorkload(const Workload &workload, ConfigKind kind,
                       int num_threads,
                       const SimOverrides &ov = SimOverrides(),
                       bool check_golden = true,
-                      PcMergeProfile *pc_profile = nullptr);
+                      PcMergeProfile *pc_profile = nullptr,
+                      RaceTrace *race_trace = nullptr);
 
 /**
  * Run @p workload to completion and return the full counter dump —

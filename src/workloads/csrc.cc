@@ -101,6 +101,10 @@ initCsrcData(const std::string &base, MemoryImage &img, const Program &prog,
         wl::fillDoubles(img, prog, "x", 32, rng, 0.0, 1.0);
         if (perturb)
             wl::perturbDoubles(img, prog, "x", 32, prng, 0.25, 0.0, 1.0);
+    } else if (base == "racy_rmw" || base == "racy_read" ||
+               base == "racy_stst") {
+        Rng rng(514);
+        wl::fillWords(img, prog, "a", 32, rng, 256);
     } else {
         fatal("initCsrcData: unknown compiled workload '%s'", base.c_str());
     }
@@ -171,6 +175,40 @@ compiledWorkloads()
             v.push_back(makeCompiled(s, false));
             v.push_back(makeCompiled(s, true));
         }
+        return v;
+    }();
+    return all;
+}
+
+const std::vector<CompiledSource> &
+racyCompiledSources()
+{
+    static const std::vector<CompiledSource> sources = [] {
+        std::vector<CompiledSource> v;
+        auto add = [&](const char *name, const char *text) {
+            CompiledSource s;
+            s.name = name;
+            s.csource = text;
+            s.iasm = cc::compile(text, name).iasm;
+            v.push_back(std::move(s));
+        };
+        add("racy_rmw", csrc::racy_rmw_c);
+        add("racy_read", csrc::racy_read_c);
+        add("racy_stst", csrc::racy_stst_c);
+        return v;
+    }();
+    return sources;
+}
+
+const std::vector<Workload> &
+racyCompiledWorkloads()
+{
+    // MT only: the races are cross-thread conflicts on the shared
+    // image; an ME variant would be race-free (and pointless).
+    static const std::vector<Workload> all = [] {
+        std::vector<Workload> v;
+        for (const CompiledSource &s : racyCompiledSources())
+            v.push_back(makeCompiled(s, false));
         return v;
     }();
     return all;

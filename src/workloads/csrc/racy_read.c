@@ -1,0 +1,20 @@
+// racy-read: deliberately racy — the redundant pre-read of a[0] sits in
+// the same barrier epoch as the sliced loop that rewrites a[0] (thread
+// 0 owns that element), so a slow thread's read races a fast thread's
+// store. Statically a race-store-load pair anchored at the sliced
+// store; dynamically visible because the store changes the value.
+int n = 32;
+int a[32];
+
+int main() {
+    int t = a[0];
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        a[i] = a[i] * 3 + i;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i];
+    }
+    out(s + t);
+    return 0;
+}

@@ -1,0 +1,18 @@
+// racy-rmw: deliberately racy — the global accumulator g is
+// read-modify-written by redundant (unsliced) code, so under MT every
+// thread races the others on the same word. The static analyzer must
+// flag the load/store pair (race-store-load) and mmtc must refuse to
+// suppress it; the dynamic oracle observes the race whenever a store
+// overlaps another thread's stale read.
+int n = 32;
+int a[32];
+int g = 0;
+
+int main() {
+    for (int i = 0; i < n; i = i + 1) {
+        a[i] = a[i] + i;
+    }
+    g = g + n;
+    out(g);
+    return 0;
+}

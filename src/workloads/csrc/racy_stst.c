@@ -1,0 +1,22 @@
+// racy-stst: deliberately racy — the redundant store a[0] = 7 and the
+// sliced loop's store to the same element share one barrier epoch, so
+// two different values target one word concurrently (race-store-store);
+// the redundant store also races the sliced loop's loads of a
+// (race-store-load). Dynamically mostly benign (the redundant stores
+// all write 7 — silent after the first), which is exactly the
+// static-strict / dynamic-quiet corner the gate must accept.
+int n = 32;
+int a[32];
+
+int main() {
+    a[0] = 7;
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        a[i] = a[i] * 2 + 1;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        s = s + a[i];
+    }
+    out(s);
+    return 0;
+}

@@ -89,7 +89,7 @@ bs_loop:
     fmul f1, f1, f9
     fsub f1, f1, f12
     add  r10, r7, r9
-    fst  f1, 0(r10)
+    fst  f1, 0(r10)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     add  r8, r8, r2
     j    bs_loop
 bs_done:
@@ -194,7 +194,7 @@ sw_tloop:
     j    sw_ploop
 sw_pdone:
     add  r19, r7, r9
-    fst  f10, 0(r19)
+    fst  f10, 0(r19)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     add  r8, r8, r2
     j    sw_sloop
 sw_sdone:
@@ -318,7 +318,7 @@ fl_knext:
     j    fl_kloop
 fl_kdone:
     add  r27, r5, r20
-    fst  f10, 0(r27)
+    fst  f10, 0(r27)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     addi r19, r19, 1
     j    fl_mloop
 fl_mdone:
@@ -421,7 +421,7 @@ cn_iter:
     add  r23, r23, r21
     slli r23, r23, 3
     add  r23, r5, r23
-    st   r14, 0(r23)
+    st   r14, 0(r23)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
 cn_next:
     addi r7, r7, 1
     blt  r7, r2, cn_iter

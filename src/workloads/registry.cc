@@ -59,6 +59,10 @@ findWorkload(const std::string &name)
         if (w.name == name)
             return w;
     }
+    for (const Workload &w : racyCompiledWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
     fatal("unknown workload '%s'", name.c_str());
 }
 

@@ -55,7 +55,7 @@ lu_iloop:
     add  r8, r3, r8
     fld  f2, 0(r8)
     fdiv f3, f1, f2
-    fst  f3, 0(r7)
+    fst  f3, 0(r7)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     addi r9, r4, 1
     mul  r10, r5, r1
     add  r10, r10, r9
@@ -71,7 +71,7 @@ lu_jloop:
     fld  f5, 0(r11)
     fmul f6, f3, f5
     fsub f4, f4, f6
-    fst  f4, 0(r10)
+    fst  f4, 0(r10)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     addi r10, r10, 8
     addi r11, r11, 8
     addi r9, r9, 1
@@ -185,10 +185,10 @@ fft_bloop:
     fsub f12, f4, f9
     fadd f3, f3, f7
     fadd f4, f4, f9
-    fst  f3, 0(r19)
-    fst  f4, 0(r20)
-    fst  f11, 0(r21)
-    fst  f12, 0(r22)
+    fst  f3, 0(r19)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
+    fst  f4, 0(r20)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
+    fst  f11, 0(r21)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
+    fst  f12, 0(r22)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     add  r9, r9, r2
     j    fft_bloop
 fft_bdone:
@@ -301,7 +301,7 @@ wns_jnext:
     addi r11, r11, 1
     blt  r11, r1, wns_jloop
     add  r16, r6, r9
-    fst  f10, 0(r16)
+    fst  f10, 0(r16)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     add  r8, r8, r2
     j    wns_iloop
 wns_idone:
@@ -419,7 +419,7 @@ wsp_knext:
     j    wsp_kloop
 wsp_kdone:
     add  r27, r5, r20
-    fst  f10, 0(r27)
+    fst  f10, 0(r27)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     addi r19, r19, 1
     j    wsp_mloop
 wsp_mdone:
@@ -515,7 +515,7 @@ ocean_col:
     fadd f1, f1, f3
     fmul f1, f1, f9
     add  r16, r11, r9
-    fst  f1, 0(r16)
+    fst  f1, 0(r16)   ; analyze:allow(race-store-load, race-store-store) per-thread slice: disjointness is data-dependent (dynamic race oracle cross-checks)
     addi r7, r7, 1
     j    ocean_col
 ocean_cdone:

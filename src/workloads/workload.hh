@@ -82,6 +82,17 @@ struct CompiledSource
 /** The compiled C workloads, one entry per file under workloads/csrc/. */
 const std::vector<CompiledSource> &compiledSources();
 
+/**
+ * Deliberately racy compiled kernels (workloads/csrc/racy_*.c), MT
+ * only: negative test corpus for the race analyzer and the dynamic
+ * happens-before oracle. Kept out of compiledWorkloads() so sweeps,
+ * golden verification, and the lint-clean gates never see them; run
+ * them with golden checking off (their results are schedule-dependent
+ * by construction).
+ */
+const std::vector<CompiledSource> &racyCompiledSources();
+const std::vector<Workload> &racyCompiledWorkloads();
+
 /** Find a workload by name (registry or compiled); fatal if unknown. */
 const Workload &findWorkload(const std::string &name);
 

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/dynamic_bound.hh"
+#include "analysis/race_oracle.hh"
 
 using namespace mmt;
 using namespace mmt::analysis;
@@ -189,6 +190,25 @@ accum:
     // in this program needs the conservative fallback.
     for (const BasicBlock &b : analysis.cfg->blocks())
         EXPECT_TRUE(!b.hasIndirect || b.indirectMatched);
+}
+
+TEST_P(WorkloadLintGate, DynamicRacesStaticallyReported)
+{
+    // The registered suites are race-free programs: the happens-before
+    // oracle must observe zero dynamic races, and (vacuously) every
+    // observed race must map to a static may-race pair. ME workloads
+    // have private address spaces — the gate reports them unchecked.
+    const Workload &w = GetParam();
+    RaceGateReport rep = runRaceGate(w, ConfigKind::MMT_FXR, 2);
+    EXPECT_EQ(rep.checked, !w.multiExecution) << w.name;
+    for (const DynamicRace &r : rep.races) {
+        ADD_FAILURE() << w.name << ": dynamic "
+                      << (r.storeStore ? "store-store" : "store-load")
+                      << " race pcs 0x" << std::hex << r.pcA << "/0x"
+                      << r.pcB << " addr 0x" << r.addr << std::dec
+                      << " (x" << r.count << ")";
+    }
+    EXPECT_TRUE(rep.ok()) << w.name;
 }
 
 TEST_P(WorkloadLintGate, AffineDomainDoesNotRegressProvenPrecision)

@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Tests for the barrier-aware static race detection (analysis/race.hh)
+ * and the dynamic happens-before oracle (analysis/race_oracle.hh):
+ * EpochSet algebra, barrier-epoch segmentation over the interprocedural
+ * CFG (conditional barriers, barriers inside called functions at
+ * distinct call-string contexts, barrier-in-loop widening), the
+ * disjointness/tid-guard/reduction benign proofs, lint integration with
+ * suppressions, vector-clock replay of hand-built traces, and the
+ * static-covers-dynamic race gate over the deliberately racy compiled
+ * kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "analysis/race.hh"
+#include "analysis/race_oracle.hh"
+#include "iasm/assembler.hh"
+#include "workloads/workload.hh"
+
+using namespace mmt;
+using namespace mmt::analysis;
+
+namespace
+{
+
+/** Keeps the Program alive next to the analyses that reference it. */
+struct Raced
+{
+    Program prog;
+    Cfg cfg;
+    SharingResult sharing;
+    RaceResult race;
+
+    explicit Raced(const std::string &src, bool multi_execution = false)
+        : prog(assemble(src)), cfg(prog)
+    {
+        SharingOptions opt;
+        opt.multiExecution = multi_execution;
+        sharing = analyzeSharing(cfg, opt);
+        race = analyzeRaces(cfg, sharing, opt);
+    }
+
+    /** Index of the @p n-th store (0-based) in the program. */
+    int
+    storeAt(int n) const
+    {
+        for (std::size_t i = 0; i < prog.code.size(); ++i) {
+            if (prog.code[i].isStore() && n-- == 0)
+                return static_cast<int>(i);
+        }
+        ADD_FAILURE() << "store #" << n << " not found";
+        return -1;
+    }
+
+    int
+    loadAt(int n) const
+    {
+        for (std::size_t i = 0; i < prog.code.size(); ++i) {
+            if (prog.code[i].isLoad() && n-- == 0)
+                return static_cast<int>(i);
+        }
+        ADD_FAILURE() << "load #" << n << " not found";
+        return -1;
+    }
+};
+
+bool
+hasPairRule(const RaceResult &r, const std::string &rule)
+{
+    for (const RacePair &p : r.pairs)
+        if (p.rule == rule)
+            return true;
+    return false;
+}
+
+bool
+hasDiagRule(const AnalysisResult &res, const std::string &rule)
+{
+    for (const Diagnostic &d : res.diags)
+        if (d.rule == rule)
+            return true;
+    return false;
+}
+
+RaceEvent
+ev(RaceEvent::Kind k, Addr pc, Addr addr = 0, RegVal val = 0,
+   RegVal old = 0, int partner = -1)
+{
+    RaceEvent e;
+    e.kind = k;
+    e.pc = pc;
+    e.addr = addr;
+    e.val = val;
+    e.old = old;
+    e.partner = partner;
+    return e;
+}
+
+} // namespace
+
+// ---------------------------------------------------------- EpochSet --
+
+TEST(EpochSet, ContainsAndShift)
+{
+    EpochSet s;
+    EXPECT_TRUE(s.empty());
+    s.bits = 1; // epoch 0
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.contains(1));
+    EpochSet t = s.shifted();
+    EXPECT_FALSE(t.contains(0));
+    EXPECT_TRUE(t.contains(1));
+    EXPECT_FALSE(t.empty());
+}
+
+TEST(EpochSet, JoinIsMonotoneUnion)
+{
+    EpochSet a, b;
+    a.bits = 0b01;
+    b.bits = 0b10;
+    EXPECT_TRUE(a.join(b));
+    EXPECT_TRUE(a.contains(0));
+    EXPECT_TRUE(a.contains(1));
+    EXPECT_FALSE(a.join(b)); // already absorbed: no growth
+    EpochSet open;
+    open.openFrom = 3;
+    EXPECT_TRUE(a.join(open));
+    EXPECT_EQ(a.openFrom, 3);
+    EXPECT_TRUE(a.contains(100));
+}
+
+TEST(EpochSet, ShiftPastBitsetWidensToOpenTail)
+{
+    EpochSet s;
+    s.bits = 1ull << 63;
+    EpochSet t = s.shifted();
+    EXPECT_GE(t.openFrom, 0);
+    EXPECT_TRUE(t.contains(64));
+    // An open tail keeps advancing but saturates instead of escaping.
+    EpochSet u = t.shifted();
+    EXPECT_GE(u.openFrom, t.openFrom);
+    EXPECT_LE(u.openFrom, 63);
+}
+
+TEST(EpochSet, Intersects)
+{
+    EpochSet a, b;
+    a.bits = 0b01;
+    b.bits = 0b10;
+    EXPECT_FALSE(a.intersects(b));
+    b.bits = 0b11;
+    EXPECT_TRUE(a.intersects(b));
+
+    EpochSet open;
+    open.openFrom = 2;
+    EXPECT_FALSE(a.intersects(open)); // {0} vs {2,3,...}
+    EpochSet high;
+    high.bits = 1ull << 5;
+    EXPECT_TRUE(high.intersects(open));
+    EXPECT_TRUE(open.intersects(high));
+    EpochSet open2;
+    open2.openFrom = 40;
+    EXPECT_TRUE(open.intersects(open2)); // two open tails always meet
+}
+
+// ------------------------------------------------- epoch segmentation --
+
+TEST(RaceEpochs, BarriersSegmentStraightLineCode)
+{
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    li   r2, 1
+    st   r2, 0(r1)
+    barrier
+    li   r3, 2
+    st   r3, 0(r1)
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    int s0 = r.storeAt(0);
+    int s1 = r.storeAt(1);
+    EpochSet e0 = r.race.epochsOf(r.cfg, s0);
+    EpochSet e1 = r.race.epochsOf(r.cfg, s1);
+    EXPECT_TRUE(e0.contains(0));
+    EXPECT_FALSE(e0.contains(1));
+    EXPECT_TRUE(e1.contains(1));
+    EXPECT_FALSE(e1.contains(0));
+    // The two stores are in disjoint epochs: ordered, never racing
+    // (each still races with itself across threads — same address).
+    EXPECT_FALSE(r.race.reportsPair(s0, s1));
+    EXPECT_TRUE(r.race.reportsPair(s0, s0));
+}
+
+TEST(RaceEpochs, ConditionalBarrierYieldsBothEpochs)
+{
+    // One path passes a barrier, the other does not: the join sees
+    // epoch {0, 1}, so accesses there may race with either phase.
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    li   r2, 1
+    beqz tid, skip
+    barrier
+skip:
+    st   r2, 0(r1)
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    EpochSet e = r.race.epochsOf(r.cfg, r.storeAt(0));
+    EXPECT_TRUE(e.contains(0));
+    EXPECT_TRUE(e.contains(1));
+    EXPECT_FALSE(e.contains(2));
+}
+
+TEST(RaceEpochs, BarrierInCalleeDiffersPerCallString)
+{
+    // The barrier sits inside f; the two call sites reach it at
+    // different epoch counts, so the depth-2 call strings must keep
+    // the post-return epochs separate instead of joining them.
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r5, g
+    li   r6, 1
+    call f
+    st   r6, 0(r5)
+    call f
+    st   r6, 0(r5)
+    halt
+f:
+    barrier
+    ret
+)");
+    ASSERT_TRUE(r.race.checked);
+    int s0 = r.storeAt(0);
+    int s1 = r.storeAt(1);
+    EpochSet e0 = r.race.epochsOf(r.cfg, s0);
+    EpochSet e1 = r.race.epochsOf(r.cfg, s1);
+    EXPECT_TRUE(e0.contains(1));
+    EXPECT_FALSE(e0.contains(2));
+    EXPECT_TRUE(e1.contains(2));
+    EXPECT_FALSE(e1.contains(1));
+    // Context-separated epochs order the two stores.
+    EXPECT_FALSE(r.race.reportsPair(s0, s1));
+}
+
+TEST(RaceEpochs, BarrierInLoopWidensToOpenTail)
+{
+    Raced r(R"(
+main:
+    li   r1, 4
+loop:
+    barrier
+    addi r1, r1, -1
+    bnez r1, loop
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    // The addi after the barrier can sit at any epoch >= 1.
+    int addi = -1;
+    for (std::size_t i = 0; i < r.prog.code.size(); ++i) {
+        if (r.prog.line(static_cast<int>(i)) == 5)
+            addi = static_cast<int>(i);
+    }
+    ASSERT_GE(addi, 0);
+    EpochSet e = r.race.epochsOf(r.cfg, addi);
+    EXPECT_GE(e.openFrom, 0);
+    EXPECT_TRUE(e.contains(63));
+}
+
+// ------------------------------------------------ conflict detection --
+
+TEST(RaceDetect, SharedStoreRacesWithItself)
+{
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    st   tid, 0(r1)
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    ASSERT_EQ(r.race.pairs.size(), 1u);
+    EXPECT_EQ(r.race.pairs[0].rule, kRuleRaceStoreStore);
+    EXPECT_EQ(r.race.pairs[0].instA, r.race.pairs[0].instB);
+    EXPECT_EQ(r.race.pairs[0].anchor, r.storeAt(0));
+    EXPECT_FALSE(r.race.pairs[0].suppressed);
+}
+
+TEST(RaceDetect, GuardedStoreVsUnguardedLoad)
+{
+    // Thread 0 stores while the others load the same word in the same
+    // epoch: a store/load race anchored at the store.
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    li   r2, 7
+    beqz tid, writer
+    ld   r3, 0(r1)
+    j    done
+writer:
+    st   r2, 0(r1)
+done:
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    EXPECT_TRUE(hasPairRule(r.race, kRuleRaceStoreLoad));
+    EXPECT_TRUE(r.race.reportsPair(r.storeAt(0), r.loadAt(0)));
+}
+
+TEST(RaceDetect, TidGuardedSectionIsBenign)
+{
+    // Only thread 0 reaches the read-modify-write: a single common
+    // thread cannot race with itself.
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    bnez tid, done
+    ld   r2, 0(r1)
+    addi r2, r2, 1
+    st   r2, 0(r1)
+done:
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    EXPECT_TRUE(r.race.pairs.empty());
+}
+
+TEST(RaceDetect, TidStridedAccessesProvedDisjoint)
+{
+    // a + 8*tid: the affine-with-base domain proves every cross-thread
+    // address pair at least 8 bytes apart.
+    Raced r(R"(
+.data
+arr: .space 64
+.text
+main:
+    la   r1, arr
+    slli r2, tid, 3
+    add  r1, r1, r2
+    st   r2, 0(r1)
+    ld   r3, 0(r1)
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    EXPECT_TRUE(r.race.pairs.empty());
+}
+
+TEST(RaceDetect, BarrierSeparatesProducerFromConsumer)
+{
+    const char *with_barrier = R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    li   r2, 5
+    bnez tid, wait
+    st   r2, 0(r1)
+wait:
+    barrier
+    ld   r3, 0(r1)
+    halt
+)";
+    Raced r(with_barrier);
+    ASSERT_TRUE(r.race.checked);
+    EXPECT_TRUE(r.race.pairs.empty());
+
+    // Same program without the barrier: the epochs intersect again.
+    std::string no_barrier = with_barrier;
+    std::size_t pos = no_barrier.find("barrier");
+    no_barrier.replace(pos, 7, "nop    ");
+    Raced q(no_barrier);
+    ASSERT_TRUE(q.race.checked);
+    EXPECT_TRUE(hasPairRule(q.race, kRuleRaceStoreLoad));
+}
+
+TEST(RaceDetect, MisusedReductionScratchGetsOwnRule)
+{
+    // Scratch stores are tid-strided (disjoint), but the combine read
+    // runs before any barrier: thread 0's slot is read while thread 0
+    // may still be writing it.
+    Raced r(R"(
+.data
+__mmtc_red0: .space 32
+.text
+main:
+    la   r1, __mmtc_red0
+    slli r2, tid, 3
+    add  r2, r1, r2
+    st   r3, 0(r2)
+    ld   r4, 0(r1)
+    halt
+)");
+    ASSERT_TRUE(r.race.checked);
+    EXPECT_TRUE(hasPairRule(r.race, kRuleUnguardedReduction));
+}
+
+TEST(RaceDetect, MultiExecutionIsUnchecked)
+{
+    Raced r(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    st   tid, 0(r1)
+    halt
+)",
+            /*multi_execution=*/true);
+    EXPECT_FALSE(r.race.checked);
+    EXPECT_TRUE(r.race.pairs.empty());
+    EXPECT_FALSE(r.race.reportsPair(0, 0));
+}
+
+// ------------------------------------------------- lint integration --
+
+TEST(RaceLint, ReportedAsErrorAtAnchor)
+{
+    Program p = assemble(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    st   tid, 0(r1)
+    halt
+)");
+    AnalysisResult res = analyzeProgram(p);
+    EXPECT_TRUE(hasDiagRule(res, kRuleRaceStoreStore));
+    EXPECT_GE(res.errors(), 1);
+}
+
+TEST(RaceLint, AllowSuppressesButKeepsRawPair)
+{
+    Program p = assemble(R"(
+.data
+g: .word 0
+.text
+main:
+    la   r1, g
+    st   tid, 0(r1)   ; analyze:allow(race-store-store) intended sink
+    halt
+)");
+    AnalysisResult res = analyzeProgram(p);
+    EXPECT_EQ(res.errors(), 0)
+        << renderReport(res, "allow-suppresses", false);
+    EXPECT_FALSE(hasDiagRule(res, kRuleRaceStoreStore));
+    // The raw pair survives for the dynamic gate.
+    ASSERT_EQ(res.race.pairs.size(), 1u);
+    EXPECT_TRUE(res.race.pairs[0].suppressed);
+    EXPECT_TRUE(res.race.reportsPair(res.race.pairs[0].instA,
+                                     res.race.pairs[0].instB));
+}
+
+TEST(RaceLint, UnusedRaceSuppressionFlagged)
+{
+    const char *src = R"(
+.data
+arr: .space 64
+.text
+main:
+    la   r1, arr
+    slli r2, tid, 3
+    add  r1, r1, r2
+    st   r2, 0(r1)   ; analyze:allow(race-store-store) stale
+    halt
+)";
+    Program p = assemble(src);
+    AnalysisResult res = analyzeProgram(p);
+    EXPECT_TRUE(hasDiagRule(res, "unused-suppression"))
+        << renderReport(res, "unused-allow", false);
+
+    // ME analysis skips race rules entirely (checked == false), so the
+    // same comment must NOT count as unused there.
+    AnalysisOptions opt;
+    opt.multiExecution = true;
+    AnalysisResult me = analyzeProgram(p, opt);
+    EXPECT_FALSE(hasDiagRule(me, "unused-suppression"))
+        << renderReport(me, "unused-allow-me", false);
+}
+
+// ------------------------------------------------------ oracle replay --
+
+TEST(RaceOracle, UnorderedStoreLoadDetected)
+{
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 1, 0)};
+    t[1] = {ev(RaceEvent::Kind::Load, 0x200, 0x5000, 0)};
+    std::vector<DynamicRace> races = replayRaceTrace(t);
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0].pcA, 0x100u);
+    EXPECT_EQ(races[0].pcB, 0x200u);
+    EXPECT_EQ(races[0].addr, 0x5000u);
+    EXPECT_FALSE(races[0].storeStore);
+}
+
+TEST(RaceOracle, UnorderedStoreStoreDetected)
+{
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 1, 0)};
+    t[1] = {ev(RaceEvent::Kind::Store, 0x200, 0x5000, 2, 1)};
+    std::vector<DynamicRace> races = replayRaceTrace(t);
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_TRUE(races[0].storeStore);
+}
+
+TEST(RaceOracle, BarrierOrdersAcrossContexts)
+{
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 1, 0),
+            ev(RaceEvent::Kind::Barrier, 0x104)};
+    t[1] = {ev(RaceEvent::Kind::Barrier, 0x104),
+            ev(RaceEvent::Kind::Load, 0x200, 0x5000, 1)};
+    EXPECT_TRUE(replayRaceTrace(t).empty());
+
+    // Same streams with the load moved before the barrier: racy.
+    RaceTrace u(2);
+    u[0] = t[0];
+    u[1] = {ev(RaceEvent::Kind::Load, 0x200, 0x5000, 0),
+            ev(RaceEvent::Kind::Barrier, 0x104)};
+    EXPECT_EQ(replayRaceTrace(u).size(), 1u);
+}
+
+TEST(RaceOracle, SendRecvEdgeOrders)
+{
+    // ctx0 stores then sends; ctx1 receives then loads: the channel
+    // edge orders the pair (values differ, so without the edge this
+    // would be flagged).
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 5, 0),
+            ev(RaceEvent::Kind::Send, 0x104, 0, 5, 0, 1)};
+    t[1] = {ev(RaceEvent::Kind::Recv, 0x200, 0, 5, 0, 0),
+            ev(RaceEvent::Kind::Load, 0x204, 0x5000, 7)};
+    EXPECT_TRUE(replayRaceTrace(t).empty());
+
+    RaceTrace u(2);
+    u[0] = {t[0][0]};
+    u[1] = {t[1][1]};
+    EXPECT_EQ(replayRaceTrace(u).size(), 1u);
+}
+
+TEST(RaceOracle, SilentAndEqualValueStoresBenign)
+{
+    // Silent store (val == old): dropped entirely.
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 3, 3)};
+    t[1] = {ev(RaceEvent::Kind::Load, 0x200, 0x5000, 0)};
+    EXPECT_TRUE(replayRaceTrace(t).empty());
+
+    // Equal-value conflict: both sides move the same value.
+    RaceTrace u(2);
+    u[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 5, 0)};
+    u[1] = {ev(RaceEvent::Kind::Load, 0x200, 0x5000, 5)};
+    EXPECT_TRUE(replayRaceTrace(u).empty());
+
+    // Redundant threads re-storing the same value: store/store benign.
+    RaceTrace v(2);
+    v[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 5, 0)};
+    v[1] = {ev(RaceEvent::Kind::Store, 0x200, 0x5000, 5, 0)};
+    EXPECT_TRUE(replayRaceTrace(v).empty());
+}
+
+TEST(RaceOracle, BlockedReceiveTerminates)
+{
+    // A receive with no matching send must stop the replay cleanly
+    // (malformed / truncated trace), not spin or crash.
+    RaceTrace t(2);
+    t[1] = {ev(RaceEvent::Kind::Recv, 0x200, 0, 0, 0, 0),
+            ev(RaceEvent::Kind::Load, 0x204, 0x5000, 1)};
+    EXPECT_TRUE(replayRaceTrace(t).empty());
+}
+
+TEST(RaceOracle, RepeatedRaceDeduplicatedWithCount)
+{
+    RaceTrace t(2);
+    t[0] = {ev(RaceEvent::Kind::Store, 0x100, 0x5000, 1, 0),
+            ev(RaceEvent::Kind::Store, 0x100, 0x5008, 2, 0)};
+    t[1] = {ev(RaceEvent::Kind::Load, 0x200, 0x5000, 0),
+            ev(RaceEvent::Kind::Load, 0x200, 0x5008, 0)};
+    std::vector<DynamicRace> races = replayRaceTrace(t);
+    ASSERT_EQ(races.size(), 1u);
+    EXPECT_EQ(races[0].count, 2u);
+}
+
+// -------------------------------------------------------- race gate --
+
+TEST(RaceGate, RacyRegistryIsSeparateFromCleanCorpus)
+{
+    ASSERT_EQ(racyCompiledSources().size(), 3u);
+    ASSERT_EQ(racyCompiledWorkloads().size(), 3u);
+    for (const Workload &w : racyCompiledWorkloads()) {
+        EXPECT_FALSE(w.multiExecution);
+        // Reachable by name, but never part of the clean corpus the
+        // sweeps / golden / lint-clean gates iterate.
+        EXPECT_EQ(&findWorkload(w.name), &w);
+        for (const Workload &c : compiledWorkloads())
+            EXPECT_NE(c.name, w.name);
+    }
+}
+
+TEST(RaceGate, SeededRacyKernelsAreFlaggedWithCorrectRule)
+{
+    struct Expect
+    {
+        const char *name;
+        const char *rule;
+    };
+    const Expect expects[] = {
+        // Redundant read-modify-write of a global.
+        {"c-racy_rmw", kRuleRaceStoreLoad},
+        // Redundant pre-read of a[0] racing the sliced store.
+        {"c-racy_read", kRuleRaceStoreLoad},
+        // Redundant unguarded store racing the sliced loop.
+        {"c-racy_stst", kRuleRaceStoreStore},
+    };
+    for (const Expect &e : expects) {
+        AnalysisResult res = analyzeWorkload(findWorkload(e.name));
+        EXPECT_GE(res.errors(), 1) << e.name;
+        EXPECT_TRUE(hasDiagRule(res, e.rule))
+            << renderReport(res, e.name, false);
+    }
+}
+
+TEST(RaceGate, DynamicRacesOnRacyKernelsAreStaticallyReported)
+{
+    for (const Workload &w : racyCompiledWorkloads()) {
+        RaceGateReport rep = runRaceGate(w, ConfigKind::MMT_FXR, 2);
+        EXPECT_TRUE(rep.checked) << w.name;
+        EXPECT_TRUE(rep.ok()) << w.name << ": " << rep.unreported.size()
+                              << " dynamic race(s) missed statically";
+    }
+    // The RMW and stale-read kernels race observably; the store/store
+    // kernel is dynamically silent (every thread stores the value that
+    // is already there), which is exactly why the static side exists.
+    RaceGateReport rmw = runRaceGate(findWorkload("c-racy_rmw"),
+                                     ConfigKind::MMT_FXR, 2);
+    EXPECT_FALSE(rmw.races.empty());
+    RaceGateReport read = runRaceGate(findWorkload("c-racy_read"),
+                                      ConfigKind::MMT_FXR, 2);
+    EXPECT_FALSE(read.races.empty());
+}
+
+TEST(RaceGate, CleanKernelHasNoDynamicRaces)
+{
+    RaceGateReport rep = runRaceGate(findWorkload("c-saxpy"),
+                                     ConfigKind::MMT_FXR, 2);
+    EXPECT_TRUE(rep.checked);
+    EXPECT_TRUE(rep.races.empty());
+    EXPECT_TRUE(rep.ok());
+}
+
+TEST(RaceGate, MultiExecutionWorkloadIsSkipped)
+{
+    RaceGateReport rep = runRaceGate(findWorkload("c-saxpy-me"),
+                                     ConfigKind::MMT_FXR, 2);
+    EXPECT_FALSE(rep.checked);
+    EXPECT_TRUE(rep.races.empty());
+    EXPECT_TRUE(rep.ok());
+}

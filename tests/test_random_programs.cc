@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/dynamic_bound.hh"
+#include "analysis/race_oracle.hh"
 #include "iasm/assembler.hh"
 #include "profile/random_program.hh"
 #include "sim/simulator.hh"
@@ -111,6 +112,35 @@ TEST_P(RandomProgramTest, DynamicMergingRespectsStaticBound)
     }
     EXPECT_GE(hinted.staticMergeableFrac(), hinted.dynamicMergedFrac())
         << "seed " << c.seed << " (static-hints both)";
+}
+
+/**
+ * Soundness gate for the race analysis over the fuzz corpus: every
+ * dynamic race the happens-before oracle observes in a random MT
+ * program must appear in the static may-race pair set (suppressed or
+ * not). The generated programs are deterministic by construction, so
+ * most runs observe zero races — the property being fuzzed is that the
+ * static set never misses one that does show up.
+ */
+TEST_P(RandomProgramTest, DynamicRacesStaticallyReported)
+{
+    const FuzzCase &c = GetParam();
+    RandomProgramParams params;
+    params.seed = c.seed;
+    params.multiExecution = c.me;
+    Workload w = generateRandomWorkload(params);
+
+    analysis::RaceGateReport rep =
+        analysis::runRaceGate(w, c.kind, c.threads);
+    EXPECT_EQ(rep.checked, !c.me) << "seed " << c.seed;
+    for (const analysis::DynamicRace &r : rep.unreported) {
+        ADD_FAILURE() << "seed " << c.seed << ": dynamic "
+                      << (r.storeStore ? "store-store" : "store-load")
+                      << " race pcs 0x" << std::hex << r.pcA << "/0x"
+                      << r.pcB << std::dec
+                      << " missing from the static may-race set";
+    }
+    EXPECT_TRUE(rep.ok()) << "seed " << c.seed;
 }
 
 namespace

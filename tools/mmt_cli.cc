@@ -32,6 +32,13 @@
  *                          workload (single address space, MT semantics)
  *   --strict               refuse to simulate a program with
  *                          error-severity mmt-analyze diagnostics
+ *   --race-check           capture the memory trace, replay it through
+ *                          the happens-before oracle, and cross-check
+ *                          every observed race against the static
+ *                          may-race set (MT workloads; exit 1 on a
+ *                          dynamic race or a gate violation). Off by
+ *                          default — a plain run is bit-identical to
+ *                          one without the flag.
  *
  * Compile options (mmtc C-subset frontend, docs/COMPILER.md):
  *   --threads <1..4>       functional run thread count (default 2)
@@ -50,6 +57,9 @@
  *   --dynamic              also run the simulation and cross-check the
  *                          static upper bound against the merge profile
  *                          (honors --config/--threads)
+ *   --races                list the raw may-race pairs of the race
+ *                          analysis, including allow-listed ones (the
+ *                          set the dynamic oracle gates against)
  *   exit status: 1 when any error-severity diagnostic (or upper-bound
  *   violation with --dynamic) is found
  *
@@ -91,6 +101,7 @@
 #include <string>
 
 #include "analysis/dynamic_bound.hh"
+#include "analysis/race_oracle.hh"
 #include "cc/compiler.hh"
 #include "common/logging.hh"
 #include "core/smt_core.hh"
@@ -118,10 +129,10 @@ usage()
                  "               [--no-trace-cache] [--static-hints M]\n"
                  "               [--no-golden]\n"
                  "               [--stats] [--stats-json] [--asm FILE]\n"
-                 "               [--strict] <workload>\n"
+                 "               [--strict] [--race-check] <workload>\n"
                  "       mmt_cli compile FILE.c [--threads N]\n"
                  "               [--emit-iasm] [--no-spmd]\n"
-                 "       mmt_cli analyze [--json] [--dynamic]\n"
+                 "       mmt_cli analyze [--json] [--dynamic] [--races]\n"
                  "               [--config KIND] [--threads N] [--asm FILE]\n"
                  "               <workload>|--all|--compiled\n"
                  "       mmt_cli --list\n"
@@ -447,6 +458,7 @@ analyzeMain(int argc, char **argv)
     bool all = false;
     bool compiled = false;
     bool dynamic = false;
+    bool races = false;
     ConfigKind kind = ConfigKind::MMT_FXR;
     int threads = 2;
     std::string asm_file;
@@ -467,6 +479,8 @@ analyzeMain(int argc, char **argv)
             compiled = true;
         } else if (arg == "--dynamic") {
             dynamic = true;
+        } else if (arg == "--races") {
+            races = true;
         } else if (arg == "--config") {
             kind = parseConfigKind(next());
         } else if (arg == "--threads") {
@@ -511,6 +525,16 @@ analyzeMain(int argc, char **argv)
         std::printf("%s", analysis::renderReport(res, w.name,
                                                  json).c_str());
         errors += res.errors();
+        if (races && res.race.checked && res.program) {
+            // The raw (pre-suppression) pair set — exactly what the
+            // dynamic happens-before oracle gates against.
+            for (const analysis::RacePair &p : res.race.pairs) {
+                std::printf("  race pair: lines %d/%d %s%s\n",
+                            res.program->line(p.instA),
+                            res.program->line(p.instB), p.rule.c_str(),
+                            p.suppressed ? " (allow-listed)" : "");
+            }
+        }
         if (dynamic) {
             analysis::MergeBoundReport rep =
                 analysis::runMergeBoundCheck(w, kind, threads);
@@ -566,6 +590,7 @@ main(int argc, char **argv)
     bool dump_stats = false;
     bool stats_json = false;
     bool strict = false;
+    bool race_check = false;
     std::string asm_file;
     std::string workload_name;
 
@@ -614,6 +639,8 @@ main(int argc, char **argv)
             asm_file = next();
         } else if (arg == "--strict") {
             strict = true;
+        } else if (arg == "--race-check") {
+            race_check = true;
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -659,7 +686,11 @@ main(int argc, char **argv)
         return 0;
     }
 
-    RunResult r = runWorkload(w, kind, threads, ov, golden);
+    RaceTrace race_trace;
+    RunResult r = runWorkload(w, kind, threads, ov, golden, nullptr,
+                              race_check && !w.multiExecution
+                                  ? &race_trace
+                                  : nullptr);
 
     std::printf("workload        %s (%s)\n", w.name.c_str(),
                 w.suite.c_str());
@@ -736,11 +767,47 @@ main(int argc, char **argv)
     if (golden)
         std::printf("golden model    %s\n", r.goldenOk ? "ok" : "FAIL");
 
+    bool race_fail = false;
+    if (race_check && w.multiExecution) {
+        std::printf("race check      n/a (multi-execution: private "
+                    "address spaces)\n");
+    } else if (race_check) {
+        analysis::AnalysisResult res = analysis::analyzeWorkload(w);
+        std::vector<analysis::DynamicRace> races =
+            analysis::replayRaceTrace(race_trace);
+        analysis::RaceGateReport rep =
+            analysis::checkRaceGate(res, *res.program, races);
+        std::printf("race check      %zu dynamic race(s), %zu not "
+                    "statically reported%s\n",
+                    rep.races.size(), rep.unreported.size(),
+                    rep.races.empty() ? "" : "  RACY");
+        for (const analysis::DynamicRace &d : rep.races) {
+            int la = res.program->line(static_cast<int>(
+                (d.pcA - res.program->codeBase) / instBytes));
+            int lb = res.program->line(static_cast<int>(
+                (d.pcB - res.program->codeBase) / instBytes));
+            std::printf("  %s: lines %d/%d addr 0x%llx (%llu "
+                        "occurrence(s))\n",
+                        d.storeStore ? "store-store" : "store-load", la,
+                        lb, static_cast<unsigned long long>(d.addr),
+                        static_cast<unsigned long long>(d.count));
+        }
+        for (const analysis::DynamicRace &d : rep.unreported) {
+            std::fprintf(stderr,
+                         "%s: dynamic race at pcs 0x%llx/0x%llx has no "
+                         "static may-race pair (analysis unsound)\n",
+                         w.name.c_str(),
+                         static_cast<unsigned long long>(d.pcA),
+                         static_cast<unsigned long long>(d.pcB));
+        }
+        race_fail = !rep.races.empty() || !rep.ok();
+    }
+
     if (dump_stats) {
         // Deterministic re-run for the full counter dump (shared with
         // the golden-equivalence test via runStatsDump).
         std::printf("\n--- statistics ---\n%s",
                     runStatsDump(w, kind, threads, ov, false).c_str());
     }
-    return golden && !r.goldenOk ? 1 : 0;
+    return (golden && !r.goldenOk) || race_fail ? 1 : 0;
 }
